@@ -1,0 +1,215 @@
+//! The allocation data structure and occupancy statistics.
+
+/// Which scheme produced an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationScheme {
+    /// Logical round-robin over the fragment order.
+    RoundRobin,
+    /// Greedy size-based placement onto the least occupied disk.
+    GreedySize,
+    /// Greedy heat-based placement onto the coolest disk (extension).
+    GreedyHeat,
+}
+
+/// A placement of every fragment onto a disk.
+///
+/// Fragment sizes are carried in bytes (fact fragment plus its bitmap
+/// fragments — bitmap fragmentation exactly follows the fact table's), so
+/// occupancy statistics reflect what actually lands on each device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    scheme: AllocationScheme,
+    num_disks: u32,
+    /// `disk_of[f]` = disk of fragment `f`.
+    disk_of: Vec<u32>,
+    /// `sizes[f]` = bytes of fragment `f`.
+    sizes: Vec<u64>,
+}
+
+impl Allocation {
+    /// Assembles an allocation; used by the scheme implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities mismatch, a disk id is out of range, or
+    /// `num_disks == 0`.
+    pub fn new(
+        scheme: AllocationScheme,
+        num_disks: u32,
+        disk_of: Vec<u32>,
+        sizes: Vec<u64>,
+    ) -> Self {
+        assert!(num_disks > 0, "allocation needs at least one disk");
+        assert_eq!(disk_of.len(), sizes.len(), "one size per fragment");
+        assert!(
+            disk_of.iter().all(|&d| d < num_disks),
+            "disk id out of range"
+        );
+        Self {
+            scheme,
+            num_disks,
+            disk_of,
+            sizes,
+        }
+    }
+
+    /// The scheme that produced this allocation.
+    #[inline]
+    pub fn scheme(&self) -> AllocationScheme {
+        self.scheme
+    }
+
+    /// Number of disks.
+    #[inline]
+    pub fn num_disks(&self) -> u32 {
+        self.num_disks
+    }
+
+    /// Number of fragments.
+    #[inline]
+    pub fn num_fragments(&self) -> usize {
+        self.disk_of.len()
+    }
+
+    /// Disk of fragment `f`.
+    #[inline]
+    pub fn disk_of(&self, f: usize) -> u32 {
+        self.disk_of[f]
+    }
+
+    /// Size in bytes of fragment `f`.
+    #[inline]
+    pub fn size_of(&self, f: usize) -> u64 {
+        self.sizes[f]
+    }
+
+    /// The full placement vector.
+    #[inline]
+    pub fn placements(&self) -> &[u32] {
+        &self.disk_of
+    }
+
+    /// Bytes resident on each disk.
+    pub fn occupancy(&self) -> Vec<u64> {
+        let mut per_disk = vec![0u64; self.num_disks as usize];
+        for (f, &d) in self.disk_of.iter().enumerate() {
+            per_disk[d as usize] += self.sizes[f];
+        }
+        per_disk
+    }
+
+    /// Number of fragments resident on each disk.
+    pub fn fragment_counts(&self) -> Vec<u32> {
+        let mut per_disk = vec![0u32; self.num_disks as usize];
+        for &d in &self.disk_of {
+            per_disk[d as usize] += 1;
+        }
+        per_disk
+    }
+
+    /// Occupancy balance statistics.
+    pub fn occupancy_stats(&self) -> OccupancyStats {
+        OccupancyStats::of(&self.occupancy())
+    }
+}
+
+/// Balance statistics over per-disk occupancy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyStats {
+    /// Bytes on the fullest disk.
+    pub max_bytes: u64,
+    /// Bytes on the emptiest disk.
+    pub min_bytes: u64,
+    /// Mean bytes per disk.
+    pub mean_bytes: f64,
+    /// `max / mean` — 1.0 is perfectly balanced; the allocator's target.
+    pub imbalance: f64,
+    /// Coefficient of variation of per-disk bytes.
+    pub cv: f64,
+}
+
+impl OccupancyStats {
+    /// Computes the statistics of a per-disk byte vector.
+    pub fn of(per_disk: &[u64]) -> Self {
+        assert!(!per_disk.is_empty(), "no disks");
+        let max_bytes = *per_disk.iter().max().expect("non-empty");
+        let min_bytes = *per_disk.iter().min().expect("non-empty");
+        let n = per_disk.len() as f64;
+        let mean = per_disk.iter().map(|&b| b as f64).sum::<f64>() / n;
+        let var = per_disk
+            .iter()
+            .map(|&b| (b as f64 - mean) * (b as f64 - mean))
+            .sum::<f64>()
+            / n;
+        let (imbalance, cv) = if mean > 0.0 {
+            (max_bytes as f64 / mean, var.sqrt() / mean)
+        } else {
+            (1.0, 0.0)
+        };
+        Self {
+            max_bytes,
+            min_bytes,
+            mean_bytes: mean,
+            imbalance,
+            cv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = Allocation::new(
+            AllocationScheme::RoundRobin,
+            2,
+            vec![0, 1, 0, 1],
+            vec![10, 20, 30, 40],
+        );
+        assert_eq!(a.num_fragments(), 4);
+        assert_eq!(a.num_disks(), 2);
+        assert_eq!(a.disk_of(2), 0);
+        assert_eq!(a.size_of(3), 40);
+        assert_eq!(a.scheme(), AllocationScheme::RoundRobin);
+        assert_eq!(a.occupancy(), vec![40, 60]);
+        assert_eq!(a.fragment_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disk id out of range")]
+    fn rejects_bad_disk_ids() {
+        let _ = Allocation::new(AllocationScheme::RoundRobin, 2, vec![0, 2], vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one size per fragment")]
+    fn rejects_arity_mismatch() {
+        let _ = Allocation::new(AllocationScheme::RoundRobin, 2, vec![0], vec![1, 1]);
+    }
+
+    #[test]
+    fn occupancy_stats_balanced() {
+        let s = OccupancyStats::of(&[100, 100, 100, 100]);
+        assert_eq!(s.max_bytes, 100);
+        assert_eq!(s.min_bytes, 100);
+        assert!((s.imbalance - 1.0).abs() < 1e-12);
+        assert!(s.cv.abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_stats_skewed() {
+        let s = OccupancyStats::of(&[300, 100, 100, 100]);
+        assert!((s.mean_bytes - 150.0).abs() < 1e-9);
+        assert!((s.imbalance - 2.0).abs() < 1e-12);
+        assert!(s.cv > 0.5);
+    }
+
+    #[test]
+    fn empty_disks_stats() {
+        let s = OccupancyStats::of(&[0, 0]);
+        assert_eq!(s.imbalance, 1.0);
+        assert_eq!(s.cv, 0.0);
+    }
+}

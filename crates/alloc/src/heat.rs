@@ -1,0 +1,163 @@
+//! Heat-based allocation (extension).
+//!
+//! The paper's two schemes balance *occupancy*. Under skewed **access**
+//! patterns (heavy query traffic on a few fragments) a size-balanced
+//! placement can still produce hot disks. This extension — in the spirit
+//! of the disk-heat balancing line of work from the same group — places
+//! fragments by descending *heat* (expected device time per unit of
+//! workload) onto the currently coolest disk, with occupancy as the
+//! tie-breaker so space stays reasonable too.
+//!
+//! Heat values come from the cost model: a fragment's heat is the sum over
+//! query classes of `share × P(class accesses the fragment) ×
+//! per-fragment device time` — computable from the same matching
+//! statistics the prediction layer already derives.
+
+use crate::{Allocation, AllocationScheme};
+
+/// Places fragments by descending heat onto the disk with the least
+/// accumulated heat (ties: least occupancy, then lowest disk id).
+///
+/// `heats[f]` is fragment `f`'s expected device time per workload unit;
+/// `sizes[f]` its bytes (kept for occupancy statistics and tie-breaking).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, a heat is negative or NaN, or
+/// `num_disks == 0`.
+pub fn greedy_by_heat(heats: &[f64], sizes: Vec<u64>, num_disks: u32) -> Allocation {
+    assert!(num_disks > 0, "greedy_by_heat needs at least one disk");
+    assert_eq!(heats.len(), sizes.len(), "one heat per fragment");
+    assert!(
+        heats.iter().all(|h| h.is_finite() && *h >= 0.0),
+        "heats must be finite and non-negative"
+    );
+    let mut order: Vec<usize> = (0..heats.len()).collect();
+    order.sort_by(|&a, &b| {
+        heats[b]
+            .total_cmp(&heats[a])
+            .then(sizes[b].cmp(&sizes[a]))
+            .then(a.cmp(&b))
+    });
+
+    let mut disk_heat = vec![0.0f64; num_disks as usize];
+    let mut disk_bytes = vec![0u64; num_disks as usize];
+    let mut disk_of = vec![0u32; heats.len()];
+    for f in order {
+        let mut best = 0usize;
+        for d in 1..disk_heat.len() {
+            let cooler = disk_heat[d] < disk_heat[best]
+                || (disk_heat[d] == disk_heat[best] && disk_bytes[d] < disk_bytes[best]);
+            if cooler {
+                best = d;
+            }
+        }
+        disk_of[f] = best as u32;
+        disk_heat[best] += heats[f];
+        disk_bytes[best] += sizes[f];
+    }
+    Allocation::new(AllocationScheme::GreedyHeat, num_disks, disk_of, sizes)
+}
+
+/// Heat distribution over disks given a placement.
+pub fn disk_heats(allocation: &Allocation, heats: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        allocation.num_fragments(),
+        heats.len(),
+        "one heat per fragment"
+    );
+    let mut out = vec![0.0f64; allocation.num_disks() as usize];
+    for (f, &h) in heats.iter().enumerate() {
+        out[allocation.disk_of(f) as usize] += h;
+    }
+    out
+}
+
+/// Max/mean heat imbalance of a placement (1.0 = perfectly balanced).
+pub fn heat_imbalance(allocation: &Allocation, heats: &[f64]) -> f64 {
+    let per_disk = disk_heats(allocation, heats);
+    let total: f64 = per_disk.iter().sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let mean = total / per_disk.len() as f64;
+    per_disk.iter().copied().fold(0.0, f64::max) / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{greedy_by_size, round_robin};
+
+    #[test]
+    fn places_every_fragment() {
+        let heats = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let a = greedy_by_heat(&heats, vec![10; 5], 2);
+        assert_eq!(a.num_fragments(), 5);
+        assert_eq!(a.scheme(), AllocationScheme::GreedyHeat);
+        assert_eq!(a.fragment_counts().iter().sum::<u32>(), 5);
+    }
+
+    #[test]
+    fn balances_heat_better_than_size_greedy() {
+        // Equal sizes, very unequal heats: size-greedy is blind to heat.
+        let heats: Vec<f64> = (0..32).map(|i| if i < 4 { 100.0 } else { 1.0 }).collect();
+        let sizes = vec![1000u64; 32];
+        let by_heat = greedy_by_heat(&heats, sizes.clone(), 4);
+        let by_size = greedy_by_size(sizes, 4);
+        let hi_heat = heat_imbalance(&by_heat, &heats);
+        let hi_size = heat_imbalance(&by_size, &heats);
+        assert!(
+            hi_heat <= hi_size + 1e-12,
+            "heat-greedy {hi_heat} should not exceed size-greedy {hi_size}"
+        );
+        // The four hot fragments land on four distinct disks.
+        let hot_disks: std::collections::BTreeSet<u32> =
+            (0..4).map(|f| by_heat.disk_of(f)).collect();
+        assert_eq!(hot_disks.len(), 4);
+    }
+
+    #[test]
+    fn beats_round_robin_on_adversarial_heat() {
+        // Hot fragments at stride = disk count defeat round-robin.
+        let heats: Vec<f64> = (0..32).map(|i| if i % 4 == 0 { 50.0 } else { 1.0 }).collect();
+        let sizes = vec![100u64; 32];
+        let rr = round_robin(sizes.clone(), 4);
+        let heat = greedy_by_heat(&heats, sizes, 4);
+        assert!(heat_imbalance(&heat, &heats) < heat_imbalance(&rr, &heats));
+        // Round-robin concentrates all hot fragments on disk 0.
+        assert!(heat_imbalance(&rr, &heats) > 2.0);
+    }
+
+    #[test]
+    fn heat_accounting() {
+        let heats = [3.0, 1.0, 2.0];
+        let a = round_robin(vec![1; 3], 2);
+        let per_disk = disk_heats(&a, &heats);
+        assert_eq!(per_disk, vec![5.0, 1.0]);
+        assert!((heat_imbalance(&a, &heats) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_heat_is_balanced_by_definition() {
+        let a = round_robin(vec![1; 4], 2);
+        assert_eq!(heat_imbalance(&a, &[0.0; 4]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan_heat() {
+        let _ = greedy_by_heat(&[f64::NAN], vec![1], 1);
+    }
+
+    #[test]
+    fn ties_fall_back_to_occupancy() {
+        // All heats equal: placement should balance bytes like size-greedy.
+        let heats = [1.0; 6];
+        let sizes = vec![100u64, 10, 10, 10, 10, 100];
+        let a = greedy_by_heat(&heats, sizes, 2);
+        let occ = a.occupancy();
+        let spread = occ.iter().max().unwrap() - occ.iter().min().unwrap();
+        assert!(spread <= 100, "occupancy spread {spread}");
+    }
+}

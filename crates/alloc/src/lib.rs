@@ -1,0 +1,48 @@
+//! Physical disk allocation for WARLOCK.
+//!
+//! "We support a logical round-robin allocation scheme where fact table and
+//! bitmap fragments are stored on disk according to a logical order of the
+//! fragmentation dimensions. Under notable data skew we apply a greedy
+//! size-based allocation scheme to keep disk occupancy balanced. The scheme
+//! stores fragments, ordered by decreasing size, onto the least occupied
+//! disk at a time." (paper, §2)
+//!
+//! This crate implements both schemes, an automatic policy that switches on
+//! measured size skew, per-disk occupancy statistics, and the per-query
+//! disk access profiles the analysis layer visualizes.
+
+#![warn(missing_docs)]
+
+//!
+//! # Example
+//!
+//! ```
+//! use warlock_alloc::{allocate, AllocationPolicy, AllocationScheme};
+//!
+//! // Uniform fragments go round-robin; a skewed set switches to greedy.
+//! let uniform = allocate(vec![100; 32], 8, AllocationPolicy::default());
+//! assert_eq!(uniform.scheme(), AllocationScheme::RoundRobin);
+//!
+//! let mut skewed = vec![100u64; 32];
+//! skewed[0] = 100_000;
+//! let alloc = allocate(skewed, 8, AllocationPolicy::default());
+//! assert_eq!(alloc.scheme(), AllocationScheme::GreedySize);
+//! // Greedy isolates the giant fragment on its own disk.
+//! let giant_disk = alloc.disk_of(0);
+//! assert!((1..32).all(|f| alloc.disk_of(f) != giant_disk));
+//! ```
+
+
+mod allocation;
+mod greedy;
+mod heat;
+mod policy;
+mod profile;
+mod round_robin;
+
+pub use allocation::{Allocation, AllocationScheme, OccupancyStats};
+pub use greedy::greedy_by_size;
+pub use heat::{disk_heats, greedy_by_heat, heat_imbalance};
+pub use policy::{allocate, AllocationPolicy};
+pub use profile::{profile_response_ms, DiskAccessProfile};
+pub use round_robin::round_robin;

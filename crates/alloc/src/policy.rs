@@ -1,0 +1,109 @@
+//! Allocation policy selection.
+
+use crate::{greedy_by_size, round_robin, Allocation};
+
+/// Which allocation scheme to apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocationPolicy {
+    /// Always logical round-robin.
+    RoundRobin,
+    /// Always greedy size-based.
+    GreedySize,
+    /// Round-robin normally; greedy "under notable data skew" — detected
+    /// when the coefficient of variation of fragment sizes exceeds the
+    /// threshold.
+    Auto {
+        /// Size-CV above which the skew counter-measure kicks in.
+        cv_threshold: f64,
+    },
+}
+
+impl Default for AllocationPolicy {
+    /// `Auto` with a 10 % size-variation threshold.
+    fn default() -> Self {
+        Self::Auto { cv_threshold: 0.1 }
+    }
+}
+
+/// Coefficient of variation of a size vector (0 for uniform sizes).
+fn size_cv(sizes: &[u64]) -> f64 {
+    if sizes.is_empty() {
+        return 0.0;
+    }
+    let n = sizes.len() as f64;
+    let mean = sizes.iter().map(|&s| s as f64).sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = sizes
+        .iter()
+        .map(|&s| (s as f64 - mean) * (s as f64 - mean))
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+/// Allocates fragments of the given byte sizes over `num_disks` disks
+/// under `policy`.
+pub fn allocate(sizes: Vec<u64>, num_disks: u32, policy: AllocationPolicy) -> Allocation {
+    match policy {
+        AllocationPolicy::RoundRobin => round_robin(sizes, num_disks),
+        AllocationPolicy::GreedySize => greedy_by_size(sizes, num_disks),
+        AllocationPolicy::Auto { cv_threshold } => {
+            if size_cv(&sizes) > cv_threshold {
+                greedy_by_size(sizes, num_disks)
+            } else {
+                round_robin(sizes, num_disks)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocationScheme;
+
+    #[test]
+    fn explicit_policies_are_respected() {
+        let a = allocate(vec![1; 8], 4, AllocationPolicy::RoundRobin);
+        assert_eq!(a.scheme(), AllocationScheme::RoundRobin);
+        let b = allocate(vec![1; 8], 4, AllocationPolicy::GreedySize);
+        assert_eq!(b.scheme(), AllocationScheme::GreedySize);
+    }
+
+    #[test]
+    fn auto_uses_round_robin_for_uniform_sizes() {
+        let a = allocate(vec![100; 16], 4, AllocationPolicy::default());
+        assert_eq!(a.scheme(), AllocationScheme::RoundRobin);
+    }
+
+    #[test]
+    fn auto_switches_to_greedy_under_skew() {
+        let mut sizes = vec![100u64; 16];
+        sizes[0] = 10_000;
+        let a = allocate(sizes, 4, AllocationPolicy::default());
+        assert_eq!(a.scheme(), AllocationScheme::GreedySize);
+    }
+
+    #[test]
+    fn auto_threshold_is_tunable() {
+        let sizes: Vec<u64> = vec![100, 110, 90, 105, 95, 100, 100, 100];
+        let strict = allocate(
+            sizes.clone(),
+            4,
+            AllocationPolicy::Auto { cv_threshold: 0.01 },
+        );
+        assert_eq!(strict.scheme(), AllocationScheme::GreedySize);
+        let lax = allocate(sizes, 4, AllocationPolicy::Auto { cv_threshold: 0.5 });
+        assert_eq!(lax.scheme(), AllocationScheme::RoundRobin);
+    }
+
+    #[test]
+    fn size_cv_basics() {
+        assert_eq!(size_cv(&[]), 0.0);
+        assert_eq!(size_cv(&[0, 0]), 0.0);
+        assert!(size_cv(&[5, 5, 5]) < 1e-12);
+        assert!(size_cv(&[1, 100]) > 0.9);
+    }
+}

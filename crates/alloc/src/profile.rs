@@ -1,0 +1,155 @@
+//! Per-query disk access profiles.
+//!
+//! The analysis layer visualizes "a disk access profile per query class"
+//! (§3.3): how one query's I/O work distributes over the disks of a given
+//! allocation. The profile is also the *exact* response-time estimate —
+//! the declustered approximation of the prediction layer replaced by the
+//! true per-disk maxima of the chosen placement.
+
+use crate::Allocation;
+
+/// Distribution of one query's device time over the disks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskAccessProfile {
+    /// Busy milliseconds per disk.
+    pub per_disk_ms: Vec<f64>,
+    /// Fragments accessed per disk.
+    pub per_disk_fragments: Vec<u32>,
+}
+
+impl DiskAccessProfile {
+    /// Builds the profile of a query that spends `per_fragment_ms` device
+    /// time on each fragment in `accessed` (fragment indices into the
+    /// allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fragment index is out of range.
+    pub fn build(allocation: &Allocation, accessed: &[usize], per_fragment_ms: f64) -> Self {
+        let disks = allocation.num_disks() as usize;
+        let mut per_disk_ms = vec![0.0; disks];
+        let mut per_disk_fragments = vec![0u32; disks];
+        for &f in accessed {
+            let d = allocation.disk_of(f) as usize;
+            per_disk_ms[d] += per_fragment_ms;
+            per_disk_fragments[d] += 1;
+        }
+        Self {
+            per_disk_ms,
+            per_disk_fragments,
+        }
+    }
+
+    /// Builds a profile with heterogeneous per-fragment times.
+    pub fn build_weighted(allocation: &Allocation, accessed: &[(usize, f64)]) -> Self {
+        let disks = allocation.num_disks() as usize;
+        let mut per_disk_ms = vec![0.0; disks];
+        let mut per_disk_fragments = vec![0u32; disks];
+        for &(f, ms) in accessed {
+            let d = allocation.disk_of(f) as usize;
+            per_disk_ms[d] += ms;
+            per_disk_fragments[d] += 1;
+        }
+        Self {
+            per_disk_ms,
+            per_disk_fragments,
+        }
+    }
+
+    /// Total device busy time.
+    pub fn total_ms(&self) -> f64 {
+        self.per_disk_ms.iter().sum()
+    }
+
+    /// The busiest disk's time — the pure I/O response-time bound.
+    pub fn max_ms(&self) -> f64 {
+        self.per_disk_ms.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of disks that serve at least one fragment.
+    pub fn disks_hit(&self) -> u32 {
+        self.per_disk_fragments.iter().filter(|&&c| c > 0).count() as u32
+    }
+}
+
+/// Exact response time of a profiled query: the busiest disk bounds I/O
+/// parallelism, total work over `processors` bounds processing
+/// parallelism, and the architecture `overhead` scales the result — same
+/// composition as the prediction layer's estimate, but on the real
+/// placement.
+pub fn profile_response_ms(profile: &DiskAccessProfile, processors: u32, overhead: f64) -> f64 {
+    let rt_io = profile.max_ms();
+    let rt_proc = profile.total_ms() / f64::from(processors.max(1));
+    rt_io.max(rt_proc) * overhead.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round_robin;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn profile_counts_and_times() {
+        let alloc = round_robin(vec![1; 8], 4);
+        // Access fragments 0..4 → one per disk.
+        let p = DiskAccessProfile::build(&alloc, &[0, 1, 2, 3], 10.0);
+        assert_eq!(p.per_disk_fragments, vec![1, 1, 1, 1]);
+        assert_close(p.total_ms(), 40.0, 1e-12);
+        assert_close(p.max_ms(), 10.0, 1e-12);
+        assert_eq!(p.disks_hit(), 4);
+    }
+
+    #[test]
+    fn contiguous_access_parallelizes_fully() {
+        let alloc = round_robin(vec![1; 24], 8);
+        let accessed: Vec<usize> = (0..16).collect();
+        let p = DiskAccessProfile::build(&alloc, &accessed, 5.0);
+        // 16 fragments round-robin over 8 disks → 2 each.
+        assert_eq!(p.disks_hit(), 8);
+        assert_close(p.max_ms(), 10.0, 1e-12);
+        assert_close(profile_response_ms(&p, 8, 1.0), 10.0, 1e-12);
+    }
+
+    #[test]
+    fn strided_access_can_collide() {
+        // Stride equal to the disk count lands every fragment on one disk —
+        // the pathological clustering round-robin cannot fix.
+        let alloc = round_robin(vec![1; 32], 4);
+        let accessed: Vec<usize> = (0..32).step_by(4).collect();
+        let p = DiskAccessProfile::build(&alloc, &accessed, 5.0);
+        assert_eq!(p.disks_hit(), 1);
+        assert_close(p.max_ms(), 40.0, 1e-12);
+    }
+
+    #[test]
+    fn processor_cap_applies() {
+        let alloc = round_robin(vec![1; 8], 8);
+        let p = DiskAccessProfile::build(&alloc, &[0, 1, 2, 3, 4, 5, 6, 7], 10.0);
+        // 8 disks hit but 2 processors: 80/2 = 40 ms.
+        assert_close(profile_response_ms(&p, 2, 1.0), 40.0, 1e-12);
+        assert_close(profile_response_ms(&p, 8, 1.0), 10.0, 1e-12);
+        assert_close(profile_response_ms(&p, 8, 1.05), 10.5, 1e-12);
+    }
+
+    #[test]
+    fn weighted_profile() {
+        let alloc = round_robin(vec![1; 4], 2);
+        let p = DiskAccessProfile::build_weighted(&alloc, &[(0, 10.0), (1, 20.0), (2, 5.0)]);
+        assert_close(p.per_disk_ms[0], 15.0, 1e-12);
+        assert_close(p.per_disk_ms[1], 20.0, 1e-12);
+        assert_eq!(p.per_disk_fragments, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_access_is_free() {
+        let alloc = round_robin(vec![1; 4], 2);
+        let p = DiskAccessProfile::build(&alloc, &[], 10.0);
+        assert_eq!(p.total_ms(), 0.0);
+        assert_eq!(p.disks_hit(), 0);
+        assert_eq!(profile_response_ms(&p, 4, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion: the full advisor pipeline and its pieces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use warlock::AdvisorConfig;
+use warlock_bench::Fixture;
+use warlock_fragment::Fragmentation;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let f = Fixture::demo();
+    c.bench_function("advisor/full_run_168_candidates", |b| {
+        let advisor = f.advisor();
+        b.iter(|| black_box(advisor.run()))
+    });
+}
+
+fn bench_single_candidate(c: &mut Criterion) {
+    let f = Fixture::demo();
+    let advisor = f.advisor();
+    let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap();
+    c.bench_function("advisor/evaluate_one_candidate", |b| {
+        b.iter(|| black_box(advisor.evaluate(black_box(&frag))))
+    });
+}
+
+fn bench_analysis_and_plan(c: &mut Criterion) {
+    let f = Fixture::demo();
+    let advisor = f.advisor();
+    let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap();
+    c.bench_function("advisor/analyze_candidate", |b| {
+        b.iter(|| black_box(advisor.analyze(black_box(&frag))))
+    });
+    c.bench_function("advisor/plan_allocation_360_fragments", |b| {
+        b.iter(|| black_box(advisor.plan_allocation(black_box(&frag))))
+    });
+}
+
+fn bench_shallow_run(c: &mut Criterion) {
+    let f = Fixture::demo();
+    c.bench_function("advisor/run_1d_only_13_candidates", |b| {
+        let config = AdvisorConfig {
+            max_dimensionality: 1,
+            ..Default::default()
+        };
+        let advisor = f.advisor_with(config);
+        b.iter(|| black_box(advisor.run()))
+    });
+}
+
+
+/// Bounded-runtime criterion config: benchmark sweeps stay meaningful but
+/// `cargo bench --workspace` completes in minutes, not hours.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_full_pipeline, bench_single_candidate, bench_analysis_and_plan, bench_shallow_run
+}
+criterion_main!(benches);

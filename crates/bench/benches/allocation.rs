@@ -1,0 +1,63 @@
+//! Criterion: allocation schemes at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use warlock_alloc::{greedy_by_size, round_robin, DiskAccessProfile};
+
+fn sizes(n: usize) -> Vec<u64> {
+    // Zipf-flavoured sizes, deterministic.
+    (0..n).map(|i| 1_000_000 / (i as u64 + 1) + 512).collect()
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocation");
+    for n in [1_000usize, 10_000, 100_000] {
+        let input = sizes(n);
+        g.bench_with_input(BenchmarkId::new("round_robin", n), &input, |b, input| {
+            b.iter(|| black_box(round_robin(input.clone(), 64)))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_by_size", n), &input, |b, input| {
+            b.iter(|| black_box(greedy_by_size(input.clone(), 64)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_profiles(c: &mut Criterion) {
+    let allocation = round_robin(sizes(100_000), 64);
+    let accessed: Vec<usize> = (0..100_000).step_by(3).collect();
+    c.bench_function("allocation/profile_33k_accesses", |b| {
+        b.iter(|| {
+            black_box(DiskAccessProfile::build(
+                black_box(&allocation),
+                black_box(&accessed),
+                5.0,
+            ))
+        })
+    });
+}
+
+fn bench_occupancy(c: &mut Criterion) {
+    let allocation = greedy_by_size(sizes(100_000), 64);
+    c.bench_function("allocation/occupancy_stats_100k", |b| {
+        b.iter(|| black_box(allocation.occupancy_stats()))
+    });
+}
+
+
+/// Bounded-runtime criterion config: benchmark sweeps stay meaningful but
+/// `cargo bench --workspace` completes in minutes, not hours.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_schemes, bench_profiles, bench_occupancy
+}
+criterion_main!(benches);

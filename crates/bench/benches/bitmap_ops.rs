@@ -1,0 +1,116 @@
+//! Criterion: bitmap substrate throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use warlock_bitmap::{BitVec, EncodedBitmapIndex, RleBitmap, StandardBitmapIndex};
+use warlock_schema::{Dimension, LevelId};
+
+const BITS: usize = 1 << 20;
+
+fn sparse_vec(stride: usize) -> BitVec {
+    BitVec::from_indices(BITS, (0..BITS).step_by(stride))
+}
+
+fn bench_bitvec_ops(c: &mut Criterion) {
+    let a = sparse_vec(3);
+    let b = sparse_vec(7);
+    let mut g = c.benchmark_group("bitvec");
+    g.throughput(Throughput::Bytes((BITS / 8) as u64));
+    g.bench_function("and_1m_bits", |bch| {
+        bch.iter(|| black_box(black_box(&a).and(black_box(&b))))
+    });
+    g.bench_function("or_1m_bits", |bch| {
+        bch.iter(|| black_box(black_box(&a).or(black_box(&b))))
+    });
+    g.bench_function("count_ones_1m_bits", |bch| {
+        bch.iter(|| black_box(black_box(&a).count_ones()))
+    });
+    g.bench_function("iter_ones_1m_bits_stride3", |bch| {
+        bch.iter(|| black_box(black_box(&a).iter_ones().sum::<usize>()))
+    });
+    g.finish();
+}
+
+fn bench_rle(c: &mut Criterion) {
+    let sparse = sparse_vec(1000);
+    let compressed = RleBitmap::compress(&sparse);
+    let other = RleBitmap::compress(&sparse_vec(777));
+    let mut g = c.benchmark_group("rle");
+    g.throughput(Throughput::Bytes((BITS / 8) as u64));
+    g.bench_function("compress_sparse_1m_bits", |bch| {
+        bch.iter(|| black_box(RleBitmap::compress(black_box(&sparse))))
+    });
+    g.bench_function("decompress_1m_bits", |bch| {
+        bch.iter(|| black_box(black_box(&compressed).decompress()))
+    });
+    g.bench_function("and_merge_1m_bits", |bch| {
+        bch.iter(|| black_box(black_box(&compressed).and(black_box(&other))))
+    });
+    g.finish();
+}
+
+fn column(rows: usize, card: u64) -> Vec<u64> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..rows)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % card
+        })
+        .collect()
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let dim = Dimension::builder("product")
+        .level("division", 5)
+        .level("line", 15)
+        .level("family", 75)
+        .level("group", 300)
+        .level("class", 900)
+        .level("code", 9000)
+        .build()
+        .unwrap();
+    let rows = 100_000;
+    let col = column(rows, 9000);
+    let class_col: Vec<u64> = col.iter().map(|&v| v / 10).collect();
+
+    let mut g = c.benchmark_group("index");
+    g.bench_function("standard_build_900values_100k_rows", |bch| {
+        bch.iter(|| black_box(StandardBitmapIndex::build(900, black_box(&class_col))))
+    });
+    g.bench_function("encoded_build_16slices_100k_rows", |bch| {
+        bch.iter(|| black_box(EncodedBitmapIndex::build(&dim, black_box(&col))))
+    });
+
+    let standard = StandardBitmapIndex::build(900, &class_col);
+    let encoded = EncodedBitmapIndex::build(&dim, &col);
+    g.bench_function("standard_point_query", |bch| {
+        bch.iter(|| black_box(standard.query(black_box(&[450]))))
+    });
+    g.bench_function("encoded_point_query_class_level", |bch| {
+        bch.iter(|| black_box(encoded.query_level(LevelId(4), black_box(450))))
+    });
+    g.bench_function("encoded_point_query_division_level", |bch| {
+        bch.iter(|| black_box(encoded.query_level(LevelId(0), black_box(3))))
+    });
+    g.finish();
+}
+
+
+/// Bounded-runtime criterion config: benchmark sweeps stay meaningful but
+/// `cargo bench --workspace` completes in minutes, not hours.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_bitvec_ops, bench_rle, bench_indexes
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion: analytical cost-model primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use warlock_bench::Fixture;
+use warlock_cost::access::estimate_query;
+use warlock_cost::{cardenas_page_hits, yao_page_hits};
+use warlock_fragment::{FragmentLayout, Fragmentation, QueryMatch};
+
+fn bench_yao(c: &mut Criterion) {
+    c.bench_function("cost/yao_exact_5000_pages", |b| {
+        b.iter(|| black_box(yao_page_hits(black_box(730_000), black_box(5000), black_box(8100.0))))
+    });
+    c.bench_function("cost/cardenas_5000_pages", |b| {
+        b.iter(|| black_box(cardenas_page_hits(black_box(5000), black_box(8100.0))))
+    });
+}
+
+fn bench_query_estimate(c: &mut Criterion) {
+    let f = Fixture::demo();
+    let layout = FragmentLayout::new(
+        &f.schema,
+        Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap(),
+        0,
+    );
+    let class = f.mix.classes()[2].class.clone(); // q03_quarter_group
+    c.bench_function("cost/estimate_one_query", |b| {
+        b.iter(|| {
+            black_box(estimate_query(
+                &f.schema,
+                &layout,
+                &f.scheme,
+                &f.system,
+                black_box(&class),
+                0,
+            ))
+        })
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let f = Fixture::demo();
+    let frag = Fragmentation::from_pairs(&[(0, 4), (2, 2)]).unwrap();
+    let class = f.mix.classes()[0].class.clone();
+    c.bench_function("cost/query_match_evaluate", |b| {
+        b.iter(|| black_box(QueryMatch::evaluate(&f.schema, black_box(&frag), black_box(&class))))
+    });
+}
+
+
+/// Bounded-runtime criterion config: benchmark sweeps stay meaningful but
+/// `cargo bench --workspace` completes in minutes, not hours.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_yao, bench_query_estimate, bench_matching
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion: event-driven simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use warlock_bench::SmallFixture;
+use warlock_fragment::{FragmentLayout, Fragmentation, SkewModelExt};
+use warlock_sim::{run_closed, DiskSimulator, SyntheticFact};
+
+fn bench_open_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    let requests_per_query = 16usize;
+    let queries = 1000usize;
+    g.throughput(Throughput::Elements((requests_per_query * queries) as u64));
+    g.bench_function("open_16k_requests", |b| {
+        b.iter(|| {
+            let mut sim = DiskSimulator::new(16);
+            for q in 0..queries {
+                let reqs: Vec<(u32, f64)> = (0..requests_per_query)
+                    .map(|i| (((q + i) % 16) as u32, 5.0))
+                    .collect();
+                sim.submit(q as f64 * 2.0, reqs);
+            }
+            black_box(sim.run())
+        })
+    });
+    g.finish();
+}
+
+fn bench_closed_simulation(c: &mut Criterion) {
+    let streams: Vec<Vec<Vec<(u32, f64)>>> = (0..8)
+        .map(|s| {
+            (0..50)
+                .map(|q| {
+                    (0..12)
+                        .map(|i| (((s + q + i) % 16) as u32, 4.0))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    c.bench_function("sim/closed_8x50_queries", |b| {
+        b.iter(|| black_box(run_closed(16, black_box(&streams))))
+    });
+}
+
+fn bench_datagen_and_routing(c: &mut Criterion) {
+    let f = SmallFixture::new();
+    let skew = f.schema.uniform_skew_model();
+    c.bench_function("sim/generate_100k_rows", |b| {
+        b.iter(|| black_box(SyntheticFact::generate(&f.schema, &skew, 100_000, 3)))
+    });
+    let data = SyntheticFact::generate(&f.schema, &skew, 100_000, 3);
+    let layout = FragmentLayout::new(
+        &f.schema,
+        Fragmentation::from_pairs(&[(0, 1), (1, 1)]).unwrap(),
+        0,
+    );
+    c.bench_function("sim/route_100k_rows_384_fragments", |b| {
+        b.iter(|| {
+            black_box(warlock_sim::MaterializedWarehouse::build(
+                &f.schema,
+                &layout,
+                black_box(&data),
+            ))
+        })
+    });
+}
+
+
+/// Bounded-runtime criterion config: benchmark sweeps stay meaningful but
+/// `cargo bench --workspace` completes in minutes, not hours.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_open_simulation, bench_closed_simulation, bench_datagen_and_routing
+}
+criterion_main!(benches);

@@ -1,0 +1,317 @@
+//! Uncompressed fixed-length bit vectors.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length, heap-allocated bit vector.
+///
+/// Backed by `u64` words; trailing bits of the last word beyond `len` are
+/// kept zero as an invariant so popcounts and comparisons never need
+/// masking.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates an all-one vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self {
+            len,
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a vector of `len` bits with the given positions set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut v = Self::zeros(len);
+        for i in indices {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words (tail bits beyond `len` are zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstructs a vector from raw words, masking the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than `len` requires.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert!(
+            words.len() == len.div_ceil(WORD_BITS),
+            "word count {} does not match length {len}",
+            words.len()
+        );
+        let mut v = Self { len, words };
+        v.mask_tail();
+        v
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place AND with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in AND");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place OR with `other`.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in OR");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place XOR with `other`.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in XOR");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place AND with the complement of `other` (`self &= !other`).
+    pub fn and_not_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in AND-NOT");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place complement.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Returns `self & other` without mutating either.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.and_assign(other);
+        out
+    }
+
+    /// Returns `self | other` without mutating either.
+    pub fn or(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+
+    /// Returns the complement.
+    pub fn not(&self) -> BitVec {
+        let mut out = self.clone();
+        out.not_assign();
+        out
+    }
+
+    /// Iterates over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * WORD_BITS + bit)
+            })
+        })
+    }
+
+    /// Storage footprint of the payload, in bytes (`ceil(len / 8)` as
+    /// stored on disk; the in-memory word padding is not counted).
+    #[inline]
+    pub fn payload_bytes(&self) -> usize {
+        self.len.div_ceil(8)
+    }
+
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % WORD_BITS;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[len={}, ones={}]", self.len, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitVec::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        // Tail invariant: words beyond len are zero.
+        assert_eq!(o.words()[2] >> 2, 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(100);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(99, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(99));
+        assert!(!v.get(1) && !v.get(65));
+        assert_eq!(v.count_ones(), 4);
+        v.set(63, false);
+        assert!(!v.get(63));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(10);
+        let _ = v.get(10);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = BitVec::from_indices(10, [0, 1, 2, 3]);
+        let b = BitVec::from_indices(10, [2, 3, 4, 5]);
+        assert_eq!(a.and(&b), BitVec::from_indices(10, [2, 3]));
+        assert_eq!(a.or(&b), BitVec::from_indices(10, [0, 1, 2, 3, 4, 5]));
+        let mut x = a.clone();
+        x.xor_assign(&b);
+        assert_eq!(x, BitVec::from_indices(10, [0, 1, 4, 5]));
+        let mut y = a.clone();
+        y.and_not_assign(&b);
+        assert_eq!(y, BitVec::from_indices(10, [0, 1]));
+    }
+
+    #[test]
+    fn complement_respects_tail() {
+        let a = BitVec::from_indices(70, [0, 69]);
+        let n = a.not();
+        assert_eq!(n.count_ones(), 68);
+        assert!(!n.get(0) && !n.get(69) && n.get(1));
+        // Double complement is identity.
+        assert_eq!(n.not(), a);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let v = BitVec::from_indices(200, [5, 0, 64, 199, 63]);
+        let ones: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(ones, vec![0, 5, 63, 64, 199]);
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let v = BitVec::from_words(4, vec![u64::MAX]);
+        assert_eq!(v.count_ones(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count")]
+    fn from_words_checks_arity() {
+        let _ = BitVec::from_words(65, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_checks_length() {
+        let mut a = BitVec::zeros(10);
+        let b = BitVec::zeros(11);
+        a.and_assign(&b);
+    }
+
+    #[test]
+    fn payload_bytes() {
+        assert_eq!(BitVec::zeros(0).payload_bytes(), 0);
+        assert_eq!(BitVec::zeros(1).payload_bytes(), 1);
+        assert_eq!(BitVec::zeros(8).payload_bytes(), 1);
+        assert_eq!(BitVec::zeros(9).payload_bytes(), 2);
+        assert_eq!(BitVec::zeros(8192 * 8).payload_bytes(), 8192);
+    }
+
+    #[test]
+    fn empty_vector_is_fine() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.iter_ones().count(), 0);
+        assert_eq!(v.not().count_ones(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Analytical size and page-count estimators for bitmap indexes.
+//!
+//! The cost model never materializes bitmaps; it prices them through these
+//! formulas. Bitmap fragmentation exactly follows the fact-table
+//! fragmentation, so all estimators work per fragment: a vector (or slice)
+//! over a fragment of `rows` rows occupies `ceil(rows/8)` payload bytes,
+//! rounded up to whole pages.
+
+use warlock_storage::PageConfig;
+
+/// Pages of one bit vector (or one encoded slice) over a fragment of
+/// `rows` rows. Zero-row fragments hold no pages.
+pub fn vector_pages(rows: u64, page: PageConfig) -> u64 {
+    if rows == 0 {
+        return 0;
+    }
+    page.pages_for_bytes(rows.div_ceil(8))
+}
+
+/// Pages read by a `k`-value predicate through a *standard* index on a
+/// fragment of `rows` rows: `k` vectors.
+pub fn standard_read_pages(rows: u64, k: u64, page: PageConfig) -> u64 {
+    k * vector_pages(rows, page)
+}
+
+/// Pages read by a predicate through an *encoded* index on a fragment of
+/// `rows` rows needing `slices` prefix slices. The AND over slices reads
+/// each slice once regardless of how many values the predicate selects.
+pub fn encoded_read_pages(rows: u64, slices: u32, page: PageConfig) -> u64 {
+    u64::from(slices) * vector_pages(rows, page)
+}
+
+/// Stored pages of a standard index (cardinality `cardinality`) on one
+/// fragment of `rows` rows.
+pub fn standard_stored_pages(rows: u64, cardinality: u64, page: PageConfig) -> u64 {
+    cardinality * vector_pages(rows, page)
+}
+
+/// Stored pages of an encoded index (`total_bits` slices) on one fragment
+/// of `rows` rows.
+pub fn encoded_stored_pages(rows: u64, total_bits: u32, page: PageConfig) -> u64 {
+    u64::from(total_bits) * vector_pages(rows, page)
+}
+
+/// Total stored bitmap pages of a whole scheme over a uniformly fragmented
+/// fact table: per-fragment stored pages times the fragment count.
+///
+/// `vectors_per_row` is [`BitmapScheme::total_vectors_stored`]
+/// (standard cardinalities plus encoded slices over all dimensions).
+///
+/// [`BitmapScheme::total_vectors_stored`]:
+/// crate::BitmapScheme::total_vectors_stored
+pub fn scheme_stored_pages(
+    fragment_rows: u64,
+    num_fragments: u64,
+    vectors_per_row: u64,
+    page: PageConfig,
+) -> u64 {
+    vectors_per_row * vector_pages(fragment_rows, page) * num_fragments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> PageConfig {
+        PageConfig::new(8192)
+    }
+
+    #[test]
+    fn vector_pages_rounding() {
+        // 8192-byte page holds 65536 bits.
+        assert_eq!(vector_pages(0, page()), 0);
+        assert_eq!(vector_pages(1, page()), 1);
+        assert_eq!(vector_pages(65536, page()), 1);
+        assert_eq!(vector_pages(65537, page()), 2);
+        assert_eq!(vector_pages(1_000_000, page()), 16);
+    }
+
+    #[test]
+    fn standard_reads_scale_with_values() {
+        assert_eq!(standard_read_pages(1_000_000, 1, page()), 16);
+        assert_eq!(standard_read_pages(1_000_000, 3, page()), 48);
+        assert_eq!(standard_read_pages(0, 3, page()), 0);
+    }
+
+    #[test]
+    fn encoded_reads_scale_with_slices() {
+        assert_eq!(encoded_read_pages(1_000_000, 12, page()), 12 * 16);
+        assert_eq!(encoded_read_pages(1_000_000, 0, page()), 0);
+    }
+
+    #[test]
+    fn encoded_beats_standard_on_high_cardinality() {
+        // The core trade-off: storing a 900-value standard index vs a
+        // 16-slice encoded index.
+        let rows = 100_000;
+        let std = standard_stored_pages(rows, 900, page());
+        let enc = encoded_stored_pages(rows, 16, page());
+        assert!(enc * 50 < std);
+    }
+
+    #[test]
+    fn standard_beats_encoded_on_point_reads() {
+        // Reading one value: standard reads 1 vector; encoded reads all
+        // prefix slices.
+        let rows = 100_000;
+        assert!(
+            standard_read_pages(rows, 1, page()) < encoded_read_pages(rows, 12, page())
+        );
+    }
+
+    #[test]
+    fn scheme_totals_multiply() {
+        let per_frag = vector_pages(10_000, page());
+        assert_eq!(
+            scheme_stored_pages(10_000, 24, 111, page()),
+            111 * per_frag * 24
+        );
+    }
+
+    #[test]
+    fn small_fragments_pay_page_rounding() {
+        // 800-row fragments: vector payload is 100 bytes but still one
+        // whole page — the rounding overhead the thresholds guard against.
+        assert_eq!(vector_pages(800, page()), 1);
+        let dense = scheme_stored_pages(800, 21_600, 10, page());
+        let coarse = scheme_stored_pages(800 * 900, 24, 10, page());
+        assert!(dense > coarse);
+    }
+}

@@ -1,0 +1,54 @@
+//! Bitmap join-index substrate for WARLOCK.
+//!
+//! "We support standard bitmaps and encoded bitmaps that work as bitmap
+//! join indexes [O'Neil/Graefe] to avoid costly fact table scans. …
+//! WARLOCK determines a bitmap scheme per fragmentation that encompasses
+//! standard bitmaps on low-cardinal attributes and hierarchically encoded
+//! bitmaps on high-cardinal attributes." (paper, §2/§3.2)
+//!
+//! The crate is a *real* bitmap implementation, not just an estimator:
+//!
+//! * [`BitVec`] — uncompressed fixed-length bit vectors with the boolean
+//!   algebra star queries need,
+//! * [`RleBitmap`] — word-aligned run-length compression (WAH-style) with
+//!   direct merge-based AND/OR,
+//! * [`StandardBitmapIndex`] — one bit vector per attribute value,
+//! * [`EncodedBitmapIndex`] / [`HierarchicalEncoding`] — hierarchically
+//!   encoded bit-sliced indexes where a predicate at level *l* only reads
+//!   the slices of levels coarser or equal to *l*,
+//! * [`BitmapScheme`] — the per-fragmentation index selection rule, and
+//! * [`estimate`] — the page/byte formulas the analytical cost model uses.
+//!
+//! Bitmap fragmentation exactly follows the fact-table fragmentation: each
+//! fragment carries its own (short) vectors so indicator bits stay aligned
+//! with the fragment's rows. The substrate operates per fragment; sizes
+//! and page counts reported by [`estimate`] are per fragment too.
+
+//!
+//! # Example
+//!
+//! ```
+//! use warlock_bitmap::{StandardBitmapIndex, BitVec};
+//!
+//! // A fragment with 6 rows over a 3-value attribute.
+//! let index = StandardBitmapIndex::build(3, &[0, 1, 2, 1, 0, 2]);
+//! let hits: BitVec = index.query(&[0, 2]);
+//! assert_eq!(hits.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4, 5]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bitvec;
+mod encoded;
+pub mod estimate;
+mod rle;
+mod scheme;
+mod selection;
+mod standard;
+
+pub use bitvec::BitVec;
+pub use encoded::{EncodedBitmapIndex, HierarchicalEncoding};
+pub use rle::RleBitmap;
+pub use scheme::{BitmapScheme, DimensionScheme, IndexKind, SchemeConfig};
+pub use selection::{Conjunct, FragmentIndexes, Selection};
+pub use standard::StandardBitmapIndex;

@@ -1,0 +1,290 @@
+//! Word-aligned run-length compressed bitmaps (WAH-style).
+//!
+//! Bitmap join indexes over selective attributes are dominated by long
+//! zero runs; word-aligned RLE keeps them compact while still supporting
+//! fast merge-based boolean operations. The compressed form is a sequence
+//! of [`Run`]s over 64-bit words: *fill* runs of repeated all-zero or
+//! all-one words and *literal* single words.
+
+use crate::BitVec;
+
+/// One run of a compressed bitmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Run {
+    /// `count` repetitions of an all-zero or all-one word.
+    Fill {
+        /// The repeated bit value.
+        bit: bool,
+        /// Number of repeated 64-bit words (≥ 1).
+        count: u64,
+    },
+    /// One verbatim mixed word.
+    Literal(u64),
+}
+
+/// A word-aligned RLE-compressed bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RleBitmap {
+    /// Bit length of the uncompressed vector.
+    len: usize,
+    runs: Vec<Run>,
+}
+
+impl RleBitmap {
+    /// Compresses an uncompressed vector.
+    pub fn compress(v: &BitVec) -> Self {
+        let mut runs: Vec<Run> = Vec::new();
+        for &word in v.words() {
+            let new = match word {
+                0 => Run::Fill {
+                    bit: false,
+                    count: 1,
+                },
+                u64::MAX => Run::Fill {
+                    bit: true,
+                    count: 1,
+                },
+                w => Run::Literal(w),
+            };
+            match (runs.last_mut(), new) {
+                (
+                    Some(Run::Fill { bit, count }),
+                    Run::Fill {
+                        bit: nbit,
+                        count: 1,
+                    },
+                ) if *bit == nbit => *count += 1,
+                _ => runs.push(new),
+            }
+        }
+        Self { len: v.len(), runs }
+    }
+
+    /// Decompresses back into an uncompressed vector.
+    pub fn decompress(&self) -> BitVec {
+        let mut words = Vec::with_capacity(self.len.div_ceil(64));
+        for run in &self.runs {
+            match *run {
+                Run::Fill { bit, count } => {
+                    let w = if bit { u64::MAX } else { 0 };
+                    words.extend(std::iter::repeat_n(w, count as usize));
+                }
+                Run::Literal(w) => words.push(w),
+            }
+        }
+        BitVec::from_words(self.len, words)
+    }
+
+    /// Bit length of the uncompressed form.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The runs.
+    #[inline]
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Number of set bits, computed without decompression.
+    ///
+    /// The tail invariant of [`BitVec`] guarantees bits beyond `len` are
+    /// zero in literals; a trailing one-fill is clipped to `len`.
+    pub fn count_ones(&self) -> usize {
+        let mut ones = 0usize;
+        let mut bit_pos = 0usize;
+        for run in &self.runs {
+            match *run {
+                Run::Fill { bit, count } => {
+                    let bits = (count as usize) * 64;
+                    if bit {
+                        let effective = bits.min(self.len - bit_pos);
+                        ones += effective;
+                    }
+                    bit_pos += bits;
+                }
+                Run::Literal(w) => {
+                    ones += w.count_ones() as usize;
+                    bit_pos += 64;
+                }
+            }
+        }
+        ones
+    }
+
+    /// Compressed payload size in bytes: 8 bytes of header (a run header
+    /// word) per run. A rough but monotone model of on-disk size.
+    pub fn payload_bytes(&self) -> usize {
+        self.runs.len() * 8
+    }
+
+    /// Merge-based AND of two compressed bitmaps of equal length, without
+    /// full decompression.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and(&self, other: &RleBitmap) -> RleBitmap {
+        self.merge(other, |a, b| a & b)
+    }
+
+    /// Merge-based OR of two compressed bitmaps of equal length.
+    pub fn or(&self, other: &RleBitmap) -> RleBitmap {
+        self.merge(other, |a, b| a | b)
+    }
+
+    fn merge(&self, other: &RleBitmap, op: impl Fn(u64, u64) -> u64) -> RleBitmap {
+        assert_eq!(self.len, other.len, "length mismatch in RLE merge");
+        let mut out_words: Vec<u64> = Vec::new();
+        let mut a = RunCursor::new(&self.runs);
+        let mut b = RunCursor::new(&other.runs);
+        let total_words = self.len.div_ceil(64);
+        for _ in 0..total_words {
+            let wa = a.next_word();
+            let wb = b.next_word();
+            out_words.push(op(wa, wb));
+        }
+        // Re-compress the merged words.
+        RleBitmap::compress(&BitVec::from_words(self.len, out_words))
+    }
+}
+
+/// Streams the words of a run sequence.
+struct RunCursor<'a> {
+    runs: &'a [Run],
+    run_index: usize,
+    within: u64,
+}
+
+impl<'a> RunCursor<'a> {
+    fn new(runs: &'a [Run]) -> Self {
+        Self {
+            runs,
+            run_index: 0,
+            within: 0,
+        }
+    }
+
+    fn next_word(&mut self) -> u64 {
+        let run = self.runs[self.run_index];
+        let (word, run_len) = match run {
+            Run::Fill { bit, count } => (if bit { u64::MAX } else { 0 }, count),
+            Run::Literal(w) => (w, 1),
+        };
+        self.within += 1;
+        if self.within == run_len {
+            self.run_index += 1;
+            self.within = 0;
+        }
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sparse() {
+        let v = BitVec::from_indices(1000, [0, 500, 999]);
+        let c = RleBitmap::compress(&v);
+        assert_eq!(c.decompress(), v);
+        assert_eq!(c.count_ones(), 3);
+        assert_eq!(c.len(), 1000);
+    }
+
+    #[test]
+    fn roundtrip_dense() {
+        let v = BitVec::ones(777);
+        let c = RleBitmap::compress(&v);
+        assert_eq!(c.decompress(), v);
+        assert_eq!(c.count_ones(), 777);
+    }
+
+    #[test]
+    fn compression_wins_on_long_runs() {
+        let sparse = BitVec::from_indices(64 * 1024, [8, 60000]);
+        let c = RleBitmap::compress(&sparse);
+        assert!(c.payload_bytes() < sparse.payload_bytes() / 10);
+    }
+
+    #[test]
+    fn compression_degrades_gracefully_on_random_data() {
+        // Alternating bits defeat RLE: every word is a literal.
+        let mut v = BitVec::zeros(64 * 100);
+        for i in (0..v.len()).step_by(2) {
+            v.set(i, true);
+        }
+        let c = RleBitmap::compress(&v);
+        assert_eq!(c.runs().len(), 100);
+        assert_eq!(c.decompress(), v);
+    }
+
+    #[test]
+    fn fill_runs_coalesce() {
+        let v = BitVec::zeros(64 * 50);
+        let c = RleBitmap::compress(&v);
+        assert_eq!(
+            c.runs(),
+            &[Run::Fill {
+                bit: false,
+                count: 50
+            }]
+        );
+    }
+
+    #[test]
+    fn and_or_match_uncompressed_reference() {
+        let a = BitVec::from_indices(300, [0, 1, 64, 65, 128, 290]);
+        let b = BitVec::from_indices(300, [1, 65, 100, 290, 299]);
+        let ca = RleBitmap::compress(&a);
+        let cb = RleBitmap::compress(&b);
+        assert_eq!(ca.and(&cb).decompress(), a.and(&b));
+        assert_eq!(ca.or(&cb).decompress(), a.or(&b));
+    }
+
+    #[test]
+    fn and_with_ones_and_zeros() {
+        let a = BitVec::from_indices(200, [3, 77, 199]);
+        let ones = RleBitmap::compress(&BitVec::ones(200));
+        let zeros = RleBitmap::compress(&BitVec::zeros(200));
+        let ca = RleBitmap::compress(&a);
+        assert_eq!(ca.and(&ones).decompress(), a);
+        assert_eq!(ca.and(&zeros).count_ones(), 0);
+        assert_eq!(ca.or(&zeros).decompress(), a);
+        assert_eq!(ca.or(&ones).count_ones(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn merge_checks_length() {
+        let a = RleBitmap::compress(&BitVec::zeros(64));
+        let b = RleBitmap::compress(&BitVec::zeros(128));
+        let _ = a.and(&b);
+    }
+
+    #[test]
+    fn count_ones_clips_trailing_one_fill() {
+        // 70 bits of ones: one full word fill + literal tail. Compression
+        // masks the tail, but a synthetic all-ones fill must clip at len.
+        let v = BitVec::ones(70);
+        let c = RleBitmap::compress(&v);
+        assert_eq!(c.count_ones(), 70);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let v = BitVec::zeros(0);
+        let c = RleBitmap::compress(&v);
+        assert!(c.is_empty());
+        assert_eq!(c.count_ones(), 0);
+        assert_eq!(c.decompress(), v);
+    }
+}

@@ -1,0 +1,147 @@
+//! Standard (one-vector-per-value) bitmap indexes.
+
+use crate::BitVec;
+
+/// A standard bitmap index over one attribute of one fragment: one bit
+/// vector per attribute value, each as long as the fragment's row count.
+///
+/// Used for low-cardinality attributes, where the `cardinality × rows` bit
+/// cost stays acceptable and single-value predicates read exactly one
+/// vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardBitmapIndex {
+    cardinality: u64,
+    rows: usize,
+    vectors: Vec<BitVec>,
+}
+
+impl StandardBitmapIndex {
+    /// Builds the index from a column of value ordinals (`0..cardinality`),
+    /// one per fragment row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value ordinal is out of range or `cardinality == 0`.
+    pub fn build(cardinality: u64, column: &[u64]) -> Self {
+        assert!(cardinality > 0, "cardinality must be positive");
+        let rows = column.len();
+        let mut vectors = vec![BitVec::zeros(rows); cardinality as usize];
+        for (row, &value) in column.iter().enumerate() {
+            assert!(
+                value < cardinality,
+                "value {value} out of cardinality {cardinality}"
+            );
+            vectors[value as usize].set(row, true);
+        }
+        Self {
+            cardinality,
+            rows,
+            vectors,
+        }
+    }
+
+    /// Attribute cardinality (number of vectors).
+    #[inline]
+    pub fn cardinality(&self) -> u64 {
+        self.cardinality
+    }
+
+    /// Fragment row count (vector length).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The indicator vector of one value.
+    #[inline]
+    pub fn bitmap_for(&self, value: u64) -> &BitVec {
+        &self.vectors[value as usize]
+    }
+
+    /// Evaluates an IN-list predicate: OR of the selected values' vectors.
+    pub fn query(&self, values: &[u64]) -> BitVec {
+        let mut out = BitVec::zeros(self.rows);
+        for &v in values {
+            out.or_assign(self.bitmap_for(v));
+        }
+        out
+    }
+
+    /// Total payload bytes of all vectors (uncompressed on-disk size).
+    pub fn payload_bytes(&self) -> usize {
+        self.vectors.iter().map(BitVec::payload_bytes).sum()
+    }
+
+    /// Number of vectors a `k`-value predicate must read.
+    #[inline]
+    pub fn vectors_read(&self, k: u64) -> u64 {
+        k.min(self.cardinality)
+    }
+
+    /// Consistency check: every row is set in exactly one vector.
+    pub fn check_partition(&self) -> bool {
+        let mut seen = BitVec::zeros(self.rows);
+        let mut total = 0usize;
+        for v in &self.vectors {
+            total += v.count_ones();
+            seen.or_assign(v);
+        }
+        total == self.rows && seen.count_ones() == self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_partitions() {
+        let column = vec![0, 1, 2, 1, 0, 2, 2];
+        let idx = StandardBitmapIndex::build(3, &column);
+        assert_eq!(idx.cardinality(), 3);
+        assert_eq!(idx.rows(), 7);
+        assert!(idx.check_partition());
+        assert_eq!(idx.bitmap_for(0).iter_ones().collect::<Vec<_>>(), [0, 4]);
+        assert_eq!(idx.bitmap_for(2).count_ones(), 3);
+    }
+
+    #[test]
+    fn query_or_combines_values() {
+        let column = vec![0, 1, 2, 1, 0, 2, 2];
+        let idx = StandardBitmapIndex::build(3, &column);
+        let r = idx.query(&[0, 1]);
+        assert_eq!(r.iter_ones().collect::<Vec<_>>(), [0, 1, 3, 4]);
+        assert_eq!(idx.query(&[]).count_ones(), 0);
+        assert_eq!(idx.query(&[0, 1, 2]).count_ones(), 7);
+    }
+
+    #[test]
+    fn payload_scales_with_cardinality() {
+        let column: Vec<u64> = (0..1000).map(|i| i % 4).collect();
+        let idx4 = StandardBitmapIndex::build(4, &column);
+        let idx8 = StandardBitmapIndex::build(8, &column);
+        assert_eq!(idx4.payload_bytes(), 4 * 125);
+        assert_eq!(idx8.payload_bytes(), 8 * 125);
+    }
+
+    #[test]
+    fn vectors_read_clamps() {
+        let idx = StandardBitmapIndex::build(4, &[0, 1, 2, 3]);
+        assert_eq!(idx.vectors_read(2), 2);
+        assert_eq!(idx.vectors_read(9), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of cardinality")]
+    fn rejects_out_of_range_values() {
+        let _ = StandardBitmapIndex::build(2, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_fragment() {
+        let idx = StandardBitmapIndex::build(3, &[]);
+        assert_eq!(idx.rows(), 0);
+        assert!(idx.check_partition());
+        assert_eq!(idx.query(&[0, 1, 2]).count_ones(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: the bitmap substrate against brute-force references.
+
+use proptest::prelude::*;
+
+use warlock_bitmap::{
+    BitVec, Conjunct, EncodedBitmapIndex, FragmentIndexes, RleBitmap, Selection,
+    StandardBitmapIndex,
+};
+use warlock_schema::{Dimension, DimensionId, LevelId};
+
+/// A random three-level dimension with integral fan-outs.
+fn arb_dimension() -> impl Strategy<Value = Dimension> {
+    (2u64..5, 2u64..5, 2u64..6).prop_map(|(f0, f1, f2)| {
+        Dimension::builder("d")
+            .level("a", f0)
+            .level("b", f0 * f1)
+            .level("c", f0 * f1 * f2)
+            .build()
+            .expect("integral fan-outs")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encoded_equals_standard_on_random_dimensions(
+        dim in arb_dimension(),
+        seed in 0u64..1_000_000,
+        rows in 1usize..600,
+    ) {
+        let bottom = dim.bottom().cardinality();
+        let mut state = seed | 1;
+        let column: Vec<u64> = (0..rows)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+                (state >> 33) % bottom
+            })
+            .collect();
+        let encoded = EncodedBitmapIndex::build(&dim, &column);
+        for level in 0..dim.depth() {
+            let card = dim.levels()[level].cardinality();
+            let per = bottom / card;
+            let ancestor: Vec<u64> = column.iter().map(|&m| m / per).collect();
+            let standard = StandardBitmapIndex::build(card, &ancestor);
+            // Probe a few members, always including the edges.
+            for member in [0, card / 2, card - 1] {
+                let a = encoded.query_level(LevelId(level as u16), member);
+                let b = standard.bitmap_for(member);
+                prop_assert_eq!(&a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn rle_merge_equals_uncompressed_ops(
+        words_a in proptest::collection::vec(any::<u64>(), 1..40),
+        words_b_seed in any::<u64>(),
+    ) {
+        let len = words_a.len() * 64;
+        let a = BitVec::from_words(len, words_a.clone());
+        // Derive b from a deterministically so lengths match.
+        let words_b: Vec<u64> = words_a
+            .iter()
+            .map(|w| w.rotate_left((words_b_seed % 63) as u32) ^ words_b_seed)
+            .collect();
+        let b = BitVec::from_words(len, words_b);
+        let ca = RleBitmap::compress(&a);
+        let cb = RleBitmap::compress(&b);
+        prop_assert_eq!(ca.and(&cb).decompress(), a.and(&b));
+        prop_assert_eq!(ca.or(&cb).decompress(), a.or(&b));
+        prop_assert_eq!(ca.count_ones(), a.count_ones());
+    }
+
+    #[test]
+    fn fragment_indexes_match_row_filter(
+        dim in arb_dimension(),
+        seed in 0u64..1_000_000,
+        rows in 1usize..400,
+        member_seed in 0u64..97,
+    ) {
+        let bottom = dim.bottom().cardinality();
+        let mut state = seed | 1;
+        let column: Vec<u64> = (0..rows)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                (state >> 33) % bottom
+            })
+            .collect();
+        let bundle = FragmentIndexes::new(rows, 1).with_encoded(DimensionId(0), &dim, &column);
+        // Random level + member.
+        let level = (member_seed % 3) as usize;
+        let card = dim.levels()[level].cardinality();
+        let member = member_seed % card;
+        let per = bottom / card;
+        let conjunct = Conjunct {
+            dimension: DimensionId(0),
+            level: LevelId(level as u16),
+            members: vec![member],
+        };
+        match bundle.evaluate(&[conjunct]) {
+            Selection::Exact(v) => {
+                for (row, &m) in column.iter().enumerate() {
+                    prop_assert_eq!(v.get(row), m / per == member);
+                }
+            }
+            Selection::NeedsScan { .. } => prop_assert!(false, "encoded covers all levels"),
+        }
+    }
+
+    #[test]
+    fn bitvec_algebra_laws(
+        indices_a in proptest::collection::btree_set(0usize..512, 0..64),
+        indices_b in proptest::collection::btree_set(0usize..512, 0..64),
+    ) {
+        let a = BitVec::from_indices(512, indices_a.iter().copied());
+        let b = BitVec::from_indices(512, indices_b.iter().copied());
+        // De Morgan.
+        prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        // Absorption.
+        prop_assert_eq!(a.or(&a.and(&b)), a.clone());
+        // Popcount of union = |A| + |B| − |A∩B|.
+        prop_assert_eq!(
+            a.or(&b).count_ones(),
+            a.count_ones() + b.count_ones() - a.and(&b).count_ones()
+        );
+        // iter_ones is exactly the set.
+        let ones: Vec<usize> = a.iter_ones().collect();
+        let expect: Vec<usize> = indices_a.into_iter().collect();
+        prop_assert_eq!(ones, expect);
+    }
+}

@@ -1,0 +1,437 @@
+//! The advisor pipeline: generate → exclude → cost → rank.
+
+use std::fmt;
+
+use warlock_bitmap::BitmapScheme;
+use warlock_cost::{CandidateCost, CostModel};
+use warlock_fragment::{
+    enumerate_candidates, Exclusion, FragmentLayout, Fragmentation, SkewModelExt,
+    ThresholdContext,
+};
+use warlock_schema::StarSchema;
+use warlock_skew::SkewModel;
+use warlock_storage::SystemConfig;
+use warlock_workload::{QueryMix, WorkloadError};
+
+use crate::analysis::FragmentationAnalysis;
+use crate::allocation_plan::AllocationPlan;
+use crate::config::AdvisorConfig;
+use crate::ranking::twofold_rank;
+
+/// Errors raised when assembling an advisor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdvisorError {
+    /// The advisor configuration is inconsistent.
+    Config(String),
+    /// The system configuration is inconsistent.
+    System(String),
+    /// The query mix does not validate against the schema.
+    Workload(WorkloadError),
+    /// The skew configuration does not cover every dimension.
+    Skew(String),
+}
+
+impl fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(msg) => write!(f, "advisor config: {msg}"),
+            Self::System(msg) => write!(f, "system config: {msg}"),
+            Self::Workload(e) => write!(f, "workload: {e}"),
+            Self::Skew(msg) => write!(f, "skew config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {}
+
+/// A candidate excluded by the thresholds, with its reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExcludedCandidate {
+    /// The excluded fragmentation.
+    pub fragmentation: Fragmentation,
+    /// Human-readable candidate label.
+    pub label: String,
+    /// Why it was excluded.
+    pub reason: Exclusion,
+}
+
+/// One recommended fragmentation with its evaluated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCandidate {
+    /// Position in the final ranking (1-based).
+    pub rank: usize,
+    /// Human-readable label, e.g. `product.class × time.month`.
+    pub label: String,
+    /// Full evaluated cost.
+    pub cost: CandidateCost,
+}
+
+/// The advisor's output: the ranked candidate list plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvisorReport {
+    /// Top fragmentations after the twofold ranking, best first.
+    pub ranked: Vec<RankedCandidate>,
+    /// Threshold-excluded candidates with reasons.
+    pub excluded: Vec<ExcludedCandidate>,
+    /// Candidates that were fully costed (survived thresholds).
+    pub evaluated: usize,
+    /// Candidates enumerated in total.
+    pub enumerated: usize,
+    /// The bitmap scheme the evaluation used.
+    pub scheme: BitmapScheme,
+}
+
+impl AdvisorReport {
+    /// The best-ranked candidate, if any survived.
+    pub fn top(&self) -> Option<&RankedCandidate> {
+        self.ranked.first()
+    }
+
+    /// Finds a ranked candidate by its fragmentation.
+    pub fn find(&self, fragmentation: &Fragmentation) -> Option<&RankedCandidate> {
+        self.ranked
+            .iter()
+            .find(|r| &r.cost.fragmentation == fragmentation)
+    }
+}
+
+/// The WARLOCK advisor: owns the derived bitmap scheme and skew model and
+/// runs the prediction pipeline over borrowed inputs.
+#[derive(Debug, Clone)]
+pub struct Advisor<'a> {
+    schema: &'a StarSchema,
+    system: &'a SystemConfig,
+    mix: &'a QueryMix,
+    config: AdvisorConfig,
+    scheme: BitmapScheme,
+    skew: SkewModel,
+}
+
+impl<'a> Advisor<'a> {
+    /// Assembles an advisor, validating every input.
+    pub fn new(
+        schema: &'a StarSchema,
+        system: &'a SystemConfig,
+        mix: &'a QueryMix,
+        config: AdvisorConfig,
+    ) -> Result<Self, AdvisorError> {
+        config.validate().map_err(AdvisorError::Config)?;
+        system.validate().map_err(AdvisorError::System)?;
+        mix.validate(schema).map_err(AdvisorError::Workload)?;
+        if config.fact_index >= schema.facts().len() {
+            return Err(AdvisorError::Config(format!(
+                "fact index {} out of range",
+                config.fact_index
+            )));
+        }
+        let skew = match &config.skew {
+            None => schema.uniform_skew_model(),
+            Some(configs) => {
+                if configs.len() != schema.num_dimensions() {
+                    return Err(AdvisorError::Skew(format!(
+                        "{} skew configs for {} dimensions",
+                        configs.len(),
+                        schema.num_dimensions()
+                    )));
+                }
+                schema.skew_model(configs)
+            }
+        };
+        let scheme = BitmapScheme::derive(schema, mix, config.scheme);
+        Ok(Self {
+            schema,
+            system,
+            mix,
+            config,
+            scheme,
+            skew,
+        })
+    }
+
+    /// The schema under advisement.
+    #[inline]
+    pub fn schema(&self) -> &StarSchema {
+        self.schema
+    }
+
+    /// The system configuration.
+    #[inline]
+    pub fn system(&self) -> &SystemConfig {
+        self.system
+    }
+
+    /// The query mix.
+    #[inline]
+    pub fn mix(&self) -> &QueryMix {
+        self.mix
+    }
+
+    /// The advisor configuration.
+    #[inline]
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.config
+    }
+
+    /// The derived bitmap scheme.
+    #[inline]
+    pub fn scheme(&self) -> &BitmapScheme {
+        &self.scheme
+    }
+
+    /// Overrides the bitmap scheme (interactive tuning: "the user may
+    /// decide to exclude some of the suggested bitmap indices").
+    pub fn with_scheme(mut self, scheme: BitmapScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// The skew model in effect.
+    #[inline]
+    pub fn skew(&self) -> &SkewModel {
+        &self.skew
+    }
+
+    /// The threshold context derived from the system configuration.
+    ///
+    /// For fixed prefetch policies the sub-granule exclusion uses the fixed
+    /// value; for automatic policies it uses a floor of 8 pages — the
+    /// smallest sequential run for which positioning amortization is
+    /// meaningful on the modeled disks.
+    pub fn threshold_context(&self) -> ThresholdContext {
+        let row_bytes = self.schema.fact_row_bytes(self.config.fact_index);
+        ThresholdContext {
+            rows_per_page: self.system.page.rows_per_page(row_bytes),
+            prefetch_pages: self.system.fact_prefetch.fixed().unwrap_or(8),
+            num_disks: self.system.num_disks,
+        }
+    }
+
+    /// Runs the full prediction pipeline.
+    pub fn run(&self) -> AdvisorReport {
+        let candidates =
+            enumerate_candidates(self.schema, self.config.max_dimensionality);
+        let enumerated = candidates.len();
+        let ctx = self.threshold_context();
+
+        let model = CostModel::new(self.schema, self.system, &self.scheme, self.mix)
+            .with_fact_index(self.config.fact_index);
+
+        let mut excluded = Vec::new();
+        let mut costs: Vec<CandidateCost> = Vec::with_capacity(candidates.len());
+        for fragmentation in candidates {
+            // Cheap overflow pre-check before materializing a layout.
+            let raw_count = fragmentation.num_fragments(self.schema);
+            if raw_count > u128::from(self.config.thresholds.max_fragments) {
+                excluded.push(ExcludedCandidate {
+                    label: fragmentation.label(self.schema),
+                    reason: Exclusion::TooManyFragments {
+                        fragments: raw_count.min(u128::from(u64::MAX)) as u64,
+                        limit: self.config.thresholds.max_fragments,
+                    },
+                    fragmentation,
+                });
+                continue;
+            }
+            let layout =
+                FragmentLayout::new(self.schema, fragmentation, self.config.fact_index);
+            match self.config.thresholds.check(&layout, ctx) {
+                Err(reason) => excluded.push(ExcludedCandidate {
+                    label: layout.fragmentation().label(self.schema),
+                    fragmentation: layout.fragmentation().clone(),
+                    reason,
+                }),
+                Ok(()) => costs.push(model.evaluate_layout(&layout)),
+            }
+        }
+
+        let evaluated = costs.len();
+        let mut ranked_costs =
+            twofold_rank(costs, self.config.top_x_percent, self.config.min_keep);
+        ranked_costs.truncate(self.config.top_n);
+        let ranked = ranked_costs
+            .into_iter()
+            .enumerate()
+            .map(|(i, cost)| RankedCandidate {
+                rank: i + 1,
+                label: cost.fragmentation.label(self.schema),
+                cost,
+            })
+            .collect();
+
+        AdvisorReport {
+            ranked,
+            excluded,
+            evaluated,
+            enumerated,
+            scheme: self.scheme.clone(),
+        }
+    }
+
+    /// Evaluates a single candidate outside the ranking pipeline.
+    pub fn evaluate(&self, fragmentation: &Fragmentation) -> CandidateCost {
+        let model = CostModel::new(self.schema, self.system, &self.scheme, self.mix)
+            .with_fact_index(self.config.fact_index);
+        model.evaluate(fragmentation)
+    }
+
+    /// Produces the detailed Fig.-2-style statistic for one candidate.
+    pub fn analyze(&self, fragmentation: &Fragmentation) -> FragmentationAnalysis {
+        FragmentationAnalysis::build(
+            self.schema,
+            self.system,
+            &self.scheme,
+            self.mix,
+            fragmentation,
+            self.config.fact_index,
+        )
+    }
+
+    /// Computes the physical allocation plan for one candidate.
+    pub fn plan_allocation(&self, fragmentation: &Fragmentation) -> AllocationPlan {
+        AllocationPlan::build(
+            self.schema,
+            self.system,
+            &self.scheme,
+            self.mix,
+            &self.skew,
+            fragmentation,
+            self.config.allocation_policy,
+            self.config.fact_index,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_schema::{apb1_like_schema, Apb1Config};
+    use warlock_workload::apb1_like_mix;
+
+    fn fixture() -> (StarSchema, SystemConfig, QueryMix) {
+        (
+            apb1_like_schema(Apb1Config::default()).unwrap(),
+            SystemConfig::default_2001(16),
+            apb1_like_mix().unwrap(),
+        )
+    }
+
+    #[test]
+    fn full_run_produces_ranked_candidates() {
+        let (schema, system, mix) = fixture();
+        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+        let report = advisor.run();
+        assert_eq!(report.enumerated, 168);
+        assert!(report.evaluated > 0);
+        assert!(!report.ranked.is_empty());
+        assert!(report.ranked.len() <= 10);
+        assert_eq!(report.evaluated + report.excluded.len(), 168);
+        // Ranks are 1-based and ordered by response time.
+        for (i, r) in report.ranked.iter().enumerate() {
+            assert_eq!(r.rank, i + 1);
+        }
+        for w in report.ranked.windows(2) {
+            assert!(w[0].cost.response_ms <= w[1].cost.response_ms);
+        }
+    }
+
+    #[test]
+    fn top_candidate_beats_baseline() {
+        let (schema, system, mix) = fixture();
+        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+        let report = advisor.run();
+        let top = report.top().unwrap();
+        let baseline = advisor.evaluate(&Fragmentation::none());
+        assert!(top.cost.response_ms < baseline.response_ms);
+        assert!(top.cost.io_cost_ms <= baseline.io_cost_ms * 1.01);
+    }
+
+    #[test]
+    fn exclusions_carry_reasons() {
+        let (schema, system, mix) = fixture();
+        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+        let report = advisor.run();
+        assert!(!report.excluded.is_empty());
+        // The full bottom-level cross product must be excluded as too many
+        // fragments.
+        assert!(report.excluded.iter().any(|e| matches!(
+            e.reason,
+            Exclusion::TooManyFragments { .. }
+        )));
+        for e in &report.excluded {
+            assert!(!e.label.is_empty());
+        }
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        let (schema, system, mix) = fixture();
+        let bad = AdvisorConfig {
+            top_n: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Advisor::new(&schema, &system, &mix, bad).unwrap_err(),
+            AdvisorError::Config(_)
+        ));
+
+        let bad = AdvisorConfig {
+            fact_index: 5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Advisor::new(&schema, &system, &mix, bad).unwrap_err(),
+            AdvisorError::Config(_)
+        ));
+
+        let bad = AdvisorConfig {
+            skew: Some(vec![warlock_skew::DimensionSkew::UNIFORM]),
+            ..Default::default()
+        };
+        assert!(matches!(
+            Advisor::new(&schema, &system, &mix, bad).unwrap_err(),
+            AdvisorError::Skew(_)
+        ));
+
+        let mut bad_system = system;
+        bad_system.disk.transfer_mb_per_s = 0.0;
+        assert!(matches!(
+            Advisor::new(&schema, &bad_system, &mix, AdvisorConfig::default()).unwrap_err(),
+            AdvisorError::System(_)
+        ));
+    }
+
+    #[test]
+    fn report_lookup_by_fragmentation() {
+        let (schema, system, mix) = fixture();
+        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+        let report = advisor.run();
+        let top = report.top().unwrap();
+        let found = report.find(&top.cost.fragmentation).unwrap();
+        assert_eq!(found.rank, 1);
+        assert!(report.find(&Fragmentation::from_pairs(&[(0, 5), (1, 1)]).unwrap()).is_none());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let (schema, system, mix) = fixture();
+        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+        let a = advisor.run();
+        let b = advisor.run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_dimensionality_limits_enumeration() {
+        let (schema, system, mix) = fixture();
+        let config = AdvisorConfig {
+            max_dimensionality: 1,
+            ..Default::default()
+        };
+        let advisor = Advisor::new(&schema, &system, &mix, config).unwrap();
+        let report = advisor.run();
+        assert_eq!(report.enumerated, 13);
+        for r in &report.ranked {
+            assert!(r.cost.fragmentation.dimensionality() <= 1);
+        }
+    }
+}

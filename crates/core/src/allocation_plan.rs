@@ -1,0 +1,335 @@
+//! Physical allocation planning (the tool's allocation output).
+//!
+//! "The physical allocation of a fragmentation specifies the distribution
+//! of fact table and bitmap fragments down to single fragments as well as
+//! the resulting disk occupancy and access distribution. Furthermore, a
+//! disk access profile per query class is visualized." (§3.3)
+
+use warlock_alloc::{
+    allocate, profile_response_ms, Allocation, AllocationPolicy, DiskAccessProfile,
+    OccupancyStats,
+};
+use warlock_bitmap::{estimate, BitmapScheme};
+use warlock_cost::CostModel;
+use warlock_fragment::{FragmentLayout, Fragmentation};
+use warlock_schema::StarSchema;
+use warlock_skew::SkewModel;
+use warlock_storage::SystemConfig;
+use warlock_workload::{QueryClass, QueryMix};
+
+/// Disk access profile of one query class on the planned allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDiskProfile {
+    /// Query class name.
+    pub name: String,
+    /// Per-disk busy time / fragment counts of a representative instance.
+    pub profile: DiskAccessProfile,
+    /// Exact response time on this allocation (ms).
+    pub response_ms: f64,
+}
+
+/// The complete physical allocation plan of one fragmentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationPlan {
+    /// Candidate label.
+    pub label: String,
+    /// The fragment → disk placement (sizes include bitmap fragments).
+    pub allocation: Allocation,
+    /// Disk occupancy balance statistics.
+    pub occupancy: OccupancyStats,
+    /// Total fact bytes placed.
+    pub fact_bytes: u64,
+    /// Total bitmap bytes placed.
+    pub bitmap_bytes: u64,
+    /// Whether fragment sizes were skewed enough for the policy to pick
+    /// the greedy scheme.
+    pub used_greedy: bool,
+    /// Per-class disk access profiles on this allocation.
+    pub per_class: Vec<ClassDiskProfile>,
+}
+
+impl AllocationPlan {
+    /// Builds the plan: skew-aware fragment sizes (fact + bitmaps), the
+    /// policy-selected placement, and per-class access profiles over a
+    /// representative query instance (the first `n` member values of every
+    /// predicate).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        schema: &StarSchema,
+        system: &SystemConfig,
+        scheme: &BitmapScheme,
+        mix: &QueryMix,
+        skew: &SkewModel,
+        fragmentation: &Fragmentation,
+        policy: AllocationPolicy,
+        fact_index: usize,
+    ) -> Self {
+        let layout = FragmentLayout::new(schema, fragmentation.clone(), fact_index);
+        let row_bytes = u64::from(schema.fact_row_bytes(fact_index));
+        let page = system.page;
+        let vectors = scheme.total_vectors_stored();
+
+        // Per-fragment bytes: fact pages + bitmap pages, both from the
+        // fragment's (possibly skewed) row count.
+        let rows = layout.fragment_rows(schema, skew);
+        let mut fact_bytes = 0u64;
+        let mut bitmap_bytes = 0u64;
+        let sizes: Vec<u64> = rows
+            .iter()
+            .map(|&r| {
+                let fact = page.bytes_for_pages(page.pages_for_rows(r, row_bytes as u32));
+                let bitmap = page.bytes_for_pages(vectors * estimate::vector_pages(r, page));
+                fact_bytes += fact;
+                bitmap_bytes += bitmap;
+                fact + bitmap
+            })
+            .collect();
+
+        let allocation = allocate(sizes, system.num_disks, policy);
+        let occupancy = allocation.occupancy_stats();
+        let used_greedy =
+            allocation.scheme() == warlock_alloc::AllocationScheme::GreedySize;
+
+        // Per-class profiles over a representative bound instance.
+        let model = CostModel::new(schema, system, scheme, mix).with_fact_index(fact_index);
+        let cost = model.evaluate_layout(&layout);
+        let avg_rows = layout.uniform_rows_per_fragment().max(1.0);
+        let processors = system.architecture.total_processors();
+        let overhead = system.architecture.overhead_factor();
+
+        let per_class = mix
+            .iter()
+            .zip(&cost.per_query)
+            .map(|((class, _), qc)| {
+                let fragments = representative_fragments(schema, &layout, class);
+                // Scale each fragment's service time by its actual size.
+                let weighted: Vec<(usize, f64)> = fragments
+                    .iter()
+                    .map(|&f| {
+                        let scale = rows[f as usize] as f64 / avg_rows;
+                        (f as usize, qc.per_fragment_ms * scale)
+                    })
+                    .collect();
+                let profile = DiskAccessProfile::build_weighted(&allocation, &weighted);
+                let response_ms = profile_response_ms(&profile, processors, overhead);
+                ClassDiskProfile {
+                    name: class.name().to_owned(),
+                    profile,
+                    response_ms,
+                }
+            })
+            .collect();
+
+        Self {
+            label: fragmentation.label(schema),
+            allocation,
+            occupancy,
+            fact_bytes,
+            bitmap_bytes,
+            used_greedy,
+            per_class,
+        }
+    }
+}
+
+/// Deterministic representative instance of a query class: every predicate
+/// selects its first `n` member values. Returns the accessed fragment
+/// indices under `layout`.
+pub fn representative_fragments(
+    schema: &StarSchema,
+    layout: &FragmentLayout,
+    class: &QueryClass,
+) -> Vec<u64> {
+    let fragmentation = layout.fragmentation();
+    let attrs = fragmentation.attributes();
+    let mut per_dim: Vec<Vec<u64>> = Vec::with_capacity(attrs.len());
+    for (i, &attr) in attrs.iter().enumerate() {
+        let dim = schema.dimension(attr.dimension).expect("validated layout");
+        let frag_card = fragmentation.effective_cardinality(schema, i);
+        let matched = match class.predicate(attr.dimension) {
+            None => (0..frag_card).collect(),
+            Some(pred) => {
+                let query_card = dim.cardinality(pred.level).expect("validated class");
+                if query_card <= frag_card {
+                    let per = frag_card / query_card;
+                    (0..pred.values.min(query_card)).flat_map(|v| v * per..(v + 1) * per).collect()
+                } else {
+                    let per = query_card / frag_card;
+                    let mut out: Vec<u64> = (0..pred.values.min(query_card))
+                        .map(|v| v / per)
+                        .collect();
+                    out.dedup();
+                    out
+                }
+            }
+        };
+        per_dim.push(matched);
+    }
+    let mut fragments = Vec::new();
+    let mut counters = vec![0usize; per_dim.len()];
+    let mut coords = vec![0u64; per_dim.len()];
+    loop {
+        for (i, &c) in counters.iter().enumerate() {
+            coords[i] = per_dim[i][c];
+        }
+        fragments.push(layout.index_of(&coords));
+        let mut pos = counters.len();
+        loop {
+            if pos == 0 {
+                fragments.sort_unstable();
+                return fragments;
+            }
+            pos -= 1;
+            counters[pos] += 1;
+            if counters[pos] < per_dim[pos].len() {
+                break;
+            }
+            counters[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_bitmap::SchemeConfig;
+    use warlock_fragment::SkewModelExt;
+    use warlock_schema::{apb1_like_schema, Apb1Config};
+    use warlock_skew::DimensionSkew;
+    use warlock_workload::{apb1_like_mix, DimensionPredicate};
+
+    struct Fx {
+        schema: StarSchema,
+        system: SystemConfig,
+        scheme: BitmapScheme,
+        mix: QueryMix,
+    }
+
+    fn fx() -> Fx {
+        let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+        let mix = apb1_like_mix().unwrap();
+        let scheme = BitmapScheme::derive(&schema, &mix, SchemeConfig::default());
+        let system = SystemConfig::default_2001(16);
+        Fx {
+            schema,
+            system,
+            scheme,
+            mix,
+        }
+    }
+
+    #[test]
+    fn uniform_plan_uses_round_robin_and_balances() {
+        let f = fx();
+        let skew = f.schema.uniform_skew_model();
+        let plan = AllocationPlan::build(
+            &f.schema,
+            &f.system,
+            &f.scheme,
+            &f.mix,
+            &skew,
+            &Fragmentation::from_pairs(&[(2, 2), (3, 0)]).unwrap(),
+            AllocationPolicy::default(),
+            0,
+        );
+        assert!(!plan.used_greedy);
+        // 216 fragments over 16 disks: 14 vs 13.5 mean → 1.037 inherent.
+        assert!(plan.occupancy.imbalance < 1.05);
+        assert_eq!(plan.allocation.num_fragments(), 216);
+        assert!(plan.fact_bytes > 0 && plan.bitmap_bytes > 0);
+        assert_eq!(plan.per_class.len(), 10);
+    }
+
+    #[test]
+    fn skewed_plan_switches_to_greedy_and_stays_balanced() {
+        let f = fx();
+        let skew = f.schema.skew_model(&[
+            DimensionSkew::zipf(1.0),
+            DimensionSkew::UNIFORM,
+            DimensionSkew::UNIFORM,
+            DimensionSkew::UNIFORM,
+        ]);
+        let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap(); // line × month
+        let plan = AllocationPlan::build(
+            &f.schema,
+            &f.system,
+            &f.scheme,
+            &f.mix,
+            &skew,
+            &frag,
+            AllocationPolicy::default(),
+            0,
+        );
+        assert!(plan.used_greedy);
+        // Greedy keeps occupancy within a few percent even under zipf(1).
+        assert!(
+            plan.occupancy.imbalance < 1.1,
+            "imbalance {}",
+            plan.occupancy.imbalance
+        );
+    }
+
+    #[test]
+    fn round_robin_under_skew_is_worse() {
+        let f = fx();
+        let skew = f.schema.skew_model(&[
+            DimensionSkew::zipf(1.0),
+            DimensionSkew::UNIFORM,
+            DimensionSkew::UNIFORM,
+            DimensionSkew::UNIFORM,
+        ]);
+        let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap();
+        let rr = AllocationPlan::build(
+            &f.schema, &f.system, &f.scheme, &f.mix, &skew, &frag,
+            AllocationPolicy::RoundRobin, 0,
+        );
+        let greedy = AllocationPlan::build(
+            &f.schema, &f.system, &f.scheme, &f.mix, &skew, &frag,
+            AllocationPolicy::GreedySize, 0,
+        );
+        assert!(greedy.occupancy.imbalance <= rr.occupancy.imbalance + 1e-12);
+    }
+
+    #[test]
+    fn profiles_report_declustering() {
+        let f = fx();
+        let skew = f.schema.uniform_skew_model();
+        let plan = AllocationPlan::build(
+            &f.schema,
+            &f.system,
+            &f.scheme,
+            &f.mix,
+            &skew,
+            &Fragmentation::from_pairs(&[(2, 2), (3, 0)]).unwrap(),
+            AllocationPolicy::default(),
+            0,
+        );
+        // q06 (channel+month) touches exactly 1 fragment; q04 (year+line)
+        // spreads over many.
+        let q06 = plan.per_class.iter().find(|c| c.name == "q06_channel_month").unwrap();
+        assert_eq!(q06.profile.disks_hit(), 1);
+        let q04 = plan.per_class.iter().find(|c| c.name == "q04_year_line").unwrap();
+        assert!(q04.profile.disks_hit() > 4);
+        for c in &plan.per_class {
+            assert!(c.response_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn representative_fragments_expand_and_collapse() {
+        let f = fx();
+        let layout =
+            FragmentLayout::new(&f.schema, Fragmentation::from_pairs(&[(2, 2)]).unwrap(), 0);
+        // Quarter query (coarser): 1 value → 3 months.
+        let q = warlock_workload::QueryClass::new("q")
+            .with(2, DimensionPredicate::point(1));
+        assert_eq!(representative_fragments(&f.schema, &layout, &q), vec![0, 1, 2]);
+        // Unreferenced: all 24.
+        let q = warlock_workload::QueryClass::new("q")
+            .with(3, DimensionPredicate::point(0));
+        assert_eq!(
+            representative_fragments(&f.schema, &layout, &q).len(),
+            24
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! The `warlock` command-line tool.
+//!
+//! A text-mode counterpart of the original GUI: reads a warehouse
+//! description (see [`warlock::config_file`] for the format), runs the
+//! advisor, and prints the requested outputs.
+//!
+//! ```text
+//! warlock <config-file> [command]
+//!
+//! commands:
+//!   rank              ranked fragmentation candidates (default)
+//!   analyze [RANK]    detailed query statistic of a ranked candidate (default 1)
+//!   allocate [RANK]   physical allocation scheme of a ranked candidate (default 1)
+//!   excluded          threshold-excluded candidates with reasons
+//!   csv               ranking as CSV (for plotting)
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use warlock::config_file::{demo_config, parse_config, render_config};
+use warlock::report::{ranking_csv, render_allocation, render_analysis, render_ranking};
+use warlock::Advisor;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    // `warlock init` emits the APB-1-like starter configuration.
+    if args.first().map(String::as_str) == Some("init") {
+        print!("{}", render_config(&demo_config()));
+        return ExitCode::SUCCESS;
+    }
+    let Some(path) = args.first() else {
+        eprintln!(
+            "usage: warlock <config-file> [rank|analyze [N]|allocate [N]|excluded|csv]\n       warlock init   (print a starter configuration)"
+        );
+        return ExitCode::from(2);
+    };
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("warlock: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match parse_config(&input) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("warlock: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let advisor = match Advisor::new(
+        &parsed.schema,
+        &parsed.system,
+        &parsed.mix,
+        parsed.advisor.clone(),
+    ) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("warlock: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = advisor.run();
+
+    let command = args.get(1).map(String::as_str).unwrap_or("rank");
+    let rank_arg = args
+        .get(2)
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1);
+
+    match command {
+        "rank" => print!("{}", render_ranking(&report)),
+        "csv" => print!("{}", ranking_csv(&report)),
+        "excluded" => {
+            for e in &report.excluded {
+                println!("{:<52} {}", e.label, e.reason);
+            }
+            println!("({} candidates excluded)", report.excluded.len());
+        }
+        "analyze" | "allocate" => {
+            let Some(candidate) = report.ranked.get(rank_arg.saturating_sub(1)) else {
+                eprintln!(
+                    "warlock: rank {rank_arg} out of range (1..={})",
+                    report.ranked.len()
+                );
+                return ExitCode::FAILURE;
+            };
+            if command == "analyze" {
+                print!("{}", render_analysis(&advisor.analyze(&candidate.cost.fragmentation)));
+            } else {
+                print!(
+                    "{}",
+                    render_allocation(&advisor.plan_allocation(&candidate.cost.fragmentation))
+                );
+            }
+        }
+        other => {
+            eprintln!("warlock: unknown command `{other}`");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,100 @@
+//! Advisor configuration.
+
+use warlock_alloc::AllocationPolicy;
+use warlock_bitmap::SchemeConfig;
+use warlock_fragment::Thresholds;
+use warlock_skew::DimensionSkew;
+
+/// All knobs of one advisor run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvisorConfig {
+    /// Candidate exclusion thresholds (prediction layer).
+    pub thresholds: Thresholds,
+    /// Bitmap scheme selection rules.
+    pub scheme: SchemeConfig,
+    /// Largest number of fragmentation dimensions to enumerate.
+    pub max_dimensionality: usize,
+    /// The twofold ranking keeps the leading `top_x_percent` of candidates
+    /// by I/O cost before re-ranking by response time.
+    pub top_x_percent: f64,
+    /// Lower bound on candidates surviving the I/O-cost filter, so small
+    /// candidate sets still produce a meaningful response-time ranking.
+    pub min_keep: usize,
+    /// Number of top fragmentations presented to the user.
+    pub top_n: usize,
+    /// Physical allocation policy for the recommended candidates.
+    pub allocation_policy: AllocationPolicy,
+    /// Per-dimension data skew (`None` = uniform everywhere).
+    pub skew: Option<Vec<DimensionSkew>>,
+    /// Which fact table to advise on.
+    pub fact_index: usize,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        Self {
+            thresholds: Thresholds::default(),
+            scheme: SchemeConfig::default(),
+            max_dimensionality: 4,
+            top_x_percent: 10.0,
+            min_keep: 10,
+            top_n: 10,
+            allocation_policy: AllocationPolicy::default(),
+            skew: None,
+            fact_index: 0,
+        }
+    }
+}
+
+impl AdvisorConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.top_x_percent > 0.0 && self.top_x_percent <= 100.0) {
+            return Err(format!(
+                "top_x_percent must be in (0, 100], got {}",
+                self.top_x_percent
+            ));
+        }
+        if self.top_n == 0 {
+            return Err("top_n must be at least 1".into());
+        }
+        if self.min_keep == 0 {
+            return Err("min_keep must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(AdvisorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_knobs() {
+        let c = AdvisorConfig {
+            top_x_percent: 0.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AdvisorConfig {
+            top_x_percent: 150.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AdvisorConfig {
+            top_n: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AdvisorConfig {
+            min_keep: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

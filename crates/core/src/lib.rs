@@ -1,0 +1,71 @@
+//! # WARLOCK — a data allocation advisor for parallel data warehouses
+//!
+//! A Rust reproduction of *"WARLOCK: A Data Allocation Tool for Parallel
+//! Warehouses"* (Stöhr & Rahm, VLDB 2001). Given a star schema, a disk
+//! subsystem and a weighted star-query mix, the advisor recommends how to
+//! fragment the fact table over the dimension hierarchies (MDHF), which
+//! bitmap join indexes to keep, and how to place all fragments on disk —
+//! minimizing both total I/O work and query response times.
+//!
+//! ## Pipeline (paper Fig. 1)
+//!
+//! ```text
+//! input      star schema ── DBS & disk parameters ── weighted query mix
+//! prediction generation of fragmentations & bitmaps
+//!            exclusion of fragmentations by thresholds
+//!            calculation of performance metrics   ←── I/O cost model
+//!            ranking of "top" fragmentations
+//! analysis   fragmentation candidates ── query analysis ── allocation
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use warlock::{Advisor, AdvisorConfig};
+//! use warlock_schema::{apb1_like_schema, Apb1Config};
+//! use warlock_storage::SystemConfig;
+//! use warlock_workload::apb1_like_mix;
+//!
+//! let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+//! let mix = apb1_like_mix().unwrap();
+//! let system = SystemConfig::default_2001(16);
+//! let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+//! let report = advisor.run();
+//! let best = report.top().expect("candidates survive thresholds");
+//! println!("best fragmentation: {}", best.label);
+//! assert!(report.ranked.len() > 1);
+//! ```
+//!
+//! The heavy lifting lives in the substrate crates re-exported below;
+//! this crate contributes the advisor pipeline ([`Advisor`]), the twofold
+//! ranking ([`ranking`]), the Fig.-2-style analyses ([`analysis`]), the
+//! physical allocation plan ([`allocation_plan`]), what-if tuning
+//! ([`tuning`]) and plain-text/CSV report rendering ([`report`]).
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod analysis;
+pub mod allocation_plan;
+pub mod config;
+pub mod config_file;
+pub mod ranking;
+pub mod report;
+pub mod tuning;
+
+pub use advisor::{Advisor, AdvisorReport, ExcludedCandidate, RankedCandidate};
+pub use allocation_plan::{AllocationPlan, ClassDiskProfile};
+pub use analysis::{ClassAnalysis, FragmentationAnalysis};
+pub use config::AdvisorConfig;
+pub use ranking::twofold_rank;
+pub use tuning::TuningSession;
+
+// Substrate re-exports so downstream users need only one dependency.
+pub use warlock_alloc as alloc;
+pub use warlock_bitmap as bitmap;
+pub use warlock_cost as cost;
+pub use warlock_fragment as fragment;
+pub use warlock_schema as schema;
+pub use warlock_skew as skew;
+pub use warlock_storage as storage;
+pub use warlock_workload as workload;

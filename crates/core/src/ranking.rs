@@ -1,0 +1,117 @@
+//! The twofold candidate ranking.
+//!
+//! "WARLOCK uses a simple heuristic preferring fragmentations reducing
+//! overall I/O requirements … it first determines the overall I/O access
+//! cost for the considered query mix. Subsequently, the leading X%
+//! fragmentations are ranked with respect to the overall I/O response time
+//! they achieve." (§3.2)
+
+use warlock_cost::CandidateCost;
+
+/// Applies the twofold ranking to evaluated candidates.
+///
+/// Phase 1 sorts by `io_cost_ms` (total device work — the throughput
+/// proxy) and keeps the leading `top_x_percent`, but never fewer than
+/// `min_keep`. Phase 2 re-sorts the survivors by `response_ms`. Ties fall
+/// back to the other metric, then to fewer fragments (less metadata),
+/// keeping the order fully deterministic.
+pub fn twofold_rank(
+    mut costs: Vec<CandidateCost>,
+    top_x_percent: f64,
+    min_keep: usize,
+) -> Vec<CandidateCost> {
+    // Phase 1: throughput filter.
+    costs.sort_by(|a, b| {
+        a.io_cost_ms
+            .total_cmp(&b.io_cost_ms)
+            .then(a.response_ms.total_cmp(&b.response_ms))
+            .then(a.num_fragments.cmp(&b.num_fragments))
+    });
+    let keep = ((costs.len() as f64 * top_x_percent / 100.0).ceil() as usize)
+        .max(min_keep)
+        .min(costs.len());
+    costs.truncate(keep);
+
+    // Phase 2: response-time ranking of the survivors.
+    costs.sort_by(|a, b| {
+        a.response_ms
+            .total_cmp(&b.response_ms)
+            .then(a.io_cost_ms.total_cmp(&b.io_cost_ms))
+            .then(a.num_fragments.cmp(&b.num_fragments))
+    });
+    costs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_fragment::Fragmentation;
+
+    fn cost(io: f64, rt: f64, frags: u64) -> CandidateCost {
+        CandidateCost {
+            fragmentation: Fragmentation::none(),
+            num_fragments: frags,
+            io_cost_ms: io,
+            response_ms: rt,
+            total_ios: 0.0,
+            total_pages: 0.0,
+            per_query: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn filters_by_io_then_ranks_by_response() {
+        // 10 candidates; keep 20 % = 2 with the lowest I/O cost; of those
+        // the better *response* wins even though its I/O cost is higher.
+        let mut candidates = vec![
+            cost(10.0, 50.0, 1), // low io, slow response
+            cost(11.0, 20.0, 2), // slightly worse io, fast response
+        ];
+        for i in 0..8 {
+            candidates.push(cost(100.0 + i as f64, 5.0, 3 + i));
+        }
+        let ranked = twofold_rank(candidates, 20.0, 1);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].response_ms, 20.0);
+        assert_eq!(ranked[1].response_ms, 50.0);
+        // The fast-response / high-io candidates were filtered in phase 1.
+    }
+
+    #[test]
+    fn min_keep_overrides_small_percentages() {
+        let candidates: Vec<_> = (0..10).map(|i| cost(i as f64, 0.0, i)).collect();
+        let ranked = twofold_rank(candidates, 1.0, 5);
+        assert_eq!(ranked.len(), 5);
+    }
+
+    #[test]
+    fn hundred_percent_keeps_everything() {
+        let candidates: Vec<_> = (0..7).map(|i| cost(i as f64, 10.0 - i as f64, i)).collect();
+        let ranked = twofold_rank(candidates, 100.0, 1);
+        assert_eq!(ranked.len(), 7);
+        // Pure response ordering.
+        for w in ranked.windows(2) {
+            assert!(w[0].response_ms <= w[1].response_ms);
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let candidates = vec![cost(1.0, 1.0, 5), cost(1.0, 1.0, 2), cost(1.0, 1.0, 9)];
+        let ranked = twofold_rank(candidates, 100.0, 1);
+        let frags: Vec<u64> = ranked.iter().map(|c| c.num_fragments).collect();
+        assert_eq!(frags, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(twofold_rank(Vec::new(), 10.0, 5).is_empty());
+    }
+
+    #[test]
+    fn keep_never_exceeds_population() {
+        let candidates = vec![cost(1.0, 1.0, 1), cost(2.0, 2.0, 2)];
+        let ranked = twofold_rank(candidates, 10.0, 100);
+        assert_eq!(ranked.len(), 2);
+    }
+}

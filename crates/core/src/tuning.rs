@@ -1,0 +1,206 @@
+//! Interactive what-if tuning.
+//!
+//! "WARLOCK provides several options to facilitate interactive fine
+//! tuning. Disk parameters, query load specifics and bitmap configurations
+//! can be interactively adapted to examine the performance variations they
+//! imply." (§3.3)
+//!
+//! A [`TuningSession`] owns copies of the advisor inputs so each variation
+//! can be applied and re-evaluated without touching the originals, and
+//! reports the deltas against the baseline run.
+
+use warlock_schema::{DimensionId, StarSchema};
+use warlock_storage::{PrefetchPolicy, SystemConfig};
+use warlock_workload::QueryMix;
+
+use crate::advisor::{Advisor, AdvisorError, AdvisorReport};
+use crate::config::AdvisorConfig;
+
+/// Summary of one what-if variation against the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningDelta {
+    /// What was varied (human-readable).
+    pub variation: String,
+    /// Baseline top candidate label.
+    pub baseline_top: String,
+    /// Variation top candidate label.
+    pub variation_top: String,
+    /// Baseline weighted response of the top candidate (ms).
+    pub baseline_response_ms: f64,
+    /// Variation weighted response of the top candidate (ms).
+    pub variation_response_ms: f64,
+    /// Whether the recommended fragmentation changed.
+    pub recommendation_changed: bool,
+}
+
+/// An interactive tuning session over owned copies of the inputs.
+#[derive(Debug, Clone)]
+pub struct TuningSession {
+    schema: StarSchema,
+    system: SystemConfig,
+    mix: QueryMix,
+    config: AdvisorConfig,
+    baseline: AdvisorReport,
+}
+
+impl TuningSession {
+    /// Starts a session: runs the baseline advisor once.
+    pub fn new(
+        schema: StarSchema,
+        system: SystemConfig,
+        mix: QueryMix,
+        config: AdvisorConfig,
+    ) -> Result<Self, AdvisorError> {
+        let baseline = Advisor::new(&schema, &system, &mix, config.clone())?.run();
+        Ok(Self {
+            schema,
+            system,
+            mix,
+            config,
+            baseline,
+        })
+    }
+
+    /// The baseline report.
+    #[inline]
+    pub fn baseline(&self) -> &AdvisorReport {
+        &self.baseline
+    }
+
+    fn delta(&self, variation: String, report: &AdvisorReport) -> TuningDelta {
+        let b = self.baseline.top();
+        let v = report.top();
+        TuningDelta {
+            variation,
+            baseline_top: b.map(|r| r.label.clone()).unwrap_or_default(),
+            variation_top: v.map(|r| r.label.clone()).unwrap_or_default(),
+            baseline_response_ms: b.map(|r| r.cost.response_ms).unwrap_or(0.0),
+            variation_response_ms: v.map(|r| r.cost.response_ms).unwrap_or(0.0),
+            recommendation_changed: match (b, v) {
+                (Some(b), Some(v)) => b.cost.fragmentation != v.cost.fragmentation,
+                _ => true,
+            },
+        }
+    }
+
+    /// What if the system had `num_disks` disks?
+    pub fn with_disks(&self, num_disks: u32) -> (AdvisorReport, TuningDelta) {
+        let mut system = self.system;
+        system.num_disks = num_disks.max(1);
+        let report = Advisor::new(&self.schema, &system, &self.mix, self.config.clone())
+            .expect("baseline inputs validated")
+            .run();
+        let delta = self.delta(format!("disks = {num_disks}"), &report);
+        (report, delta)
+    }
+
+    /// What if prefetching were fixed at `pages` for both fact tables and
+    /// bitmaps?
+    pub fn with_fixed_prefetch(&self, pages: u32) -> (AdvisorReport, TuningDelta) {
+        let mut system = self.system;
+        system.fact_prefetch = PrefetchPolicy::Fixed(pages.max(1));
+        system.bitmap_prefetch = PrefetchPolicy::Fixed(pages.max(1));
+        let report = Advisor::new(&self.schema, &system, &self.mix, self.config.clone())
+            .expect("baseline inputs validated")
+            .run();
+        let delta = self.delta(format!("prefetch = {pages} pages"), &report);
+        (report, delta)
+    }
+
+    /// What if the bitmap indexes of `dimension` were dropped (space
+    /// limiting)?
+    pub fn without_bitmap_dimension(
+        &self,
+        dimension: DimensionId,
+    ) -> (AdvisorReport, TuningDelta) {
+        let advisor = Advisor::new(&self.schema, &self.system, &self.mix, self.config.clone())
+            .expect("baseline inputs validated");
+        let scheme = advisor.scheme().without_dimension(dimension);
+        let report = advisor.with_scheme(scheme).run();
+        let delta = self.delta(format!("no bitmaps on dimension {dimension}"), &report);
+        (report, delta)
+    }
+
+    /// What if query class `name` vanished from the workload?
+    ///
+    /// Returns `None` if removing the class would empty the mix or the
+    /// name is unknown.
+    pub fn without_class(&self, name: &str) -> Option<(AdvisorReport, TuningDelta)> {
+        let mix = self.mix.without_class(name)?;
+        let report = Advisor::new(&self.schema, &self.system, &mix, self.config.clone())
+            .expect("baseline inputs validated")
+            .run();
+        let delta = self.delta(format!("without class {name}"), &report);
+        Some((report, delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_schema::{apb1_like_schema, Apb1Config};
+    use warlock_workload::apb1_like_mix;
+
+    fn session() -> TuningSession {
+        TuningSession::new(
+            apb1_like_schema(Apb1Config::default()).unwrap(),
+            SystemConfig::default_2001(16),
+            apb1_like_mix().unwrap(),
+            AdvisorConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn more_disks_cut_response() {
+        let s = session();
+        let (_, delta) = s.with_disks(64);
+        assert!(delta.variation_response_ms < delta.baseline_response_ms);
+        assert!(delta.variation.contains("64"));
+    }
+
+    #[test]
+    fn fewer_disks_hurt() {
+        let s = session();
+        let (_, delta) = s.with_disks(2);
+        assert!(delta.variation_response_ms > delta.baseline_response_ms);
+    }
+
+    #[test]
+    fn tiny_fixed_prefetch_hurts() {
+        let s = session();
+        let (_, delta) = s.with_fixed_prefetch(1);
+        assert!(
+            delta.variation_response_ms > delta.baseline_response_ms,
+            "1-page granule {} should be worse than auto {}",
+            delta.variation_response_ms,
+            delta.baseline_response_ms
+        );
+    }
+
+    #[test]
+    fn dropping_bitmaps_never_helps() {
+        let s = session();
+        let (_, delta) = s.without_bitmap_dimension(DimensionId(0));
+        assert!(delta.variation_response_ms >= delta.baseline_response_ms * 0.999);
+    }
+
+    #[test]
+    fn removing_a_class_reweights() {
+        let s = session();
+        let (report, delta) = s.without_class("q01_month_store_code").unwrap();
+        assert!(!report.ranked.is_empty());
+        assert!(delta.variation.contains("q01"));
+        assert!(s.without_class("nonexistent").is_none());
+    }
+
+    #[test]
+    fn baseline_is_stable() {
+        let s = session();
+        assert!(s.baseline().top().is_some());
+        let (_, delta) = s.with_disks(16);
+        // Same system → same recommendation.
+        assert!(!delta.recommendation_changed);
+        assert!((delta.variation_response_ms - delta.baseline_response_ms).abs() < 1e-9);
+    }
+}

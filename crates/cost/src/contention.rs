@@ -1,0 +1,192 @@
+//! Multi-user contention model.
+//!
+//! The paper's heuristic prefers "fragmentations reducing overall I/O
+//! requirements, which is also advantageous with respect to multi-user
+//! query processing" — low total device work keeps disk utilization, and
+//! therefore queueing delay, low when many queries run concurrently.
+//!
+//! This module makes that argument quantitative with an open-system M/G/1
+//! approximation per disk: at arrival rate λ (queries/s) with a mix whose
+//! weighted device demand is `busy_ms` per query spread over `num_disks`
+//! disks, per-disk utilization is `ρ = λ · busy_ms / (1000 · disks)`, and
+//! the single-user response time inflates by the classic waiting-time
+//! factor. The event-driven simulator (`warlock-sim`) provides the exact
+//! counterpart; experiment V1 compares the two.
+
+/// Multi-user load description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Query arrival rate in queries per second (all classes combined).
+    pub arrivals_per_s: f64,
+}
+
+/// Result of the contention model at one load point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionEstimate {
+    /// Mean per-disk utilization in `[0, 1)`; ≥ 1 means saturation.
+    pub utilization: f64,
+    /// Multiplicative response-time inflation over the single-user
+    /// estimate (∞ at/beyond saturation).
+    pub inflation: f64,
+    /// Inflated mean response time in milliseconds.
+    pub response_ms: f64,
+    /// The largest sustainable arrival rate (queries/s) before saturation.
+    pub saturation_rate_per_s: f64,
+}
+
+/// Estimates multi-user response inflation for a candidate whose
+/// workload-weighted single-user response is `single_user_response_ms` and
+/// whose weighted device demand is `busy_ms_per_query`, on `num_disks`
+/// disks at the given load.
+///
+/// Uses the M/M/1-style inflation `1 / (1 − ρ)` per disk, assuming the
+/// allocation spreads load evenly (which round-robin and greedy both aim
+/// for). Beyond saturation the inflation and response are `f64::INFINITY`.
+pub fn contention_estimate(
+    single_user_response_ms: f64,
+    busy_ms_per_query: f64,
+    num_disks: u32,
+    load: LoadPoint,
+) -> ContentionEstimate {
+    assert!(num_disks > 0, "need at least one disk");
+    assert!(
+        busy_ms_per_query >= 0.0 && single_user_response_ms >= 0.0,
+        "costs must be non-negative"
+    );
+    let capacity_ms_per_s = 1000.0 * f64::from(num_disks);
+    let saturation_rate_per_s = if busy_ms_per_query > 0.0 {
+        capacity_ms_per_s / busy_ms_per_query
+    } else {
+        f64::INFINITY
+    };
+    let utilization = load.arrivals_per_s * busy_ms_per_query / capacity_ms_per_s;
+    let (inflation, response_ms) = if utilization >= 1.0 {
+        (f64::INFINITY, f64::INFINITY)
+    } else {
+        let inflation = 1.0 / (1.0 - utilization);
+        (inflation, single_user_response_ms * inflation)
+    };
+    ContentionEstimate {
+        utilization,
+        inflation,
+        response_ms,
+        saturation_rate_per_s,
+    }
+}
+
+/// Sweeps arrival rates from idle to a fraction of saturation, returning
+/// `(rate, estimate)` pairs — the load curve the analysis layer plots.
+pub fn load_curve(
+    single_user_response_ms: f64,
+    busy_ms_per_query: f64,
+    num_disks: u32,
+    points: usize,
+    max_utilization: f64,
+) -> Vec<(f64, ContentionEstimate)> {
+    assert!(points >= 2, "need at least two points");
+    assert!(
+        (0.0..1.0).contains(&max_utilization),
+        "max utilization must be in [0, 1)"
+    );
+    let capacity_ms_per_s = 1000.0 * f64::from(num_disks);
+    let max_rate = if busy_ms_per_query > 0.0 {
+        max_utilization * capacity_ms_per_s / busy_ms_per_query
+    } else {
+        1.0
+    };
+    (0..points)
+        .map(|i| {
+            let rate = max_rate * i as f64 / (points - 1) as f64;
+            let est = contention_estimate(
+                single_user_response_ms,
+                busy_ms_per_query,
+                num_disks,
+                LoadPoint {
+                    arrivals_per_s: rate,
+                },
+            );
+            (rate, est)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn idle_load_has_no_inflation() {
+        let e = contention_estimate(100.0, 500.0, 16, LoadPoint { arrivals_per_s: 0.0 });
+        assert_close(e.utilization, 0.0, 1e-12);
+        assert_close(e.inflation, 1.0, 1e-12);
+        assert_close(e.response_ms, 100.0, 1e-12);
+    }
+
+    #[test]
+    fn utilization_math() {
+        // 500 ms demand per query, 16 disks = 16 000 ms/s capacity.
+        // 16 q/s → 8 000 ms demand → ρ = 0.5 → inflation 2×.
+        let e = contention_estimate(100.0, 500.0, 16, LoadPoint { arrivals_per_s: 16.0 });
+        assert_close(e.utilization, 0.5, 1e-12);
+        assert_close(e.inflation, 2.0, 1e-12);
+        assert_close(e.response_ms, 200.0, 1e-12);
+        assert_close(e.saturation_rate_per_s, 32.0, 1e-12);
+    }
+
+    #[test]
+    fn saturation_is_infinite() {
+        let e = contention_estimate(100.0, 500.0, 16, LoadPoint { arrivals_per_s: 32.0 });
+        assert!(e.inflation.is_infinite());
+        assert!(e.response_ms.is_infinite());
+        assert_close(e.utilization, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn lower_io_cost_sustains_higher_load() {
+        // The paper's heuristic in one assertion: the candidate with half
+        // the device demand saturates at twice the arrival rate.
+        let cheap = contention_estimate(120.0, 250.0, 16, LoadPoint { arrivals_per_s: 0.0 });
+        let costly = contention_estimate(80.0, 500.0, 16, LoadPoint { arrivals_per_s: 0.0 });
+        assert_close(
+            cheap.saturation_rate_per_s,
+            2.0 * costly.saturation_rate_per_s,
+            1e-9,
+        );
+        // And at moderate load the cheap candidate can win despite a worse
+        // single-user response.
+        let load = LoadPoint { arrivals_per_s: 28.0 };
+        let cheap = contention_estimate(120.0, 250.0, 16, load);
+        let costly = contention_estimate(80.0, 500.0, 16, load);
+        assert!(cheap.response_ms < costly.response_ms);
+    }
+
+    #[test]
+    fn load_curve_is_monotone() {
+        let curve = load_curve(100.0, 500.0, 16, 10, 0.9);
+        assert_eq!(curve.len(), 10);
+        assert_close(curve[0].0, 0.0, 1e-12);
+        for w in curve.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1.response_ms >= w[0].1.response_ms);
+        }
+        // Last point at 90 % utilization → 10× inflation.
+        assert_close(curve[9].1.inflation, 10.0, 1e-6);
+    }
+
+    #[test]
+    fn zero_cost_query_never_saturates() {
+        let e = contention_estimate(0.0, 0.0, 4, LoadPoint { arrivals_per_s: 1e9 });
+        assert!(e.saturation_rate_per_s.is_infinite());
+        assert_close(e.utilization, 0.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn curve_needs_points() {
+        let _ = load_curve(1.0, 1.0, 1, 1, 0.5);
+    }
+}

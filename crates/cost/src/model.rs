@@ -1,0 +1,223 @@
+//! The cost-model facade: evaluating whole candidates against a mix.
+
+use warlock_bitmap::BitmapScheme;
+use warlock_fragment::{FragmentLayout, Fragmentation};
+use warlock_schema::StarSchema;
+use warlock_storage::SystemConfig;
+use warlock_workload::QueryMix;
+
+use crate::access::{estimate_query, QueryCost};
+
+/// Evaluated cost of one fragmentation candidate under a query mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateCost {
+    /// The evaluated candidate.
+    pub fragmentation: Fragmentation,
+    /// Number of fragments of the candidate.
+    pub num_fragments: u64,
+    /// Workload-weighted total device busy time per query, in milliseconds
+    /// — the paper's "overall I/O access cost" (throughput metric).
+    pub io_cost_ms: f64,
+    /// Workload-weighted response time per query, in milliseconds.
+    pub response_ms: f64,
+    /// Workload-weighted physical I/Os per query.
+    pub total_ios: f64,
+    /// Workload-weighted pages read per query (fact + bitmap).
+    pub total_pages: f64,
+    /// Per-class details, in mix order.
+    pub per_query: Vec<QueryCost>,
+}
+
+/// The WARLOCK cost model: a schema, a system, a bitmap scheme and a
+/// weighted query mix, evaluating fragmentation candidates.
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    schema: &'a StarSchema,
+    system: &'a SystemConfig,
+    scheme: &'a BitmapScheme,
+    mix: &'a QueryMix,
+    fact_index: usize,
+}
+
+impl<'a> CostModel<'a> {
+    /// Creates the model over the primary fact table.
+    pub fn new(
+        schema: &'a StarSchema,
+        system: &'a SystemConfig,
+        scheme: &'a BitmapScheme,
+        mix: &'a QueryMix,
+    ) -> Self {
+        Self {
+            schema,
+            system,
+            scheme,
+            mix,
+            fact_index: 0,
+        }
+    }
+
+    /// Selects a different fact table.
+    pub fn with_fact_index(mut self, fact_index: usize) -> Self {
+        assert!(fact_index < self.schema.facts().len(), "fact index");
+        self.fact_index = fact_index;
+        self
+    }
+
+    /// The schema the model evaluates against.
+    #[inline]
+    pub fn schema(&self) -> &StarSchema {
+        self.schema
+    }
+
+    /// The system configuration.
+    #[inline]
+    pub fn system(&self) -> &SystemConfig {
+        self.system
+    }
+
+    /// The fact table index.
+    #[inline]
+    pub fn fact_index(&self) -> usize {
+        self.fact_index
+    }
+
+    /// Evaluates one candidate: every class of the mix, weighted by share.
+    pub fn evaluate(&self, fragmentation: &Fragmentation) -> CandidateCost {
+        let layout = FragmentLayout::new(self.schema, fragmentation.clone(), self.fact_index);
+        self.evaluate_layout(&layout)
+    }
+
+    /// Evaluates a pre-built layout (avoids re-deriving it).
+    pub fn evaluate_layout(&self, layout: &FragmentLayout) -> CandidateCost {
+        let mut io_cost_ms = 0.0;
+        let mut response_ms = 0.0;
+        let mut total_ios = 0.0;
+        let mut total_pages = 0.0;
+        let mut per_query = Vec::with_capacity(self.mix.len());
+        for (class, share) in self.mix.iter() {
+            let qc = estimate_query(
+                self.schema,
+                layout,
+                self.scheme,
+                self.system,
+                class,
+                self.fact_index,
+            );
+            io_cost_ms += share * qc.busy_ms;
+            response_ms += share * qc.response_ms;
+            total_ios += share * qc.total_ios;
+            total_pages += share * (qc.fact_pages + qc.bitmap_pages);
+            per_query.push(qc);
+        }
+        CandidateCost {
+            fragmentation: layout.fragmentation().clone(),
+            num_fragments: layout.num_fragments(),
+            io_cost_ms,
+            response_ms,
+            total_ios,
+            total_pages,
+            per_query,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_bitmap::SchemeConfig;
+    use warlock_schema::{apb1_like_schema, Apb1Config};
+    use warlock_workload::apb1_like_mix;
+
+    struct Fixture {
+        schema: StarSchema,
+        system: SystemConfig,
+        scheme: BitmapScheme,
+        mix: QueryMix,
+    }
+
+    fn fixture() -> Fixture {
+        let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+        let mix = apb1_like_mix().unwrap();
+        let scheme = BitmapScheme::derive(&schema, &mix, SchemeConfig::default());
+        let system = SystemConfig::default_2001(16);
+        Fixture {
+            schema,
+            system,
+            scheme,
+            mix,
+        }
+    }
+
+    #[test]
+    fn evaluates_all_classes() {
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let c = model.evaluate(&Fragmentation::from_pairs(&[(2, 2)]).unwrap());
+        assert_eq!(c.per_query.len(), 10);
+        assert_eq!(c.num_fragments, 24);
+        assert!(c.io_cost_ms > 0.0);
+        assert!(c.response_ms > 0.0);
+        assert!(c.total_ios > 0.0);
+        assert!(c.total_pages > 0.0);
+        // Weighted totals are convex combinations of per-query values.
+        let max_busy = c
+            .per_query
+            .iter()
+            .map(|q| q.busy_ms)
+            .fold(f64::MIN, f64::max);
+        assert!(c.io_cost_ms <= max_busy + 1e-9);
+    }
+
+    #[test]
+    fn fragmented_beats_unfragmented_for_star_mix() {
+        // The reason MDHF exists: confining queries to fragments must beat
+        // scanning the monolithic fact table for the APB-1-like mix.
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let baseline = model.evaluate(&Fragmentation::none());
+        let by_month = model.evaluate(&Fragmentation::from_pairs(&[(2, 2)]).unwrap());
+        assert!(by_month.response_ms < baseline.response_ms);
+    }
+
+    #[test]
+    fn multi_dimensional_fragmentation_helps_response() {
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let one_d = model.evaluate(&Fragmentation::from_pairs(&[(2, 2)]).unwrap());
+        let two_d =
+            model.evaluate(&Fragmentation::from_pairs(&[(2, 2), (0, 1)]).unwrap());
+        // month × line confines product queries too → better response.
+        assert!(
+            two_d.response_ms < one_d.response_ms,
+            "2-D {} should beat 1-D {}",
+            two_d.response_ms,
+            one_d.response_ms
+        );
+    }
+
+    #[test]
+    fn with_fact_index_validates() {
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        assert_eq!(model.with_fact_index(0).fact_index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fact index")]
+    fn bad_fact_index_panics() {
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let _ = model.with_fact_index(3);
+    }
+
+    #[test]
+    fn evaluate_layout_matches_evaluate() {
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let frag = Fragmentation::from_pairs(&[(2, 1), (3, 0)]).unwrap();
+        let a = model.evaluate(&frag);
+        let layout = FragmentLayout::new(&f.schema, frag, 0);
+        let b = model.evaluate_layout(&layout);
+        assert_eq!(a, b);
+    }
+}

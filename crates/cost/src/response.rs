@@ -1,0 +1,123 @@
+//! Declustered response-time estimation.
+//!
+//! "Fragmentations declustering query hits broadly over many fragments and
+//! database pages often enable a high degree of parallelism and small
+//! response times, but may lead to a high number of disk I/O thus limiting
+//! throughput." (§3.2) — this module prices the parallelism side.
+
+/// Estimates the I/O response time of a query that accesses `fragments`
+/// fragments, each costing `per_fragment_ms` of device time, declustered
+/// round-robin over `num_disks` disks and processed by `processors`
+/// parallel workers with a multiplicative coordination `overhead`.
+///
+/// Model: accessed fragments spread over `min(fragments, disks)` disks
+/// (logical round-robin placement spreads any contiguous run of fragments
+/// maximally); each disk serves its fragments sequentially, so the I/O
+/// bound is `ceil(fragments / disks_hit) · per_fragment_ms`. Processing
+/// capacity bounds the achievable parallelism from the other side:
+/// response time can never drop below `total_busy / processors`. The
+/// larger bound wins, times the architecture overhead.
+pub fn estimated_response_ms(
+    fragments: f64,
+    per_fragment_ms: f64,
+    num_disks: u32,
+    processors: u32,
+    overhead: f64,
+) -> f64 {
+    if fragments <= 0.0 || per_fragment_ms <= 0.0 {
+        return 0.0;
+    }
+    let disks = f64::from(num_disks.max(1));
+    let disks_hit = fragments.min(disks).max(1.0);
+    // Whole fragments queue per disk (ceiling), but `fragments` is an
+    // expected value and may be fractional — the wave count must never
+    // exceed the total expected work, or a 1.5-fragment query on one disk
+    // would be billed two full fragments.
+    let waves = (fragments / disks_hit).ceil().min(fragments);
+    let rt_io = waves * per_fragment_ms;
+    let total_busy = fragments * per_fragment_ms;
+    let rt_proc = total_busy / f64::from(processors.max(1));
+    rt_io.max(rt_proc) * overhead.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        assert_eq!(estimated_response_ms(0.0, 10.0, 4, 4, 1.0), 0.0);
+        assert_eq!(estimated_response_ms(5.0, 0.0, 4, 4, 1.0), 0.0);
+    }
+
+    #[test]
+    fn single_fragment_is_serial() {
+        assert_close(estimated_response_ms(1.0, 50.0, 16, 16, 1.0), 50.0, 1e-9);
+    }
+
+    #[test]
+    fn full_declustering_divides_by_disks() {
+        // 16 fragments over 16 disks: one wave.
+        assert_close(estimated_response_ms(16.0, 10.0, 16, 16, 1.0), 10.0, 1e-9);
+        // 32 fragments over 16 disks: two waves.
+        assert_close(estimated_response_ms(32.0, 10.0, 16, 16, 1.0), 20.0, 1e-9);
+    }
+
+    #[test]
+    fn more_disks_help_until_fragments_run_out() {
+        let few_disks = estimated_response_ms(8.0, 10.0, 4, 64, 1.0);
+        let enough = estimated_response_ms(8.0, 10.0, 8, 64, 1.0);
+        let surplus = estimated_response_ms(8.0, 10.0, 64, 64, 1.0);
+        assert!(few_disks > enough);
+        assert_close(enough, surplus, 1e-9); // can't go below one wave
+    }
+
+    #[test]
+    fn processors_cap_parallelism() {
+        // 16 fragments, 16 disks, but only 2 processors: 16·10/2 = 80 ms.
+        assert_close(estimated_response_ms(16.0, 10.0, 16, 2, 1.0), 80.0, 1e-9);
+        // With 16 processors the I/O bound (10 ms) wins.
+        assert_close(estimated_response_ms(16.0, 10.0, 16, 16, 1.0), 10.0, 1e-9);
+    }
+
+    #[test]
+    fn overhead_scales_response() {
+        let base = estimated_response_ms(16.0, 10.0, 16, 16, 1.0);
+        let sd = estimated_response_ms(16.0, 10.0, 16, 16, 1.05);
+        assert_close(sd, base * 1.05, 1e-9);
+        // Sub-1.0 overhead is clamped.
+        assert_close(estimated_response_ms(16.0, 10.0, 16, 16, 0.5), base, 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_fragments_for_fixed_per_fragment_cost() {
+        let mut prev = 0.0;
+        for a in 1..=64 {
+            let rt = estimated_response_ms(a as f64, 10.0, 16, 16, 1.0);
+            assert!(rt >= prev - 1e-9);
+            prev = rt;
+        }
+    }
+
+    #[test]
+    fn never_exceeds_total_busy_time() {
+        // Fractional expected fragment counts must not be billed a full
+        // extra wave (regression: 1.5 fragments on 1 disk is 1.5× the
+        // per-fragment time, not 2×).
+        assert_close(estimated_response_ms(1.5, 10.0, 1, 16, 1.0), 15.0, 1e-9);
+        for a in [1.0f64, 1.2, 2.5, 7.9, 16.1, 33.3] {
+            for disks in [1u32, 2, 7, 16] {
+                let rt = estimated_response_ms(a, 10.0, disks, 1024, 1.0);
+                assert!(
+                    rt <= a * 10.0 + 1e-9,
+                    "A={a} disks={disks}: response {rt} exceeds busy {}",
+                    a * 10.0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Page-hit estimation: how many pages a random row selection touches.
+
+use warlock_fragment::expected_distinct_groups;
+
+/// Yao's formula: expected number of pages touched when selecting `k` rows
+/// without replacement from `rows` rows stored in `pages` pages of equal
+/// occupancy.
+///
+/// Exact when `pages` divides `rows`; otherwise falls back to the Cardenas
+/// approximation. `k` may be fractional (expected row counts); it is
+/// evaluated at the rounded value, clamped to `rows`.
+pub fn yao_page_hits(rows: u64, pages: u64, k: f64) -> f64 {
+    if rows == 0 || pages == 0 || k <= 0.0 {
+        return 0.0;
+    }
+    let k_int = (k.round() as u64).clamp(1, rows);
+    if rows.is_multiple_of(pages) {
+        expected_distinct_groups(rows, pages, k_int)
+    } else {
+        cardenas_page_hits(pages, k)
+    }
+}
+
+/// Cardenas' approximation: `pages · (1 − (1 − 1/pages)^k)` — selection
+/// *with* replacement; a slight underestimate of Yao for small `k`.
+pub fn cardenas_page_hits(pages: u64, k: f64) -> f64 {
+    if pages == 0 || k <= 0.0 {
+        return 0.0;
+    }
+    let m = pages as f64;
+    m * (1.0 - (1.0 - 1.0 / m).powf(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn zero_cases() {
+        assert_eq!(yao_page_hits(0, 10, 5.0), 0.0);
+        assert_eq!(yao_page_hits(100, 0, 5.0), 0.0);
+        assert_eq!(yao_page_hits(100, 10, 0.0), 0.0);
+        assert_eq!(cardenas_page_hits(0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn selecting_everything_touches_every_page() {
+        assert_close(yao_page_hits(1000, 10, 1000.0), 10.0, 1e-9);
+    }
+
+    #[test]
+    fn selecting_one_row_touches_one_page() {
+        assert_close(yao_page_hits(1000, 10, 1.0), 1.0, 1e-9);
+        assert_close(cardenas_page_hits(10, 1.0), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn yao_is_monotone_in_k() {
+        let mut prev = 0.0;
+        for k in 0..=200 {
+            let h = yao_page_hits(200, 20, k as f64);
+            assert!(h >= prev - 1e-12);
+            assert!(h <= 20.0 + 1e-12);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn yao_upper_bounds_k_and_pages() {
+        for k in [1.0, 5.0, 50.0, 150.0] {
+            let h = yao_page_hits(1500, 15, k);
+            assert!(h <= k + 1e-9, "hits {h} exceed k {k}");
+            assert!(h <= 15.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cardenas_close_to_yao_for_large_pages() {
+        // 100 rows/page, many pages: both formulas nearly agree.
+        let y = yao_page_hits(100_000, 1000, 500.0);
+        let c = cardenas_page_hits(1000, 500.0);
+        assert!((y - c).abs() / y < 0.01, "yao {y} vs cardenas {c}");
+    }
+
+    #[test]
+    fn cardenas_never_exceeds_yao() {
+        // With-replacement can only collide more.
+        for k in [2.0, 10.0, 100.0, 900.0] {
+            let y = yao_page_hits(10_000, 100, k);
+            let c = cardenas_page_hits(100, k);
+            assert!(c <= y + 1e-9, "k={k}: cardenas {c} > yao {y}");
+        }
+    }
+
+    #[test]
+    fn non_divisible_layout_falls_back() {
+        // 1001 rows in 10 pages — Yao precondition fails, Cardenas used.
+        let h = yao_page_hits(1001, 10, 5.0);
+        assert_close(h, cardenas_page_hits(10, 5.0), 1e-12);
+    }
+
+    #[test]
+    fn fractional_k_rounds() {
+        let a = yao_page_hits(1000, 10, 4.4);
+        let b = yao_page_hits(1000, 10, 4.0);
+        assert_close(a, b, 1e-12);
+        let c = yao_page_hits(1000, 10, 4.6);
+        let d = yao_page_hits(1000, 10, 5.0);
+        assert_close(c, d, 1e-12);
+    }
+}

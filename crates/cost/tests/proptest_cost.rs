@@ -1,0 +1,136 @@
+//! Property tests: analytical cost-model invariants.
+
+use proptest::prelude::*;
+
+use warlock_bitmap::{BitmapScheme, SchemeConfig};
+use warlock_cost::access::estimate_query;
+use warlock_cost::{contention_estimate, LoadPoint};
+use warlock_fragment::{FragmentLayout, Fragmentation};
+use warlock_schema::{apb1_like_schema, Apb1Config, StarSchema};
+use warlock_storage::SystemConfig;
+use warlock_workload::{apb1_like_mix, DimensionPredicate, QueryClass, QueryMix};
+
+fn fixture() -> (StarSchema, QueryMix, BitmapScheme) {
+    let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+    let mix = apb1_like_mix().unwrap();
+    let scheme = BitmapScheme::derive(&schema, &mix, SchemeConfig::default());
+    (schema, mix, scheme)
+}
+
+/// A random valid candidate with bounded fragment counts.
+fn arb_candidate() -> impl Strategy<Value = Fragmentation> {
+    (
+        proptest::option::of(0u16..6),
+        proptest::option::of(0u16..2),
+        proptest::option::of(0u16..3),
+        proptest::option::of(0u16..1),
+    )
+        .prop_map(|(p, c, t, ch)| {
+            let mut pairs = Vec::new();
+            if let Some(l) = p {
+                pairs.push((0u16, l));
+            }
+            if let Some(l) = c {
+                pairs.push((1u16, l));
+            }
+            if let Some(l) = t {
+                pairs.push((2u16, l));
+            }
+            if let Some(l) = ch {
+                pairs.push((3u16, l));
+            }
+            Fragmentation::from_pairs(&pairs).unwrap()
+        })
+        .prop_filter("bounded fragment count", |f| {
+            f.num_fragments(&apb1_like_schema(Apb1Config::default()).unwrap()) <= 1 << 18
+        })
+}
+
+/// A random query class over the APB-1-like schema.
+fn arb_class() -> impl Strategy<Value = QueryClass> {
+    (
+        0usize..4,
+        0u16..6,
+        1u64..4,
+    )
+        .prop_map(|(dim, level_seed, values)| {
+            let levels = [6u16, 2, 3, 1];
+            let cards: [&[u64]; 4] = [
+                &[5, 15, 75, 300, 900, 9000],
+                &[90, 900],
+                &[2, 8, 24],
+                &[9],
+            ];
+            let level = level_seed % levels[dim];
+            let card = cards[dim][level as usize];
+            QueryClass::new("prop").with(
+                dim as u16,
+                DimensionPredicate::range(level, values.min(card)),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn estimate_invariants(frag in arb_candidate(), class in arb_class(), disks in 1u32..64) {
+        let (schema, _, scheme) = fixture();
+        let system = SystemConfig::default_2001(disks);
+        let layout = FragmentLayout::new(&schema, frag, 0);
+        let qc = estimate_query(&schema, &layout, &scheme, &system, &class, 0);
+        // Everything non-negative and finite.
+        prop_assert!(qc.busy_ms.is_finite() && qc.busy_ms > 0.0);
+        prop_assert!(qc.response_ms.is_finite() && qc.response_ms > 0.0);
+        prop_assert!(qc.total_ios >= 0.0 && qc.fact_pages >= 0.0 && qc.bitmap_pages >= 0.0);
+        // Response never exceeds total busy time (parallelism only helps)
+        // and never beats busy/disks (can't out-parallelize the hardware).
+        prop_assert!(qc.response_ms <= qc.busy_ms * 1.0000001);
+        prop_assert!(qc.response_ms * f64::from(disks) >= qc.busy_ms * 0.999);
+        // Accessed fragments bounded by the layout.
+        prop_assert!(qc.fragments_accessed >= 1.0 - 1e-9);
+        prop_assert!(qc.fragments_accessed <= layout.num_fragments() as f64 + 1e-6);
+        // Pages are bounded by a full scan of accessed fragments.
+        prop_assert!(
+            qc.fact_pages <= qc.fragments_accessed * qc.fragment_pages as f64 * 1.0000001
+        );
+    }
+
+    #[test]
+    fn more_disks_never_hurt_response(frag in arb_candidate(), class in arb_class()) {
+        let (schema, _, scheme) = fixture();
+        let layout = FragmentLayout::new(&schema, frag, 0);
+        let mut prev = f64::INFINITY;
+        for disks in [1u32, 4, 16, 64] {
+            let system = SystemConfig::default_2001(disks);
+            let qc = estimate_query(&schema, &layout, &scheme, &system, &class, 0);
+            prop_assert!(qc.response_ms <= prev * 1.0000001);
+            prev = qc.response_ms;
+        }
+    }
+
+    #[test]
+    fn busy_time_is_disk_count_invariant(frag in arb_candidate(), class in arb_class()) {
+        let (schema, _, scheme) = fixture();
+        let layout = FragmentLayout::new(&schema, frag, 0);
+        let a = estimate_query(&schema, &layout, &scheme, &SystemConfig::default_2001(4), &class, 0);
+        let b = estimate_query(&schema, &layout, &scheme, &SystemConfig::default_2001(32), &class, 0);
+        prop_assert!((a.busy_ms - b.busy_ms).abs() < 1e-9);
+        prop_assert!((a.total_ios - b.total_ios).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_inflation_is_monotone_in_load(
+        response in 1.0f64..1000.0,
+        busy in 1.0f64..5000.0,
+        disks in 1u32..64,
+    ) {
+        let mut prev = 0.0;
+        for i in 0..10 {
+            let rate = i as f64 * 1000.0 * f64::from(disks) / busy / 12.0;
+            let est = contention_estimate(response, busy, disks, LoadPoint { arrivals_per_s: rate });
+            prop_assert!(est.response_ms >= prev - 1e-9);
+            prev = est.response_ms;
+        }
+    }
+}

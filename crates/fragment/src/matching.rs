@@ -1,0 +1,403 @@
+//! Query → fragment matching.
+//!
+//! The central property of MDHF: a star query's work can be confined to a
+//! subset of the fragments whenever it references at least one
+//! fragmentation dimension. This module quantifies that — for a query class
+//! and a fragmentation it derives how many fragmentation-attribute values
+//! the query matches per dimension, the expected number of accessed
+//! fragments, and the *residual selectivity*: the fraction of rows inside
+//! the matched fragments that still satisfy the query's predicates.
+
+use warlock_schema::{DimensionId, LevelId, StarSchema};
+use warlock_workload::QueryClass;
+
+use crate::Fragmentation;
+
+/// Match result for one fragmentation dimension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DimensionMatch {
+    /// The fragmentation dimension.
+    pub dimension: DimensionId,
+    /// The fragmentation level on that dimension.
+    pub frag_level: LevelId,
+    /// Effective coordinate cardinality of the fragmentation attribute
+    /// (level cardinality divided by the attribute's range size).
+    pub frag_cardinality: u64,
+    /// Expected number of fragmentation-attribute values the query matches
+    /// on this dimension (equals the cardinality when unreferenced).
+    pub matched_values: f64,
+    /// Whether the query references this dimension at all.
+    pub referenced: bool,
+}
+
+/// Full match of one query class against one fragmentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMatch {
+    per_dimension: Vec<DimensionMatch>,
+    expected_fragments: f64,
+    residual_selectivity: f64,
+    total_selectivity: f64,
+    confined: bool,
+}
+
+impl QueryMatch {
+    /// Evaluates the match of `query` against `fragmentation` on `schema`.
+    ///
+    /// Matching model (uniform nesting, uniformly drawn predicate values):
+    ///
+    /// * query level **coarser or equal** to the fragmentation level: each
+    ///   selected value expands to `card(l_f)/card(l_q)` whole fragment
+    ///   values — whole fragments are covered, no residual filtering;
+    /// * query level **finer**: each selected value maps to its single
+    ///   ancestor fragment value; `n` uniformly drawn distinct values hit
+    ///   `F·(1 − P_untouched)` expected distinct ancestors (classic
+    ///   occupancy), and matched fragments are only partially relevant;
+    /// * dimension **unreferenced**: every fragment value matches.
+    ///
+    /// Dimensions the query references that are *not* fragmentation
+    /// attributes contribute only residual (in-fragment) selectivity.
+    pub fn evaluate(
+        schema: &StarSchema,
+        fragmentation: &Fragmentation,
+        query: &QueryClass,
+    ) -> Self {
+        let mut per_dimension = Vec::with_capacity(fragmentation.dimensionality());
+        let mut expected_fragments = 1.0f64;
+        let mut residual = 1.0f64;
+        let mut confined = false;
+
+        for (i, &attr) in fragmentation.attributes().iter().enumerate() {
+            let dim = schema.dimension(attr.dimension).expect("validated");
+            // Effective coordinate cardinality: level cardinality divided
+            // by the attribute's range size (1 for point fragmentations).
+            let frag_card = fragmentation.effective_cardinality(schema, i);
+            let m = match query.predicate(attr.dimension) {
+                None => DimensionMatch {
+                    dimension: attr.dimension,
+                    frag_level: attr.level,
+                    frag_cardinality: frag_card,
+                    matched_values: frag_card as f64,
+                    referenced: false,
+                },
+                Some(pred) => {
+                    confined = true;
+                    let query_card = dim.cardinality(pred.level).expect("validated query");
+                    let n = pred.values;
+                    // Coarser-or-equal granularity iff the query level has
+                    // at most as many members as there are fragment
+                    // coordinates (divisibility holds because ranges divide
+                    // fan-outs): whole fragments are covered. Otherwise the
+                    // query is finer-grained and occupancy statistics apply.
+                    let matched = if query_card <= frag_card {
+                        // Each coarse value covers frag_card/query_card
+                        // fragment coordinates exactly.
+                        n as f64 * (frag_card as f64 / query_card as f64)
+                        // residual contribution 1: whole fragments covered.
+                    } else {
+                        let matched = expected_distinct_groups(query_card, frag_card, n);
+                        // Partial fragments: rows inside matched fragments
+                        // are filtered further.
+                        let covered_fraction = matched / frag_card as f64;
+                        residual *= (n as f64 / query_card as f64) / covered_fraction;
+                        matched
+                    };
+                    DimensionMatch {
+                        dimension: attr.dimension,
+                        frag_level: attr.level,
+                        frag_cardinality: frag_card,
+                        matched_values: matched,
+                        referenced: true,
+                    }
+                }
+            };
+            expected_fragments *= m.matched_values;
+            per_dimension.push(m);
+        }
+
+        // Referenced dimensions that are not fragmentation attributes
+        // filter rows inside every accessed fragment.
+        for (&dim_id, pred) in query.predicates() {
+            if fragmentation.level_on(dim_id).is_none() {
+                let dim = schema.dimension(dim_id).expect("validated query");
+                let card = dim.cardinality(pred.level).expect("validated query");
+                residual *= pred.values as f64 / card as f64;
+            }
+        }
+
+        Self {
+            per_dimension,
+            expected_fragments,
+            residual_selectivity: residual.min(1.0),
+            total_selectivity: query.selectivity(schema),
+            confined,
+        }
+    }
+
+    /// Per-fragmentation-dimension match details, in attribute order.
+    #[inline]
+    pub fn per_dimension(&self) -> &[DimensionMatch] {
+        &self.per_dimension
+    }
+
+    /// Expected number of fragments the query accesses.
+    #[inline]
+    pub fn expected_fragments(&self) -> f64 {
+        self.expected_fragments
+    }
+
+    /// Fraction of rows *inside the accessed fragments* that satisfy the
+    /// query (1.0 = accessed fragments are read in full).
+    #[inline]
+    pub fn residual_selectivity(&self) -> f64 {
+        self.residual_selectivity
+    }
+
+    /// Overall fraction of fact rows the query selects.
+    #[inline]
+    pub fn total_selectivity(&self) -> f64 {
+        self.total_selectivity
+    }
+
+    /// Whether the query references at least one fragmentation dimension
+    /// (the MDHF confinement property).
+    #[inline]
+    pub fn confined(&self) -> bool {
+        self.confined
+    }
+
+    /// Expected rows the query selects in total, given the fact row count.
+    #[inline]
+    pub fn expected_rows(&self, fact_rows: u64) -> f64 {
+        self.total_selectivity * fact_rows as f64
+    }
+
+    /// Expected rows read per accessed fragment, given uniform fragment
+    /// sizes.
+    pub fn rows_per_accessed_fragment(&self, fact_rows: u64, num_fragments: u64) -> f64 {
+        let fragment_rows = fact_rows as f64 / num_fragments as f64;
+        fragment_rows * self.residual_selectivity
+    }
+}
+
+/// Expected number of distinct groups hit when drawing `n` distinct values
+/// uniformly from `q` values that partition into `f` equal groups.
+///
+/// `P(one group untouched) = C(q−g, n) / C(q, n)` with `g = q/f`, evaluated
+/// as a stable product; the expectation is `f · (1 − P)`.
+pub fn expected_distinct_groups(q: u64, f: u64, n: u64) -> f64 {
+    debug_assert!(f >= 1 && q >= f && q.is_multiple_of(f), "q={q} f={f}");
+    let g = q / f;
+    if n == 0 {
+        return 0.0;
+    }
+    if n >= q {
+        return f as f64;
+    }
+    // If removing one group leaves fewer than n values, every group is hit.
+    if q - g < n {
+        return f as f64;
+    }
+    // P(untouched) = Π_{i=0..g-1} (q - n - i) / (q - i)
+    let mut p = 1.0f64;
+    for i in 0..g {
+        p *= (q - n - i) as f64 / (q - i) as f64;
+        if p == 0.0 {
+            break;
+        }
+    }
+    f as f64 * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_schema::{apb1_like_schema, Apb1Config};
+    use warlock_workload::{DimensionPredicate, QueryClass};
+
+    fn schema() -> StarSchema {
+        apb1_like_schema(Apb1Config::default()).unwrap()
+    }
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn distinct_groups_edge_cases() {
+        // n = 0 touches nothing; n = q touches all groups.
+        assert_eq!(expected_distinct_groups(24, 8, 0), 0.0);
+        assert_eq!(expected_distinct_groups(24, 8, 24), 8.0);
+        // One group: always 1 once n > 0.
+        assert_close(expected_distinct_groups(24, 1, 1), 1.0, 1e-12);
+        // Groups of size 1 (f = q): exactly n groups.
+        assert_close(expected_distinct_groups(24, 24, 5), 5.0, 1e-12);
+    }
+
+    #[test]
+    fn distinct_groups_monotone_in_n() {
+        let mut prev = 0.0;
+        for n in 0..=24 {
+            let e = expected_distinct_groups(24, 8, n);
+            assert!(e >= prev - 1e-12);
+            assert!(e <= 8.0 + 1e-12);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn distinct_groups_exact_small_case() {
+        // q=4, f=2 (groups {0,1},{2,3}), n=2: P(same group) = 2/6, so
+        // E = 2·(1/3·1/2 ... ) — direct: distinct = 1 w.p. 1/3, 2 w.p. 2/3
+        // → E = 5/3.
+        assert_close(expected_distinct_groups(4, 2, 2), 5.0 / 3.0, 1e-12);
+    }
+
+    #[test]
+    fn coarser_query_covers_whole_fragments() {
+        let s = schema();
+        // Fragment by time.month (24); query on time.quarter, 1 value.
+        let f = Fragmentation::from_pairs(&[(2, 2)]).unwrap();
+        let q = QueryClass::new("q").with(2, DimensionPredicate::point(1));
+        let m = QueryMatch::evaluate(&s, &f, &q);
+        // One quarter = 3 months.
+        assert_close(m.expected_fragments(), 3.0, 1e-12);
+        assert_close(m.residual_selectivity(), 1.0, 1e-12);
+        assert!(m.confined());
+    }
+
+    #[test]
+    fn equal_level_matches_exactly() {
+        let s = schema();
+        let f = Fragmentation::from_pairs(&[(2, 2)]).unwrap();
+        let q = QueryClass::new("q").with(2, DimensionPredicate::range(2, 4));
+        let m = QueryMatch::evaluate(&s, &f, &q);
+        assert_close(m.expected_fragments(), 4.0, 1e-12);
+        assert_close(m.residual_selectivity(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn finer_query_hits_partial_fragments() {
+        let s = schema();
+        // Fragment by time.quarter (8); query one month.
+        let f = Fragmentation::from_pairs(&[(2, 1)]).unwrap();
+        let q = QueryClass::new("q").with(2, DimensionPredicate::point(2));
+        let m = QueryMatch::evaluate(&s, &f, &q);
+        assert_close(m.expected_fragments(), 1.0, 1e-12);
+        // Fragment holds 3 months; 1 selected → residual 1/3.
+        assert_close(m.residual_selectivity(), 1.0 / 3.0, 1e-12);
+    }
+
+    #[test]
+    fn unreferenced_fragmentation_dimension_multiplies_fragments() {
+        let s = schema();
+        // Fragment by channel (9) only; query references time only.
+        let f = Fragmentation::from_pairs(&[(3, 0)]).unwrap();
+        let q = QueryClass::new("q").with(2, DimensionPredicate::point(2));
+        let m = QueryMatch::evaluate(&s, &f, &q);
+        assert_close(m.expected_fragments(), 9.0, 1e-12);
+        assert!(!m.confined());
+        // Time predicate becomes residual: 1/24.
+        assert_close(m.residual_selectivity(), 1.0 / 24.0, 1e-12);
+    }
+
+    #[test]
+    fn multi_dimensional_match_multiplies() {
+        let s = schema();
+        // product.class (900) × time.month (24); query: one class, one quarter.
+        let f = Fragmentation::from_pairs(&[(0, 4), (2, 2)]).unwrap();
+        let q = QueryClass::new("q")
+            .with(0, DimensionPredicate::point(4))
+            .with(2, DimensionPredicate::point(1));
+        let m = QueryMatch::evaluate(&s, &f, &q);
+        // 1 class × 3 months of the quarter.
+        assert_close(m.expected_fragments(), 3.0, 1e-12);
+        assert_close(m.residual_selectivity(), 1.0, 1e-12);
+        assert_eq!(m.per_dimension().len(), 2);
+        assert!(m.per_dimension()[0].referenced);
+    }
+
+    #[test]
+    fn baseline_fragmentation_reads_the_single_fragment() {
+        let s = schema();
+        let f = Fragmentation::none();
+        let q = QueryClass::new("q").with(0, DimensionPredicate::point(5));
+        let m = QueryMatch::evaluate(&s, &f, &q);
+        assert_close(m.expected_fragments(), 1.0, 1e-12);
+        assert!(!m.confined());
+        // All filtering is residual.
+        assert_close(m.residual_selectivity(), 1.0 / 9000.0, 1e-15);
+    }
+
+    #[test]
+    fn selectivity_consistency_identity() {
+        // total selectivity == (expected_fragments / num_fragments) ×
+        // residual, for every combination where matching is exact (coarser
+        // or equal references).
+        let s = schema();
+        let f = Fragmentation::from_pairs(&[(0, 4), (2, 2)]).unwrap();
+        let q = QueryClass::new("q")
+            .with(0, DimensionPredicate::point(3)) // group, coarser than class
+            .with(2, DimensionPredicate::point(2)) // month, equal
+            .with(3, DimensionPredicate::point(0)); // channel, residual
+        let m = QueryMatch::evaluate(&s, &f, &q);
+        let num_fragments = (900 * 24) as f64;
+        let lhs = m.total_selectivity();
+        let rhs = m.expected_fragments() / num_fragments * m.residual_selectivity();
+        assert_close(lhs, rhs, 1e-15);
+    }
+
+    #[test]
+    fn ranged_fragmentation_equals_equivalent_parent_level() {
+        // product.code[r=10] groups 10 codes per coordinate — under
+        // uniform nesting that is *exactly* fragmenting by product.class.
+        // Every query class must match identically.
+        let s = schema();
+        let ranged = Fragmentation::from_ranged_pairs(&[(0, 5, 10), (2, 2, 1)]).unwrap();
+        let parent = Fragmentation::from_pairs(&[(0, 4), (2, 2)]).unwrap();
+        for q in [
+            QueryClass::new("coarse").with(0, DimensionPredicate::point(1)),
+            QueryClass::new("equal").with(0, DimensionPredicate::range(4, 3)),
+            QueryClass::new("finer").with(0, DimensionPredicate::range(5, 7)),
+            QueryClass::new("other")
+                .with(2, DimensionPredicate::point(1))
+                .with(3, DimensionPredicate::point(0)),
+        ] {
+            let a = QueryMatch::evaluate(&s, &ranged, &q);
+            let b = QueryMatch::evaluate(&s, &parent, &q);
+            assert_close(a.expected_fragments(), b.expected_fragments(), 1e-9);
+            assert_close(a.residual_selectivity(), b.residual_selectivity(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn ranged_intermediate_granularity() {
+        // month[r=3] creates quarter-equivalent coordinates: a month query
+        // hits one coordinate with residual 1/3.
+        let s = schema();
+        let f = Fragmentation::from_ranged_pairs(&[(2, 2, 3)]).unwrap();
+        let q = QueryClass::new("q").with(2, DimensionPredicate::point(2));
+        let m = QueryMatch::evaluate(&s, &f, &q);
+        assert_close(m.expected_fragments(), 1.0, 1e-12);
+        assert_close(m.residual_selectivity(), 1.0 / 3.0, 1e-12);
+        // A quarter query covers exactly one whole coordinate.
+        let q = QueryClass::new("q").with(2, DimensionPredicate::point(1));
+        let m = QueryMatch::evaluate(&s, &f, &q);
+        assert_close(m.expected_fragments(), 1.0, 1e-12);
+        assert_close(m.residual_selectivity(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn rows_helpers() {
+        let s = schema();
+        let f = Fragmentation::from_pairs(&[(2, 2)]).unwrap();
+        let q = QueryClass::new("q").with(2, DimensionPredicate::point(2));
+        let m = QueryMatch::evaluate(&s, &f, &q);
+        let rows = s.fact_rows(0);
+        assert_close(m.expected_rows(rows), rows as f64 / 24.0, 1e-6);
+        assert_close(
+            m.rows_per_accessed_fragment(rows, 24),
+            rows as f64 / 24.0,
+            1e-6,
+        );
+    }
+}

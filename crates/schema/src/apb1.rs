@@ -1,0 +1,191 @@
+//! APB-1-like preset schema.
+//!
+//! The WARLOCK demonstration used configurations modeled after the OLAP
+//! Council's APB-1 benchmark (Release II, 1998). The original APB-1
+//! specification is not redistributable, so this module reconstructs an
+//! *APB-1-like* configuration with the same shape: four hierarchical
+//! dimensions (product, customer, time, channel) and a sales fact table
+//! whose size is controlled by a density factor.
+//!
+//! Cardinalities follow the published outline of APB-1 (≈9000 products,
+//! 900 customer stores, 24 months, 9 channels), adjusted minimally so that
+//! every fan-out is integral as the uniform-nesting model requires.
+
+use crate::{Dimension, FactTable, SchemaError, StarSchema};
+
+/// Tunable knobs of the APB-1-like preset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Apb1Config {
+    /// Fraction of the dimensional cross product present in the fact table.
+    /// APB-1 uses channel-dependent densities around 1 %; the preset default
+    /// is `0.01`.
+    pub density: f64,
+    /// Multiplier on the bottom (code-level) product cardinality; `1` gives
+    /// the standard 9000 products. Larger values scale the warehouse.
+    pub product_scale: u64,
+    /// Multiplier on the customer store count; `1` gives 900 stores.
+    pub customer_scale: u64,
+    /// Number of months of history; must be a multiple of 12. Default 24.
+    pub months: u64,
+}
+
+impl Default for Apb1Config {
+    fn default() -> Self {
+        Self {
+            density: 0.01,
+            product_scale: 1,
+            customer_scale: 1,
+            months: 24,
+        }
+    }
+}
+
+impl Apb1Config {
+    /// Validates the configuration invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.density > 0.0 && self.density <= 1.0) {
+            return Err(format!("density must be in (0,1], got {}", self.density));
+        }
+        if self.product_scale == 0 || self.customer_scale == 0 {
+            return Err("scales must be >= 1".into());
+        }
+        if self.months == 0 || !self.months.is_multiple_of(12) {
+            return Err(format!("months must be a positive multiple of 12, got {}", self.months));
+        }
+        Ok(())
+    }
+}
+
+/// Builds the APB-1-like star schema.
+///
+/// Default dimensions:
+///
+/// | dimension | levels (coarse → fine) | cardinalities |
+/// |-----------|------------------------|---------------|
+/// | product   | division, line, family, group, class, code | 5, 15, 75, 300, 900, 9000 |
+/// | customer  | retailer, store        | 90, 900 |
+/// | time      | year, quarter, month   | 2, 8, 24 |
+/// | channel   | base                   | 9 |
+///
+/// The fact table `sales` has APB-1's measure set (unit sales, dollar
+/// sales, cost, inventory) and a density-derived row count — with the
+/// defaults `0.01 × 9000 × 900 × 24 × 9 ≈ 17.5 M` rows.
+pub fn apb1_like_schema(config: Apb1Config) -> Result<StarSchema, SchemaError> {
+    config.validate().expect("invalid Apb1Config");
+    let ps = config.product_scale;
+    let cs = config.customer_scale;
+    let years = config.months / 12;
+
+    let product = Dimension::builder("product")
+        .level("division", 5)
+        .level("line", 15)
+        .level("family", 75)
+        .level("group", 300)
+        .level("class", 900)
+        .level("code", 9000 * ps)
+        .build()?;
+    let customer = Dimension::builder("customer")
+        .level("retailer", 90)
+        .level("store", 900 * cs)
+        .build()?;
+    let time = Dimension::builder("time")
+        .level("year", years)
+        .level("quarter", years * 4)
+        .level("month", config.months)
+        .build()?;
+    let channel = Dimension::builder("channel").level("base", 9).build()?;
+
+    let fact = FactTable::builder("sales")
+        .measure("unit_sales", 8)
+        .measure("dollar_sales", 8)
+        .measure("cost", 8)
+        .measure("inventory", 8)
+        .density(config.density)
+        .build();
+
+    StarSchema::builder()
+        .dimension(product)
+        .dimension(customer)
+        .dimension(time)
+        .dimension(channel)
+        .fact(fact)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preset_builds() {
+        let s = apb1_like_schema(Apb1Config::default()).unwrap();
+        assert_eq!(s.num_dimensions(), 4);
+        assert_eq!(s.bottom_cardinality_product(), 9000 * 900 * 24 * 9);
+        // ~17.5 M rows at density 0.01
+        let rows = s.fact_rows(0);
+        assert_eq!(rows, (9000u64 * 900 * 24 * 9) / 100);
+        // 8 overhead + 4 FKs * 4 + 4 measures * 8 = 56 bytes
+        assert_eq!(s.fact_row_bytes(0), 56);
+    }
+
+    #[test]
+    fn scaling_multiplies_cardinalities() {
+        let s = apb1_like_schema(Apb1Config {
+            product_scale: 2,
+            customer_scale: 3,
+            months: 36,
+            ..Default::default()
+        })
+        .unwrap();
+        let (_, product) = s.dimension_by_name("product").unwrap();
+        assert_eq!(product.bottom().cardinality(), 18000);
+        let (_, customer) = s.dimension_by_name("customer").unwrap();
+        assert_eq!(customer.bottom().cardinality(), 2700);
+        let (_, time) = s.dimension_by_name("time").unwrap();
+        assert_eq!(time.levels()[0].cardinality(), 3);
+        assert_eq!(time.bottom().cardinality(), 36);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Apb1Config::default().validate().is_ok());
+        assert!(Apb1Config {
+            density: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Apb1Config {
+            months: 13,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Apb1Config {
+            product_scale: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Apb1Config")]
+    fn schema_build_panics_on_invalid_config() {
+        let _ = apb1_like_schema(Apb1Config {
+            density: 2.0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn all_fanouts_are_integral() {
+        let s = apb1_like_schema(Apb1Config::default()).unwrap();
+        for d in s.dimensions() {
+            for li in 0..d.depth() {
+                let f = d.fanout(crate::LevelId(li as u16)).unwrap();
+                assert!(f >= 1, "fanout must be >= 1 in {}", d.name());
+            }
+        }
+    }
+}

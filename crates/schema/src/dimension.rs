@@ -1,0 +1,332 @@
+//! Hierarchically organized dimensions.
+//!
+//! A dimension is an ordered list of [`Level`]s from coarse to fine, e.g.
+//! `time: year → quarter → month`. Each level carries the *total* number of
+//! distinct members at that level. Under the uniform-nesting model every
+//! member of a level has the same number of children, so each cardinality
+//! must be an integral multiple of its parent's.
+
+use crate::{LevelId, SchemaError};
+
+/// One hierarchy level (dimension attribute) of a dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Level {
+    name: String,
+    cardinality: u64,
+}
+
+impl Level {
+    /// The attribute name of this level (unique within its dimension).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of distinct members at this level.
+    #[inline]
+    pub fn cardinality(&self) -> u64 {
+        self.cardinality
+    }
+}
+
+/// A denormalized, hierarchically organized dimension table.
+///
+/// Levels are stored coarse → fine; [`Dimension::bottom`] is the finest
+/// level, which the fact table references by foreign key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimension {
+    name: String,
+    levels: Vec<Level>,
+}
+
+impl Dimension {
+    /// Starts building a dimension with the given name.
+    pub fn builder(name: impl Into<String>) -> DimensionBuilder {
+        DimensionBuilder {
+            name: name.into(),
+            levels: Vec::new(),
+        }
+    }
+
+    /// The dimension's name (unique within its schema).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All levels, ordered coarse → fine.
+    #[inline]
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Number of levels in the hierarchy.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Looks a level up by id.
+    pub fn level(&self, id: LevelId) -> Result<&Level, SchemaError> {
+        self.levels.get(id.index()).ok_or(SchemaError::UnknownLevel {
+            dimension: self.name.clone(),
+            index: id.index(),
+        })
+    }
+
+    /// The id of the finest (bottom) level.
+    #[inline]
+    pub fn bottom_level(&self) -> LevelId {
+        LevelId((self.levels.len() - 1) as u16)
+    }
+
+    /// The finest (bottom) level itself.
+    #[inline]
+    pub fn bottom(&self) -> &Level {
+        self.levels.last().expect("validated: at least one level")
+    }
+
+    /// Cardinality of the given level.
+    pub fn cardinality(&self, id: LevelId) -> Result<u64, SchemaError> {
+        Ok(self.level(id)?.cardinality())
+    }
+
+    /// Fan-out of `level`: how many members of `level` nest under one member
+    /// of its parent level. The coarsest level's fan-out is its own
+    /// cardinality (children of the implicit ALL root).
+    pub fn fanout(&self, id: LevelId) -> Result<u64, SchemaError> {
+        let card = self.cardinality(id)?;
+        if id.index() == 0 {
+            return Ok(card);
+        }
+        let parent = self.levels[id.index() - 1].cardinality();
+        Ok(card / parent)
+    }
+
+    /// How many members of `fine` descend from one member of `coarse`.
+    ///
+    /// Requires `coarse` to be at least as coarse as `fine`; equal levels
+    /// yield 1.
+    pub fn descendants_per_member(
+        &self,
+        coarse: LevelId,
+        fine: LevelId,
+    ) -> Result<u64, SchemaError> {
+        assert!(
+            coarse.is_coarser_or_equal(fine),
+            "descendants_per_member requires coarse <= fine"
+        );
+        let c = self.cardinality(coarse)?;
+        let f = self.cardinality(fine)?;
+        Ok(f / c)
+    }
+
+    /// Maps a bottom-level member ordinal to its ancestor ordinal at `level`.
+    ///
+    /// Under uniform nesting member `m` of the bottom level descends from
+    /// ancestor `m / descendants_per_member(level, bottom)` at `level`.
+    pub fn ancestor_of_bottom(&self, bottom_member: u64, level: LevelId) -> u64 {
+        let per = self.bottom().cardinality() / self.levels[level.index()].cardinality();
+        bottom_member / per
+    }
+
+    /// Finds a level id by attribute name.
+    pub fn level_by_name(&self, name: &str) -> Option<LevelId> {
+        self.levels
+            .iter()
+            .position(|l| l.name == name)
+            .map(|i| LevelId(i as u16))
+    }
+}
+
+/// Builder for [`Dimension`]; validates the hierarchy on [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct DimensionBuilder {
+    name: String,
+    levels: Vec<Level>,
+}
+
+impl DimensionBuilder {
+    /// Appends the next finer level with the given total cardinality.
+    pub fn level(mut self, name: impl Into<String>, cardinality: u64) -> Self {
+        self.levels.push(Level {
+            name: name.into(),
+            cardinality,
+        });
+        self
+    }
+
+    /// Validates the hierarchy and produces the dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError`] if the dimension has no levels, a level has
+    /// cardinality zero or duplicates a name, cardinalities do not strictly
+    /// increase, or a fan-out is fractional.
+    pub fn build(self) -> Result<Dimension, SchemaError> {
+        if self.levels.is_empty() {
+            return Err(SchemaError::EmptyDimension {
+                dimension: self.name,
+            });
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for level in &self.levels {
+            if level.cardinality == 0 {
+                return Err(SchemaError::ZeroCardinality {
+                    dimension: self.name,
+                    level: level.name.clone(),
+                });
+            }
+            if !seen.insert(level.name.as_str().to_owned()) {
+                return Err(SchemaError::DuplicateName {
+                    name: level.name.clone(),
+                });
+            }
+        }
+        for pair in self.levels.windows(2) {
+            let (parent, child) = (&pair[0], &pair[1]);
+            if child.cardinality <= parent.cardinality {
+                return Err(SchemaError::NonIncreasingCardinality {
+                    dimension: self.name,
+                    level: child.name.clone(),
+                    parent_cardinality: parent.cardinality,
+                    cardinality: child.cardinality,
+                });
+            }
+            if child.cardinality % parent.cardinality != 0 {
+                return Err(SchemaError::RaggedFanout {
+                    dimension: self.name,
+                    level: child.name.clone(),
+                    parent_cardinality: parent.cardinality,
+                    cardinality: child.cardinality,
+                });
+            }
+        }
+        Ok(Dimension {
+            name: self.name,
+            levels: self.levels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product() -> Dimension {
+        Dimension::builder("product")
+            .level("division", 5)
+            .level("line", 15)
+            .level("family", 75)
+            .level("group", 300)
+            .level("class", 900)
+            .level("code", 9000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_valid_hierarchy() {
+        let d = product();
+        assert_eq!(d.depth(), 6);
+        assert_eq!(d.bottom().cardinality(), 9000);
+        assert_eq!(d.bottom_level(), LevelId(5));
+        assert_eq!(d.name(), "product");
+    }
+
+    #[test]
+    fn fanouts() {
+        let d = product();
+        assert_eq!(d.fanout(LevelId(0)).unwrap(), 5); // divisions under ALL
+        assert_eq!(d.fanout(LevelId(1)).unwrap(), 3); // lines per division
+        assert_eq!(d.fanout(LevelId(5)).unwrap(), 10); // codes per class
+    }
+
+    #[test]
+    fn descendants_per_member() {
+        let d = product();
+        assert_eq!(
+            d.descendants_per_member(LevelId(0), LevelId(5)).unwrap(),
+            1800
+        );
+        assert_eq!(d.descendants_per_member(LevelId(2), LevelId(2)).unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "coarse <= fine")]
+    fn descendants_rejects_inverted_order() {
+        let d = product();
+        let _ = d.descendants_per_member(LevelId(5), LevelId(0));
+    }
+
+    #[test]
+    fn ancestor_mapping_is_uniform() {
+        let d = product();
+        // 9000 codes / 5 divisions = 1800 codes per division.
+        assert_eq!(d.ancestor_of_bottom(0, LevelId(0)), 0);
+        assert_eq!(d.ancestor_of_bottom(1799, LevelId(0)), 0);
+        assert_eq!(d.ancestor_of_bottom(1800, LevelId(0)), 1);
+        assert_eq!(d.ancestor_of_bottom(8999, LevelId(0)), 4);
+        // identity at the bottom level
+        assert_eq!(d.ancestor_of_bottom(1234, LevelId(5)), 1234);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let err = Dimension::builder("empty").build().unwrap_err();
+        assert!(matches!(err, SchemaError::EmptyDimension { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_cardinality() {
+        let err = Dimension::builder("d").level("a", 0).build().unwrap_err();
+        assert!(matches!(err, SchemaError::ZeroCardinality { .. }));
+    }
+
+    #[test]
+    fn rejects_non_increasing() {
+        let err = Dimension::builder("d")
+            .level("a", 10)
+            .level("b", 10)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::NonIncreasingCardinality { .. }));
+    }
+
+    #[test]
+    fn rejects_ragged_fanout() {
+        let err = Dimension::builder("d")
+            .level("a", 4)
+            .level("b", 15)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::RaggedFanout { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_level_name() {
+        let err = Dimension::builder("d")
+            .level("a", 4)
+            .level("a", 8)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn level_lookup_by_name_and_id() {
+        let d = product();
+        assert_eq!(d.level_by_name("group"), Some(LevelId(3)));
+        assert_eq!(d.level_by_name("nope"), None);
+        assert!(d.level(LevelId(6)).is_err());
+        assert_eq!(d.level(LevelId(4)).unwrap().name(), "class");
+    }
+
+    #[test]
+    fn single_level_dimension_is_valid() {
+        let d = Dimension::builder("channel").level("base", 9).build().unwrap();
+        assert_eq!(d.depth(), 1);
+        assert_eq!(d.fanout(LevelId(0)).unwrap(), 9);
+        assert_eq!(d.bottom_level(), LevelId(0));
+    }
+}

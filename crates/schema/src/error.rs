@@ -1,0 +1,144 @@
+//! Error type for schema construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a star schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A dimension was declared without any level.
+    EmptyDimension {
+        /// Name of the offending dimension.
+        dimension: String,
+    },
+    /// A level was declared with cardinality zero.
+    ZeroCardinality {
+        /// Name of the offending dimension.
+        dimension: String,
+        /// Name of the offending level.
+        level: String,
+    },
+    /// Level cardinalities must strictly increase from coarse to fine.
+    NonIncreasingCardinality {
+        /// Name of the offending dimension.
+        dimension: String,
+        /// Name of the finer level whose cardinality does not increase.
+        level: String,
+        /// Cardinality of the coarser (parent) level.
+        parent_cardinality: u64,
+        /// Cardinality of the finer level.
+        cardinality: u64,
+    },
+    /// Under uniform nesting every level cardinality must be an integral
+    /// multiple of its parent's cardinality.
+    RaggedFanout {
+        /// Name of the offending dimension.
+        dimension: String,
+        /// Name of the finer level with the fractional fan-out.
+        level: String,
+        /// Cardinality of the coarser (parent) level.
+        parent_cardinality: u64,
+        /// Cardinality of the finer level.
+        cardinality: u64,
+    },
+    /// Two dimensions (or two levels within one dimension) share a name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The schema was built without any dimension.
+    NoDimensions,
+    /// The schema was built without a fact table.
+    NoFactTable,
+    /// A fact table would contain zero rows.
+    EmptyFactTable {
+        /// Name of the offending fact table.
+        fact: String,
+    },
+    /// A referenced dimension id does not exist in the schema.
+    UnknownDimension {
+        /// The out-of-range dimension index.
+        index: usize,
+    },
+    /// A referenced level id does not exist in its dimension.
+    UnknownLevel {
+        /// The dimension in which the lookup happened.
+        dimension: String,
+        /// The out-of-range level index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDimension { dimension } => {
+                write!(f, "dimension `{dimension}` has no levels")
+            }
+            Self::ZeroCardinality { dimension, level } => {
+                write!(f, "level `{dimension}.{level}` has cardinality 0")
+            }
+            Self::NonIncreasingCardinality {
+                dimension,
+                level,
+                parent_cardinality,
+                cardinality,
+            } => write!(
+                f,
+                "level `{dimension}.{level}` cardinality {cardinality} does not exceed \
+                 its parent's cardinality {parent_cardinality}"
+            ),
+            Self::RaggedFanout {
+                dimension,
+                level,
+                parent_cardinality,
+                cardinality,
+            } => write!(
+                f,
+                "level `{dimension}.{level}` cardinality {cardinality} is not an integral \
+                 multiple of its parent's cardinality {parent_cardinality} (uniform nesting)"
+            ),
+            Self::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            Self::NoDimensions => write!(f, "star schema has no dimensions"),
+            Self::NoFactTable => write!(f, "star schema has no fact table"),
+            Self::EmptyFactTable { fact } => {
+                write!(f, "fact table `{fact}` has zero rows")
+            }
+            Self::UnknownDimension { index } => {
+                write!(f, "dimension index {index} out of range")
+            }
+            Self::UnknownLevel { dimension, index } => {
+                write!(f, "level index {index} out of range in dimension `{dimension}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SchemaError::RaggedFanout {
+            dimension: "product".into(),
+            level: "class".into(),
+            parent_cardinality: 4,
+            cardinality: 15,
+        };
+        let s = e.to_string();
+        assert!(s.contains("product.class"));
+        assert!(s.contains("15"));
+        assert!(s.contains('4'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SchemaError::NoDimensions, SchemaError::NoDimensions);
+        assert_ne!(
+            SchemaError::NoDimensions,
+            SchemaError::DuplicateName { name: "x".into() }
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Fact tables and measures.
+//!
+//! A fact table holds one row per recorded event; each row carries one
+//! foreign key per dimension (referencing the bottom level) and a set of
+//! measure attributes used for aggregation. The model is statistical: only
+//! row counts and byte widths matter for allocation decisions.
+
+use crate::{FOREIGN_KEY_BYTES, ROW_OVERHEAD_BYTES};
+
+/// One measure attribute of a fact table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Measure {
+    name: String,
+    bytes: u32,
+}
+
+impl Measure {
+    /// The measure's column name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Storage width of the measure, in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u32 {
+        self.bytes
+    }
+}
+
+/// How the fact-table row count is specified.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RowSpec {
+    /// Explicit row count.
+    Explicit(u64),
+    /// Fraction of the full cross product of bottom-level cardinalities
+    /// (APB-1 calls this *density*).
+    Density(f64),
+}
+
+/// Metadata of one fact table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactTable {
+    name: String,
+    measures: Vec<Measure>,
+    row_spec: RowSpec,
+    explicit_row_bytes: Option<u32>,
+}
+
+impl FactTable {
+    /// Starts building a fact table with the given name.
+    pub fn builder(name: impl Into<String>) -> FactTableBuilder {
+        FactTableBuilder {
+            name: name.into(),
+            measures: Vec::new(),
+            row_spec: RowSpec::Explicit(0),
+            explicit_row_bytes: None,
+        }
+    }
+
+    /// The fact table's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared measures.
+    #[inline]
+    pub fn measures(&self) -> &[Measure] {
+        &self.measures
+    }
+
+    /// Width of one fact row in bytes.
+    ///
+    /// If not set explicitly this is `overhead + #dims·fk + Σ measure widths`;
+    /// the number of dimensions is supplied by the schema at validation time
+    /// via [`FactTable::row_bytes_for`].
+    pub fn row_bytes_for(&self, num_dimensions: usize) -> u32 {
+        if let Some(b) = self.explicit_row_bytes {
+            return b;
+        }
+        ROW_OVERHEAD_BYTES
+            + num_dimensions as u32 * FOREIGN_KEY_BYTES
+            + self.measures.iter().map(Measure::bytes).sum::<u32>()
+    }
+
+    /// Resolves the row count given the product of bottom cardinalities.
+    pub fn rows_for(&self, bottom_cardinality_product: u128) -> u64 {
+        match self.row_spec {
+            RowSpec::Explicit(n) => n,
+            RowSpec::Density(d) => {
+                let raw = (bottom_cardinality_product as f64) * d;
+                raw.round().max(0.0) as u64
+            }
+        }
+    }
+
+    /// Returns the density if the row count was density-specified.
+    pub fn density(&self) -> Option<f64> {
+        match self.row_spec {
+            RowSpec::Density(d) => Some(d),
+            RowSpec::Explicit(_) => None,
+        }
+    }
+}
+
+/// Builder for [`FactTable`].
+#[derive(Debug, Clone)]
+pub struct FactTableBuilder {
+    name: String,
+    measures: Vec<Measure>,
+    row_spec: RowSpec,
+    explicit_row_bytes: Option<u32>,
+}
+
+impl FactTableBuilder {
+    /// Adds a measure column of the given byte width.
+    pub fn measure(mut self, name: impl Into<String>, bytes: u32) -> Self {
+        self.measures.push(Measure {
+            name: name.into(),
+            bytes,
+        });
+        self
+    }
+
+    /// Sets an explicit row count.
+    pub fn rows(mut self, rows: u64) -> Self {
+        self.row_spec = RowSpec::Explicit(rows);
+        self
+    }
+
+    /// Sets the row count as a density: the fraction of all bottom-level
+    /// value combinations that actually occur (APB-1 style).
+    pub fn density(mut self, density: f64) -> Self {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "density must be in (0, 1], got {density}"
+        );
+        self.row_spec = RowSpec::Density(density);
+        self
+    }
+
+    /// Overrides the computed row width with an explicit byte count.
+    pub fn row_bytes(mut self, bytes: u32) -> Self {
+        self.explicit_row_bytes = Some(bytes);
+        self
+    }
+
+    /// Produces the fact table. Row-count validation happens at schema
+    /// build time, when the dimensions are known.
+    pub fn build(self) -> FactTable {
+        FactTable {
+            name: self.name,
+            measures: self.measures,
+            row_spec: self.row_spec,
+            explicit_row_bytes: self.explicit_row_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_bytes_computed_from_shape() {
+        let f = FactTable::builder("sales")
+            .measure("units", 8)
+            .measure("dollars", 8)
+            .rows(100)
+            .build();
+        // 8 overhead + 4 dims * 4 bytes + 16 measure bytes
+        assert_eq!(f.row_bytes_for(4), 8 + 16 + 16);
+        assert_eq!(f.row_bytes_for(2), 8 + 8 + 16);
+    }
+
+    #[test]
+    fn explicit_row_bytes_win() {
+        let f = FactTable::builder("sales").row_bytes(100).rows(1).build();
+        assert_eq!(f.row_bytes_for(4), 100);
+    }
+
+    #[test]
+    fn explicit_rows() {
+        let f = FactTable::builder("sales").rows(1_000_000).build();
+        assert_eq!(f.rows_for(123_456_789), 1_000_000);
+        assert_eq!(f.density(), None);
+    }
+
+    #[test]
+    fn density_rows() {
+        let f = FactTable::builder("sales").density(0.01).build();
+        assert_eq!(f.rows_for(1_000_000), 10_000);
+        assert_eq!(f.density(), Some(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in (0, 1]")]
+    fn rejects_bad_density() {
+        let _ = FactTable::builder("sales").density(1.5);
+    }
+
+    #[test]
+    fn measures_accessible() {
+        let f = FactTable::builder("sales").measure("m", 4).rows(1).build();
+        assert_eq!(f.measures().len(), 1);
+        assert_eq!(f.measures()[0].name(), "m");
+        assert_eq!(f.measures()[0].bytes(), 4);
+        assert_eq!(f.name(), "sales");
+    }
+}

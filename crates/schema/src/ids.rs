@@ -1,0 +1,135 @@
+//! Typed identifiers for dimensions and hierarchy levels.
+//!
+//! The advisor passes (dimension, level) pairs around constantly — as
+//! fragmentation attributes, query references, bitmap subjects. Typed ids
+//! keep those from being confused with plain indices and make the public
+//! API self-describing.
+
+use std::fmt;
+
+/// Index of a dimension within a [`StarSchema`](crate::StarSchema).
+///
+/// Dimension ids are dense: the `i`-th dimension added to the schema builder
+/// receives id `i`. They are only meaningful relative to one schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DimensionId(pub u16);
+
+/// Index of a level within a [`Dimension`](crate::Dimension).
+///
+/// Level `0` is the *coarsest* level (e.g. `year`); the highest id is the
+/// *finest* (bottom) level (e.g. `month`). This matches the paper's notion
+/// of dimension attributes ordered along the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LevelId(pub u16);
+
+impl DimensionId {
+    /// Returns the id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LevelId {
+    /// Returns the id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether `self` is at least as coarse as `other` (smaller or equal id).
+    #[inline]
+    pub fn is_coarser_or_equal(self, other: LevelId) -> bool {
+        self.0 <= other.0
+    }
+
+    /// Whether `self` is strictly finer than `other` (larger id).
+    #[inline]
+    pub fn is_finer(self, other: LevelId) -> bool {
+        self.0 > other.0
+    }
+}
+
+impl fmt::Display for DimensionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for LevelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A fully qualified reference to one dimension attribute: a (dimension,
+/// level) pair.
+///
+/// This is the unit in which fragmentation attributes and query predicates
+/// are expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LevelRef {
+    /// The referenced dimension.
+    pub dimension: DimensionId,
+    /// The referenced level within that dimension.
+    pub level: LevelId,
+}
+
+impl LevelRef {
+    /// Creates a level reference from raw indices.
+    #[inline]
+    pub fn new(dimension: u16, level: u16) -> Self {
+        Self {
+            dimension: DimensionId(dimension),
+            level: LevelId(level),
+        }
+    }
+}
+
+impl fmt::Display for LevelRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.dimension, self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_is_coarse_to_fine() {
+        let year = LevelId(0);
+        let month = LevelId(2);
+        assert!(year.is_coarser_or_equal(month));
+        assert!(year.is_coarser_or_equal(year));
+        assert!(month.is_finer(year));
+        assert!(!year.is_finer(month));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LevelRef::new(1, 2).to_string(), "d1.l2");
+        assert_eq!(DimensionId(7).to_string(), "d7");
+        assert_eq!(LevelId(3).to_string(), "l3");
+    }
+
+    #[test]
+    fn ids_index() {
+        assert_eq!(DimensionId(3).index(), 3);
+        assert_eq!(LevelId(9).index(), 9);
+    }
+
+    #[test]
+    fn level_ref_is_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(LevelRef::new(0, 1));
+        set.insert(LevelRef::new(0, 0));
+        set.insert(LevelRef::new(1, 0));
+        let v: Vec<_> = set.into_iter().collect();
+        assert_eq!(
+            v,
+            vec![LevelRef::new(0, 0), LevelRef::new(0, 1), LevelRef::new(1, 0)]
+        );
+    }
+}

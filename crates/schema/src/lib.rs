@@ -1,0 +1,76 @@
+//! Star-schema model for the WARLOCK data-allocation advisor.
+//!
+//! WARLOCK (Stöhr & Rahm, VLDB 2001) operates on *relational star schemas*
+//! with denormalized, hierarchically organized dimension tables and one or
+//! more fact tables. Each dimension level is represented by a particular
+//! dimension attribute; fact tables contain measure attributes and refer to
+//! the bottom dimension attributes by foreign keys.
+//!
+//! This crate provides:
+//!
+//! * [`Dimension`] / [`Level`] — a hierarchically organized dimension whose
+//!   levels are ordered coarse → fine with strictly increasing cardinality
+//!   and integral fan-outs (uniform nesting),
+//! * [`FactTable`] / [`Measure`] — fact-table metadata including row sizes
+//!   and row counts (explicit or density-derived),
+//! * [`StarSchema`] — the validated combination of both,
+//! * [`apb1`](apb1_like_schema) — an APB-1-like preset schema mirroring the
+//!   OLAP Council benchmark configuration the original tool was demonstrated
+//!   with.
+//!
+//! The model is purely *statistical*: it records cardinalities and sizes,
+//! not data. Actual synthetic rows are produced by `warlock-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use warlock_schema::{StarSchema, Dimension, FactTable};
+//!
+//! let product = Dimension::builder("product")
+//!     .level("division", 5)
+//!     .level("line", 15)
+//!     .level("code", 9000)
+//!     .build()
+//!     .unwrap();
+//! let time = Dimension::builder("time")
+//!     .level("year", 2)
+//!     .level("month", 24)
+//!     .build()
+//!     .unwrap();
+//! let fact = FactTable::builder("sales")
+//!     .measure("units", 8)
+//!     .measure("dollars", 8)
+//!     .rows(1_000_000)
+//!     .build();
+//! let schema = StarSchema::builder()
+//!     .dimension(product)
+//!     .dimension(time)
+//!     .fact(fact)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(schema.bottom_cardinality_product(), 9000 * 24);
+//! ```
+
+#![warn(missing_docs)]
+
+mod apb1;
+mod dimension;
+mod error;
+mod fact;
+mod ids;
+mod random;
+mod star;
+
+pub use apb1::{apb1_like_schema, Apb1Config};
+pub use random::{random_schema, RandomSchemaConfig};
+pub use dimension::{Dimension, DimensionBuilder, Level};
+pub use error::SchemaError;
+pub use fact::{FactTable, FactTableBuilder, Measure};
+pub use ids::{DimensionId, LevelId, LevelRef};
+pub use star::{StarSchema, StarSchemaBuilder};
+
+/// Width, in bytes, of a dimension foreign-key column in the fact table.
+pub const FOREIGN_KEY_BYTES: u32 = 4;
+
+/// Fixed per-row storage overhead (tuple header) assumed for fact rows.
+pub const ROW_OVERHEAD_BYTES: u32 = 8;

@@ -1,0 +1,284 @@
+//! The validated star schema: dimensions plus fact tables.
+
+use crate::{Dimension, DimensionId, FactTable, LevelId, LevelRef, SchemaError};
+
+/// A validated relational star schema.
+///
+/// Holds the hierarchically organized dimensions and one or more fact
+/// tables. All advisor components take a `StarSchema` by reference; it is
+/// immutable after construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarSchema {
+    dimensions: Vec<Dimension>,
+    facts: Vec<FactTable>,
+}
+
+impl StarSchema {
+    /// Starts building a schema.
+    pub fn builder() -> StarSchemaBuilder {
+        StarSchemaBuilder {
+            dimensions: Vec::new(),
+            facts: Vec::new(),
+        }
+    }
+
+    /// All dimensions, in declaration order.
+    #[inline]
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dimensions
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn num_dimensions(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// All fact tables, in declaration order.
+    #[inline]
+    pub fn facts(&self) -> &[FactTable] {
+        &self.facts
+    }
+
+    /// The primary (first-declared) fact table.
+    #[inline]
+    pub fn fact(&self) -> &FactTable {
+        &self.facts[0]
+    }
+
+    /// Looks a dimension up by id.
+    pub fn dimension(&self, id: DimensionId) -> Result<&Dimension, SchemaError> {
+        self.dimensions
+            .get(id.index())
+            .ok_or(SchemaError::UnknownDimension { index: id.index() })
+    }
+
+    /// Looks a dimension up by name.
+    pub fn dimension_by_name(&self, name: &str) -> Option<(DimensionId, &Dimension)> {
+        self.dimensions
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.name() == name)
+            .map(|(i, d)| (DimensionId(i as u16), d))
+    }
+
+    /// Resolves a `"dimension.level"`-style pair of names to a [`LevelRef`].
+    pub fn level_ref(&self, dimension: &str, level: &str) -> Option<LevelRef> {
+        let (id, dim) = self.dimension_by_name(dimension)?;
+        let lvl = dim.level_by_name(level)?;
+        Some(LevelRef {
+            dimension: id,
+            level: lvl,
+        })
+    }
+
+    /// Cardinality of the attribute a [`LevelRef`] names.
+    pub fn cardinality(&self, r: LevelRef) -> Result<u64, SchemaError> {
+        self.dimension(r.dimension)?.cardinality(r.level)
+    }
+
+    /// Product of bottom-level cardinalities over all dimensions — the size
+    /// of the full dimensional cross product.
+    pub fn bottom_cardinality_product(&self) -> u128 {
+        self.dimensions
+            .iter()
+            .map(|d| d.bottom().cardinality() as u128)
+            .product()
+    }
+
+    /// Resolved row count of fact table `fact_index`.
+    pub fn fact_rows(&self, fact_index: usize) -> u64 {
+        self.facts[fact_index].rows_for(self.bottom_cardinality_product())
+    }
+
+    /// Resolved row width, in bytes, of fact table `fact_index`.
+    pub fn fact_row_bytes(&self, fact_index: usize) -> u32 {
+        self.facts[fact_index].row_bytes_for(self.num_dimensions())
+    }
+
+    /// Total fact bytes (rows × row width) of fact table `fact_index`.
+    pub fn fact_bytes(&self, fact_index: usize) -> u64 {
+        self.fact_rows(fact_index) * u64::from(self.fact_row_bytes(fact_index))
+    }
+
+    /// Iterates over every (dimension, level) pair in the schema.
+    pub fn all_level_refs(&self) -> impl Iterator<Item = LevelRef> + '_ {
+        self.dimensions.iter().enumerate().flat_map(|(di, d)| {
+            (0..d.depth()).map(move |li| LevelRef {
+                dimension: DimensionId(di as u16),
+                level: LevelId(li as u16),
+            })
+        })
+    }
+}
+
+/// Builder for [`StarSchema`]; validates on [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct StarSchemaBuilder {
+    dimensions: Vec<Dimension>,
+    facts: Vec<FactTable>,
+}
+
+impl StarSchemaBuilder {
+    /// Adds a dimension. Order determines [`DimensionId`]s.
+    pub fn dimension(mut self, dimension: Dimension) -> Self {
+        self.dimensions.push(dimension);
+        self
+    }
+
+    /// Adds a fact table. The first one becomes the primary fact table.
+    pub fn fact(mut self, fact: FactTable) -> Self {
+        self.facts.push(fact);
+        self
+    }
+
+    /// Validates and produces the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError`] when there are no dimensions or fact tables,
+    /// names collide, or any fact table resolves to zero rows.
+    pub fn build(self) -> Result<StarSchema, SchemaError> {
+        if self.dimensions.is_empty() {
+            return Err(SchemaError::NoDimensions);
+        }
+        if self.facts.is_empty() {
+            return Err(SchemaError::NoFactTable);
+        }
+        let mut names = std::collections::BTreeSet::new();
+        for d in &self.dimensions {
+            if !names.insert(d.name().to_owned()) {
+                return Err(SchemaError::DuplicateName {
+                    name: d.name().to_owned(),
+                });
+            }
+        }
+        for f in &self.facts {
+            if !names.insert(f.name().to_owned()) {
+                return Err(SchemaError::DuplicateName {
+                    name: f.name().to_owned(),
+                });
+            }
+        }
+        let schema = StarSchema {
+            dimensions: self.dimensions,
+            facts: self.facts,
+        };
+        for (i, f) in schema.facts.iter().enumerate() {
+            if schema.fact_rows(i) == 0 {
+                return Err(SchemaError::EmptyFactTable {
+                    fact: f.name().to_owned(),
+                });
+            }
+        }
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_schema() -> StarSchema {
+        StarSchema::builder()
+            .dimension(
+                Dimension::builder("time")
+                    .level("year", 2)
+                    .level("quarter", 8)
+                    .level("month", 24)
+                    .build()
+                    .unwrap(),
+            )
+            .dimension(Dimension::builder("channel").level("base", 9).build().unwrap())
+            .fact(
+                FactTable::builder("sales")
+                    .measure("units", 8)
+                    .density(0.5)
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_resolves() {
+        let s = small_schema();
+        assert_eq!(s.num_dimensions(), 2);
+        assert_eq!(s.bottom_cardinality_product(), 24 * 9);
+        assert_eq!(s.fact_rows(0), 108); // 216 * 0.5
+        assert_eq!(s.fact_row_bytes(0), 8 + 2 * 4 + 8);
+        assert_eq!(s.fact_bytes(0), 108 * 24);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = small_schema();
+        let (id, d) = s.dimension_by_name("channel").unwrap();
+        assert_eq!(id, DimensionId(1));
+        assert_eq!(d.name(), "channel");
+        assert!(s.dimension_by_name("nope").is_none());
+
+        let r = s.level_ref("time", "quarter").unwrap();
+        assert_eq!(r, LevelRef::new(0, 1));
+        assert_eq!(s.cardinality(r).unwrap(), 8);
+        assert!(s.level_ref("time", "nope").is_none());
+        assert!(s.level_ref("nope", "year").is_none());
+    }
+
+    #[test]
+    fn all_level_refs_enumerates_everything() {
+        let s = small_schema();
+        let refs: Vec<_> = s.all_level_refs().collect();
+        assert_eq!(refs.len(), 4);
+        assert_eq!(refs[0], LevelRef::new(0, 0));
+        assert_eq!(refs[3], LevelRef::new(1, 0));
+    }
+
+    #[test]
+    fn rejects_empty_parts() {
+        assert!(matches!(
+            StarSchema::builder().build().unwrap_err(),
+            SchemaError::NoDimensions
+        ));
+        let d = Dimension::builder("d").level("a", 2).build().unwrap();
+        assert!(matches!(
+            StarSchema::builder().dimension(d).build().unwrap_err(),
+            SchemaError::NoFactTable
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_names_across_kinds() {
+        let d = Dimension::builder("sales").level("a", 2).build().unwrap();
+        let f = FactTable::builder("sales").rows(1).build();
+        let err = StarSchema::builder().dimension(d).fact(f).build().unwrap_err();
+        assert!(matches!(err, SchemaError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_row_fact() {
+        let d = Dimension::builder("d").level("a", 2).build().unwrap();
+        let f = FactTable::builder("f").rows(0).build();
+        let err = StarSchema::builder().dimension(d).fact(f).build().unwrap_err();
+        assert!(matches!(err, SchemaError::EmptyFactTable { .. }));
+    }
+
+    #[test]
+    fn unknown_dimension_lookup_fails() {
+        let s = small_schema();
+        assert!(s.dimension(DimensionId(9)).is_err());
+    }
+
+    #[test]
+    fn multiple_fact_tables() {
+        let s = StarSchema::builder()
+            .dimension(Dimension::builder("d").level("a", 4).build().unwrap())
+            .fact(FactTable::builder("f1").rows(10).build())
+            .fact(FactTable::builder("f2").rows(20).build())
+            .build()
+            .unwrap();
+        assert_eq!(s.facts().len(), 2);
+        assert_eq!(s.fact().name(), "f1");
+        assert_eq!(s.fact_rows(1), 20);
+    }
+}

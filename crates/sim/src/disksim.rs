@@ -1,0 +1,511 @@
+//! Event-driven multi-disk service simulation.
+//!
+//! Each disk is a FCFS server; a query is a batch of independent requests
+//! (one per accessed fragment) issued at its arrival time. The simulator
+//! supports an *open* mode (fixed arrival times) and a *closed* mode
+//! (streams that issue their next query when the previous one completes),
+//! which is how the multi-user throughput behaviour the paper's heuristic
+//! optimizes for is measured.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One simulated query's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOutcome {
+    /// Arrival time in milliseconds.
+    pub arrival_ms: f64,
+    /// Completion time in milliseconds.
+    pub completion_ms: f64,
+    /// Response time (`completion − arrival`).
+    pub response_ms: f64,
+}
+
+/// Aggregate simulation results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-query outcomes in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Busy milliseconds per disk.
+    pub disk_busy_ms: Vec<f64>,
+    /// Time of the last completion.
+    pub makespan_ms: f64,
+}
+
+impl SimReport {
+    /// Mean response time over all queries.
+    pub fn mean_response_ms(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| o.response_ms).sum::<f64>() / self.outcomes.len() as f64
+    }
+
+    /// Maximum response time.
+    pub fn max_response_ms(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.response_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Completed queries per second of simulated time.
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / (self.makespan_ms / 1000.0)
+    }
+
+    /// Mean disk utilization over the makespan.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            return 0.0;
+        }
+        let total_busy: f64 = self.disk_busy_ms.iter().sum();
+        total_busy / (self.makespan_ms * self.disk_busy_ms.len() as f64)
+    }
+}
+
+/// A request: target disk and service duration.
+type Request = (u32, f64);
+
+#[derive(Debug)]
+struct PendingQuery {
+    arrival_ms: f64,
+    requests: Vec<Request>,
+}
+
+/// Event-driven multi-disk FCFS simulator.
+#[derive(Debug)]
+pub struct DiskSimulator {
+    num_disks: u32,
+    queries: Vec<PendingQuery>,
+}
+
+/// Ordered event-queue key (min-heap over time, then sequence).
+#[derive(Debug, PartialEq)]
+struct EventKey(f64, u64);
+
+impl Eq for EventKey {}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival { query: usize },
+    RequestDone { disk: u32, query: usize },
+}
+
+impl DiskSimulator {
+    /// Creates a simulator with `num_disks` identical disks.
+    pub fn new(num_disks: u32) -> Self {
+        assert!(num_disks > 0, "simulator needs at least one disk");
+        Self {
+            num_disks,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Submits a query arriving at `arrival_ms` with the given requests.
+    /// Returns the query's index into the report's outcome vector.
+    pub fn submit(&mut self, arrival_ms: f64, requests: Vec<Request>) -> usize {
+        assert!(
+            requests.iter().all(|&(d, ms)| d < self.num_disks && ms >= 0.0),
+            "request on unknown disk or negative service time"
+        );
+        let id = self.queries.len();
+        self.queries.push(PendingQuery {
+            arrival_ms,
+            requests,
+        });
+        id
+    }
+
+    /// Runs the open-system simulation to completion.
+    pub fn run(self) -> SimReport {
+        let num_disks = self.num_disks as usize;
+        let n = self.queries.len();
+
+        let mut events: BinaryHeap<Reverse<(EventKey, usize)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut kinds: Vec<EventKind> = Vec::new();
+        let push =
+            |events: &mut BinaryHeap<Reverse<(EventKey, usize)>>,
+             kinds: &mut Vec<EventKind>,
+             seq: &mut u64,
+             t: f64,
+             kind: EventKind| {
+                kinds.push(kind);
+                events.push(Reverse((EventKey(t, *seq), kinds.len() - 1)));
+                *seq += 1;
+            };
+
+        for (q, pq) in self.queries.iter().enumerate() {
+            push(
+                &mut events,
+                &mut kinds,
+                &mut seq,
+                pq.arrival_ms,
+                EventKind::Arrival { query: q },
+            );
+        }
+
+        let mut disk_queue: Vec<VecDeque<(usize, f64)>> = vec![VecDeque::new(); num_disks];
+        let mut disk_busy_until: Vec<Option<f64>> = vec![None; num_disks];
+        let mut disk_busy_ms = vec![0.0f64; num_disks];
+        let mut outstanding: Vec<usize> = self.queries.iter().map(|q| q.requests.len()).collect();
+        let mut completion = vec![f64::NAN; n];
+        let mut makespan = 0.0f64;
+
+        while let Some(Reverse((EventKey(t, _), kidx))) = events.pop() {
+            match kinds[kidx] {
+                EventKind::Arrival { query } => {
+                    if self.queries[query].requests.is_empty() {
+                        completion[query] = t;
+                        makespan = makespan.max(t);
+                        continue;
+                    }
+                    for &(disk, service) in &self.queries[query].requests {
+                        let d = disk as usize;
+                        if disk_busy_until[d].is_none() {
+                            // Idle disk: start service immediately.
+                            disk_busy_until[d] = Some(t + service);
+                            disk_busy_ms[d] += service;
+                            push(
+                                &mut events,
+                                &mut kinds,
+                                &mut seq,
+                                t + service,
+                                EventKind::RequestDone { disk, query },
+                            );
+                        } else {
+                            disk_queue[d].push_back((query, service));
+                        }
+                    }
+                }
+                EventKind::RequestDone { disk, query } => {
+                    let d = disk as usize;
+                    outstanding[query] -= 1;
+                    if outstanding[query] == 0 {
+                        completion[query] = t;
+                        makespan = makespan.max(t);
+                    }
+                    // Start the next queued request, if any.
+                    if let Some((next_query, service)) = disk_queue[d].pop_front() {
+                        disk_busy_until[d] = Some(t + service);
+                        disk_busy_ms[d] += service;
+                        push(
+                            &mut events,
+                            &mut kinds,
+                            &mut seq,
+                            t + service,
+                            EventKind::RequestDone {
+                                disk,
+                                query: next_query,
+                            },
+                        );
+                    } else {
+                        disk_busy_until[d] = None;
+                    }
+                }
+            }
+        }
+
+        let outcomes = self
+            .queries
+            .iter()
+            .zip(&completion)
+            .map(|(q, &c)| QueryOutcome {
+                arrival_ms: q.arrival_ms,
+                completion_ms: c,
+                response_ms: c - q.arrival_ms,
+            })
+            .collect();
+        SimReport {
+            outcomes,
+            disk_busy_ms,
+            makespan_ms: makespan,
+        }
+    }
+}
+
+/// Runs a *closed-system* simulation: each stream issues its queries
+/// sequentially, the next one at the completion instant of the previous
+/// (zero think time). Streams contend on the shared disks.
+///
+/// `streams[s]` is the ordered list of queries of stream `s`; each query is
+/// its request batch. Outcomes are reported stream-major, query-minor.
+pub fn run_closed(num_disks: u32, streams: &[Vec<Vec<Request>>]) -> SimReport {
+    assert!(num_disks > 0, "simulator needs at least one disk");
+    let num_disks_usize = num_disks as usize;
+
+    // Global query ids: (stream, index) → flat id, stream-major.
+    let mut offsets = Vec::with_capacity(streams.len());
+    let mut total = 0usize;
+    for s in streams {
+        offsets.push(total);
+        total += s.len();
+    }
+    let flat = |s: usize, i: usize| offsets[s] + i;
+
+    let mut events: BinaryHeap<Reverse<(EventKey, usize)>> = BinaryHeap::new();
+    let mut kinds: Vec<EventKind2> = Vec::new();
+    let mut seq = 0u64;
+    let push = |events: &mut BinaryHeap<Reverse<(EventKey, usize)>>,
+                    kinds: &mut Vec<EventKind2>,
+                    seq: &mut u64,
+                    t: f64,
+                    kind: EventKind2| {
+        kinds.push(kind);
+        events.push(Reverse((EventKey(t, *seq), kinds.len() - 1)));
+        *seq += 1;
+    };
+
+    #[derive(Debug)]
+    enum EventKind2 {
+        Arrival { stream: usize, index: usize },
+        RequestDone { disk: u32, stream: usize, index: usize },
+    }
+
+    for (s, queries) in streams.iter().enumerate() {
+        if !queries.is_empty() {
+            push(&mut events, &mut kinds, &mut seq, 0.0, EventKind2::Arrival { stream: s, index: 0 });
+        }
+    }
+
+    let mut disk_queue: Vec<VecDeque<((usize, usize), f64)>> =
+        vec![VecDeque::new(); num_disks_usize];
+    let mut disk_idle: Vec<bool> = vec![true; num_disks_usize];
+    let mut disk_busy_ms = vec![0.0f64; num_disks_usize];
+    let mut outstanding = vec![0usize; total];
+    let mut arrival = vec![0.0f64; total];
+    let mut completion = vec![f64::NAN; total];
+    let mut makespan = 0.0f64;
+
+    while let Some(Reverse((EventKey(t, _), kidx))) = events.pop() {
+        match kinds[kidx] {
+            EventKind2::Arrival { stream, index } => {
+                let id = flat(stream, index);
+                arrival[id] = t;
+                let requests = &streams[stream][index];
+                if requests.is_empty() {
+                    completion[id] = t;
+                    makespan = makespan.max(t);
+                    if index + 1 < streams[stream].len() {
+                        push(&mut events, &mut kinds, &mut seq, t, EventKind2::Arrival { stream, index: index + 1 });
+                    }
+                    continue;
+                }
+                outstanding[id] = requests.len();
+                for &(disk, service) in requests {
+                    let d = disk as usize;
+                    if disk_idle[d] {
+                        disk_idle[d] = false;
+                        disk_busy_ms[d] += service;
+                        push(&mut events, &mut kinds, &mut seq, t + service, EventKind2::RequestDone { disk, stream, index });
+                    } else {
+                        disk_queue[d].push_back(((stream, index), service));
+                    }
+                }
+            }
+            EventKind2::RequestDone { disk, stream, index } => {
+                let d = disk as usize;
+                let id = flat(stream, index);
+                outstanding[id] -= 1;
+                if outstanding[id] == 0 {
+                    completion[id] = t;
+                    makespan = makespan.max(t);
+                    if index + 1 < streams[stream].len() {
+                        push(&mut events, &mut kinds, &mut seq, t, EventKind2::Arrival { stream, index: index + 1 });
+                    }
+                }
+                if let Some(((ns, ni), service)) = disk_queue[d].pop_front() {
+                    disk_busy_ms[d] += service;
+                    push(&mut events, &mut kinds, &mut seq, t + service, EventKind2::RequestDone { disk, stream: ns, index: ni });
+                } else {
+                    disk_idle[d] = true;
+                }
+            }
+        }
+    }
+
+    let outcomes = (0..total)
+        .map(|id| QueryOutcome {
+            arrival_ms: arrival[id],
+            completion_ms: completion[id],
+            response_ms: completion[id] - arrival[id],
+        })
+        .collect();
+    SimReport {
+        outcomes,
+        disk_busy_ms,
+        makespan_ms: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn single_query_single_disk() {
+        let mut sim = DiskSimulator::new(1);
+        sim.submit(0.0, vec![(0, 10.0), (0, 5.0)]);
+        let r = sim.run();
+        // Serial on one disk: 15 ms.
+        assert_close(r.outcomes[0].response_ms, 15.0, 1e-9);
+        assert_close(r.makespan_ms, 15.0, 1e-9);
+        assert_close(r.disk_busy_ms[0], 15.0, 1e-9);
+        assert_close(r.mean_utilization(), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn parallel_requests_overlap() {
+        let mut sim = DiskSimulator::new(4);
+        sim.submit(0.0, vec![(0, 10.0), (1, 10.0), (2, 10.0), (3, 10.0)]);
+        let r = sim.run();
+        assert_close(r.outcomes[0].response_ms, 10.0, 1e-9);
+    }
+
+    #[test]
+    fn fcfs_queueing_delays_later_arrivals() {
+        let mut sim = DiskSimulator::new(1);
+        sim.submit(0.0, vec![(0, 10.0)]);
+        sim.submit(2.0, vec![(0, 10.0)]);
+        let r = sim.run();
+        assert_close(r.outcomes[0].response_ms, 10.0, 1e-9);
+        // Second waits 8 ms, then serves 10 → response 18.
+        assert_close(r.outcomes[1].response_ms, 18.0, 1e-9);
+        assert_close(r.makespan_ms, 20.0, 1e-9);
+    }
+
+    #[test]
+    fn idle_gaps_are_not_busy() {
+        let mut sim = DiskSimulator::new(1);
+        sim.submit(0.0, vec![(0, 5.0)]);
+        sim.submit(100.0, vec![(0, 5.0)]);
+        let r = sim.run();
+        assert_close(r.disk_busy_ms[0], 10.0, 1e-9);
+        assert_close(r.makespan_ms, 105.0, 1e-9);
+        assert!(r.mean_utilization() < 0.2);
+    }
+
+    #[test]
+    fn empty_query_completes_instantly() {
+        let mut sim = DiskSimulator::new(2);
+        sim.submit(7.0, vec![]);
+        let r = sim.run();
+        assert_close(r.outcomes[0].response_ms, 0.0, 1e-9);
+        assert_close(r.outcomes[0].completion_ms, 7.0, 1e-9);
+    }
+
+    #[test]
+    fn declustering_shortens_response() {
+        // The same 40 ms of work: on one disk vs spread over 4.
+        let mut clustered = DiskSimulator::new(4);
+        clustered.submit(0.0, vec![(0, 10.0); 4]);
+        let rc = clustered.run();
+
+        let mut declustered = DiskSimulator::new(4);
+        declustered.submit(0.0, vec![(0, 10.0), (1, 10.0), (2, 10.0), (3, 10.0)]);
+        let rd = declustered.run();
+
+        assert_close(rc.outcomes[0].response_ms, 40.0, 1e-9);
+        assert_close(rd.outcomes[0].response_ms, 10.0, 1e-9);
+    }
+
+    #[test]
+    fn contention_inflates_response_under_load() {
+        // 8 identical declustered queries at once: each disk serves 8
+        // requests; last finisher sees 8× the single-query response.
+        let mut sim = DiskSimulator::new(4);
+        for _ in 0..8 {
+            sim.submit(0.0, vec![(0, 10.0), (1, 10.0), (2, 10.0), (3, 10.0)]);
+        }
+        let r = sim.run();
+        assert_close(r.max_response_ms(), 80.0, 1e-9);
+        assert_close(r.makespan_ms, 80.0, 1e-9);
+        assert_close(r.mean_utilization(), 1.0, 1e-9);
+        // Throughput: 8 queries in 0.08 s.
+        assert_close(r.throughput_per_s(), 100.0, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown disk")]
+    fn submit_validates_disks() {
+        let mut sim = DiskSimulator::new(2);
+        sim.submit(0.0, vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two queries arriving at the same instant are served in
+        // submission order.
+        let mut sim = DiskSimulator::new(1);
+        sim.submit(0.0, vec![(0, 10.0)]);
+        sim.submit(0.0, vec![(0, 10.0)]);
+        let r = sim.run();
+        assert_close(r.outcomes[0].response_ms, 10.0, 1e-9);
+        assert_close(r.outcomes[1].response_ms, 20.0, 1e-9);
+    }
+
+    #[test]
+    fn closed_single_stream_is_sequential() {
+        let streams = vec![vec![vec![(0u32, 10.0)], vec![(0u32, 5.0)]]];
+        let r = run_closed(1, &streams);
+        assert_close(r.outcomes[0].response_ms, 10.0, 1e-9);
+        assert_close(r.outcomes[1].arrival_ms, 10.0, 1e-9);
+        assert_close(r.outcomes[1].response_ms, 5.0, 1e-9);
+        assert_close(r.makespan_ms, 15.0, 1e-9);
+    }
+
+    #[test]
+    fn closed_streams_contend() {
+        // Two streams of two 10 ms single-disk queries on one disk:
+        // perfect interleaving, makespan 40 ms, four completions.
+        let q = vec![vec![(0u32, 10.0)], vec![(0u32, 10.0)]];
+        let r = run_closed(1, &[q.clone(), q]);
+        assert_eq!(r.outcomes.len(), 4);
+        assert_close(r.makespan_ms, 40.0, 1e-9);
+        assert_close(r.mean_utilization(), 1.0, 1e-9);
+        // Each query's response includes the other stream's interleaved
+        // service: stream 0 query 0 finishes at 10, stream 1 query 0 at 20.
+        assert_close(r.outcomes[0].response_ms, 10.0, 1e-9);
+        assert_close(r.outcomes[2].response_ms, 20.0, 1e-9);
+    }
+
+    #[test]
+    fn closed_multi_disk_parallel_streams() {
+        // Two streams on two disks, disjoint: no contention at all.
+        let s0 = vec![vec![(0u32, 10.0)], vec![(0u32, 10.0)]];
+        let s1 = vec![vec![(1u32, 10.0)], vec![(1u32, 10.0)]];
+        let r = run_closed(2, &[s0, s1]);
+        assert_close(r.makespan_ms, 20.0, 1e-9);
+        for o in &r.outcomes {
+            assert_close(o.response_ms, 10.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn closed_empty_queries_chain() {
+        let streams = vec![vec![vec![], vec![(0u32, 5.0)]]];
+        let r = run_closed(1, &streams);
+        assert_close(r.outcomes[0].response_ms, 0.0, 1e-9);
+        assert_close(r.outcomes[1].response_ms, 5.0, 1e-9);
+    }
+}

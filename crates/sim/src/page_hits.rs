@@ -1,0 +1,129 @@
+//! Ground-truth validation of the Yao page-hit model.
+//!
+//! The analytical access path prices bitmap-guided row fetches with Yao's
+//! formula. This module materializes the check: rows of a fragment are laid
+//! out sequentially on pages, a predicate's qualifying rows come from a
+//! real bitmap evaluation, and the touched pages are counted exactly.
+
+use warlock_bitmap::BitVec;
+
+/// Counts the distinct pages touched when fetching the set rows of
+/// `selection`, with rows stored `rows_per_page` to a page in row order.
+///
+/// # Panics
+///
+/// Panics if `rows_per_page == 0`.
+pub fn touched_pages(selection: &BitVec, rows_per_page: u64) -> u64 {
+    assert!(rows_per_page > 0, "rows_per_page must be positive");
+    let mut pages = 0u64;
+    let mut last_page = u64::MAX;
+    for row in selection.iter_ones() {
+        let page = row as u64 / rows_per_page;
+        if page != last_page {
+            pages += 1;
+            last_page = page;
+        }
+    }
+    pages
+}
+
+/// Outcome of one Yao-vs-ground-truth comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageHitComparison {
+    /// Rows in the fragment.
+    pub rows: u64,
+    /// Pages in the fragment.
+    pub pages: u64,
+    /// Qualifying rows (bitmap popcount).
+    pub selected_rows: u64,
+    /// Exactly counted touched pages.
+    pub actual_pages: f64,
+    /// Yao/Cardenas estimate at the same selection size.
+    pub estimated_pages: f64,
+    /// `(estimated − actual) / max(actual, 1)`.
+    pub relative_error: f64,
+}
+
+/// Compares the analytical page-hit estimate with the exact count for one
+/// fragment selection.
+pub fn compare_page_hits(selection: &BitVec, rows_per_page: u64) -> PageHitComparison {
+    let rows = selection.len() as u64;
+    let pages = rows.div_ceil(rows_per_page.max(1)).max(1);
+    let selected_rows = selection.count_ones() as u64;
+    let actual = touched_pages(selection, rows_per_page) as f64;
+    let estimated = warlock_cost::yao_page_hits(rows, pages, selected_rows as f64);
+    PageHitComparison {
+        rows,
+        pages,
+        selected_rows,
+        actual_pages: actual,
+        estimated_pages: estimated,
+        relative_error: (estimated - actual) / actual.max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touched_pages_counts_runs() {
+        // Rows 0..10, 4 per page: rows {0,1} page 0; {5} page 1; {9} page 2.
+        let v = BitVec::from_indices(10, [0, 1, 5, 9]);
+        assert_eq!(touched_pages(&v, 4), 3);
+        assert_eq!(touched_pages(&BitVec::zeros(10), 4), 0);
+        assert_eq!(touched_pages(&BitVec::ones(10), 4), 3);
+    }
+
+    #[test]
+    fn dense_selection_touches_every_page() {
+        let c = compare_page_hits(&BitVec::ones(1000), 10);
+        assert_eq!(c.actual_pages, 100.0);
+        assert!((c.estimated_pages - 100.0).abs() < 1e-9);
+        assert!(c.relative_error.abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_uniform_selection_matches_yao_closely() {
+        // Pseudo-random uniform selection of ~1 in 50 rows.
+        let rows = 100_000usize;
+        let mut v = BitVec::zeros(rows);
+        let mut state = 0x12345678u64;
+        let mut selected = 0;
+        for i in 0..rows {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if (state >> 33).is_multiple_of(50) {
+                v.set(i, true);
+                selected += 1;
+            }
+        }
+        assert!(selected > 1000);
+        let c = compare_page_hits(&v, 100);
+        // Yao assumes uniform placement — a uniform selection must agree
+        // within a few percent.
+        assert!(
+            c.relative_error.abs() < 0.05,
+            "estimate {} vs actual {} ({:+.1}%)",
+            c.estimated_pages,
+            c.actual_pages,
+            c.relative_error * 100.0
+        );
+    }
+
+    #[test]
+    fn clustered_selection_beats_yao() {
+        // All selected rows packed at the front: Yao (random placement)
+        // overestimates touched pages — the expected direction.
+        let rows = 10_000usize;
+        let v = BitVec::from_indices(rows, 0..500);
+        let c = compare_page_hits(&v, 100);
+        assert_eq!(c.actual_pages, 5.0);
+        assert!(c.estimated_pages > c.actual_pages * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rows_per_page_rejected() {
+        let _ = touched_pages(&BitVec::zeros(4), 0);
+    }
+}

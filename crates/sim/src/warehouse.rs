@@ -1,0 +1,176 @@
+//! Materialized fragment populations.
+
+use warlock_fragment::FragmentLayout;
+use warlock_schema::StarSchema;
+
+use crate::SyntheticFact;
+
+/// The rows of a synthetic fact table routed into the fragments of one
+/// layout — the ground truth the analytical estimates are validated
+/// against, and the row populations real bitmap indexes are built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterializedWarehouse {
+    /// `rows_of[f]` = row ids (into the [`SyntheticFact`]) of fragment `f`.
+    rows_of: Vec<Vec<u32>>,
+    num_fragments: u64,
+}
+
+impl MaterializedWarehouse {
+    /// Routes every row of `data` to its fragment under `layout`.
+    ///
+    /// A row's fragment coordinate on each fragmentation attribute is the
+    /// ancestor (at the fragmentation level) of the row's bottom-level
+    /// member — exactly the MDHF assignment rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has more than 2³² fragments (materialization is
+    /// a small-scale validation tool; the thresholds layer caps real
+    /// candidates far below this).
+    pub fn build(schema: &StarSchema, layout: &FragmentLayout, data: &SyntheticFact) -> Self {
+        let num_fragments = layout.num_fragments();
+        assert!(num_fragments <= u32::MAX as u64, "too many fragments");
+        let fragmentation = layout.fragmentation();
+        let attrs = fragmentation.attributes();
+        // Precompute bottom→fragment-coordinate divisors per attribute
+        // (effective cardinality folds range sizes in).
+        let divisors: Vec<(usize, u64)> = attrs
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let dim = schema.dimension(r.dimension).expect("validated layout");
+                let per = dim.bottom().cardinality()
+                    / fragmentation.effective_cardinality(schema, i);
+                (r.dimension.index(), per)
+            })
+            .collect();
+        let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); num_fragments as usize];
+        let mut coords = vec![0u64; attrs.len()];
+        for row in 0..data.rows() {
+            for (i, &(dim_index, per)) in divisors.iter().enumerate() {
+                coords[i] = data.column(dim_index)[row] / per;
+            }
+            let f = layout.index_of(&coords);
+            rows_of[f as usize].push(row as u32);
+        }
+        Self {
+            rows_of,
+            num_fragments,
+        }
+    }
+
+    /// Number of fragments.
+    #[inline]
+    pub fn num_fragments(&self) -> u64 {
+        self.num_fragments
+    }
+
+    /// Row ids of fragment `f`.
+    #[inline]
+    pub fn rows_of(&self, f: u64) -> &[u32] {
+        &self.rows_of[f as usize]
+    }
+
+    /// Row counts per fragment.
+    pub fn fragment_row_counts(&self) -> Vec<u64> {
+        self.rows_of.iter().map(|r| r.len() as u64).collect()
+    }
+
+    /// Total routed rows (= the dataset's row count).
+    pub fn total_rows(&self) -> u64 {
+        self.rows_of.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Extracts the column of bottom-member ordinals of dimension `d`
+    /// restricted to fragment `f` — the input for building that fragment's
+    /// bitmap indexes.
+    pub fn fragment_column(&self, data: &SyntheticFact, f: u64, d: usize) -> Vec<u64> {
+        self.rows_of[f as usize]
+            .iter()
+            .map(|&row| data.column(d)[row as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_fragment::{Fragmentation, SkewModelExt};
+    use warlock_schema::{Dimension, FactTable};
+
+    fn schema() -> StarSchema {
+        StarSchema::builder()
+            .dimension(
+                Dimension::builder("a")
+                    .level("top", 4)
+                    .level("bottom", 16)
+                    .build()
+                    .unwrap(),
+            )
+            .dimension(Dimension::builder("b").level("only", 8).build().unwrap())
+            .fact(FactTable::builder("f").rows(10_000).build())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn routing_conserves_rows() {
+        let s = schema();
+        let data = SyntheticFact::generate(&s, &s.uniform_skew_model(), 10_000, 1);
+        let layout = FragmentLayout::new(&s, Fragmentation::from_pairs(&[(0, 0), (1, 0)]).unwrap(), 0);
+        let w = MaterializedWarehouse::build(&s, &layout, &data);
+        assert_eq!(w.num_fragments(), 32);
+        assert_eq!(w.total_rows(), 10_000);
+    }
+
+    #[test]
+    fn routing_respects_hierarchy() {
+        let s = schema();
+        let data = SyntheticFact::generate(&s, &s.uniform_skew_model(), 5_000, 2);
+        // Fragment by a.top (4): bottom members 0..4 → frag 0, 4..8 → 1, …
+        let layout = FragmentLayout::new(&s, Fragmentation::from_pairs(&[(0, 0)]).unwrap(), 0);
+        let w = MaterializedWarehouse::build(&s, &layout, &data);
+        for f in 0..4u64 {
+            for &row in w.rows_of(f) {
+                let member = data.column(0)[row as usize];
+                assert_eq!(member / 4, f, "row {row} misrouted");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_layout_routes_everything_to_one_fragment() {
+        let s = schema();
+        let data = SyntheticFact::generate(&s, &s.uniform_skew_model(), 1_000, 3);
+        let layout = FragmentLayout::new(&s, Fragmentation::none(), 0);
+        let w = MaterializedWarehouse::build(&s, &layout, &data);
+        assert_eq!(w.num_fragments(), 1);
+        assert_eq!(w.rows_of(0).len(), 1000);
+    }
+
+    #[test]
+    fn fragment_row_counts_match_expectation_roughly() {
+        let s = schema();
+        let data = SyntheticFact::generate(&s, &s.uniform_skew_model(), 32_000, 4);
+        let layout = FragmentLayout::new(&s, Fragmentation::from_pairs(&[(1, 0)]).unwrap(), 0);
+        let w = MaterializedWarehouse::build(&s, &layout, &data);
+        let counts = w.fragment_row_counts();
+        assert_eq!(counts.len(), 8);
+        for &c in &counts {
+            let expected = 4000.0;
+            assert!((c as f64 - expected).abs() / expected < 0.15, "count {c}");
+        }
+    }
+
+    #[test]
+    fn fragment_columns_extract_members() {
+        let s = schema();
+        let data = SyntheticFact::generate(&s, &s.uniform_skew_model(), 2_000, 5);
+        let layout = FragmentLayout::new(&s, Fragmentation::from_pairs(&[(0, 0)]).unwrap(), 0);
+        let w = MaterializedWarehouse::build(&s, &layout, &data);
+        let col = w.fragment_column(&data, 2, 0);
+        assert_eq!(col.len(), w.rows_of(2).len());
+        // All members of fragment 2 descend from ancestor 2.
+        assert!(col.iter().all(|&m| m / 4 == 2));
+    }
+}

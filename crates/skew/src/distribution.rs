@@ -1,0 +1,280 @@
+//! Per-dimension skew configuration and hierarchy-level aggregation.
+
+use crate::ZipfWeights;
+
+/// Skew configuration of one dimension's bottom level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DimensionSkew {
+    /// Zipf exponent θ; 0 = uniform.
+    pub theta: f64,
+    /// Optional shuffle seed. `None` keeps weights in rank order (member 0
+    /// heaviest); `Some(seed)` spreads heavy members over the ordinal range
+    /// with a deterministic permutation.
+    pub shuffle_seed: Option<u64>,
+}
+
+impl DimensionSkew {
+    /// Uniform (no skew) configuration.
+    pub const UNIFORM: Self = Self {
+        theta: 0.0,
+        shuffle_seed: None,
+    };
+
+    /// Creates a skew configuration with the given θ and no shuffling.
+    pub fn zipf(theta: f64) -> Self {
+        Self {
+            theta,
+            shuffle_seed: None,
+        }
+    }
+
+    /// Whether this configuration is exactly uniform.
+    pub fn is_uniform(&self) -> bool {
+        self.theta == 0.0
+    }
+}
+
+impl Default for DimensionSkew {
+    fn default() -> Self {
+        Self::UNIFORM
+    }
+}
+
+/// Summary statistics of a weight vector, used by allocator heuristics and
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewSummary {
+    /// Largest member weight.
+    pub max_weight: f64,
+    /// Smallest member weight.
+    pub min_weight: f64,
+    /// Squared coefficient of variation (0 for uniform).
+    pub squared_cv: f64,
+}
+
+impl SkewSummary {
+    /// Computes the summary of a normalized weight vector.
+    pub fn of(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "summary of empty weight vector");
+        let n = weights.len() as f64;
+        let mean = 1.0 / n;
+        let mut max_weight = f64::MIN;
+        let mut min_weight = f64::MAX;
+        let mut var = 0.0;
+        for &w in weights {
+            max_weight = max_weight.max(w);
+            min_weight = min_weight.min(w);
+            var += (w - mean) * (w - mean);
+        }
+        var /= n;
+        Self {
+            max_weight,
+            min_weight,
+            squared_cv: var / (mean * mean),
+        }
+    }
+}
+
+/// Bottom-level member weights for every dimension of a schema, with
+/// aggregation to coarser levels.
+///
+/// The model stores one normalized weight vector per dimension. Fragment
+/// weights are products of per-dimension member weights (dimension
+/// independence, as in the original evaluation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewModel {
+    /// `bottom[d][m]` = weight of member `m` of dimension `d`'s bottom level.
+    bottom: Vec<Vec<f64>>,
+    configs: Vec<DimensionSkew>,
+}
+
+impl SkewModel {
+    /// Builds the model from per-dimension bottom cardinalities and skew
+    /// configurations. `cards[d]` must be ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or a cardinality is zero.
+    pub fn new(cards: &[u64], configs: &[DimensionSkew]) -> Self {
+        assert_eq!(
+            cards.len(),
+            configs.len(),
+            "one skew config per dimension required"
+        );
+        let bottom = cards
+            .iter()
+            .zip(configs)
+            .map(|(&n, cfg)| {
+                let z = ZipfWeights::new(n as usize, cfg.theta);
+                match cfg.shuffle_seed {
+                    Some(seed) => z.shuffled(seed),
+                    None => z.weights().to_vec(),
+                }
+            })
+            .collect();
+        Self {
+            bottom,
+            configs: configs.to_vec(),
+        }
+    }
+
+    /// Builds a fully uniform model for the given bottom cardinalities.
+    pub fn uniform(cards: &[u64]) -> Self {
+        let configs = vec![DimensionSkew::UNIFORM; cards.len()];
+        Self::new(cards, &configs)
+    }
+
+    /// Number of dimensions covered.
+    #[inline]
+    pub fn num_dimensions(&self) -> usize {
+        self.bottom.len()
+    }
+
+    /// The configuration of dimension `d`.
+    #[inline]
+    pub fn config(&self, d: usize) -> DimensionSkew {
+        self.configs[d]
+    }
+
+    /// Whether every dimension is uniform.
+    pub fn is_uniform(&self) -> bool {
+        self.configs.iter().all(DimensionSkew::is_uniform)
+    }
+
+    /// Bottom-level weights of dimension `d`.
+    #[inline]
+    pub fn bottom_weights(&self, d: usize) -> &[f64] {
+        &self.bottom[d]
+    }
+
+    /// Aggregates dimension `d`'s bottom weights to a coarser level with
+    /// `level_card` members (uniform nesting: each of the `level_card`
+    /// parents owns a contiguous range of `bottom/level_card` members).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level_card` does not divide the bottom cardinality.
+    pub fn level_weights(&self, d: usize, level_card: u64) -> Vec<f64> {
+        let bottom = &self.bottom[d];
+        let n = bottom.len() as u64;
+        assert!(
+            level_card >= 1 && n.is_multiple_of(level_card),
+            "level cardinality {level_card} must divide bottom cardinality {n}"
+        );
+        let per = (n / level_card) as usize;
+        bottom
+            .chunks_exact(per)
+            .map(|chunk| chunk.iter().sum())
+            .collect()
+    }
+
+    /// Summary statistics of dimension `d` at a level with `level_card`
+    /// members.
+    pub fn level_summary(&self, d: usize, level_card: u64) -> SkewSummary {
+        SkewSummary::of(&self.level_weights(d, level_card))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn uniform_model_has_equal_weights() {
+        let m = SkewModel::uniform(&[4, 8]);
+        assert!(m.is_uniform());
+        for &w in m.bottom_weights(0) {
+            assert_close(w, 0.25, 1e-15);
+        }
+        for &w in m.bottom_weights(1) {
+            assert_close(w, 0.125, 1e-15);
+        }
+    }
+
+    #[test]
+    fn level_aggregation_preserves_mass() {
+        let m = SkewModel::new(
+            &[24],
+            &[DimensionSkew::zipf(1.0)],
+        );
+        for card in [1u64, 2, 3, 4, 6, 8, 12, 24] {
+            let w = m.level_weights(0, card);
+            assert_eq!(w.len(), card as usize);
+            assert_close(w.iter().sum::<f64>(), 1.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn level_aggregation_of_uniform_is_uniform() {
+        let m = SkewModel::uniform(&[24]);
+        let w = m.level_weights(0, 8);
+        for &x in &w {
+            assert_close(x, 0.125, 1e-12);
+        }
+    }
+
+    #[test]
+    fn aggregation_at_bottom_is_identity() {
+        let m = SkewModel::new(&[10], &[DimensionSkew::zipf(0.7)]);
+        let w = m.level_weights(0, 10);
+        assert_eq!(w.as_slice(), m.bottom_weights(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn aggregation_rejects_non_divisor() {
+        let m = SkewModel::uniform(&[10]);
+        let _ = m.level_weights(0, 3);
+    }
+
+    #[test]
+    fn summary_detects_skew() {
+        let uni = SkewModel::uniform(&[100]).level_summary(0, 100);
+        assert_close(uni.squared_cv, 0.0, 1e-12);
+        assert_close(uni.max_weight, 0.01, 1e-12);
+
+        let skewed = SkewModel::new(&[100], &[DimensionSkew::zipf(1.0)]).level_summary(0, 100);
+        assert!(skewed.squared_cv > 0.5);
+        assert!(skewed.max_weight > 5.0 * skewed.min_weight);
+    }
+
+    #[test]
+    fn shuffle_changes_order_not_mass() {
+        let plain = SkewModel::new(&[64], &[DimensionSkew::zipf(1.0)]);
+        let shuffled = SkewModel::new(
+            &[64],
+            &[DimensionSkew {
+                theta: 1.0,
+                shuffle_seed: Some(3),
+            }],
+        );
+        assert_ne!(plain.bottom_weights(0), shuffled.bottom_weights(0));
+        assert_close(
+            shuffled.bottom_weights(0).iter().sum::<f64>(),
+            1.0,
+            1e-9,
+        );
+        // Aggregated summaries differ because heavy members disperse.
+        let s_plain = plain.level_summary(0, 4);
+        let s_shuf = shuffled.level_summary(0, 4);
+        assert!(s_shuf.squared_cv <= s_plain.squared_cv + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one skew config per dimension")]
+    fn mismatched_lengths_rejected() {
+        let _ = SkewModel::new(&[4, 5], &[DimensionSkew::UNIFORM]);
+    }
+
+    #[test]
+    fn config_accessors() {
+        let m = SkewModel::new(&[4], &[DimensionSkew::zipf(0.5)]);
+        assert_eq!(m.num_dimensions(), 1);
+        assert_eq!(m.config(0).theta, 0.5);
+        assert!(!m.is_uniform());
+    }
+}

@@ -1,0 +1,35 @@
+//! Data-skew modeling for WARLOCK.
+//!
+//! The tool lets the DBA incorporate data skew "at the bottom level of each
+//! dimension by specifying a zipf-like data distribution". This crate
+//! provides:
+//!
+//! * [`ZipfWeights`] — normalized Zipf(θ) member weights with cumulative
+//!   lookup and sampling,
+//! * [`DimensionSkew`] / [`SkewModel`] — per-dimension skew configuration,
+//!   including aggregation of bottom-level weights to coarser hierarchy
+//!   levels (uniform nesting), and
+//! * [`SkewSummary`] — summary statistics (maximum weight, squared
+//!   coefficient of variation) used by the allocator and the cost model.
+//!
+//! θ = 0 reproduces the uniform case exactly; θ = 1 is classic Zipf.
+
+//!
+//! # Example
+//!
+//! ```
+//! use warlock_skew::ZipfWeights;
+//!
+//! let z = ZipfWeights::new(4, 1.0);
+//! // Classic Zipf ratios 1 : 1/2 : 1/3 : 1/4, normalized.
+//! assert!((z.weight(0) / z.weight(3) - 4.0).abs() < 1e-12);
+//! assert!((z.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod distribution;
+mod zipf;
+
+pub use distribution::{DimensionSkew, SkewModel, SkewSummary};
+pub use zipf::ZipfWeights;

@@ -1,0 +1,269 @@
+//! Normalized Zipf member-weight vectors.
+
+use rand::Rng;
+
+/// Precomputed, normalized Zipf(θ) weights over `n` members.
+///
+/// Member `i` (0-based rank) receives weight proportional to
+/// `1 / (i + 1)^θ`; weights are normalized to sum to 1. θ = 0 yields the
+/// uniform distribution, θ = 1 the classic Zipf distribution the paper's
+/// "zipf-like data distribution" refers to.
+///
+/// The weights are stored in rank order (member 0 is the heaviest). Use
+/// [`ZipfWeights::shuffled`] to decorrelate member ordinals from weight
+/// ranks when a dimension's heavy members should not be adjacent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfWeights {
+    theta: f64,
+    weights: Vec<f64>,
+    /// Cumulative distribution, `cdf[i] = Σ weights[0..=i]`; last entry is 1.
+    cdf: Vec<f64>,
+}
+
+impl ZipfWeights {
+    /// Computes normalized Zipf(θ) weights for `n` members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, θ is negative, or θ is not finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "ZipfWeights requires at least one member");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and non-negative, got {theta}"
+        );
+        let mut weights = Vec::with_capacity(n);
+        if theta == 0.0 {
+            // Exact uniform case; avoids powf rounding noise.
+            weights.resize(n, 1.0 / n as f64);
+        } else {
+            let mut sum = 0.0;
+            for i in 0..n {
+                let w = 1.0 / ((i + 1) as f64).powf(theta);
+                weights.push(w);
+                sum += w;
+            }
+            for w in &mut weights {
+                *w /= sum;
+            }
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &w in &weights {
+            acc += w;
+            cdf.push(acc);
+        }
+        // Guard against floating point drift so sampling never overruns.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { theta, weights, cdf }
+    }
+
+    /// The θ this vector was built with.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the vector is empty (never true; kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The normalized weights in rank order.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Weight of member `i`.
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Total weight of the heaviest `k` members.
+    pub fn top_k_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let k = k.min(self.len());
+        self.cdf[k - 1]
+    }
+
+    /// Samples a member index proportionally to its weight, given a uniform
+    /// draw `u ∈ [0, 1)`.
+    pub fn sample_with(&self, u: f64) -> usize {
+        debug_assert!((0.0..=1.0).contains(&u));
+        // partition_point: first index whose cdf exceeds u.
+        self.cdf.partition_point(|&c| c <= u).min(self.len() - 1)
+    }
+
+    /// Samples a member index proportionally to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample_with(rng.gen::<f64>())
+    }
+
+    /// Returns the weights permuted by a deterministic Fisher–Yates shuffle
+    /// seeded with `seed`, so heavy members are spread over the ordinal
+    /// range instead of clustering at the front.
+    pub fn shuffled(&self, seed: u64) -> Vec<f64> {
+        let mut out = self.weights.clone();
+        // Small deterministic xorshift so the skew crate does not need a
+        // full RNG for reproducible permutations.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in (1..out.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            out.swap(i, j);
+        }
+        out
+    }
+
+    /// Squared coefficient of variation of the weights — 0 for uniform,
+    /// growing with skew. Useful as a scalar skew indicator.
+    pub fn squared_cv(&self) -> f64 {
+        let n = self.len() as f64;
+        let mean = 1.0 / n;
+        let var = self
+            .weights
+            .iter()
+            .map(|w| (w - mean) * (w - mean))
+            .sum::<f64>()
+            / n;
+        var / (mean * mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} !~ {b} (eps {eps})");
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = ZipfWeights::new(8, 0.0);
+        for &w in z.weights() {
+            assert_close(w, 0.125, 1e-15);
+        }
+        assert_close(z.squared_cv(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for theta in [0.0, 0.25, 0.5, 1.0, 2.0] {
+            let z = ZipfWeights::new(1000, theta);
+            let s: f64 = z.weights().iter().sum();
+            assert_close(s, 1.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn weights_are_monotone_nonincreasing() {
+        let z = ZipfWeights::new(100, 0.86);
+        for pair in z.weights().windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+    }
+
+    #[test]
+    fn classic_zipf_ratios() {
+        let z = ZipfWeights::new(4, 1.0);
+        // ratios 1 : 1/2 : 1/3 : 1/4
+        assert_close(z.weight(0) / z.weight(1), 2.0, 1e-12);
+        assert_close(z.weight(0) / z.weight(3), 4.0, 1e-12);
+    }
+
+    #[test]
+    fn top_k_mass_grows_and_bounds() {
+        let z = ZipfWeights::new(50, 1.0);
+        assert_eq!(z.top_k_mass(0), 0.0);
+        let mut prev = 0.0;
+        for k in 1..=50 {
+            let m = z.top_k_mass(k);
+            assert!(m >= prev);
+            prev = m;
+        }
+        assert_close(z.top_k_mass(50), 1.0, 1e-12);
+        assert_close(z.top_k_mass(500), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_cdf_boundaries() {
+        let z = ZipfWeights::new(4, 0.0);
+        assert_eq!(z.sample_with(0.0), 0);
+        assert_eq!(z.sample_with(0.2499), 0);
+        assert_eq!(z.sample_with(0.25), 1);
+        assert_eq!(z.sample_with(0.9999), 3);
+        assert_eq!(z.sample_with(1.0), 3);
+    }
+
+    #[test]
+    fn sampling_matches_weights_statistically() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let z = ZipfWeights::new(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 8];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let observed = c as f64 / n as f64;
+            let expected = z.weight(i);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "member {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let z = ZipfWeights::new(64, 1.0);
+        let a = z.shuffled(7);
+        let b = z.shuffled(7);
+        let c = z.shuffled(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted_a = a.clone();
+        let mut sorted_orig = z.weights().to_vec();
+        sorted_a.sort_by(f64::total_cmp);
+        sorted_orig.sort_by(f64::total_cmp);
+        assert_eq!(sorted_a, sorted_orig);
+    }
+
+    #[test]
+    fn squared_cv_grows_with_theta() {
+        let a = ZipfWeights::new(100, 0.25).squared_cv();
+        let b = ZipfWeights::new(100, 0.5).squared_cv();
+        let c = ZipfWeights::new(100, 1.0).squared_cv();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn rejects_zero_members() {
+        let _ = ZipfWeights::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_theta() {
+        let _ = ZipfWeights::new(4, -0.5);
+    }
+}

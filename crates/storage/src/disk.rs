@@ -1,0 +1,156 @@
+//! Mechanical disk parameters and I/O service-time primitives.
+
+/// Characteristics of one disk device.
+///
+/// The analytical cost model (Stöhr, BTW 2001, reconstructed here) treats a
+/// physical I/O as one positioning phase (average seek plus average
+/// rotational delay) followed by the transfer of one *prefetch granule* of
+/// contiguous pages. Larger granules amortize positioning over more pages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskParams {
+    /// Average seek time in milliseconds.
+    pub avg_seek_ms: f64,
+    /// Average rotational delay in milliseconds (half a revolution).
+    pub avg_rotational_ms: f64,
+    /// Sustained transfer rate in megabytes per second (1 MB = 2^20 bytes).
+    pub transfer_mb_per_s: f64,
+    /// Usable capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl DiskParams {
+    /// A circa-2001 server disk, contemporary with the paper: 5 ms average
+    /// seek, 10 000 rpm (3 ms average rotational delay), 20 MB/s sustained
+    /// transfer, 18 GB capacity.
+    pub fn ca_2001() -> Self {
+        Self {
+            avg_seek_ms: 5.0,
+            avg_rotational_ms: 3.0,
+            transfer_mb_per_s: 20.0,
+            capacity_bytes: 18 * (1 << 30),
+        }
+    }
+
+    /// A modern enterprise HDD: 4 ms seek, 7200 rpm (4.17 ms rotational),
+    /// 250 MB/s transfer, 16 TB capacity. Useful for what-if studies.
+    pub fn modern_hdd() -> Self {
+        Self {
+            avg_seek_ms: 4.0,
+            avg_rotational_ms: 4.17,
+            transfer_mb_per_s: 250.0,
+            capacity_bytes: 16 * (1u64 << 40),
+        }
+    }
+
+    /// Positioning time of one physical I/O (seek + rotational delay).
+    #[inline]
+    pub fn positioning_ms(&self) -> f64 {
+        self.avg_seek_ms + self.avg_rotational_ms
+    }
+
+    /// Transfer time for one page of `page_bytes` bytes, in milliseconds.
+    #[inline]
+    pub fn page_transfer_ms(&self, page_bytes: u64) -> f64 {
+        let bytes_per_ms = self.transfer_mb_per_s * 1024.0 * 1024.0 / 1000.0;
+        page_bytes as f64 / bytes_per_ms
+    }
+
+    /// Service time of reading `pages` logically contiguous pages with
+    /// prefetch granule `prefetch` (pages per physical I/O).
+    ///
+    /// `ceil(pages / prefetch)` positioning phases plus the full transfer:
+    /// the model assumes a new seek per granule (other activity intervenes
+    /// between granules on a shared device) but contiguous transfer within
+    /// one granule.
+    pub fn sequential_ms(&self, pages: u64, prefetch: u32, page_bytes: u64) -> f64 {
+        if pages == 0 {
+            return 0.0;
+        }
+        let prefetch = u64::from(prefetch.max(1));
+        let ios = pages.div_ceil(prefetch);
+        ios as f64 * self.positioning_ms() + pages as f64 * self.page_transfer_ms(page_bytes)
+    }
+
+    /// Number of physical I/Os for `pages` pages at granule `prefetch`.
+    #[inline]
+    pub fn sequential_ios(&self, pages: u64, prefetch: u32) -> u64 {
+        pages.div_ceil(u64::from(prefetch.max(1)))
+    }
+
+    /// Service time of `count` independent random single-page reads.
+    pub fn random_ms(&self, count: u64, page_bytes: u64) -> f64 {
+        count as f64 * (self.positioning_ms() + self.page_transfer_ms(page_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn positioning_is_seek_plus_rotation() {
+        let d = DiskParams::ca_2001();
+        assert_close(d.positioning_ms(), 8.0, 1e-12);
+    }
+
+    #[test]
+    fn page_transfer_scales_with_rate() {
+        let d = DiskParams::ca_2001();
+        // 20 MB/s => 20 * 1048576 / 1000 bytes per ms = 20971.52
+        let t8k = d.page_transfer_ms(8192);
+        assert_close(t8k, 8192.0 / 20971.52, 1e-9);
+        let fast = DiskParams {
+            transfer_mb_per_s: 40.0,
+            ..d
+        };
+        assert_close(fast.page_transfer_ms(8192), t8k / 2.0, 1e-9);
+    }
+
+    #[test]
+    fn sequential_amortizes_positioning() {
+        let d = DiskParams::ca_2001();
+        let slow = d.sequential_ms(64, 1, 8192);
+        let fast = d.sequential_ms(64, 16, 8192);
+        // Transfer part is identical; positioning drops from 64 to 4 I/Os.
+        let t = 64.0 * d.page_transfer_ms(8192);
+        assert_close(slow, 64.0 * 8.0 + t, 1e-9);
+        assert_close(fast, 4.0 * 8.0 + t, 1e-9);
+    }
+
+    #[test]
+    fn sequential_handles_edge_cases() {
+        let d = DiskParams::ca_2001();
+        assert_eq!(d.sequential_ms(0, 8, 8192), 0.0);
+        // Zero prefetch is treated as one.
+        assert_close(
+            d.sequential_ms(3, 0, 8192),
+            d.sequential_ms(3, 1, 8192),
+            1e-12,
+        );
+        // Partial final granule still counts one I/O.
+        assert_eq!(d.sequential_ios(17, 8), 3);
+        assert_eq!(d.sequential_ios(16, 8), 2);
+        assert_eq!(d.sequential_ios(1, 8), 1);
+    }
+
+    #[test]
+    fn random_reads_pay_positioning_each() {
+        let d = DiskParams::ca_2001();
+        let one = d.random_ms(1, 8192);
+        assert_close(d.random_ms(10, 8192), 10.0 * one, 1e-9);
+        assert!(one > d.positioning_ms());
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let old = DiskParams::ca_2001();
+        let new = DiskParams::modern_hdd();
+        assert!(new.transfer_mb_per_s > old.transfer_mb_per_s);
+        assert!(new.capacity_bytes > old.capacity_bytes);
+        assert!(old.positioning_ms() > 0.0);
+    }
+}

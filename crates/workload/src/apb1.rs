@@ -1,0 +1,146 @@
+//! APB-1-like demonstration workload.
+//!
+//! APB-1 specifies a set of OLAP operations against its star schema; the
+//! WARLOCK demonstration used "APB-1-based configurations" as its workload.
+//! This module reconstructs a representative weighted star-query mix over
+//! the APB-1-like schema of `warlock-schema`: ten query classes covering
+//! every dimension subset size from one to four, with heavier weight on the
+//! mid-selectivity reporting classes, as typical for warehouse workloads.
+//!
+//! Dimension ids follow the preset order: 0 = product, 1 = customer,
+//! 2 = time, 3 = channel. Level ids are coarse → fine (product: division 0,
+//! line 1, family 2, group 3, class 4, code 5; customer: retailer 0,
+//! store 1; time: year 0, quarter 1, month 2; channel: base 0).
+
+use crate::{DimensionPredicate, QueryClass, QueryMix, WorkloadError};
+
+/// Builds the ten-class APB-1-like query mix.
+///
+/// | class | references | share |
+/// |-------|------------|-------|
+/// | `q01_month_store_code` | time.month, customer.store, product.code | 5 % |
+/// | `q02_month_class` | time.month, product.class | 15 % |
+/// | `q03_quarter_group` | time.quarter, product.group | 15 % |
+/// | `q04_year_line` | time.year, product.line | 10 % |
+/// | `q05_month_retailer` | time.month, customer.retailer | 10 % |
+/// | `q06_channel_month` | channel.base, time.month | 10 % |
+/// | `q07_store_class` | customer.store, product.class | 10 % |
+/// | `q08_quarter_family_retailer` | time.quarter, product.family, customer.retailer | 10 % |
+/// | `q09_month_division_channel` | time.month, product.division, channel.base | 10 % |
+/// | `q10_year_full_slice` | time.year, product.division, customer.retailer, channel.base | 5 % |
+pub fn apb1_like_mix() -> Result<QueryMix, WorkloadError> {
+    const PRODUCT: u16 = 0;
+    const CUSTOMER: u16 = 1;
+    const TIME: u16 = 2;
+    const CHANNEL: u16 = 3;
+
+    QueryMix::builder()
+        .class(
+            QueryClass::new("q01_month_store_code")
+                .with(TIME, DimensionPredicate::point(2))
+                .with(CUSTOMER, DimensionPredicate::point(1))
+                .with(PRODUCT, DimensionPredicate::point(5)),
+            5.0,
+        )
+        .class(
+            QueryClass::new("q02_month_class")
+                .with(TIME, DimensionPredicate::point(2))
+                .with(PRODUCT, DimensionPredicate::point(4)),
+            15.0,
+        )
+        .class(
+            QueryClass::new("q03_quarter_group")
+                .with(TIME, DimensionPredicate::point(1))
+                .with(PRODUCT, DimensionPredicate::point(3)),
+            15.0,
+        )
+        .class(
+            QueryClass::new("q04_year_line")
+                .with(TIME, DimensionPredicate::point(0))
+                .with(PRODUCT, DimensionPredicate::point(1)),
+            10.0,
+        )
+        .class(
+            QueryClass::new("q05_month_retailer")
+                .with(TIME, DimensionPredicate::point(2))
+                .with(CUSTOMER, DimensionPredicate::point(0)),
+            10.0,
+        )
+        .class(
+            QueryClass::new("q06_channel_month")
+                .with(CHANNEL, DimensionPredicate::point(0))
+                .with(TIME, DimensionPredicate::point(2)),
+            10.0,
+        )
+        .class(
+            QueryClass::new("q07_store_class")
+                .with(CUSTOMER, DimensionPredicate::point(1))
+                .with(PRODUCT, DimensionPredicate::point(4)),
+            10.0,
+        )
+        .class(
+            QueryClass::new("q08_quarter_family_retailer")
+                .with(TIME, DimensionPredicate::point(1))
+                .with(PRODUCT, DimensionPredicate::point(2))
+                .with(CUSTOMER, DimensionPredicate::point(0)),
+            10.0,
+        )
+        .class(
+            QueryClass::new("q09_month_division_channel")
+                .with(TIME, DimensionPredicate::point(2))
+                .with(PRODUCT, DimensionPredicate::point(0))
+                .with(CHANNEL, DimensionPredicate::point(0)),
+            10.0,
+        )
+        .class(
+            QueryClass::new("q10_year_full_slice")
+                .with(TIME, DimensionPredicate::point(0))
+                .with(PRODUCT, DimensionPredicate::point(0))
+                .with(CUSTOMER, DimensionPredicate::point(0))
+                .with(CHANNEL, DimensionPredicate::point(0)),
+            5.0,
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_schema::{apb1_like_schema, Apb1Config};
+
+    #[test]
+    fn mix_builds_and_validates_against_preset_schema() {
+        let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+        let mix = apb1_like_mix().unwrap();
+        assert_eq!(mix.len(), 10);
+        mix.validate(&schema).unwrap();
+        let total: f64 = mix.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covers_dimensionalities_one_to_four() {
+        let mix = apb1_like_mix().unwrap();
+        let dims: Vec<usize> = mix.iter().map(|(c, _)| c.dimensionality()).collect();
+        assert!(dims.contains(&2));
+        assert!(dims.contains(&3));
+        assert!(dims.contains(&4));
+        assert_eq!(*dims.iter().max().unwrap(), 4);
+    }
+
+    #[test]
+    fn selectivities_are_distinct_and_small() {
+        let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+        let mix = apb1_like_mix().unwrap();
+        for (class, _) in mix.iter() {
+            let sel = class.selectivity(&schema);
+            assert!(sel > 0.0 && sel <= 0.5, "{}: {sel}", class.name());
+        }
+        // The pinpoint class is the most selective.
+        let pin = mix.class_by_name("q01_month_store_code").unwrap();
+        let pin_sel = pin.class.selectivity(&schema);
+        for (class, _) in mix.iter() {
+            assert!(pin_sel <= class.selectivity(&schema));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Seeded random workload generation.
+//!
+//! Used by stress tests, property tests and the benchmark harness to cover
+//! the advisor with workloads beyond the APB-1-like preset.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::{DimensionPredicate, QueryClass, QueryMix};
+use warlock_schema::StarSchema;
+
+/// Knobs of the random workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of query classes to generate.
+    pub num_classes: usize,
+    /// Largest number of dimensions one class may reference (clamped to the
+    /// schema's dimension count).
+    pub max_dimensionality: usize,
+    /// Probability that a predicate selects more than one value; multi-value
+    /// predicates draw their count uniformly from `2..=max(2, card/4)`.
+    pub range_probability: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            num_classes: 8,
+            max_dimensionality: 3,
+            range_probability: 0.25,
+        }
+    }
+}
+
+/// Deterministic random workload generator.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    rng: StdRng,
+    config: GeneratorConfig,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with the given seed and configuration.
+    pub fn new(seed: u64, config: GeneratorConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// Generates one random query class against `schema`.
+    pub fn query_class(&mut self, schema: &StarSchema, name: impl Into<String>) -> QueryClass {
+        let num_dims = schema.num_dimensions();
+        let dimensionality = self
+            .rng
+            .gen_range(1..=self.config.max_dimensionality.clamp(1, num_dims));
+        let mut dims: Vec<usize> = (0..num_dims).collect();
+        dims.shuffle(&mut self.rng);
+        dims.truncate(dimensionality);
+
+        let mut class = QueryClass::new(name);
+        for d in dims {
+            let dimension = &schema.dimensions()[d];
+            let level = self.rng.gen_range(0..dimension.depth());
+            let card = dimension.levels()[level].cardinality();
+            let values = if card > 1 && self.rng.gen_bool(self.config.range_probability) {
+                let hi = (card / 4).max(2).min(card);
+                self.rng.gen_range(2..=hi).min(card)
+            } else {
+                1
+            };
+            class = class.with(d as u16, DimensionPredicate::range(level as u16, values));
+        }
+        class
+    }
+
+    /// Generates a full weighted mix against `schema`.
+    ///
+    /// Weights are drawn uniformly from `[1, 10)`, so shares are strictly
+    /// positive. The produced mix always validates against `schema`.
+    pub fn mix(&mut self, schema: &StarSchema) -> QueryMix {
+        let mut builder = QueryMix::builder();
+        for i in 0..self.config.num_classes.max(1) {
+            let class = self.query_class(schema, format!("gen_q{i:02}"));
+            let weight = self.rng.gen_range(1.0..10.0);
+            builder = builder.class(class, weight);
+        }
+        builder.build().expect("generated mix is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_schema::{apb1_like_schema, Apb1Config};
+
+    fn schema() -> StarSchema {
+        apb1_like_schema(Apb1Config::default()).unwrap()
+    }
+
+    #[test]
+    fn generated_mix_is_valid_and_sized() {
+        let s = schema();
+        let mut g = WorkloadGenerator::new(7, GeneratorConfig::default());
+        let mix = g.mix(&s);
+        assert_eq!(mix.len(), 8);
+        mix.validate(&s).unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = schema();
+        let mix_a = WorkloadGenerator::new(11, GeneratorConfig::default()).mix(&s);
+        let mix_b = WorkloadGenerator::new(11, GeneratorConfig::default()).mix(&s);
+        let mix_c = WorkloadGenerator::new(12, GeneratorConfig::default()).mix(&s);
+        assert_eq!(mix_a, mix_b);
+        assert_ne!(mix_a, mix_c);
+    }
+
+    #[test]
+    fn respects_max_dimensionality() {
+        let s = schema();
+        let cfg = GeneratorConfig {
+            num_classes: 32,
+            max_dimensionality: 2,
+            range_probability: 0.5,
+        };
+        let mix = WorkloadGenerator::new(3, cfg).mix(&s);
+        for (class, _) in mix.iter() {
+            assert!(class.dimensionality() <= 2);
+            assert!(class.dimensionality() >= 1);
+        }
+    }
+
+    #[test]
+    fn many_seeds_always_validate() {
+        let s = schema();
+        for seed in 0..50 {
+            let mix = WorkloadGenerator::new(seed, GeneratorConfig::default()).mix(&s);
+            mix.validate(&s).unwrap();
+        }
+    }
+
+    #[test]
+    fn dimensionality_clamps_to_schema() {
+        let s = schema();
+        let cfg = GeneratorConfig {
+            num_classes: 8,
+            max_dimensionality: 99,
+            range_probability: 0.0,
+        };
+        let mix = WorkloadGenerator::new(3, cfg).mix(&s);
+        for (class, _) in mix.iter() {
+            assert!(class.dimensionality() <= s.num_dimensions());
+        }
+    }
+}

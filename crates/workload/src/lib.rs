@@ -1,0 +1,46 @@
+//! Star-query workload model for WARLOCK.
+//!
+//! "The considered workload consists of a variety of multi-dimensional join
+//! and aggregation (star) queries on the fact tables that refer to dimension
+//! attributes. … Similar to APB-1, several weighted query classes can be
+//! specified according to the subset of dimensions they access and their
+//! relative share of the workload." (paper, §2/§3.1)
+//!
+//! This crate provides:
+//!
+//! * [`QueryClass`] — one star-query class: per-dimension predicates, each
+//!   naming a hierarchy level and the number of selected member values,
+//! * [`QueryMix`] — a weighted set of query classes with normalized shares,
+//! * [`apb1_like_mix`] — the APB-1-like demonstration workload,
+//! * [`WorkloadGenerator`] — a seeded random workload generator for stress
+//!   and property tests.
+
+//!
+//! # Example
+//!
+//! ```
+//! use warlock_workload::{DimensionPredicate, QueryClass, QueryMix};
+//! use warlock_schema::{apb1_like_schema, Apb1Config};
+//!
+//! let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+//! // One month of one product class: selectivity (1/24)·(1/900).
+//! let q = QueryClass::new("report")
+//!     .with(2, DimensionPredicate::point(2))
+//!     .with(0, DimensionPredicate::point(4));
+//! let mix = QueryMix::builder().class(q, 1.0).build().unwrap();
+//! mix.validate(&schema).unwrap();
+//! let sel = mix.classes()[0].class.selectivity(&schema);
+//! assert!((sel - 1.0 / 24.0 / 900.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod apb1;
+mod generator;
+mod mix;
+mod query;
+
+pub use apb1::apb1_like_mix;
+pub use generator::{GeneratorConfig, WorkloadGenerator};
+pub use mix::{QueryMix, QueryMixBuilder, WeightedClass};
+pub use query::{DimensionPredicate, QueryClass, WorkloadError};

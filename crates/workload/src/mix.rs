@@ -1,0 +1,230 @@
+//! Weighted query mixes.
+
+use crate::{QueryClass, WorkloadError};
+use warlock_schema::StarSchema;
+
+/// One query class together with its normalized workload share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedClass {
+    /// The query class.
+    pub class: QueryClass,
+    /// Normalized share of the workload, in `(0, 1]`; shares sum to 1.
+    pub share: f64,
+}
+
+/// A weighted set of query classes — the "weighted star query mix" of the
+/// paper's input layer.
+///
+/// Weights are normalized to shares at build time. The advisor evaluates
+/// every fragmentation candidate against the whole mix, weighting each
+/// class's cost by its share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMix {
+    classes: Vec<WeightedClass>,
+}
+
+impl QueryMix {
+    /// Starts building a mix.
+    pub fn builder() -> QueryMixBuilder {
+        QueryMixBuilder { entries: Vec::new() }
+    }
+
+    /// The weighted classes, shares summing to 1.
+    #[inline]
+    pub fn classes(&self) -> &[WeightedClass] {
+        &self.classes
+    }
+
+    /// Number of query classes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the mix is empty (never true for a built mix).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over `(class, share)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&QueryClass, f64)> + '_ {
+        self.classes.iter().map(|w| (&w.class, w.share))
+    }
+
+    /// Finds a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<&WeightedClass> {
+        self.classes.iter().find(|w| w.class.name() == name)
+    }
+
+    /// Validates every class against the schema.
+    pub fn validate(&self, schema: &StarSchema) -> Result<(), WorkloadError> {
+        for w in &self.classes {
+            w.class.validate(schema)?;
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of the mix without the named class, re-normalized.
+    /// Returns `None` if removing it would empty the mix or the name is
+    /// unknown.
+    pub fn without_class(&self, name: &str) -> Option<QueryMix> {
+        if self.class_by_name(name).is_none() || self.len() == 1 {
+            return None;
+        }
+        let mut b = QueryMix::builder();
+        for w in &self.classes {
+            if w.class.name() != name {
+                b = b.class(w.class.clone(), w.share);
+            }
+        }
+        b.build().ok()
+    }
+
+    /// Workload-weighted average selectivity against `schema`.
+    pub fn average_selectivity(&self, schema: &StarSchema) -> f64 {
+        self.iter()
+            .map(|(c, share)| share * c.selectivity(schema))
+            .sum()
+    }
+}
+
+/// Builder for [`QueryMix`].
+#[derive(Debug, Clone)]
+pub struct QueryMixBuilder {
+    entries: Vec<(QueryClass, f64)>,
+}
+
+impl QueryMixBuilder {
+    /// Adds a class with a raw (unnormalized) weight.
+    pub fn class(mut self, class: QueryClass, weight: f64) -> Self {
+        self.entries.push((class, weight));
+        self
+    }
+
+    /// Normalizes weights and produces the mix.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::EmptyMix`] when no classes were added or the total
+    /// weight is zero; [`WorkloadError::BadWeight`] on negative or non-finite
+    /// weights.
+    pub fn build(self) -> Result<QueryMix, WorkloadError> {
+        for (class, weight) in &self.entries {
+            if !weight.is_finite() || *weight < 0.0 {
+                return Err(WorkloadError::BadWeight {
+                    query: class.name().to_owned(),
+                    weight: *weight,
+                });
+            }
+        }
+        let total: f64 = self.entries.iter().map(|(_, w)| w).sum();
+        if self.entries.is_empty() || total <= 0.0 {
+            return Err(WorkloadError::EmptyMix);
+        }
+        Ok(QueryMix {
+            classes: self
+                .entries
+                .into_iter()
+                .filter(|(_, w)| *w > 0.0)
+                .map(|(class, weight)| WeightedClass {
+                    class,
+                    share: weight / total,
+                })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DimensionPredicate;
+
+    fn q(name: &str) -> QueryClass {
+        QueryClass::new(name).with(0, DimensionPredicate::point(0))
+    }
+
+    #[test]
+    fn weights_normalize_to_shares() {
+        let mix = QueryMix::builder()
+            .class(q("a"), 1.0)
+            .class(q("b"), 3.0)
+            .build()
+            .unwrap();
+        assert_eq!(mix.len(), 2);
+        let shares: Vec<f64> = mix.iter().map(|(_, s)| s).collect();
+        assert!((shares[0] - 0.25).abs() < 1e-12);
+        assert!((shares[1] - 0.75).abs() < 1e-12);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_classes_are_dropped() {
+        let mix = QueryMix::builder()
+            .class(q("a"), 0.0)
+            .class(q("b"), 2.0)
+            .build()
+            .unwrap();
+        assert_eq!(mix.len(), 1);
+        assert_eq!(mix.classes()[0].class.name(), "b");
+    }
+
+    #[test]
+    fn empty_and_zero_total_rejected() {
+        assert!(matches!(
+            QueryMix::builder().build().unwrap_err(),
+            WorkloadError::EmptyMix
+        ));
+        assert!(matches!(
+            QueryMix::builder().class(q("a"), 0.0).build().unwrap_err(),
+            WorkloadError::EmptyMix
+        ));
+    }
+
+    #[test]
+    fn bad_weights_rejected() {
+        assert!(matches!(
+            QueryMix::builder().class(q("a"), -1.0).build().unwrap_err(),
+            WorkloadError::BadWeight { .. }
+        ));
+        assert!(matches!(
+            QueryMix::builder()
+                .class(q("a"), f64::NAN)
+                .build()
+                .unwrap_err(),
+            WorkloadError::BadWeight { .. }
+        ));
+    }
+
+    #[test]
+    fn lookup_and_removal() {
+        let mix = QueryMix::builder()
+            .class(q("a"), 1.0)
+            .class(q("b"), 1.0)
+            .build()
+            .unwrap();
+        assert!(mix.class_by_name("a").is_some());
+        assert!(mix.class_by_name("zzz").is_none());
+
+        let reduced = mix.without_class("a").unwrap();
+        assert_eq!(reduced.len(), 1);
+        assert!((reduced.classes()[0].share - 1.0).abs() < 1e-12);
+
+        assert!(mix.without_class("zzz").is_none());
+        assert!(reduced.without_class("b").is_none()); // would empty the mix
+    }
+
+    #[test]
+    fn average_selectivity_is_weighted() {
+        use warlock_schema::{apb1_like_schema, Apb1Config};
+        let s = apb1_like_schema(Apb1Config::default()).unwrap();
+        // class on product.division (1/5) and one on channel (1/9)
+        let a = QueryClass::new("a").with(0, DimensionPredicate::point(0));
+        let b = QueryClass::new("b").with(3, DimensionPredicate::point(0));
+        let mix = QueryMix::builder().class(a, 1.0).class(b, 1.0).build().unwrap();
+        mix.validate(&s).unwrap();
+        let expect = 0.5 * (1.0 / 5.0) + 0.5 * (1.0 / 9.0);
+        assert!((mix.average_selectivity(&s) - expect).abs() < 1e-12);
+    }
+}

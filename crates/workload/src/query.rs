@@ -1,0 +1,336 @@
+//! Star-query classes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use warlock_schema::{DimensionId, LevelId, LevelRef, StarSchema};
+
+/// Errors raised while building or validating workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A predicate references a dimension the schema does not have.
+    UnknownDimension {
+        /// The query class name.
+        query: String,
+        /// The out-of-range dimension index.
+        index: usize,
+    },
+    /// A predicate references a level the dimension does not have.
+    UnknownLevel {
+        /// The query class name.
+        query: String,
+        /// The offending reference.
+        level_ref: LevelRef,
+    },
+    /// A predicate selects zero values or more values than the level holds.
+    BadValueCount {
+        /// The query class name.
+        query: String,
+        /// The offending reference.
+        level_ref: LevelRef,
+        /// Requested number of values.
+        values: u64,
+        /// The level's cardinality.
+        cardinality: u64,
+    },
+    /// A query class references no dimension at all.
+    EmptyQuery {
+        /// The query class name.
+        query: String,
+    },
+    /// A mix has no query classes or all-zero weights.
+    EmptyMix,
+    /// A weight is negative, NaN or infinite.
+    BadWeight {
+        /// The query class name.
+        query: String,
+        /// The bad weight.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownDimension { query, index } => {
+                write!(f, "query `{query}` references unknown dimension {index}")
+            }
+            Self::UnknownLevel { query, level_ref } => {
+                write!(f, "query `{query}` references unknown level {level_ref}")
+            }
+            Self::BadValueCount {
+                query,
+                level_ref,
+                values,
+                cardinality,
+            } => write!(
+                f,
+                "query `{query}` selects {values} values of {level_ref} \
+                 (cardinality {cardinality})"
+            ),
+            Self::EmptyQuery { query } => {
+                write!(f, "query `{query}` references no dimension")
+            }
+            Self::EmptyMix => write!(f, "query mix is empty or has zero total weight"),
+            Self::BadWeight { query, weight } => {
+                write!(f, "query `{query}` has invalid weight {weight}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// One per-dimension predicate of a star query: the referenced hierarchy
+/// level and how many member values of that level the query selects.
+///
+/// `values = 1` is a point restriction ("January 2001"); larger counts model
+/// range or IN-list restrictions ("Q1+Q2"). Selected values are assumed to
+/// be drawn uniformly from the level's members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimensionPredicate {
+    /// Referenced level within the dimension.
+    pub level: LevelId,
+    /// Number of selected member values at that level (≥ 1).
+    pub values: u64,
+}
+
+impl DimensionPredicate {
+    /// Point restriction on the given level.
+    pub fn point(level: u16) -> Self {
+        Self {
+            level: LevelId(level),
+            values: 1,
+        }
+    }
+
+    /// Restriction selecting `values` members of the given level.
+    pub fn range(level: u16, values: u64) -> Self {
+        Self {
+            level: LevelId(level),
+            values,
+        }
+    }
+}
+
+/// One star-query class.
+///
+/// A class is defined by the subset of dimensions it references and one
+/// [`DimensionPredicate`] per referenced dimension. Unreferenced dimensions
+/// are unrestricted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryClass {
+    name: String,
+    predicates: BTreeMap<DimensionId, DimensionPredicate>,
+}
+
+impl QueryClass {
+    /// Creates a named, empty query class; add predicates with
+    /// [`with`](Self::with).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            predicates: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) the predicate on `dimension`.
+    pub fn with(mut self, dimension: u16, predicate: DimensionPredicate) -> Self {
+        self.predicates.insert(DimensionId(dimension), predicate);
+        self
+    }
+
+    /// The class name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-dimension predicates, keyed by dimension id.
+    #[inline]
+    pub fn predicates(&self) -> &BTreeMap<DimensionId, DimensionPredicate> {
+        &self.predicates
+    }
+
+    /// The predicate on `dimension`, if any.
+    #[inline]
+    pub fn predicate(&self, dimension: DimensionId) -> Option<DimensionPredicate> {
+        self.predicates.get(&dimension).copied()
+    }
+
+    /// Which dimensions the class references.
+    pub fn referenced_dimensions(&self) -> impl Iterator<Item = DimensionId> + '_ {
+        self.predicates.keys().copied()
+    }
+
+    /// Number of referenced dimensions.
+    #[inline]
+    pub fn dimensionality(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Validates the class against a schema.
+    pub fn validate(&self, schema: &StarSchema) -> Result<(), WorkloadError> {
+        if self.predicates.is_empty() {
+            return Err(WorkloadError::EmptyQuery {
+                query: self.name.clone(),
+            });
+        }
+        for (&dim, pred) in &self.predicates {
+            let dimension =
+                schema
+                    .dimension(dim)
+                    .map_err(|_| WorkloadError::UnknownDimension {
+                        query: self.name.clone(),
+                        index: dim.index(),
+                    })?;
+            let level_ref = LevelRef {
+                dimension: dim,
+                level: pred.level,
+            };
+            let card = dimension
+                .cardinality(pred.level)
+                .map_err(|_| WorkloadError::UnknownLevel {
+                    query: self.name.clone(),
+                    level_ref,
+                })?;
+            if pred.values == 0 || pred.values > card {
+                return Err(WorkloadError::BadValueCount {
+                    query: self.name.clone(),
+                    level_ref,
+                    values: pred.values,
+                    cardinality: card,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fraction of fact rows the class selects — the product of per-dimension
+    /// selectivities `values / cardinality(level)` (dimension independence).
+    pub fn selectivity(&self, schema: &StarSchema) -> f64 {
+        self.predicates
+            .iter()
+            .map(|(&dim, pred)| {
+                let card = schema
+                    .dimension(dim)
+                    .and_then(|d| d.cardinality(pred.level))
+                    .expect("validated query class");
+                pred.values as f64 / card as f64
+            })
+            .product()
+    }
+
+    /// Expected number of fact rows the class touches.
+    pub fn expected_rows(&self, schema: &StarSchema, fact_index: usize) -> f64 {
+        self.selectivity(schema) * schema.fact_rows(fact_index) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_schema::{apb1_like_schema, Apb1Config};
+
+    fn schema() -> StarSchema {
+        apb1_like_schema(Apb1Config::default()).unwrap()
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let q = QueryClass::new("q")
+            .with(0, DimensionPredicate::point(4)) // product.class
+            .with(2, DimensionPredicate::range(1, 2)); // time.quarter IN (2)
+        assert_eq!(q.dimensionality(), 2);
+        assert_eq!(
+            q.predicate(DimensionId(0)),
+            Some(DimensionPredicate::point(4))
+        );
+        assert_eq!(q.predicate(DimensionId(1)), None);
+        let dims: Vec<_> = q.referenced_dimensions().collect();
+        assert_eq!(dims, vec![DimensionId(0), DimensionId(2)]);
+    }
+
+    #[test]
+    fn selectivity_is_product_of_fractions() {
+        let s = schema();
+        let q = QueryClass::new("q")
+            .with(0, DimensionPredicate::point(4)) // 1/900
+            .with(2, DimensionPredicate::range(1, 2)); // 2/8
+        q.validate(&s).unwrap();
+        let sel = q.selectivity(&s);
+        let expected = (1.0 / 900.0) * (2.0 / 8.0);
+        assert!((sel - expected).abs() < 1e-15);
+        let rows = q.expected_rows(&s, 0);
+        assert!((rows - sel * s.fact_rows(0) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_catches_unknown_dimension() {
+        let s = schema();
+        let q = QueryClass::new("bad").with(9, DimensionPredicate::point(0));
+        assert!(matches!(
+            q.validate(&s).unwrap_err(),
+            WorkloadError::UnknownDimension { .. }
+        ));
+    }
+
+    #[test]
+    fn validation_catches_unknown_level() {
+        let s = schema();
+        let q = QueryClass::new("bad").with(3, DimensionPredicate::point(5)); // channel has 1 level
+        assert!(matches!(
+            q.validate(&s).unwrap_err(),
+            WorkloadError::UnknownLevel { .. }
+        ));
+    }
+
+    #[test]
+    fn validation_catches_bad_value_counts() {
+        let s = schema();
+        let too_many = QueryClass::new("bad").with(2, DimensionPredicate::range(0, 3)); // 2 years
+        assert!(matches!(
+            too_many.validate(&s).unwrap_err(),
+            WorkloadError::BadValueCount { .. }
+        ));
+        let zero = QueryClass::new("bad").with(2, DimensionPredicate::range(0, 0));
+        assert!(matches!(
+            zero.validate(&s).unwrap_err(),
+            WorkloadError::BadValueCount { .. }
+        ));
+    }
+
+    #[test]
+    fn validation_catches_empty_query() {
+        let s = schema();
+        let q = QueryClass::new("empty");
+        assert!(matches!(
+            q.validate(&s).unwrap_err(),
+            WorkloadError::EmptyQuery { .. }
+        ));
+    }
+
+    #[test]
+    fn replacing_predicate_keeps_one_per_dimension() {
+        let q = QueryClass::new("q")
+            .with(0, DimensionPredicate::point(1))
+            .with(0, DimensionPredicate::point(2));
+        assert_eq!(q.dimensionality(), 1);
+        assert_eq!(
+            q.predicate(DimensionId(0)),
+            Some(DimensionPredicate::point(2))
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = WorkloadError::BadValueCount {
+            query: "q7".into(),
+            level_ref: LevelRef::new(1, 0),
+            values: 500,
+            cardinality: 90,
+        };
+        let s = e.to_string();
+        assert!(s.contains("q7") && s.contains("500") && s.contains("90"));
+    }
+}

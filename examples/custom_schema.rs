@@ -1,0 +1,98 @@
+//! Advising a custom (non-APB-1) warehouse: a telecom call-detail store.
+//!
+//! Run with: `cargo run --release --example custom_schema`
+//!
+//! Demonstrates the builder APIs the DBA-facing input layer maps to:
+//! defining dimensions with hierarchy cardinalities, fact tables with
+//! measures and row counts, and a bespoke weighted query mix — then
+//! letting the advisor pick fragmentation, bitmaps and allocation.
+
+use warlock::report::{render_analysis, render_ranking};
+use warlock::{Advisor, AdvisorConfig};
+use warlock_schema::{Dimension, FactTable, StarSchema};
+use warlock_storage::{Architecture, SystemConfig};
+use warlock_workload::{DimensionPredicate, QueryClass, QueryMix};
+
+fn main() {
+    // A telecom schema: calls recorded by region/cell, tariff, and time.
+    let geography = Dimension::builder("geography")
+        .level("region", 16)
+        .level("area", 256)
+        .level("cell", 16_384)
+        .build()
+        .expect("valid hierarchy");
+    let tariff = Dimension::builder("tariff")
+        .level("family", 6)
+        .level("plan", 48)
+        .build()
+        .expect("valid hierarchy");
+    let time = Dimension::builder("time")
+        .level("year", 3)
+        .level("month", 36)
+        .level("day", 1080)
+        .build()
+        .expect("valid hierarchy");
+
+    let calls = FactTable::builder("calls")
+        .measure("duration_s", 8)
+        .measure("revenue", 8)
+        .rows(250_000_000)
+        .build();
+
+    let schema = StarSchema::builder()
+        .dimension(geography)
+        .dimension(tariff)
+        .dimension(time)
+        .fact(calls)
+        .build()
+        .expect("valid schema");
+
+    // Dimension ids follow declaration order: 0 = geography, 1 = tariff,
+    // 2 = time. Level ids are coarse → fine.
+    let mix = QueryMix::builder()
+        .class(
+            QueryClass::new("daily_region_report")
+                .with(0, DimensionPredicate::point(0)) // one region
+                .with(2, DimensionPredicate::point(2)), // one day
+            30.0,
+        )
+        .class(
+            QueryClass::new("monthly_plan_revenue")
+                .with(1, DimensionPredicate::point(1)) // one plan
+                .with(2, DimensionPredicate::point(1)), // one month
+            25.0,
+        )
+        .class(
+            QueryClass::new("cell_drilldown")
+                .with(0, DimensionPredicate::point(2)) // one cell
+                .with(2, DimensionPredicate::range(1, 3)), // three months
+            15.0,
+        )
+        .class(
+            QueryClass::new("yearly_family_trend")
+                .with(1, DimensionPredicate::point(0)) // tariff family
+                .with(2, DimensionPredicate::point(0)), // one year
+            20.0,
+        )
+        .class(
+            QueryClass::new("area_quarter_scan")
+                .with(0, DimensionPredicate::point(1)) // one area
+                .with(2, DimensionPredicate::range(1, 3)),
+            10.0,
+        )
+        .build()
+        .expect("valid mix");
+    mix.validate(&schema).expect("mix matches schema");
+
+    // A Shared Disk cluster: 4 nodes × 8 processors, 32 disks.
+    let mut system = SystemConfig::default_2001(32);
+    system.architecture = Architecture::shared_disk(4, 8);
+
+    let advisor =
+        Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).expect("valid inputs");
+    let report = advisor.run();
+    println!("{}", render_ranking(&report));
+
+    let top = report.top().expect("candidates survive");
+    println!("{}", render_analysis(&advisor.analyze(&top.cost.fragmentation)));
+}

@@ -1,0 +1,87 @@
+//! Validating the analytical model against the event-driven simulator.
+//!
+//! Run with: `cargo run --release --example model_vs_simulation`
+//!
+//! The advisor's rankings are only as good as its analytical estimates.
+//! This example binds concrete query instances, places fragments with the
+//! real allocator, simulates them on FCFS disk queues, and reports the
+//! per-class analytical-vs-simulated response times — then runs a closed
+//! 8-stream workload to show the multi-user contention the paper's
+//! throughput heuristic anticipates.
+
+use warlock::{Advisor, AdvisorConfig};
+use warlock_alloc::round_robin;
+use warlock_fragment::{FragmentLayout, Fragmentation};
+use warlock_schema::{apb1_like_schema, Apb1Config};
+use warlock_sim::{closed_workload, compare_single_queries};
+use warlock_storage::SystemConfig;
+use warlock_workload::apb1_like_mix;
+
+fn main() {
+    let schema = apb1_like_schema(Apb1Config::default()).expect("preset schema");
+    let mix = apb1_like_mix().expect("preset mix");
+    // 17 disks: prime, so no fragmentation stride can alias onto a disk
+    // subset (see the stride-collision test in warlock-sim).
+    let system = SystemConfig::default_2001(17);
+    let advisor =
+        Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).expect("valid inputs");
+
+    let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).expect("line × month");
+    let layout = FragmentLayout::new(&schema, frag, 0);
+    let allocation = round_robin(
+        vec![1u64; layout.num_fragments() as usize],
+        system.num_disks,
+    );
+
+    println!("single-query validation ({}):\n", layout.fragmentation().label(&schema));
+    println!(
+        "{:<30} {:>14} {:>14} {:>10}",
+        "query class", "analytic [ms]", "simulated [ms]", "error"
+    );
+    println!("{}", "-".repeat(72));
+    let rows = compare_single_queries(
+        &schema,
+        &system,
+        advisor.scheme(),
+        &mix,
+        &layout,
+        &allocation,
+        20,
+        42,
+    );
+    for r in &rows {
+        println!(
+            "{:<30} {:>14.1} {:>14.1} {:>9.1}%",
+            r.class_name,
+            r.analytic_ms,
+            r.simulated_ms,
+            r.relative_error * 100.0
+        );
+    }
+    let mean_abs: f64 =
+        rows.iter().map(|r| r.relative_error.abs()).sum::<f64>() / rows.len() as f64;
+    println!("\nmean |error|: {:.1}%\n", mean_abs * 100.0);
+
+    println!("closed workload (streams × 10 queries each):");
+    println!(
+        "{:>8} {:>16} {:>18} {:>14}",
+        "streams", "mean resp [ms]", "throughput [q/s]", "utilization"
+    );
+    for streams in [1, 2, 4, 8, 16] {
+        let stats = closed_workload(
+            &schema,
+            &system,
+            advisor.scheme(),
+            &mix,
+            &layout,
+            &allocation,
+            streams,
+            10,
+            7,
+        );
+        println!(
+            "{:>8} {:>16.1} {:>18.2} {:>14.2}",
+            streams, stats.mean_response_ms, stats.throughput_per_s, stats.utilization
+        );
+    }
+}

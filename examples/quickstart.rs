@@ -1,0 +1,49 @@
+//! Quickstart: advise an APB-1-like warehouse on 16 disks.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! This walks the full WARLOCK pipeline on the demonstration
+//! configuration: the APB-1-like star schema, the ten-class weighted query
+//! mix, and a 16-disk circa-2001 system. It prints the ranked
+//! fragmentation candidates, the detailed query statistic of the winner
+//! (the tool's Fig. 2 content), and the physical allocation scheme.
+
+use warlock::report::{render_allocation, render_analysis, render_ranking};
+use warlock::{Advisor, AdvisorConfig};
+use warlock_schema::{apb1_like_schema, Apb1Config};
+use warlock_storage::SystemConfig;
+use warlock_workload::apb1_like_mix;
+
+fn main() {
+    // Input layer: schema, disk/system parameters, weighted query mix.
+    let schema = apb1_like_schema(Apb1Config::default()).expect("preset schema builds");
+    let mix = apb1_like_mix().expect("preset mix builds");
+    let system = SystemConfig::default_2001(16);
+
+    println!(
+        "schema: {} dimensions, {} fact rows ({:.1} GiB)",
+        schema.num_dimensions(),
+        schema.fact_rows(0),
+        schema.fact_bytes(0) as f64 / (1 << 30) as f64
+    );
+    println!("workload: {} weighted query classes", mix.len());
+    println!(
+        "system: {} disks, {} processors\n",
+        system.num_disks,
+        system.architecture.total_processors()
+    );
+
+    // Prediction layer: enumerate, exclude, cost, twofold-rank.
+    let advisor =
+        Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).expect("valid inputs");
+    let report = advisor.run();
+    println!("{}", render_ranking(&report));
+
+    // Analysis layer: detailed statistic and allocation of the winner.
+    let top = report.top().expect("candidates survive");
+    println!("{}", render_analysis(&advisor.analyze(&top.cost.fragmentation)));
+    println!(
+        "{}",
+        render_allocation(&advisor.plan_allocation(&top.cost.fragmentation))
+    );
+}

@@ -1,0 +1,76 @@
+//! Data skew and the two allocation schemes.
+//!
+//! Run with: `cargo run --release --example skew_allocation`
+//!
+//! Sweeps the Zipf exponent of the product dimension and compares logical
+//! round-robin against greedy size-based allocation: disk-occupancy
+//! imbalance and the exact response time of a representative query on the
+//! resulting placements. Reproduces the paper's motivation for the greedy
+//! scheme "under notable data skew".
+
+use warlock::allocation_plan::AllocationPlan;
+use warlock::{Advisor, AdvisorConfig};
+use warlock_alloc::AllocationPolicy;
+use warlock_fragment::Fragmentation;
+use warlock_schema::{apb1_like_schema, Apb1Config};
+use warlock_skew::DimensionSkew;
+use warlock_storage::SystemConfig;
+use warlock_workload::apb1_like_mix;
+
+fn main() {
+    let schema = apb1_like_schema(Apb1Config::default()).expect("preset schema");
+    let mix = apb1_like_mix().expect("preset mix");
+    let system = SystemConfig::default_2001(16);
+    // product.line × time.month: 360 fragments, enough for 16 disks.
+    let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).expect("valid candidate");
+
+    println!(
+        "{:<8} {:>18} {:>18} {:>16} {:>16}",
+        "zipf θ", "rr imbalance", "greedy imbalance", "rr q03 [ms]", "greedy q03 [ms]"
+    );
+    println!("{}", "-".repeat(80));
+
+    for &theta in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let skew = vec![
+            DimensionSkew::zipf(theta), // product skewed
+            DimensionSkew::UNIFORM,
+            DimensionSkew::UNIFORM,
+            DimensionSkew::UNIFORM,
+        ];
+        let mut config = AdvisorConfig {
+            skew: Some(skew),
+            ..Default::default()
+        };
+
+        config.allocation_policy = AllocationPolicy::RoundRobin;
+        let advisor = Advisor::new(&schema, &system, &mix, config.clone()).expect("valid");
+        let rr: AllocationPlan = advisor.plan_allocation(&frag);
+
+        config.allocation_policy = AllocationPolicy::GreedySize;
+        let advisor = Advisor::new(&schema, &system, &mix, config).expect("valid");
+        let greedy: AllocationPlan = advisor.plan_allocation(&frag);
+
+        let pick = |plan: &AllocationPlan| {
+            plan.per_class
+                .iter()
+                .find(|c| c.name == "q03_quarter_group")
+                .map(|c| c.response_ms)
+                .unwrap_or(f64::NAN)
+        };
+
+        println!(
+            "{:<8} {:>18.3} {:>18.3} {:>16.1} {:>16.1}",
+            theta,
+            rr.occupancy.imbalance,
+            greedy.occupancy.imbalance,
+            pick(&rr),
+            pick(&greedy),
+        );
+    }
+
+    println!(
+        "\nGreedy keeps occupancy near 1.0 as θ grows; round-robin drifts with the\n\
+         heaviest fragments and its hot disks inflate the response of queries that\n\
+         touch them."
+    );
+}

@@ -1,0 +1,179 @@
+//! Integration tests: the full advisor pipeline across crates.
+
+use warlock::{Advisor, AdvisorConfig};
+use warlock_fragment::Fragmentation;
+use warlock_schema::{apb1_like_schema, Apb1Config, StarSchema};
+use warlock_storage::{Architecture, SystemConfig};
+use warlock_workload::{apb1_like_mix, QueryMix};
+
+fn fixture() -> (StarSchema, SystemConfig, QueryMix) {
+    (
+        apb1_like_schema(Apb1Config::default()).unwrap(),
+        SystemConfig::default_2001(16),
+        apb1_like_mix().unwrap(),
+    )
+}
+
+#[test]
+fn recommended_candidates_dominate_random_ones() {
+    let (schema, system, mix) = fixture();
+    let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+    let report = advisor.run();
+    let top = report.top().unwrap();
+
+    // The winner must beat a handful of structurally plausible but
+    // unranked alternatives on response time at comparable I/O cost —
+    // this pins the whole pipeline (matching → cost → ranking) together.
+    for alt in [
+        Fragmentation::none(),
+        Fragmentation::from_pairs(&[(3, 0)]).unwrap(), // channel only
+        Fragmentation::from_pairs(&[(1, 0)]).unwrap(), // retailer only
+        Fragmentation::from_pairs(&[(2, 0)]).unwrap(), // year only
+    ] {
+        let cost = advisor.evaluate(&alt);
+        assert!(
+            top.cost.response_ms <= cost.response_ms,
+            "{} ({} ms) should not beat the winner ({} ms)",
+            alt.label(&schema),
+            cost.response_ms,
+            top.cost.response_ms
+        );
+    }
+}
+
+#[test]
+fn ranking_respects_the_twofold_contract() {
+    let (schema, system, mix) = fixture();
+    let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+    let report = advisor.run();
+
+    // Phase-2 ordering: response times ascend.
+    for w in report.ranked.windows(2) {
+        assert!(w[0].cost.response_ms <= w[1].cost.response_ms);
+    }
+    // Phase-1 filter: every ranked candidate sits in the best X% by I/O
+    // cost among evaluated candidates — verify against a full re-costing.
+    let all = warlock_fragment::enumerate_candidates(&schema, 4);
+    let ctx = advisor.threshold_context();
+    let mut io_costs: Vec<f64> = Vec::new();
+    for frag in all {
+        if frag.num_fragments(&schema) > 1u128 << 20 {
+            continue;
+        }
+        let layout = warlock_fragment::FragmentLayout::new(&schema, frag, 0);
+        if advisor.config().thresholds.check(&layout, ctx).is_ok() {
+            io_costs.push(advisor.evaluate(layout.fragmentation()).io_cost_ms);
+        }
+    }
+    io_costs.sort_by(f64::total_cmp);
+    let keep = ((io_costs.len() as f64 * 0.10).ceil() as usize).max(10);
+    let cutoff = io_costs[keep.min(io_costs.len()) - 1];
+    for r in &report.ranked {
+        assert!(
+            r.cost.io_cost_ms <= cutoff + 1e-6,
+            "{} with io {} above phase-1 cutoff {}",
+            r.label,
+            r.cost.io_cost_ms,
+            cutoff
+        );
+    }
+}
+
+#[test]
+fn architectures_shared_everything_vs_shared_disk() {
+    let (schema, mut system, mix) = fixture();
+    system.architecture = Architecture::SharedEverything { processors: 16 };
+    let se = Advisor::new(&schema, &system, &mix, AdvisorConfig::default())
+        .unwrap()
+        .run();
+    system.architecture = Architecture::shared_disk(4, 4); // same 16 processors
+    let sd = Advisor::new(&schema, &system, &mix, AdvisorConfig::default())
+        .unwrap()
+        .run();
+    // Same processor budget: SD pays exactly the coordination overhead.
+    let se_top = se.top().unwrap();
+    let sd_top = sd.find(&se_top.cost.fragmentation).or(sd.top()).unwrap();
+    assert!(sd_top.cost.response_ms >= se_top.cost.response_ms);
+    // And the overhead is bounded by the configured 5 %.
+    let same = sd.find(&se_top.cost.fragmentation);
+    if let Some(same) = same {
+        let ratio = same.cost.response_ms / se_top.cost.response_ms;
+        assert!(ratio <= 1.05 + 1e-9, "ratio {ratio}");
+    }
+}
+
+#[test]
+fn disk_scaling_improves_response_monotonically() {
+    let (schema, _, mix) = fixture();
+    let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap();
+    let mut prev = f64::INFINITY;
+    for disks in [2u32, 4, 8, 16, 32, 64] {
+        let system = SystemConfig::default_2001(disks);
+        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+        let rt = advisor.evaluate(&frag).response_ms;
+        assert!(
+            rt <= prev + 1e-9,
+            "{disks} disks gave {rt} ms, worse than previous {prev} ms"
+        );
+        prev = rt;
+    }
+}
+
+#[test]
+fn io_cost_is_invariant_to_disk_count() {
+    // Total device work depends on the fragmentation, not on how many
+    // disks it is spread over.
+    let (schema, _, mix) = fixture();
+    let frag = Fragmentation::from_pairs(&[(2, 2)]).unwrap();
+    let costs: Vec<f64> = [4u32, 16, 64]
+        .iter()
+        .map(|&d| {
+            let system = SystemConfig::default_2001(d);
+            Advisor::new(&schema, &system, &mix, AdvisorConfig::default())
+                .unwrap()
+                .evaluate(&frag)
+                .io_cost_ms
+        })
+        .collect();
+    assert!((costs[0] - costs[1]).abs() < 1e-9);
+    assert!((costs[1] - costs[2]).abs() < 1e-9);
+}
+
+#[test]
+fn scaled_schema_still_advises() {
+    let schema = apb1_like_schema(Apb1Config {
+        density: 0.02,
+        product_scale: 2,
+        customer_scale: 2,
+        months: 36,
+    })
+    .unwrap();
+    let mix = apb1_like_mix().unwrap();
+    let system = SystemConfig::default_2001(32);
+    let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+    let report = advisor.run();
+    assert!(!report.ranked.is_empty());
+    // Bigger warehouse: the winner still beats the unfragmented baseline.
+    let baseline = advisor.evaluate(&Fragmentation::none());
+    assert!(report.top().unwrap().cost.response_ms < baseline.response_ms);
+}
+
+#[test]
+fn analysis_and_plan_agree_on_structure() {
+    let (schema, system, mix) = fixture();
+    let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+    let report = advisor.run();
+    for r in report.ranked.iter().take(3) {
+        let analysis = advisor.analyze(&r.cost.fragmentation);
+        let plan = advisor.plan_allocation(&r.cost.fragmentation);
+        assert_eq!(analysis.num_fragments, plan.allocation.num_fragments() as u64);
+        assert_eq!(analysis.per_class.len(), plan.per_class.len());
+        assert!((analysis.weighted_response_ms - r.cost.response_ms).abs() < 1e-9);
+        // Every fragment placed on a valid disk.
+        assert!(plan
+            .allocation
+            .placements()
+            .iter()
+            .all(|&d| d < system.num_disks));
+    }
+}
