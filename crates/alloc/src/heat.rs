@@ -120,7 +120,9 @@ mod tests {
     #[test]
     fn beats_round_robin_on_adversarial_heat() {
         // Hot fragments at stride = disk count defeat round-robin.
-        let heats: Vec<f64> = (0..32).map(|i| if i % 4 == 0 { 50.0 } else { 1.0 }).collect();
+        let heats: Vec<f64> = (0..32)
+            .map(|i| if i % 4 == 0 { 50.0 } else { 1.0 })
+            .collect();
         let sizes = vec![100u64; 32];
         let rr = round_robin(sizes.clone(), 4);
         let heat = greedy_by_heat(&heats, sizes, 4);

@@ -32,7 +32,6 @@
 //! assert!((1..32).all(|f| alloc.disk_of(f) != giant_disk));
 //! ```
 
-
 mod allocation;
 mod greedy;
 mod heat;

@@ -10,14 +10,14 @@ use warlock_fragment::Fragmentation;
 fn bench_full_pipeline(c: &mut Criterion) {
     let f = Fixture::demo();
     c.bench_function("advisor/full_run_168_candidates", |b| {
-        let advisor = f.advisor();
+        let advisor = f.session();
         b.iter(|| black_box(advisor.run()))
     });
 }
 
 fn bench_single_candidate(c: &mut Criterion) {
     let f = Fixture::demo();
-    let advisor = f.advisor();
+    let advisor = f.session();
     let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap();
     c.bench_function("advisor/evaluate_one_candidate", |b| {
         b.iter(|| black_box(advisor.evaluate(black_box(&frag))))
@@ -26,13 +26,13 @@ fn bench_single_candidate(c: &mut Criterion) {
 
 fn bench_analysis_and_plan(c: &mut Criterion) {
     let f = Fixture::demo();
-    let advisor = f.advisor();
+    let advisor = f.session();
     let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap();
     c.bench_function("advisor/analyze_candidate", |b| {
-        b.iter(|| black_box(advisor.analyze(black_box(&frag))))
+        b.iter(|| black_box(advisor.analyze_candidate(black_box(&frag))))
     });
     c.bench_function("advisor/plan_allocation_360_fragments", |b| {
-        b.iter(|| black_box(advisor.plan_allocation(black_box(&frag))))
+        b.iter(|| black_box(advisor.plan_candidate(black_box(&frag))))
     });
 }
 
@@ -43,11 +43,10 @@ fn bench_shallow_run(c: &mut Criterion) {
             max_dimensionality: 1,
             ..Default::default()
         };
-        let advisor = f.advisor_with(config);
+        let advisor = f.session_with(config);
         b.iter(|| black_box(advisor.run()))
     });
 }
-
 
 /// Bounded-runtime criterion config: benchmark sweeps stay meaningful but
 /// `cargo bench --workspace` completes in minutes, not hours.

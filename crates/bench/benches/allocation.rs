@@ -45,7 +45,6 @@ fn bench_occupancy(c: &mut Criterion) {
     });
 }
 
-
 /// Bounded-runtime criterion config: benchmark sweeps stay meaningful but
 /// `cargo bench --workspace` completes in minutes, not hours.
 fn quick() -> Criterion {

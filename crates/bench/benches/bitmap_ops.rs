@@ -98,7 +98,6 @@ fn bench_indexes(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Bounded-runtime criterion config: benchmark sweeps stay meaningful but
 /// `cargo bench --workspace` completes in minutes, not hours.
 fn quick() -> Criterion {

@@ -10,7 +10,13 @@ use warlock_fragment::{FragmentLayout, Fragmentation, QueryMatch};
 
 fn bench_yao(c: &mut Criterion) {
     c.bench_function("cost/yao_exact_5000_pages", |b| {
-        b.iter(|| black_box(yao_page_hits(black_box(730_000), black_box(5000), black_box(8100.0))))
+        b.iter(|| {
+            black_box(yao_page_hits(
+                black_box(730_000),
+                black_box(5000),
+                black_box(8100.0),
+            ))
+        })
     });
     c.bench_function("cost/cardenas_5000_pages", |b| {
         b.iter(|| black_box(cardenas_page_hits(black_box(5000), black_box(8100.0))))
@@ -44,10 +50,15 @@ fn bench_matching(c: &mut Criterion) {
     let frag = Fragmentation::from_pairs(&[(0, 4), (2, 2)]).unwrap();
     let class = f.mix.classes()[0].class.clone();
     c.bench_function("cost/query_match_evaluate", |b| {
-        b.iter(|| black_box(QueryMatch::evaluate(&f.schema, black_box(&frag), black_box(&class))))
+        b.iter(|| {
+            black_box(QueryMatch::evaluate(
+                &f.schema,
+                black_box(&frag),
+                black_box(&class),
+            ))
+        })
     });
 }
-
 
 /// Bounded-runtime criterion config: benchmark sweeps stay meaningful but
 /// `cargo bench --workspace` completes in minutes, not hours.

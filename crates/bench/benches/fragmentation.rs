@@ -5,8 +5,7 @@ use std::hint::black_box;
 
 use warlock_bench::Fixture;
 use warlock_fragment::{
-    enumerate_candidates, FragmentLayout, Fragmentation, SkewModelExt, Thresholds,
-    ThresholdContext,
+    enumerate_candidates, FragmentLayout, Fragmentation, SkewModelExt, ThresholdContext, Thresholds,
 };
 use warlock_skew::DimensionSkew;
 
@@ -79,7 +78,6 @@ fn bench_thresholds(c: &mut Criterion) {
         })
     });
 }
-
 
 /// Bounded-runtime criterion config: benchmark sweeps stay meaningful but
 /// `cargo bench --workspace` completes in minutes, not hours.

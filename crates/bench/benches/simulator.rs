@@ -31,11 +31,7 @@ fn bench_closed_simulation(c: &mut Criterion) {
     let streams: Vec<Vec<Vec<(u32, f64)>>> = (0..8)
         .map(|s| {
             (0..50)
-                .map(|q| {
-                    (0..12)
-                        .map(|i| (((s + q + i) % 16) as u32, 4.0))
-                        .collect()
-                })
+                .map(|q| (0..12).map(|i| (((s + q + i) % 16) as u32, 4.0)).collect())
                 .collect()
         })
         .collect();
@@ -66,7 +62,6 @@ fn bench_datagen_and_routing(c: &mut Criterion) {
         })
     });
 }
-
 
 /// Bounded-runtime criterion config: benchmark sweeps stay meaningful but
 /// `cargo bench --workspace` completes in minutes, not hours.

@@ -55,10 +55,13 @@ fn heading(id: &str, title: &str) {
 fn e1() {
     heading("e1", "per-fragmentation query analysis (Fig. 2 top)");
     let f = Fixture::demo();
-    let advisor = f.advisor();
+    let advisor = f.session();
     let report = advisor.run();
     let top = report.top().expect("candidates survive");
-    println!("{}", render_analysis(&advisor.analyze(&top.cost.fragmentation)));
+    println!(
+        "{}",
+        render_analysis(&advisor.analyze_candidate(&top.cost.fragmentation))
+    );
 }
 
 /// E2: the twofold-ranked candidate list.
@@ -69,7 +72,7 @@ fn e2() {
         top_n: 15,
         ..Default::default()
     };
-    let report = f.advisor_with(config).run();
+    let report = f.session_with(config).run();
     println!("{}", render_ranking(&report));
 }
 
@@ -77,7 +80,7 @@ fn e2() {
 fn e3() {
     heading("e3", "throughput vs response trade-off over all candidates");
     let f = Fixture::demo();
-    let advisor = f.advisor();
+    let advisor = f.session();
     let ctx = advisor.threshold_context();
     let candidates = warlock_fragment::enumerate_candidates(&f.schema, 4);
     let mut rows: Vec<(String, u64, f64, f64)> = Vec::new();
@@ -123,9 +126,15 @@ fn e3() {
 
 /// E4: response-time speedup vs number of disks.
 fn e4() {
-    heading("e4", "response time vs number of disks (declustering speedup)");
+    heading(
+        "e4",
+        "response time vs number of disks (declustering speedup)",
+    );
     let candidates = [
-        ("1-D time.month", Fragmentation::from_pairs(&[(2, 2)]).unwrap()),
+        (
+            "1-D time.month",
+            Fragmentation::from_pairs(&[(2, 2)]).unwrap(),
+        ),
         (
             "2-D product.line × time.month",
             Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap(),
@@ -143,7 +152,7 @@ fn e4() {
     println!("{}", "-".repeat(108));
     for disks in [1u32, 2, 4, 8, 16, 32, 64, 128] {
         let f = Fixture::with_disks(disks);
-        let advisor = f.advisor();
+        let advisor = f.session();
         print!("{:<8}", disks);
         for (_, frag) in &candidates {
             let rt = advisor.evaluate(frag).response_ms;
@@ -167,7 +176,7 @@ fn e5() {
         let mut f = Fixture::demo();
         f.system.fact_prefetch = PrefetchPolicy::Fixed(pages);
         f.system.bitmap_prefetch = PrefetchPolicy::Fixed(pages);
-        let cost = f.advisor().evaluate(&frag);
+        let cost = f.session().evaluate(&frag);
         println!(
             "{:<12} {:>14.1} {:>14.1} {:>12.0}",
             format!("fixed {pages}"),
@@ -177,7 +186,7 @@ fn e5() {
         );
     }
     let f = Fixture::demo(); // auto policy is the default
-    let cost = f.advisor().evaluate(&frag);
+    let cost = f.session().evaluate(&frag);
     println!(
         "{:<12} {:>14.1} {:>14.1} {:>12.0}",
         "auto", cost.io_cost_ms, cost.response_ms, cost.total_ios
@@ -187,7 +196,10 @@ fn e5() {
 
 /// E6: skew sweep — round-robin vs greedy allocation.
 fn e6() {
-    heading("e6", "data skew: round-robin vs greedy size-based allocation");
+    heading(
+        "e6",
+        "data skew: round-robin vs greedy size-based allocation",
+    );
     let f = Fixture::demo();
     let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap(); // line × month
     println!(
@@ -278,7 +290,7 @@ fn e7() {
 fn e8() {
     heading("e8", "fragmentation dimensionality vs performance");
     let f = Fixture::demo();
-    let advisor = f.advisor();
+    let advisor = f.session();
     let ctx = advisor.threshold_context();
     println!(
         "{:<6} {:<44} {:>10} {:>14} {:>14}",
@@ -315,7 +327,9 @@ fn e8() {
             println!("{:<6} (no candidate survives thresholds)", d);
         }
     }
-    println!("\n(multi-dimensional fragmentation confines more query classes; gains flatten at 3-D)");
+    println!(
+        "\n(multi-dimensional fragmentation confines more query classes; gains flatten at 3-D)"
+    );
 }
 
 /// E9: Shared Everything vs Shared Disk.
@@ -340,7 +354,7 @@ fn e9() {
         ] {
             let mut f = Fixture::demo();
             f.system.architecture = arch;
-            let cost = f.advisor().evaluate(&frag);
+            let cost = f.session().evaluate(&frag);
             println!(
                 "{:<14} {:<26} {:>14.1} {:>14.1}",
                 procs, name, cost.io_cost_ms, cost.response_ms
@@ -354,25 +368,30 @@ fn e9() {
 fn e10() {
     heading("e10", "physical allocation scheme (Fig. 2 bottom)");
     let f = Fixture::demo();
-    let advisor = f.advisor();
+    let advisor = f.session();
     let report = advisor.run();
     let top = report.top().expect("candidates survive");
-    println!("{}", render_allocation(&advisor.plan_allocation(&top.cost.fragmentation)));
+    println!(
+        "{}",
+        render_allocation(&advisor.plan_candidate(&top.cost.fragmentation))
+    );
 }
-
 
 /// E11: ablation of the twofold ranking heuristic.
 fn e11() {
-    heading("e11", "ranking ablation: twofold vs response-only vs io-only");
+    heading(
+        "e11",
+        "ranking ablation: twofold vs response-only vs io-only",
+    );
     let f = Fixture::demo();
 
     // Twofold (the paper's heuristic).
-    let twofold = f.advisor().run();
+    let twofold = f.session().run();
     let twofold_top = twofold.top().expect("candidates").clone();
 
     // Response-only: keep 100 % in phase 1.
     let response_only = f
-        .advisor_with(AdvisorConfig {
+        .session_with(AdvisorConfig {
             top_x_percent: 100.0,
             ..Default::default()
         })
@@ -381,7 +400,7 @@ fn e11() {
 
     // I/O-only: phase 1 keeps exactly the cheapest candidate.
     let io_only = f
-        .advisor_with(AdvisorConfig {
+        .session_with(AdvisorConfig {
             top_x_percent: 0.1,
             min_keep: 1,
             top_n: 1,
@@ -404,7 +423,9 @@ fn e11() {
             top.cost.response_ms,
             top.cost.io_cost_ms,
             f.system.num_disks,
-            warlock_cost::LoadPoint { arrivals_per_s: 0.0 },
+            warlock_cost::LoadPoint {
+                arrivals_per_s: 0.0,
+            },
         )
         .saturation_rate_per_s;
         println!(
@@ -417,15 +438,27 @@ fn e11() {
 
 /// E12: multi-user load curves of competing candidates.
 fn e12() {
-    heading("e12", "multi-user load curves (analytical contention model)");
+    heading(
+        "e12",
+        "multi-user load curves (analytical contention model)",
+    );
     let f = Fixture::demo();
-    let advisor = f.advisor();
+    let advisor = f.session();
     let candidates = [
-        ("line × month × channel", Fragmentation::from_pairs(&[(0, 1), (2, 2), (3, 0)]).unwrap()),
-        ("family × month × channel", Fragmentation::from_pairs(&[(0, 2), (2, 2), (3, 0)]).unwrap()),
+        (
+            "line × month × channel",
+            Fragmentation::from_pairs(&[(0, 1), (2, 2), (3, 0)]).unwrap(),
+        ),
+        (
+            "family × month × channel",
+            Fragmentation::from_pairs(&[(0, 2), (2, 2), (3, 0)]).unwrap(),
+        ),
         ("month only", Fragmentation::from_pairs(&[(2, 2)]).unwrap()),
     ];
-    let costs: Vec<_> = candidates.iter().map(|(_, c)| advisor.evaluate(c)).collect();
+    let costs: Vec<_> = candidates
+        .iter()
+        .map(|(_, c)| advisor.evaluate(c))
+        .collect();
     print!("{:<14}", "load [q/s]");
     for (name, _) in &candidates {
         print!(" {:>28}", name);
@@ -439,7 +472,9 @@ fn e12() {
                 cost.response_ms,
                 cost.io_cost_ms,
                 f.system.num_disks,
-                warlock_cost::LoadPoint { arrivals_per_s: rate },
+                warlock_cost::LoadPoint {
+                    arrivals_per_s: rate,
+                },
             );
             if est.response_ms.is_finite() {
                 print!(" {:>26.1}ms", est.response_ms);
@@ -452,12 +487,14 @@ fn e12() {
     println!("\n(candidates with low single-user response but high I/O cost saturate first)");
 }
 
-
 /// E13: range fragmentation (the general MDHF case) as an extension.
 fn e13() {
-    heading("e13", "range fragmentation: intermediate granularities (MDHF extension)");
+    heading(
+        "e13",
+        "range fragmentation: intermediate granularities (MDHF extension)",
+    );
     let f = Fixture::demo();
-    let advisor = f.advisor();
+    let advisor = f.session();
     // Sweep range sizes on product.code crossed with time.month, bracketed
     // by the point candidates at the adjacent hierarchy levels.
     let candidates: Vec<(String, Fragmentation)> = vec![
@@ -570,14 +607,24 @@ fn v1() {
         vec![1u64; layout.num_fragments() as usize],
         f.system.num_disks,
     );
-    println!("single-query validation ({}):", layout.fragmentation().label(&f.schema));
+    println!(
+        "single-query validation ({}):",
+        layout.fragmentation().label(&f.schema)
+    );
     println!(
         "{:<20} {:>14} {:>14} {:>10}",
         "query class", "analytic [ms]", "simulated [ms]", "error"
     );
     println!("{}", "-".repeat(62));
     let rows = warlock_sim::compare_single_queries(
-        &f.schema, &f.system, &f.scheme, &f.mix, &layout, &allocation, 25, 42,
+        &f.schema,
+        &f.system,
+        &f.scheme,
+        &f.mix,
+        &layout,
+        &allocation,
+        25,
+        42,
     );
     for r in &rows {
         println!(
@@ -630,7 +677,15 @@ fn v1() {
     );
     for streams in [1usize, 2, 4, 8, 16] {
         let stats = warlock_sim::closed_workload(
-            &f.schema, &f.system, &f.scheme, &f.mix, &layout, &allocation, streams, 10, 7,
+            &f.schema,
+            &f.system,
+            &f.scheme,
+            &f.mix,
+            &layout,
+            &allocation,
+            streams,
+            10,
+            7,
         );
         println!(
             "{:>8} {:>16.1} {:>18.2} {:>13.2}",
@@ -646,13 +701,7 @@ fn v1() {
         "fragmentation", "io-cost [ms]", "throughput [q/s]"
     );
     println!("{}", "-".repeat(64));
-    let advisor = warlock::Advisor::new(
-        &f.schema,
-        &f.system,
-        &f.mix,
-        warlock::AdvisorConfig::default(),
-    )
-    .expect("valid inputs");
+    let advisor = f.session();
     for frag in [
         Fragmentation::from_pairs(&[(0, 1), (1, 1)]).unwrap(),
         Fragmentation::from_pairs(&[(1, 1)]).unwrap(),
@@ -665,7 +714,15 @@ fn v1() {
         );
         let cost = advisor.evaluate(&frag);
         let stats = warlock_sim::closed_workload(
-            &f.schema, &f.system, &f.scheme, &f.mix, &layout, &allocation, 8, 10, 7,
+            &f.schema,
+            &f.system,
+            &f.scheme,
+            &f.mix,
+            &layout,
+            &allocation,
+            8,
+            10,
+            7,
         );
         println!(
             "{:<28} {:>14.1} {:>18.2}",

@@ -7,7 +7,7 @@
 
 #![warn(missing_docs)]
 
-use warlock::{Advisor, AdvisorConfig};
+use warlock::{AdvisorConfig, Warlock};
 use warlock_bitmap::{BitmapScheme, SchemeConfig};
 use warlock_schema::{apb1_like_schema, Apb1Config, StarSchema};
 use warlock_storage::SystemConfig;
@@ -45,15 +45,19 @@ impl Fixture {
         }
     }
 
-    /// An advisor over the fixture with default configuration.
-    pub fn advisor(&self) -> Advisor<'_> {
-        Advisor::new(&self.schema, &self.system, &self.mix, AdvisorConfig::default())
-            .expect("fixture inputs are valid")
+    /// An owned advisory session over the fixture (default config).
+    pub fn session(&self) -> Warlock {
+        self.session_with(AdvisorConfig::default())
     }
 
-    /// An advisor with a custom configuration.
-    pub fn advisor_with(&self, config: AdvisorConfig) -> Advisor<'_> {
-        Advisor::new(&self.schema, &self.system, &self.mix, config)
+    /// An owned advisory session with a custom configuration.
+    pub fn session_with(&self, config: AdvisorConfig) -> Warlock {
+        Warlock::builder()
+            .schema(self.schema.clone())
+            .system(self.system)
+            .mix(self.mix.clone())
+            .config(config)
+            .build()
             .expect("fixture inputs are valid")
     }
 }
@@ -92,8 +96,18 @@ impl SmallFixture {
                     .build()
                     .expect("valid"),
             )
-            .dimension(Dimension::builder("channel").level("base", 6).build().expect("valid"))
-            .fact(FactTable::builder("sales").measure("m", 8).rows(3_000_000).build())
+            .dimension(
+                Dimension::builder("channel")
+                    .level("base", 6)
+                    .build()
+                    .expect("valid"),
+            )
+            .fact(
+                FactTable::builder("sales")
+                    .measure("m", 8)
+                    .rows(3_000_000)
+                    .build(),
+            )
             .build()
             .expect("valid schema");
         let mix = QueryMix::builder()
@@ -132,6 +146,16 @@ impl SmallFixture {
             scheme,
         }
     }
+
+    /// An owned advisory session over the small fixture.
+    pub fn session(&self) -> Warlock {
+        Warlock::builder()
+            .schema(self.schema.clone())
+            .system(self.system)
+            .mix(self.mix.clone())
+            .build()
+            .expect("fixture inputs are valid")
+    }
 }
 
 impl Default for SmallFixture {
@@ -147,7 +171,7 @@ mod tests {
     #[test]
     fn demo_fixture_builds_and_advises() {
         let f = Fixture::demo();
-        let report = f.advisor().run();
+        let report = f.session().run();
         assert!(!report.ranked.is_empty());
     }
 

@@ -105,9 +105,7 @@ mod tests {
         // Reading one value: standard reads 1 vector; encoded reads all
         // prefix slices.
         let rows = 100_000;
-        assert!(
-            standard_read_pages(rows, 1, page()) < encoded_read_pages(rows, 12, page())
-        );
+        assert!(standard_read_pages(rows, 1, page()) < encoded_read_pages(rows, 12, page()));
     }
 
     #[test]

@@ -90,8 +90,7 @@ impl BitmapScheme {
     /// levels (built once, reused by every high-cardinality level).
     pub fn derive(schema: &StarSchema, mix: &QueryMix, config: SchemeConfig) -> Self {
         // Collect referenced levels per dimension.
-        let mut referenced: Vec<BTreeSet<LevelId>> =
-            vec![BTreeSet::new(); schema.num_dimensions()];
+        let mut referenced: Vec<BTreeSet<LevelId>> = vec![BTreeSet::new(); schema.num_dimensions()];
         for (class, _) in mix.iter() {
             for (&dim, pred) in class.predicates() {
                 referenced[dim.index()].insert(pred.level);
@@ -115,8 +114,8 @@ impl BitmapScheme {
                     needs_encoded = true;
                 }
             }
-            let encoded_total_bits = needs_encoded
-                .then(|| HierarchicalEncoding::for_dimension(dim).total_bits());
+            let encoded_total_bits =
+                needs_encoded.then(|| HierarchicalEncoding::for_dimension(dim).total_bits());
             dimensions.push(DimensionScheme {
                 dimension: DimensionId(di as u16),
                 standard_levels,
@@ -167,7 +166,10 @@ impl BitmapScheme {
     /// Total stored vectors-per-row over all dimensions (a scalar space
     /// indicator; bits = this × fact rows).
     pub fn total_vectors_stored(&self) -> u64 {
-        self.dimensions.iter().map(DimensionScheme::vectors_stored).sum()
+        self.dimensions
+            .iter()
+            .map(DimensionScheme::vectors_stored)
+            .sum()
     }
 }
 

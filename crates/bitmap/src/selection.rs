@@ -180,13 +180,18 @@ mod tests {
     }
 
     fn channel() -> Dimension {
-        Dimension::builder("channel").level("base", 8).build().unwrap()
+        Dimension::builder("channel")
+            .level("base", 8)
+            .build()
+            .unwrap()
     }
 
     fn columns(rows: usize) -> (Vec<u64>, Vec<u64>) {
         let mut s = 12345u64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 33
         };
         let a = (0..rows).map(|_| next() % 64).collect();
@@ -248,8 +253,12 @@ mod tests {
     #[test]
     fn missing_standard_level_forces_scan() {
         let (_, ch) = columns(50);
-        let bundle =
-            FragmentIndexes::new(50, 2).with_standard(DimensionId(1), &channel(), &[LevelId(0)], &ch);
+        let bundle = FragmentIndexes::new(50, 2).with_standard(
+            DimensionId(1),
+            &channel(),
+            &[LevelId(0)],
+            &ch,
+        );
         // Channel has only level 0; asking for level 1 would be a schema
         // bug, so probe with a dimension-0 conjunct instead (unindexed).
         match bundle.evaluate(&[conj(0, 0, &[1])]) {
@@ -274,8 +283,7 @@ mod tests {
     #[test]
     fn contradiction_short_circuits_to_empty() {
         let (bundle, _, _) = bundle(500);
-        let Selection::Exact(v) =
-            bundle.evaluate(&[conj(0, 0, &[0]), conj(0, 0, &[1])]) else {
+        let Selection::Exact(v) = bundle.evaluate(&[conj(0, 0, &[0]), conj(0, 0, &[1])]) else {
             panic!("expected exact");
         };
         // A row cannot be in division 0 and division 1 at once.

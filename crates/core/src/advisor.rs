@@ -1,24 +1,30 @@
-//! The advisor pipeline: generate → exclude → cost → rank.
+//! The legacy borrowing advisor handle and the pipeline's report types.
+//!
+//! [`Advisor`] predates the owned [`crate::Warlock`] session facade: it
+//! borrows its inputs for a lifetime `'a` and therefore cannot back a
+//! long-lived advisory service. It is kept for one release as a thin
+//! deprecated shim over the same engine; new code should use
+//! [`crate::Warlock`].
 
 use std::fmt;
 
 use warlock_bitmap::BitmapScheme;
 use warlock_cost::{CandidateCost, CostModel};
-use warlock_fragment::{
-    enumerate_candidates, Exclusion, FragmentLayout, Fragmentation, SkewModelExt,
-    ThresholdContext,
-};
+use warlock_fragment::{Exclusion, Fragmentation, ThresholdContext};
 use warlock_schema::StarSchema;
 use warlock_skew::SkewModel;
 use warlock_storage::SystemConfig;
 use warlock_workload::{QueryMix, WorkloadError};
 
-use crate::analysis::FragmentationAnalysis;
 use crate::allocation_plan::AllocationPlan;
+use crate::analysis::FragmentationAnalysis;
 use crate::config::AdvisorConfig;
-use crate::ranking::twofold_rank;
+use crate::engine;
 
-/// Errors raised when assembling an advisor.
+/// Errors raised when assembling a legacy [`Advisor`].
+///
+/// New code should match on [`crate::WarlockError`], which this enum
+/// converts into via `From`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AdvisorError {
     /// The advisor configuration is inconsistent.
@@ -95,8 +101,12 @@ impl AdvisorReport {
     }
 }
 
-/// The WARLOCK advisor: owns the derived bitmap scheme and skew model and
-/// runs the prediction pipeline over borrowed inputs.
+/// The legacy borrowing advisor handle. Deprecated: use the owned
+/// [`crate::Warlock`] session facade instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the owned `warlock::Warlock` session facade (`Warlock::builder()`)"
+)]
 #[derive(Debug, Clone)]
 pub struct Advisor<'a> {
     schema: &'a StarSchema,
@@ -107,6 +117,7 @@ pub struct Advisor<'a> {
     skew: SkewModel,
 }
 
+#[allow(deprecated)]
 impl<'a> Advisor<'a> {
     /// Assembles an advisor, validating every input.
     pub fn new(
@@ -115,29 +126,8 @@ impl<'a> Advisor<'a> {
         mix: &'a QueryMix,
         config: AdvisorConfig,
     ) -> Result<Self, AdvisorError> {
-        config.validate().map_err(AdvisorError::Config)?;
-        system.validate().map_err(AdvisorError::System)?;
-        mix.validate(schema).map_err(AdvisorError::Workload)?;
-        if config.fact_index >= schema.facts().len() {
-            return Err(AdvisorError::Config(format!(
-                "fact index {} out of range",
-                config.fact_index
-            )));
-        }
-        let skew = match &config.skew {
-            None => schema.uniform_skew_model(),
-            Some(configs) => {
-                if configs.len() != schema.num_dimensions() {
-                    return Err(AdvisorError::Skew(format!(
-                        "{} skew configs for {} dimensions",
-                        configs.len(),
-                        schema.num_dimensions()
-                    )));
-                }
-                schema.skew_model(configs)
-            }
-        };
-        let scheme = BitmapScheme::derive(schema, mix, config.scheme);
+        let (scheme, skew) = engine::validate(schema, system, mix, &config)
+            .map_err(crate::WarlockError::into_advisor_error)?;
         Ok(Self {
             schema,
             system,
@@ -192,116 +182,58 @@ impl<'a> Advisor<'a> {
     }
 
     /// The threshold context derived from the system configuration.
-    ///
-    /// For fixed prefetch policies the sub-granule exclusion uses the fixed
-    /// value; for automatic policies it uses a floor of 8 pages — the
-    /// smallest sequential run for which positioning amortization is
-    /// meaningful on the modeled disks.
     pub fn threshold_context(&self) -> ThresholdContext {
-        let row_bytes = self.schema.fact_row_bytes(self.config.fact_index);
-        ThresholdContext {
-            rows_per_page: self.system.page.rows_per_page(row_bytes),
-            prefetch_pages: self.system.fact_prefetch.fixed().unwrap_or(8),
-            num_disks: self.system.num_disks,
-        }
+        engine::threshold_context(self.schema, self.system, &self.config)
     }
 
     /// Runs the full prediction pipeline.
     pub fn run(&self) -> AdvisorReport {
-        let candidates =
-            enumerate_candidates(self.schema, self.config.max_dimensionality);
-        let enumerated = candidates.len();
-        let ctx = self.threshold_context();
-
-        let model = CostModel::new(self.schema, self.system, &self.scheme, self.mix)
-            .with_fact_index(self.config.fact_index);
-
-        let mut excluded = Vec::new();
-        let mut costs: Vec<CandidateCost> = Vec::with_capacity(candidates.len());
-        for fragmentation in candidates {
-            // Cheap overflow pre-check before materializing a layout.
-            let raw_count = fragmentation.num_fragments(self.schema);
-            if raw_count > u128::from(self.config.thresholds.max_fragments) {
-                excluded.push(ExcludedCandidate {
-                    label: fragmentation.label(self.schema),
-                    reason: Exclusion::TooManyFragments {
-                        fragments: raw_count.min(u128::from(u64::MAX)) as u64,
-                        limit: self.config.thresholds.max_fragments,
-                    },
-                    fragmentation,
-                });
-                continue;
-            }
-            let layout =
-                FragmentLayout::new(self.schema, fragmentation, self.config.fact_index);
-            match self.config.thresholds.check(&layout, ctx) {
-                Err(reason) => excluded.push(ExcludedCandidate {
-                    label: layout.fragmentation().label(self.schema),
-                    fragmentation: layout.fragmentation().clone(),
-                    reason,
-                }),
-                Ok(()) => costs.push(model.evaluate_layout(&layout)),
-            }
-        }
-
-        let evaluated = costs.len();
-        let mut ranked_costs =
-            twofold_rank(costs, self.config.top_x_percent, self.config.min_keep);
-        ranked_costs.truncate(self.config.top_n);
-        let ranked = ranked_costs
-            .into_iter()
-            .enumerate()
-            .map(|(i, cost)| RankedCandidate {
-                rank: i + 1,
-                label: cost.fragmentation.label(self.schema),
-                cost,
-            })
-            .collect();
-
-        AdvisorReport {
-            ranked,
-            excluded,
-            evaluated,
-            enumerated,
-            scheme: self.scheme.clone(),
-        }
+        engine::run(
+            self.schema,
+            self.system,
+            self.mix,
+            &self.config,
+            &self.scheme,
+        )
     }
 
     /// Evaluates a single candidate outside the ranking pipeline.
     pub fn evaluate(&self, fragmentation: &Fragmentation) -> CandidateCost {
-        let model = CostModel::new(self.schema, self.system, &self.scheme, self.mix)
-            .with_fact_index(self.config.fact_index);
-        model.evaluate(fragmentation)
+        // Kept on the legacy handle for benches that evaluate thousands
+        // of candidates: construct the model once per call, as before.
+        CostModel::new(self.schema, self.system, &self.scheme, self.mix)
+            .with_fact_index(self.config.fact_index)
+            .evaluate(fragmentation)
     }
 
     /// Produces the detailed Fig.-2-style statistic for one candidate.
     pub fn analyze(&self, fragmentation: &Fragmentation) -> FragmentationAnalysis {
-        FragmentationAnalysis::build(
+        engine::analyze(
             self.schema,
             self.system,
-            &self.scheme,
             self.mix,
+            &self.config,
+            &self.scheme,
             fragmentation,
-            self.config.fact_index,
         )
     }
 
     /// Computes the physical allocation plan for one candidate.
     pub fn plan_allocation(&self, fragmentation: &Fragmentation) -> AllocationPlan {
-        AllocationPlan::build(
+        engine::plan_allocation(
             self.schema,
             self.system,
-            &self.scheme,
             self.mix,
+            &self.config,
+            &self.scheme,
             &self.skew,
             fragmentation,
-            self.config.allocation_policy,
-            self.config.fact_index,
         )
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use warlock_schema::{apb1_like_schema, Apb1Config};
@@ -353,10 +285,10 @@ mod tests {
         assert!(!report.excluded.is_empty());
         // The full bottom-level cross product must be excluded as too many
         // fragments.
-        assert!(report.excluded.iter().any(|e| matches!(
-            e.reason,
-            Exclusion::TooManyFragments { .. }
-        )));
+        assert!(report
+            .excluded
+            .iter()
+            .any(|e| matches!(e.reason, Exclusion::TooManyFragments { .. })));
         for e in &report.excluded {
             assert!(!e.label.is_empty());
         }
@@ -408,7 +340,9 @@ mod tests {
         let top = report.top().unwrap();
         let found = report.find(&top.cost.fragmentation).unwrap();
         assert_eq!(found.rank, 1);
-        assert!(report.find(&Fragmentation::from_pairs(&[(0, 5), (1, 1)]).unwrap()).is_none());
+        assert!(report
+            .find(&Fragmentation::from_pairs(&[(0, 5), (1, 1)]).unwrap())
+            .is_none());
     }
 
     #[test]

@@ -6,8 +6,7 @@
 //! disk access profile per query class is visualized." (§3.3)
 
 use warlock_alloc::{
-    allocate, profile_response_ms, Allocation, AllocationPolicy, DiskAccessProfile,
-    OccupancyStats,
+    allocate, profile_response_ms, Allocation, AllocationPolicy, DiskAccessProfile, OccupancyStats,
 };
 use warlock_bitmap::{estimate, BitmapScheme};
 use warlock_cost::CostModel;
@@ -87,8 +86,7 @@ impl AllocationPlan {
 
         let allocation = allocate(sizes, system.num_disks, policy);
         let occupancy = allocation.occupancy_stats();
-        let used_greedy =
-            allocation.scheme() == warlock_alloc::AllocationScheme::GreedySize;
+        let used_greedy = allocation.scheme() == warlock_alloc::AllocationScheme::GreedySize;
 
         // Per-class profiles over a representative bound instance.
         let model = CostModel::new(schema, system, scheme, mix).with_fact_index(fact_index);
@@ -152,12 +150,13 @@ pub fn representative_fragments(
                 let query_card = dim.cardinality(pred.level).expect("validated class");
                 if query_card <= frag_card {
                     let per = frag_card / query_card;
-                    (0..pred.values.min(query_card)).flat_map(|v| v * per..(v + 1) * per).collect()
+                    (0..pred.values.min(query_card))
+                        .flat_map(|v| v * per..(v + 1) * per)
+                        .collect()
                 } else {
                     let per = query_card / frag_card;
-                    let mut out: Vec<u64> = (0..pred.values.min(query_card))
-                        .map(|v| v / per)
-                        .collect();
+                    let mut out: Vec<u64> =
+                        (0..pred.values.min(query_card)).map(|v| v / per).collect();
                     out.dedup();
                     out
                 }
@@ -280,12 +279,24 @@ mod tests {
         ]);
         let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap();
         let rr = AllocationPlan::build(
-            &f.schema, &f.system, &f.scheme, &f.mix, &skew, &frag,
-            AllocationPolicy::RoundRobin, 0,
+            &f.schema,
+            &f.system,
+            &f.scheme,
+            &f.mix,
+            &skew,
+            &frag,
+            AllocationPolicy::RoundRobin,
+            0,
         );
         let greedy = AllocationPlan::build(
-            &f.schema, &f.system, &f.scheme, &f.mix, &skew, &frag,
-            AllocationPolicy::GreedySize, 0,
+            &f.schema,
+            &f.system,
+            &f.scheme,
+            &f.mix,
+            &skew,
+            &frag,
+            AllocationPolicy::GreedySize,
+            0,
         );
         assert!(greedy.occupancy.imbalance <= rr.occupancy.imbalance + 1e-12);
     }
@@ -306,9 +317,17 @@ mod tests {
         );
         // q06 (channel+month) touches exactly 1 fragment; q04 (year+line)
         // spreads over many.
-        let q06 = plan.per_class.iter().find(|c| c.name == "q06_channel_month").unwrap();
+        let q06 = plan
+            .per_class
+            .iter()
+            .find(|c| c.name == "q06_channel_month")
+            .unwrap();
         assert_eq!(q06.profile.disks_hit(), 1);
-        let q04 = plan.per_class.iter().find(|c| c.name == "q04_year_line").unwrap();
+        let q04 = plan
+            .per_class
+            .iter()
+            .find(|c| c.name == "q04_year_line")
+            .unwrap();
         assert!(q04.profile.disks_hit() > 4);
         for c in &plan.per_class {
             assert!(c.response_ms > 0.0);
@@ -321,15 +340,13 @@ mod tests {
         let layout =
             FragmentLayout::new(&f.schema, Fragmentation::from_pairs(&[(2, 2)]).unwrap(), 0);
         // Quarter query (coarser): 1 value → 3 months.
-        let q = warlock_workload::QueryClass::new("q")
-            .with(2, DimensionPredicate::point(1));
-        assert_eq!(representative_fragments(&f.schema, &layout, &q), vec![0, 1, 2]);
-        // Unreferenced: all 24.
-        let q = warlock_workload::QueryClass::new("q")
-            .with(3, DimensionPredicate::point(0));
+        let q = warlock_workload::QueryClass::new("q").with(2, DimensionPredicate::point(1));
         assert_eq!(
-            representative_fragments(&f.schema, &layout, &q).len(),
-            24
+            representative_fragments(&f.schema, &layout, &q),
+            vec![0, 1, 2]
         );
+        // Unreferenced: all 24.
+        let q = warlock_workload::QueryClass::new("q").with(3, DimensionPredicate::point(0));
+        assert_eq!(representative_fragments(&f.schema, &layout, &q).len(), 24);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! A text-mode counterpart of the original GUI: reads a warehouse
 //! description (see [`warlock::config_file`] for the format), runs the
-//! advisor, and prints the requested outputs.
+//! advisor session, and prints the requested outputs.
 //!
 //! ```text
 //! warlock <config-file> [command]
@@ -13,14 +13,24 @@
 //!   allocate [RANK]   physical allocation scheme of a ranked candidate (default 1)
 //!   excluded          threshold-excluded candidates with reasons
 //!   csv               ranking as CSV (for plotting)
+//!   json              complete advisory as JSON (ranking + analysis + allocation)
 //! ```
+//!
+//! Exit codes: 0 on success (including an empty ranking — `rank`,
+//! `csv`, `json` and `excluded` report whatever survived), 1 on runtime
+//! failures (unreadable or invalid input, `analyze`/`allocate` rank out
+//! of range), 2 on usage errors (unknown command, malformed rank
+//! argument).
 
 use std::env;
 use std::process::ExitCode;
 
-use warlock::config_file::{demo_config, parse_config, render_config};
+use warlock::config_file::{demo_config, render_config};
+use warlock::json::ToJson;
 use warlock::report::{ranking_csv, render_allocation, render_analysis, render_ranking};
-use warlock::Advisor;
+use warlock::{Warlock, WarlockError};
+
+const USAGE: &str = "usage: warlock <config-file> [rank|analyze [N]|allocate [N]|excluded|csv|json]\n       warlock init   (print a starter configuration)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -30,73 +40,66 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let Some(path) = args.first() else {
-        eprintln!(
-            "usage: warlock <config-file> [rank|analyze [N]|allocate [N]|excluded|csv]\n       warlock init   (print a starter configuration)"
-        );
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let input = match std::fs::read_to_string(path) {
+    let command = args.get(1).map(String::as_str).unwrap_or("rank");
+    // Parse the rank argument up front: a malformed value is a usage
+    // error (exit 2), not a silent fall-back to rank 1.
+    let rank_arg = match args.get(2) {
+        None => 1,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("warlock: invalid rank argument `{s}` (expected a positive integer)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if !matches!(command, "analyze" | "allocate") && args.get(2).is_some() {
+        eprintln!("warlock: `{command}` takes no rank argument\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut session = match Warlock::from_config_path(path) {
         Ok(s) => s,
-        Err(e) => {
+        Err(WarlockError::Io(e)) => {
             eprintln!("warlock: cannot read {path}: {e}");
             return ExitCode::FAILURE;
         }
-    };
-    let parsed = match parse_config(&input) {
-        Ok(p) => p,
         Err(e) => {
             eprintln!("warlock: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let advisor = match Advisor::new(
-        &parsed.schema,
-        &parsed.system,
-        &parsed.mix,
-        parsed.advisor.clone(),
-    ) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("warlock: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let report = advisor.run();
-
-    let command = args.get(1).map(String::as_str).unwrap_or("rank");
-    let rank_arg = args
-        .get(2)
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(1);
 
     match command {
-        "rank" => print!("{}", render_ranking(&report)),
-        "csv" => print!("{}", ranking_csv(&report)),
+        "rank" => print!("{}", render_ranking(session.rank())),
+        "csv" => print!("{}", ranking_csv(session.rank())),
+        "json" => println!("{}", session.session_report().to_json().pretty()),
         "excluded" => {
+            let report = session.rank();
             for e in &report.excluded {
                 println!("{:<52} {}", e.label, e.reason);
             }
             println!("({} candidates excluded)", report.excluded.len());
         }
-        "analyze" | "allocate" => {
-            let Some(candidate) = report.ranked.get(rank_arg.saturating_sub(1)) else {
-                eprintln!(
-                    "warlock: rank {rank_arg} out of range (1..={})",
-                    report.ranked.len()
-                );
+        "analyze" => match session.analyze(rank_arg) {
+            Ok(analysis) => print!("{}", render_analysis(&analysis)),
+            Err(e) => {
+                eprintln!("warlock: {e}");
                 return ExitCode::FAILURE;
-            };
-            if command == "analyze" {
-                print!("{}", render_analysis(&advisor.analyze(&candidate.cost.fragmentation)));
-            } else {
-                print!(
-                    "{}",
-                    render_allocation(&advisor.plan_allocation(&candidate.cost.fragmentation))
-                );
             }
-        }
+        },
+        "allocate" => match session.plan_allocation(rank_arg) {
+            Ok(plan) => print!("{}", render_allocation(&plan)),
+            Err(e) => {
+                eprintln!("warlock: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
         other => {
-            eprintln!("warlock: unknown command `{other}`");
+            eprintln!("warlock: unknown command `{other}`\n{USAGE}");
             return ExitCode::from(2);
         }
     }

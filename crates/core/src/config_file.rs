@@ -240,18 +240,14 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
         let value = value.trim();
 
         match current {
-            Section::None => {
-                return Err(ConfigFileError::at(lineno, "key outside of any section"))
-            }
+            Section::None => return Err(ConfigFileError::at(lineno, "key outside of any section")),
             Section::Dimension(i) => match key {
                 "levels" => {
-                    dimensions[i].levels = parse_pairs(value, lineno, "level", |s| {
-                        s.parse::<u64>().ok()
-                    })?;
+                    dimensions[i].levels =
+                        parse_pairs(value, lineno, "level", |s| s.parse::<u64>().ok())?;
                 }
                 "skew" => {
-                    dimensions[i].skew =
-                        Some(parse_num::<f64>(value, lineno, "skew theta")?);
+                    dimensions[i].skew = Some(parse_num::<f64>(value, lineno, "skew theta")?);
                 }
                 other => {
                     return Err(ConfigFileError::at(
@@ -262,14 +258,11 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
             },
             Section::Fact(i) => match key {
                 "measures" => {
-                    facts[i].measures = parse_pairs(value, lineno, "measure", |s| {
-                        s.parse::<u32>().ok()
-                    })?;
+                    facts[i].measures =
+                        parse_pairs(value, lineno, "measure", |s| s.parse::<u32>().ok())?;
                 }
                 "rows" => facts[i].rows = Some(parse_num::<u64>(value, lineno, "rows")?),
-                "density" => {
-                    facts[i].density = Some(parse_num::<f64>(value, lineno, "density")?)
-                }
+                "density" => facts[i].density = Some(parse_num::<f64>(value, lineno, "density")?),
                 other => {
                     return Err(ConfigFileError::at(
                         lineno,
@@ -297,8 +290,7 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
                                 format!("predicate attribute `{attr}` must be `dim.level`"),
                             )
                         })?;
-                        let values =
-                            parse_num::<u64>(count.trim(), lineno, "predicate values")?;
+                        let values = parse_num::<u64>(count.trim(), lineno, "predicate values")?;
                         queries[i].predicates.push((
                             dim.trim().to_owned(),
                             level.trim().to_owned(),
@@ -345,8 +337,7 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
                 "top_n" => advisor.top_n = parse_num(value, lineno, "top_n")?,
                 "min_keep" => advisor.min_keep = parse_num(value, lineno, "min_keep")?,
                 "max_fragments" => {
-                    advisor.thresholds.max_fragments =
-                        parse_num(value, lineno, "max_fragments")?
+                    advisor.thresholds.max_fragments = parse_num(value, lineno, "max_fragments")?
                 }
                 other => {
                     return Err(ConfigFileError::at(
@@ -477,13 +468,13 @@ fn assemble(
             let r = schema.level_ref(dim_name, level_name).ok_or_else(|| {
                 ConfigFileError::at(
                     q.line,
-                    format!("query `{}` references unknown attribute {dim_name}.{level_name}", q.name),
+                    format!(
+                        "query `{}` references unknown attribute {dim_name}.{level_name}",
+                        q.name
+                    ),
                 )
             })?;
-            class = class.with(
-                r.dimension.0,
-                DimensionPredicate::range(r.level.0, *values),
-            );
+            class = class.with(r.dimension.0, DimensionPredicate::range(r.level.0, *values));
         }
         mix_builder = mix_builder.class(class, q.weight);
     }
@@ -516,7 +507,10 @@ fn assemble(
     if !(system.page_bytes.is_power_of_two() && system.page_bytes >= 512) {
         return Err(ConfigFileError::at(
             0,
-            format!("page_bytes must be a power of two >= 512, got {}", system.page_bytes),
+            format!(
+                "page_bytes must be a power of two >= 512, got {}",
+                system.page_bytes
+            ),
         ));
     }
     let system_config = SystemConfig {
@@ -539,9 +533,7 @@ fn assemble(
     if skews.iter().any(|s| !s.is_uniform()) {
         advisor.skew = Some(skews);
     }
-    advisor
-        .validate()
-        .map_err(|e| ConfigFileError::at(0, e))?;
+    advisor.validate().map_err(|e| ConfigFileError::at(0, e))?;
 
     Ok(ParsedConfig {
         schema,
@@ -557,9 +549,11 @@ fn assemble(
 pub fn render_config(parsed: &ParsedConfig) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let skews = parsed.advisor.skew.clone().unwrap_or_else(|| {
-        vec![DimensionSkew::UNIFORM; parsed.schema.num_dimensions()]
-    });
+    let skews = parsed
+        .advisor
+        .skew
+        .clone()
+        .unwrap_or_else(|| vec![DimensionSkew::UNIFORM; parsed.schema.num_dimensions()]);
     for (dim, skew) in parsed.schema.dimensions().iter().zip(&skews) {
         let _ = writeln!(out, "[dimension {}]", dim.name());
         let levels: Vec<String> = dim
@@ -722,14 +716,14 @@ top_n = 5
     #[test]
     fn parsed_config_drives_the_advisor() {
         let parsed = parse_config(SAMPLE).unwrap();
-        let advisor = crate::Advisor::new(
-            &parsed.schema,
-            &parsed.system,
-            &parsed.mix,
-            parsed.advisor.clone(),
-        )
-        .unwrap();
-        let report = advisor.run();
+        let report = crate::Warlock::builder()
+            .schema(parsed.schema)
+            .system(parsed.system)
+            .mix(parsed.mix)
+            .config(parsed.advisor)
+            .build()
+            .unwrap()
+            .run();
         assert!(!report.ranked.is_empty());
         assert!(report.ranked.len() <= 5);
     }
@@ -813,9 +807,8 @@ top_n = 5
     fn render_round_trips() {
         let original = parse_config(SAMPLE).unwrap();
         let rendered = render_config(&original);
-        let reparsed = parse_config(&rendered).unwrap_or_else(|e| {
-            panic!("rendered config does not parse: {e}\n{rendered}")
-        });
+        let reparsed = parse_config(&rendered)
+            .unwrap_or_else(|e| panic!("rendered config does not parse: {e}\n{rendered}"));
         assert_eq!(reparsed.schema, original.schema);
         assert_eq!(reparsed.system, original.system);
         assert_eq!(reparsed.mix.len(), original.mix.len());
@@ -837,14 +830,14 @@ top_n = 5
         let reparsed = parse_config(&rendered).unwrap();
         assert_eq!(reparsed.schema, demo.schema);
         assert_eq!(reparsed.mix.len(), 10);
-        let advisor = crate::Advisor::new(
-            &reparsed.schema,
-            &reparsed.system,
-            &reparsed.mix,
-            reparsed.advisor.clone(),
-        )
-        .unwrap();
-        assert!(!advisor.run().ranked.is_empty());
+        let session = crate::Warlock::builder()
+            .schema(reparsed.schema)
+            .system(reparsed.system)
+            .mix(reparsed.mix)
+            .config(reparsed.advisor)
+            .build()
+            .unwrap();
+        assert!(!session.run().ranked.is_empty());
     }
 
     #[test]

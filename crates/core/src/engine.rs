@@ -1,0 +1,261 @@
+//! The prediction pipeline internals: validate → generate → exclude →
+//! cost → rank.
+//!
+//! Both the owned [`crate::Warlock`] session facade and the deprecated
+//! borrowing [`crate::Advisor`] shim delegate here, so the pipeline has
+//! exactly one implementation.
+
+use warlock_bitmap::BitmapScheme;
+use warlock_cost::{CandidateCost, CostModel};
+use warlock_fragment::{
+    enumerate_candidates, Exclusion, FragmentLayout, Fragmentation, SkewModelExt, ThresholdContext,
+};
+use warlock_schema::StarSchema;
+use warlock_skew::SkewModel;
+use warlock_storage::SystemConfig;
+use warlock_workload::QueryMix;
+
+use crate::advisor::{AdvisorReport, ExcludedCandidate, RankedCandidate};
+use crate::allocation_plan::AllocationPlan;
+use crate::analysis::FragmentationAnalysis;
+use crate::config::AdvisorConfig;
+use crate::error::WarlockError;
+use crate::ranking::twofold_rank;
+
+/// Validates all advisor inputs and derives the bitmap scheme and skew
+/// model the pipeline runs with.
+pub(crate) fn validate(
+    schema: &StarSchema,
+    system: &SystemConfig,
+    mix: &QueryMix,
+    config: &AdvisorConfig,
+) -> Result<(BitmapScheme, SkewModel), WarlockError> {
+    config.validate().map_err(WarlockError::Config)?;
+    system.validate().map_err(WarlockError::System)?;
+    mix.validate(schema)?;
+    if config.fact_index >= schema.facts().len() {
+        return Err(WarlockError::Config(format!(
+            "fact index {} out of range",
+            config.fact_index
+        )));
+    }
+    let skew = match &config.skew {
+        None => schema.uniform_skew_model(),
+        Some(configs) => {
+            if configs.len() != schema.num_dimensions() {
+                return Err(WarlockError::Skew(format!(
+                    "{} skew configs for {} dimensions",
+                    configs.len(),
+                    schema.num_dimensions()
+                )));
+            }
+            schema.skew_model(configs)
+        }
+    };
+    let scheme = BitmapScheme::derive(schema, mix, config.scheme);
+    Ok((scheme, skew))
+}
+
+/// The threshold context derived from the system configuration.
+///
+/// For fixed prefetch policies the sub-granule exclusion uses the fixed
+/// value; for automatic policies it uses a floor of 8 pages — the
+/// smallest sequential run for which positioning amortization is
+/// meaningful on the modeled disks.
+pub(crate) fn threshold_context(
+    schema: &StarSchema,
+    system: &SystemConfig,
+    config: &AdvisorConfig,
+) -> ThresholdContext {
+    let row_bytes = schema.fact_row_bytes(config.fact_index);
+    ThresholdContext {
+        rows_per_page: system.page.rows_per_page(row_bytes),
+        prefetch_pages: system.fact_prefetch.fixed().unwrap_or(8),
+        num_disks: system.num_disks,
+    }
+}
+
+/// Runs the full prediction pipeline.
+pub(crate) fn run(
+    schema: &StarSchema,
+    system: &SystemConfig,
+    mix: &QueryMix,
+    config: &AdvisorConfig,
+    scheme: &BitmapScheme,
+) -> AdvisorReport {
+    let candidates = enumerate_candidates(schema, config.max_dimensionality);
+    let enumerated = candidates.len();
+    let ctx = threshold_context(schema, system, config);
+
+    let model = CostModel::new(schema, system, scheme, mix).with_fact_index(config.fact_index);
+
+    let mut excluded = Vec::new();
+    let mut costs: Vec<CandidateCost> = Vec::with_capacity(candidates.len());
+    for fragmentation in candidates {
+        // Cheap overflow pre-check before materializing a layout.
+        let raw_count = fragmentation.num_fragments(schema);
+        if raw_count > u128::from(config.thresholds.max_fragments) {
+            excluded.push(ExcludedCandidate {
+                label: fragmentation.label(schema),
+                reason: Exclusion::TooManyFragments {
+                    fragments: raw_count.min(u128::from(u64::MAX)) as u64,
+                    limit: config.thresholds.max_fragments,
+                },
+                fragmentation,
+            });
+            continue;
+        }
+        let layout = FragmentLayout::new(schema, fragmentation, config.fact_index);
+        match config.thresholds.check(&layout, ctx) {
+            Err(reason) => excluded.push(ExcludedCandidate {
+                label: layout.fragmentation().label(schema),
+                fragmentation: layout.fragmentation().clone(),
+                reason,
+            }),
+            Ok(()) => costs.push(model.evaluate_layout(&layout)),
+        }
+    }
+
+    let evaluated = costs.len();
+    let mut ranked_costs = twofold_rank(costs, config.top_x_percent, config.min_keep);
+    ranked_costs.truncate(config.top_n);
+    let ranked = ranked_costs
+        .into_iter()
+        .enumerate()
+        .map(|(i, cost)| RankedCandidate {
+            rank: i + 1,
+            label: cost.fragmentation.label(schema),
+            cost,
+        })
+        .collect();
+
+    AdvisorReport {
+        ranked,
+        excluded,
+        evaluated,
+        enumerated,
+        scheme: scheme.clone(),
+    }
+}
+
+/// What-if variation: `num_disks` disks. Returns the variation label and
+/// the re-run report; shared by [`crate::Warlock::what_if_disks`] and
+/// [`crate::TuningSession::with_disks`].
+pub(crate) fn vary_disks(
+    schema: &StarSchema,
+    system: &SystemConfig,
+    mix: &QueryMix,
+    config: &AdvisorConfig,
+    scheme: &BitmapScheme,
+    num_disks: u32,
+) -> (String, AdvisorReport) {
+    let mut system = *system;
+    system.num_disks = num_disks.max(1);
+    let report = run(schema, &system, mix, config, scheme);
+    (format!("disks = {num_disks}"), report)
+}
+
+/// What-if variation: prefetch fixed at `pages` for fact tables and
+/// bitmaps alike.
+pub(crate) fn vary_fixed_prefetch(
+    schema: &StarSchema,
+    system: &SystemConfig,
+    mix: &QueryMix,
+    config: &AdvisorConfig,
+    scheme: &BitmapScheme,
+    pages: u32,
+) -> (String, AdvisorReport) {
+    use warlock_storage::PrefetchPolicy;
+    let mut system = *system;
+    system.fact_prefetch = PrefetchPolicy::Fixed(pages.max(1));
+    system.bitmap_prefetch = PrefetchPolicy::Fixed(pages.max(1));
+    let report = run(schema, &system, mix, config, scheme);
+    (format!("prefetch = {pages} pages"), report)
+}
+
+/// What-if variation: the bitmap indexes of `dimension` dropped.
+pub(crate) fn vary_without_bitmap_dimension(
+    schema: &StarSchema,
+    system: &SystemConfig,
+    mix: &QueryMix,
+    config: &AdvisorConfig,
+    scheme: &BitmapScheme,
+    dimension: warlock_schema::DimensionId,
+) -> (String, AdvisorReport) {
+    let scheme = scheme.without_dimension(dimension);
+    let report = run(schema, system, mix, config, &scheme);
+    (format!("no bitmaps on dimension {dimension}"), report)
+}
+
+/// What-if variation: query class `name` removed from the workload.
+/// The bitmap scheme is derived from the mix, so it is re-derived for
+/// the reduced workload (as the original advisor did). `None` when the
+/// class is unknown or removing it would empty the mix.
+pub(crate) fn vary_without_class(
+    schema: &StarSchema,
+    system: &SystemConfig,
+    mix: &QueryMix,
+    config: &AdvisorConfig,
+    name: &str,
+) -> Option<(String, AdvisorReport)> {
+    let mix = mix.without_class(name)?;
+    let scheme = BitmapScheme::derive(schema, &mix, config.scheme);
+    let report = run(schema, system, &mix, config, &scheme);
+    Some((format!("without class {name}"), report))
+}
+
+/// Evaluates a single candidate outside the ranking pipeline.
+pub(crate) fn evaluate(
+    schema: &StarSchema,
+    system: &SystemConfig,
+    mix: &QueryMix,
+    config: &AdvisorConfig,
+    scheme: &BitmapScheme,
+    fragmentation: &Fragmentation,
+) -> CandidateCost {
+    CostModel::new(schema, system, scheme, mix)
+        .with_fact_index(config.fact_index)
+        .evaluate(fragmentation)
+}
+
+/// Produces the detailed Fig.-2-style statistic for one candidate.
+pub(crate) fn analyze(
+    schema: &StarSchema,
+    system: &SystemConfig,
+    mix: &QueryMix,
+    config: &AdvisorConfig,
+    scheme: &BitmapScheme,
+    fragmentation: &Fragmentation,
+) -> FragmentationAnalysis {
+    FragmentationAnalysis::build(
+        schema,
+        system,
+        scheme,
+        mix,
+        fragmentation,
+        config.fact_index,
+    )
+}
+
+/// Computes the physical allocation plan for one candidate.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_allocation(
+    schema: &StarSchema,
+    system: &SystemConfig,
+    mix: &QueryMix,
+    config: &AdvisorConfig,
+    scheme: &BitmapScheme,
+    skew: &SkewModel,
+    fragmentation: &Fragmentation,
+) -> AllocationPlan {
+    AllocationPlan::build(
+        schema,
+        system,
+        scheme,
+        mix,
+        skew,
+        fragmentation,
+        config.allocation_policy,
+        config.fact_index,
+    )
+}

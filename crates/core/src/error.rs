@@ -1,0 +1,178 @@
+//! The unified error surface of the WARLOCK facade.
+//!
+//! Every substrate crate keeps its own precise error enum
+//! ([`SchemaError`], [`CandidateError`], [`WorkloadError`], plus the
+//! config-file and JSON layers); this module folds them into one
+//! [`WarlockError`] so applications driving the advisor programmatically
+//! can use `?` against a single type.
+
+use std::fmt;
+
+use warlock_fragment::CandidateError;
+use warlock_json::JsonError;
+use warlock_schema::SchemaError;
+use warlock_workload::WorkloadError;
+
+use crate::advisor::AdvisorError;
+use crate::config_file::ConfigFileError;
+
+/// Any error the WARLOCK facade can raise.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WarlockError {
+    /// A required builder input was never provided.
+    MissingInput {
+        /// Which input (`"schema"`, `"system"` or `"mix"`).
+        what: &'static str,
+    },
+    /// The star schema failed to build or validate.
+    Schema(SchemaError),
+    /// A fragmentation candidate was malformed.
+    Candidate(CandidateError),
+    /// The query mix does not validate against the schema.
+    Workload(WorkloadError),
+    /// The advisor configuration is inconsistent.
+    Config(String),
+    /// The system configuration is inconsistent.
+    System(String),
+    /// The skew configuration does not cover every dimension.
+    Skew(String),
+    /// A configuration file failed to parse.
+    ConfigFile(ConfigFileError),
+    /// A JSON document failed to parse or had the wrong shape.
+    Json(JsonError),
+    /// A requested rank is outside the ranked candidate list.
+    RankOutOfRange {
+        /// The requested 1-based rank.
+        rank: usize,
+        /// How many candidates the ranking holds.
+        available: usize,
+    },
+    /// An I/O error, e.g. while reading a configuration file.
+    Io(String),
+}
+
+impl fmt::Display for WarlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingInput { what } => {
+                write!(f, "builder is missing the required `{what}` input")
+            }
+            Self::Schema(e) => write!(f, "schema: {e}"),
+            Self::Candidate(e) => write!(f, "candidate: {e}"),
+            Self::Workload(e) => write!(f, "workload: {e}"),
+            Self::Config(msg) => write!(f, "advisor config: {msg}"),
+            Self::System(msg) => write!(f, "system config: {msg}"),
+            Self::Skew(msg) => write!(f, "skew config: {msg}"),
+            Self::ConfigFile(e) => write!(f, "config file: {e}"),
+            Self::Json(e) => write!(f, "{e}"),
+            Self::RankOutOfRange { rank, available } => {
+                write!(f, "rank {rank} out of range (1..={available})")
+            }
+            Self::Io(msg) => write!(f, "io: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WarlockError {}
+
+impl From<SchemaError> for WarlockError {
+    fn from(e: SchemaError) -> Self {
+        Self::Schema(e)
+    }
+}
+
+impl From<CandidateError> for WarlockError {
+    fn from(e: CandidateError) -> Self {
+        Self::Candidate(e)
+    }
+}
+
+impl From<WorkloadError> for WarlockError {
+    fn from(e: WorkloadError) -> Self {
+        Self::Workload(e)
+    }
+}
+
+impl From<ConfigFileError> for WarlockError {
+    fn from(e: ConfigFileError) -> Self {
+        Self::ConfigFile(e)
+    }
+}
+
+impl From<JsonError> for WarlockError {
+    fn from(e: JsonError) -> Self {
+        Self::Json(e)
+    }
+}
+
+impl From<std::io::Error> for WarlockError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+impl From<AdvisorError> for WarlockError {
+    fn from(e: AdvisorError) -> Self {
+        match e {
+            AdvisorError::Config(msg) => Self::Config(msg),
+            AdvisorError::System(msg) => Self::System(msg),
+            AdvisorError::Workload(w) => Self::Workload(w),
+            AdvisorError::Skew(msg) => Self::Skew(msg),
+        }
+    }
+}
+
+impl WarlockError {
+    /// Maps back onto the legacy [`AdvisorError`] for the deprecated
+    /// [`crate::Advisor`] shim. Variants the old enum cannot express
+    /// collapse into `AdvisorError::Config`.
+    pub(crate) fn into_advisor_error(self) -> AdvisorError {
+        match self {
+            Self::Config(msg) => AdvisorError::Config(msg),
+            Self::System(msg) => AdvisorError::System(msg),
+            Self::Workload(w) => AdvisorError::Workload(w),
+            Self::Skew(msg) => AdvisorError::Skew(msg),
+            other => AdvisorError::Config(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_prefixed() {
+        let e = WarlockError::MissingInput { what: "schema" };
+        assert!(e.to_string().contains("schema"));
+        let e = WarlockError::RankOutOfRange {
+            rank: 12,
+            available: 3,
+        };
+        assert_eq!(e.to_string(), "rank 12 out of range (1..=3)");
+    }
+
+    #[test]
+    fn substrate_errors_convert() {
+        fn takes_anything(e: impl Into<WarlockError>) -> WarlockError {
+            e.into()
+        }
+        assert!(matches!(
+            takes_anything(SchemaError::NoDimensions),
+            WarlockError::Schema(_)
+        ));
+        assert!(matches!(
+            takes_anything(WorkloadError::EmptyMix),
+            WarlockError::Workload(_)
+        ));
+        assert!(matches!(
+            takes_anything(AdvisorError::Skew("x".into())),
+            WarlockError::Skew(_)
+        ));
+        assert!(matches!(
+            takes_anything(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
+            WarlockError::Io(_)
+        ));
+    }
+}

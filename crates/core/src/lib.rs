@@ -20,51 +20,86 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use warlock::{Advisor, AdvisorConfig};
-//! use warlock_schema::{apb1_like_schema, Apb1Config};
-//! use warlock_storage::SystemConfig;
-//! use warlock_workload::apb1_like_mix;
+//! The public API is the owned, session-oriented [`Warlock`] facade:
+//! build it once from owned inputs, then ask it for rankings, analyses,
+//! allocation plans and what-if variations. Every fallible call returns
+//! the unified [`WarlockError`], and every report is renderable as
+//! text/CSV ([`report`]) and serializable to JSON ([`serial`]).
 //!
-//! let schema = apb1_like_schema(Apb1Config::default()).unwrap();
-//! let mix = apb1_like_mix().unwrap();
-//! let system = SystemConfig::default_2001(16);
-//! let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-//! let report = advisor.run();
-//! let best = report.top().expect("candidates survive thresholds");
-//! println!("best fragmentation: {}", best.label);
-//! assert!(report.ranked.len() > 1);
 //! ```
+//! use warlock::prelude::*;
+//!
+//! let mut session = Warlock::builder()
+//!     .schema(apb1_like_schema(Apb1Config::default())?)
+//!     .system(SystemConfig::default_2001(16))
+//!     .mix(apb1_like_mix()?)
+//!     .config(AdvisorConfig::default())
+//!     .build()?;
+//!
+//! // Prediction layer: enumerate, exclude, cost, twofold-rank (cached).
+//! let best = session.rank().top().expect("candidates survive").clone();
+//! println!("best fragmentation: {}", best.label);
+//!
+//! // Analysis layer: detailed statistic and placement of any rank.
+//! let analysis = session.analyze(1)?;
+//! let plan = session.plan_allocation(1)?;
+//! assert_eq!(analysis.label, plan.label);
+//!
+//! // What-if tuning (§3.3) against the cached baseline.
+//! let (_report, delta) = session.what_if_disks(64);
+//! assert!(delta.variation_response_ms < delta.baseline_response_ms);
+//!
+//! // Machine-readable service output: JSON that round-trips.
+//! let json_text = session.session_report().to_json().pretty();
+//! let parsed = SessionReport::from_json_str(&json_text)?;
+//! assert_eq!(parsed.ranking.len(), session.rank().ranked.len());
+//! # Ok::<(), warlock::WarlockError>(())
+//! ```
+//!
+//! The legacy borrowing [`Advisor`] handle is deprecated and now a thin
+//! shim over the same engine; migrate to [`Warlock`].
 //!
 //! The heavy lifting lives in the substrate crates re-exported below;
-//! this crate contributes the advisor pipeline ([`Advisor`]), the twofold
-//! ranking ([`ranking`]), the Fig.-2-style analyses ([`analysis`]), the
-//! physical allocation plan ([`allocation_plan`]), what-if tuning
-//! ([`tuning`]) and plain-text/CSV report rendering ([`report`]).
+//! this crate contributes the session facade ([`Warlock`]), the advisor
+//! pipeline, the twofold ranking ([`ranking`]), the Fig.-2-style
+//! analyses ([`analysis`]), the physical allocation plan
+//! ([`allocation_plan`]), what-if tuning ([`tuning`]) and report
+//! rendering/serialization ([`report`], [`serial`]).
 
 #![warn(missing_docs)]
 
 pub mod advisor;
-pub mod analysis;
 pub mod allocation_plan;
+pub mod analysis;
 pub mod config;
 pub mod config_file;
+mod engine;
+pub mod error;
+pub mod prelude;
 pub mod ranking;
 pub mod report;
+pub mod serial;
+pub mod session;
 pub mod tuning;
 
-pub use advisor::{Advisor, AdvisorReport, ExcludedCandidate, RankedCandidate};
+#[allow(deprecated)]
+pub use advisor::Advisor;
+pub use advisor::{AdvisorReport, ExcludedCandidate, RankedCandidate};
 pub use allocation_plan::{AllocationPlan, ClassDiskProfile};
 pub use analysis::{ClassAnalysis, FragmentationAnalysis};
 pub use config::AdvisorConfig;
+pub use error::WarlockError;
 pub use ranking::twofold_rank;
-pub use tuning::TuningSession;
+pub use serial::SessionReport;
+pub use session::{Warlock, WarlockBuilder};
+pub use tuning::{TuningDelta, TuningSession};
 
 // Substrate re-exports so downstream users need only one dependency.
 pub use warlock_alloc as alloc;
 pub use warlock_bitmap as bitmap;
 pub use warlock_cost as cost;
 pub use warlock_fragment as fragment;
+pub use warlock_json as json;
 pub use warlock_schema as schema;
 pub use warlock_skew as skew;
 pub use warlock_storage as storage;

@@ -96,7 +96,15 @@ pub fn render_analysis(a: &FragmentationAnalysis) -> String {
     let _ = writeln!(
         out,
         "  {:<30} {:>6} {:>10} {:>12} {:>12} {:>10} {:>11} {:>12} {:>7}",
-        "query class", "share", "#frags", "fact pages", "bmp pages", "#I/Os", "busy [ms]", "resp [ms]", "path"
+        "query class",
+        "share",
+        "#frags",
+        "fact pages",
+        "bmp pages",
+        "#I/Os",
+        "busy [ms]",
+        "resp [ms]",
+        "path"
     );
     let _ = writeln!(out, "  {}", "-".repeat(118));
     for c in &a.per_class {
@@ -198,27 +206,36 @@ fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
         s.to_owned()
     } else {
-        format!("{}…", &s[..s.char_indices().take(n - 1).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0)])
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take(n - 1)
+                .last()
+                .map(|(i, c)| i + c.len_utf8())
+                .unwrap_or(0)]
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Advisor, AdvisorConfig};
+    use crate::Warlock;
     use warlock_schema::{apb1_like_schema, Apb1Config};
     use warlock_storage::SystemConfig;
     use warlock_workload::apb1_like_mix;
 
     fn report_and_advisor() -> (AdvisorReport, FragmentationAnalysis, AllocationPlan) {
-        let schema = apb1_like_schema(Apb1Config::default()).unwrap();
-        let mix = apb1_like_mix().unwrap();
-        let system = SystemConfig::default_2001(16);
-        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-        let report = advisor.run();
-        let top_frag = report.top().unwrap().cost.fragmentation.clone();
-        let analysis = advisor.analyze(&top_frag);
-        let plan = advisor.plan_allocation(&top_frag);
+        let mut session = Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(16))
+            .mix(apb1_like_mix().unwrap())
+            .build()
+            .unwrap();
+        let report = session.rank().clone();
+        let analysis = session.analyze(1).unwrap();
+        let plan = session.plan_allocation(1).unwrap();
         (report, analysis, plan)
     }
 

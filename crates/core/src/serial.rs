@@ -1,0 +1,784 @@
+//! Serializable (JSON) views of the advisor's reports.
+//!
+//! Every report the facade produces is renderable as text/CSV (see
+//! [`crate::report`]) **and** serializable to JSON, so the advisor can
+//! back a machine-readable service. The wire types in this module are
+//! plain data: [`SessionReport`] round-trips losslessly through
+//! [`warlock_json`] (`to_json` → render → parse → `from_json` compares
+//! equal), which the `warlock <cfg> json` CLI command and the
+//! integration tests rely on.
+
+use warlock_cost::AccessPath;
+use warlock_fragment::Fragmentation;
+use warlock_json::{FromJson, Json, JsonError, ToJson};
+
+use crate::advisor::{AdvisorReport, RankedCandidate};
+use crate::allocation_plan::AllocationPlan;
+use crate::analysis::FragmentationAnalysis;
+use crate::error::WarlockError;
+use crate::tuning::TuningDelta;
+
+fn path_str(p: AccessPath) -> &'static str {
+    match p {
+        AccessPath::FullScan => "scan",
+        AccessPath::BitmapFetch => "bitmap",
+    }
+}
+
+fn f64_field(value: &Json, key: &str) -> Result<f64, JsonError> {
+    value
+        .req(key)?
+        .as_f64()
+        .ok_or_else(|| JsonError::shape(format!("`{key}` is not a number")))
+}
+
+fn u64_field(value: &Json, key: &str) -> Result<u64, JsonError> {
+    value
+        .req(key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::shape(format!("`{key}` is not an unsigned integer")))
+}
+
+fn u16_field(value: &Json, key: &str) -> Result<u16, JsonError> {
+    u16::try_from(u64_field(value, key)?)
+        .map_err(|_| JsonError::shape(format!("`{key}` out of range for u16")))
+}
+
+fn u32_field(value: &Json, key: &str) -> Result<u32, JsonError> {
+    u32::try_from(u64_field(value, key)?)
+        .map_err(|_| JsonError::shape(format!("`{key}` out of range for u32")))
+}
+
+fn usize_field(value: &Json, key: &str) -> Result<usize, JsonError> {
+    value
+        .req(key)?
+        .as_usize()
+        .ok_or_else(|| JsonError::shape(format!("`{key}` is not an unsigned integer")))
+}
+
+fn str_field(value: &Json, key: &str) -> Result<String, JsonError> {
+    Ok(value
+        .req(key)?
+        .as_str()
+        .ok_or_else(|| JsonError::shape(format!("`{key}` is not a string")))?
+        .to_owned())
+}
+
+fn array_field<'a>(value: &'a Json, key: &str) -> Result<&'a [Json], JsonError> {
+    value
+        .req(key)?
+        .as_array()
+        .ok_or_else(|| JsonError::shape(format!("`{key}` is not an array")))
+}
+
+/// One fragmentation attribute on the wire: dimension, level, range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentationAttr {
+    /// The fragmented dimension's index.
+    pub dimension: u16,
+    /// The fragmentation attribute (hierarchy level) within it.
+    pub level: u16,
+    /// The attribute range size (1 = point fragmentation).
+    pub range: u64,
+}
+
+impl FragmentationAttr {
+    /// The wire form of `fragmentation`.
+    pub fn from_fragmentation(fragmentation: &Fragmentation) -> Vec<Self> {
+        fragmentation
+            .attributes()
+            .iter()
+            .zip(fragmentation.ranges())
+            .map(|(attr, &range)| Self {
+                dimension: attr.dimension.0,
+                level: attr.level.0,
+                range,
+            })
+            .collect()
+    }
+
+    /// Rebuilds the [`Fragmentation`] these attributes describe.
+    pub fn to_fragmentation(attrs: &[Self]) -> Result<Fragmentation, WarlockError> {
+        let pairs: Vec<(u16, u16, u64)> = attrs
+            .iter()
+            .map(|a| (a.dimension, a.level, a.range))
+            .collect();
+        Ok(Fragmentation::from_ranged_pairs(&pairs)?)
+    }
+}
+
+impl ToJson for FragmentationAttr {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("dimension", self.dimension.to_json()),
+            ("level", self.level.to_json()),
+            ("range", self.range.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FragmentationAttr {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            dimension: u16_field(value, "dimension")?,
+            level: u16_field(value, "level")?,
+            range: u64_field(value, "range")?,
+        })
+    }
+}
+
+/// One ranked candidate on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankingRow {
+    /// Position in the final ranking (1-based).
+    pub rank: usize,
+    /// Human-readable label, e.g. `product.class × time.month`.
+    pub label: String,
+    /// The candidate's fragmentation attributes.
+    pub fragmentation: Vec<FragmentationAttr>,
+    /// Number of fragments.
+    pub num_fragments: u64,
+    /// Workload-weighted I/O cost per query (ms).
+    pub io_cost_ms: f64,
+    /// Workload-weighted response time per query (ms).
+    pub response_ms: f64,
+    /// Workload-weighted physical I/Os per query.
+    pub total_ios: f64,
+    /// Workload-weighted pages read per query.
+    pub total_pages: f64,
+}
+
+impl From<&RankedCandidate> for RankingRow {
+    fn from(r: &RankedCandidate) -> Self {
+        Self {
+            rank: r.rank,
+            label: r.label.clone(),
+            fragmentation: FragmentationAttr::from_fragmentation(&r.cost.fragmentation),
+            num_fragments: r.cost.num_fragments,
+            io_cost_ms: r.cost.io_cost_ms,
+            response_ms: r.cost.response_ms,
+            total_ios: r.cost.total_ios,
+            total_pages: r.cost.total_pages,
+        }
+    }
+}
+
+impl ToJson for RankingRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("rank", self.rank.to_json()),
+            ("label", self.label.to_json()),
+            ("fragmentation", self.fragmentation.to_json()),
+            ("num_fragments", self.num_fragments.to_json()),
+            ("io_cost_ms", self.io_cost_ms.to_json()),
+            ("response_ms", self.response_ms.to_json()),
+            ("total_ios", self.total_ios.to_json()),
+            ("total_pages", self.total_pages.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RankingRow {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            rank: usize_field(value, "rank")?,
+            label: str_field(value, "label")?,
+            fragmentation: array_field(value, "fragmentation")?
+                .iter()
+                .map(FragmentationAttr::from_json)
+                .collect::<Result<_, _>>()?,
+            num_fragments: u64_field(value, "num_fragments")?,
+            io_cost_ms: f64_field(value, "io_cost_ms")?,
+            response_ms: f64_field(value, "response_ms")?,
+            total_ios: f64_field(value, "total_ios")?,
+            total_pages: f64_field(value, "total_pages")?,
+        })
+    }
+}
+
+/// One excluded candidate on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExclusionRow {
+    /// Human-readable candidate label.
+    pub label: String,
+    /// Why it was excluded (rendered reason).
+    pub reason: String,
+}
+
+impl ToJson for ExclusionRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("label", self.label.to_json()),
+            ("reason", self.reason.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExclusionRow {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            label: str_field(value, "label")?,
+            reason: str_field(value, "reason")?,
+        })
+    }
+}
+
+impl ToJson for AdvisorReport {
+    /// The ranking view: counters plus ranked and excluded candidates.
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("enumerated", self.enumerated.to_json()),
+            ("evaluated", self.evaluated.to_json()),
+            (
+                "ranking",
+                self.ranked
+                    .iter()
+                    .map(|r| RankingRow::from(r).to_json())
+                    .collect::<Vec<_>>()
+                    .to_json(),
+            ),
+            (
+                "excluded",
+                self.excluded
+                    .iter()
+                    .map(|e| {
+                        ExclusionRow {
+                            label: e.label.clone(),
+                            reason: e.reason.to_string(),
+                        }
+                        .to_json()
+                    })
+                    .collect::<Vec<_>>()
+                    .to_json(),
+            ),
+        ])
+    }
+}
+
+/// One per-class analysis line on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRow {
+    /// Query class name.
+    pub name: String,
+    /// Share of the mix (0..1).
+    pub share: f64,
+    /// Expected fragments accessed.
+    pub accessed_fragments: f64,
+    /// Expected fact pages read.
+    pub fact_pages: f64,
+    /// Expected bitmap pages read.
+    pub bitmap_pages: f64,
+    /// Expected physical I/Os.
+    pub ios: f64,
+    /// Device busy time (ms).
+    pub busy_ms: f64,
+    /// Response time (ms).
+    pub response_ms: f64,
+    /// Chosen access path (`"scan"` or `"bitmap"`).
+    pub path: String,
+}
+
+impl ToJson for ClassRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", self.name.to_json()),
+            ("share", self.share.to_json()),
+            ("accessed_fragments", self.accessed_fragments.to_json()),
+            ("fact_pages", self.fact_pages.to_json()),
+            ("bitmap_pages", self.bitmap_pages.to_json()),
+            ("ios", self.ios.to_json()),
+            ("busy_ms", self.busy_ms.to_json()),
+            ("response_ms", self.response_ms.to_json()),
+            ("path", self.path.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ClassRow {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: str_field(value, "name")?,
+            share: f64_field(value, "share")?,
+            accessed_fragments: f64_field(value, "accessed_fragments")?,
+            fact_pages: f64_field(value, "fact_pages")?,
+            bitmap_pages: f64_field(value, "bitmap_pages")?,
+            ios: f64_field(value, "ios")?,
+            busy_ms: f64_field(value, "busy_ms")?,
+            response_ms: f64_field(value, "response_ms")?,
+            path: str_field(value, "path")?,
+        })
+    }
+}
+
+/// The Fig.-2-style per-fragmentation statistic on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Candidate label.
+    pub label: String,
+    /// Number of fragments.
+    pub num_fragments: u64,
+    /// Rows per fragment.
+    pub fragment_rows: u64,
+    /// Pages per fragment.
+    pub fragment_pages: u64,
+    /// Total fact pages.
+    pub total_fact_pages: u64,
+    /// Stored bitmap pages.
+    pub bitmap_stored_pages: u64,
+    /// Suggested fact prefetch granule (pages).
+    pub fact_prefetch: u32,
+    /// Suggested bitmap prefetch granule (pages).
+    pub bitmap_prefetch: u32,
+    /// Workload-weighted busy time (ms).
+    pub weighted_busy_ms: f64,
+    /// Workload-weighted response time (ms).
+    pub weighted_response_ms: f64,
+    /// Per-class details, in mix order.
+    pub per_class: Vec<ClassRow>,
+}
+
+impl From<&FragmentationAnalysis> for AnalysisReport {
+    fn from(a: &FragmentationAnalysis) -> Self {
+        Self {
+            label: a.label.clone(),
+            num_fragments: a.num_fragments,
+            fragment_rows: a.fragment_rows,
+            fragment_pages: a.fragment_pages,
+            total_fact_pages: a.total_fact_pages,
+            bitmap_stored_pages: a.bitmap_stored_pages,
+            fact_prefetch: a.fact_prefetch,
+            bitmap_prefetch: a.bitmap_prefetch,
+            weighted_busy_ms: a.weighted_busy_ms,
+            weighted_response_ms: a.weighted_response_ms,
+            per_class: a
+                .per_class
+                .iter()
+                .map(|c| ClassRow {
+                    name: c.name.clone(),
+                    share: c.share,
+                    accessed_fragments: c.accessed_fragments,
+                    fact_pages: c.fact_pages,
+                    bitmap_pages: c.bitmap_pages,
+                    ios: c.ios,
+                    busy_ms: c.busy_ms,
+                    response_ms: c.response_ms,
+                    path: path_str(c.path).to_owned(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ToJson for AnalysisReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("label", self.label.to_json()),
+            ("num_fragments", self.num_fragments.to_json()),
+            ("fragment_rows", self.fragment_rows.to_json()),
+            ("fragment_pages", self.fragment_pages.to_json()),
+            ("total_fact_pages", self.total_fact_pages.to_json()),
+            ("bitmap_stored_pages", self.bitmap_stored_pages.to_json()),
+            ("fact_prefetch", self.fact_prefetch.to_json()),
+            ("bitmap_prefetch", self.bitmap_prefetch.to_json()),
+            ("weighted_busy_ms", self.weighted_busy_ms.to_json()),
+            ("weighted_response_ms", self.weighted_response_ms.to_json()),
+            ("per_class", self.per_class.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AnalysisReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            label: str_field(value, "label")?,
+            num_fragments: u64_field(value, "num_fragments")?,
+            fragment_rows: u64_field(value, "fragment_rows")?,
+            fragment_pages: u64_field(value, "fragment_pages")?,
+            total_fact_pages: u64_field(value, "total_fact_pages")?,
+            bitmap_stored_pages: u64_field(value, "bitmap_stored_pages")?,
+            fact_prefetch: u32_field(value, "fact_prefetch")?,
+            bitmap_prefetch: u32_field(value, "bitmap_prefetch")?,
+            weighted_busy_ms: f64_field(value, "weighted_busy_ms")?,
+            weighted_response_ms: f64_field(value, "weighted_response_ms")?,
+            per_class: array_field(value, "per_class")?
+                .iter()
+                .map(ClassRow::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl ToJson for FragmentationAnalysis {
+    fn to_json(&self) -> Json {
+        AnalysisReport::from(self).to_json()
+    }
+}
+
+/// One disk's occupancy on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskRow {
+    /// Bytes resident on the disk.
+    pub bytes: u64,
+    /// Fragments resident on the disk.
+    pub fragments: u32,
+}
+
+impl ToJson for DiskRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("bytes", self.bytes.to_json()),
+            ("fragments", self.fragments.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DiskRow {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            bytes: u64_field(value, "bytes")?,
+            fragments: u32_field(value, "fragments")?,
+        })
+    }
+}
+
+/// One class's disk access profile on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassProfileRow {
+    /// Query class name.
+    pub name: String,
+    /// Number of distinct disks hit.
+    pub disks_hit: u32,
+    /// Busy time of the hottest disk (ms).
+    pub max_ms: f64,
+    /// Response time (ms).
+    pub response_ms: f64,
+}
+
+impl ToJson for ClassProfileRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", self.name.to_json()),
+            ("disks_hit", self.disks_hit.to_json()),
+            ("max_ms", self.max_ms.to_json()),
+            ("response_ms", self.response_ms.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ClassProfileRow {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: str_field(value, "name")?,
+            disks_hit: u32_field(value, "disks_hit")?,
+            max_ms: f64_field(value, "max_ms")?,
+            response_ms: f64_field(value, "response_ms")?,
+        })
+    }
+}
+
+/// The physical allocation plan on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationReport {
+    /// Candidate label.
+    pub label: String,
+    /// Allocation scheme (`"greedy-by-size"` or `"round-robin"`).
+    pub scheme: String,
+    /// Total fact bytes placed.
+    pub fact_bytes: u64,
+    /// Total bitmap bytes placed.
+    pub bitmap_bytes: u64,
+    /// `max / mean` occupancy — 1.0 is perfectly balanced.
+    pub imbalance: f64,
+    /// Coefficient of variation of per-disk bytes.
+    pub cv: f64,
+    /// Per-disk occupancy, disk 0 first.
+    pub disks: Vec<DiskRow>,
+    /// Representative per-class disk access profiles.
+    pub per_class: Vec<ClassProfileRow>,
+}
+
+impl From<&AllocationPlan> for AllocationReport {
+    fn from(plan: &AllocationPlan) -> Self {
+        let occupancy = plan.allocation.occupancy();
+        let counts = plan.allocation.fragment_counts();
+        Self {
+            label: plan.label.clone(),
+            scheme: if plan.used_greedy {
+                "greedy-by-size".to_owned()
+            } else {
+                "round-robin".to_owned()
+            },
+            fact_bytes: plan.fact_bytes,
+            bitmap_bytes: plan.bitmap_bytes,
+            imbalance: plan.occupancy.imbalance,
+            cv: plan.occupancy.cv,
+            disks: occupancy
+                .into_iter()
+                .zip(counts)
+                .map(|(bytes, fragments)| DiskRow { bytes, fragments })
+                .collect(),
+            per_class: plan
+                .per_class
+                .iter()
+                .map(|c| ClassProfileRow {
+                    name: c.name.clone(),
+                    disks_hit: c.profile.disks_hit(),
+                    max_ms: c.profile.max_ms(),
+                    response_ms: c.response_ms,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ToJson for AllocationReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("label", self.label.to_json()),
+            ("scheme", self.scheme.to_json()),
+            ("fact_bytes", self.fact_bytes.to_json()),
+            ("bitmap_bytes", self.bitmap_bytes.to_json()),
+            ("imbalance", self.imbalance.to_json()),
+            ("cv", self.cv.to_json()),
+            ("disks", self.disks.to_json()),
+            ("per_class", self.per_class.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AllocationReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            label: str_field(value, "label")?,
+            scheme: str_field(value, "scheme")?,
+            fact_bytes: u64_field(value, "fact_bytes")?,
+            bitmap_bytes: u64_field(value, "bitmap_bytes")?,
+            imbalance: f64_field(value, "imbalance")?,
+            cv: f64_field(value, "cv")?,
+            disks: array_field(value, "disks")?
+                .iter()
+                .map(DiskRow::from_json)
+                .collect::<Result<_, _>>()?,
+            per_class: array_field(value, "per_class")?
+                .iter()
+                .map(ClassProfileRow::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl ToJson for AllocationPlan {
+    fn to_json(&self) -> Json {
+        AllocationReport::from(self).to_json()
+    }
+}
+
+impl ToJson for TuningDelta {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("variation", self.variation.to_json()),
+            ("baseline_top", self.baseline_top.to_json()),
+            ("variation_top", self.variation_top.to_json()),
+            ("baseline_response_ms", self.baseline_response_ms.to_json()),
+            (
+                "variation_response_ms",
+                self.variation_response_ms.to_json(),
+            ),
+            (
+                "recommendation_changed",
+                self.recommendation_changed.to_json(),
+            ),
+        ])
+    }
+}
+
+/// The complete machine-readable advisory: ranking plus the detailed
+/// analysis and allocation plan of the winner. This is what
+/// `warlock <cfg> json` emits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Candidates enumerated in total.
+    pub enumerated: usize,
+    /// Candidates that were fully costed.
+    pub evaluated: usize,
+    /// Ranked candidates, best first.
+    pub ranking: Vec<RankingRow>,
+    /// Threshold-excluded candidates with rendered reasons.
+    pub excluded: Vec<ExclusionRow>,
+    /// Detailed statistic of the top candidate (absent when nothing
+    /// survived the thresholds).
+    pub analysis: Option<AnalysisReport>,
+    /// Allocation plan of the top candidate.
+    pub allocation: Option<AllocationReport>,
+}
+
+impl SessionReport {
+    /// Assembles the wire report from the pipeline outputs.
+    pub fn new(
+        report: &AdvisorReport,
+        analysis: Option<&FragmentationAnalysis>,
+        allocation: Option<&AllocationPlan>,
+    ) -> Self {
+        Self {
+            enumerated: report.enumerated,
+            evaluated: report.evaluated,
+            ranking: report.ranked.iter().map(RankingRow::from).collect(),
+            excluded: report
+                .excluded
+                .iter()
+                .map(|e| ExclusionRow {
+                    label: e.label.clone(),
+                    reason: e.reason.to_string(),
+                })
+                .collect(),
+            analysis: analysis.map(AnalysisReport::from),
+            allocation: allocation.map(AllocationReport::from),
+        }
+    }
+
+    /// Parses a report from its JSON text.
+    pub fn from_json_str(input: &str) -> Result<Self, WarlockError> {
+        Ok(Self::from_json(&warlock_json::parse(input)?)?)
+    }
+}
+
+impl ToJson for SessionReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("enumerated", self.enumerated.to_json()),
+            ("evaluated", self.evaluated.to_json()),
+            ("ranking", self.ranking.to_json()),
+            ("excluded", self.excluded.to_json()),
+            ("analysis", self.analysis.to_json()),
+            ("allocation", self.allocation.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SessionReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let optional = |key: &str| -> Result<Option<&Json>, JsonError> {
+            match value.req(key)? {
+                Json::Null => Ok(None),
+                v => Ok(Some(v)),
+            }
+        };
+        Ok(Self {
+            enumerated: usize_field(value, "enumerated")?,
+            evaluated: usize_field(value, "evaluated")?,
+            ranking: array_field(value, "ranking")?
+                .iter()
+                .map(RankingRow::from_json)
+                .collect::<Result<_, _>>()?,
+            excluded: array_field(value, "excluded")?
+                .iter()
+                .map(ExclusionRow::from_json)
+                .collect::<Result<_, _>>()?,
+            analysis: optional("analysis")?
+                .map(AnalysisReport::from_json)
+                .transpose()?,
+            allocation: optional("allocation")?
+                .map(AllocationReport::from_json)
+                .transpose()?,
+        })
+    }
+}
+
+impl crate::Warlock {
+    /// The complete machine-readable advisory for the current inputs:
+    /// the ranking plus the top candidate's analysis and allocation
+    /// plan. Ranks first if necessary.
+    pub fn session_report(&mut self) -> SessionReport {
+        let top = self.rank().top().map(|r| r.cost.fragmentation.clone());
+        let analysis = top.as_ref().map(|f| self.analyze_candidate(f));
+        let allocation = top.as_ref().map(|f| self.plan_candidate(f));
+        SessionReport::new(self.rank(), analysis.as_ref(), allocation.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Warlock;
+    use warlock_schema::{apb1_like_schema, Apb1Config};
+    use warlock_storage::SystemConfig;
+    use warlock_workload::apb1_like_mix;
+
+    fn session() -> Warlock {
+        Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(16))
+            .mix(apb1_like_mix().unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn session_report_round_trips_through_json() {
+        let report = session().session_report();
+        assert!(!report.ranking.is_empty());
+        assert!(report.analysis.is_some());
+        assert!(report.allocation.is_some());
+
+        let text = report.to_json().pretty();
+        let back = SessionReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+
+        // Compact form round-trips too.
+        let compact = report.to_json().render();
+        assert_eq!(SessionReport::from_json_str(&compact).unwrap(), report);
+    }
+
+    #[test]
+    fn fragmentation_attrs_rebuild_the_candidate() {
+        let mut s = session();
+        let top = s.rank().top().unwrap().cost.fragmentation.clone();
+        let attrs = FragmentationAttr::from_fragmentation(&top);
+        let rebuilt = FragmentationAttr::to_fragmentation(&attrs).unwrap();
+        assert_eq!(rebuilt, top);
+    }
+
+    #[test]
+    fn advisor_report_serializes_rankings() {
+        let mut s = session();
+        let json = s.rank().to_json();
+        let ranking = json.get("ranking").unwrap().as_array().unwrap();
+        assert_eq!(ranking.len(), s.rank().ranked.len());
+        assert_eq!(
+            json.get("enumerated").unwrap().as_usize().unwrap(),
+            s.rank().enumerated
+        );
+        // Excluded candidates carry rendered reasons.
+        let excluded = json.get("excluded").unwrap().as_array().unwrap();
+        assert!(!excluded.is_empty());
+        assert!(excluded[0].get("reason").unwrap().as_str().is_some());
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(SessionReport::from_json_str("{}").is_err());
+        assert!(SessionReport::from_json_str("not json").is_err());
+        let wrong_type = r#"{"enumerated":"x","evaluated":0,"ranking":[],"excluded":[],"analysis":null,"allocation":null}"#;
+        assert!(SessionReport::from_json_str(wrong_type).is_err());
+    }
+
+    #[test]
+    fn out_of_range_integers_are_shape_errors_not_truncated() {
+        // Regression: `{"dimension": 65536}` must not wrap to dimension 0
+        // and silently answer about a different fragmentation.
+        let overflow =
+            warlock_json::parse(r#"{"dimension": 65536, "level": 0, "range": 1}"#).unwrap();
+        let e = FragmentationAttr::from_json(&overflow).unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+
+        let ok = warlock_json::parse(r#"{"dimension": 3, "level": 2, "range": 1}"#).unwrap();
+        assert_eq!(
+            FragmentationAttr::from_json(&ok).unwrap(),
+            FragmentationAttr {
+                dimension: 3,
+                level: 2,
+                range: 1
+            }
+        );
+    }
+}

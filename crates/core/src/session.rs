@@ -1,0 +1,544 @@
+//! The owned, session-oriented WARLOCK facade.
+//!
+//! [`Warlock`] is the programmatic counterpart of the original tool's
+//! interactive GUI session: it **owns** its inputs (schema, system,
+//! weighted mix, configuration), validates them once at build time, and
+//! then serves rankings, per-candidate analyses, allocation plans and
+//! what-if variations from one long-lived handle. Construction goes
+//! through [`Warlock::builder`]:
+//!
+//! ```
+//! use warlock::prelude::*;
+//!
+//! let mut session = Warlock::builder()
+//!     .schema(apb1_like_schema(Apb1Config::default())?)
+//!     .system(SystemConfig::default_2001(16))
+//!     .mix(apb1_like_mix()?)
+//!     .build()?;
+//! let best_label = session.rank().top().expect("candidates survive").label.clone();
+//! let analysis = session.analyze(1)?;
+//! assert_eq!(analysis.label, best_label);
+//! # Ok::<(), warlock::WarlockError>(())
+//! ```
+//!
+//! The ranking is computed lazily and cached on the session; mutating
+//! the inputs (e.g. [`Warlock::set_system`]) invalidates the cache so a
+//! drifting workload can be re-advised on the same handle.
+
+use warlock_bitmap::BitmapScheme;
+use warlock_cost::CandidateCost;
+use warlock_fragment::Fragmentation;
+use warlock_schema::StarSchema;
+use warlock_skew::SkewModel;
+use warlock_storage::SystemConfig;
+use warlock_workload::QueryMix;
+
+use crate::advisor::AdvisorReport;
+use crate::allocation_plan::AllocationPlan;
+use crate::analysis::FragmentationAnalysis;
+use crate::config::AdvisorConfig;
+use crate::config_file::parse_config;
+use crate::engine;
+use crate::error::WarlockError;
+use crate::tuning::TuningDelta;
+use warlock_schema::DimensionId;
+
+/// An owned WARLOCK advisory session. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Warlock {
+    schema: StarSchema,
+    system: SystemConfig,
+    mix: QueryMix,
+    config: AdvisorConfig,
+    scheme: BitmapScheme,
+    skew: SkewModel,
+    ranking: Option<AdvisorReport>,
+}
+
+/// Assembles a [`Warlock`] session from owned inputs.
+///
+/// `schema`, `system` and `mix` are required; `config` defaults to
+/// [`AdvisorConfig::default`].
+#[derive(Debug, Clone, Default)]
+pub struct WarlockBuilder {
+    schema: Option<StarSchema>,
+    system: Option<SystemConfig>,
+    mix: Option<QueryMix>,
+    config: AdvisorConfig,
+}
+
+impl WarlockBuilder {
+    /// Sets the star schema under advisement.
+    pub fn schema(mut self, schema: StarSchema) -> Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Sets the disk subsystem and architecture parameters.
+    pub fn system(mut self, system: SystemConfig) -> Self {
+        self.system = Some(system);
+        self
+    }
+
+    /// Sets the weighted star-query mix.
+    pub fn mix(mut self, mix: QueryMix) -> Self {
+        self.mix = Some(mix);
+        self
+    }
+
+    /// Sets the advisor configuration (thresholds, ranking knobs, skew).
+    pub fn config(mut self, config: AdvisorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Validates every input and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// [`WarlockError::MissingInput`] when a required input was never
+    /// provided; [`WarlockError::Config`] / [`WarlockError::System`] /
+    /// [`WarlockError::Workload`] / [`WarlockError::Skew`] when an input
+    /// fails validation.
+    pub fn build(self) -> Result<Warlock, WarlockError> {
+        let schema = self
+            .schema
+            .ok_or(WarlockError::MissingInput { what: "schema" })?;
+        let system = self
+            .system
+            .ok_or(WarlockError::MissingInput { what: "system" })?;
+        let mix = self.mix.ok_or(WarlockError::MissingInput { what: "mix" })?;
+        let (scheme, skew) = engine::validate(&schema, &system, &mix, &self.config)?;
+        Ok(Warlock {
+            schema,
+            system,
+            mix,
+            config: self.config,
+            scheme,
+            skew,
+            ranking: None,
+        })
+    }
+}
+
+impl Warlock {
+    /// Starts assembling a session.
+    pub fn builder() -> WarlockBuilder {
+        WarlockBuilder::default()
+    }
+
+    /// Builds a session from a configuration-file string (the same
+    /// INI-style format the `warlock` CLI reads; see
+    /// [`crate::config_file`]).
+    pub fn from_config_str(input: &str) -> Result<Self, WarlockError> {
+        let parsed = parse_config(input)?;
+        Self::builder()
+            .schema(parsed.schema)
+            .system(parsed.system)
+            .mix(parsed.mix)
+            .config(parsed.advisor)
+            .build()
+    }
+
+    /// Builds a session from a configuration file on disk.
+    pub fn from_config_path(path: impl AsRef<std::path::Path>) -> Result<Self, WarlockError> {
+        let input = std::fs::read_to_string(path)?;
+        Self::from_config_str(&input)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+
+    /// The schema under advisement.
+    #[inline]
+    pub fn schema(&self) -> &StarSchema {
+        &self.schema
+    }
+
+    /// The system configuration.
+    #[inline]
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The query mix.
+    #[inline]
+    pub fn mix(&self) -> &QueryMix {
+        &self.mix
+    }
+
+    /// The advisor configuration.
+    #[inline]
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.config
+    }
+
+    /// The derived bitmap scheme.
+    #[inline]
+    pub fn scheme(&self) -> &BitmapScheme {
+        &self.scheme
+    }
+
+    /// The skew model in effect.
+    #[inline]
+    pub fn skew(&self) -> &SkewModel {
+        &self.skew
+    }
+
+    // ------------------------------------------------------------------
+    // Input mutation (re-entrant service usage).
+
+    /// Replaces the system configuration, revalidating and invalidating
+    /// the cached ranking.
+    pub fn set_system(&mut self, system: SystemConfig) -> Result<(), WarlockError> {
+        system.validate().map_err(WarlockError::System)?;
+        self.system = system;
+        self.ranking = None;
+        Ok(())
+    }
+
+    /// Replaces the query mix, revalidating it against the schema,
+    /// re-deriving the bitmap scheme and invalidating the cached ranking.
+    pub fn set_mix(&mut self, mix: QueryMix) -> Result<(), WarlockError> {
+        mix.validate(&self.schema)?;
+        self.scheme = BitmapScheme::derive(&self.schema, &mix, self.config.scheme);
+        self.mix = mix;
+        self.ranking = None;
+        Ok(())
+    }
+
+    /// Replaces the advisor configuration, revalidating and re-deriving
+    /// the scheme and skew model.
+    pub fn set_config(&mut self, config: AdvisorConfig) -> Result<(), WarlockError> {
+        let (scheme, skew) = engine::validate(&self.schema, &self.system, &self.mix, &config)?;
+        self.config = config;
+        self.scheme = scheme;
+        self.skew = skew;
+        self.ranking = None;
+        Ok(())
+    }
+
+    /// Overrides the bitmap scheme (interactive tuning: "the user may
+    /// decide to exclude some of the suggested bitmap indices").
+    pub fn with_scheme(mut self, scheme: BitmapScheme) -> Self {
+        self.scheme = scheme;
+        self.ranking = None;
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // The pipeline.
+
+    /// The threshold context derived from the system configuration.
+    pub fn threshold_context(&self) -> warlock_fragment::ThresholdContext {
+        engine::threshold_context(&self.schema, &self.system, &self.config)
+    }
+
+    /// Runs the prediction pipeline, ignoring and leaving untouched the
+    /// session's cached ranking.
+    pub fn run(&self) -> AdvisorReport {
+        engine::run(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            &self.scheme,
+        )
+    }
+
+    /// The ranked recommendation list, computed on first call and cached
+    /// until an input changes.
+    pub fn rank(&mut self) -> &AdvisorReport {
+        if self.ranking.is_none() {
+            self.ranking = Some(self.run());
+        }
+        self.ranking.as_ref().expect("just computed")
+    }
+
+    /// The cached ranking, if [`Warlock::rank`] has run since the last
+    /// input change.
+    #[inline]
+    pub fn ranking(&self) -> Option<&AdvisorReport> {
+        self.ranking.as_ref()
+    }
+
+    /// Drops the cached ranking.
+    pub fn invalidate(&mut self) {
+        self.ranking = None;
+    }
+
+    fn ranked_fragmentation(&mut self, rank: usize) -> Result<Fragmentation, WarlockError> {
+        let report = self.rank();
+        let available = report.ranked.len();
+        report
+            .ranked
+            .get(rank.wrapping_sub(1))
+            .map(|r| r.cost.fragmentation.clone())
+            .ok_or(WarlockError::RankOutOfRange { rank, available })
+    }
+
+    /// The Fig.-2-style detailed query statistic of the candidate at
+    /// 1-based `rank`, ranking first if necessary.
+    pub fn analyze(&mut self, rank: usize) -> Result<FragmentationAnalysis, WarlockError> {
+        let fragmentation = self.ranked_fragmentation(rank)?;
+        Ok(self.analyze_candidate(&fragmentation))
+    }
+
+    /// The physical allocation plan of the candidate at 1-based `rank`,
+    /// ranking first if necessary.
+    pub fn plan_allocation(&mut self, rank: usize) -> Result<AllocationPlan, WarlockError> {
+        let fragmentation = self.ranked_fragmentation(rank)?;
+        Ok(self.plan_candidate(&fragmentation))
+    }
+
+    /// Evaluates an arbitrary candidate outside the ranking pipeline.
+    pub fn evaluate(&self, fragmentation: &Fragmentation) -> CandidateCost {
+        engine::evaluate(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            &self.scheme,
+            fragmentation,
+        )
+    }
+
+    /// The detailed query statistic of an arbitrary candidate.
+    pub fn analyze_candidate(&self, fragmentation: &Fragmentation) -> FragmentationAnalysis {
+        engine::analyze(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            &self.scheme,
+            fragmentation,
+        )
+    }
+
+    /// The physical allocation plan of an arbitrary candidate.
+    pub fn plan_candidate(&self, fragmentation: &Fragmentation) -> AllocationPlan {
+        engine::plan_allocation(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            &self.scheme,
+            &self.skew,
+            fragmentation,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // What-if tuning (§3.3): each variation re-runs the pipeline against
+    // modified inputs without touching the session, and reports the
+    // delta against the session's (cached) baseline ranking.
+
+    fn with_delta(
+        &mut self,
+        (variation, report): (String, AdvisorReport),
+    ) -> (AdvisorReport, TuningDelta) {
+        let delta = TuningDelta::between(variation, self.rank(), &report);
+        (report, delta)
+    }
+
+    /// What if the system had `num_disks` disks?
+    pub fn what_if_disks(&mut self, num_disks: u32) -> (AdvisorReport, TuningDelta) {
+        let varied = engine::vary_disks(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            &self.scheme,
+            num_disks,
+        );
+        self.with_delta(varied)
+    }
+
+    /// What if prefetching were fixed at `pages` for both fact tables
+    /// and bitmaps?
+    pub fn what_if_fixed_prefetch(&mut self, pages: u32) -> (AdvisorReport, TuningDelta) {
+        let varied = engine::vary_fixed_prefetch(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            &self.scheme,
+            pages,
+        );
+        self.with_delta(varied)
+    }
+
+    /// What if the bitmap indexes of `dimension` were dropped (space
+    /// limiting)?
+    pub fn what_if_without_bitmap_dimension(
+        &mut self,
+        dimension: DimensionId,
+    ) -> (AdvisorReport, TuningDelta) {
+        let varied = engine::vary_without_bitmap_dimension(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            &self.scheme,
+            dimension,
+        );
+        self.with_delta(varied)
+    }
+
+    /// What if query class `name` vanished from the workload?
+    ///
+    /// Returns `None` if removing the class would empty the mix or the
+    /// name is unknown.
+    pub fn what_if_without_class(&mut self, name: &str) -> Option<(AdvisorReport, TuningDelta)> {
+        let varied =
+            engine::vary_without_class(&self.schema, &self.system, &self.mix, &self.config, name)?;
+        Some(self.with_delta(varied))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_schema::{apb1_like_schema, Apb1Config};
+    use warlock_skew::DimensionSkew;
+    use warlock_workload::apb1_like_mix;
+
+    fn session() -> Warlock {
+        Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(16))
+            .mix(apb1_like_mix().unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_all_inputs() {
+        let e = Warlock::builder().build().unwrap_err();
+        assert_eq!(e, WarlockError::MissingInput { what: "schema" });
+        let e = Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .build()
+            .unwrap_err();
+        assert_eq!(e, WarlockError::MissingInput { what: "system" });
+        let e = Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(16))
+            .build()
+            .unwrap_err();
+        assert_eq!(e, WarlockError::MissingInput { what: "mix" });
+    }
+
+    #[test]
+    fn rank_caches_until_invalidated() {
+        let mut s = session();
+        assert!(s.ranking().is_none());
+        let top = s.rank().top().unwrap().label.clone();
+        assert!(s.ranking().is_some());
+        // Cached: same allocation returned.
+        let again = s.rank().top().unwrap().label.clone();
+        assert_eq!(top, again);
+        s.invalidate();
+        assert!(s.ranking().is_none());
+    }
+
+    #[test]
+    fn analyze_and_plan_by_rank() {
+        let mut s = session();
+        let analysis = s.analyze(1).unwrap();
+        let top = s.rank().top().unwrap().clone();
+        assert_eq!(analysis.label, top.label);
+        let plan = s.plan_allocation(1).unwrap();
+        assert_eq!(plan.label, top.label);
+        let available = s.rank().ranked.len();
+        assert_eq!(
+            s.analyze(0).unwrap_err(),
+            WarlockError::RankOutOfRange { rank: 0, available }
+        );
+        assert_eq!(
+            s.plan_allocation(available + 1).unwrap_err(),
+            WarlockError::RankOutOfRange {
+                rank: available + 1,
+                available
+            }
+        );
+    }
+
+    #[test]
+    fn matches_legacy_advisor_output() {
+        #[allow(deprecated)]
+        let legacy = {
+            let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+            let system = SystemConfig::default_2001(16);
+            let mix = apb1_like_mix().unwrap();
+            crate::Advisor::new(&schema, &system, &mix, AdvisorConfig::default())
+                .unwrap()
+                .run()
+        };
+        assert_eq!(session().run(), legacy);
+    }
+
+    #[test]
+    fn set_system_invalidates_and_changes_advice_inputs() {
+        let mut s = session();
+        let baseline = s.rank().top().unwrap().cost.response_ms;
+        let mut system = *s.system();
+        system.num_disks = 64;
+        s.set_system(system).unwrap();
+        assert!(s.ranking().is_none());
+        let faster = s.rank().top().unwrap().cost.response_ms;
+        assert!(faster < baseline);
+
+        let mut bad = *s.system();
+        bad.disk.transfer_mb_per_s = 0.0;
+        assert!(matches!(s.set_system(bad), Err(WarlockError::System(_))));
+    }
+
+    #[test]
+    fn what_if_variants_leave_session_untouched() {
+        let mut s = session();
+        let baseline = s.rank().clone();
+        let (_, delta) = s.what_if_disks(64);
+        assert!(delta.variation_response_ms < delta.baseline_response_ms);
+        let (_, delta) = s.what_if_fixed_prefetch(1);
+        assert!(delta.variation_response_ms > delta.baseline_response_ms);
+        let (_, delta) = s.what_if_without_bitmap_dimension(DimensionId(0));
+        assert!(delta.variation_response_ms >= delta.baseline_response_ms * 0.999);
+        assert!(s.what_if_without_class("nonexistent").is_none());
+        let (report, delta) = s.what_if_without_class("q01_month_store_code").unwrap();
+        assert!(!report.ranked.is_empty());
+        assert!(delta.variation.contains("q01"));
+        // The session's own inputs and cache are untouched.
+        assert_eq!(s.rank(), &baseline);
+    }
+
+    #[test]
+    fn invalid_skew_coverage_is_a_skew_error() {
+        let e = Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(16))
+            .mix(apb1_like_mix().unwrap())
+            .config(AdvisorConfig {
+                skew: Some(vec![DimensionSkew::UNIFORM]),
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, WarlockError::Skew(_)));
+    }
+
+    #[test]
+    fn from_config_str_round_trip() {
+        let cfg = crate::config_file::render_config(&crate::config_file::demo_config());
+        let mut s = Warlock::from_config_str(&cfg).unwrap();
+        assert!(s.rank().top().is_some());
+        assert!(matches!(
+            Warlock::from_config_str("[nonsense"),
+            Err(WarlockError::ConfigFile(_))
+        ));
+        assert!(matches!(
+            Warlock::from_config_path("/definitely/not/a/file"),
+            Err(WarlockError::Io(_))
+        ));
+    }
+}

@@ -9,12 +9,15 @@
 //! can be applied and re-evaluated without touching the originals, and
 //! reports the deltas against the baseline run.
 
+use warlock_bitmap::BitmapScheme;
 use warlock_schema::{DimensionId, StarSchema};
-use warlock_storage::{PrefetchPolicy, SystemConfig};
+use warlock_storage::SystemConfig;
 use warlock_workload::QueryMix;
 
-use crate::advisor::{Advisor, AdvisorError, AdvisorReport};
+use crate::advisor::{AdvisorError, AdvisorReport};
 use crate::config::AdvisorConfig;
+use crate::engine;
+use crate::error::WarlockError;
 
 /// Summary of one what-if variation against the baseline.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,44 +36,12 @@ pub struct TuningDelta {
     pub recommendation_changed: bool,
 }
 
-/// An interactive tuning session over owned copies of the inputs.
-#[derive(Debug, Clone)]
-pub struct TuningSession {
-    schema: StarSchema,
-    system: SystemConfig,
-    mix: QueryMix,
-    config: AdvisorConfig,
-    baseline: AdvisorReport,
-}
-
-impl TuningSession {
-    /// Starts a session: runs the baseline advisor once.
-    pub fn new(
-        schema: StarSchema,
-        system: SystemConfig,
-        mix: QueryMix,
-        config: AdvisorConfig,
-    ) -> Result<Self, AdvisorError> {
-        let baseline = Advisor::new(&schema, &system, &mix, config.clone())?.run();
-        Ok(Self {
-            schema,
-            system,
-            mix,
-            config,
-            baseline,
-        })
-    }
-
-    /// The baseline report.
-    #[inline]
-    pub fn baseline(&self) -> &AdvisorReport {
-        &self.baseline
-    }
-
-    fn delta(&self, variation: String, report: &AdvisorReport) -> TuningDelta {
-        let b = self.baseline.top();
+impl TuningDelta {
+    /// Summarizes `variation`'s report against `baseline`'s.
+    pub fn between(variation: String, baseline: &AdvisorReport, report: &AdvisorReport) -> Self {
+        let b = baseline.top();
         let v = report.top();
-        TuningDelta {
+        Self {
             variation,
             baseline_top: b.map(|r| r.label.clone()).unwrap_or_default(),
             variation_top: v.map(|r| r.label.clone()).unwrap_or_default(),
@@ -82,43 +53,94 @@ impl TuningSession {
             },
         }
     }
+}
+
+/// An interactive tuning session over owned copies of the inputs.
+///
+/// [`crate::Warlock`] exposes the same variations as `what_if_*`
+/// methods; this standalone type remains for callers that want a
+/// dedicated tuning handle with a pinned baseline.
+#[derive(Debug, Clone)]
+pub struct TuningSession {
+    schema: StarSchema,
+    system: SystemConfig,
+    mix: QueryMix,
+    config: AdvisorConfig,
+    scheme: BitmapScheme,
+    baseline: AdvisorReport,
+}
+
+impl TuningSession {
+    /// Starts a session: runs the baseline advisor once.
+    pub fn new(
+        schema: StarSchema,
+        system: SystemConfig,
+        mix: QueryMix,
+        config: AdvisorConfig,
+    ) -> Result<Self, AdvisorError> {
+        let (scheme, _skew) = engine::validate(&schema, &system, &mix, &config)
+            .map_err(WarlockError::into_advisor_error)?;
+        let baseline = engine::run(&schema, &system, &mix, &config, &scheme);
+        Ok(Self {
+            schema,
+            system,
+            mix,
+            config,
+            scheme,
+            baseline,
+        })
+    }
+
+    /// The baseline report.
+    #[inline]
+    pub fn baseline(&self) -> &AdvisorReport {
+        &self.baseline
+    }
+
+    fn with_delta(
+        &self,
+        (variation, report): (String, AdvisorReport),
+    ) -> (AdvisorReport, TuningDelta) {
+        let delta = TuningDelta::between(variation, &self.baseline, &report);
+        (report, delta)
+    }
 
     /// What if the system had `num_disks` disks?
     pub fn with_disks(&self, num_disks: u32) -> (AdvisorReport, TuningDelta) {
-        let mut system = self.system;
-        system.num_disks = num_disks.max(1);
-        let report = Advisor::new(&self.schema, &system, &self.mix, self.config.clone())
-            .expect("baseline inputs validated")
-            .run();
-        let delta = self.delta(format!("disks = {num_disks}"), &report);
-        (report, delta)
+        self.with_delta(engine::vary_disks(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            &self.scheme,
+            num_disks,
+        ))
     }
 
     /// What if prefetching were fixed at `pages` for both fact tables and
     /// bitmaps?
     pub fn with_fixed_prefetch(&self, pages: u32) -> (AdvisorReport, TuningDelta) {
-        let mut system = self.system;
-        system.fact_prefetch = PrefetchPolicy::Fixed(pages.max(1));
-        system.bitmap_prefetch = PrefetchPolicy::Fixed(pages.max(1));
-        let report = Advisor::new(&self.schema, &system, &self.mix, self.config.clone())
-            .expect("baseline inputs validated")
-            .run();
-        let delta = self.delta(format!("prefetch = {pages} pages"), &report);
-        (report, delta)
+        self.with_delta(engine::vary_fixed_prefetch(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            &self.scheme,
+            pages,
+        ))
     }
 
     /// What if the bitmap indexes of `dimension` were dropped (space
     /// limiting)?
-    pub fn without_bitmap_dimension(
-        &self,
-        dimension: DimensionId,
-    ) -> (AdvisorReport, TuningDelta) {
-        let advisor = Advisor::new(&self.schema, &self.system, &self.mix, self.config.clone())
-            .expect("baseline inputs validated");
-        let scheme = advisor.scheme().without_dimension(dimension);
-        let report = advisor.with_scheme(scheme).run();
-        let delta = self.delta(format!("no bitmaps on dimension {dimension}"), &report);
-        (report, delta)
+    pub fn without_bitmap_dimension(&self, dimension: DimensionId) -> (AdvisorReport, TuningDelta) {
+        self.with_delta(engine::vary_without_bitmap_dimension(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            &self.scheme,
+            dimension,
+        ))
     }
 
     /// What if query class `name` vanished from the workload?
@@ -126,12 +148,9 @@ impl TuningSession {
     /// Returns `None` if removing the class would empty the mix or the
     /// name is unknown.
     pub fn without_class(&self, name: &str) -> Option<(AdvisorReport, TuningDelta)> {
-        let mix = self.mix.without_class(name)?;
-        let report = Advisor::new(&self.schema, &self.system, &mix, self.config.clone())
-            .expect("baseline inputs validated")
-            .run();
-        let delta = self.delta(format!("without class {name}"), &report);
-        Some((report, delta))
+        let varied =
+            engine::vary_without_class(&self.schema, &self.system, &self.mix, &self.config, name)?;
+        Some(self.with_delta(varied))
     }
 }
 

@@ -134,8 +134,7 @@ pub fn estimate_query(
     }
 
     let selected_rows_per_fragment = frag_rows_avg * m.residual_selectivity();
-    let touched_pages =
-        yao_page_hits(frag_rows, fragment_pages, selected_rows_per_fragment);
+    let touched_pages = yao_page_hits(frag_rows, fragment_pages, selected_rows_per_fragment);
     let fetch_ms = touched_pages * disk.random_ms(1, page_bytes);
     let bitmap_ms = bitmap_vectors * vector_ms + fetch_ms;
     let bitmap_ios = bitmap_vectors * vector_ios + touched_pages;
@@ -231,8 +230,8 @@ mod tests {
     fn unconfined_query_reads_every_fragment() {
         let (schema, scheme, system) = setup();
         let l = layout(&schema, &[(3, 0)]); // by channel: 9 fragments
-        // A mildly selective predicate (1/24 of rows) touches almost every
-        // page (Yao), so scanning all 9 fragments is the right plan.
+                                            // A mildly selective predicate (1/24 of rows) touches almost every
+                                            // page (Yao), so scanning all 9 fragments is the right plan.
         let q = QueryClass::new("one_month").with(2, DimensionPredicate::point(2));
         let c = estimate_query(&schema, &l, &scheme, &system, &q, 0);
         assert!((c.fragments_accessed - 9.0).abs() < 1e-9);
@@ -243,8 +242,8 @@ mod tests {
     fn selective_predicate_switches_to_bitmap_fetch() {
         let (schema, scheme, system) = setup();
         let l = layout(&schema, &[(3, 0)]); // by channel: 9 fragments
-        // 1/9000 selectivity: ~216 rows per fragment — bitmap evaluation
-        // plus scattered fetches beat a 13 000-page scan.
+                                            // 1/9000 selectivity: ~216 rows per fragment — bitmap evaluation
+                                            // plus scattered fetches beat a 13 000-page scan.
         let q = QueryClass::new("one_code").with(0, DimensionPredicate::point(5));
         let c = estimate_query(&schema, &l, &scheme, &system, &q, 0);
         assert!((c.fragments_accessed - 9.0).abs() < 1e-9);
@@ -259,7 +258,14 @@ mod tests {
         let (schema, scheme, system) = setup();
         let q = QueryClass::new("one_quarter").with(2, DimensionPredicate::point(1));
         // Coarse: fragment by quarter → 1 fragment accessed, serial.
-        let coarse = estimate_query(&schema, &layout(&schema, &[(2, 1)]), &scheme, &system, &q, 0);
+        let coarse = estimate_query(
+            &schema,
+            &layout(&schema, &[(2, 1)]),
+            &scheme,
+            &system,
+            &q,
+            0,
+        );
         // Fine: fragment by month × channel → 27 fragments, parallel.
         let fine = estimate_query(
             &schema,
@@ -284,7 +290,14 @@ mod tests {
         // consume *less* total device time than the clustered one.
         let (schema, scheme, system) = setup();
         let q = QueryClass::new("one_quarter").with(2, DimensionPredicate::point(1));
-        let coarse = estimate_query(&schema, &layout(&schema, &[(2, 1)]), &scheme, &system, &q, 0);
+        let coarse = estimate_query(
+            &schema,
+            &layout(&schema, &[(2, 1)]),
+            &scheme,
+            &system,
+            &q,
+            0,
+        );
         let fine = estimate_query(
             &schema,
             &layout(&schema, &[(2, 2), (3, 0)]),

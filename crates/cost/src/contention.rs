@@ -120,7 +120,14 @@ mod tests {
 
     #[test]
     fn idle_load_has_no_inflation() {
-        let e = contention_estimate(100.0, 500.0, 16, LoadPoint { arrivals_per_s: 0.0 });
+        let e = contention_estimate(
+            100.0,
+            500.0,
+            16,
+            LoadPoint {
+                arrivals_per_s: 0.0,
+            },
+        );
         assert_close(e.utilization, 0.0, 1e-12);
         assert_close(e.inflation, 1.0, 1e-12);
         assert_close(e.response_ms, 100.0, 1e-12);
@@ -130,7 +137,14 @@ mod tests {
     fn utilization_math() {
         // 500 ms demand per query, 16 disks = 16 000 ms/s capacity.
         // 16 q/s → 8 000 ms demand → ρ = 0.5 → inflation 2×.
-        let e = contention_estimate(100.0, 500.0, 16, LoadPoint { arrivals_per_s: 16.0 });
+        let e = contention_estimate(
+            100.0,
+            500.0,
+            16,
+            LoadPoint {
+                arrivals_per_s: 16.0,
+            },
+        );
         assert_close(e.utilization, 0.5, 1e-12);
         assert_close(e.inflation, 2.0, 1e-12);
         assert_close(e.response_ms, 200.0, 1e-12);
@@ -139,7 +153,14 @@ mod tests {
 
     #[test]
     fn saturation_is_infinite() {
-        let e = contention_estimate(100.0, 500.0, 16, LoadPoint { arrivals_per_s: 32.0 });
+        let e = contention_estimate(
+            100.0,
+            500.0,
+            16,
+            LoadPoint {
+                arrivals_per_s: 32.0,
+            },
+        );
         assert!(e.inflation.is_infinite());
         assert!(e.response_ms.is_infinite());
         assert_close(e.utilization, 1.0, 1e-12);
@@ -149,8 +170,22 @@ mod tests {
     fn lower_io_cost_sustains_higher_load() {
         // The paper's heuristic in one assertion: the candidate with half
         // the device demand saturates at twice the arrival rate.
-        let cheap = contention_estimate(120.0, 250.0, 16, LoadPoint { arrivals_per_s: 0.0 });
-        let costly = contention_estimate(80.0, 500.0, 16, LoadPoint { arrivals_per_s: 0.0 });
+        let cheap = contention_estimate(
+            120.0,
+            250.0,
+            16,
+            LoadPoint {
+                arrivals_per_s: 0.0,
+            },
+        );
+        let costly = contention_estimate(
+            80.0,
+            500.0,
+            16,
+            LoadPoint {
+                arrivals_per_s: 0.0,
+            },
+        );
         assert_close(
             cheap.saturation_rate_per_s,
             2.0 * costly.saturation_rate_per_s,
@@ -158,7 +193,9 @@ mod tests {
         );
         // And at moderate load the cheap candidate can win despite a worse
         // single-user response.
-        let load = LoadPoint { arrivals_per_s: 28.0 };
+        let load = LoadPoint {
+            arrivals_per_s: 28.0,
+        };
         let cheap = contention_estimate(120.0, 250.0, 16, load);
         let costly = contention_estimate(80.0, 500.0, 16, load);
         assert!(cheap.response_ms < costly.response_ms);
@@ -179,7 +216,14 @@ mod tests {
 
     #[test]
     fn zero_cost_query_never_saturates() {
-        let e = contention_estimate(0.0, 0.0, 4, LoadPoint { arrivals_per_s: 1e9 });
+        let e = contention_estimate(
+            0.0,
+            0.0,
+            4,
+            LoadPoint {
+                arrivals_per_s: 1e9,
+            },
+        );
         assert!(e.saturation_rate_per_s.is_infinite());
         assert_close(e.utilization, 0.0, 1e-12);
     }

@@ -184,8 +184,7 @@ mod tests {
         let f = fixture();
         let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
         let one_d = model.evaluate(&Fragmentation::from_pairs(&[(2, 2)]).unwrap());
-        let two_d =
-            model.evaluate(&Fragmentation::from_pairs(&[(2, 2), (0, 1)]).unwrap());
+        let two_d = model.evaluate(&Fragmentation::from_pairs(&[(2, 2), (0, 1)]).unwrap());
         // month × line confines product queries too → better response.
         assert!(
             two_d.response_ms < one_d.response_ms,

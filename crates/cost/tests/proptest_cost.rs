@@ -48,26 +48,16 @@ fn arb_candidate() -> impl Strategy<Value = Fragmentation> {
 
 /// A random query class over the APB-1-like schema.
 fn arb_class() -> impl Strategy<Value = QueryClass> {
-    (
-        0usize..4,
-        0u16..6,
-        1u64..4,
-    )
-        .prop_map(|(dim, level_seed, values)| {
-            let levels = [6u16, 2, 3, 1];
-            let cards: [&[u64]; 4] = [
-                &[5, 15, 75, 300, 900, 9000],
-                &[90, 900],
-                &[2, 8, 24],
-                &[9],
-            ];
-            let level = level_seed % levels[dim];
-            let card = cards[dim][level as usize];
-            QueryClass::new("prop").with(
-                dim as u16,
-                DimensionPredicate::range(level, values.min(card)),
-            )
-        })
+    (0usize..4, 0u16..6, 1u64..4).prop_map(|(dim, level_seed, values)| {
+        let levels = [6u16, 2, 3, 1];
+        let cards: [&[u64]; 4] = [&[5, 15, 75, 300, 900, 9000], &[90, 900], &[2, 8, 24], &[9]];
+        let level = level_seed % levels[dim];
+        let card = cards[dim][level as usize];
+        QueryClass::new("prop").with(
+            dim as u16,
+            DimensionPredicate::range(level, values.min(card)),
+        )
+    })
 }
 
 proptest! {

@@ -33,7 +33,10 @@ impl fmt::Display for CandidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::DuplicateDimension { dimension } => {
-                write!(f, "dimension {dimension} referenced by two fragmentation attributes")
+                write!(
+                    f,
+                    "dimension {dimension} referenced by two fragmentation attributes"
+                )
             }
             Self::UnknownAttribute { level_ref } => {
                 write!(f, "unknown fragmentation attribute {level_ref}")
@@ -102,13 +105,9 @@ impl Fragmentation {
     /// [`CandidateError::DuplicateDimension`] on repeated dimensions;
     /// [`CandidateError::BadRange`] on a zero range (fan-out divisibility
     /// is checked against the schema in [`validate`](Self::validate)).
-    pub fn new_ranged(
-        attributes: Vec<LevelRef>,
-        ranges: Vec<u64>,
-    ) -> Result<Self, CandidateError> {
+    pub fn new_ranged(attributes: Vec<LevelRef>, ranges: Vec<u64>) -> Result<Self, CandidateError> {
         assert_eq!(attributes.len(), ranges.len(), "one range per attribute");
-        let mut paired: Vec<(LevelRef, u64)> =
-            attributes.into_iter().zip(ranges).collect();
+        let mut paired: Vec<(LevelRef, u64)> = attributes.into_iter().zip(ranges).collect();
         paired.sort_by_key(|&(r, _)| r);
         for pair in paired.windows(2) {
             if pair[0].0.dimension == pair[1].0.dimension {
@@ -403,10 +402,7 @@ mod tests {
     #[test]
     fn construction_sorts_and_rejects_duplicates() {
         let f = Fragmentation::from_pairs(&[(2, 1), (0, 4)]).unwrap();
-        assert_eq!(
-            f.attributes(),
-            &[LevelRef::new(0, 4), LevelRef::new(2, 1)]
-        );
+        assert_eq!(f.attributes(), &[LevelRef::new(0, 4), LevelRef::new(2, 1)]);
         let err = Fragmentation::from_pairs(&[(0, 1), (0, 2)]).unwrap_err();
         assert!(matches!(err, CandidateError::DuplicateDimension { .. }));
     }
@@ -439,7 +435,10 @@ mod tests {
     #[test]
     fn validate_against_schema() {
         let s = schema();
-        assert!(Fragmentation::from_pairs(&[(0, 5)]).unwrap().validate(&s).is_ok());
+        assert!(Fragmentation::from_pairs(&[(0, 5)])
+            .unwrap()
+            .validate(&s)
+            .is_ok());
         assert!(Fragmentation::from_pairs(&[(0, 6)])
             .unwrap()
             .validate(&s)
@@ -508,10 +507,7 @@ mod tests {
         assert!(!f.is_point());
         assert_eq!(f.num_fragments(&s), 8);
         assert_eq!(f.effective_cardinality(&s, 0), 8);
-        assert_eq!(
-            f.effective_cardinality_on(&s, DimensionId(2)),
-            Some(8)
-        );
+        assert_eq!(f.effective_cardinality_on(&s, DimensionId(2)), Some(8));
         assert_eq!(f.label(&s), "time.month[r=3]");
         assert_eq!(f.to_string(), "d2.l2r3");
     }

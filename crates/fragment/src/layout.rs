@@ -230,11 +230,7 @@ mod tests {
     }
 
     fn layout(pairs: &[(u16, u16)]) -> FragmentLayout {
-        FragmentLayout::new(
-            &schema(),
-            Fragmentation::from_pairs(pairs).unwrap(),
-            0,
-        )
+        FragmentLayout::new(&schema(), Fragmentation::from_pairs(pairs).unwrap(), 0)
     }
 
     #[test]
@@ -338,11 +334,7 @@ mod tests {
             Fragmentation::from_ranged_pairs(&[(0, 5, 10)]).unwrap(),
             0,
         );
-        let parent = FragmentLayout::new(
-            &s,
-            Fragmentation::from_pairs(&[(0, 4)]).unwrap(),
-            0,
-        );
+        let parent = FragmentLayout::new(&s, Fragmentation::from_pairs(&[(0, 4)]).unwrap(), 0);
         assert_eq!(ranged.num_fragments(), parent.num_fragments());
         // Identical skewed weights: grouping 10 codes equals one class.
         let wr = ranged.fragment_weights(&s, &skew);

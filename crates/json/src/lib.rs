@@ -1,0 +1,129 @@
+//! Dependency-free JSON for WARLOCK reports.
+//!
+//! The workspace builds in environments without crates.io access, so it
+//! cannot depend on `serde`/`serde_json`. This crate provides the small
+//! JSON kernel the advisory service needs: an order-preserving value
+//! type ([`Json`]), a serializer (compact and pretty), a strict parser,
+//! and the [`ToJson`]/[`FromJson`] conversion traits reports implement.
+//!
+//! Numbers are split into [`Json::Int`] (exact `i64`) and [`Json::Num`]
+//! (`f64`) so counters survive round-trips bit-exactly; floats rely on
+//! Rust's shortest round-trip `Display` formatting.
+
+#![warn(missing_docs)]
+
+pub mod parse;
+pub mod value;
+
+pub use parse::{parse, JsonError};
+pub use value::Json;
+
+/// Types that can serialize themselves into a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can reconstruct themselves from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Parses `value` into `Self`, reporting the offending path on error.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(value.clone())
+    }
+}
+
+macro_rules! to_json_ints {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+to_json_ints!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        if let Ok(i) = i64::try_from(*self) {
+            Json::Int(i)
+        } else {
+            Json::Num(*self as f64)
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(42u32.to_json(), Json::Int(42));
+        assert_eq!(u64::MAX.to_json(), Json::Num(u64::MAX as f64));
+        assert_eq!((-3i64).to_json(), Json::Int(-3));
+        assert_eq!(true.to_json(), Json::Bool(true));
+        assert_eq!("x".to_json(), Json::Str("x".into()));
+        assert_eq!(None::<u32>.to_json(), Json::Null);
+        assert_eq!(
+            vec![1u32, 2].to_json(),
+            Json::Arr(vec![Json::Int(1), Json::Int(2)])
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! A strict recursive-descent JSON parser.
+
+use std::fmt;
+
+use crate::value::Json;
+
+/// A parse or shape error, with byte offset for syntax errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending input (`None` for shape errors raised
+    /// while converting a parsed document into a typed report).
+    pub offset: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            offset: Some(offset),
+            message: message.into(),
+        }
+    }
+
+    /// A structural error without a byte position (missing member, wrong
+    /// type) raised by [`crate::FromJson`] implementations.
+    pub fn shape(message: impl Into<String>) -> Self {
+        Self {
+            offset: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(offset) => write!(f, "json: {} at byte {offset}", self.message),
+            None => write!(f, "json: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::at(p.pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::at(self.pos, format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::at(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(JsonError::at(self.pos, "unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(JsonError::at(
+                self.pos,
+                format!("unexpected character `{}`", other as char),
+            )),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(JsonError::at(self.pos, format!("expected `{text}`")))
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(JsonError::at(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(JsonError::at(start, "invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::at(self.pos, "control character in string"));
+                }
+                Some(b) => {
+                    // Advance one full UTF-8 scalar. The input arrived as
+                    // &str, so it is valid UTF-8 by construction: the
+                    // leading byte alone determines the scalar's width
+                    // (no per-character revalidation of the remainder).
+                    let width = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = std::str::from_utf8(&self.bytes[self.pos..self.pos + width])
+                        .map_err(|_| JsonError::at(self.pos, "invalid utf-8"))?;
+                    out.push_str(chunk);
+                    self.pos += width;
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&hi) {
+            // Surrogate pair: require a following \uXXXX low surrogate.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..=0xDFFF).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c)
+                        .ok_or_else(|| JsonError::at(self.pos, "invalid surrogate pair"));
+                }
+            }
+            return Err(JsonError::at(self.pos, "lone surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| JsonError::at(self.pos, "invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| JsonError::at(self.pos, "truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| JsonError::at(self.pos, "bad hex digit"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::at(start, "invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::at(start, format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(parse("1.5e3").unwrap(), Json::Num(1500.0));
+        assert_eq!(parse(r#""a\nb""#).unwrap(), Json::Str("a\nb".into()));
+        assert_eq!(parse(r#""é""#).unwrap(), Json::Str("é".into()));
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, 2.5, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn long_multibyte_strings_parse_in_one_pass() {
+        // Regression: string scanning must not revalidate the remaining
+        // input per character (O(n²)); a large mixed-width string should
+        // parse instantly and round-trip exactly.
+        let body: String = "naïve → 統計 😀 plain ascii ".repeat(4_000);
+        let doc = format!("{{\"s\":{}}}", Json::Str(body.clone()).render());
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some(body.as_str()));
+    }
+
+    #[test]
+    fn round_trips() {
+        let cases = [
+            r#"{"a":1,"b":[true,null,0.5],"c":"x\"y","d":{"e":[]}}"#,
+            "[]",
+            "{}",
+            r#"[1,2.0,-3,1e300]"#,
+        ];
+        for case in cases {
+            let v = parse(case).unwrap();
+            let rendered = v.render();
+            assert_eq!(parse(&rendered).unwrap(), v, "case {case}");
+        }
+    }
+}

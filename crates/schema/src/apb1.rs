@@ -50,7 +50,10 @@ impl Apb1Config {
             return Err("scales must be >= 1".into());
         }
         if self.months == 0 || !self.months.is_multiple_of(12) {
-            return Err(format!("months must be a positive multiple of 12, got {}", self.months));
+            return Err(format!(
+                "months must be a positive multiple of 12, got {}",
+                self.months
+            ));
         }
         Ok(())
     }

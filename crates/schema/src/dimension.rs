@@ -68,10 +68,12 @@ impl Dimension {
 
     /// Looks a level up by id.
     pub fn level(&self, id: LevelId) -> Result<&Level, SchemaError> {
-        self.levels.get(id.index()).ok_or(SchemaError::UnknownLevel {
-            dimension: self.name.clone(),
-            index: id.index(),
-        })
+        self.levels
+            .get(id.index())
+            .ok_or(SchemaError::UnknownLevel {
+                dimension: self.name.clone(),
+                index: id.index(),
+            })
     }
 
     /// The id of the finest (bottom) level.
@@ -324,7 +326,10 @@ mod tests {
 
     #[test]
     fn single_level_dimension_is_valid() {
-        let d = Dimension::builder("channel").level("base", 9).build().unwrap();
+        let d = Dimension::builder("channel")
+            .level("base", 9)
+            .build()
+            .unwrap();
         assert_eq!(d.depth(), 1);
         assert_eq!(d.fanout(LevelId(0)).unwrap(), 9);
         assert_eq!(d.bottom_level(), LevelId(0));

@@ -107,7 +107,10 @@ impl fmt::Display for SchemaError {
                 write!(f, "dimension index {index} out of range")
             }
             Self::UnknownLevel { dimension, index } => {
-                write!(f, "level index {index} out of range in dimension `{dimension}`")
+                write!(
+                    f,
+                    "level index {index} out of range in dimension `{dimension}`"
+                )
             }
         }
     }

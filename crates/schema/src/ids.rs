@@ -129,7 +129,11 @@ mod tests {
         let v: Vec<_> = set.into_iter().collect();
         assert_eq!(
             v,
-            vec![LevelRef::new(0, 0), LevelRef::new(0, 1), LevelRef::new(1, 0)]
+            vec![
+                LevelRef::new(0, 0),
+                LevelRef::new(0, 1),
+                LevelRef::new(1, 0)
+            ]
         );
     }
 }

@@ -62,11 +62,11 @@ mod random;
 mod star;
 
 pub use apb1::{apb1_like_schema, Apb1Config};
-pub use random::{random_schema, RandomSchemaConfig};
 pub use dimension::{Dimension, DimensionBuilder, Level};
 pub use error::SchemaError;
 pub use fact::{FactTable, FactTableBuilder, Measure};
 pub use ids::{DimensionId, LevelId, LevelRef};
+pub use random::{random_schema, RandomSchemaConfig};
 pub use star::{StarSchema, StarSchemaBuilder};
 
 /// Width, in bytes, of a dimension foreign-key column in the fact table.

@@ -189,7 +189,12 @@ mod tests {
                     .build()
                     .unwrap(),
             )
-            .dimension(Dimension::builder("channel").level("base", 9).build().unwrap())
+            .dimension(
+                Dimension::builder("channel")
+                    .level("base", 9)
+                    .build()
+                    .unwrap(),
+            )
             .fact(
                 FactTable::builder("sales")
                     .measure("units", 8)
@@ -251,7 +256,11 @@ mod tests {
     fn rejects_duplicate_names_across_kinds() {
         let d = Dimension::builder("sales").level("a", 2).build().unwrap();
         let f = FactTable::builder("sales").rows(1).build();
-        let err = StarSchema::builder().dimension(d).fact(f).build().unwrap_err();
+        let err = StarSchema::builder()
+            .dimension(d)
+            .fact(f)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, SchemaError::DuplicateName { .. }));
     }
 
@@ -259,7 +268,11 @@ mod tests {
     fn rejects_zero_row_fact() {
         let d = Dimension::builder("d").level("a", 2).build().unwrap();
         let f = FactTable::builder("f").rows(0).build();
-        let err = StarSchema::builder().dimension(d).fact(f).build().unwrap_err();
+        let err = StarSchema::builder()
+            .dimension(d)
+            .fact(f)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, SchemaError::EmptyFactTable { .. }));
     }
 

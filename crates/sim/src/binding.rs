@@ -158,7 +158,7 @@ mod tests {
         let q = QueryClass::new("q").with(0, DimensionPredicate::point(0));
         let b = bind_query(&s, &layout, &q, &mut rng());
         assert_eq!(b.fragments.len(), 4); // 16/4 descendants
-        // Contiguous range.
+                                          // Contiguous range.
         for w in b.fragments.windows(2) {
             assert_eq!(w[1], w[0] + 1);
         }
@@ -194,8 +194,7 @@ mod tests {
         let s = schema();
         let layout = FragmentLayout::new(&s, Fragmentation::from_pairs(&[(0, 1)]).unwrap(), 0);
         let q = QueryClass::new("q").with(0, DimensionPredicate::range(0, 2));
-        let expected =
-            QueryMatch::evaluate(&s, layout.fragmentation(), &q).expected_fragments();
+        let expected = QueryMatch::evaluate(&s, layout.fragmentation(), &q).expected_fragments();
         let mut r = rng();
         for _ in 0..20 {
             let b = bind_query(&s, &layout, &q, &mut r);
@@ -209,8 +208,7 @@ mod tests {
         let layout = FragmentLayout::new(&s, Fragmentation::from_pairs(&[(0, 0)]).unwrap(), 0);
         // 6 values at a.mid (16) against 4 fragments.
         let q = QueryClass::new("q").with(0, DimensionPredicate::range(1, 6));
-        let expected =
-            QueryMatch::evaluate(&s, layout.fragmentation(), &q).expected_fragments();
+        let expected = QueryMatch::evaluate(&s, layout.fragmentation(), &q).expected_fragments();
         let mut r = rng();
         let trials = 3000;
         let total: usize = (0..trials)

@@ -121,7 +121,9 @@ impl DiskSimulator {
     /// Returns the query's index into the report's outcome vector.
     pub fn submit(&mut self, arrival_ms: f64, requests: Vec<Request>) -> usize {
         assert!(
-            requests.iter().all(|&(d, ms)| d < self.num_disks && ms >= 0.0),
+            requests
+                .iter()
+                .all(|&(d, ms)| d < self.num_disks && ms >= 0.0),
             "request on unknown disk or negative service time"
         );
         let id = self.queries.len();
@@ -140,16 +142,15 @@ impl DiskSimulator {
         let mut events: BinaryHeap<Reverse<(EventKey, usize)>> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut kinds: Vec<EventKind> = Vec::new();
-        let push =
-            |events: &mut BinaryHeap<Reverse<(EventKey, usize)>>,
-             kinds: &mut Vec<EventKind>,
-             seq: &mut u64,
-             t: f64,
-             kind: EventKind| {
-                kinds.push(kind);
-                events.push(Reverse((EventKey(t, *seq), kinds.len() - 1)));
-                *seq += 1;
-            };
+        let push = |events: &mut BinaryHeap<Reverse<(EventKey, usize)>>,
+                    kinds: &mut Vec<EventKind>,
+                    seq: &mut u64,
+                    t: f64,
+                    kind: EventKind| {
+            kinds.push(kind);
+            events.push(Reverse((EventKey(t, *seq), kinds.len() - 1)));
+            *seq += 1;
+        };
 
         for (q, pq) in self.queries.iter().enumerate() {
             push(
@@ -263,10 +264,10 @@ pub fn run_closed(num_disks: u32, streams: &[Vec<Vec<Request>>]) -> SimReport {
     let mut kinds: Vec<EventKind2> = Vec::new();
     let mut seq = 0u64;
     let push = |events: &mut BinaryHeap<Reverse<(EventKey, usize)>>,
-                    kinds: &mut Vec<EventKind2>,
-                    seq: &mut u64,
-                    t: f64,
-                    kind: EventKind2| {
+                kinds: &mut Vec<EventKind2>,
+                seq: &mut u64,
+                t: f64,
+                kind: EventKind2| {
         kinds.push(kind);
         events.push(Reverse((EventKey(t, *seq), kinds.len() - 1)));
         *seq += 1;
@@ -274,13 +275,29 @@ pub fn run_closed(num_disks: u32, streams: &[Vec<Vec<Request>>]) -> SimReport {
 
     #[derive(Debug)]
     enum EventKind2 {
-        Arrival { stream: usize, index: usize },
-        RequestDone { disk: u32, stream: usize, index: usize },
+        Arrival {
+            stream: usize,
+            index: usize,
+        },
+        RequestDone {
+            disk: u32,
+            stream: usize,
+            index: usize,
+        },
     }
 
     for (s, queries) in streams.iter().enumerate() {
         if !queries.is_empty() {
-            push(&mut events, &mut kinds, &mut seq, 0.0, EventKind2::Arrival { stream: s, index: 0 });
+            push(
+                &mut events,
+                &mut kinds,
+                &mut seq,
+                0.0,
+                EventKind2::Arrival {
+                    stream: s,
+                    index: 0,
+                },
+            );
         }
     }
 
@@ -303,7 +320,16 @@ pub fn run_closed(num_disks: u32, streams: &[Vec<Vec<Request>>]) -> SimReport {
                     completion[id] = t;
                     makespan = makespan.max(t);
                     if index + 1 < streams[stream].len() {
-                        push(&mut events, &mut kinds, &mut seq, t, EventKind2::Arrival { stream, index: index + 1 });
+                        push(
+                            &mut events,
+                            &mut kinds,
+                            &mut seq,
+                            t,
+                            EventKind2::Arrival {
+                                stream,
+                                index: index + 1,
+                            },
+                        );
                     }
                     continue;
                 }
@@ -313,13 +339,27 @@ pub fn run_closed(num_disks: u32, streams: &[Vec<Vec<Request>>]) -> SimReport {
                     if disk_idle[d] {
                         disk_idle[d] = false;
                         disk_busy_ms[d] += service;
-                        push(&mut events, &mut kinds, &mut seq, t + service, EventKind2::RequestDone { disk, stream, index });
+                        push(
+                            &mut events,
+                            &mut kinds,
+                            &mut seq,
+                            t + service,
+                            EventKind2::RequestDone {
+                                disk,
+                                stream,
+                                index,
+                            },
+                        );
                     } else {
                         disk_queue[d].push_back(((stream, index), service));
                     }
                 }
             }
-            EventKind2::RequestDone { disk, stream, index } => {
+            EventKind2::RequestDone {
+                disk,
+                stream,
+                index,
+            } => {
                 let d = disk as usize;
                 let id = flat(stream, index);
                 outstanding[id] -= 1;
@@ -327,12 +367,31 @@ pub fn run_closed(num_disks: u32, streams: &[Vec<Vec<Request>>]) -> SimReport {
                     completion[id] = t;
                     makespan = makespan.max(t);
                     if index + 1 < streams[stream].len() {
-                        push(&mut events, &mut kinds, &mut seq, t, EventKind2::Arrival { stream, index: index + 1 });
+                        push(
+                            &mut events,
+                            &mut kinds,
+                            &mut seq,
+                            t,
+                            EventKind2::Arrival {
+                                stream,
+                                index: index + 1,
+                            },
+                        );
                     }
                 }
                 if let Some(((ns, ni), service)) = disk_queue[d].pop_front() {
                     disk_busy_ms[d] += service;
-                    push(&mut events, &mut kinds, &mut seq, t + service, EventKind2::RequestDone { disk, stream: ns, index: ni });
+                    push(
+                        &mut events,
+                        &mut kinds,
+                        &mut seq,
+                        t + service,
+                        EventKind2::RequestDone {
+                            disk,
+                            stream: ns,
+                            index: ni,
+                        },
+                    );
                 } else {
                     disk_idle[d] = true;
                 }

@@ -32,7 +32,6 @@
 //! assert_eq!(report.outcomes[0].response_ms, 10.0);
 //! ```
 
-
 mod binding;
 mod datagen;
 mod disksim;
@@ -44,5 +43,5 @@ pub use binding::{bind_query, BoundQuery};
 pub use datagen::SyntheticFact;
 pub use disksim::{run_closed, DiskSimulator, QueryOutcome, SimReport};
 pub use page_hits::{compare_page_hits, touched_pages, PageHitComparison};
-pub use validate::{compare_single_queries, closed_workload, ComparisonRow, WorkloadStats};
+pub use validate::{closed_workload, compare_single_queries, ComparisonRow, WorkloadStats};
 pub use warehouse::MaterializedWarehouse;

@@ -233,9 +233,7 @@ mod tests {
         let layout = FragmentLayout::new(&s, frag, 0);
         let sizes = vec![1u64; layout.num_fragments() as usize];
         let allocation = round_robin(sizes, system.num_disks);
-        let rows = compare_single_queries(
-            &s, &system, &scheme, &mix, &layout, &allocation, 5, 42,
-        );
+        let rows = compare_single_queries(&s, &system, &scheme, &mix, &layout, &allocation, 5, 42);
         assert_eq!(rows.len(), 3);
         for row in &rows {
             // Exact matchings + round-robin placement: the declustering
@@ -266,9 +264,7 @@ mod tests {
             vec![1u64; layout.num_fragments() as usize],
             system.num_disks,
         );
-        let rows = compare_single_queries(
-            &s, &system, &scheme, &mix, &layout, &allocation, 5, 42,
-        );
+        let rows = compare_single_queries(&s, &system, &scheme, &mix, &layout, &allocation, 5, 42);
         let b_point = rows.iter().find(|r| r.class_name == "b_point").unwrap();
         // 8 fragments on 2 disks: 4 waves instead of the predicted 1.
         assert!(
@@ -289,9 +285,7 @@ mod tests {
             vec![1u64; layout.num_fragments() as usize],
             system.num_disks,
         );
-        let stats = closed_workload(
-            &s, &system, &scheme, &mix, &layout, &allocation, 4, 6, 7,
-        );
+        let stats = closed_workload(&s, &system, &scheme, &mix, &layout, &allocation, 4, 6, 7);
         assert_eq!(stats.queries, 24);
         assert_eq!(stats.streams, 4);
         assert!(stats.mean_response_ms > 0.0);

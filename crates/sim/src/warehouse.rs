@@ -39,8 +39,8 @@ impl MaterializedWarehouse {
             .enumerate()
             .map(|(i, &r)| {
                 let dim = schema.dimension(r.dimension).expect("validated layout");
-                let per = dim.bottom().cardinality()
-                    / fragmentation.effective_cardinality(schema, i);
+                let per =
+                    dim.bottom().cardinality() / fragmentation.effective_cardinality(schema, i);
                 (r.dimension.index(), per)
             })
             .collect();
@@ -117,7 +117,8 @@ mod tests {
     fn routing_conserves_rows() {
         let s = schema();
         let data = SyntheticFact::generate(&s, &s.uniform_skew_model(), 10_000, 1);
-        let layout = FragmentLayout::new(&s, Fragmentation::from_pairs(&[(0, 0), (1, 0)]).unwrap(), 0);
+        let layout =
+            FragmentLayout::new(&s, Fragmentation::from_pairs(&[(0, 0), (1, 0)]).unwrap(), 0);
         let w = MaterializedWarehouse::build(&s, &layout, &data);
         assert_eq!(w.num_fragments(), 32);
         assert_eq!(w.total_rows(), 10_000);

@@ -197,10 +197,7 @@ mod tests {
 
     #[test]
     fn level_aggregation_preserves_mass() {
-        let m = SkewModel::new(
-            &[24],
-            &[DimensionSkew::zipf(1.0)],
-        );
+        let m = SkewModel::new(&[24], &[DimensionSkew::zipf(1.0)]);
         for card in [1u64, 2, 3, 4, 6, 8, 12, 24] {
             let w = m.level_weights(0, card);
             assert_eq!(w.len(), card as usize);
@@ -253,11 +250,7 @@ mod tests {
             }],
         );
         assert_ne!(plain.bottom_weights(0), shuffled.bottom_weights(0));
-        assert_close(
-            shuffled.bottom_weights(0).iter().sum::<f64>(),
-            1.0,
-            1e-9,
-        );
+        assert_close(shuffled.bottom_weights(0).iter().sum::<f64>(), 1.0, 1e-9);
         // Aggregated summaries differ because heavy members disperse.
         let s_plain = plain.level_summary(0, 4);
         let s_shuf = shuffled.level_summary(0, 4);

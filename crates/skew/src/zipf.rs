@@ -55,7 +55,11 @@ impl ZipfWeights {
         }
         // Guard against floating point drift so sampling never overruns.
         *cdf.last_mut().expect("n > 0") = 1.0;
-        Self { theta, weights, cdf }
+        Self {
+            theta,
+            weights,
+            cdf,
+        }
     }
 
     /// The θ this vector was built with.

@@ -26,7 +26,9 @@ pub struct QueryMix {
 impl QueryMix {
     /// Starts building a mix.
     pub fn builder() -> QueryMixBuilder {
-        QueryMixBuilder { entries: Vec::new() }
+        QueryMixBuilder {
+            entries: Vec::new(),
+        }
     }
 
     /// The weighted classes, shares summing to 1.
@@ -222,7 +224,11 @@ mod tests {
         // class on product.division (1/5) and one on channel (1/9)
         let a = QueryClass::new("a").with(0, DimensionPredicate::point(0));
         let b = QueryClass::new("b").with(3, DimensionPredicate::point(0));
-        let mix = QueryMix::builder().class(a, 1.0).class(b, 1.0).build().unwrap();
+        let mix = QueryMix::builder()
+            .class(a, 1.0)
+            .class(b, 1.0)
+            .build()
+            .unwrap();
         mix.validate(&s).unwrap();
         let expect = 0.5 * (1.0 / 5.0) + 0.5 * (1.0 / 9.0);
         assert!((mix.average_selectivity(&s) - expect).abs() < 1e-12);

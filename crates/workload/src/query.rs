@@ -177,23 +177,23 @@ impl QueryClass {
             });
         }
         for (&dim, pred) in &self.predicates {
-            let dimension =
-                schema
-                    .dimension(dim)
-                    .map_err(|_| WorkloadError::UnknownDimension {
-                        query: self.name.clone(),
-                        index: dim.index(),
-                    })?;
+            let dimension = schema
+                .dimension(dim)
+                .map_err(|_| WorkloadError::UnknownDimension {
+                    query: self.name.clone(),
+                    index: dim.index(),
+                })?;
             let level_ref = LevelRef {
                 dimension: dim,
                 level: pred.level,
             };
-            let card = dimension
-                .cardinality(pred.level)
-                .map_err(|_| WorkloadError::UnknownLevel {
-                    query: self.name.clone(),
-                    level_ref,
-                })?;
+            let card =
+                dimension
+                    .cardinality(pred.level)
+                    .map_err(|_| WorkloadError::UnknownLevel {
+                        query: self.name.clone(),
+                        level_ref,
+                    })?;
             if pred.values == 0 || pred.values > card {
                 return Err(WorkloadError::BadValueCount {
                     query: self.name.clone(),

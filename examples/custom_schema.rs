@@ -7,13 +7,10 @@
 //! measures and row counts, and a bespoke weighted query mix — then
 //! letting the advisor pick fragmentation, bitmaps and allocation.
 
+use warlock::prelude::*;
 use warlock::report::{render_analysis, render_ranking};
-use warlock::{Advisor, AdvisorConfig};
-use warlock_schema::{Dimension, FactTable, StarSchema};
-use warlock_storage::{Architecture, SystemConfig};
-use warlock_workload::{DimensionPredicate, QueryClass, QueryMix};
 
-fn main() {
+fn main() -> Result<(), WarlockError> {
     // A telecom schema: calls recorded by region/cell, tariff, and time.
     let geography = Dimension::builder("geography")
         .level("region", 16)
@@ -82,17 +79,18 @@ fn main() {
         )
         .build()
         .expect("valid mix");
-    mix.validate(&schema).expect("mix matches schema");
 
     // A Shared Disk cluster: 4 nodes × 8 processors, 32 disks.
     let mut system = SystemConfig::default_2001(32);
     system.architecture = Architecture::shared_disk(4, 8);
 
-    let advisor =
-        Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).expect("valid inputs");
-    let report = advisor.run();
-    println!("{}", render_ranking(&report));
-
-    let top = report.top().expect("candidates survive");
-    println!("{}", render_analysis(&advisor.analyze(&top.cost.fragmentation)));
+    // The builder validates the mix against the schema and owns both.
+    let mut session = Warlock::builder()
+        .schema(schema)
+        .system(system)
+        .mix(mix)
+        .build()?;
+    println!("{}", render_ranking(session.rank()));
+    println!("{}", render_analysis(&session.analyze(1)?));
+    Ok(())
 }

@@ -9,41 +9,43 @@
 //! 8-stream workload to show the multi-user contention the paper's
 //! throughput heuristic anticipates.
 
-use warlock::{Advisor, AdvisorConfig};
-use warlock_alloc::round_robin;
-use warlock_fragment::{FragmentLayout, Fragmentation};
-use warlock_schema::{apb1_like_schema, Apb1Config};
+use warlock::alloc::round_robin;
+use warlock::fragment::FragmentLayout;
+use warlock::prelude::*;
 use warlock_sim::{closed_workload, compare_single_queries};
-use warlock_storage::SystemConfig;
-use warlock_workload::apb1_like_mix;
 
 fn main() {
-    let schema = apb1_like_schema(Apb1Config::default()).expect("preset schema");
-    let mix = apb1_like_mix().expect("preset mix");
     // 17 disks: prime, so no fragmentation stride can alias onto a disk
     // subset (see the stride-collision test in warlock-sim).
-    let system = SystemConfig::default_2001(17);
-    let advisor =
-        Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).expect("valid inputs");
+    let session = Warlock::builder()
+        .schema(apb1_like_schema(Apb1Config::default()).expect("preset schema"))
+        .system(SystemConfig::default_2001(17))
+        .mix(apb1_like_mix().expect("preset mix"))
+        .build()
+        .expect("valid inputs");
+    let (schema, system, mix) = (session.schema(), session.system(), session.mix());
 
     let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).expect("line × month");
-    let layout = FragmentLayout::new(&schema, frag, 0);
+    let layout = FragmentLayout::new(schema, frag, 0);
     let allocation = round_robin(
         vec![1u64; layout.num_fragments() as usize],
         system.num_disks,
     );
 
-    println!("single-query validation ({}):\n", layout.fragmentation().label(&schema));
+    println!(
+        "single-query validation ({}):\n",
+        layout.fragmentation().label(schema)
+    );
     println!(
         "{:<30} {:>14} {:>14} {:>10}",
         "query class", "analytic [ms]", "simulated [ms]", "error"
     );
     println!("{}", "-".repeat(72));
     let rows = compare_single_queries(
-        &schema,
-        &system,
-        advisor.scheme(),
-        &mix,
+        schema,
+        system,
+        session.scheme(),
+        mix,
         &layout,
         &allocation,
         20,
@@ -69,10 +71,10 @@ fn main() {
     );
     for streams in [1, 2, 4, 8, 16] {
         let stats = closed_workload(
-            &schema,
-            &system,
-            advisor.scheme(),
-            &mix,
+            schema,
+            system,
+            session.scheme(),
+            mix,
             &layout,
             &allocation,
             streams,

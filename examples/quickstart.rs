@@ -3,47 +3,43 @@
 //! Run with: `cargo run --release --example quickstart`
 //!
 //! This walks the full WARLOCK pipeline on the demonstration
-//! configuration: the APB-1-like star schema, the ten-class weighted query
-//! mix, and a 16-disk circa-2001 system. It prints the ranked
-//! fragmentation candidates, the detailed query statistic of the winner
-//! (the tool's Fig. 2 content), and the physical allocation scheme.
+//! configuration through the owned session facade: the APB-1-like star
+//! schema, the ten-class weighted query mix, and a 16-disk circa-2001
+//! system. It prints the ranked fragmentation candidates, the detailed
+//! query statistic of the winner (the tool's Fig. 2 content), and the
+//! physical allocation scheme.
 
+use warlock::prelude::*;
 use warlock::report::{render_allocation, render_analysis, render_ranking};
-use warlock::{Advisor, AdvisorConfig};
-use warlock_schema::{apb1_like_schema, Apb1Config};
-use warlock_storage::SystemConfig;
-use warlock_workload::apb1_like_mix;
 
-fn main() {
-    // Input layer: schema, disk/system parameters, weighted query mix.
-    let schema = apb1_like_schema(Apb1Config::default()).expect("preset schema builds");
-    let mix = apb1_like_mix().expect("preset mix builds");
-    let system = SystemConfig::default_2001(16);
+fn main() -> Result<(), WarlockError> {
+    // Input layer: schema, disk/system parameters, weighted query mix —
+    // owned by the session, validated once at build time.
+    let mut session = Warlock::builder()
+        .schema(apb1_like_schema(Apb1Config::default())?)
+        .system(SystemConfig::default_2001(16))
+        .mix(apb1_like_mix()?)
+        .build()?;
 
     println!(
         "schema: {} dimensions, {} fact rows ({:.1} GiB)",
-        schema.num_dimensions(),
-        schema.fact_rows(0),
-        schema.fact_bytes(0) as f64 / (1 << 30) as f64
+        session.schema().num_dimensions(),
+        session.schema().fact_rows(0),
+        session.schema().fact_bytes(0) as f64 / (1 << 30) as f64
     );
-    println!("workload: {} weighted query classes", mix.len());
+    println!("workload: {} weighted query classes", session.mix().len());
     println!(
         "system: {} disks, {} processors\n",
-        system.num_disks,
-        system.architecture.total_processors()
+        session.system().num_disks,
+        session.system().architecture.total_processors()
     );
 
-    // Prediction layer: enumerate, exclude, cost, twofold-rank.
-    let advisor =
-        Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).expect("valid inputs");
-    let report = advisor.run();
-    println!("{}", render_ranking(&report));
+    // Prediction layer: enumerate, exclude, cost, twofold-rank (cached
+    // on the session).
+    println!("{}", render_ranking(session.rank()));
 
     // Analysis layer: detailed statistic and allocation of the winner.
-    let top = report.top().expect("candidates survive");
-    println!("{}", render_analysis(&advisor.analyze(&top.cost.fragmentation)));
-    println!(
-        "{}",
-        render_allocation(&advisor.plan_allocation(&top.cost.fragmentation))
-    );
+    println!("{}", render_analysis(&session.analyze(1)?));
+    println!("{}", render_allocation(&session.plan_allocation(1)?));
+    Ok(())
 }

@@ -9,35 +9,34 @@
 //! synthesizes granularities *between* hierarchy levels — and collapses to
 //! an existing level when `r` equals the fan-out.
 
-use warlock::{Advisor, AdvisorConfig};
-use warlock_fragment::{enumerate_candidates, enumerate_candidates_ranged, Fragmentation};
-use warlock_schema::{apb1_like_schema, Apb1Config};
-use warlock_storage::SystemConfig;
-use warlock_workload::apb1_like_mix;
+use warlock::fragment::{enumerate_candidates, enumerate_candidates_ranged};
+use warlock::prelude::*;
 
 fn main() {
-    let schema = apb1_like_schema(Apb1Config::default()).expect("preset schema");
-    let mix = apb1_like_mix().expect("preset mix");
-    let system = SystemConfig::default_2001(16);
-    let advisor =
-        Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).expect("valid inputs");
+    let session = Warlock::builder()
+        .schema(apb1_like_schema(Apb1Config::default()).expect("preset schema"))
+        .system(SystemConfig::default_2001(16))
+        .mix(apb1_like_mix().expect("preset mix"))
+        .build()
+        .expect("valid inputs");
+    let schema = session.schema();
 
     // The identity: grouping 10 codes per coordinate IS the class level.
     let ranged = Fragmentation::from_ranged_pairs(&[(0, 5, 10), (2, 2, 1)]).expect("valid");
     let point = Fragmentation::from_pairs(&[(0, 4), (2, 2)]).expect("valid");
-    let a = advisor.evaluate(&ranged);
-    let b = advisor.evaluate(&point);
+    let a = session.evaluate(&ranged);
+    let b = session.evaluate(&point);
     println!("identity check:");
     println!(
         "  {:<36} {:>8} fragments, {:>9.1} ms io, {:>7.1} ms response",
-        ranged.label(&schema),
+        ranged.label(schema),
         a.num_fragments,
         a.io_cost_ms,
         a.response_ms
     );
     println!(
         "  {:<36} {:>8} fragments, {:>9.1} ms io, {:>7.1} ms response",
-        point.label(&schema),
+        point.label(schema),
         b.num_fragments,
         b.io_cost_ms,
         b.response_ms
@@ -61,7 +60,7 @@ fn main() {
             Fragmentation::from_pairs(&[(0, 2), (2, 2)]).unwrap(),
         ),
     ] {
-        let cost = advisor.evaluate(&frag);
+        let cost = session.evaluate(&frag);
         println!(
             "  {:<36} {:>8} fragments, {:>9.1} ms io, {:>7.1} ms response",
             name, cost.num_fragments, cost.io_cost_ms, cost.response_ms
@@ -69,8 +68,8 @@ fn main() {
     }
 
     // How much bigger is the ranged candidate space?
-    let points = enumerate_candidates(&schema, 4);
-    let ranged_space = enumerate_candidates_ranged(&schema, 4, &[2, 3, 5]);
+    let points = enumerate_candidates(schema, 4);
+    let ranged_space = enumerate_candidates_ranged(schema, 4, &[2, 3, 5]);
     println!(
         "\ncandidate space: {} point candidates, {} with ranges {{2,3,5}}",
         points.len(),

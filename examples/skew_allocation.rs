@@ -8,19 +8,18 @@
 //! resulting placements. Reproduces the paper's motivation for the greedy
 //! scheme "under notable data skew".
 
-use warlock::allocation_plan::AllocationPlan;
-use warlock::{Advisor, AdvisorConfig};
-use warlock_alloc::AllocationPolicy;
-use warlock_fragment::Fragmentation;
-use warlock_schema::{apb1_like_schema, Apb1Config};
-use warlock_skew::DimensionSkew;
-use warlock_storage::SystemConfig;
-use warlock_workload::apb1_like_mix;
+use warlock::alloc::AllocationPolicy;
+use warlock::prelude::*;
 
 fn main() {
-    let schema = apb1_like_schema(Apb1Config::default()).expect("preset schema");
-    let mix = apb1_like_mix().expect("preset mix");
-    let system = SystemConfig::default_2001(16);
+    // One owned session; each sweep step swaps in a new configuration
+    // (skew + allocation policy) via `set_config`.
+    let mut session = Warlock::builder()
+        .schema(apb1_like_schema(Apb1Config::default()).expect("preset schema"))
+        .system(SystemConfig::default_2001(16))
+        .mix(apb1_like_mix().expect("preset mix"))
+        .build()
+        .expect("valid inputs");
     // product.line × time.month: 360 fragments, enough for 16 disks.
     let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).expect("valid candidate");
 
@@ -43,12 +42,12 @@ fn main() {
         };
 
         config.allocation_policy = AllocationPolicy::RoundRobin;
-        let advisor = Advisor::new(&schema, &system, &mix, config.clone()).expect("valid");
-        let rr: AllocationPlan = advisor.plan_allocation(&frag);
+        session.set_config(config.clone()).expect("valid");
+        let rr: AllocationPlan = session.plan_candidate(&frag);
 
         config.allocation_policy = AllocationPolicy::GreedySize;
-        let advisor = Advisor::new(&schema, &system, &mix, config).expect("valid");
-        let greedy: AllocationPlan = advisor.plan_allocation(&frag);
+        session.set_config(config).expect("valid");
+        let greedy: AllocationPlan = session.plan_candidate(&frag);
 
         let pick = |plan: &AllocationPlan| {
             plan.per_class

@@ -4,25 +4,22 @@
 //!
 //! The GUI let attendants "modify the parameter configurations and let
 //! WARLOCK compare the results". This example drives the same knobs
-//! programmatically: disk-count scaling, fixed prefetch granules, dropped
-//! bitmap dimensions, and removed query classes — reporting how the
-//! recommendation and its response time move.
+//! programmatically on one owned [`Warlock`] session: disk-count scaling,
+//! fixed prefetch granules, dropped bitmap dimensions, and removed query
+//! classes — reporting how the recommendation and its response time move
+//! against the session's cached baseline.
 
-use warlock::{AdvisorConfig, TuningSession};
-use warlock_schema::{apb1_like_schema, Apb1Config, DimensionId};
-use warlock_storage::SystemConfig;
-use warlock_workload::apb1_like_mix;
+use warlock::prelude::*;
+use warlock::schema::DimensionId;
 
-fn main() {
-    let session = TuningSession::new(
-        apb1_like_schema(Apb1Config::default()).expect("preset schema"),
-        SystemConfig::default_2001(16),
-        apb1_like_mix().expect("preset mix"),
-        AdvisorConfig::default(),
-    )
-    .expect("valid inputs");
+fn main() -> Result<(), WarlockError> {
+    let mut session = Warlock::builder()
+        .schema(apb1_like_schema(Apb1Config::default())?)
+        .system(SystemConfig::default_2001(16))
+        .mix(apb1_like_mix()?)
+        .build()?;
 
-    let base = session.baseline().top().expect("candidates survive");
+    let base = session.rank().top().expect("candidates survive").clone();
     println!(
         "baseline (16 disks): {}  response {:.1} ms\n",
         base.label, base.cost.response_ms
@@ -34,29 +31,34 @@ fn main() {
     );
     println!("{}", "-".repeat(95));
 
-    let show = |variation: &warlock::tuning::TuningDelta| {
+    let show = |delta: &TuningDelta| {
         println!(
             "{:<36} {:<34} {:>12.1} {:>9}",
-            variation.variation,
-            variation.variation_top,
-            variation.variation_response_ms,
-            if variation.recommendation_changed { "yes" } else { "no" }
+            delta.variation,
+            delta.variation_top,
+            delta.variation_response_ms,
+            if delta.recommendation_changed {
+                "yes"
+            } else {
+                "no"
+            }
         );
     };
 
     for disks in [4, 8, 32, 64] {
-        let (_, delta) = session.with_disks(disks);
+        let (_, delta) = session.what_if_disks(disks);
         show(&delta);
     }
     for pages in [1, 8, 64] {
-        let (_, delta) = session.with_fixed_prefetch(pages);
+        let (_, delta) = session.what_if_fixed_prefetch(pages);
         show(&delta);
     }
     for d in 0..4u16 {
-        let (_, delta) = session.without_bitmap_dimension(DimensionId(d));
+        let (_, delta) = session.what_if_without_bitmap_dimension(DimensionId(d));
         show(&delta);
     }
-    if let Some((_, delta)) = session.without_class("q02_month_class") {
+    if let Some((_, delta)) = session.what_if_without_class("q02_month_class") {
         show(&delta);
     }
+    Ok(())
 }

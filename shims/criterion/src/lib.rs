@@ -1,0 +1,362 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the criterion API its benchmarks use:
+//! [`Criterion`] with `bench_function`/`benchmark_group`/`bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`]/
+//! [`criterion_main!`] macros. Benchmarks are wall-clock timed with a
+//! warm-up phase and a fixed sample count, and results (mean/min per
+//! iteration, plus derived throughput) are printed to stdout — no HTML
+//! reports, outlier analysis or regression baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time spent measuring each benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Times `f` under the id `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id.full_name(), |b| f(b));
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        // The group gets a private copy of the configuration so its
+        // sample_size/measurement_time overrides end with the group (as
+        // in real criterion) instead of leaking into later benchmarks.
+        let config = self.clone();
+        BenchmarkGroup {
+            config,
+            name: name.into(),
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix, throughput and
+/// group-scoped configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    config: Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work volume for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement time within this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Times `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        let throughput = self.throughput.clone();
+        run_one_with_throughput(&mut self.config, &full, throughput, |b| f(b));
+        self
+    }
+
+    /// Times `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        let throughput = self.throughput.clone();
+        run_one_with_throughput(&mut self.config, &full, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (parity with real criterion; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// The per-iteration work volume of a benchmark.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Runs the timed closure handed to `bench_function`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it for the harness-chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(c: &mut Criterion, name: &str, f: impl FnMut(&mut Bencher)) {
+    run_one_with_throughput(c, name, None, f);
+}
+
+fn run_one_with_throughput(
+    c: &mut Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up: discover the iteration rate while warming caches.
+    let warm_up_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warm_up_start.elapsed() < c.warm_up_time {
+        f(&mut bencher);
+        warm_iters += bencher.iters;
+        // Grow geometrically so cheap benchmarks don't spin on overhead.
+        bencher.iters = (bencher.iters * 2).min(1 << 20);
+    }
+    let warm_elapsed = warm_up_start.elapsed().max(Duration::from_nanos(1));
+    let per_iter_ns = (warm_elapsed.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+    // Measurement: `sample_size` samples splitting `measurement_time`.
+    let per_sample_ns = c.measurement_time.as_nanos() as f64 / c.sample_size as f64;
+    let iters_per_sample = ((per_sample_ns / per_iter_ns) as u64).max(1);
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        bencher.iters = iters_per_sample;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if mean > 0.0 => {
+            format!("  {:>10.1} MiB/s", b as f64 / mean * 1e9 / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(e)) if mean > 0.0 => {
+            format!("  {:>10.0} elem/s", e as f64 / mean * 1e9)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<52} time: [mean {} min {}]{}",
+        format_ns(mean),
+        format_ns(min),
+        rate
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs this file's benchmark targets.
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = quick();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_overrides_do_not_leak_into_the_parent() {
+        let mut c = quick();
+        let before = format!("{c:?}");
+        let mut g = c.benchmark_group("scoped");
+        g.sample_size(100)
+            .measurement_time(Duration::from_millis(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1)));
+        g.finish();
+        assert_eq!(format!("{c:?}"), before);
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the proptest API its property tests use:
+//! [`Strategy`] with `prop_map`/`prop_flat_map`/`prop_filter`, range and
+//! tuple strategies, [`collection::vec`]/[`collection::btree_set`],
+//! [`option::of`], [`sample::subsequence`], [`arbitrary::any`], the
+//! [`proptest!`] macro, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics
+//! with the generated inputs printed), and generation is driven by a
+//! fixed-seed deterministic generator so failures reproduce across runs.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::{Just, Strategy};
+pub use test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+
+/// The traits, types and macros most property tests want in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            // A tuple of strategies is itself a strategy over tuples.
+            let __strategy = ($($strat,)+);
+            let mut __cases = 0u32;
+            let mut __rejects = 0u32;
+            while __cases < __config.cases {
+                let ($($arg,)+) = $crate::strategy::Strategy::pick(&__strategy, &mut __rng);
+                let __shown = format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)+),
+                    $(&$arg,)+
+                );
+                let __outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match __outcome {
+                    Ok(()) => __cases += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects < 1 << 16,
+                            "proptest: too many prop_assume!/prop_filter rejections \
+                             ({} cases ran)",
+                            __cases
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed after {} passing cases: {}\n  inputs: {}",
+                            __cases, msg, __shown
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test; the failing inputs are
+/// reported by the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions differ inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(a in 1u64..10, b in 0usize..=4, c in 0.0f64..1.0) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b <= 4);
+            prop_assert!((0.0..1.0).contains(&c));
+        }
+
+        #[test]
+        fn combinators(v in crate::collection::vec(crate::any::<u64>(), 1..8),
+                       s in crate::collection::btree_set(0usize..64, 0..16),
+                       o in crate::option::of(1u16..5),
+                       sub in crate::sample::subsequence(vec![1, 2, 3, 4], 1..=4)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(s.len() < 16);
+            prop_assert!(s.iter().all(|&x| x < 64));
+            if let Some(x) = o {
+                prop_assert!((1..5).contains(&x));
+            }
+            prop_assert!(!sub.is_empty());
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn mapped(x in (0u64..100).prop_map(|v| v * 2)) {
+            prop_assert!(x % 2 == 0 && x < 200);
+        }
+
+        #[test]
+        fn flat_mapped(pair in (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0u64..10, n..n + 1).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+
+        #[test]
+        fn filtered(x in (0u64..100).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u64..100) {
+            prop_assume!(x % 3 == 0);
+            prop_assert!(x % 3 == 0);
+        }
+
+        #[test]
+        fn vec_of_strategies_is_a_strategy(
+            vals in vec![0u64..5, 10u64..15, 20u64..25].prop_map(|v| v)
+        ) {
+            prop_assert_eq!(vals.len(), 3);
+            prop_assert!(vals[0] < 5 && vals[1] >= 10 && vals[1] < 15 && vals[2] >= 20);
+        }
+    }
+
+    #[test]
+    fn btree_set_values_unique_by_construction() {
+        let mut rng = TestRng::deterministic();
+        let strat = crate::collection::btree_set(0usize..8, 0..6);
+        for _ in 0..50 {
+            let s: BTreeSet<usize> = crate::Strategy::pick(&strat, &mut rng);
+            assert!(s.len() < 6);
+        }
+    }
+
+    use crate::TestRng;
+}

@@ -1,0 +1,28 @@
+//! Strategies over `Option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy yielding `None` about a quarter of the time and
+/// `Some(inner)` otherwise (real proptest defaults to a similar split).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn pick(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.pick(rng))
+        }
+    }
+}

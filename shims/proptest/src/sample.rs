@@ -1,0 +1,59 @@
+//! Strategies sampling from explicit value sets.
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy yielding order-preserving subsequences of `values` whose
+/// length is drawn from `size`.
+pub fn subsequence<T: Clone>(
+    values: Vec<T>,
+    size: impl SizeRange,
+) -> SubsequenceStrategy<T, impl SizeRange> {
+    SubsequenceStrategy { values, size }
+}
+
+/// See [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct SubsequenceStrategy<T, R> {
+    values: Vec<T>,
+    size: R,
+}
+
+impl<T: Clone, R: SizeRange> Strategy for SubsequenceStrategy<T, R> {
+    type Value = Vec<T>;
+
+    fn pick(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.size.pick_size(rng).min(self.values.len());
+        // Choose n distinct positions via partial Fisher–Yates, then
+        // restore source order.
+        let mut idx: Vec<usize> = (0..self.values.len()).collect();
+        for i in 0..n {
+            let j = i + rng.below(idx.len() - i);
+            idx.swap(i, j);
+        }
+        let mut chosen = idx[..n].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}
+
+/// A strategy choosing one element of `values` uniformly.
+pub fn select<T: Clone>(values: Vec<T>) -> SelectStrategy<T> {
+    SelectStrategy { values }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct SelectStrategy<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for SelectStrategy<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        assert!(!self.values.is_empty(), "select from empty set");
+        self.values[rng.below(self.values.len())].clone()
+    }
+}

@@ -1,0 +1,254 @@
+//! The [`Strategy`] trait, primitive strategies and combinators.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is simply a
+/// deterministic sampler over a seeded generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to pick a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards generated values failing `f` (resampling, with a bounded
+    /// number of attempts).
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    /// Boxes this strategy (parity helper with real proptest).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).pick(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn pick(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn pick(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.pick(rng)).pick(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn pick(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.pick(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}): no accepted value in 10000 attempts",
+            self.whence
+        );
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<Value = T>>);
+
+trait ErasedStrategy {
+    type Value;
+    fn pick_erased(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> ErasedStrategy for S {
+    type Value = S::Value;
+    fn pick_erased(&self, rng: &mut TestRng) -> S::Value {
+        self.pick(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        self.0.pick_erased(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.pick(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+}
+
+/// A `Vec` of strategies generates a `Vec` of values, element-wise.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.pick(rng)).collect()
+    }
+}
+
+/// An array of strategies generates an array of values, element-wise.
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+
+    fn pick(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|i| self[i].pick(rng))
+    }
+}

@@ -1,25 +1,26 @@
-//! Integration tests: the full advisor pipeline across crates.
+//! Integration tests: the full advisor pipeline across crates, driven
+//! through the owned `Warlock` session facade.
 
-use warlock::{Advisor, AdvisorConfig};
-use warlock_fragment::Fragmentation;
-use warlock_schema::{apb1_like_schema, Apb1Config, StarSchema};
-use warlock_storage::{Architecture, SystemConfig};
-use warlock_workload::{apb1_like_mix, QueryMix};
+use warlock::prelude::*;
+use warlock::storage::Architecture;
 
-fn fixture() -> (StarSchema, SystemConfig, QueryMix) {
-    (
-        apb1_like_schema(Apb1Config::default()).unwrap(),
-        SystemConfig::default_2001(16),
-        apb1_like_mix().unwrap(),
-    )
+fn session_on(system: SystemConfig) -> Warlock {
+    Warlock::builder()
+        .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+        .system(system)
+        .mix(apb1_like_mix().unwrap())
+        .build()
+        .unwrap()
+}
+
+fn session() -> Warlock {
+    session_on(SystemConfig::default_2001(16))
 }
 
 #[test]
 fn recommended_candidates_dominate_random_ones() {
-    let (schema, system, mix) = fixture();
-    let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-    let report = advisor.run();
-    let top = report.top().unwrap();
+    let mut session = session();
+    let top = session.rank().top().unwrap().clone();
 
     // The winner must beat a handful of structurally plausible but
     // unranked alternatives on response time at comparable I/O cost —
@@ -30,11 +31,11 @@ fn recommended_candidates_dominate_random_ones() {
         Fragmentation::from_pairs(&[(1, 0)]).unwrap(), // retailer only
         Fragmentation::from_pairs(&[(2, 0)]).unwrap(), // year only
     ] {
-        let cost = advisor.evaluate(&alt);
+        let cost = session.evaluate(&alt);
         assert!(
             top.cost.response_ms <= cost.response_ms,
             "{} ({} ms) should not beat the winner ({} ms)",
-            alt.label(&schema),
+            alt.label(session.schema()),
             cost.response_ms,
             top.cost.response_ms
         );
@@ -43,9 +44,8 @@ fn recommended_candidates_dominate_random_ones() {
 
 #[test]
 fn ranking_respects_the_twofold_contract() {
-    let (schema, system, mix) = fixture();
-    let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-    let report = advisor.run();
+    let mut session = session();
+    let report = session.rank().clone();
 
     // Phase-2 ordering: response times ascend.
     for w in report.ranked.windows(2) {
@@ -53,16 +53,16 @@ fn ranking_respects_the_twofold_contract() {
     }
     // Phase-1 filter: every ranked candidate sits in the best X% by I/O
     // cost among evaluated candidates — verify against a full re-costing.
-    let all = warlock_fragment::enumerate_candidates(&schema, 4);
-    let ctx = advisor.threshold_context();
+    let all = warlock_fragment::enumerate_candidates(session.schema(), 4);
+    let ctx = session.threshold_context();
     let mut io_costs: Vec<f64> = Vec::new();
     for frag in all {
-        if frag.num_fragments(&schema) > 1u128 << 20 {
+        if frag.num_fragments(session.schema()) > 1u128 << 20 {
             continue;
         }
-        let layout = warlock_fragment::FragmentLayout::new(&schema, frag, 0);
-        if advisor.config().thresholds.check(&layout, ctx).is_ok() {
-            io_costs.push(advisor.evaluate(layout.fragmentation()).io_cost_ms);
+        let layout = warlock_fragment::FragmentLayout::new(session.schema(), frag, 0);
+        if session.config().thresholds.check(&layout, ctx).is_ok() {
+            io_costs.push(session.evaluate(layout.fragmentation()).io_cost_ms);
         }
     }
     io_costs.sort_by(f64::total_cmp);
@@ -81,15 +81,11 @@ fn ranking_respects_the_twofold_contract() {
 
 #[test]
 fn architectures_shared_everything_vs_shared_disk() {
-    let (schema, mut system, mix) = fixture();
+    let mut system = SystemConfig::default_2001(16);
     system.architecture = Architecture::SharedEverything { processors: 16 };
-    let se = Advisor::new(&schema, &system, &mix, AdvisorConfig::default())
-        .unwrap()
-        .run();
+    let se = session_on(system).run();
     system.architecture = Architecture::shared_disk(4, 4); // same 16 processors
-    let sd = Advisor::new(&schema, &system, &mix, AdvisorConfig::default())
-        .unwrap()
-        .run();
+    let sd = session_on(system).run();
     // Same processor budget: SD pays exactly the coordination overhead.
     let se_top = se.top().unwrap();
     let sd_top = sd.find(&se_top.cost.fragmentation).or(sd.top()).unwrap();
@@ -104,13 +100,16 @@ fn architectures_shared_everything_vs_shared_disk() {
 
 #[test]
 fn disk_scaling_improves_response_monotonically() {
-    let (schema, _, mix) = fixture();
+    // One re-entrant session: swap the system in place, as a long-lived
+    // advisory service would when the hardware description changes.
+    let mut session = session();
     let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap();
     let mut prev = f64::INFINITY;
     for disks in [2u32, 4, 8, 16, 32, 64] {
-        let system = SystemConfig::default_2001(disks);
-        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-        let rt = advisor.evaluate(&frag).response_ms;
+        session
+            .set_system(SystemConfig::default_2001(disks))
+            .unwrap();
+        let rt = session.evaluate(&frag).response_ms;
         assert!(
             rt <= prev + 1e-9,
             "{disks} disks gave {rt} ms, worse than previous {prev} ms"
@@ -123,16 +122,13 @@ fn disk_scaling_improves_response_monotonically() {
 fn io_cost_is_invariant_to_disk_count() {
     // Total device work depends on the fragmentation, not on how many
     // disks it is spread over.
-    let (schema, _, mix) = fixture();
+    let mut session = session();
     let frag = Fragmentation::from_pairs(&[(2, 2)]).unwrap();
     let costs: Vec<f64> = [4u32, 16, 64]
         .iter()
         .map(|&d| {
-            let system = SystemConfig::default_2001(d);
-            Advisor::new(&schema, &system, &mix, AdvisorConfig::default())
-                .unwrap()
-                .evaluate(&frag)
-                .io_cost_ms
+            session.set_system(SystemConfig::default_2001(d)).unwrap();
+            session.evaluate(&frag).io_cost_ms
         })
         .collect();
     assert!((costs[0] - costs[1]).abs() < 1e-9);
@@ -141,32 +137,37 @@ fn io_cost_is_invariant_to_disk_count() {
 
 #[test]
 fn scaled_schema_still_advises() {
-    let schema = apb1_like_schema(Apb1Config {
-        density: 0.02,
-        product_scale: 2,
-        customer_scale: 2,
-        months: 36,
-    })
-    .unwrap();
-    let mix = apb1_like_mix().unwrap();
-    let system = SystemConfig::default_2001(32);
-    let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-    let report = advisor.run();
-    assert!(!report.ranked.is_empty());
+    let mut session = Warlock::builder()
+        .schema(
+            apb1_like_schema(Apb1Config {
+                density: 0.02,
+                product_scale: 2,
+                customer_scale: 2,
+                months: 36,
+            })
+            .unwrap(),
+        )
+        .system(SystemConfig::default_2001(32))
+        .mix(apb1_like_mix().unwrap())
+        .build()
+        .unwrap();
+    assert!(!session.rank().ranked.is_empty());
     // Bigger warehouse: the winner still beats the unfragmented baseline.
-    let baseline = advisor.evaluate(&Fragmentation::none());
-    assert!(report.top().unwrap().cost.response_ms < baseline.response_ms);
+    let baseline = session.evaluate(&Fragmentation::none());
+    assert!(session.rank().top().unwrap().cost.response_ms < baseline.response_ms);
 }
 
 #[test]
 fn analysis_and_plan_agree_on_structure() {
-    let (schema, system, mix) = fixture();
-    let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-    let report = advisor.run();
+    let mut session = session();
+    let report = session.rank().clone();
     for r in report.ranked.iter().take(3) {
-        let analysis = advisor.analyze(&r.cost.fragmentation);
-        let plan = advisor.plan_allocation(&r.cost.fragmentation);
-        assert_eq!(analysis.num_fragments, plan.allocation.num_fragments() as u64);
+        let analysis = session.analyze(r.rank).unwrap();
+        let plan = session.plan_allocation(r.rank).unwrap();
+        assert_eq!(
+            analysis.num_fragments,
+            plan.allocation.num_fragments() as u64
+        );
         assert_eq!(analysis.per_class.len(), plan.per_class.len());
         assert!((analysis.weighted_response_ms - r.cost.response_ms).abs() < 1e-9);
         // Every fragment placed on a valid disk.
@@ -174,6 +175,6 @@ fn analysis_and_plan_agree_on_structure() {
             .allocation
             .placements()
             .iter()
-            .all(|&d| d < system.num_disks));
+            .all(|&d| d < session.system().num_disks));
     }
 }

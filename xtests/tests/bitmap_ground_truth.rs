@@ -25,8 +25,18 @@ fn schema() -> StarSchema {
                 .build()
                 .unwrap(),
         )
-        .dimension(Dimension::builder("channel").level("base", 6).build().unwrap())
-        .fact(FactTable::builder("sales").measure("m", 8).rows(200_000).build())
+        .dimension(
+            Dimension::builder("channel")
+                .level("base", 6)
+                .build()
+                .unwrap(),
+        )
+        .fact(
+            FactTable::builder("sales")
+                .measure("m", 8)
+                .rows(200_000)
+                .build(),
+        )
         .build()
         .unwrap()
 }

@@ -1,7 +1,7 @@
 //! Integration tests for the extension features: range fragmentation end
 //! to end (advisor → simulation) and heat-based allocation.
 
-use warlock::{Advisor, AdvisorConfig};
+use warlock::Warlock;
 use warlock_alloc::{greedy_by_heat, heat_imbalance, round_robin};
 use warlock_fragment::{FragmentLayout, Fragmentation, SkewModelExt};
 use warlock_schema::{apb1_like_schema, Apb1Config, Dimension, FactTable, StarSchema};
@@ -32,15 +32,17 @@ fn small_schema() -> StarSchema {
 
 #[test]
 fn ranged_candidate_equivalence_holds_through_the_advisor() {
-    let schema = apb1_like_schema(Apb1Config::default()).unwrap();
-    let mix = apb1_like_mix().unwrap();
-    let system = SystemConfig::default_2001(16);
-    let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
+    let session = Warlock::builder()
+        .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+        .system(SystemConfig::default_2001(16))
+        .mix(apb1_like_mix().unwrap())
+        .build()
+        .unwrap();
 
     let ranged = Fragmentation::from_ranged_pairs(&[(0, 5, 10), (2, 2, 1)]).unwrap();
     let point = Fragmentation::from_pairs(&[(0, 4), (2, 2)]).unwrap();
-    let a = advisor.evaluate(&ranged);
-    let b = advisor.evaluate(&point);
+    let a = session.evaluate(&ranged);
+    let b = session.evaluate(&point);
     assert_eq!(a.num_fragments, b.num_fragments);
     assert!((a.io_cost_ms - b.io_cost_ms).abs() < 1e-9);
     assert!((a.response_ms - b.response_ms).abs() < 1e-9);
@@ -148,31 +150,27 @@ fn page_hit_model_validated_on_materialized_fragments() {
         // Sanity: standard index agrees on the selection size.
         let div_col: Vec<u64> = column.iter().map(|&c| c / 16).collect();
         let std_idx = StandardBitmapIndex::build(4, &div_col);
-        assert_eq!(
-            std_idx.bitmap_for(1).count_ones(),
-            selection.count_ones()
-        );
+        assert_eq!(std_idx.bitmap_for(1).count_ones(), selection.count_ones());
     }
 }
 
 #[test]
 fn config_file_round_trip_drives_identical_advice() {
-    use warlock::config_file::{demo_config, parse_config, render_config};
+    use warlock::config_file::{demo_config, render_config};
 
     let demo = demo_config();
-    let advisor_a = Advisor::new(&demo.schema, &demo.system, &demo.mix, demo.advisor.clone())
-        .unwrap();
-    let report_a = advisor_a.run();
+    let rendered = render_config(&demo);
+    let report_a = Warlock::builder()
+        .schema(demo.schema)
+        .system(demo.system)
+        .mix(demo.mix)
+        .config(demo.advisor)
+        .build()
+        .unwrap()
+        .run();
 
-    let reparsed = parse_config(&render_config(&demo)).unwrap();
-    let advisor_b = Advisor::new(
-        &reparsed.schema,
-        &reparsed.system,
-        &reparsed.mix,
-        reparsed.advisor.clone(),
-    )
-    .unwrap();
-    let report_b = advisor_b.run();
+    // The facade can consume the rendered file directly.
+    let report_b = Warlock::from_config_str(&rendered).unwrap().run();
 
     assert_eq!(report_a.ranked.len(), report_b.ranked.len());
     for (a, b) in report_a.ranked.iter().zip(&report_b.ranked) {

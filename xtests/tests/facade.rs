@@ -1,0 +1,261 @@
+//! Integration tests for the owned `Warlock` session facade: builder
+//! validation, the unified `WarlockError` surface, and JSON round-trips.
+
+use warlock::prelude::*;
+
+fn schema() -> StarSchema {
+    apb1_like_schema(Apb1Config::default()).unwrap()
+}
+
+fn mix() -> QueryMix {
+    apb1_like_mix().unwrap()
+}
+
+fn system() -> SystemConfig {
+    SystemConfig::default_2001(16)
+}
+
+// ----------------------------------------------------------------------
+// Builder validation → error variants.
+
+#[test]
+fn missing_schema_is_reported_first() {
+    let e = Warlock::builder()
+        .system(system())
+        .mix(mix())
+        .build()
+        .unwrap_err();
+    assert_eq!(e, WarlockError::MissingInput { what: "schema" });
+    assert!(e.to_string().contains("schema"));
+}
+
+#[test]
+fn missing_system_is_reported() {
+    let e = Warlock::builder()
+        .schema(schema())
+        .mix(mix())
+        .build()
+        .unwrap_err();
+    assert_eq!(e, WarlockError::MissingInput { what: "system" });
+}
+
+#[test]
+fn missing_mix_is_reported() {
+    let e = Warlock::builder()
+        .schema(schema())
+        .system(system())
+        .build()
+        .unwrap_err();
+    assert_eq!(e, WarlockError::MissingInput { what: "mix" });
+}
+
+#[test]
+fn invalid_advisor_config_is_a_config_error() {
+    for bad in [
+        AdvisorConfig {
+            top_n: 0,
+            ..Default::default()
+        },
+        AdvisorConfig {
+            top_x_percent: 0.0,
+            ..Default::default()
+        },
+        AdvisorConfig {
+            min_keep: 0,
+            ..Default::default()
+        },
+        AdvisorConfig {
+            fact_index: 99,
+            ..Default::default()
+        },
+    ] {
+        let e = Warlock::builder()
+            .schema(schema())
+            .system(system())
+            .mix(mix())
+            .config(bad.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, WarlockError::Config(_)), "{bad:?} gave {e}");
+    }
+}
+
+#[test]
+fn invalid_system_is_a_system_error() {
+    let mut bad = system();
+    bad.disk.transfer_mb_per_s = 0.0;
+    let e = Warlock::builder()
+        .schema(schema())
+        .system(bad)
+        .mix(mix())
+        .build()
+        .unwrap_err();
+    assert!(matches!(e, WarlockError::System(_)));
+}
+
+#[test]
+fn skew_coverage_failure_is_a_skew_error() {
+    // 1 skew config for 4 dimensions.
+    let e = Warlock::builder()
+        .schema(schema())
+        .system(system())
+        .mix(mix())
+        .config(AdvisorConfig {
+            skew: Some(vec![DimensionSkew::UNIFORM]),
+            ..Default::default()
+        })
+        .build()
+        .unwrap_err();
+    match e {
+        WarlockError::Skew(msg) => assert!(msg.contains("4 dimensions"), "{msg}"),
+        other => panic!("expected Skew, got {other}"),
+    }
+}
+
+#[test]
+fn mismatched_mix_is_a_workload_error() {
+    // A mix referencing a dimension the schema does not have.
+    let tiny = StarSchema::builder()
+        .dimension(Dimension::builder("d").level("a", 4).build().unwrap())
+        .fact(FactTable::builder("f").measure("m", 8).rows(10_000).build())
+        .build()
+        .unwrap();
+    let e = Warlock::builder()
+        .schema(tiny)
+        .system(system())
+        .mix(mix())
+        .build()
+        .unwrap_err();
+    assert!(matches!(e, WarlockError::Workload(_)));
+}
+
+// ----------------------------------------------------------------------
+// `?` ergonomics: every substrate error converts into WarlockError.
+
+#[test]
+fn substrate_errors_flow_through_question_mark() {
+    fn build_everything() -> Result<Warlock, WarlockError> {
+        // SchemaError → WarlockError.
+        let schema = apb1_like_schema(Apb1Config::default())?;
+        // WorkloadError → WarlockError.
+        let mix = apb1_like_mix()?;
+        // CandidateError → WarlockError (an invalid candidate).
+        let _ = Fragmentation::from_pairs(&[(0, 0), (0, 1)])?;
+        Warlock::builder()
+            .schema(schema)
+            .system(SystemConfig::default_2001(16))
+            .mix(mix)
+            .build()
+    }
+    let e = build_everything().unwrap_err();
+    assert!(matches!(e, WarlockError::Candidate(_)));
+}
+
+#[test]
+fn config_file_and_io_errors_unify() {
+    assert!(matches!(
+        Warlock::from_config_str("[dimension truncated"),
+        Err(WarlockError::ConfigFile(_))
+    ));
+    assert!(matches!(
+        Warlock::from_config_path("/no/such/warlock.cfg"),
+        Err(WarlockError::Io(_))
+    ));
+    // Json parse errors unify too.
+    assert!(matches!(
+        SessionReport::from_json_str("{{nope"),
+        Err(WarlockError::Json(_))
+    ));
+}
+
+// ----------------------------------------------------------------------
+// Rank-indexed analysis errors.
+
+#[test]
+fn rank_out_of_range_names_the_bounds() {
+    let mut session = Warlock::builder()
+        .schema(schema())
+        .system(system())
+        .mix(mix())
+        .build()
+        .unwrap();
+    let available = session.rank().ranked.len();
+    let e = session.analyze(available + 7).unwrap_err();
+    assert_eq!(
+        e,
+        WarlockError::RankOutOfRange {
+            rank: available + 7,
+            available
+        }
+    );
+    assert!(e.to_string().contains(&format!("1..={available}")));
+}
+
+// ----------------------------------------------------------------------
+// JSON round-trips at the integration level.
+
+#[test]
+fn session_report_round_trips_and_rebuilds_candidates() {
+    let mut session = Warlock::builder()
+        .schema(schema())
+        .system(system())
+        .mix(mix())
+        .build()
+        .unwrap();
+    let report = session.session_report();
+    let text = report.to_json().pretty();
+    let parsed = SessionReport::from_json_str(&text).unwrap();
+    assert_eq!(parsed, report);
+
+    // The wire fragmentation of every ranked row rebuilds into the exact
+    // in-memory candidate, so a remote client can ask follow-up
+    // questions about any recommendation.
+    for (row, ranked) in parsed.ranking.iter().zip(&session.rank().ranked.clone()) {
+        let rebuilt =
+            warlock::serial::FragmentationAttr::to_fragmentation(&row.fragmentation).unwrap();
+        assert_eq!(rebuilt, ranked.cost.fragmentation);
+        // And re-evaluating it reproduces the serialized numbers.
+        let cost = session.evaluate(&rebuilt);
+        assert!((cost.response_ms - row.response_ms).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn json_reports_match_text_reports() {
+    let mut session = Warlock::builder()
+        .schema(schema())
+        .system(system())
+        .mix(mix())
+        .build()
+        .unwrap();
+    let report = session.session_report();
+    let text = warlock::report::render_ranking(session.rank());
+    // Every ranked row's rank appears in the text table; counters agree.
+    assert_eq!(report.ranking.len(), session.rank().ranked.len());
+    assert!(text.contains(&format!("{} enumerated", report.enumerated)));
+    let analysis = report.analysis.as_ref().unwrap();
+    assert_eq!(analysis.label, session.rank().top().unwrap().label);
+    let allocation = report.allocation.as_ref().unwrap();
+    assert_eq!(allocation.disks.len(), session.system().num_disks as usize);
+}
+
+#[test]
+fn tuning_deltas_serialize() {
+    let mut session = Warlock::builder()
+        .schema(schema())
+        .system(system())
+        .mix(mix())
+        .build()
+        .unwrap();
+    let (_, delta) = session.what_if_disks(64);
+    let json = delta.to_json();
+    assert_eq!(
+        json.get("variation").unwrap().as_str().unwrap(),
+        "disks = 64"
+    );
+    assert!(json
+        .get("recommendation_changed")
+        .unwrap()
+        .as_bool()
+        .is_some());
+}

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use warlock_alloc::{greedy_by_size, round_robin};
 use warlock_bitmap::{BitVec, RleBitmap};
 use warlock_cost::{cardenas_page_hits, estimated_response_ms, yao_page_hits};
-use warlock_fragment::{apportion, expected_distinct_groups, FragmentLayout, Fragmentation, QueryMatch, SkewModelExt};
+use warlock_fragment::{
+    apportion, expected_distinct_groups, FragmentLayout, Fragmentation, QueryMatch, SkewModelExt,
+};
 use warlock_schema::{apb1_like_schema, Apb1Config, StarSchema};
 use warlock_skew::ZipfWeights;
 use warlock_workload::{DimensionPredicate, QueryClass};
@@ -43,10 +45,12 @@ fn arb_fragmentation() -> impl Strategy<Value = Fragmentation> {
 
 /// Arbitrary valid query class over the APB-1-like schema.
 fn arb_query() -> impl Strategy<Value = QueryClass> {
-    let dims = [(0u16, [5u64, 15, 75, 300, 900, 9000].as_slice()),
+    let dims = [
+        (0u16, [5u64, 15, 75, 300, 900, 9000].as_slice()),
         (1, [90, 900].as_slice()),
         (2, [2, 8, 24].as_slice()),
-        (3, [9].as_slice())];
+        (3, [9].as_slice()),
+    ];
     proptest::sample::subsequence(vec![0usize, 1, 2, 3], 1..=4).prop_flat_map(move |chosen| {
         let strategies: Vec<_> = chosen
             .into_iter()

@@ -2,9 +2,9 @@
 //! workloads. Nothing here checks specific numbers — it checks that the
 //! pipeline upholds its contracts on arbitrary valid inputs.
 
-use warlock::{Advisor, AdvisorConfig};
+use warlock::prelude::*;
+use warlock::storage::Architecture;
 use warlock_schema::{random_schema, RandomSchemaConfig};
-use warlock_storage::{Architecture, SystemConfig};
 use warlock_workload::{GeneratorConfig, WorkloadGenerator};
 
 #[test]
@@ -27,9 +27,13 @@ fn advisor_never_fails_on_random_inputs() {
         if seed % 3 == 0 {
             system.architecture = Architecture::shared_disk(2, 4);
         }
-        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default())
+        let mut session = Warlock::builder()
+            .schema(schema)
+            .system(system)
+            .mix(mix)
+            .build()
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let report = advisor.run();
+        let report = session.rank().clone();
 
         // Contracts: bookkeeping adds up; rankings ordered; baseline is
         // never beaten on response by nothing (some candidate exists —
@@ -63,9 +67,9 @@ fn advisor_never_fails_on_random_inputs() {
         // Analysis and allocation of the winner must be internally
         // consistent on every random input.
         let top = report.top().unwrap();
-        let analysis = advisor.analyze(&top.cost.fragmentation);
+        let analysis = session.analyze(1).unwrap();
         assert_eq!(analysis.num_fragments, top.cost.num_fragments);
-        let plan = advisor.plan_allocation(&top.cost.fragmentation);
+        let plan = session.plan_allocation(1).unwrap();
         assert_eq!(
             plan.allocation.num_fragments() as u64,
             top.cost.num_fragments
@@ -80,7 +84,6 @@ fn advisor_never_fails_on_random_inputs() {
 
 #[test]
 fn what_if_tuning_survives_random_inputs() {
-    use warlock::TuningSession;
     for seed in 0..10u64 {
         let schema = random_schema(seed, RandomSchemaConfig::default()).unwrap();
         let mix = WorkloadGenerator::new(seed, GeneratorConfig::default()).mix(&schema);
@@ -135,8 +138,13 @@ fn degenerate_configurations_are_handled() {
     .mix(&schema);
     let mut system = SystemConfig::default_2001(1);
     system.architecture = Architecture::SharedEverything { processors: 1 };
-    let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-    let report = advisor.run();
+    let report = Warlock::builder()
+        .schema(schema)
+        .system(system)
+        .mix(mix)
+        .build()
+        .unwrap()
+        .run();
     assert!(!report.ranked.is_empty());
     // On one disk, response equals busy time for every candidate.
     for r in &report.ranked {
