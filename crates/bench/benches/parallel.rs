@@ -1,0 +1,67 @@
+//! Criterion: parallel candidate evaluation and the per-session
+//! evaluation cache.
+//!
+//! `engine/run_workers_*` sweeps the `AdvisorConfig::parallelism` knob
+//! over the full 168-candidate APB-1-like pipeline — the 4-worker point
+//! is expected to finish in well under half the serial wall-clock on a
+//! 4-way machine. `cache/*` contrasts a cold what-if variation (every
+//! candidate re-costed) with a warm one (pure cache hits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use warlock::AdvisorConfig;
+use warlock_bench::Fixture;
+
+fn bench_worker_sweep(c: &mut Criterion) {
+    let f = Fixture::demo();
+    let mut group = c.benchmark_group("engine");
+    for workers in [1usize, 2, 4, 8] {
+        let mut session = f.session_with(AdvisorConfig {
+            parallelism: workers,
+            ..Default::default()
+        });
+        group.bench_function(BenchmarkId::new("run_workers", workers), |b| {
+            b.iter(|| {
+                // Drop the memo so every iteration re-costs all 168
+                // candidates — this measures evaluation, not the cache.
+                session.invalidate();
+                black_box(session.rank().ranked.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cold_vs_warm_what_if(c: &mut Criterion) {
+    let f = Fixture::demo();
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("what_if_disks_cold", |b| {
+        b.iter(|| {
+            let mut session = f.session();
+            black_box(session.what_if_disks(64))
+        })
+    });
+    group.bench_function("what_if_disks_warm", |b| {
+        let mut session = f.session();
+        session.rank();
+        let _ = session.what_if_disks(64); // populate the variation's entries
+        b.iter(|| black_box(session.what_if_disks(64)))
+    });
+    group.finish();
+}
+
+/// Bounded-runtime criterion config (see `advisor.rs`).
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_worker_sweep, bench_cold_vs_warm_what_if
+}
+criterion_main!(benches);

@@ -194,6 +194,7 @@ impl<'a> Advisor<'a> {
             self.mix,
             &self.config,
             &self.scheme,
+            None,
         )
     }
 
@@ -203,6 +204,7 @@ impl<'a> Advisor<'a> {
         // of candidates: construct the model once per call, as before.
         CostModel::new(self.schema, self.system, &self.scheme, self.mix)
             .with_fact_index(self.config.fact_index)
+            .expect("fact index validated when the advisor was built")
             .evaluate(fragmentation)
     }
 

@@ -89,7 +89,9 @@ impl AllocationPlan {
         let used_greedy = allocation.scheme() == warlock_alloc::AllocationScheme::GreedySize;
 
         // Per-class profiles over a representative bound instance.
-        let model = CostModel::new(schema, system, scheme, mix).with_fact_index(fact_index);
+        let model = CostModel::new(schema, system, scheme, mix)
+            .with_fact_index(fact_index)
+            .expect("fact index validated before analysis");
         let cost = model.evaluate_layout(&layout);
         let avg_rows = layout.uniform_rows_per_fragment().max(1.0);
         let processors = system.architecture.total_processors();

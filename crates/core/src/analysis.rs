@@ -74,7 +74,9 @@ impl FragmentationAnalysis {
         fact_index: usize,
     ) -> Self {
         let layout = FragmentLayout::new(schema, fragmentation.clone(), fact_index);
-        let model = CostModel::new(schema, system, scheme, mix).with_fact_index(fact_index);
+        let model = CostModel::new(schema, system, scheme, mix)
+            .with_fact_index(fact_index)
+            .expect("fact index validated before analysis");
         let cost = model.evaluate_layout(&layout);
 
         let row_bytes = schema.fact_row_bytes(fact_index);

@@ -5,7 +5,7 @@
 //! advisor session, and prints the requested outputs.
 //!
 //! ```text
-//! warlock <config-file> [command]
+//! warlock [-j N | --parallelism N] <config-file> [command]
 //!
 //! commands:
 //!   rank              ranked fragmentation candidates (default)
@@ -14,6 +14,10 @@
 //!   excluded          threshold-excluded candidates with reasons
 //!   csv               ranking as CSV (for plotting)
 //!   json              complete advisory as JSON (ranking + analysis + allocation)
+//!
+//! `-j`/`--parallelism` overrides the configuration file's evaluation
+//! worker count (0 = auto, 1 = serial); any value yields identical
+//! advice.
 //! ```
 //!
 //! Exit codes: 0 on success (including an empty ranking — `rank`,
@@ -30,10 +34,28 @@ use warlock::json::ToJson;
 use warlock::report::{ranking_csv, render_allocation, render_analysis, render_ranking};
 use warlock::{Warlock, WarlockError};
 
-const USAGE: &str = "usage: warlock <config-file> [rank|analyze [N]|allocate [N]|excluded|csv|json]\n       warlock init   (print a starter configuration)";
+const USAGE: &str = "usage: warlock [-j N | --parallelism N] <config-file> [rank|analyze [N]|allocate [N]|excluded|csv|json]\n       warlock init   (print a starter configuration)";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    // Extract `-j N` / `--parallelism N` wherever it appears; the
+    // remaining arguments stay positional.
+    let mut parallelism: Option<usize> = None;
+    while let Some(pos) = args.iter().position(|a| a == "-j" || a == "--parallelism") {
+        let flag = args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("warlock: `{flag}` needs a worker count\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        let value = args.remove(pos);
+        match value.parse::<usize>() {
+            Ok(n) => parallelism = Some(n),
+            Err(_) => {
+                eprintln!("warlock: invalid worker count `{value}` for `{flag}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
     // `warlock init` emits the APB-1-like starter configuration.
     if args.first().map(String::as_str) == Some("init") {
         print!("{}", render_config(&demo_config()));
@@ -72,6 +94,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(workers) = parallelism {
+        let mut config = session.config().clone();
+        config.parallelism = workers;
+        if let Err(e) = session.set_config(config) {
+            eprintln!("warlock: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     match command {
         "rank" => print!("{}", render_ranking(session.rank())),

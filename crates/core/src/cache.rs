@@ -1,0 +1,252 @@
+//! Per-session memoization of candidate evaluations.
+//!
+//! What-if tuning (§3.3) re-runs the whole prediction pipeline against a
+//! perturbed input set, and interactive sessions issue the same
+//! variations repeatedly. Re-costing a candidate is only necessary when
+//! an input that feeds the cost model actually changed, so [`EvalCache`]
+//! memoizes per-candidate pipeline outcomes keyed by
+//! `(fingerprint of system/mix/scheme/thresholds, fragmentation)`.
+//!
+//! The fingerprint (see `CostModel::fingerprint`) covers *every* input
+//! the outcome depends on, so entries from different what-if variations
+//! coexist without invalidating one another: `what_if_disks(64)` twice
+//! re-costs nothing the second time, and returning to the baseline after
+//! a sweep is free. Mutating the session (`set_system`/`set_mix`/
+//! `set_config`) clears the cache outright — a changed session is a new
+//! tuning conversation, and clearing bounds memory across
+//! reconfigurations.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use warlock_cost::CandidateCost;
+use warlock_fragment::{Exclusion, Fragmentation};
+
+/// One memoized pipeline outcome for a candidate: either the exclusion
+/// the thresholds raised, or its evaluated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CachedOutcome {
+    /// The thresholds excluded the candidate.
+    Excluded(Exclusion),
+    /// The candidate survived and was costed.
+    Cost(CandidateCost),
+}
+
+/// Observable counters of an [`EvalCache`](crate::Warlock::cache_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalCacheStats {
+    /// Memoized candidate outcomes currently held.
+    pub entries: usize,
+    /// Lookups answered from the cache since the session was built (or
+    /// the cache last cleared).
+    pub hits: u64,
+    /// Lookups that required a fresh evaluation.
+    pub misses: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Inner {
+    /// Outcomes grouped by input fingerprint, then candidate — the
+    /// two-level shape lets a probe borrow the candidate instead of
+    /// cloning it into a tuple key.
+    map: HashMap<u128, HashMap<Fragmentation, CachedOutcome>>,
+    entries: usize,
+    hits: u64,
+    misses: u64,
+    /// Memoized single-candidate evaluation fingerprint (computing one
+    /// dumps every model input, so the session-invariant value is worth
+    /// keeping); cleared with the rest of the cache.
+    evaluate_fp: Option<u128>,
+}
+
+/// The per-session candidate-evaluation memo. Interior-mutable (and
+/// lock-protected, so a shared session can serve `&self` evaluations
+/// from several threads); cloning a session deep-copies the cache.
+#[derive(Debug, Default)]
+pub(crate) struct EvalCache {
+    inner: Mutex<Inner>,
+}
+
+/// Entry cap: a full APB-1-like run memoizes ~170 outcomes, so this
+/// allows hundreds of distinct what-if variations before the cache
+/// resets rather than growing without bound.
+const MAX_ENTRIES: usize = 1 << 16;
+
+impl EvalCache {
+    /// Returns the memoized outcome for `(fingerprint, fragmentation)`,
+    /// updating the hit/miss counters.
+    pub(crate) fn lookup(
+        &self,
+        fingerprint: u128,
+        fragmentation: &Fragmentation,
+    ) -> Option<CachedOutcome> {
+        let mut inner = self.inner.lock().expect("eval cache poisoned");
+        let found = inner
+            .map
+            .get(&fingerprint)
+            .and_then(|per_fp| per_fp.get(fragmentation))
+            .cloned();
+        match &found {
+            Some(_) => inner.hits += 1,
+            None => inner.misses += 1,
+        }
+        found
+    }
+
+    /// The memoized fingerprint for single-candidate evaluation,
+    /// computed at most once between clears (the session clears the
+    /// cache whenever an input the fingerprint covers changes).
+    pub(crate) fn evaluate_fp(&self, compute: impl FnOnce() -> u128) -> u128 {
+        let mut inner = self.inner.lock().expect("eval cache poisoned");
+        if let Some(fp) = inner.evaluate_fp {
+            return fp;
+        }
+        let fp = compute();
+        inner.evaluate_fp = Some(fp);
+        fp
+    }
+
+    /// Memoizes `outcome`; resets the map first if it is at capacity.
+    pub(crate) fn insert(
+        &self,
+        fingerprint: u128,
+        fragmentation: Fragmentation,
+        outcome: CachedOutcome,
+    ) {
+        let mut inner = self.inner.lock().expect("eval cache poisoned");
+        if inner.entries >= MAX_ENTRIES {
+            inner.map.clear();
+            inner.entries = 0;
+        }
+        if inner
+            .map
+            .entry(fingerprint)
+            .or_default()
+            .insert(fragmentation, outcome)
+            .is_none()
+        {
+            inner.entries += 1;
+        }
+    }
+
+    /// Drops every entry and resets the counters.
+    pub(crate) fn clear(&self) {
+        let mut inner = self.inner.lock().expect("eval cache poisoned");
+        *inner = Inner::default();
+    }
+
+    /// Current counters.
+    pub(crate) fn stats(&self) -> EvalCacheStats {
+        let inner = self.inner.lock().expect("eval cache poisoned");
+        EvalCacheStats {
+            entries: inner.entries,
+            hits: inner.hits,
+            misses: inner.misses,
+        }
+    }
+}
+
+impl Clone for EvalCache {
+    fn clone(&self) -> Self {
+        let inner = self.inner.lock().expect("eval cache poisoned").clone();
+        Self {
+            inner: Mutex::new(inner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(pairs: &[(u16, u16)]) -> Fragmentation {
+        Fragmentation::from_pairs(pairs).unwrap()
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let cache = EvalCache::default();
+        let f = frag(&[(0, 1)]);
+        assert_eq!(cache.lookup(7, &f), None);
+        cache.insert(
+            7,
+            f.clone(),
+            CachedOutcome::Excluded(Exclusion::FewerFragmentsThanDisks {
+                fragments: 1,
+                disks: 2,
+            }),
+        );
+        assert!(cache.lookup(7, &f).is_some());
+        // Same candidate under a different fingerprint is a different entry.
+        assert_eq!(cache.lookup(8, &f), None);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = EvalCache::default();
+        let f = frag(&[]);
+        cache.insert(
+            1,
+            f.clone(),
+            CachedOutcome::Excluded(Exclusion::FewerFragmentsThanDisks {
+                fragments: 1,
+                disks: 2,
+            }),
+        );
+        let _ = cache.lookup(1, &f);
+        cache.clear();
+        assert_eq!(cache.stats(), EvalCacheStats::default());
+    }
+
+    #[test]
+    fn evaluate_fp_computed_once_until_clear() {
+        let cache = EvalCache::default();
+        let calls = std::cell::Cell::new(0u32);
+        let compute = || {
+            calls.set(calls.get() + 1);
+            42
+        };
+        assert_eq!(cache.evaluate_fp(compute), 42);
+        assert_eq!(cache.evaluate_fp(|| 99), 42, "memo must win");
+        assert_eq!(calls.get(), 1);
+        cache.clear();
+        assert_eq!(cache.evaluate_fp(|| 7), 7, "clear must drop the memo");
+    }
+
+    #[test]
+    fn entries_count_distinct_outcomes_across_fingerprints() {
+        let cache = EvalCache::default();
+        let f = frag(&[(0, 0)]);
+        let outcome = CachedOutcome::Excluded(Exclusion::FewerFragmentsThanDisks {
+            fragments: 1,
+            disks: 2,
+        });
+        cache.insert(1, f.clone(), outcome.clone());
+        cache.insert(1, f.clone(), outcome.clone()); // overwrite, not a new entry
+        cache.insert(2, f.clone(), outcome.clone());
+        cache.insert(2, frag(&[(0, 1)]), outcome);
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn clone_is_a_deep_copy() {
+        let cache = EvalCache::default();
+        let f = frag(&[(0, 0)]);
+        cache.insert(
+            1,
+            f.clone(),
+            CachedOutcome::Excluded(Exclusion::FewerFragmentsThanDisks {
+                fragments: 1,
+                disks: 2,
+            }),
+        );
+        let copy = cache.clone();
+        cache.clear();
+        assert_eq!(copy.stats().entries, 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

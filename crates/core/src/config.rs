@@ -28,6 +28,12 @@ pub struct AdvisorConfig {
     pub skew: Option<Vec<DimensionSkew>>,
     /// Which fact table to advise on.
     pub fact_index: usize,
+    /// Worker threads for candidate evaluation: `0` = auto (all available
+    /// cores, overridable via the `WARLOCK_PARALLELISM` environment
+    /// variable), `1` = strictly serial, `n` = exactly `n` workers. Any
+    /// setting produces bit-identical reports; the knob only trades
+    /// wall-clock time for threads.
+    pub parallelism: usize,
 }
 
 impl Default for AdvisorConfig {
@@ -42,6 +48,7 @@ impl Default for AdvisorConfig {
             allocation_policy: AllocationPolicy::default(),
             skew: None,
             fact_index: 0,
+            parallelism: 0,
         }
     }
 }

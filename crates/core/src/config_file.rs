@@ -39,6 +39,7 @@
 //! top_x_percent = 10
 //! top_n = 10
 //! max_fragments = 1048576
+//! parallelism = auto                  # evaluation workers; 1 = serial
 //! ```
 //!
 //! Unknown keys are rejected (typos should fail loudly, not silently
@@ -338,6 +339,12 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
                 "min_keep" => advisor.min_keep = parse_num(value, lineno, "min_keep")?,
                 "max_fragments" => {
                     advisor.thresholds.max_fragments = parse_num(value, lineno, "max_fragments")?
+                }
+                "parallelism" => {
+                    advisor.parallelism = match value {
+                        "auto" => 0,
+                        n => parse_num(n, lineno, "parallelism")?,
+                    }
                 }
                 other => {
                     return Err(ConfigFileError::at(
@@ -645,6 +652,14 @@ pub fn render_config(parsed: &ParsedConfig) -> String {
     let _ = writeln!(out, "top_n = {}", adv.top_n);
     let _ = writeln!(out, "min_keep = {}", adv.min_keep);
     let _ = writeln!(out, "max_fragments = {}", adv.thresholds.max_fragments);
+    match adv.parallelism {
+        0 => {
+            let _ = writeln!(out, "parallelism = auto");
+        }
+        n => {
+            let _ = writeln!(out, "parallelism = {n}");
+        }
+    }
     out
 }
 
@@ -726,6 +741,26 @@ top_n = 5
             .run();
         assert!(!report.ranked.is_empty());
         assert!(report.ranked.len() <= 5);
+    }
+
+    #[test]
+    fn parallelism_key_parses_and_round_trips() {
+        let with = SAMPLE.replace("top_n = 5", "top_n = 5\nparallelism = 3");
+        let parsed = parse_config(&with).unwrap();
+        assert_eq!(parsed.advisor.parallelism, 3);
+        let reparsed = parse_config(&render_config(&parsed)).unwrap();
+        assert_eq!(reparsed.advisor.parallelism, 3);
+
+        let auto = SAMPLE.replace("top_n = 5", "top_n = 5\nparallelism = auto");
+        let parsed = parse_config(&auto).unwrap();
+        assert_eq!(parsed.advisor.parallelism, 0);
+        assert!(render_config(&parsed).contains("parallelism = auto"));
+
+        let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nparallelism = lots");
+        assert!(parse_config(&bad)
+            .unwrap_err()
+            .message
+            .contains("parallelism"));
     }
 
     #[test]

@@ -18,9 +18,12 @@ use warlock_workload::QueryMix;
 use crate::advisor::{AdvisorReport, ExcludedCandidate, RankedCandidate};
 use crate::allocation_plan::AllocationPlan;
 use crate::analysis::FragmentationAnalysis;
+use crate::cache::{CachedOutcome, EvalCache};
 use crate::config::AdvisorConfig;
 use crate::error::WarlockError;
 use crate::ranking::twofold_rank;
+
+pub(crate) mod exec;
 
 /// Validates all advisor inputs and derives the bitmap scheme and skew
 /// model the pipeline runs with.
@@ -75,44 +78,113 @@ pub(crate) fn threshold_context(
     }
 }
 
+/// The fingerprint of every input that determines a candidate's
+/// *pipeline* outcome (exclusion or cost): the cost model's inputs plus
+/// the exclusion thresholds. Salted differently from
+/// [`evaluate_fingerprint`] because a cached pipeline `Cost` also
+/// implies "passed the thresholds", which a bare evaluation does not.
+fn run_fingerprint(model: &CostModel<'_>, config: &AdvisorConfig) -> u128 {
+    warlock_cost::fingerprint128(&(
+        "run",
+        model.fingerprint(),
+        format!("{:?}", config.thresholds),
+    ))
+}
+
+/// Fingerprint for threshold-free single-candidate evaluation
+/// ([`evaluate`]); deliberately distinct from [`run_fingerprint`].
+fn evaluate_fingerprint(model: &CostModel<'_>) -> u128 {
+    warlock_cost::fingerprint128(&("evaluate", model.fingerprint()))
+}
+
+/// The full per-candidate pipeline step: overflow pre-check → layout →
+/// thresholds → cost. Pure in its inputs, so it can run on any worker.
+fn evaluate_candidate(
+    schema: &StarSchema,
+    config: &AdvisorConfig,
+    ctx: ThresholdContext,
+    model: &CostModel<'_>,
+    fragmentation: &Fragmentation,
+) -> CachedOutcome {
+    // Cheap overflow pre-check before materializing a layout.
+    let raw_count = fragmentation.num_fragments(schema);
+    if raw_count > u128::from(config.thresholds.max_fragments) {
+        return CachedOutcome::Excluded(Exclusion::TooManyFragments {
+            fragments: raw_count.min(u128::from(u64::MAX)) as u64,
+            limit: config.thresholds.max_fragments,
+        });
+    }
+    let layout = FragmentLayout::new(schema, fragmentation.clone(), config.fact_index);
+    match config.thresholds.check(&layout, ctx) {
+        Err(reason) => CachedOutcome::Excluded(reason),
+        Ok(()) => CachedOutcome::Cost(model.evaluate_layout(&layout)),
+    }
+}
+
 /// Runs the full prediction pipeline.
+///
+/// Candidate evaluation fans out over `config.parallelism` scoped worker
+/// threads (see [`exec`]); results are merged in enumeration order, so
+/// the report is bit-identical to the serial path. When `cache` is
+/// given, per-candidate outcomes are memoized under the input
+/// fingerprint and re-runs with unchanged inputs skip re-evaluation.
 pub(crate) fn run(
     schema: &StarSchema,
     system: &SystemConfig,
     mix: &QueryMix,
     config: &AdvisorConfig,
     scheme: &BitmapScheme,
+    cache: Option<&EvalCache>,
 ) -> AdvisorReport {
     let candidates = enumerate_candidates(schema, config.max_dimensionality);
     let enumerated = candidates.len();
     let ctx = threshold_context(schema, system, config);
 
-    let model = CostModel::new(schema, system, scheme, mix).with_fact_index(config.fact_index);
+    let model = CostModel::new(schema, system, scheme, mix)
+        .with_fact_index(config.fact_index)
+        .expect("fact index was validated when the session was built");
 
+    // Resolve what is already memoized; everything else is fresh work.
+    let fingerprint = cache.map(|_| run_fingerprint(&model, config));
+    let mut outcomes: Vec<Option<CachedOutcome>> = vec![None; candidates.len()];
+    let todo: Vec<usize> = match (cache, fingerprint) {
+        (Some(cache), Some(fp)) => {
+            let mut todo = Vec::new();
+            for (i, fragmentation) in candidates.iter().enumerate() {
+                match cache.lookup(fp, fragmentation) {
+                    Some(outcome) => outcomes[i] = Some(outcome),
+                    None => todo.push(i),
+                }
+            }
+            todo
+        }
+        _ => (0..candidates.len()).collect(),
+    };
+
+    // Fan the uncached evaluations out over scoped workers; `exec::map`
+    // returns them in `todo` order regardless of the worker count.
+    let workers = exec::effective_parallelism(config.parallelism);
+    let fresh = exec::map(workers, &todo, |&i| {
+        evaluate_candidate(schema, config, ctx, &model, &candidates[i])
+    });
+    for (&i, outcome) in todo.iter().zip(fresh) {
+        if let (Some(cache), Some(fp)) = (cache, fingerprint) {
+            cache.insert(fp, candidates[i].clone(), outcome.clone());
+        }
+        outcomes[i] = Some(outcome);
+    }
+
+    // Merge in enumeration order, exactly like the original serial loop.
     let mut excluded = Vec::new();
     let mut costs: Vec<CandidateCost> = Vec::with_capacity(candidates.len());
-    for fragmentation in candidates {
-        // Cheap overflow pre-check before materializing a layout.
-        let raw_count = fragmentation.num_fragments(schema);
-        if raw_count > u128::from(config.thresholds.max_fragments) {
-            excluded.push(ExcludedCandidate {
+    for (fragmentation, outcome) in candidates.into_iter().zip(outcomes) {
+        match outcome.expect("every candidate resolved") {
+            CachedOutcome::Excluded(reason) => excluded.push(ExcludedCandidate {
                 label: fragmentation.label(schema),
-                reason: Exclusion::TooManyFragments {
-                    fragments: raw_count.min(u128::from(u64::MAX)) as u64,
-                    limit: config.thresholds.max_fragments,
-                },
                 fragmentation,
-            });
-            continue;
-        }
-        let layout = FragmentLayout::new(schema, fragmentation, config.fact_index);
-        match config.thresholds.check(&layout, ctx) {
-            Err(reason) => excluded.push(ExcludedCandidate {
-                label: layout.fragmentation().label(schema),
-                fragmentation: layout.fragmentation().clone(),
                 reason,
             }),
-            Ok(()) => costs.push(model.evaluate_layout(&layout)),
+            CachedOutcome::Cost(cost) => costs.push(cost),
         }
     }
 
@@ -138,6 +210,16 @@ pub(crate) fn run(
     }
 }
 
+/// Labels a what-if knob, spelling out clamping instead of hiding it:
+/// requesting `0` disks runs with 1 disk, and the label must say so.
+fn clamped_label(what: &str, requested: u32, effective: u32, unit: &str) -> String {
+    if requested == effective {
+        format!("{what} = {requested}{unit}")
+    } else {
+        format!("{what} = {effective}{unit} (requested {requested}, clamped)")
+    }
+}
+
 /// What-if variation: `num_disks` disks. Returns the variation label and
 /// the re-run report; shared by [`crate::Warlock::what_if_disks`] and
 /// [`crate::TuningSession::with_disks`].
@@ -148,11 +230,13 @@ pub(crate) fn vary_disks(
     config: &AdvisorConfig,
     scheme: &BitmapScheme,
     num_disks: u32,
+    cache: Option<&EvalCache>,
 ) -> (String, AdvisorReport) {
+    let effective = num_disks.max(1);
     let mut system = *system;
-    system.num_disks = num_disks.max(1);
-    let report = run(schema, &system, mix, config, scheme);
-    (format!("disks = {num_disks}"), report)
+    system.num_disks = effective;
+    let report = run(schema, &system, mix, config, scheme, cache);
+    (clamped_label("disks", num_disks, effective, ""), report)
 }
 
 /// What-if variation: prefetch fixed at `pages` for fact tables and
@@ -164,13 +248,18 @@ pub(crate) fn vary_fixed_prefetch(
     config: &AdvisorConfig,
     scheme: &BitmapScheme,
     pages: u32,
+    cache: Option<&EvalCache>,
 ) -> (String, AdvisorReport) {
     use warlock_storage::PrefetchPolicy;
+    let effective = pages.max(1);
     let mut system = *system;
-    system.fact_prefetch = PrefetchPolicy::Fixed(pages.max(1));
-    system.bitmap_prefetch = PrefetchPolicy::Fixed(pages.max(1));
-    let report = run(schema, &system, mix, config, scheme);
-    (format!("prefetch = {pages} pages"), report)
+    system.fact_prefetch = PrefetchPolicy::Fixed(effective);
+    system.bitmap_prefetch = PrefetchPolicy::Fixed(effective);
+    let report = run(schema, &system, mix, config, scheme, cache);
+    (
+        clamped_label("prefetch", pages, effective, " pages"),
+        report,
+    )
 }
 
 /// What-if variation: the bitmap indexes of `dimension` dropped.
@@ -181,9 +270,10 @@ pub(crate) fn vary_without_bitmap_dimension(
     config: &AdvisorConfig,
     scheme: &BitmapScheme,
     dimension: warlock_schema::DimensionId,
+    cache: Option<&EvalCache>,
 ) -> (String, AdvisorReport) {
     let scheme = scheme.without_dimension(dimension);
-    let report = run(schema, system, mix, config, &scheme);
+    let report = run(schema, system, mix, config, &scheme, cache);
     (format!("no bitmaps on dimension {dimension}"), report)
 }
 
@@ -197,14 +287,17 @@ pub(crate) fn vary_without_class(
     mix: &QueryMix,
     config: &AdvisorConfig,
     name: &str,
+    cache: Option<&EvalCache>,
 ) -> Option<(String, AdvisorReport)> {
     let mix = mix.without_class(name)?;
     let scheme = BitmapScheme::derive(schema, &mix, config.scheme);
-    let report = run(schema, system, &mix, config, &scheme);
+    let report = run(schema, system, &mix, config, &scheme, cache);
     Some((format!("without class {name}"), report))
 }
 
-/// Evaluates a single candidate outside the ranking pipeline.
+/// Evaluates a single candidate outside the ranking pipeline, memoizing
+/// the cost when a session cache is given. Cached under a different
+/// fingerprint than the pipeline because no thresholds are applied here.
 pub(crate) fn evaluate(
     schema: &StarSchema,
     system: &SystemConfig,
@@ -212,10 +305,21 @@ pub(crate) fn evaluate(
     config: &AdvisorConfig,
     scheme: &BitmapScheme,
     fragmentation: &Fragmentation,
+    cache: Option<&EvalCache>,
 ) -> CandidateCost {
-    CostModel::new(schema, system, scheme, mix)
+    let model = CostModel::new(schema, system, scheme, mix)
         .with_fact_index(config.fact_index)
-        .evaluate(fragmentation)
+        .expect("fact index was validated when the session was built");
+    let Some(cache) = cache else {
+        return model.evaluate(fragmentation);
+    };
+    let fp = cache.evaluate_fp(|| evaluate_fingerprint(&model));
+    if let Some(CachedOutcome::Cost(cost)) = cache.lookup(fp, fragmentation) {
+        return cost;
+    }
+    let cost = model.evaluate(fragmentation);
+    cache.insert(fp, fragmentation.clone(), CachedOutcome::Cost(cost.clone()));
+    cost
 }
 
 /// Produces the detailed Fig.-2-style statistic for one candidate.

@@ -1,0 +1,123 @@
+//! Deterministic fan-out of independent per-candidate work.
+//!
+//! The prediction pipeline evaluates every enumerated fragmentation
+//! against the full query mix — an embarrassingly parallel workload
+//! (paper §3.2 ranks hundreds of independent candidates). This module
+//! fans that work out over [`std::thread::scope`] workers with **no
+//! external dependencies**: worker `w` of `W` takes the index slice
+//! `w, w+W, w+2W, …` (round-robin striding spreads expensive candidate
+//! clusters across workers), and the per-worker results are merged back
+//! in enumeration order, so the output is bit-identical to the serial
+//! path regardless of worker count or scheduling.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the automatic worker count (only
+/// consulted when [`crate::AdvisorConfig::parallelism`] is `0` = auto).
+/// CI uses it to pin a serial lane without editing configurations.
+pub(crate) const PARALLELISM_ENV: &str = "WARLOCK_PARALLELISM";
+
+/// Resolves a configured parallelism knob to a concrete worker count:
+/// `n >= 1` is taken literally; `0` means auto — the `WARLOCK_PARALLELISM`
+/// environment variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub(crate) fn effective_parallelism(requested: usize) -> usize {
+    if requested >= 1 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var(PARALLELISM_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item and returns the results **in input order**,
+/// using up to `workers` scoped threads. `workers <= 1` (or tiny inputs)
+/// runs inline without spawning. A panic in any worker propagates.
+pub(crate) fn map<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let per_worker: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| scope.spawn(move || items.iter().skip(w).step_by(workers).map(f).collect()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    // Interleave the strided slices back into enumeration order.
+    let mut iters: Vec<_> = per_worker.into_iter().map(Vec::into_iter).collect();
+    (0..items.len())
+        .map(|i| iters[i % workers].next().expect("strided arithmetic"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..101).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 4, 7, 16, 101, 500] {
+            assert_eq!(map(workers, &items, |&x| x * x), expected, "W={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(map(8, &Vec::<u32>::new(), |&x| x), Vec::<u32>::new());
+        assert_eq!(map(8, &[42], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..64).collect();
+        map(4, &items, |&x| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            x
+        });
+        assert!(seen.lock().unwrap().len() > 1, "work never left one thread");
+    }
+
+    #[test]
+    fn effective_parallelism_resolution() {
+        assert_eq!(effective_parallelism(1), 1);
+        assert_eq!(effective_parallelism(6), 6);
+        assert!(effective_parallelism(0) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = map(4, &items, |&x| {
+            if x == 9 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+}

@@ -71,6 +71,7 @@
 pub mod advisor;
 pub mod allocation_plan;
 pub mod analysis;
+pub mod cache;
 pub mod config;
 pub mod config_file;
 mod engine;
@@ -87,6 +88,7 @@ pub use advisor::Advisor;
 pub use advisor::{AdvisorReport, ExcludedCandidate, RankedCandidate};
 pub use allocation_plan::{AllocationPlan, ClassDiskProfile};
 pub use analysis::{ClassAnalysis, FragmentationAnalysis};
+pub use cache::EvalCacheStats;
 pub use config::AdvisorConfig;
 pub use error::WarlockError;
 pub use ranking::twofold_rank;

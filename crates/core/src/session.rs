@@ -36,6 +36,7 @@ use warlock_workload::QueryMix;
 use crate::advisor::AdvisorReport;
 use crate::allocation_plan::AllocationPlan;
 use crate::analysis::FragmentationAnalysis;
+use crate::cache::{EvalCache, EvalCacheStats};
 use crate::config::AdvisorConfig;
 use crate::config_file::parse_config;
 use crate::engine;
@@ -53,6 +54,9 @@ pub struct Warlock {
     scheme: BitmapScheme,
     skew: SkewModel,
     ranking: Option<AdvisorReport>,
+    /// Per-session memo of candidate evaluations, shared by the pipeline,
+    /// `evaluate` and every `what_if_*` variation. See [`crate::cache`].
+    eval_cache: EvalCache,
 }
 
 /// Assembles a [`Warlock`] session from owned inputs.
@@ -65,6 +69,7 @@ pub struct WarlockBuilder {
     system: Option<SystemConfig>,
     mix: Option<QueryMix>,
     config: AdvisorConfig,
+    parallelism: Option<usize>,
 }
 
 impl WarlockBuilder {
@@ -92,6 +97,14 @@ impl WarlockBuilder {
         self
     }
 
+    /// Sets the candidate-evaluation worker count (`0` = auto, `1` =
+    /// serial). Takes precedence over [`AdvisorConfig::parallelism`]
+    /// regardless of the order it is combined with [`config`](Self::config).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers);
+        self
+    }
+
     /// Validates every input and builds the session.
     ///
     /// # Errors
@@ -108,15 +121,20 @@ impl WarlockBuilder {
             .system
             .ok_or(WarlockError::MissingInput { what: "system" })?;
         let mix = self.mix.ok_or(WarlockError::MissingInput { what: "mix" })?;
-        let (scheme, skew) = engine::validate(&schema, &system, &mix, &self.config)?;
+        let mut config = self.config;
+        if let Some(workers) = self.parallelism {
+            config.parallelism = workers;
+        }
+        let (scheme, skew) = engine::validate(&schema, &system, &mix, &config)?;
         Ok(Warlock {
             schema,
             system,
             mix,
-            config: self.config,
+            config,
             scheme,
             skew,
             ranking: None,
+            eval_cache: EvalCache::default(),
         })
     }
 }
@@ -194,6 +212,7 @@ impl Warlock {
         system.validate().map_err(WarlockError::System)?;
         self.system = system;
         self.ranking = None;
+        self.eval_cache.clear();
         Ok(())
     }
 
@@ -204,6 +223,7 @@ impl Warlock {
         self.scheme = BitmapScheme::derive(&self.schema, &mix, self.config.scheme);
         self.mix = mix;
         self.ranking = None;
+        self.eval_cache.clear();
         Ok(())
     }
 
@@ -215,6 +235,7 @@ impl Warlock {
         self.scheme = scheme;
         self.skew = skew;
         self.ranking = None;
+        self.eval_cache.clear();
         Ok(())
     }
 
@@ -223,6 +244,7 @@ impl Warlock {
     pub fn with_scheme(mut self, scheme: BitmapScheme) -> Self {
         self.scheme = scheme;
         self.ranking = None;
+        self.eval_cache.clear();
         self
     }
 
@@ -235,7 +257,8 @@ impl Warlock {
     }
 
     /// Runs the prediction pipeline, ignoring and leaving untouched the
-    /// session's cached ranking.
+    /// session's cached *ranking* (the per-candidate evaluation memo is
+    /// still consulted and extended — see [`Warlock::cache_stats`]).
     pub fn run(&self) -> AdvisorReport {
         engine::run(
             &self.schema,
@@ -243,6 +266,7 @@ impl Warlock {
             &self.mix,
             &self.config,
             &self.scheme,
+            Some(&self.eval_cache),
         )
     }
 
@@ -262,9 +286,20 @@ impl Warlock {
         self.ranking.as_ref()
     }
 
-    /// Drops the cached ranking.
+    /// Drops the cached ranking **and** the per-candidate evaluation
+    /// memo: the next [`Warlock::rank`] recomputes everything.
     pub fn invalidate(&mut self) {
         self.ranking = None;
+        self.eval_cache.clear();
+    }
+
+    /// Counters of the per-session evaluation memo: how many candidate
+    /// outcomes are held, and how many lookups hit or missed since the
+    /// session was built (or last invalidated). Repeating a what-if
+    /// variation on a warm session shows pure hits — nothing is
+    /// re-costed.
+    pub fn cache_stats(&self) -> EvalCacheStats {
+        self.eval_cache.stats()
     }
 
     fn ranked_fragmentation(&mut self, rank: usize) -> Result<Fragmentation, WarlockError> {
@@ -300,6 +335,7 @@ impl Warlock {
             &self.config,
             &self.scheme,
             fragmentation,
+            Some(&self.eval_cache),
         )
     }
 
@@ -350,6 +386,7 @@ impl Warlock {
             &self.config,
             &self.scheme,
             num_disks,
+            Some(&self.eval_cache),
         );
         self.with_delta(varied)
     }
@@ -364,6 +401,7 @@ impl Warlock {
             &self.config,
             &self.scheme,
             pages,
+            Some(&self.eval_cache),
         );
         self.with_delta(varied)
     }
@@ -381,6 +419,7 @@ impl Warlock {
             &self.config,
             &self.scheme,
             dimension,
+            Some(&self.eval_cache),
         );
         self.with_delta(varied)
     }
@@ -390,8 +429,14 @@ impl Warlock {
     /// Returns `None` if removing the class would empty the mix or the
     /// name is unknown.
     pub fn what_if_without_class(&mut self, name: &str) -> Option<(AdvisorReport, TuningDelta)> {
-        let varied =
-            engine::vary_without_class(&self.schema, &self.system, &self.mix, &self.config, name)?;
+        let varied = engine::vary_without_class(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            name,
+            Some(&self.eval_cache),
+        )?;
         Some(self.with_delta(varied))
     }
 }
@@ -510,6 +555,87 @@ mod tests {
         assert!(delta.variation.contains("q01"));
         // The session's own inputs and cache are untouched.
         assert_eq!(s.rank(), &baseline);
+    }
+
+    #[test]
+    fn repeated_what_if_hits_the_eval_cache() {
+        let mut s = session();
+        s.rank();
+        let (first_report, _) = s.what_if_disks(64);
+        let after_first = s.cache_stats();
+        assert!(after_first.misses > 0, "cold variation must miss");
+        let (second_report, _) = s.what_if_disks(64);
+        let after_second = s.cache_stats();
+        assert_eq!(first_report, second_report);
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "warm re-run of the same variation must not re-cost anything"
+        );
+        assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn evaluate_memoizes_per_candidate() {
+        let s = session();
+        let frag = Fragmentation::from_pairs(&[(2, 2)]).unwrap();
+        let a = s.evaluate(&frag);
+        let misses = s.cache_stats().misses;
+        let b = s.evaluate(&frag);
+        assert_eq!(a, b);
+        assert_eq!(s.cache_stats().misses, misses);
+        assert!(s.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn input_mutation_clears_the_eval_cache() {
+        let mut s = session();
+        s.rank();
+        assert!(s.cache_stats().entries > 0);
+        let mut system = *s.system();
+        system.num_disks = 8;
+        s.set_system(system).unwrap();
+        assert_eq!(s.cache_stats().entries, 0);
+
+        s.rank();
+        assert!(s.cache_stats().entries > 0);
+        s.invalidate();
+        assert_eq!(s.cache_stats(), crate::cache::EvalCacheStats::default());
+    }
+
+    #[test]
+    fn parallelism_knob_does_not_change_the_report() {
+        let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+        let mix = apb1_like_mix().unwrap();
+        let build = |workers: usize| {
+            Warlock::builder()
+                .schema(schema.clone())
+                .system(SystemConfig::default_2001(16))
+                .mix(mix.clone())
+                .parallelism(workers)
+                .build()
+                .unwrap()
+        };
+        let serial = build(1);
+        assert_eq!(serial.config().parallelism, 1);
+        let reference = serial.run();
+        for workers in [2, 3, 8] {
+            assert_eq!(build(workers).run(), reference, "W={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn builder_parallelism_overrides_config_in_any_order() {
+        let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+        let mix = apb1_like_mix().unwrap();
+        let s = Warlock::builder()
+            .parallelism(5)
+            .schema(schema)
+            .system(SystemConfig::default_2001(16))
+            .mix(mix)
+            .config(AdvisorConfig::default())
+            .build()
+            .unwrap();
+        assert_eq!(s.config().parallelism, 5);
     }
 
     #[test]

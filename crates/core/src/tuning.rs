@@ -15,6 +15,7 @@ use warlock_storage::SystemConfig;
 use warlock_workload::QueryMix;
 
 use crate::advisor::{AdvisorError, AdvisorReport};
+use crate::cache::EvalCache;
 use crate::config::AdvisorConfig;
 use crate::engine;
 use crate::error::WarlockError;
@@ -68,6 +69,9 @@ pub struct TuningSession {
     config: AdvisorConfig,
     scheme: BitmapScheme,
     baseline: AdvisorReport,
+    /// Memoized candidate evaluations across variations (same semantics
+    /// as the session cache on [`crate::Warlock`]).
+    cache: EvalCache,
 }
 
 impl TuningSession {
@@ -80,7 +84,8 @@ impl TuningSession {
     ) -> Result<Self, AdvisorError> {
         let (scheme, _skew) = engine::validate(&schema, &system, &mix, &config)
             .map_err(WarlockError::into_advisor_error)?;
-        let baseline = engine::run(&schema, &system, &mix, &config, &scheme);
+        let cache = EvalCache::default();
+        let baseline = engine::run(&schema, &system, &mix, &config, &scheme, Some(&cache));
         Ok(Self {
             schema,
             system,
@@ -88,6 +93,7 @@ impl TuningSession {
             config,
             scheme,
             baseline,
+            cache,
         })
     }
 
@@ -114,6 +120,7 @@ impl TuningSession {
             &self.config,
             &self.scheme,
             num_disks,
+            Some(&self.cache),
         ))
     }
 
@@ -127,6 +134,7 @@ impl TuningSession {
             &self.config,
             &self.scheme,
             pages,
+            Some(&self.cache),
         ))
     }
 
@@ -140,6 +148,7 @@ impl TuningSession {
             &self.config,
             &self.scheme,
             dimension,
+            Some(&self.cache),
         ))
     }
 
@@ -148,8 +157,14 @@ impl TuningSession {
     /// Returns `None` if removing the class would empty the mix or the
     /// name is unknown.
     pub fn without_class(&self, name: &str) -> Option<(AdvisorReport, TuningDelta)> {
-        let varied =
-            engine::vary_without_class(&self.schema, &self.system, &self.mix, &self.config, name)?;
+        let varied = engine::vary_without_class(
+            &self.schema,
+            &self.system,
+            &self.mix,
+            &self.config,
+            name,
+            Some(&self.cache),
+        )?;
         Some(self.with_delta(varied))
     }
 }
@@ -211,6 +226,45 @@ mod tests {
         assert!(!report.ranked.is_empty());
         assert!(delta.variation.contains("q01"));
         assert!(s.without_class("nonexistent").is_none());
+    }
+
+    #[test]
+    fn zero_disks_label_reports_the_effective_value() {
+        // `0` disks is clamped to 1 — the label used to claim "disks = 0"
+        // while the run actually modeled one disk.
+        let s = session();
+        let (_, delta) = s.with_disks(0);
+        assert!(
+            delta.variation.contains("disks = 1"),
+            "label `{}` must report the effective disk count",
+            delta.variation
+        );
+        assert!(
+            delta.variation.contains("requested 0"),
+            "label `{}` must expose the clamp",
+            delta.variation
+        );
+        // The clamped run is exactly the 1-disk run.
+        let (one_disk, _) = s.with_disks(1);
+        let (zero_disk, _) = s.with_disks(0);
+        assert_eq!(zero_disk, one_disk);
+    }
+
+    #[test]
+    fn zero_prefetch_label_reports_the_effective_value() {
+        let s = session();
+        let (report_zero, delta) = s.with_fixed_prefetch(0);
+        assert!(
+            delta.variation.contains("prefetch = 1 pages")
+                && delta.variation.contains("requested 0"),
+            "label `{}` hides the clamp",
+            delta.variation
+        );
+        let (report_one, one) = s.with_fixed_prefetch(1);
+        assert!(
+            one.variation.contains("prefetch = 1 pages") && !one.variation.contains("requested")
+        );
+        assert_eq!(report_zero, report_one);
     }
 
     #[test]

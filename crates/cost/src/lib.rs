@@ -56,7 +56,7 @@ pub mod yao;
 
 pub use access::{AccessPath, QueryCost};
 pub use contention::{contention_estimate, load_curve, ContentionEstimate, LoadPoint};
-pub use model::{CandidateCost, CostModel};
+pub use model::{fingerprint128, CandidateCost, CostModel};
 pub use prefetch::effective_prefetch;
 pub use response::estimated_response_ms;
 pub use yao::{cardenas_page_hits, yao_page_hits};

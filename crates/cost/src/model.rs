@@ -57,10 +57,36 @@ impl<'a> CostModel<'a> {
     }
 
     /// Selects a different fact table.
-    pub fn with_fact_index(mut self, fact_index: usize) -> Self {
-        assert!(fact_index < self.schema.facts().len(), "fact index");
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `fact_index` does not name a fact table of
+    /// the schema. (This used to panic, which let data-dependent input
+    /// crash library callers.)
+    pub fn with_fact_index(mut self, fact_index: usize) -> Result<Self, String> {
+        let available = self.schema.facts().len();
+        if fact_index >= available {
+            return Err(format!(
+                "fact index {fact_index} out of range (schema has {available} fact table(s))"
+            ));
+        }
         self.fact_index = fact_index;
-        self
+        Ok(self)
+    }
+
+    /// A cheap fingerprint of every input that determines this model's
+    /// outputs: schema, system, bitmap scheme, weighted mix and fact
+    /// index. Two models with equal fingerprints produce bit-identical
+    /// [`CandidateCost`]s for the same candidate.
+    ///
+    /// The value is only meaningful within one process (it hashes the
+    /// `Debug` representations); it exists so sessions can memoize
+    /// evaluations across what-if variations without deep comparisons.
+    pub fn fingerprint(&self) -> u128 {
+        crate::fingerprint128(&format!(
+            "{:?}|{:?}|{:?}|{:?}|{}",
+            self.schema, self.system, self.scheme, self.mix, self.fact_index
+        ))
     }
 
     /// The schema the model evaluates against.
@@ -119,6 +145,20 @@ impl<'a> CostModel<'a> {
             per_query,
         }
     }
+}
+
+/// Hashes any input into a 128-bit value via two independently salted
+/// passes of the standard hasher. The shared widening primitive behind
+/// [`CostModel::fingerprint`] and the advisor's cache keys; only
+/// meaningful within one process.
+pub fn fingerprint128<H: std::hash::Hash + ?Sized>(input: &H) -> u128 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut lo = DefaultHasher::new();
+    input.hash(&mut lo);
+    let mut hi = DefaultHasher::new();
+    (0xa5a5_5a5au32, input).hash(&mut hi);
+    (u128::from(hi.finish()) << 64) | u128::from(lo.finish())
 }
 
 #[cfg(test)]
@@ -198,15 +238,49 @@ mod tests {
     fn with_fact_index_validates() {
         let f = fixture();
         let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
-        assert_eq!(model.with_fact_index(0).fact_index(), 0);
+        assert_eq!(model.with_fact_index(0).unwrap().fact_index(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "fact index")]
-    fn bad_fact_index_panics() {
+    fn bad_fact_index_is_an_error_not_a_panic() {
         let f = fixture();
         let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
-        let _ = model.with_fact_index(3);
+        let err = model.with_fact_index(3).unwrap_err();
+        assert!(err.contains("fact index 3"), "{err}");
+        assert!(err.contains("1 fact table"), "{err}");
+    }
+
+    #[test]
+    fn model_and_inputs_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CostModel<'static>>();
+        assert_send_sync::<CandidateCost>();
+        assert_send_sync::<StarSchema>();
+        assert_send_sync::<SystemConfig>();
+        assert_send_sync::<BitmapScheme>();
+        assert_send_sync::<QueryMix>();
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_input() {
+        let f = fixture();
+        let base = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix).fingerprint();
+        assert_eq!(
+            base,
+            CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix).fingerprint(),
+            "fingerprint must be deterministic"
+        );
+        let mut other_system = f.system;
+        other_system.num_disks += 1;
+        assert_ne!(
+            base,
+            CostModel::new(&f.schema, &other_system, &f.scheme, &f.mix).fingerprint()
+        );
+        let reduced = f.scheme.without_dimension(warlock_schema::DimensionId(0));
+        assert_ne!(
+            base,
+            CostModel::new(&f.schema, &f.system, &reduced, &f.mix).fingerprint()
+        );
     }
 
     #[test]

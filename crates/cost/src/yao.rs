@@ -17,7 +17,9 @@ pub fn yao_page_hits(rows: u64, pages: u64, k: f64) -> f64 {
     if rows.is_multiple_of(pages) {
         expected_distinct_groups(rows, pages, k_int)
     } else {
-        cardenas_page_hits(pages, k)
+        // Clamp to `rows` exactly like the exact branch: selecting more
+        // rows than exist cannot touch more pages than selecting them all.
+        cardenas_page_hits(pages, k.min(rows as f64))
     }
 }
 
@@ -101,6 +103,22 @@ mod tests {
         // 1001 rows in 10 pages — Yao precondition fails, Cardenas used.
         let h = yao_page_hits(1001, 10, 5.0);
         assert_close(h, cardenas_page_hits(10, 5.0), 1e-12);
+    }
+
+    #[test]
+    fn cardenas_fallback_clamps_k_to_rows() {
+        // 1001 rows in 10 pages: non-divisible, so the Cardenas fallback
+        // runs. Selecting "more rows than exist" must report exactly the
+        // hits of selecting every row — the unclamped formula kept
+        // climbing past it.
+        let all = yao_page_hits(1001, 10, 1001.0);
+        for k in [1002.0, 2000.0, 1e6] {
+            assert_close(yao_page_hits(1001, 10, k), all, 1e-12);
+        }
+        // Few rows spread over many pages: hits can never exceed the
+        // row count even when k is wildly oversized.
+        let h = yao_page_hits(7, 5, 1e9);
+        assert!(h <= 7.0 + 1e-9, "hits {h} exceed the 7 rows that exist");
     }
 
     #[test]
