@@ -11,7 +11,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
     let f = Fixture::demo();
     c.bench_function("advisor/full_run_168_candidates", |b| {
         let advisor = f.session();
-        b.iter(|| black_box(advisor.run()))
+        b.iter(|| black_box(advisor.run().unwrap()))
     });
 }
 
@@ -20,7 +20,7 @@ fn bench_single_candidate(c: &mut Criterion) {
     let advisor = f.session();
     let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap();
     c.bench_function("advisor/evaluate_one_candidate", |b| {
-        b.iter(|| black_box(advisor.evaluate(black_box(&frag))))
+        b.iter(|| black_box(advisor.evaluate(black_box(&frag)).unwrap()))
     });
 }
 
@@ -29,10 +29,10 @@ fn bench_analysis_and_plan(c: &mut Criterion) {
     let advisor = f.session();
     let frag = Fragmentation::from_pairs(&[(0, 1), (2, 2)]).unwrap();
     c.bench_function("advisor/analyze_candidate", |b| {
-        b.iter(|| black_box(advisor.analyze_candidate(black_box(&frag))))
+        b.iter(|| black_box(advisor.analyze_candidate(black_box(&frag)).unwrap()))
     });
     c.bench_function("advisor/plan_allocation_360_fragments", |b| {
-        b.iter(|| black_box(advisor.plan_candidate(black_box(&frag))))
+        b.iter(|| black_box(advisor.plan_candidate(black_box(&frag)).unwrap()))
     });
 }
 
@@ -44,7 +44,7 @@ fn bench_shallow_run(c: &mut Criterion) {
             ..Default::default()
         };
         let advisor = f.session_with(config);
-        b.iter(|| black_box(advisor.run()))
+        b.iter(|| black_box(advisor.run().unwrap()))
     });
 }
 

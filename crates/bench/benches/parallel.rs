@@ -26,7 +26,7 @@ fn bench_worker_sweep(c: &mut Criterion) {
                 // Drop the memo so every iteration re-costs all 168
                 // candidates — this measures evaluation, not the cache.
                 session.invalidate();
-                black_box(session.rank().ranked.len())
+                black_box(session.rank().unwrap().ranked.len())
             })
         });
     }
@@ -38,15 +38,15 @@ fn bench_cold_vs_warm_what_if(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache");
     group.bench_function("what_if_disks_cold", |b| {
         b.iter(|| {
-            let mut session = f.session();
-            black_box(session.what_if_disks(64))
+            let session = f.session();
+            black_box(session.what_if_disks(64).unwrap())
         })
     });
     group.bench_function("what_if_disks_warm", |b| {
-        let mut session = f.session();
-        session.rank();
-        let _ = session.what_if_disks(64); // populate the variation's entries
-        b.iter(|| black_box(session.what_if_disks(64)))
+        let session = f.session();
+        session.rank().unwrap();
+        let _ = session.what_if_disks(64).unwrap(); // populate the variation's entries
+        b.iter(|| black_box(session.what_if_disks(64).unwrap()))
     });
     group.finish();
 }

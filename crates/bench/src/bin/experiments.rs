@@ -56,11 +56,15 @@ fn e1() {
     heading("e1", "per-fragmentation query analysis (Fig. 2 top)");
     let f = Fixture::demo();
     let advisor = f.session();
-    let report = advisor.run();
+    let report = advisor.run().expect("pipeline runs");
     let top = report.top().expect("candidates survive");
     println!(
         "{}",
-        render_analysis(&advisor.analyze_candidate(&top.cost.fragmentation))
+        render_analysis(
+            &advisor
+                .analyze_candidate(&top.cost.fragmentation)
+                .expect("analyzes")
+        )
     );
 }
 
@@ -72,7 +76,7 @@ fn e2() {
         top_n: 15,
         ..Default::default()
     };
-    let report = f.session_with(config).run();
+    let report = f.session_with(config).run().expect("pipeline runs");
     println!("{}", render_ranking(&report));
 }
 
@@ -92,7 +96,7 @@ fn e3() {
         if advisor.config().thresholds.check(&layout, ctx).is_err() {
             continue;
         }
-        let cost = advisor.evaluate(layout.fragmentation());
+        let cost = advisor.evaluate(layout.fragmentation()).expect("evaluates");
         rows.push((
             layout.fragmentation().label(&f.schema),
             layout.num_fragments(),
@@ -155,7 +159,7 @@ fn e4() {
         let advisor = f.session();
         print!("{:<8}", disks);
         for (_, frag) in &candidates {
-            let rt = advisor.evaluate(frag).response_ms;
+            let rt = advisor.evaluate(frag).expect("evaluates").response_ms;
             print!(" {:>30.1}ms", rt);
         }
         println!();
@@ -176,7 +180,7 @@ fn e5() {
         let mut f = Fixture::demo();
         f.system.fact_prefetch = PrefetchPolicy::Fixed(pages);
         f.system.bitmap_prefetch = PrefetchPolicy::Fixed(pages);
-        let cost = f.session().evaluate(&frag);
+        let cost = f.session().evaluate(&frag).expect("evaluates");
         println!(
             "{:<12} {:>14.1} {:>14.1} {:>12.0}",
             format!("fixed {pages}"),
@@ -186,7 +190,7 @@ fn e5() {
         );
     }
     let f = Fixture::demo(); // auto policy is the default
-    let cost = f.session().evaluate(&frag);
+    let cost = f.session().evaluate(&frag).expect("evaluates");
     println!(
         "{:<12} {:>14.1} {:>14.1} {:>12.0}",
         "auto", cost.io_cost_ms, cost.response_ms, cost.total_ios
@@ -307,7 +311,7 @@ fn e8() {
             if d > 0 && advisor.config().thresholds.check(&layout, ctx).is_err() {
                 continue;
             }
-            let cost = advisor.evaluate(layout.fragmentation());
+            let cost = advisor.evaluate(layout.fragmentation()).expect("evaluates");
             let row = (
                 layout.fragmentation().label(&f.schema),
                 layout.num_fragments(),
@@ -354,7 +358,7 @@ fn e9() {
         ] {
             let mut f = Fixture::demo();
             f.system.architecture = arch;
-            let cost = f.session().evaluate(&frag);
+            let cost = f.session().evaluate(&frag).expect("evaluates");
             println!(
                 "{:<14} {:<26} {:>14.1} {:>14.1}",
                 procs, name, cost.io_cost_ms, cost.response_ms
@@ -369,11 +373,15 @@ fn e10() {
     heading("e10", "physical allocation scheme (Fig. 2 bottom)");
     let f = Fixture::demo();
     let advisor = f.session();
-    let report = advisor.run();
+    let report = advisor.run().expect("pipeline runs");
     let top = report.top().expect("candidates survive");
     println!(
         "{}",
-        render_allocation(&advisor.plan_candidate(&top.cost.fragmentation))
+        render_allocation(
+            &advisor
+                .plan_candidate(&top.cost.fragmentation)
+                .expect("plans")
+        )
     );
 }
 
@@ -386,7 +394,7 @@ fn e11() {
     let f = Fixture::demo();
 
     // Twofold (the paper's heuristic).
-    let twofold = f.session().run();
+    let twofold = f.session().run().expect("pipeline runs");
     let twofold_top = twofold.top().expect("candidates").clone();
 
     // Response-only: keep 100 % in phase 1.
@@ -395,7 +403,8 @@ fn e11() {
             top_x_percent: 100.0,
             ..Default::default()
         })
-        .run();
+        .run()
+        .expect("pipeline runs");
     let response_top = response_only.top().expect("candidates").clone();
 
     // I/O-only: phase 1 keeps exactly the cheapest candidate.
@@ -406,7 +415,8 @@ fn e11() {
             top_n: 1,
             ..Default::default()
         })
-        .run();
+        .run()
+        .expect("pipeline runs");
     let io_top = io_only.top().expect("candidates").clone();
 
     println!(
@@ -457,7 +467,7 @@ fn e12() {
     ];
     let costs: Vec<_> = candidates
         .iter()
-        .map(|(_, c)| advisor.evaluate(c))
+        .map(|(_, c)| advisor.evaluate(c).expect("evaluates"))
         .collect();
     print!("{:<14}", "load [q/s]");
     for (name, _) in &candidates {
@@ -529,7 +539,7 @@ fn e13() {
     );
     println!("{}", "-".repeat(78));
     for (name, frag) in &candidates {
-        let cost = advisor.evaluate(frag);
+        let cost = advisor.evaluate(frag).expect("evaluates");
         println!(
             "{:<36} {:>10} {:>14.1} {:>14.1}",
             name, cost.num_fragments, cost.io_cost_ms, cost.response_ms
@@ -712,7 +722,7 @@ fn v1() {
             vec![1u64; layout.num_fragments() as usize],
             f.system.num_disks,
         );
-        let cost = advisor.evaluate(&frag);
+        let cost = advisor.evaluate(&frag).expect("evaluates");
         let stats = warlock_sim::closed_workload(
             &f.schema,
             &f.system,

@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn demo_fixture_builds_and_advises() {
         let f = Fixture::demo();
-        let report = f.session().run();
+        let report = f.session().run().unwrap();
         assert!(!report.ranked.is_empty());
     }
 

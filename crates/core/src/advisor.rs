@@ -1,54 +1,14 @@
-//! The legacy borrowing advisor handle and the pipeline's report types.
+//! The prediction pipeline's report types.
 //!
-//! [`Advisor`] predates the owned [`crate::Warlock`] session facade: it
-//! borrows its inputs for a lifetime `'a` and therefore cannot back a
-//! long-lived advisory service. It is kept for one release as a thin
-//! deprecated shim over the same engine; new code should use
-//! [`crate::Warlock`].
-
-use std::fmt;
+//! An [`AdvisorReport`] is what one full pipeline run produces: the
+//! twofold-ranked candidate list, the threshold-excluded candidates with
+//! their reasons, and bookkeeping counters. The deprecated borrowing
+//! `Advisor<'a>` handle that used to live here is gone — the owned
+//! [`crate::Warlock`] session facade is the one way to run the pipeline.
 
 use warlock_bitmap::BitmapScheme;
-use warlock_cost::{CandidateCost, CostModel};
-use warlock_fragment::{Exclusion, Fragmentation, ThresholdContext};
-use warlock_schema::StarSchema;
-use warlock_skew::SkewModel;
-use warlock_storage::SystemConfig;
-use warlock_workload::{QueryMix, WorkloadError};
-
-use crate::allocation_plan::AllocationPlan;
-use crate::analysis::FragmentationAnalysis;
-use crate::config::AdvisorConfig;
-use crate::engine;
-
-/// Errors raised when assembling a legacy [`Advisor`].
-///
-/// New code should match on [`crate::WarlockError`], which this enum
-/// converts into via `From`.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AdvisorError {
-    /// The advisor configuration is inconsistent.
-    Config(String),
-    /// The system configuration is inconsistent.
-    System(String),
-    /// The query mix does not validate against the schema.
-    Workload(WorkloadError),
-    /// The skew configuration does not cover every dimension.
-    Skew(String),
-}
-
-impl fmt::Display for AdvisorError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Config(msg) => write!(f, "advisor config: {msg}"),
-            Self::System(msg) => write!(f, "system config: {msg}"),
-            Self::Workload(e) => write!(f, "workload: {e}"),
-            Self::Skew(msg) => write!(f, "skew config: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for AdvisorError {}
+use warlock_cost::CandidateCost;
+use warlock_fragment::{Exclusion, Fragmentation};
 
 /// A candidate excluded by the thresholds, with its reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,159 +61,28 @@ impl AdvisorReport {
     }
 }
 
-/// The legacy borrowing advisor handle. Deprecated: use the owned
-/// [`crate::Warlock`] session facade instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the owned `warlock::Warlock` session facade (`Warlock::builder()`)"
-)]
-#[derive(Debug, Clone)]
-pub struct Advisor<'a> {
-    schema: &'a StarSchema,
-    system: &'a SystemConfig,
-    mix: &'a QueryMix,
-    config: AdvisorConfig,
-    scheme: BitmapScheme,
-    skew: SkewModel,
-}
-
-#[allow(deprecated)]
-impl<'a> Advisor<'a> {
-    /// Assembles an advisor, validating every input.
-    pub fn new(
-        schema: &'a StarSchema,
-        system: &'a SystemConfig,
-        mix: &'a QueryMix,
-        config: AdvisorConfig,
-    ) -> Result<Self, AdvisorError> {
-        let (scheme, skew) = engine::validate(schema, system, mix, &config)
-            .map_err(crate::WarlockError::into_advisor_error)?;
-        Ok(Self {
-            schema,
-            system,
-            mix,
-            config,
-            scheme,
-            skew,
-        })
-    }
-
-    /// The schema under advisement.
-    #[inline]
-    pub fn schema(&self) -> &StarSchema {
-        self.schema
-    }
-
-    /// The system configuration.
-    #[inline]
-    pub fn system(&self) -> &SystemConfig {
-        self.system
-    }
-
-    /// The query mix.
-    #[inline]
-    pub fn mix(&self) -> &QueryMix {
-        self.mix
-    }
-
-    /// The advisor configuration.
-    #[inline]
-    pub fn config(&self) -> &AdvisorConfig {
-        &self.config
-    }
-
-    /// The derived bitmap scheme.
-    #[inline]
-    pub fn scheme(&self) -> &BitmapScheme {
-        &self.scheme
-    }
-
-    /// Overrides the bitmap scheme (interactive tuning: "the user may
-    /// decide to exclude some of the suggested bitmap indices").
-    pub fn with_scheme(mut self, scheme: BitmapScheme) -> Self {
-        self.scheme = scheme;
-        self
-    }
-
-    /// The skew model in effect.
-    #[inline]
-    pub fn skew(&self) -> &SkewModel {
-        &self.skew
-    }
-
-    /// The threshold context derived from the system configuration.
-    pub fn threshold_context(&self) -> ThresholdContext {
-        engine::threshold_context(self.schema, self.system, &self.config)
-    }
-
-    /// Runs the full prediction pipeline.
-    pub fn run(&self) -> AdvisorReport {
-        engine::run(
-            self.schema,
-            self.system,
-            self.mix,
-            &self.config,
-            &self.scheme,
-            None,
-        )
-    }
-
-    /// Evaluates a single candidate outside the ranking pipeline.
-    pub fn evaluate(&self, fragmentation: &Fragmentation) -> CandidateCost {
-        // Kept on the legacy handle for benches that evaluate thousands
-        // of candidates: construct the model once per call, as before.
-        CostModel::new(self.schema, self.system, &self.scheme, self.mix)
-            .with_fact_index(self.config.fact_index)
-            .expect("fact index validated when the advisor was built")
-            .evaluate(fragmentation)
-    }
-
-    /// Produces the detailed Fig.-2-style statistic for one candidate.
-    pub fn analyze(&self, fragmentation: &Fragmentation) -> FragmentationAnalysis {
-        engine::analyze(
-            self.schema,
-            self.system,
-            self.mix,
-            &self.config,
-            &self.scheme,
-            fragmentation,
-        )
-    }
-
-    /// Computes the physical allocation plan for one candidate.
-    pub fn plan_allocation(&self, fragmentation: &Fragmentation) -> AllocationPlan {
-        engine::plan_allocation(
-            self.schema,
-            self.system,
-            self.mix,
-            &self.config,
-            &self.scheme,
-            &self.skew,
-            fragmentation,
-        )
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
-    use super::*;
+    use crate::config::AdvisorConfig;
+    use crate::Warlock;
+    use warlock_fragment::{Exclusion, Fragmentation};
     use warlock_schema::{apb1_like_schema, Apb1Config};
+    use warlock_storage::SystemConfig;
     use warlock_workload::apb1_like_mix;
 
-    fn fixture() -> (StarSchema, SystemConfig, QueryMix) {
-        (
-            apb1_like_schema(Apb1Config::default()).unwrap(),
-            SystemConfig::default_2001(16),
-            apb1_like_mix().unwrap(),
-        )
+    fn session_with(config: AdvisorConfig) -> Warlock {
+        Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(16))
+            .mix(apb1_like_mix().unwrap())
+            .config(config)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn full_run_produces_ranked_candidates() {
-        let (schema, system, mix) = fixture();
-        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-        let report = advisor.run();
+        let report = session_with(AdvisorConfig::default()).run().unwrap();
         assert_eq!(report.enumerated, 168);
         assert!(report.evaluated > 0);
         assert!(!report.ranked.is_empty());
@@ -270,20 +99,17 @@ mod tests {
 
     #[test]
     fn top_candidate_beats_baseline() {
-        let (schema, system, mix) = fixture();
-        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-        let report = advisor.run();
+        let session = session_with(AdvisorConfig::default());
+        let report = session.run().unwrap();
         let top = report.top().unwrap();
-        let baseline = advisor.evaluate(&Fragmentation::none());
+        let baseline = session.evaluate(&Fragmentation::none()).unwrap();
         assert!(top.cost.response_ms < baseline.response_ms);
         assert!(top.cost.io_cost_ms <= baseline.io_cost_ms * 1.01);
     }
 
     #[test]
     fn exclusions_carry_reasons() {
-        let (schema, system, mix) = fixture();
-        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-        let report = advisor.run();
+        let report = session_with(AdvisorConfig::default()).run().unwrap();
         assert!(!report.excluded.is_empty());
         // The full bottom-level cross product must be excluded as too many
         // fragments.
@@ -297,48 +123,8 @@ mod tests {
     }
 
     #[test]
-    fn validation_errors_surface() {
-        let (schema, system, mix) = fixture();
-        let bad = AdvisorConfig {
-            top_n: 0,
-            ..Default::default()
-        };
-        assert!(matches!(
-            Advisor::new(&schema, &system, &mix, bad).unwrap_err(),
-            AdvisorError::Config(_)
-        ));
-
-        let bad = AdvisorConfig {
-            fact_index: 5,
-            ..Default::default()
-        };
-        assert!(matches!(
-            Advisor::new(&schema, &system, &mix, bad).unwrap_err(),
-            AdvisorError::Config(_)
-        ));
-
-        let bad = AdvisorConfig {
-            skew: Some(vec![warlock_skew::DimensionSkew::UNIFORM]),
-            ..Default::default()
-        };
-        assert!(matches!(
-            Advisor::new(&schema, &system, &mix, bad).unwrap_err(),
-            AdvisorError::Skew(_)
-        ));
-
-        let mut bad_system = system;
-        bad_system.disk.transfer_mb_per_s = 0.0;
-        assert!(matches!(
-            Advisor::new(&schema, &bad_system, &mix, AdvisorConfig::default()).unwrap_err(),
-            AdvisorError::System(_)
-        ));
-    }
-
-    #[test]
     fn report_lookup_by_fragmentation() {
-        let (schema, system, mix) = fixture();
-        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-        let report = advisor.run();
+        let report = session_with(AdvisorConfig::default()).run().unwrap();
         let top = report.top().unwrap();
         let found = report.find(&top.cost.fragmentation).unwrap();
         assert_eq!(found.rank, 1);
@@ -349,22 +135,20 @@ mod tests {
 
     #[test]
     fn deterministic_runs() {
-        let (schema, system, mix) = fixture();
-        let advisor = Advisor::new(&schema, &system, &mix, AdvisorConfig::default()).unwrap();
-        let a = advisor.run();
-        let b = advisor.run();
+        let session = session_with(AdvisorConfig::default());
+        let a = session.run().unwrap();
+        let b = session.run().unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn max_dimensionality_limits_enumeration() {
-        let (schema, system, mix) = fixture();
-        let config = AdvisorConfig {
+        let report = session_with(AdvisorConfig {
             max_dimensionality: 1,
             ..Default::default()
-        };
-        let advisor = Advisor::new(&schema, &system, &mix, config).unwrap();
-        let report = advisor.run();
+        })
+        .run()
+        .unwrap();
         assert_eq!(report.enumerated, 13);
         for r in &report.ranked {
             assert!(r.cost.fragmentation.dimensionality() <= 1);

@@ -16,6 +16,8 @@ use warlock_skew::SkewModel;
 use warlock_storage::SystemConfig;
 use warlock_workload::{QueryClass, QueryMix};
 
+use crate::error::WarlockError;
+
 /// Disk access profile of one query class on the planned allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassDiskProfile {
@@ -52,6 +54,11 @@ impl AllocationPlan {
     /// policy-selected placement, and per-class access profiles over a
     /// representative query instance (the first `n` member values of every
     /// predicate).
+    ///
+    /// # Errors
+    ///
+    /// [`WarlockError::Internal`] if the (already validated) fact index
+    /// is rejected by the cost model.
     #[allow(clippy::too_many_arguments)]
     pub fn build(
         schema: &StarSchema,
@@ -62,7 +69,7 @@ impl AllocationPlan {
         fragmentation: &Fragmentation,
         policy: AllocationPolicy,
         fact_index: usize,
-    ) -> Self {
+    ) -> Result<Self, WarlockError> {
         let layout = FragmentLayout::new(schema, fragmentation.clone(), fact_index);
         let row_bytes = u64::from(schema.fact_row_bytes(fact_index));
         let page = system.page;
@@ -91,7 +98,9 @@ impl AllocationPlan {
         // Per-class profiles over a representative bound instance.
         let model = CostModel::new(schema, system, scheme, mix)
             .with_fact_index(fact_index)
-            .expect("fact index validated before analysis");
+            .map_err(|e| {
+                WarlockError::internal(format!("validated fact index rejected in planning: {e}"))
+            })?;
         let cost = model.evaluate_layout(&layout);
         let avg_rows = layout.uniform_rows_per_fragment().max(1.0);
         let processors = system.architecture.total_processors();
@@ -120,7 +129,7 @@ impl AllocationPlan {
             })
             .collect();
 
-        Self {
+        Ok(Self {
             label: fragmentation.label(schema),
             allocation,
             occupancy,
@@ -128,7 +137,7 @@ impl AllocationPlan {
             bitmap_bytes,
             used_greedy,
             per_class,
-        }
+        })
     }
 }
 
@@ -232,7 +241,8 @@ mod tests {
             &Fragmentation::from_pairs(&[(2, 2), (3, 0)]).unwrap(),
             AllocationPolicy::default(),
             0,
-        );
+        )
+        .unwrap();
         assert!(!plan.used_greedy);
         // 216 fragments over 16 disks: 14 vs 13.5 mean → 1.037 inherent.
         assert!(plan.occupancy.imbalance < 1.05);
@@ -260,7 +270,8 @@ mod tests {
             &frag,
             AllocationPolicy::default(),
             0,
-        );
+        )
+        .unwrap();
         assert!(plan.used_greedy);
         // Greedy keeps occupancy within a few percent even under zipf(1).
         assert!(
@@ -289,7 +300,8 @@ mod tests {
             &frag,
             AllocationPolicy::RoundRobin,
             0,
-        );
+        )
+        .unwrap();
         let greedy = AllocationPlan::build(
             &f.schema,
             &f.system,
@@ -299,7 +311,8 @@ mod tests {
             &frag,
             AllocationPolicy::GreedySize,
             0,
-        );
+        )
+        .unwrap();
         assert!(greedy.occupancy.imbalance <= rr.occupancy.imbalance + 1e-12);
     }
 
@@ -316,7 +329,8 @@ mod tests {
             &Fragmentation::from_pairs(&[(2, 2), (3, 0)]).unwrap(),
             AllocationPolicy::default(),
             0,
-        );
+        )
+        .unwrap();
         // q06 (channel+month) touches exactly 1 fragment; q04 (year+line)
         // spreads over many.
         let q06 = plan

@@ -11,6 +11,8 @@ use warlock_schema::StarSchema;
 use warlock_storage::SystemConfig;
 use warlock_workload::QueryMix;
 
+use crate::error::WarlockError;
+
 /// Per-query-class analysis rows of one fragmentation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassAnalysis {
@@ -65,6 +67,12 @@ pub struct FragmentationAnalysis {
 
 impl FragmentationAnalysis {
     /// Builds the analysis of `fragmentation` under the given inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`WarlockError::Internal`] if `fact_index` — validated when the
+    /// session was built — is rejected by the cost model; a bug in
+    /// WARLOCK, surfaced as an error so services degrade per-request.
     pub fn build(
         schema: &StarSchema,
         system: &SystemConfig,
@@ -72,11 +80,13 @@ impl FragmentationAnalysis {
         mix: &QueryMix,
         fragmentation: &Fragmentation,
         fact_index: usize,
-    ) -> Self {
+    ) -> Result<Self, WarlockError> {
         let layout = FragmentLayout::new(schema, fragmentation.clone(), fact_index);
         let model = CostModel::new(schema, system, scheme, mix)
             .with_fact_index(fact_index)
-            .expect("fact index validated before analysis");
+            .map_err(|e| {
+                WarlockError::internal(format!("validated fact index rejected in analysis: {e}"))
+            })?;
         let cost = model.evaluate_layout(&layout);
 
         let row_bytes = schema.fact_row_bytes(fact_index);
@@ -115,7 +125,7 @@ impl FragmentationAnalysis {
             })
             .collect();
 
-        Self {
+        Ok(Self {
             label: fragmentation.label(schema),
             num_fragments: layout.num_fragments(),
             fragment_rows,
@@ -127,7 +137,7 @@ impl FragmentationAnalysis {
             weighted_busy_ms: cost.io_cost_ms,
             weighted_response_ms: cost.response_ms,
             per_class,
-        }
+        })
     }
 }
 
@@ -148,7 +158,7 @@ mod tests {
         } else {
             Fragmentation::from_pairs(pairs).unwrap()
         };
-        FragmentationAnalysis::build(&schema, &system, &scheme, &mix, &frag, 0)
+        FragmentationAnalysis::build(&schema, &system, &scheme, &mix, &frag, 0).unwrap()
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::process::ExitCode;
 use warlock::config_file::{demo_config, render_config};
 use warlock::json::ToJson;
 use warlock::report::{ranking_csv, render_allocation, render_analysis, render_ranking};
-use warlock::{Warlock, WarlockError};
+use warlock::Warlock;
 
 const USAGE: &str = "usage: warlock [-j N | --parallelism N] <config-file> [rank|analyze [N]|allocate [N]|excluded|csv|json]\n       warlock init   (print a starter configuration)";
 
@@ -85,11 +85,8 @@ fn main() -> ExitCode {
 
     let mut session = match Warlock::from_config_path(path) {
         Ok(s) => s,
-        Err(WarlockError::Io(e)) => {
-            eprintln!("warlock: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
         Err(e) => {
+            // `from_config_path` errors already name the offending file.
             eprintln!("warlock: {e}");
             return ExitCode::FAILURE;
         }
@@ -103,35 +100,34 @@ fn main() -> ExitCode {
         }
     }
 
-    match command {
-        "rank" => print!("{}", render_ranking(session.rank())),
-        "csv" => print!("{}", ranking_csv(session.rank())),
-        "json" => println!("{}", session.session_report().to_json().pretty()),
-        "excluded" => {
-            let report = session.rank();
+    let outcome = match command {
+        "rank" => session.rank().map(|r| print!("{}", render_ranking(r))),
+        "csv" => session.rank().map(|r| print!("{}", ranking_csv(r))),
+        "json" => session
+            .session_report()
+            .map(|r| println!("{}", r.to_json().pretty())),
+        "excluded" => session.rank().map(|report| {
             for e in &report.excluded {
                 println!("{:<52} {}", e.label, e.reason);
             }
             println!("({} candidates excluded)", report.excluded.len());
-        }
-        "analyze" => match session.analyze(rank_arg) {
-            Ok(analysis) => print!("{}", render_analysis(&analysis)),
-            Err(e) => {
-                eprintln!("warlock: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        "allocate" => match session.plan_allocation(rank_arg) {
-            Ok(plan) => print!("{}", render_allocation(&plan)),
-            Err(e) => {
-                eprintln!("warlock: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
+        }),
+        "analyze" => session
+            .analyze(rank_arg)
+            .map(|analysis| print!("{}", render_analysis(&analysis))),
+        "allocate" => session
+            .plan_allocation(rank_arg)
+            .map(|plan| print!("{}", render_allocation(&plan))),
         other => {
             eprintln!("warlock: unknown command `{other}`\n{USAGE}");
             return ExitCode::from(2);
         }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("warlock: {e}");
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
 }

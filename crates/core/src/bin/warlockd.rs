@@ -1,0 +1,198 @@
+//! `warlockd` — the long-lived WARLOCK advisory server.
+//!
+//! Loads one warehouse description at startup and then serves the
+//! newline-delimited JSON protocol of [`warlock::service`] over stdio
+//! or TCP, with one shared session answering every connection:
+//!
+//! ```text
+//! warlockd <config-file> --stdio
+//! warlockd <config-file> --listen 127.0.0.1:7341 [-j N]
+//! ```
+//!
+//! - `--stdio` reads requests from stdin and writes responses to
+//!   stdout, one JSON object per line — scriptable from anything that
+//!   can spawn a process, and what the CI smoke lane drives.
+//! - `--listen ADDR` accepts any number of concurrent TCP connections,
+//!   one thread per connection. All connections share the session:
+//!   what-ifs priced for one client are warm for the rest, and
+//!   `set_mix` re-points everyone at the new workload.
+//! - `-j`/`--parallelism` overrides the configuration file's evaluation
+//!   worker count (0 = auto, 1 = serial).
+//!
+//! A `{"op":"shutdown"}` request stops the server after the response is
+//! flushed (as does EOF on stdin in stdio mode). Exit codes: 0 on clean
+//! shutdown, 1 on startup failure, 2 on usage errors.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use warlock::service::Service;
+use warlock::Warlock;
+
+const USAGE: &str =
+    "usage: warlockd <config-file> [--stdio | --listen ADDR] [-j N | --parallelism N]";
+
+struct Options {
+    config_path: String,
+    listen: Option<String>,
+    stdio: bool,
+    parallelism: Option<usize>,
+}
+
+fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
+    let mut listen = None;
+    let mut stdio = false;
+    let mut parallelism = None;
+    let mut positional = Vec::new();
+    while !args.is_empty() {
+        let arg = args.remove(0);
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--listen" => {
+                if args.is_empty() {
+                    return Err("`--listen` needs an address".into());
+                }
+                listen = Some(args.remove(0));
+            }
+            "-j" | "--parallelism" => {
+                if args.is_empty() {
+                    return Err(format!("`{arg}` needs a worker count"));
+                }
+                let value = args.remove(0);
+                parallelism = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid worker count `{value}`"))?,
+                );
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if stdio && listen.is_some() {
+        return Err("`--stdio` and `--listen` are mutually exclusive".into());
+    }
+    let mut positional = positional.into_iter();
+    let config_path = positional.next().ok_or("missing <config-file>")?;
+    if let Some(extra) = positional.next() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    Ok(Options {
+        config_path,
+        listen,
+        stdio,
+        parallelism,
+    })
+}
+
+/// Serves one request stream: reads JSON lines from `input`, writes one
+/// response line per request to `output`. Returns `true` when the peer
+/// asked the whole server to shut down.
+fn serve<R: BufRead, W: Write>(service: &Service, input: R, mut output: W) -> bool {
+    for line in input.lines() {
+        let Ok(line) = line else {
+            return false; // peer vanished mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A panicking request (a bug) must not take the server down:
+        // degrade to an internal-error response for this client.
+        let reply = std::panic::catch_unwind(AssertUnwindSafe(|| service.handle_line(&line)))
+            .unwrap_or_else(|_| warlock::service::ServiceReply {
+                line: format!(
+                    r#"{{"v":{},"id":null,"ok":false,"error":{{"kind":"internal","message":"request handler panicked"}}}}"#,
+                    warlock::service::PROTOCOL_VERSION
+                ),
+                shutdown: false,
+            });
+        if writeln!(output, "{}", reply.line)
+            .and_then(|_| output.flush())
+            .is_err()
+        {
+            return false;
+        }
+        if reply.shutdown {
+            return true;
+        }
+    }
+    false
+}
+
+fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> ExitCode {
+    eprintln!(
+        "warlockd: listening on {}",
+        listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into())
+    );
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(s) => BufReader::new(s),
+                Err(_) => return,
+            };
+            if handle_tcp_connection(&service, reader, stream) {
+                // A clean shutdown request: the response is flushed,
+                // stop the whole process.
+                std::process::exit(0);
+            }
+        });
+    }
+    ExitCode::SUCCESS
+}
+
+fn handle_tcp_connection(
+    service: &Service,
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+) -> bool {
+    serve(service, reader, stream)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("warlockd: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut session = match Warlock::from_config_path(&options.config_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("warlockd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(workers) = options.parallelism {
+        let mut config = session.config().clone();
+        config.parallelism = workers;
+        if let Err(e) = session.set_config(config) {
+            eprintln!("warlockd: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let service = Arc::new(Service::new(session));
+
+    if options.stdio || options.listen.is_none() {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        serve(&service, stdin.lock(), stdout.lock());
+        return ExitCode::SUCCESS;
+    }
+
+    let addr = options.listen.expect("checked above");
+    match TcpListener::bind(&addr) {
+        Ok(listener) => serve_tcp(service, listener),
+        Err(e) => {
+            eprintln!("warlockd: cannot listen on {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -9,12 +9,15 @@
 //!
 //! The fingerprint (see `CostModel::fingerprint`) covers *every* input
 //! the outcome depends on, so entries from different what-if variations
-//! coexist without invalidating one another: `what_if_disks(64)` twice
-//! re-costs nothing the second time, and returning to the baseline after
-//! a sweep is free. Mutating the session (`set_system`/`set_mix`/
-//! `set_config`) clears the cache outright — a changed session is a new
-//! tuning conversation, and clearing bounds memory across
-//! reconfigurations.
+//! — and from different snapshots of the same session family — coexist
+//! without invalidating one another: `what_if_disks(64)` twice re-costs
+//! nothing the second time, returning to the baseline after a sweep is
+//! free, and a what-if priced on one `Warlock` clone is warm on every
+//! other clone. Mutating a session handle (`set_system`/`set_mix`/
+//! `set_config`) swaps in a new snapshot with a new fingerprint and
+//! leaves the shared cache untouched, so sibling clones stay warm;
+//! `invalidate()` clears it explicitly, and the entry cap bounds memory
+//! across long reconfiguration histories.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -53,15 +56,12 @@ struct Inner {
     entries: usize,
     hits: u64,
     misses: u64,
-    /// Memoized single-candidate evaluation fingerprint (computing one
-    /// dumps every model input, so the session-invariant value is worth
-    /// keeping); cleared with the rest of the cache.
-    evaluate_fp: Option<u128>,
 }
 
-/// The per-session candidate-evaluation memo. Interior-mutable (and
-/// lock-protected, so a shared session can serve `&self` evaluations
-/// from several threads); cloning a session deep-copies the cache.
+/// The candidate-evaluation memo shared by every clone of a session.
+/// Interior-mutable and lock-protected, so concurrent clones can serve
+/// `&self` evaluations from several threads; the lock is held only for
+/// individual probes/inserts, never across an evaluation.
 #[derive(Debug, Default)]
 pub(crate) struct EvalCache {
     inner: Mutex<Inner>,
@@ -91,19 +91,6 @@ impl EvalCache {
             None => inner.misses += 1,
         }
         found
-    }
-
-    /// The memoized fingerprint for single-candidate evaluation,
-    /// computed at most once between clears (the session clears the
-    /// cache whenever an input the fingerprint covers changes).
-    pub(crate) fn evaluate_fp(&self, compute: impl FnOnce() -> u128) -> u128 {
-        let mut inner = self.inner.lock().expect("eval cache poisoned");
-        if let Some(fp) = inner.evaluate_fp {
-            return fp;
-        }
-        let fp = compute();
-        inner.evaluate_fp = Some(fp);
-        fp
     }
 
     /// Memoizes `outcome`; resets the map first if it is at capacity.
@@ -203,18 +190,30 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_fp_computed_once_until_clear() {
+    fn concurrent_probes_and_inserts_are_safe() {
         let cache = EvalCache::default();
-        let calls = std::cell::Cell::new(0u32);
-        let compute = || {
-            calls.set(calls.get() + 1);
-            42
-        };
-        assert_eq!(cache.evaluate_fp(compute), 42);
-        assert_eq!(cache.evaluate_fp(|| 99), 42, "memo must win");
-        assert_eq!(calls.get(), 1);
-        cache.clear();
-        assert_eq!(cache.evaluate_fp(|| 7), 7, "clear must drop the memo");
+        std::thread::scope(|scope| {
+            for t in 0..4u16 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..50u16 {
+                        let f = frag(&[(t, i % 4)]);
+                        let _ = cache.lookup(u128::from(i % 7), &f);
+                        cache.insert(
+                            u128::from(i % 7),
+                            f,
+                            CachedOutcome::Excluded(Exclusion::FewerFragmentsThanDisks {
+                                fragments: 1,
+                                disks: 2,
+                            }),
+                        );
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 50);
+        assert!(stats.entries > 0);
     }
 
     #[test]

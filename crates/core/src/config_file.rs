@@ -738,7 +738,8 @@ top_n = 5
             .config(parsed.advisor)
             .build()
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         assert!(!report.ranked.is_empty());
         assert!(report.ranked.len() <= 5);
     }
@@ -872,7 +873,7 @@ top_n = 5
             .config(reparsed.advisor)
             .build()
             .unwrap();
-        assert!(!session.run().ranked.is_empty());
+        assert!(!session.run().unwrap().ranked.is_empty());
     }
 
     #[test]

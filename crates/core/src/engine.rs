@@ -1,9 +1,14 @@
 //! The prediction pipeline internals: validate → generate → exclude →
 //! cost → rank.
 //!
-//! Both the owned [`crate::Warlock`] session facade and the deprecated
-//! borrowing [`crate::Advisor`] shim delegate here, so the pipeline has
-//! exactly one implementation.
+//! The owned [`crate::Warlock`] session facade, [`crate::TuningSession`]
+//! and the `warlockd` service all delegate here, so the pipeline has
+//! exactly one implementation. Candidate evaluation fans out over a
+//! persistent [`exec::WorkerPool`]; per-candidate outcomes are memoized
+//! in an [`EvalCache`] keyed by a fingerprint of every input the outcome
+//! depends on. Internal invariant failures surface as
+//! [`WarlockError::Internal`] instead of panicking, so a worker bug in a
+//! long-lived service degrades to a failed request.
 
 use warlock_bitmap::BitmapScheme;
 use warlock_cost::{CandidateCost, CostModel};
@@ -24,6 +29,16 @@ use crate::error::WarlockError;
 use crate::ranking::twofold_rank;
 
 pub(crate) mod exec;
+
+/// The execution environment a pipeline run borrows from its session:
+/// the shared evaluation memo and the persistent worker pool.
+#[derive(Clone, Copy)]
+pub(crate) struct EvalEnv<'a> {
+    /// Per-candidate outcome memo; `None` disables memoization.
+    pub cache: Option<&'a EvalCache>,
+    /// The persistent evaluation pool work fans out over.
+    pub pool: &'a exec::WorkerPool,
+}
 
 /// Validates all advisor inputs and derives the bitmap scheme and skew
 /// model the pipeline runs with.
@@ -78,6 +93,20 @@ pub(crate) fn threshold_context(
     }
 }
 
+/// Builds the cost model, mapping the (validated-at-build-time) fact
+/// index failure to an internal-invariant error instead of panicking.
+fn cost_model<'a>(
+    schema: &'a StarSchema,
+    system: &'a SystemConfig,
+    scheme: &'a BitmapScheme,
+    mix: &'a QueryMix,
+    config: &AdvisorConfig,
+) -> Result<CostModel<'a>, WarlockError> {
+    CostModel::new(schema, system, scheme, mix)
+        .with_fact_index(config.fact_index)
+        .map_err(|e| WarlockError::internal(format!("validated fact index rejected: {e}")))
+}
+
 /// The fingerprint of every input that determines a candidate's
 /// *pipeline* outcome (exclusion or cost): the cost model's inputs plus
 /// the exclusion thresholds. Salted differently from
@@ -123,10 +152,11 @@ fn evaluate_candidate(
 
 /// Runs the full prediction pipeline.
 ///
-/// Candidate evaluation fans out over `config.parallelism` scoped worker
-/// threads (see [`exec`]); results are merged in enumeration order, so
-/// the report is bit-identical to the serial path. When `cache` is
-/// given, per-candidate outcomes are memoized under the input
+/// Candidate evaluation fans out over the environment's persistent
+/// worker pool, using up to `config.parallelism` workers (see [`exec`]);
+/// results are merged in enumeration order, so the report is
+/// bit-identical to the serial path. When the environment carries a
+/// cache, per-candidate outcomes are memoized under the input
 /// fingerprint and re-runs with unchanged inputs skip re-evaluation.
 pub(crate) fn run(
     schema: &StarSchema,
@@ -134,20 +164,17 @@ pub(crate) fn run(
     mix: &QueryMix,
     config: &AdvisorConfig,
     scheme: &BitmapScheme,
-    cache: Option<&EvalCache>,
-) -> AdvisorReport {
+    env: EvalEnv<'_>,
+) -> Result<AdvisorReport, WarlockError> {
     let candidates = enumerate_candidates(schema, config.max_dimensionality);
     let enumerated = candidates.len();
     let ctx = threshold_context(schema, system, config);
-
-    let model = CostModel::new(schema, system, scheme, mix)
-        .with_fact_index(config.fact_index)
-        .expect("fact index was validated when the session was built");
+    let model = cost_model(schema, system, scheme, mix, config)?;
 
     // Resolve what is already memoized; everything else is fresh work.
-    let fingerprint = cache.map(|_| run_fingerprint(&model, config));
+    let fingerprint = env.cache.map(|_| run_fingerprint(&model, config));
     let mut outcomes: Vec<Option<CachedOutcome>> = vec![None; candidates.len()];
-    let todo: Vec<usize> = match (cache, fingerprint) {
+    let todo: Vec<usize> = match (env.cache, fingerprint) {
         (Some(cache), Some(fp)) => {
             let mut todo = Vec::new();
             for (i, fragmentation) in candidates.iter().enumerate() {
@@ -161,14 +188,14 @@ pub(crate) fn run(
         _ => (0..candidates.len()).collect(),
     };
 
-    // Fan the uncached evaluations out over scoped workers; `exec::map`
-    // returns them in `todo` order regardless of the worker count.
+    // Fan the uncached evaluations out over the pool; results come back
+    // in `todo` order regardless of worker count or scheduling.
     let workers = exec::effective_parallelism(config.parallelism);
-    let fresh = exec::map(workers, &todo, |&i| {
+    let fresh = env.pool.map(workers, &todo, |&i| {
         evaluate_candidate(schema, config, ctx, &model, &candidates[i])
     });
     for (&i, outcome) in todo.iter().zip(fresh) {
-        if let (Some(cache), Some(fp)) = (cache, fingerprint) {
+        if let (Some(cache), Some(fp)) = (env.cache, fingerprint) {
             cache.insert(fp, candidates[i].clone(), outcome.clone());
         }
         outcomes[i] = Some(outcome);
@@ -178,7 +205,9 @@ pub(crate) fn run(
     let mut excluded = Vec::new();
     let mut costs: Vec<CandidateCost> = Vec::with_capacity(candidates.len());
     for (fragmentation, outcome) in candidates.into_iter().zip(outcomes) {
-        match outcome.expect("every candidate resolved") {
+        let outcome = outcome
+            .ok_or_else(|| WarlockError::internal("candidate evaluation left no outcome"))?;
+        match outcome {
             CachedOutcome::Excluded(reason) => excluded.push(ExcludedCandidate {
                 label: fragmentation.label(schema),
                 fragmentation,
@@ -201,13 +230,13 @@ pub(crate) fn run(
         })
         .collect();
 
-    AdvisorReport {
+    Ok(AdvisorReport {
         ranked,
         excluded,
         evaluated,
         enumerated,
         scheme: scheme.clone(),
-    }
+    })
 }
 
 /// Labels a what-if knob, spelling out clamping instead of hiding it:
@@ -230,13 +259,13 @@ pub(crate) fn vary_disks(
     config: &AdvisorConfig,
     scheme: &BitmapScheme,
     num_disks: u32,
-    cache: Option<&EvalCache>,
-) -> (String, AdvisorReport) {
+    env: EvalEnv<'_>,
+) -> Result<(String, AdvisorReport), WarlockError> {
     let effective = num_disks.max(1);
     let mut system = *system;
     system.num_disks = effective;
-    let report = run(schema, &system, mix, config, scheme, cache);
-    (clamped_label("disks", num_disks, effective, ""), report)
+    let report = run(schema, &system, mix, config, scheme, env)?;
+    Ok((clamped_label("disks", num_disks, effective, ""), report))
 }
 
 /// What-if variation: prefetch fixed at `pages` for fact tables and
@@ -248,18 +277,18 @@ pub(crate) fn vary_fixed_prefetch(
     config: &AdvisorConfig,
     scheme: &BitmapScheme,
     pages: u32,
-    cache: Option<&EvalCache>,
-) -> (String, AdvisorReport) {
+    env: EvalEnv<'_>,
+) -> Result<(String, AdvisorReport), WarlockError> {
     use warlock_storage::PrefetchPolicy;
     let effective = pages.max(1);
     let mut system = *system;
     system.fact_prefetch = PrefetchPolicy::Fixed(effective);
     system.bitmap_prefetch = PrefetchPolicy::Fixed(effective);
-    let report = run(schema, &system, mix, config, scheme, cache);
-    (
+    let report = run(schema, &system, mix, config, scheme, env)?;
+    Ok((
         clamped_label("prefetch", pages, effective, " pages"),
         report,
-    )
+    ))
 }
 
 /// What-if variation: the bitmap indexes of `dimension` dropped.
@@ -270,34 +299,40 @@ pub(crate) fn vary_without_bitmap_dimension(
     config: &AdvisorConfig,
     scheme: &BitmapScheme,
     dimension: warlock_schema::DimensionId,
-    cache: Option<&EvalCache>,
-) -> (String, AdvisorReport) {
+    env: EvalEnv<'_>,
+) -> Result<(String, AdvisorReport), WarlockError> {
     let scheme = scheme.without_dimension(dimension);
-    let report = run(schema, system, mix, config, &scheme, cache);
-    (format!("no bitmaps on dimension {dimension}"), report)
+    let report = run(schema, system, mix, config, &scheme, env)?;
+    Ok((format!("no bitmaps on dimension {dimension}"), report))
 }
 
 /// What-if variation: query class `name` removed from the workload.
 /// The bitmap scheme is derived from the mix, so it is re-derived for
-/// the reduced workload (as the original advisor did). `None` when the
-/// class is unknown or removing it would empty the mix.
+/// the reduced workload (as the original advisor did). Fails with
+/// [`WarlockError::UnknownClass`] when the class is unknown or removing
+/// it would empty the mix.
 pub(crate) fn vary_without_class(
     schema: &StarSchema,
     system: &SystemConfig,
     mix: &QueryMix,
     config: &AdvisorConfig,
     name: &str,
-    cache: Option<&EvalCache>,
-) -> Option<(String, AdvisorReport)> {
-    let mix = mix.without_class(name)?;
+    env: EvalEnv<'_>,
+) -> Result<(String, AdvisorReport), WarlockError> {
+    let mix = mix
+        .without_class(name)
+        .ok_or_else(|| WarlockError::UnknownClass { name: name.into() })?;
     let scheme = BitmapScheme::derive(schema, &mix, config.scheme);
-    let report = run(schema, system, &mix, config, &scheme, cache);
-    Some((format!("without class {name}"), report))
+    let report = run(schema, system, &mix, config, &scheme, env)?;
+    Ok((format!("without class {name}"), report))
 }
 
 /// Evaluates a single candidate outside the ranking pipeline, memoizing
 /// the cost when a session cache is given. Cached under a different
-/// fingerprint than the pipeline because no thresholds are applied here.
+/// fingerprint than the pipeline because no thresholds are applied
+/// here. `fp_memo` lets the session reuse its snapshot-scoped
+/// fingerprint (computing one dumps every model input).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate(
     schema: &StarSchema,
     system: &SystemConfig,
@@ -306,20 +341,22 @@ pub(crate) fn evaluate(
     scheme: &BitmapScheme,
     fragmentation: &Fragmentation,
     cache: Option<&EvalCache>,
-) -> CandidateCost {
-    let model = CostModel::new(schema, system, scheme, mix)
-        .with_fact_index(config.fact_index)
-        .expect("fact index was validated when the session was built");
+    fp_memo: Option<&std::sync::OnceLock<u128>>,
+) -> Result<CandidateCost, WarlockError> {
+    let model = cost_model(schema, system, scheme, mix, config)?;
     let Some(cache) = cache else {
-        return model.evaluate(fragmentation);
+        return Ok(model.evaluate(fragmentation));
     };
-    let fp = cache.evaluate_fp(|| evaluate_fingerprint(&model));
+    let fp = match fp_memo {
+        Some(memo) => *memo.get_or_init(|| evaluate_fingerprint(&model)),
+        None => evaluate_fingerprint(&model),
+    };
     if let Some(CachedOutcome::Cost(cost)) = cache.lookup(fp, fragmentation) {
-        return cost;
+        return Ok(cost);
     }
     let cost = model.evaluate(fragmentation);
     cache.insert(fp, fragmentation.clone(), CachedOutcome::Cost(cost.clone()));
-    cost
+    Ok(cost)
 }
 
 /// Produces the detailed Fig.-2-style statistic for one candidate.
@@ -330,7 +367,7 @@ pub(crate) fn analyze(
     config: &AdvisorConfig,
     scheme: &BitmapScheme,
     fragmentation: &Fragmentation,
-) -> FragmentationAnalysis {
+) -> Result<FragmentationAnalysis, WarlockError> {
     FragmentationAnalysis::build(
         schema,
         system,
@@ -351,7 +388,7 @@ pub(crate) fn plan_allocation(
     scheme: &BitmapScheme,
     skew: &SkewModel,
     fragmentation: &Fragmentation,
-) -> AllocationPlan {
+) -> Result<AllocationPlan, WarlockError> {
     AllocationPlan::build(
         schema,
         system,

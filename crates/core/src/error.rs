@@ -13,7 +13,6 @@ use warlock_json::JsonError;
 use warlock_schema::SchemaError;
 use warlock_workload::WorkloadError;
 
-use crate::advisor::AdvisorError;
 use crate::config_file::ConfigFileError;
 
 /// Any error the WARLOCK facade can raise.
@@ -48,8 +47,30 @@ pub enum WarlockError {
         /// How many candidates the ranking holds.
         available: usize,
     },
+    /// A named query class is unknown to the current mix, or removing it
+    /// would leave the mix empty.
+    UnknownClass {
+        /// The offending class name.
+        name: String,
+    },
     /// An I/O error, e.g. while reading a configuration file.
     Io(String),
+    /// An error raised while loading a specific file, with the offending
+    /// path attached. The underlying cause is in `source`.
+    AtPath {
+        /// The file the failing operation was reading.
+        path: String,
+        /// What actually went wrong.
+        source: Box<WarlockError>,
+    },
+    /// An internal invariant was violated — a bug in WARLOCK itself, not
+    /// in the caller's inputs. Surfaced as an error (rather than a
+    /// panic) so long-lived services degrade per-request instead of
+    /// dying.
+    Internal {
+        /// Which invariant broke.
+        what: String,
+    },
 }
 
 impl fmt::Display for WarlockError {
@@ -69,12 +90,29 @@ impl fmt::Display for WarlockError {
             Self::RankOutOfRange { rank, available } => {
                 write!(f, "rank {rank} out of range (1..={available})")
             }
+            Self::UnknownClass { name } => {
+                write!(
+                    f,
+                    "query class `{name}` is not in the mix (or is its only class)"
+                )
+            }
             Self::Io(msg) => write!(f, "io: {msg}"),
+            Self::AtPath { path, source } => write!(f, "{path}: {source}"),
+            Self::Internal { what } => {
+                write!(f, "internal invariant violated: {what} (please report)")
+            }
         }
     }
 }
 
-impl std::error::Error for WarlockError {}
+impl std::error::Error for WarlockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::AtPath { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<SchemaError> for WarlockError {
     fn from(e: SchemaError) -> Self {
@@ -112,28 +150,40 @@ impl From<std::io::Error> for WarlockError {
     }
 }
 
-impl From<AdvisorError> for WarlockError {
-    fn from(e: AdvisorError) -> Self {
-        match e {
-            AdvisorError::Config(msg) => Self::Config(msg),
-            AdvisorError::System(msg) => Self::System(msg),
-            AdvisorError::Workload(w) => Self::Workload(w),
-            AdvisorError::Skew(msg) => Self::Skew(msg),
+impl WarlockError {
+    /// Constructs an [`WarlockError::Internal`] invariant failure.
+    pub(crate) fn internal(what: impl Into<String>) -> Self {
+        Self::Internal { what: what.into() }
+    }
+
+    /// Wraps `self` with the path of the file being loaded when it was
+    /// raised.
+    pub(crate) fn at_path(self, path: impl Into<String>) -> Self {
+        Self::AtPath {
+            path: path.into(),
+            source: Box::new(self),
         }
     }
-}
 
-impl WarlockError {
-    /// Maps back onto the legacy [`AdvisorError`] for the deprecated
-    /// [`crate::Advisor`] shim. Variants the old enum cannot express
-    /// collapse into `AdvisorError::Config`.
-    pub(crate) fn into_advisor_error(self) -> AdvisorError {
+    /// A short machine-readable tag for the error variant, used by the
+    /// `warlockd` wire protocol. [`WarlockError::AtPath`] reports the
+    /// tag of its underlying cause.
+    pub fn kind(&self) -> &'static str {
         match self {
-            Self::Config(msg) => AdvisorError::Config(msg),
-            Self::System(msg) => AdvisorError::System(msg),
-            Self::Workload(w) => AdvisorError::Workload(w),
-            Self::Skew(msg) => AdvisorError::Skew(msg),
-            other => AdvisorError::Config(other.to_string()),
+            Self::MissingInput { .. } => "missing_input",
+            Self::Schema(_) => "schema",
+            Self::Candidate(_) => "candidate",
+            Self::Workload(_) => "workload",
+            Self::Config(_) => "config",
+            Self::System(_) => "system",
+            Self::Skew(_) => "skew",
+            Self::ConfigFile(_) => "config_file",
+            Self::Json(_) => "json",
+            Self::RankOutOfRange { .. } => "rank_out_of_range",
+            Self::UnknownClass { .. } => "unknown_class",
+            Self::Io(_) => "io",
+            Self::AtPath { source, .. } => source.kind(),
+            Self::Internal { .. } => "internal",
         }
     }
 }
@@ -151,6 +201,17 @@ mod tests {
             available: 3,
         };
         assert_eq!(e.to_string(), "rank 12 out of range (1..=3)");
+        let e = WarlockError::internal("candidate left unresolved");
+        assert!(e.to_string().contains("internal invariant"));
+        assert!(e.to_string().contains("candidate left unresolved"));
+    }
+
+    #[test]
+    fn at_path_prefixes_and_delegates_kind() {
+        let e = WarlockError::Io("no such file".into()).at_path("/etc/warlock.cfg");
+        assert_eq!(e.to_string(), "/etc/warlock.cfg: io: no such file");
+        assert_eq!(e.kind(), "io");
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]
@@ -167,12 +228,18 @@ mod tests {
             WarlockError::Workload(_)
         ));
         assert!(matches!(
-            takes_anything(AdvisorError::Skew("x".into())),
-            WarlockError::Skew(_)
-        ));
-        assert!(matches!(
             takes_anything(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
             WarlockError::Io(_)
         ));
+    }
+
+    #[test]
+    fn kinds_are_stable_wire_tags() {
+        assert_eq!(WarlockError::Config("x".into()).kind(), "config");
+        assert_eq!(
+            WarlockError::UnknownClass { name: "q".into() }.kind(),
+            "unknown_class"
+        );
+        assert_eq!(WarlockError::internal("x").kind(), "internal");
     }
 }

@@ -29,7 +29,7 @@
 //! ```
 //! use warlock::prelude::*;
 //!
-//! let mut session = Warlock::builder()
+//! let session = Warlock::builder()
 //!     .schema(apb1_like_schema(Apb1Config::default())?)
 //!     .system(SystemConfig::default_2001(16))
 //!     .mix(apb1_like_mix()?)
@@ -37,7 +37,7 @@
 //!     .build()?;
 //!
 //! // Prediction layer: enumerate, exclude, cost, twofold-rank (cached).
-//! let best = session.rank().top().expect("candidates survive").clone();
+//! let best = session.rank()?.top().expect("candidates survive").clone();
 //! println!("best fragmentation: {}", best.label);
 //!
 //! // Analysis layer: detailed statistic and placement of any rank.
@@ -45,26 +45,33 @@
 //! let plan = session.plan_allocation(1)?;
 //! assert_eq!(analysis.label, plan.label);
 //!
-//! // What-if tuning (§3.3) against the cached baseline.
-//! let (_report, delta) = session.what_if_disks(64);
+//! // What-if tuning (§3.3) against the cached baseline — `&self`, so
+//! // clones explore variations concurrently and share the warm cache.
+//! let explorer = session.clone();
+//! let (_report, delta) = explorer.what_if_disks(64)?;
 //! assert!(delta.variation_response_ms < delta.baseline_response_ms);
 //!
 //! // Machine-readable service output: JSON that round-trips.
-//! let json_text = session.session_report().to_json().pretty();
+//! let json_text = session.session_report()?.to_json().pretty();
 //! let parsed = SessionReport::from_json_str(&json_text)?;
-//! assert_eq!(parsed.ranking.len(), session.rank().ranked.len());
+//! assert_eq!(parsed.ranking.len(), session.rank()?.ranked.len());
 //! # Ok::<(), warlock::WarlockError>(())
 //! ```
 //!
-//! The legacy borrowing [`Advisor`] handle is deprecated and now a thin
-//! shim over the same engine; migrate to [`Warlock`].
+//! [`Warlock`] is `Clone`: clones share an immutable, `Arc`-backed
+//! [`session::Snapshot`] plus the evaluation cache and the persistent
+//! worker pool, while mutators (`set_system`/`set_mix`/`set_config`)
+//! are copy-on-write snapshot swaps — see [`session`]. The [`service`]
+//! module (and the `warlockd` binary) serve that model over a
+//! newline-delimited JSON protocol.
 //!
 //! The heavy lifting lives in the substrate crates re-exported below;
 //! this crate contributes the session facade ([`Warlock`]), the advisor
 //! pipeline, the twofold ranking ([`ranking`]), the Fig.-2-style
 //! analyses ([`analysis`]), the physical allocation plan
-//! ([`allocation_plan`]), what-if tuning ([`tuning`]) and report
-//! rendering/serialization ([`report`], [`serial`]).
+//! ([`allocation_plan`]), what-if tuning ([`tuning`]), the service
+//! layer ([`service`]) and report rendering/serialization ([`report`],
+//! [`serial`]).
 
 #![warn(missing_docs)]
 
@@ -80,11 +87,10 @@ pub mod prelude;
 pub mod ranking;
 pub mod report;
 pub mod serial;
+pub mod service;
 pub mod session;
 pub mod tuning;
 
-#[allow(deprecated)]
-pub use advisor::Advisor;
 pub use advisor::{AdvisorReport, ExcludedCandidate, RankedCandidate};
 pub use allocation_plan::{AllocationPlan, ClassDiskProfile};
 pub use analysis::{ClassAnalysis, FragmentationAnalysis};
@@ -93,7 +99,8 @@ pub use config::AdvisorConfig;
 pub use error::WarlockError;
 pub use ranking::twofold_rank;
 pub use serial::SessionReport;
-pub use session::{Warlock, WarlockBuilder};
+pub use service::{Service, ServiceReply, PROTOCOL_VERSION};
+pub use session::{Snapshot, Warlock, WarlockBuilder};
 pub use tuning::{TuningDelta, TuningSession};
 
 // Substrate re-exports so downstream users need only one dependency.

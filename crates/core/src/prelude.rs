@@ -7,7 +7,8 @@
 pub use crate::config::AdvisorConfig;
 pub use crate::error::WarlockError;
 pub use crate::serial::SessionReport;
-pub use crate::session::{Warlock, WarlockBuilder};
+pub use crate::service::Service;
+pub use crate::session::{Snapshot, Warlock, WarlockBuilder};
 pub use crate::tuning::{TuningDelta, TuningSession};
 pub use crate::{AdvisorReport, AllocationPlan, FragmentationAnalysis, RankedCandidate};
 

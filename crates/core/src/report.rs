@@ -227,13 +227,13 @@ mod tests {
     use warlock_workload::apb1_like_mix;
 
     fn report_and_advisor() -> (AdvisorReport, FragmentationAnalysis, AllocationPlan) {
-        let mut session = Warlock::builder()
+        let session = Warlock::builder()
             .schema(apb1_like_schema(Apb1Config::default()).unwrap())
             .system(SystemConfig::default_2001(16))
             .mix(apb1_like_mix().unwrap())
             .build()
             .unwrap();
-        let report = session.rank().clone();
+        let report = session.rank().unwrap().clone();
         let analysis = session.analyze(1).unwrap();
         let plan = session.plan_allocation(1).unwrap();
         (report, analysis, plan)

@@ -688,11 +688,18 @@ impl crate::Warlock {
     /// The complete machine-readable advisory for the current inputs:
     /// the ranking plus the top candidate's analysis and allocation
     /// plan. Ranks first if necessary.
-    pub fn session_report(&mut self) -> SessionReport {
-        let top = self.rank().top().map(|r| r.cost.fragmentation.clone());
-        let analysis = top.as_ref().map(|f| self.analyze_candidate(f));
-        let allocation = top.as_ref().map(|f| self.plan_candidate(f));
-        SessionReport::new(self.rank(), analysis.as_ref(), allocation.as_ref())
+    pub fn session_report(&self) -> Result<SessionReport, WarlockError> {
+        let top = self.rank()?.top().map(|r| r.cost.fragmentation.clone());
+        let analysis = top
+            .as_ref()
+            .map(|f| self.analyze_candidate(f))
+            .transpose()?;
+        let allocation = top.as_ref().map(|f| self.plan_candidate(f)).transpose()?;
+        Ok(SessionReport::new(
+            self.rank()?,
+            analysis.as_ref(),
+            allocation.as_ref(),
+        ))
     }
 }
 
@@ -715,7 +722,7 @@ mod tests {
 
     #[test]
     fn session_report_round_trips_through_json() {
-        let report = session().session_report();
+        let report = session().session_report().unwrap();
         assert!(!report.ranking.is_empty());
         assert!(report.analysis.is_some());
         assert!(report.allocation.is_some());
@@ -731,8 +738,8 @@ mod tests {
 
     #[test]
     fn fragmentation_attrs_rebuild_the_candidate() {
-        let mut s = session();
-        let top = s.rank().top().unwrap().cost.fragmentation.clone();
+        let s = session();
+        let top = s.rank().unwrap().top().unwrap().cost.fragmentation.clone();
         let attrs = FragmentationAttr::from_fragmentation(&top);
         let rebuilt = FragmentationAttr::to_fragmentation(&attrs).unwrap();
         assert_eq!(rebuilt, top);
@@ -740,13 +747,13 @@ mod tests {
 
     #[test]
     fn advisor_report_serializes_rankings() {
-        let mut s = session();
-        let json = s.rank().to_json();
+        let s = session();
+        let json = s.rank().unwrap().to_json();
         let ranking = json.get("ranking").unwrap().as_array().unwrap();
-        assert_eq!(ranking.len(), s.rank().ranked.len());
+        assert_eq!(ranking.len(), s.rank().unwrap().ranked.len());
         assert_eq!(
             json.get("enumerated").unwrap().as_usize().unwrap(),
-            s.rank().enumerated
+            s.rank().unwrap().enumerated
         );
         // Excluded candidates carry rendered reasons.
         let excluded = json.get("excluded").unwrap().as_array().unwrap();

@@ -1,0 +1,580 @@
+//! The `warlockd` service layer: a versioned, newline-delimited JSON
+//! request protocol over one shared advisory session.
+//!
+//! The paper frames WARLOCK as an interactive tool — an analyst loads
+//! one warehouse description and explores many what-if variations
+//! against it. [`Service`] serves that interaction pattern at service
+//! scale: it owns a single [`Warlock`] session and answers requests
+//! from any number of concurrent connections. Read requests clone the
+//! session handle (cheap — clones share the immutable snapshot, the
+//! evaluation cache and the worker pool) and evaluate **without holding
+//! any lock**, so concurrent what-ifs run truly in parallel and a
+//! variation priced for one client is warm for every other.
+//! [`set_mix`](self#set_mix) swaps the shared session to a new snapshot
+//! under a brief write lock; in-flight readers keep their old snapshot.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line in, one per line out (stdio or TCP — see
+//! the `warlockd` binary):
+//!
+//! ```text
+//! → {"v":1, "id":7, "op":"rank"}
+//! ← {"v":1, "id":7, "ok":true, "result":{"enumerated":168, "ranking":[…], …}}
+//! → {"v":1, "id":8, "op":"what_if_disks", "params":{"disks":64}}
+//! ← {"v":1, "id":8, "ok":true, "result":{"delta":{…}, "report":{…}}}
+//! → {"v":1, "id":9, "op":"nope"}
+//! ← {"v":1, "id":9, "ok":false, "error":{"kind":"unknown_op", "message":"…"}}
+//! ```
+//!
+//! `v` defaults to [`PROTOCOL_VERSION`] when omitted; any other value
+//! is rejected with `unsupported_version` so clients fail loudly when
+//! the protocol evolves. `id` is echoed verbatim (any JSON value,
+//! default `null`). Operations: `rank`, `analyze`, `allocate`,
+//! `evaluate`, `what_if_disks`, `what_if_prefetch`,
+//! `what_if_without_bitmap_dimension`, `what_if_without_class`,
+//! `set_mix`, `cache_stats`, `ping`, `shutdown`.
+
+use std::sync::RwLock;
+
+use warlock_json::{Json, ToJson};
+use warlock_workload::QueryMix;
+
+use crate::error::WarlockError;
+use crate::serial::FragmentationAttr;
+use crate::session::Warlock;
+
+/// The wire protocol version `warlockd` speaks.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// A request outcome the server loop acts on: the response line to
+/// write, and whether the client asked the service to stop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReply {
+    /// The serialized JSON response (no trailing newline).
+    pub line: String,
+    /// `true` after a `shutdown` request was acknowledged.
+    pub shutdown: bool,
+}
+
+/// A long-lived advisory service over one shared [`Warlock`] session.
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct Service {
+    session: RwLock<Warlock>,
+}
+
+/// A protocol-level failure (malformed request, unknown op), distinct
+/// from the advisory [`WarlockError`]s.
+struct BadRequest {
+    kind: &'static str,
+    message: String,
+}
+
+impl BadRequest {
+    fn new(kind: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+enum ReplyError {
+    Bad(BadRequest),
+    Warlock(WarlockError),
+}
+
+impl From<WarlockError> for ReplyError {
+    fn from(e: WarlockError) -> Self {
+        Self::Warlock(e)
+    }
+}
+
+impl ReplyError {
+    fn kind_and_message(&self) -> (&'static str, String) {
+        match self {
+            Self::Bad(b) => (b.kind, b.message.clone()),
+            Self::Warlock(e) => (e.kind(), e.to_string()),
+        }
+    }
+}
+
+type OpResult = Result<Json, ReplyError>;
+
+fn bad(kind: &'static str, message: impl Into<String>) -> ReplyError {
+    ReplyError::Bad(BadRequest::new(kind, message))
+}
+
+/// `params.key` as a u64, or an error naming the field.
+fn u64_param(params: &Json, key: &str) -> Result<u64, ReplyError> {
+    params.get(key).and_then(Json::as_u64).ok_or_else(|| {
+        bad(
+            "bad_request",
+            format!("`params.{key}` must be an unsigned integer"),
+        )
+    })
+}
+
+fn str_param<'a>(params: &'a Json, key: &str) -> Result<&'a str, ReplyError> {
+    params
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("bad_request", format!("`params.{key}` must be a string")))
+}
+
+/// 1-based rank parameter, defaulting to 1 (the winner).
+fn rank_param(params: &Json) -> Result<usize, ReplyError> {
+    match params.get("rank") {
+        None => Ok(1),
+        Some(v) => v
+            .as_usize()
+            .filter(|&r| r > 0)
+            .ok_or_else(|| bad("bad_request", "`params.rank` must be a positive integer")),
+    }
+}
+
+fn cost_json(cost: &warlock_cost::CandidateCost, label: String) -> Json {
+    Json::object([
+        ("label", label.to_json()),
+        ("num_fragments", cost.num_fragments.to_json()),
+        ("io_cost_ms", cost.io_cost_ms.to_json()),
+        ("response_ms", cost.response_ms.to_json()),
+        ("total_ios", cost.total_ios.to_json()),
+        ("total_pages", cost.total_pages.to_json()),
+    ])
+}
+
+impl Service {
+    /// Wraps a session for concurrent service use.
+    pub fn new(session: Warlock) -> Self {
+        Self {
+            session: RwLock::new(session),
+        }
+    }
+
+    /// A clone of the shared session: snapshot, cache and pool are
+    /// shared with it, so work done on the clone warms the service.
+    ///
+    /// Lock poisoning is deliberately ignored: writers only assign an
+    /// already-validated session at the very end of their critical
+    /// section, so a panic under the lock cannot leave a torn value —
+    /// and a long-lived server must keep answering after one bad
+    /// request.
+    pub fn session(&self) -> Warlock {
+        self.session
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// Handles one request line, returning the response line. Never
+    /// panics on malformed input — every failure is a JSON error
+    /// response.
+    pub fn handle_line(&self, line: &str) -> ServiceReply {
+        let parsed = warlock_json::parse(line);
+        let (id, outcome, shutdown) = match parsed {
+            Err(e) => (
+                Json::Null,
+                Err(bad(
+                    "bad_request",
+                    format!("request is not valid JSON: {e}"),
+                )),
+                false,
+            ),
+            Ok(request) => {
+                let id = request.get("id").cloned().unwrap_or(Json::Null);
+                match self.check_version(&request) {
+                    Err(e) => (id, Err(e), false),
+                    Ok(()) => {
+                        let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+                        let outcome = self.dispatch(&request);
+                        // Only a well-formed, successful shutdown stops
+                        // the server.
+                        let shutdown = op == "shutdown" && outcome.is_ok();
+                        (id, outcome, shutdown)
+                    }
+                }
+            }
+        };
+        let line = match outcome {
+            Ok(result) => Json::object([
+                ("v", Json::Int(PROTOCOL_VERSION)),
+                ("id", id),
+                ("ok", Json::Bool(true)),
+                ("result", result),
+            ]),
+            Err(e) => {
+                let (kind, message) = e.kind_and_message();
+                Json::object([
+                    ("v", Json::Int(PROTOCOL_VERSION)),
+                    ("id", id),
+                    ("ok", Json::Bool(false)),
+                    (
+                        "error",
+                        Json::object([("kind", kind.to_json()), ("message", message.to_json())]),
+                    ),
+                ])
+            }
+        }
+        .render();
+        ServiceReply { line, shutdown }
+    }
+
+    fn check_version(&self, request: &Json) -> Result<(), ReplyError> {
+        match request.get("v") {
+            None => Ok(()),
+            Some(v) if v.as_i64() == Some(PROTOCOL_VERSION) => Ok(()),
+            Some(v) => Err(bad(
+                "unsupported_version",
+                format!(
+                    "protocol version {} is not supported (speak v{PROTOCOL_VERSION})",
+                    v.render()
+                ),
+            )),
+        }
+    }
+
+    fn dispatch(&self, request: &Json) -> OpResult {
+        let op = request
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("bad_request", "`op` must be a string"))?;
+        let params = request.get("params").cloned().unwrap_or(Json::Null);
+        match op {
+            "ping" => Ok(Json::object([("protocol", Json::Int(PROTOCOL_VERSION))])),
+            "shutdown" => Ok(Json::object([("stopping", Json::Bool(true))])),
+            "rank" => {
+                let session = self.session();
+                Ok(session.rank()?.to_json())
+            }
+            "analyze" => {
+                let rank = rank_param(&params)?;
+                let session = self.session();
+                Ok(session.analyze(rank)?.to_json())
+            }
+            "allocate" => {
+                let rank = rank_param(&params)?;
+                let session = self.session();
+                Ok(session.plan_allocation(rank)?.to_json())
+            }
+            "evaluate" => {
+                let attrs = params
+                    .get("fragmentation")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| bad("bad_request", "`params.fragmentation` must be an array"))?;
+                let attrs: Vec<FragmentationAttr> = attrs
+                    .iter()
+                    .map(warlock_json::FromJson::from_json)
+                    .collect::<Result<_, _>>()
+                    .map_err(WarlockError::Json)?;
+                let fragmentation = FragmentationAttr::to_fragmentation(&attrs)?;
+                let session = self.session();
+                let cost = session.evaluate(&fragmentation)?;
+                Ok(cost_json(&cost, fragmentation.label(session.schema())))
+            }
+            "what_if_disks" => {
+                let disks = u32::try_from(u64_param(&params, "disks")?)
+                    .map_err(|_| bad("bad_request", "`params.disks` out of range"))?;
+                let session = self.session();
+                let (report, delta) = session.what_if_disks(disks)?;
+                Ok(Json::object([
+                    ("delta", delta.to_json()),
+                    ("report", report.to_json()),
+                ]))
+            }
+            "what_if_prefetch" => {
+                let pages = u32::try_from(u64_param(&params, "pages")?)
+                    .map_err(|_| bad("bad_request", "`params.pages` out of range"))?;
+                let session = self.session();
+                let (report, delta) = session.what_if_fixed_prefetch(pages)?;
+                Ok(Json::object([
+                    ("delta", delta.to_json()),
+                    ("report", report.to_json()),
+                ]))
+            }
+            "what_if_without_bitmap_dimension" => {
+                let dimension = u16::try_from(u64_param(&params, "dimension")?)
+                    .map_err(|_| bad("bad_request", "`params.dimension` out of range"))?;
+                let session = self.session();
+                let (report, delta) = session
+                    .what_if_without_bitmap_dimension(warlock_schema::DimensionId(dimension))?;
+                Ok(Json::object([
+                    ("delta", delta.to_json()),
+                    ("report", report.to_json()),
+                ]))
+            }
+            "what_if_without_class" => {
+                let name = str_param(&params, "class")?;
+                let session = self.session();
+                let (report, delta) = session.what_if_without_class(name)?;
+                Ok(Json::object([
+                    ("delta", delta.to_json()),
+                    ("report", report.to_json()),
+                ]))
+            }
+            "set_mix" => self.set_mix(&params),
+            "cache_stats" => {
+                let stats = self.session().cache_stats();
+                Ok(Json::object([
+                    ("entries", stats.entries.to_json()),
+                    ("hits", stats.hits.to_json()),
+                    ("misses", stats.misses.to_json()),
+                ]))
+            }
+            other => Err(bad("unknown_op", format!("unknown op `{other}`"))),
+        }
+    }
+
+    /// Re-weights the shared mix: `params.weights` maps class names to
+    /// new (raw) weights; classes absent from the map are dropped.
+    /// Unknown names fail with `unknown_class`, and the mix must keep
+    /// at least one positively-weighted class. The swap happens under a
+    /// brief write lock — in-flight readers keep their snapshot.
+    fn set_mix(&self, params: &Json) -> OpResult {
+        let weights = match params.get("weights") {
+            Some(Json::Obj(members)) => members.clone(),
+            _ => return Err(bad("bad_request", "`params.weights` must be an object")),
+        };
+        let mut session = self
+            .session
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let current = session.mix().clone();
+        for (name, _) in &weights {
+            if current.class_by_name(name).is_none() {
+                return Err(WarlockError::UnknownClass { name: name.clone() }.into());
+            }
+        }
+        let mut builder = QueryMix::builder();
+        for weighted in current.classes() {
+            let name = weighted.class.name();
+            if let Some((_, w)) = weights.iter().find(|(n, _)| n == name) {
+                let weight = w.as_f64().ok_or_else(|| {
+                    bad(
+                        "bad_request",
+                        format!("`params.weights.{name}` must be a number"),
+                    )
+                })?;
+                builder = builder.class(weighted.class.clone(), weight);
+            }
+        }
+        let mix = builder.build().map_err(WarlockError::Workload)?;
+        session.set_mix(mix)?;
+        let classes: Vec<Json> = session
+            .mix()
+            .classes()
+            .iter()
+            .map(|w| {
+                Json::object([
+                    ("name", w.class.name().to_json()),
+                    ("share", w.share.to_json()),
+                ])
+            })
+            .collect();
+        Ok(Json::object([("classes", classes.to_json())]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warlock_schema::{apb1_like_schema, Apb1Config};
+    use warlock_storage::SystemConfig;
+    use warlock_workload::apb1_like_mix;
+
+    fn service() -> Service {
+        Service::new(
+            Warlock::builder()
+                .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+                .system(SystemConfig::default_2001(16))
+                .mix(apb1_like_mix().unwrap())
+                .parallelism(1)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn ok_result(service: &Service, line: &str) -> Json {
+        let reply = service.handle_line(line);
+        let json = warlock_json::parse(&reply.line).unwrap();
+        assert_eq!(
+            json.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{}",
+            reply.line
+        );
+        json.get("result").unwrap().clone()
+    }
+
+    fn err_kind(service: &Service, line: &str) -> String {
+        let reply = service.handle_line(line);
+        let json = warlock_json::parse(&reply.line).unwrap();
+        assert_eq!(json.get("ok").and_then(Json::as_bool), Some(false));
+        json.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned()
+    }
+
+    #[test]
+    fn rank_round_trip_and_id_echo() {
+        let service = service();
+        let reply = service.handle_line(r#"{"v":1,"id":{"seq":7},"op":"rank"}"#);
+        assert!(!reply.shutdown);
+        let json = warlock_json::parse(&reply.line).unwrap();
+        assert_eq!(json.get("v").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            json.get("id").unwrap().render(),
+            r#"{"seq":7}"#,
+            "ids echo verbatim"
+        );
+        let result = json.get("result").unwrap();
+        assert!(!result
+            .get("ranking")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn analyze_allocate_and_evaluate() {
+        let service = service();
+        let analysis = ok_result(&service, r#"{"op":"analyze"}"#);
+        assert!(!analysis
+            .get("per_class")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        let allocation = ok_result(&service, r#"{"op":"allocate","params":{"rank":1}}"#);
+        assert_eq!(
+            allocation.get("disks").unwrap().as_array().unwrap().len(),
+            16
+        );
+        let cost = ok_result(
+            &service,
+            r#"{"op":"evaluate","params":{"fragmentation":[{"dimension":2,"level":2,"range":1}]}}"#,
+        );
+        assert_eq!(cost.get("label").and_then(Json::as_str), Some("time.month"));
+        assert!(cost.get("response_ms").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn what_ifs_and_cache_stats() {
+        let service = service();
+        let first = ok_result(&service, r#"{"op":"what_if_disks","params":{"disks":64}}"#);
+        assert!(first.get("delta").unwrap().get("variation").is_some());
+        let misses_after_first = ok_result(&service, r#"{"op":"cache_stats"}"#)
+            .get("misses")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let _ = ok_result(&service, r#"{"op":"what_if_disks","params":{"disks":64}}"#);
+        let misses_after_second = ok_result(&service, r#"{"op":"cache_stats"}"#)
+            .get("misses")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert_eq!(
+            misses_after_first, misses_after_second,
+            "repeat what-if must be served from the shared cache"
+        );
+        let prefetch = ok_result(
+            &service,
+            r#"{"op":"what_if_prefetch","params":{"pages":4}}"#,
+        );
+        assert!(prefetch.get("report").is_some());
+        let nobitmaps = ok_result(
+            &service,
+            r#"{"op":"what_if_without_bitmap_dimension","params":{"dimension":0}}"#,
+        );
+        assert!(nobitmaps.get("delta").is_some());
+    }
+
+    #[test]
+    fn set_mix_reshapes_the_shared_session() {
+        let service = service();
+        let baseline = ok_result(&service, r#"{"op":"rank"}"#);
+        // Keep only two classes.
+        let result = ok_result(
+            &service,
+            r#"{"op":"set_mix","params":{"weights":{"q01_month_store_code":3,"q02_month_class":1}}}"#,
+        );
+        let classes = result.get("classes").unwrap().as_array().unwrap();
+        assert_eq!(classes.len(), 2);
+        assert!((classes[0].get("share").and_then(Json::as_f64).unwrap() - 0.75).abs() < 1e-9);
+        // The service now advises on the reduced mix.
+        let after = ok_result(&service, r#"{"op":"rank"}"#);
+        assert_ne!(baseline.render(), after.render());
+        // Unknown classes fail loudly and atomically.
+        assert_eq!(
+            err_kind(
+                &service,
+                r#"{"op":"set_mix","params":{"weights":{"nope":1}}}"#
+            ),
+            "unknown_class"
+        );
+    }
+
+    #[test]
+    fn errors_are_typed_and_never_panic() {
+        let service = service();
+        assert_eq!(err_kind(&service, "not json at all"), "bad_request");
+        assert_eq!(err_kind(&service, r#"{"op":"frobnicate"}"#), "unknown_op");
+        assert_eq!(err_kind(&service, r#"{"op":42}"#), "bad_request");
+        assert_eq!(
+            err_kind(&service, r#"{"v":2,"op":"rank"}"#),
+            "unsupported_version"
+        );
+        assert_eq!(
+            err_kind(&service, r#"{"op":"analyze","params":{"rank":999}}"#),
+            "rank_out_of_range"
+        );
+        assert_eq!(
+            err_kind(
+                &service,
+                r#"{"op":"what_if_without_class","params":{"class":"nope"}}"#
+            ),
+            "unknown_class"
+        );
+        assert_eq!(
+            err_kind(&service, r#"{"op":"what_if_disks","params":{}}"#),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn shutdown_is_acknowledged() {
+        let service = service();
+        let reply = service.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(reply.shutdown);
+        assert!(reply.line.contains("stopping"));
+        // A malformed shutdown is not honored.
+        let reply = service.handle_line(r#"{"v":9,"op":"shutdown"}"#);
+        assert!(!reply.shutdown);
+    }
+
+    #[test]
+    fn concurrent_connections_share_one_session() {
+        let service = std::sync::Arc::new(service());
+        let baseline = ok_result(&service, r#"{"op":"rank"}"#).render();
+        let mut handles = Vec::new();
+        for d in [8u32, 16, 32, 64] {
+            let service = service.clone();
+            handles.push(std::thread::spawn(move || {
+                let line = format!(r#"{{"op":"what_if_disks","params":{{"disks":{d}}}}}"#);
+                let reply = service.handle_line(&line);
+                let json = warlock_json::parse(&reply.line).unwrap();
+                assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The shared session is warm and unchanged.
+        assert_eq!(ok_result(&service, r#"{"op":"rank"}"#).render(), baseline);
+        let stats = ok_result(&service, r#"{"op":"cache_stats"}"#);
+        assert!(stats.get("entries").and_then(Json::as_u64).unwrap() > 0);
+    }
+}

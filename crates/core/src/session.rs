@@ -10,20 +10,43 @@
 //! ```
 //! use warlock::prelude::*;
 //!
-//! let mut session = Warlock::builder()
+//! let session = Warlock::builder()
 //!     .schema(apb1_like_schema(Apb1Config::default())?)
 //!     .system(SystemConfig::default_2001(16))
 //!     .mix(apb1_like_mix()?)
 //!     .build()?;
-//! let best_label = session.rank().top().expect("candidates survive").label.clone();
+//! let best_label = session.rank()?.top().expect("candidates survive").label.clone();
 //! let analysis = session.analyze(1)?;
 //! assert_eq!(analysis.label, best_label);
 //! # Ok::<(), warlock::WarlockError>(())
 //! ```
 //!
-//! The ranking is computed lazily and cached on the session; mutating
-//! the inputs (e.g. [`Warlock::set_system`]) invalidates the cache so a
-//! drifting workload can be re-advised on the same handle.
+//! ## Snapshots, clones and concurrency
+//!
+//! Internally a session is a thin handle over two [`Arc`]s:
+//!
+//! - an immutable [`Snapshot`] — schema, system, mix, configuration,
+//!   derived bitmap scheme and skew model, all validated exactly once,
+//!   plus the lazily computed baseline ranking;
+//! - shared mutable state — the cross-clone [`EvalCache`] and the
+//!   persistent evaluation worker pool.
+//!
+//! `Warlock` is therefore [`Clone`], and cloning is cheap: clones
+//! **share** the snapshot, the cache and the pool. Every read-side
+//! method (`rank`, `analyze`, `evaluate`, `what_if_*`, …) takes
+//! `&self`, so clones on different threads explore what-ifs
+//! concurrently with no aliasing and no locks held across an
+//! evaluation — and a variation priced on one clone is warm in the
+//! shared cache for every other clone.
+//!
+//! Mutators ([`Warlock::set_system`], [`Warlock::set_mix`],
+//! [`Warlock::set_config`]) are copy-on-write: they validate the new
+//! input, build a **new** snapshot and swap the handle's `Arc` to it.
+//! Clones holding the old snapshot keep reading it unblocked; the
+//! shared cache keeps both snapshots' entries apart by fingerprint, so
+//! flipping back and forth stays warm.
+
+use std::sync::{Arc, OnceLock};
 
 use warlock_bitmap::BitmapScheme;
 use warlock_cost::CandidateCost;
@@ -40,23 +63,124 @@ use crate::cache::{EvalCache, EvalCacheStats};
 use crate::config::AdvisorConfig;
 use crate::config_file::parse_config;
 use crate::engine;
+use crate::engine::exec::WorkerPool;
+use crate::engine::EvalEnv;
 use crate::error::WarlockError;
 use crate::tuning::TuningDelta;
 use warlock_schema::DimensionId;
 
-/// An owned WARLOCK advisory session. See the [module docs](self).
-#[derive(Debug, Clone)]
-pub struct Warlock {
+/// One immutable, validated set of advisory inputs plus everything
+/// derived from them — the unit [`Warlock`] clones share and
+/// copy-on-write mutators swap. See the [module docs](self).
+#[derive(Debug)]
+pub struct Snapshot {
     schema: StarSchema,
     system: SystemConfig,
     mix: QueryMix,
     config: AdvisorConfig,
     scheme: BitmapScheme,
     skew: SkewModel,
-    ranking: Option<AdvisorReport>,
-    /// Per-session memo of candidate evaluations, shared by the pipeline,
-    /// `evaluate` and every `what_if_*` variation. See [`crate::cache`].
-    eval_cache: EvalCache,
+    /// The baseline ranking, computed at most once per snapshot and
+    /// shared by every clone holding it.
+    ranking: OnceLock<Result<AdvisorReport, WarlockError>>,
+    /// Memoized single-candidate evaluation fingerprint (computing one
+    /// dumps every model input, and it is constant per snapshot).
+    evaluate_fp: OnceLock<u128>,
+}
+
+impl Snapshot {
+    fn new(
+        schema: StarSchema,
+        system: SystemConfig,
+        mix: QueryMix,
+        config: AdvisorConfig,
+        scheme: BitmapScheme,
+        skew: SkewModel,
+    ) -> Self {
+        Self {
+            schema,
+            system,
+            mix,
+            config,
+            scheme,
+            skew,
+            ranking: OnceLock::new(),
+            evaluate_fp: OnceLock::new(),
+        }
+    }
+
+    /// A copy of this snapshot's inputs with fresh (empty) derived
+    /// state, used by [`Warlock::invalidate`].
+    fn fresh(&self) -> Self {
+        Self::new(
+            self.schema.clone(),
+            self.system,
+            self.mix.clone(),
+            self.config.clone(),
+            self.scheme.clone(),
+            self.skew.clone(),
+        )
+    }
+
+    /// The schema under advisement.
+    #[inline]
+    pub fn schema(&self) -> &StarSchema {
+        &self.schema
+    }
+
+    /// The system configuration.
+    #[inline]
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The query mix.
+    #[inline]
+    pub fn mix(&self) -> &QueryMix {
+        &self.mix
+    }
+
+    /// The advisor configuration.
+    #[inline]
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.config
+    }
+
+    /// The derived bitmap scheme.
+    #[inline]
+    pub fn scheme(&self) -> &BitmapScheme {
+        &self.scheme
+    }
+
+    /// The skew model in effect.
+    #[inline]
+    pub fn skew(&self) -> &SkewModel {
+        &self.skew
+    }
+}
+
+/// State every clone of one session family shares: the evaluation memo
+/// and the persistent worker pool.
+#[derive(Debug, Default)]
+pub(crate) struct Shared {
+    pub(crate) cache: EvalCache,
+    pub(crate) pool: WorkerPool,
+}
+
+impl Shared {
+    pub(crate) fn env(&self) -> EvalEnv<'_> {
+        EvalEnv {
+            cache: Some(&self.cache),
+            pool: &self.pool,
+        }
+    }
+}
+
+/// An owned WARLOCK advisory session. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Warlock {
+    snapshot: Arc<Snapshot>,
+    shared: Arc<Shared>,
 }
 
 /// Assembles a [`Warlock`] session from owned inputs.
@@ -127,14 +251,8 @@ impl WarlockBuilder {
         }
         let (scheme, skew) = engine::validate(&schema, &system, &mix, &config)?;
         Ok(Warlock {
-            schema,
-            system,
-            mix,
-            config,
-            scheme,
-            skew,
-            ranking: None,
-            eval_cache: EvalCache::default(),
+            snapshot: Arc::new(Snapshot::new(schema, system, mix, config, scheme, skew)),
+            shared: Arc::new(Shared::default()),
         })
     }
 }
@@ -159,92 +277,146 @@ impl Warlock {
     }
 
     /// Builds a session from a configuration file on disk.
+    ///
+    /// # Errors
+    ///
+    /// Every failure — unreadable file, parse error, validation error —
+    /// is wrapped in [`WarlockError::AtPath`] so the message names the
+    /// offending file.
     pub fn from_config_path(path: impl AsRef<std::path::Path>) -> Result<Self, WarlockError> {
-        let input = std::fs::read_to_string(path)?;
-        Self::from_config_str(&input)
+        let path = path.as_ref();
+        let wrap = |e: WarlockError| e.at_path(path.display().to_string());
+        let input =
+            std::fs::read_to_string(path).map_err(|e| wrap(WarlockError::Io(e.to_string())))?;
+        Self::from_config_str(&input).map_err(wrap)
     }
 
     // ------------------------------------------------------------------
     // Accessors.
 
+    /// The immutable snapshot this handle currently reads from. Clones
+    /// made now share it; mutators swap in a new one.
+    #[inline]
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// Whether two handles currently read the same snapshot.
+    #[inline]
+    pub fn shares_snapshot_with(&self, other: &Warlock) -> bool {
+        Arc::ptr_eq(&self.snapshot, &other.snapshot)
+    }
+
     /// The schema under advisement.
     #[inline]
     pub fn schema(&self) -> &StarSchema {
-        &self.schema
+        self.snapshot.schema()
     }
 
     /// The system configuration.
     #[inline]
     pub fn system(&self) -> &SystemConfig {
-        &self.system
+        self.snapshot.system()
     }
 
     /// The query mix.
     #[inline]
     pub fn mix(&self) -> &QueryMix {
-        &self.mix
+        self.snapshot.mix()
     }
 
     /// The advisor configuration.
     #[inline]
     pub fn config(&self) -> &AdvisorConfig {
-        &self.config
+        self.snapshot.config()
     }
 
     /// The derived bitmap scheme.
     #[inline]
     pub fn scheme(&self) -> &BitmapScheme {
-        &self.scheme
+        self.snapshot.scheme()
     }
 
     /// The skew model in effect.
     #[inline]
     pub fn skew(&self) -> &SkewModel {
-        &self.skew
+        self.snapshot.skew()
     }
 
     // ------------------------------------------------------------------
-    // Input mutation (re-entrant service usage).
+    // Input mutation: copy-on-write snapshot swaps. Only this handle
+    // moves to the new snapshot; clones keep reading the old one
+    // unblocked, and the shared cache keeps both warm (entries are
+    // keyed by input fingerprints).
 
-    /// Replaces the system configuration, revalidating and invalidating
-    /// the cached ranking.
+    fn swap_snapshot(&mut self, snapshot: Snapshot) {
+        self.snapshot = Arc::new(snapshot);
+    }
+
+    /// Replaces the system configuration, revalidating it and swapping
+    /// this handle to a fresh snapshot (clones are unaffected).
     pub fn set_system(&mut self, system: SystemConfig) -> Result<(), WarlockError> {
         system.validate().map_err(WarlockError::System)?;
-        self.system = system;
-        self.ranking = None;
-        self.eval_cache.clear();
+        let s = &*self.snapshot;
+        self.swap_snapshot(Snapshot::new(
+            s.schema.clone(),
+            system,
+            s.mix.clone(),
+            s.config.clone(),
+            s.scheme.clone(),
+            s.skew.clone(),
+        ));
         Ok(())
     }
 
     /// Replaces the query mix, revalidating it against the schema,
-    /// re-deriving the bitmap scheme and invalidating the cached ranking.
+    /// re-deriving the bitmap scheme and swapping this handle to a
+    /// fresh snapshot (clones are unaffected).
     pub fn set_mix(&mut self, mix: QueryMix) -> Result<(), WarlockError> {
-        mix.validate(&self.schema)?;
-        self.scheme = BitmapScheme::derive(&self.schema, &mix, self.config.scheme);
-        self.mix = mix;
-        self.ranking = None;
-        self.eval_cache.clear();
+        let s = &*self.snapshot;
+        mix.validate(&s.schema)?;
+        let scheme = BitmapScheme::derive(&s.schema, &mix, s.config.scheme);
+        self.swap_snapshot(Snapshot::new(
+            s.schema.clone(),
+            s.system,
+            mix,
+            s.config.clone(),
+            scheme,
+            s.skew.clone(),
+        ));
         Ok(())
     }
 
     /// Replaces the advisor configuration, revalidating and re-deriving
-    /// the scheme and skew model.
+    /// the scheme and skew model; swaps this handle to a fresh snapshot
+    /// (clones are unaffected).
     pub fn set_config(&mut self, config: AdvisorConfig) -> Result<(), WarlockError> {
-        let (scheme, skew) = engine::validate(&self.schema, &self.system, &self.mix, &config)?;
-        self.config = config;
-        self.scheme = scheme;
-        self.skew = skew;
-        self.ranking = None;
-        self.eval_cache.clear();
+        let s = &*self.snapshot;
+        let (scheme, skew) = engine::validate(&s.schema, &s.system, &s.mix, &config)?;
+        self.swap_snapshot(Snapshot::new(
+            s.schema.clone(),
+            s.system,
+            s.mix.clone(),
+            config,
+            scheme,
+            skew,
+        ));
         Ok(())
     }
 
     /// Overrides the bitmap scheme (interactive tuning: "the user may
     /// decide to exclude some of the suggested bitmap indices").
     pub fn with_scheme(mut self, scheme: BitmapScheme) -> Self {
-        self.scheme = scheme;
-        self.ranking = None;
-        self.eval_cache.clear();
+        let s = &*self.snapshot;
+        let snapshot = Snapshot::new(
+            s.schema.clone(),
+            s.system,
+            s.mix.clone(),
+            s.config.clone(),
+            scheme,
+            s.skew.clone(),
+        );
+        self.swap_snapshot(snapshot);
         self
     }
 
@@ -253,57 +425,78 @@ impl Warlock {
 
     /// The threshold context derived from the system configuration.
     pub fn threshold_context(&self) -> warlock_fragment::ThresholdContext {
-        engine::threshold_context(&self.schema, &self.system, &self.config)
-    }
-
-    /// Runs the prediction pipeline, ignoring and leaving untouched the
-    /// session's cached *ranking* (the per-candidate evaluation memo is
-    /// still consulted and extended — see [`Warlock::cache_stats`]).
-    pub fn run(&self) -> AdvisorReport {
-        engine::run(
-            &self.schema,
-            &self.system,
-            &self.mix,
-            &self.config,
-            &self.scheme,
-            Some(&self.eval_cache),
+        engine::threshold_context(
+            &self.snapshot.schema,
+            &self.snapshot.system,
+            &self.snapshot.config,
         )
     }
 
-    /// The ranked recommendation list, computed on first call and cached
-    /// until an input changes.
-    pub fn rank(&mut self) -> &AdvisorReport {
-        if self.ranking.is_none() {
-            self.ranking = Some(self.run());
-        }
-        self.ranking.as_ref().expect("just computed")
+    /// Runs the prediction pipeline, ignoring and leaving untouched the
+    /// snapshot's cached *ranking* (the shared per-candidate evaluation
+    /// memo is still consulted and extended — see
+    /// [`Warlock::cache_stats`]).
+    pub fn run(&self) -> Result<AdvisorReport, WarlockError> {
+        let s = &*self.snapshot;
+        engine::run(
+            &s.schema,
+            &s.system,
+            &s.mix,
+            &s.config,
+            &s.scheme,
+            self.shared.env(),
+        )
     }
 
-    /// The cached ranking, if [`Warlock::rank`] has run since the last
-    /// input change.
+    /// The ranked recommendation list, computed on first call and
+    /// cached on the snapshot — every clone sharing this snapshot sees
+    /// the same baseline without recomputing it. Takes `&self`: no lock
+    /// is held across the computation (two clones racing a cold
+    /// baseline may both compute it; the first result wins and both
+    /// return identical reports).
+    pub fn rank(&self) -> Result<&AdvisorReport, WarlockError> {
+        if self.snapshot.ranking.get().is_none() {
+            let computed = self.run();
+            let _ = self.snapshot.ranking.set(computed);
+        }
+        match self.snapshot.ranking.get() {
+            Some(Ok(report)) => Ok(report),
+            Some(Err(e)) => Err(e.clone()),
+            None => Err(WarlockError::internal("baseline ranking never settled")),
+        }
+    }
+
+    /// The cached ranking, if [`Warlock::rank`] has succeeded on this
+    /// snapshot.
     #[inline]
     pub fn ranking(&self) -> Option<&AdvisorReport> {
-        self.ranking.as_ref()
+        match self.snapshot.ranking.get() {
+            Some(Ok(report)) => Some(report),
+            _ => None,
+        }
     }
 
-    /// Drops the cached ranking **and** the per-candidate evaluation
-    /// memo: the next [`Warlock::rank`] recomputes everything.
+    /// Drops the cached ranking **and** the shared per-candidate
+    /// evaluation memo: the next [`Warlock::rank`] recomputes
+    /// everything. Clearing the memo is observable by clones (it is
+    /// shared); their snapshots and cached rankings are untouched.
     pub fn invalidate(&mut self) {
-        self.ranking = None;
-        self.eval_cache.clear();
+        let fresh = self.snapshot.fresh();
+        self.swap_snapshot(fresh);
+        self.shared.cache.clear();
     }
 
-    /// Counters of the per-session evaluation memo: how many candidate
+    /// Counters of the shared evaluation memo: how many candidate
     /// outcomes are held, and how many lookups hit or missed since the
-    /// session was built (or last invalidated). Repeating a what-if
-    /// variation on a warm session shows pure hits — nothing is
-    /// re-costed.
+    /// session family was built (or last invalidated). Repeating a
+    /// what-if variation on a warm session — or on any clone of it —
+    /// shows pure hits: nothing is re-costed.
     pub fn cache_stats(&self) -> EvalCacheStats {
-        self.eval_cache.stats()
+        self.shared.cache.stats()
     }
 
-    fn ranked_fragmentation(&mut self, rank: usize) -> Result<Fragmentation, WarlockError> {
-        let report = self.rank();
+    fn ranked_fragmentation(&self, rank: usize) -> Result<Fragmentation, WarlockError> {
+        let report = self.rank()?;
         let available = report.ranked.len();
         report
             .ranked
@@ -314,130 +507,156 @@ impl Warlock {
 
     /// The Fig.-2-style detailed query statistic of the candidate at
     /// 1-based `rank`, ranking first if necessary.
-    pub fn analyze(&mut self, rank: usize) -> Result<FragmentationAnalysis, WarlockError> {
+    pub fn analyze(&self, rank: usize) -> Result<FragmentationAnalysis, WarlockError> {
         let fragmentation = self.ranked_fragmentation(rank)?;
-        Ok(self.analyze_candidate(&fragmentation))
+        self.analyze_candidate(&fragmentation)
     }
 
     /// The physical allocation plan of the candidate at 1-based `rank`,
     /// ranking first if necessary.
-    pub fn plan_allocation(&mut self, rank: usize) -> Result<AllocationPlan, WarlockError> {
+    pub fn plan_allocation(&self, rank: usize) -> Result<AllocationPlan, WarlockError> {
         let fragmentation = self.ranked_fragmentation(rank)?;
-        Ok(self.plan_candidate(&fragmentation))
+        self.plan_candidate(&fragmentation)
     }
 
     /// Evaluates an arbitrary candidate outside the ranking pipeline.
-    pub fn evaluate(&self, fragmentation: &Fragmentation) -> CandidateCost {
+    pub fn evaluate(&self, fragmentation: &Fragmentation) -> Result<CandidateCost, WarlockError> {
+        let s = &*self.snapshot;
         engine::evaluate(
-            &self.schema,
-            &self.system,
-            &self.mix,
-            &self.config,
-            &self.scheme,
+            &s.schema,
+            &s.system,
+            &s.mix,
+            &s.config,
+            &s.scheme,
             fragmentation,
-            Some(&self.eval_cache),
+            Some(&self.shared.cache),
+            Some(&s.evaluate_fp),
         )
     }
 
     /// The detailed query statistic of an arbitrary candidate.
-    pub fn analyze_candidate(&self, fragmentation: &Fragmentation) -> FragmentationAnalysis {
+    pub fn analyze_candidate(
+        &self,
+        fragmentation: &Fragmentation,
+    ) -> Result<FragmentationAnalysis, WarlockError> {
+        let s = &*self.snapshot;
         engine::analyze(
-            &self.schema,
-            &self.system,
-            &self.mix,
-            &self.config,
-            &self.scheme,
+            &s.schema,
+            &s.system,
+            &s.mix,
+            &s.config,
+            &s.scheme,
             fragmentation,
         )
     }
 
     /// The physical allocation plan of an arbitrary candidate.
-    pub fn plan_candidate(&self, fragmentation: &Fragmentation) -> AllocationPlan {
+    pub fn plan_candidate(
+        &self,
+        fragmentation: &Fragmentation,
+    ) -> Result<AllocationPlan, WarlockError> {
+        let s = &*self.snapshot;
         engine::plan_allocation(
-            &self.schema,
-            &self.system,
-            &self.mix,
-            &self.config,
-            &self.scheme,
-            &self.skew,
+            &s.schema,
+            &s.system,
+            &s.mix,
+            &s.config,
+            &s.scheme,
+            &s.skew,
             fragmentation,
         )
     }
 
     // ------------------------------------------------------------------
     // What-if tuning (§3.3): each variation re-runs the pipeline against
-    // modified inputs without touching the session, and reports the
-    // delta against the session's (cached) baseline ranking.
+    // modified inputs without touching the snapshot, and reports the
+    // delta against the snapshot's (cached) baseline ranking. All
+    // variations take `&self` — clones explore them concurrently.
 
     fn with_delta(
-        &mut self,
+        &self,
         (variation, report): (String, AdvisorReport),
-    ) -> (AdvisorReport, TuningDelta) {
-        let delta = TuningDelta::between(variation, self.rank(), &report);
-        (report, delta)
+    ) -> Result<(AdvisorReport, TuningDelta), WarlockError> {
+        let delta = TuningDelta::between(variation, self.rank()?, &report);
+        Ok((report, delta))
     }
 
     /// What if the system had `num_disks` disks?
-    pub fn what_if_disks(&mut self, num_disks: u32) -> (AdvisorReport, TuningDelta) {
+    pub fn what_if_disks(
+        &self,
+        num_disks: u32,
+    ) -> Result<(AdvisorReport, TuningDelta), WarlockError> {
+        let s = &*self.snapshot;
         let varied = engine::vary_disks(
-            &self.schema,
-            &self.system,
-            &self.mix,
-            &self.config,
-            &self.scheme,
+            &s.schema,
+            &s.system,
+            &s.mix,
+            &s.config,
+            &s.scheme,
             num_disks,
-            Some(&self.eval_cache),
-        );
+            self.shared.env(),
+        )?;
         self.with_delta(varied)
     }
 
     /// What if prefetching were fixed at `pages` for both fact tables
     /// and bitmaps?
-    pub fn what_if_fixed_prefetch(&mut self, pages: u32) -> (AdvisorReport, TuningDelta) {
+    pub fn what_if_fixed_prefetch(
+        &self,
+        pages: u32,
+    ) -> Result<(AdvisorReport, TuningDelta), WarlockError> {
+        let s = &*self.snapshot;
         let varied = engine::vary_fixed_prefetch(
-            &self.schema,
-            &self.system,
-            &self.mix,
-            &self.config,
-            &self.scheme,
+            &s.schema,
+            &s.system,
+            &s.mix,
+            &s.config,
+            &s.scheme,
             pages,
-            Some(&self.eval_cache),
-        );
+            self.shared.env(),
+        )?;
         self.with_delta(varied)
     }
 
     /// What if the bitmap indexes of `dimension` were dropped (space
     /// limiting)?
     pub fn what_if_without_bitmap_dimension(
-        &mut self,
+        &self,
         dimension: DimensionId,
-    ) -> (AdvisorReport, TuningDelta) {
+    ) -> Result<(AdvisorReport, TuningDelta), WarlockError> {
+        let s = &*self.snapshot;
         let varied = engine::vary_without_bitmap_dimension(
-            &self.schema,
-            &self.system,
-            &self.mix,
-            &self.config,
-            &self.scheme,
+            &s.schema,
+            &s.system,
+            &s.mix,
+            &s.config,
+            &s.scheme,
             dimension,
-            Some(&self.eval_cache),
-        );
+            self.shared.env(),
+        )?;
         self.with_delta(varied)
     }
 
     /// What if query class `name` vanished from the workload?
     ///
-    /// Returns `None` if removing the class would empty the mix or the
-    /// name is unknown.
-    pub fn what_if_without_class(&mut self, name: &str) -> Option<(AdvisorReport, TuningDelta)> {
+    /// # Errors
+    ///
+    /// [`WarlockError::UnknownClass`] when the name is unknown or
+    /// removing the class would empty the mix.
+    pub fn what_if_without_class(
+        &self,
+        name: &str,
+    ) -> Result<(AdvisorReport, TuningDelta), WarlockError> {
+        let s = &*self.snapshot;
         let varied = engine::vary_without_class(
-            &self.schema,
-            &self.system,
-            &self.mix,
-            &self.config,
+            &s.schema,
+            &s.system,
+            &s.mix,
+            &s.config,
             name,
-            Some(&self.eval_cache),
+            self.shared.env(),
         )?;
-        Some(self.with_delta(varied))
+        self.with_delta(varied)
     }
 }
 
@@ -478,10 +697,10 @@ mod tests {
     fn rank_caches_until_invalidated() {
         let mut s = session();
         assert!(s.ranking().is_none());
-        let top = s.rank().top().unwrap().label.clone();
+        let top = s.rank().unwrap().top().unwrap().label.clone();
         assert!(s.ranking().is_some());
-        // Cached: same allocation returned.
-        let again = s.rank().top().unwrap().label.clone();
+        // Cached: same snapshot-held report returned.
+        let again = s.rank().unwrap().top().unwrap().label.clone();
         assert_eq!(top, again);
         s.invalidate();
         assert!(s.ranking().is_none());
@@ -489,13 +708,13 @@ mod tests {
 
     #[test]
     fn analyze_and_plan_by_rank() {
-        let mut s = session();
+        let s = session();
         let analysis = s.analyze(1).unwrap();
-        let top = s.rank().top().unwrap().clone();
+        let top = s.rank().unwrap().top().unwrap().clone();
         assert_eq!(analysis.label, top.label);
         let plan = s.plan_allocation(1).unwrap();
         assert_eq!(plan.label, top.label);
-        let available = s.rank().ranked.len();
+        let available = s.rank().unwrap().ranked.len();
         assert_eq!(
             s.analyze(0).unwrap_err(),
             WarlockError::RankOutOfRange { rank: 0, available }
@@ -510,28 +729,14 @@ mod tests {
     }
 
     #[test]
-    fn matches_legacy_advisor_output() {
-        #[allow(deprecated)]
-        let legacy = {
-            let schema = apb1_like_schema(Apb1Config::default()).unwrap();
-            let system = SystemConfig::default_2001(16);
-            let mix = apb1_like_mix().unwrap();
-            crate::Advisor::new(&schema, &system, &mix, AdvisorConfig::default())
-                .unwrap()
-                .run()
-        };
-        assert_eq!(session().run(), legacy);
-    }
-
-    #[test]
     fn set_system_invalidates_and_changes_advice_inputs() {
         let mut s = session();
-        let baseline = s.rank().top().unwrap().cost.response_ms;
+        let baseline = s.rank().unwrap().top().unwrap().cost.response_ms;
         let mut system = *s.system();
         system.num_disks = 64;
         s.set_system(system).unwrap();
         assert!(s.ranking().is_none());
-        let faster = s.rank().top().unwrap().cost.response_ms;
+        let faster = s.rank().unwrap().top().unwrap().cost.response_ms;
         assert!(faster < baseline);
 
         let mut bad = *s.system();
@@ -541,30 +746,33 @@ mod tests {
 
     #[test]
     fn what_if_variants_leave_session_untouched() {
-        let mut s = session();
-        let baseline = s.rank().clone();
-        let (_, delta) = s.what_if_disks(64);
+        let s = session();
+        let baseline = s.rank().unwrap().clone();
+        let (_, delta) = s.what_if_disks(64).unwrap();
         assert!(delta.variation_response_ms < delta.baseline_response_ms);
-        let (_, delta) = s.what_if_fixed_prefetch(1);
+        let (_, delta) = s.what_if_fixed_prefetch(1).unwrap();
         assert!(delta.variation_response_ms > delta.baseline_response_ms);
-        let (_, delta) = s.what_if_without_bitmap_dimension(DimensionId(0));
+        let (_, delta) = s.what_if_without_bitmap_dimension(DimensionId(0)).unwrap();
         assert!(delta.variation_response_ms >= delta.baseline_response_ms * 0.999);
-        assert!(s.what_if_without_class("nonexistent").is_none());
+        assert!(matches!(
+            s.what_if_without_class("nonexistent"),
+            Err(WarlockError::UnknownClass { .. })
+        ));
         let (report, delta) = s.what_if_without_class("q01_month_store_code").unwrap();
         assert!(!report.ranked.is_empty());
         assert!(delta.variation.contains("q01"));
-        // The session's own inputs and cache are untouched.
-        assert_eq!(s.rank(), &baseline);
+        // The session's own inputs and baseline are untouched.
+        assert_eq!(s.rank().unwrap(), &baseline);
     }
 
     #[test]
     fn repeated_what_if_hits_the_eval_cache() {
-        let mut s = session();
-        s.rank();
-        let (first_report, _) = s.what_if_disks(64);
+        let s = session();
+        s.rank().unwrap();
+        let (first_report, _) = s.what_if_disks(64).unwrap();
         let after_first = s.cache_stats();
         assert!(after_first.misses > 0, "cold variation must miss");
-        let (second_report, _) = s.what_if_disks(64);
+        let (second_report, _) = s.what_if_disks(64).unwrap();
         let after_second = s.cache_stats();
         assert_eq!(first_report, second_report);
         assert_eq!(
@@ -578,28 +786,92 @@ mod tests {
     fn evaluate_memoizes_per_candidate() {
         let s = session();
         let frag = Fragmentation::from_pairs(&[(2, 2)]).unwrap();
-        let a = s.evaluate(&frag);
+        let a = s.evaluate(&frag).unwrap();
         let misses = s.cache_stats().misses;
-        let b = s.evaluate(&frag);
+        let b = s.evaluate(&frag).unwrap();
         assert_eq!(a, b);
         assert_eq!(s.cache_stats().misses, misses);
         assert!(s.cache_stats().hits >= 1);
     }
 
     #[test]
-    fn input_mutation_clears_the_eval_cache() {
-        let mut s = session();
-        s.rank();
-        assert!(s.cache_stats().entries > 0);
-        let mut system = *s.system();
-        system.num_disks = 8;
-        s.set_system(system).unwrap();
-        assert_eq!(s.cache_stats().entries, 0);
+    fn clones_share_snapshot_cache_and_baseline() {
+        let s1 = session();
+        let s2 = s1.clone();
+        assert!(s1.shares_snapshot_with(&s2));
+        s1.rank().unwrap();
+        // The clone sees the baseline without recomputing it.
+        assert!(s2.ranking().is_some());
+        // A what-if priced on one clone is warm on the other.
+        let (r1, d1) = s1.what_if_disks(64).unwrap();
+        let misses_after_s1 = s1.cache_stats().misses;
+        let (r2, d2) = s2.what_if_disks(64).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(d1, d2);
+        assert_eq!(
+            s2.cache_stats().misses,
+            misses_after_s1,
+            "the clone's repeat what-if must be served warm from the shared cache"
+        );
+    }
 
-        s.rank();
+    #[test]
+    fn mutating_one_clone_leaves_the_other_on_the_old_snapshot() {
+        let mut s1 = session();
+        let s2 = s1.clone();
+        let baseline = s2.rank().unwrap().clone();
+        let entries_before = s2.cache_stats().entries;
+        let mut system = *s1.system();
+        system.num_disks = 64;
+        s1.set_system(system).unwrap();
+        assert!(!s1.shares_snapshot_with(&s2));
+        assert_eq!(s1.system().num_disks, 64);
+        assert_eq!(s2.system().num_disks, 16);
+        // The sibling's snapshot, baseline and warm cache entries are
+        // untouched — copy-on-write never clears the shared memo.
+        assert_eq!(s2.rank().unwrap(), &baseline);
+        assert!(s2.cache_stats().entries >= entries_before);
+        // The mutated handle re-ranks under the new system.
+        assert!(s1.ranking().is_none());
+        assert!(
+            s1.rank().unwrap().top().unwrap().cost.response_ms
+                < baseline.top().unwrap().cost.response_ms
+        );
+    }
+
+    #[test]
+    fn flipping_back_to_a_prior_snapshot_is_warm() {
+        let mut s = session();
+        s.rank().unwrap();
+        let misses_baseline = s.cache_stats().misses;
+        let mut system = *s.system();
+        system.num_disks = 64;
+        s.set_system(system).unwrap();
+        s.rank().unwrap();
+        let misses_after_swap = s.cache_stats().misses;
+        assert!(misses_after_swap > misses_baseline);
+        // Swapping back re-uses the original snapshot's entries.
+        let mut system = *s.system();
+        system.num_disks = 16;
+        s.set_system(system).unwrap();
+        s.rank().unwrap();
+        assert_eq!(
+            s.cache_stats().misses,
+            misses_after_swap,
+            "returning to a previously priced configuration must be free"
+        );
+    }
+
+    #[test]
+    fn invalidate_clears_the_shared_cache() {
+        let mut s = session();
+        s.rank().unwrap();
         assert!(s.cache_stats().entries > 0);
         s.invalidate();
         assert_eq!(s.cache_stats(), crate::cache::EvalCacheStats::default());
+        assert!(s.ranking().is_none());
+        s.rank().unwrap();
+        assert!(s.cache_stats().entries > 0);
     }
 
     #[test]
@@ -617,9 +889,13 @@ mod tests {
         };
         let serial = build(1);
         assert_eq!(serial.config().parallelism, 1);
-        let reference = serial.run();
+        let reference = serial.run().unwrap();
         for workers in [2, 3, 8] {
-            assert_eq!(build(workers).run(), reference, "W={workers} diverged");
+            assert_eq!(
+                build(workers).run().unwrap(),
+                reference,
+                "W={workers} diverged"
+            );
         }
     }
 
@@ -656,15 +932,34 @@ mod tests {
     #[test]
     fn from_config_str_round_trip() {
         let cfg = crate::config_file::render_config(&crate::config_file::demo_config());
-        let mut s = Warlock::from_config_str(&cfg).unwrap();
-        assert!(s.rank().top().is_some());
+        let s = Warlock::from_config_str(&cfg).unwrap();
+        assert!(s.rank().unwrap().top().is_some());
         assert!(matches!(
             Warlock::from_config_str("[nonsense"),
             Err(WarlockError::ConfigFile(_))
         ));
-        assert!(matches!(
-            Warlock::from_config_path("/definitely/not/a/file"),
-            Err(WarlockError::Io(_))
-        ));
+    }
+
+    #[test]
+    fn from_config_path_errors_name_the_file() {
+        let missing = "/definitely/not/a/file.cfg";
+        let e = Warlock::from_config_path(missing).unwrap_err();
+        assert_eq!(e.kind(), "io");
+        assert!(
+            e.to_string().contains(missing),
+            "`{e}` does not name the offending path"
+        );
+
+        // Parse errors carry the path too.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("warlock-bad-{}.cfg", std::process::id()));
+        std::fs::write(&path, "[dimension broken\n").unwrap();
+        let e = Warlock::from_config_path(&path).unwrap_err();
+        assert_eq!(e.kind(), "config_file");
+        assert!(
+            e.to_string().contains(&path.display().to_string()),
+            "`{e}` does not name the offending path"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -7,18 +7,21 @@
 //!
 //! A [`TuningSession`] owns copies of the advisor inputs so each variation
 //! can be applied and re-evaluated without touching the originals, and
-//! reports the deltas against the baseline run.
+//! reports the deltas against the baseline run. Clones share the
+//! evaluation memo and worker pool, like [`crate::Warlock`] clones.
+
+use std::sync::Arc;
 
 use warlock_bitmap::BitmapScheme;
 use warlock_schema::{DimensionId, StarSchema};
 use warlock_storage::SystemConfig;
 use warlock_workload::QueryMix;
 
-use crate::advisor::{AdvisorError, AdvisorReport};
-use crate::cache::EvalCache;
+use crate::advisor::AdvisorReport;
 use crate::config::AdvisorConfig;
 use crate::engine;
 use crate::error::WarlockError;
+use crate::session::Shared;
 
 /// Summary of one what-if variation against the baseline.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,9 +72,10 @@ pub struct TuningSession {
     config: AdvisorConfig,
     scheme: BitmapScheme,
     baseline: AdvisorReport,
-    /// Memoized candidate evaluations across variations (same semantics
-    /// as the session cache on [`crate::Warlock`]).
-    cache: EvalCache,
+    /// Memoized candidate evaluations across variations plus the
+    /// persistent worker pool (same semantics as on [`crate::Warlock`];
+    /// clones share both).
+    shared: Arc<Shared>,
 }
 
 impl TuningSession {
@@ -81,11 +85,10 @@ impl TuningSession {
         system: SystemConfig,
         mix: QueryMix,
         config: AdvisorConfig,
-    ) -> Result<Self, AdvisorError> {
-        let (scheme, _skew) = engine::validate(&schema, &system, &mix, &config)
-            .map_err(WarlockError::into_advisor_error)?;
-        let cache = EvalCache::default();
-        let baseline = engine::run(&schema, &system, &mix, &config, &scheme, Some(&cache));
+    ) -> Result<Self, WarlockError> {
+        let (scheme, _skew) = engine::validate(&schema, &system, &mix, &config)?;
+        let shared = Arc::new(Shared::default());
+        let baseline = engine::run(&schema, &system, &mix, &config, &scheme, shared.env())?;
         Ok(Self {
             schema,
             system,
@@ -93,7 +96,7 @@ impl TuningSession {
             config,
             scheme,
             baseline,
-            cache,
+            shared,
         })
     }
 
@@ -112,60 +115,67 @@ impl TuningSession {
     }
 
     /// What if the system had `num_disks` disks?
-    pub fn with_disks(&self, num_disks: u32) -> (AdvisorReport, TuningDelta) {
-        self.with_delta(engine::vary_disks(
+    pub fn with_disks(&self, num_disks: u32) -> Result<(AdvisorReport, TuningDelta), WarlockError> {
+        Ok(self.with_delta(engine::vary_disks(
             &self.schema,
             &self.system,
             &self.mix,
             &self.config,
             &self.scheme,
             num_disks,
-            Some(&self.cache),
-        ))
+            self.shared.env(),
+        )?))
     }
 
     /// What if prefetching were fixed at `pages` for both fact tables and
     /// bitmaps?
-    pub fn with_fixed_prefetch(&self, pages: u32) -> (AdvisorReport, TuningDelta) {
-        self.with_delta(engine::vary_fixed_prefetch(
+    pub fn with_fixed_prefetch(
+        &self,
+        pages: u32,
+    ) -> Result<(AdvisorReport, TuningDelta), WarlockError> {
+        Ok(self.with_delta(engine::vary_fixed_prefetch(
             &self.schema,
             &self.system,
             &self.mix,
             &self.config,
             &self.scheme,
             pages,
-            Some(&self.cache),
-        ))
+            self.shared.env(),
+        )?))
     }
 
     /// What if the bitmap indexes of `dimension` were dropped (space
     /// limiting)?
-    pub fn without_bitmap_dimension(&self, dimension: DimensionId) -> (AdvisorReport, TuningDelta) {
-        self.with_delta(engine::vary_without_bitmap_dimension(
+    pub fn without_bitmap_dimension(
+        &self,
+        dimension: DimensionId,
+    ) -> Result<(AdvisorReport, TuningDelta), WarlockError> {
+        Ok(self.with_delta(engine::vary_without_bitmap_dimension(
             &self.schema,
             &self.system,
             &self.mix,
             &self.config,
             &self.scheme,
             dimension,
-            Some(&self.cache),
-        ))
+            self.shared.env(),
+        )?))
     }
 
     /// What if query class `name` vanished from the workload?
     ///
-    /// Returns `None` if removing the class would empty the mix or the
-    /// name is unknown.
-    pub fn without_class(&self, name: &str) -> Option<(AdvisorReport, TuningDelta)> {
-        let varied = engine::vary_without_class(
+    /// # Errors
+    ///
+    /// [`WarlockError::UnknownClass`] when the name is unknown or
+    /// removing the class would empty the mix.
+    pub fn without_class(&self, name: &str) -> Result<(AdvisorReport, TuningDelta), WarlockError> {
+        Ok(self.with_delta(engine::vary_without_class(
             &self.schema,
             &self.system,
             &self.mix,
             &self.config,
             name,
-            Some(&self.cache),
-        )?;
-        Some(self.with_delta(varied))
+            self.shared.env(),
+        )?))
     }
 }
 
@@ -188,7 +198,7 @@ mod tests {
     #[test]
     fn more_disks_cut_response() {
         let s = session();
-        let (_, delta) = s.with_disks(64);
+        let (_, delta) = s.with_disks(64).unwrap();
         assert!(delta.variation_response_ms < delta.baseline_response_ms);
         assert!(delta.variation.contains("64"));
     }
@@ -196,14 +206,14 @@ mod tests {
     #[test]
     fn fewer_disks_hurt() {
         let s = session();
-        let (_, delta) = s.with_disks(2);
+        let (_, delta) = s.with_disks(2).unwrap();
         assert!(delta.variation_response_ms > delta.baseline_response_ms);
     }
 
     #[test]
     fn tiny_fixed_prefetch_hurts() {
         let s = session();
-        let (_, delta) = s.with_fixed_prefetch(1);
+        let (_, delta) = s.with_fixed_prefetch(1).unwrap();
         assert!(
             delta.variation_response_ms > delta.baseline_response_ms,
             "1-page granule {} should be worse than auto {}",
@@ -215,7 +225,7 @@ mod tests {
     #[test]
     fn dropping_bitmaps_never_helps() {
         let s = session();
-        let (_, delta) = s.without_bitmap_dimension(DimensionId(0));
+        let (_, delta) = s.without_bitmap_dimension(DimensionId(0)).unwrap();
         assert!(delta.variation_response_ms >= delta.baseline_response_ms * 0.999);
     }
 
@@ -225,7 +235,10 @@ mod tests {
         let (report, delta) = s.without_class("q01_month_store_code").unwrap();
         assert!(!report.ranked.is_empty());
         assert!(delta.variation.contains("q01"));
-        assert!(s.without_class("nonexistent").is_none());
+        assert!(matches!(
+            s.without_class("nonexistent"),
+            Err(WarlockError::UnknownClass { .. })
+        ));
     }
 
     #[test]
@@ -233,7 +246,7 @@ mod tests {
         // `0` disks is clamped to 1 — the label used to claim "disks = 0"
         // while the run actually modeled one disk.
         let s = session();
-        let (_, delta) = s.with_disks(0);
+        let (_, delta) = s.with_disks(0).unwrap();
         assert!(
             delta.variation.contains("disks = 1"),
             "label `{}` must report the effective disk count",
@@ -245,22 +258,22 @@ mod tests {
             delta.variation
         );
         // The clamped run is exactly the 1-disk run.
-        let (one_disk, _) = s.with_disks(1);
-        let (zero_disk, _) = s.with_disks(0);
+        let (one_disk, _) = s.with_disks(1).unwrap();
+        let (zero_disk, _) = s.with_disks(0).unwrap();
         assert_eq!(zero_disk, one_disk);
     }
 
     #[test]
     fn zero_prefetch_label_reports_the_effective_value() {
         let s = session();
-        let (report_zero, delta) = s.with_fixed_prefetch(0);
+        let (report_zero, delta) = s.with_fixed_prefetch(0).unwrap();
         assert!(
             delta.variation.contains("prefetch = 1 pages")
                 && delta.variation.contains("requested 0"),
             "label `{}` hides the clamp",
             delta.variation
         );
-        let (report_one, one) = s.with_fixed_prefetch(1);
+        let (report_one, one) = s.with_fixed_prefetch(1).unwrap();
         assert!(
             one.variation.contains("prefetch = 1 pages") && !one.variation.contains("requested")
         );
@@ -271,9 +284,23 @@ mod tests {
     fn baseline_is_stable() {
         let s = session();
         assert!(s.baseline().top().is_some());
-        let (_, delta) = s.with_disks(16);
+        let (_, delta) = s.with_disks(16).unwrap();
         // Same system → same recommendation.
         assert!(!delta.recommendation_changed);
         assert!((delta.variation_response_ms - delta.baseline_response_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_the_warm_cache() {
+        let s1 = session();
+        let (r1, _) = s1.with_disks(64).unwrap();
+        let misses = {
+            let stats = s1.shared.cache.stats();
+            stats.misses
+        };
+        let s2 = s1.clone();
+        let (r2, _) = s2.with_disks(64).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(s2.shared.cache.stats().misses, misses);
     }
 }

@@ -1,0 +1,129 @@
+//! End-to-end smoke test of the `warlockd` binary over stdio: start the
+//! server on the demo configuration, drive a `rank` →
+//! `what_if_disks` → `cache_stats` → `shutdown` round-trip, and assert
+//! a clean exit. The CI smoke lane runs this same conversation from a
+//! shell script; this test keeps it pinned under plain `cargo test`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+use warlock::config_file::{demo_config, render_config};
+use warlock::json::Json;
+
+fn parse_ok(line: &str) -> Json {
+    let json = warlock::json::parse(line).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"));
+    assert_eq!(
+        json.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request failed: {line}"
+    );
+    json
+}
+
+#[test]
+fn warlockd_stdio_round_trip() {
+    let config_path = std::env::temp_dir().join(format!(
+        "warlockd-smoke-{}-{:?}.cfg",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&config_path, render_config(&demo_config())).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_warlockd"))
+        .arg(&config_path)
+        .arg("--stdio")
+        .args(["-j", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("warlockd spawns");
+
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        writeln!(stdin, r#"{{"v":1,"id":1,"op":"rank"}}"#).unwrap();
+        writeln!(
+            stdin,
+            r#"{{"v":1,"id":2,"op":"what_if_disks","params":{{"disks":64}}}}"#
+        )
+        .unwrap();
+        writeln!(stdin, r#"{{"v":1,"id":3,"op":"cache_stats"}}"#).unwrap();
+        writeln!(stdin, r#"{{"v":1,"id":4,"op":"shutdown"}}"#).unwrap();
+        // Dropping stdin closes the pipe; the server must already have
+        // stopped at the shutdown request either way.
+    }
+
+    let lines: Vec<String> = BufReader::new(child.stdout.take().unwrap())
+        .lines()
+        .map(|l| l.unwrap())
+        .collect();
+    let status = child.wait().unwrap();
+    let _ = std::fs::remove_file(&config_path);
+
+    assert!(status.success(), "warlockd exited with {status}");
+    assert_eq!(lines.len(), 4, "one response per request: {lines:#?}");
+
+    let rank = parse_ok(&lines[0]);
+    assert_eq!(rank.get("id").and_then(Json::as_i64), Some(1));
+    let ranking = rank
+        .get("result")
+        .and_then(|r| r.get("ranking"))
+        .and_then(Json::as_array)
+        .expect("rank returns a ranking");
+    assert!(!ranking.is_empty());
+
+    let what_if = parse_ok(&lines[1]);
+    let delta = what_if
+        .get("result")
+        .and_then(|r| r.get("delta"))
+        .expect("what_if_disks returns a delta");
+    assert_eq!(
+        delta.get("variation").and_then(Json::as_str),
+        Some("disks = 64")
+    );
+
+    let stats = parse_ok(&lines[2]);
+    let entries = stats
+        .get("result")
+        .and_then(|r| r.get("entries"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(entries > 0, "the shared cache must be warm after two runs");
+
+    let bye = parse_ok(&lines[3]);
+    assert_eq!(
+        bye.get("result")
+            .and_then(|r| r.get("stopping"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+}
+
+#[test]
+fn warlockd_reports_bad_usage() {
+    let status = Command::new(env!("CARGO_BIN_EXE_warlockd"))
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(
+        status.code(),
+        Some(2),
+        "missing config file is a usage error"
+    );
+
+    let status = Command::new(env!("CARGO_BIN_EXE_warlockd"))
+        .arg("/definitely/not/a/file.cfg")
+        .arg("--stdio")
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(
+        status.code(),
+        Some(1),
+        "unreadable config is a startup failure"
+    );
+}

@@ -85,12 +85,12 @@ fn main() -> Result<(), WarlockError> {
     system.architecture = Architecture::shared_disk(4, 8);
 
     // The builder validates the mix against the schema and owns both.
-    let mut session = Warlock::builder()
+    let session = Warlock::builder()
         .schema(schema)
         .system(system)
         .mix(mix)
         .build()?;
-    println!("{}", render_ranking(session.rank()));
+    println!("{}", render_ranking(session.rank()?));
     println!("{}", render_analysis(&session.analyze(1)?));
     Ok(())
 }

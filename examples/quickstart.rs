@@ -15,7 +15,7 @@ use warlock::report::{render_allocation, render_analysis, render_ranking};
 fn main() -> Result<(), WarlockError> {
     // Input layer: schema, disk/system parameters, weighted query mix —
     // owned by the session, validated once at build time.
-    let mut session = Warlock::builder()
+    let session = Warlock::builder()
         .schema(apb1_like_schema(Apb1Config::default())?)
         .system(SystemConfig::default_2001(16))
         .mix(apb1_like_mix()?)
@@ -36,7 +36,7 @@ fn main() -> Result<(), WarlockError> {
 
     // Prediction layer: enumerate, exclude, cost, twofold-rank (cached
     // on the session).
-    println!("{}", render_ranking(session.rank()));
+    println!("{}", render_ranking(session.rank()?));
 
     // Analysis layer: detailed statistic and allocation of the winner.
     println!("{}", render_analysis(&session.analyze(1)?));

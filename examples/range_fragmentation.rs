@@ -24,8 +24,8 @@ fn main() {
     // The identity: grouping 10 codes per coordinate IS the class level.
     let ranged = Fragmentation::from_ranged_pairs(&[(0, 5, 10), (2, 2, 1)]).expect("valid");
     let point = Fragmentation::from_pairs(&[(0, 4), (2, 2)]).expect("valid");
-    let a = session.evaluate(&ranged);
-    let b = session.evaluate(&point);
+    let a = session.evaluate(&ranged).expect("evaluates");
+    let b = session.evaluate(&point).expect("evaluates");
     println!("identity check:");
     println!(
         "  {:<36} {:>8} fragments, {:>9.1} ms io, {:>7.1} ms response",
@@ -60,7 +60,7 @@ fn main() {
             Fragmentation::from_pairs(&[(0, 2), (2, 2)]).unwrap(),
         ),
     ] {
-        let cost = session.evaluate(&frag);
+        let cost = session.evaluate(&frag).expect("evaluates");
         println!(
             "  {:<36} {:>8} fragments, {:>9.1} ms io, {:>7.1} ms response",
             name, cost.num_fragments, cost.io_cost_ms, cost.response_ms

@@ -43,11 +43,11 @@ fn main() {
 
         config.allocation_policy = AllocationPolicy::RoundRobin;
         session.set_config(config.clone()).expect("valid");
-        let rr: AllocationPlan = session.plan_candidate(&frag);
+        let rr: AllocationPlan = session.plan_candidate(&frag).expect("plans");
 
         config.allocation_policy = AllocationPolicy::GreedySize;
         session.set_config(config).expect("valid");
-        let greedy: AllocationPlan = session.plan_candidate(&frag);
+        let greedy: AllocationPlan = session.plan_candidate(&frag).expect("plans");
 
         let pick = |plan: &AllocationPlan| {
             plan.per_class

@@ -13,13 +13,13 @@ use warlock::prelude::*;
 use warlock::schema::DimensionId;
 
 fn main() -> Result<(), WarlockError> {
-    let mut session = Warlock::builder()
+    let session = Warlock::builder()
         .schema(apb1_like_schema(Apb1Config::default())?)
         .system(SystemConfig::default_2001(16))
         .mix(apb1_like_mix()?)
         .build()?;
 
-    let base = session.rank().top().expect("candidates survive").clone();
+    let base = session.rank()?.top().expect("candidates survive").clone();
     println!(
         "baseline (16 disks): {}  response {:.1} ms\n",
         base.label, base.cost.response_ms
@@ -46,19 +46,18 @@ fn main() -> Result<(), WarlockError> {
     };
 
     for disks in [4, 8, 32, 64] {
-        let (_, delta) = session.what_if_disks(disks);
+        let (_, delta) = session.what_if_disks(disks)?;
         show(&delta);
     }
     for pages in [1, 8, 64] {
-        let (_, delta) = session.what_if_fixed_prefetch(pages);
+        let (_, delta) = session.what_if_fixed_prefetch(pages)?;
         show(&delta);
     }
     for d in 0..4u16 {
-        let (_, delta) = session.what_if_without_bitmap_dimension(DimensionId(d));
+        let (_, delta) = session.what_if_without_bitmap_dimension(DimensionId(d))?;
         show(&delta);
     }
-    if let Some((_, delta)) = session.what_if_without_class("q02_month_class") {
-        show(&delta);
-    }
+    let (_, delta) = session.what_if_without_class("q02_month_class")?;
+    show(&delta);
     Ok(())
 }

@@ -19,8 +19,8 @@ fn session() -> Warlock {
 
 #[test]
 fn recommended_candidates_dominate_random_ones() {
-    let mut session = session();
-    let top = session.rank().top().unwrap().clone();
+    let session = session();
+    let top = session.rank().unwrap().top().unwrap().clone();
 
     // The winner must beat a handful of structurally plausible but
     // unranked alternatives on response time at comparable I/O cost —
@@ -31,7 +31,7 @@ fn recommended_candidates_dominate_random_ones() {
         Fragmentation::from_pairs(&[(1, 0)]).unwrap(), // retailer only
         Fragmentation::from_pairs(&[(2, 0)]).unwrap(), // year only
     ] {
-        let cost = session.evaluate(&alt);
+        let cost = session.evaluate(&alt).unwrap();
         assert!(
             top.cost.response_ms <= cost.response_ms,
             "{} ({} ms) should not beat the winner ({} ms)",
@@ -44,8 +44,8 @@ fn recommended_candidates_dominate_random_ones() {
 
 #[test]
 fn ranking_respects_the_twofold_contract() {
-    let mut session = session();
-    let report = session.rank().clone();
+    let session = session();
+    let report = session.rank().unwrap().clone();
 
     // Phase-2 ordering: response times ascend.
     for w in report.ranked.windows(2) {
@@ -62,7 +62,7 @@ fn ranking_respects_the_twofold_contract() {
         }
         let layout = warlock_fragment::FragmentLayout::new(session.schema(), frag, 0);
         if session.config().thresholds.check(&layout, ctx).is_ok() {
-            io_costs.push(session.evaluate(layout.fragmentation()).io_cost_ms);
+            io_costs.push(session.evaluate(layout.fragmentation()).unwrap().io_cost_ms);
         }
     }
     io_costs.sort_by(f64::total_cmp);
@@ -83,9 +83,9 @@ fn ranking_respects_the_twofold_contract() {
 fn architectures_shared_everything_vs_shared_disk() {
     let mut system = SystemConfig::default_2001(16);
     system.architecture = Architecture::SharedEverything { processors: 16 };
-    let se = session_on(system).run();
+    let se = session_on(system).run().unwrap();
     system.architecture = Architecture::shared_disk(4, 4); // same 16 processors
-    let sd = session_on(system).run();
+    let sd = session_on(system).run().unwrap();
     // Same processor budget: SD pays exactly the coordination overhead.
     let se_top = se.top().unwrap();
     let sd_top = sd.find(&se_top.cost.fragmentation).or(sd.top()).unwrap();
@@ -109,7 +109,7 @@ fn disk_scaling_improves_response_monotonically() {
         session
             .set_system(SystemConfig::default_2001(disks))
             .unwrap();
-        let rt = session.evaluate(&frag).response_ms;
+        let rt = session.evaluate(&frag).unwrap().response_ms;
         assert!(
             rt <= prev + 1e-9,
             "{disks} disks gave {rt} ms, worse than previous {prev} ms"
@@ -128,7 +128,7 @@ fn io_cost_is_invariant_to_disk_count() {
         .iter()
         .map(|&d| {
             session.set_system(SystemConfig::default_2001(d)).unwrap();
-            session.evaluate(&frag).io_cost_ms
+            session.evaluate(&frag).unwrap().io_cost_ms
         })
         .collect();
     assert!((costs[0] - costs[1]).abs() < 1e-9);
@@ -137,7 +137,7 @@ fn io_cost_is_invariant_to_disk_count() {
 
 #[test]
 fn scaled_schema_still_advises() {
-    let mut session = Warlock::builder()
+    let session = Warlock::builder()
         .schema(
             apb1_like_schema(Apb1Config {
                 density: 0.02,
@@ -151,16 +151,16 @@ fn scaled_schema_still_advises() {
         .mix(apb1_like_mix().unwrap())
         .build()
         .unwrap();
-    assert!(!session.rank().ranked.is_empty());
+    assert!(!session.rank().unwrap().ranked.is_empty());
     // Bigger warehouse: the winner still beats the unfragmented baseline.
-    let baseline = session.evaluate(&Fragmentation::none());
-    assert!(session.rank().top().unwrap().cost.response_ms < baseline.response_ms);
+    let baseline = session.evaluate(&Fragmentation::none()).unwrap();
+    assert!(session.rank().unwrap().top().unwrap().cost.response_ms < baseline.response_ms);
 }
 
 #[test]
 fn analysis_and_plan_agree_on_structure() {
-    let mut session = session();
-    let report = session.rank().clone();
+    let session = session();
+    let report = session.rank().unwrap().clone();
     for r in report.ranked.iter().take(3) {
         let analysis = session.analyze(r.rank).unwrap();
         let plan = session.plan_allocation(r.rank).unwrap();

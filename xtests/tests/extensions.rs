@@ -41,8 +41,8 @@ fn ranged_candidate_equivalence_holds_through_the_advisor() {
 
     let ranged = Fragmentation::from_ranged_pairs(&[(0, 5, 10), (2, 2, 1)]).unwrap();
     let point = Fragmentation::from_pairs(&[(0, 4), (2, 2)]).unwrap();
-    let a = session.evaluate(&ranged);
-    let b = session.evaluate(&point);
+    let a = session.evaluate(&ranged).unwrap();
+    let b = session.evaluate(&point).unwrap();
     assert_eq!(a.num_fragments, b.num_fragments);
     assert!((a.io_cost_ms - b.io_cost_ms).abs() < 1e-9);
     assert!((a.response_ms - b.response_ms).abs() < 1e-9);
@@ -167,10 +167,11 @@ fn config_file_round_trip_drives_identical_advice() {
         .config(demo.advisor)
         .build()
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
 
     // The facade can consume the rendered file directly.
-    let report_b = Warlock::from_config_str(&rendered).unwrap().run();
+    let report_b = Warlock::from_config_str(&rendered).unwrap().run().unwrap();
 
     assert_eq!(report_a.ranked.len(), report_b.ranked.len());
     for (a, b) in report_a.ranked.iter().zip(&report_b.ranked) {

@@ -157,10 +157,11 @@ fn config_file_and_io_errors_unify() {
         Warlock::from_config_str("[dimension truncated"),
         Err(WarlockError::ConfigFile(_))
     ));
-    assert!(matches!(
-        Warlock::from_config_path("/no/such/warlock.cfg"),
-        Err(WarlockError::Io(_))
-    ));
+    // Path-loading errors are wrapped with the offending file name.
+    let e = Warlock::from_config_path("/no/such/warlock.cfg").unwrap_err();
+    assert!(matches!(e, WarlockError::AtPath { .. }));
+    assert_eq!(e.kind(), "io");
+    assert!(e.to_string().contains("/no/such/warlock.cfg"));
     // Json parse errors unify too.
     assert!(matches!(
         SessionReport::from_json_str("{{nope"),
@@ -173,13 +174,13 @@ fn config_file_and_io_errors_unify() {
 
 #[test]
 fn rank_out_of_range_names_the_bounds() {
-    let mut session = Warlock::builder()
+    let session = Warlock::builder()
         .schema(schema())
         .system(system())
         .mix(mix())
         .build()
         .unwrap();
-    let available = session.rank().ranked.len();
+    let available = session.rank().unwrap().ranked.len();
     let e = session.analyze(available + 7).unwrap_err();
     assert_eq!(
         e,
@@ -196,13 +197,13 @@ fn rank_out_of_range_names_the_bounds() {
 
 #[test]
 fn session_report_round_trips_and_rebuilds_candidates() {
-    let mut session = Warlock::builder()
+    let session = Warlock::builder()
         .schema(schema())
         .system(system())
         .mix(mix())
         .build()
         .unwrap();
-    let report = session.session_report();
+    let report = session.session_report().unwrap();
     let text = report.to_json().pretty();
     let parsed = SessionReport::from_json_str(&text).unwrap();
     assert_eq!(parsed, report);
@@ -210,44 +211,48 @@ fn session_report_round_trips_and_rebuilds_candidates() {
     // The wire fragmentation of every ranked row rebuilds into the exact
     // in-memory candidate, so a remote client can ask follow-up
     // questions about any recommendation.
-    for (row, ranked) in parsed.ranking.iter().zip(&session.rank().ranked.clone()) {
+    for (row, ranked) in parsed
+        .ranking
+        .iter()
+        .zip(&session.rank().unwrap().ranked.clone())
+    {
         let rebuilt =
             warlock::serial::FragmentationAttr::to_fragmentation(&row.fragmentation).unwrap();
         assert_eq!(rebuilt, ranked.cost.fragmentation);
         // And re-evaluating it reproduces the serialized numbers.
-        let cost = session.evaluate(&rebuilt);
+        let cost = session.evaluate(&rebuilt).unwrap();
         assert!((cost.response_ms - row.response_ms).abs() < 1e-9);
     }
 }
 
 #[test]
 fn json_reports_match_text_reports() {
-    let mut session = Warlock::builder()
+    let session = Warlock::builder()
         .schema(schema())
         .system(system())
         .mix(mix())
         .build()
         .unwrap();
-    let report = session.session_report();
-    let text = warlock::report::render_ranking(session.rank());
+    let report = session.session_report().unwrap();
+    let text = warlock::report::render_ranking(session.rank().unwrap());
     // Every ranked row's rank appears in the text table; counters agree.
-    assert_eq!(report.ranking.len(), session.rank().ranked.len());
+    assert_eq!(report.ranking.len(), session.rank().unwrap().ranked.len());
     assert!(text.contains(&format!("{} enumerated", report.enumerated)));
     let analysis = report.analysis.as_ref().unwrap();
-    assert_eq!(analysis.label, session.rank().top().unwrap().label);
+    assert_eq!(analysis.label, session.rank().unwrap().top().unwrap().label);
     let allocation = report.allocation.as_ref().unwrap();
     assert_eq!(allocation.disks.len(), session.system().num_disks as usize);
 }
 
 #[test]
 fn tuning_deltas_serialize() {
-    let mut session = Warlock::builder()
+    let session = Warlock::builder()
         .schema(schema())
         .system(system())
         .mix(mix())
         .build()
         .unwrap();
-    let (_, delta) = session.what_if_disks(64);
+    let (_, delta) = session.what_if_disks(64).unwrap();
     let json = delta.to_json();
     assert_eq!(
         json.get("variation").unwrap().as_str().unwrap(),

@@ -39,8 +39,8 @@ proptest! {
         seed in 0u64..4096,
         workers in 2usize..9,
     ) {
-        let serial = session_for(seed, 1).run();
-        let parallel = session_for(seed, workers).run();
+        let serial = session_for(seed, 1).run().unwrap();
+        let parallel = session_for(seed, workers).run().unwrap();
         // Full structural equality: same ranking order, same excluded
         // candidates with the same reasons, same per-query costs.
         prop_assert_eq!(&serial, &parallel);
@@ -60,14 +60,14 @@ proptest! {
         seed in 0u64..1024,
         workers in 2usize..7,
     ) {
-        let mut serial = session_for(seed, 1);
-        let mut parallel = session_for(seed, workers);
-        let (sr, sd) = serial.what_if_disks(32);
-        let (pr, pd) = parallel.what_if_disks(32);
+        let serial = session_for(seed, 1);
+        let parallel = session_for(seed, workers);
+        let (sr, sd) = serial.what_if_disks(32).unwrap();
+        let (pr, pd) = parallel.what_if_disks(32).unwrap();
         prop_assert_eq!(sr, pr);
         prop_assert_eq!(sd, pd);
-        let (sr, _) = serial.what_if_fixed_prefetch(8);
-        let (pr, _) = parallel.what_if_fixed_prefetch(8);
+        let (sr, _) = serial.what_if_fixed_prefetch(8).unwrap();
+        let (pr, _) = parallel.what_if_fixed_prefetch(8).unwrap();
         prop_assert_eq!(sr, pr);
     }
 
@@ -75,15 +75,15 @@ proptest! {
     fn warm_cache_reruns_are_identical_and_skip_work(
         seed in 0u64..1024,
     ) {
-        let mut s = session_for(seed, 0);
-        let cold = s.rank().clone();
-        let (first, _) = s.what_if_disks(48);
+        let s = session_for(seed, 0);
+        let cold = s.rank().unwrap().clone();
+        let (first, _) = s.what_if_disks(48).unwrap();
         let misses_after_first = s.cache_stats().misses;
-        let (second, _) = s.what_if_disks(48);
+        let (second, _) = s.what_if_disks(48).unwrap();
         prop_assert_eq!(&first, &second);
         // A warm re-run must not re-cost anything.
         prop_assert_eq!(s.cache_stats().misses, misses_after_first);
         // The warm session still reproduces its own baseline exactly.
-        prop_assert_eq!(&cold, &s.run());
+        prop_assert_eq!(&cold, &s.run().unwrap());
     }
 }

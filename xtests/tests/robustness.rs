@@ -27,13 +27,13 @@ fn advisor_never_fails_on_random_inputs() {
         if seed % 3 == 0 {
             system.architecture = Architecture::shared_disk(2, 4);
         }
-        let mut session = Warlock::builder()
+        let session = Warlock::builder()
             .schema(schema)
             .system(system)
             .mix(mix)
             .build()
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let report = session.rank().clone();
+        let report = session.rank().unwrap().clone();
 
         // Contracts: bookkeeping adds up; rankings ordered; baseline is
         // never beaten on response by nothing (some candidate exists —
@@ -99,8 +99,8 @@ fn what_if_tuning_survives_random_inputs() {
         // fragments than disks, which can strand small schemas on the
         // baseline. Monotonicity holds per fixed fragmentation (covered in
         // advisor_pipeline.rs); here we only require well-formed results.
-        let (more_report, more) = session.with_disks(32);
-        let (fewer_report, fewer) = session.with_disks(2);
+        let (more_report, more) = session.with_disks(32).unwrap();
+        let (fewer_report, fewer) = session.with_disks(2).unwrap();
         assert!(!more_report.ranked.is_empty() && !fewer_report.ranked.is_empty());
         assert!(more.variation_response_ms.is_finite() && more.variation_response_ms > 0.0);
         assert!(fewer.variation_response_ms.is_finite() && fewer.variation_response_ms > 0.0);
@@ -109,7 +109,7 @@ fn what_if_tuning_survives_random_inputs() {
         if more.variation_top == fewer.variation_top {
             assert!(more.variation_response_ms <= fewer.variation_response_ms * 1.0000001);
         }
-        let (_, fixed) = session.with_fixed_prefetch(4);
+        let (_, fixed) = session.with_fixed_prefetch(4).unwrap();
         assert!(fixed.variation_response_ms.is_finite());
     }
 }
@@ -144,7 +144,8 @@ fn degenerate_configurations_are_handled() {
         .mix(mix)
         .build()
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     assert!(!report.ranked.is_empty());
     // On one disk, response equals busy time for every candidate.
     for r in &report.ranked {
