@@ -1,17 +1,67 @@
-//! Criterion: parallel candidate evaluation and the per-session
-//! evaluation cache.
+//! Criterion: parallel candidate evaluation, the per-session
+//! evaluation cache, and the streaming candidate pipeline.
 //!
 //! `engine/run_workers_*` sweeps the `AdvisorConfig::parallelism` knob
 //! over the full 168-candidate APB-1-like pipeline — the 4-worker point
 //! is expected to finish in well under half the serial wall-clock on a
 //! 4-way machine. `cache/*` contrasts a cold what-if variation (every
 //! candidate re-costed) with a warm one (pure cache hits).
+//!
+//! `space/*` sweeps the candidate space itself: point vs ranged
+//! enumeration, chunked-streaming vs materialized. A counting global
+//! allocator records allocation counts and **peak live bytes** around
+//! each variant (printed once before the timed runs), so the perf
+//! trajectory captures the streaming memory win, not just wall-clock.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use warlock::AdvisorConfig;
 use warlock_bench::Fixture;
+use warlock_fragment::CandidateSource;
+
+/// A pass-through allocator that tracks allocation counts and the peak
+/// number of live heap bytes — the "peak-ish memory" probe for the
+/// candidate-space sweep.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let live =
+            LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed) + layout.size() as u64;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and reports `(allocations, peak extra live bytes)` during it.
+fn allocation_profile<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+    let live = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(live, Ordering::Relaxed);
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    let peak = PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(live);
+    (
+        result,
+        ALLOCATIONS.load(Ordering::Relaxed) - allocations,
+        peak,
+    )
+}
 
 fn bench_worker_sweep(c: &mut Criterion) {
     let f = Fixture::demo();
@@ -51,6 +101,66 @@ fn bench_cold_vs_warm_what_if(c: &mut Criterion) {
     group.finish();
 }
 
+/// The candidate-space sweep: point vs ranged, chunked-streaming vs
+/// materialized. Before the timed runs, prints one allocation/peak-
+/// memory line per variant — the streaming path's peak live bytes must
+/// stay flat while the materialized path's grows with the space.
+fn bench_candidate_space_sweep(c: &mut Criterion) {
+    let f = Fixture::demo();
+    const RANGES: &[u64] = &[2, 3, 5, 10];
+
+    // One-shot allocation profile (not timed): enumerate the point and
+    // ranged spaces materialized vs streamed.
+    for (label, options) in [("point", &[][..]), ("ranged", RANGES)] {
+        let (n_mat, allocs_mat, peak_mat) = allocation_profile(|| {
+            warlock_fragment::enumerate_candidates_ranged(&f.schema, 4, options).len()
+        });
+        let (n_stream, allocs_stream, peak_stream) =
+            allocation_profile(|| CandidateSource::ranged(&f.schema, 4, options).count());
+        assert_eq!(n_mat, n_stream);
+        println!(
+            "space/alloc-profile {label:<6}: {n_mat:>6} candidates | \
+             materialized {allocs_mat:>7} allocs, {peak_mat:>9} peak bytes | \
+             streamed {allocs_stream:>7} allocs, {peak_stream:>9} peak bytes"
+        );
+    }
+
+    // Timed: enumeration alone (materialize vs stream), point vs ranged.
+    let mut group = c.benchmark_group("space");
+    for (label, options) in [("point", &[][..]), ("ranged", RANGES)] {
+        group.bench_function(BenchmarkId::new("materialize", label), |b| {
+            b.iter(|| {
+                black_box(
+                    warlock_fragment::enumerate_candidates_ranged(black_box(&f.schema), 4, options)
+                        .len(),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("stream", label), |b| {
+            b.iter(|| black_box(CandidateSource::ranged(black_box(&f.schema), 4, options).count()))
+        });
+    }
+    group.finish();
+
+    // Timed: the full pipeline under different chunk sizes (identical
+    // reports; the knob trades memory against batching).
+    let mut group = c.benchmark_group("engine");
+    for chunk in [1usize, 16, 256] {
+        let mut session = f.session_with(AdvisorConfig {
+            parallelism: 1,
+            chunk_size: chunk,
+            ..Default::default()
+        });
+        group.bench_function(BenchmarkId::new("run_chunk", chunk), |b| {
+            b.iter(|| {
+                session.invalidate();
+                black_box(session.rank().unwrap().ranked.len())
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Bounded-runtime criterion config (see `advisor.rs`).
 fn quick() -> Criterion {
     Criterion::default()
@@ -62,6 +172,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_worker_sweep, bench_cold_vs_warm_what_if
+    targets = bench_worker_sweep, bench_cold_vs_warm_what_if, bench_candidate_space_sweep
 }
 criterion_main!(benches);

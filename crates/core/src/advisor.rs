@@ -1,10 +1,18 @@
 //! The prediction pipeline's report types.
 //!
 //! An [`AdvisorReport`] is what one full pipeline run produces: the
-//! twofold-ranked candidate list, the threshold-excluded candidates with
-//! their reasons, and bookkeeping counters. The deprecated borrowing
-//! `Advisor<'a>` handle that used to live here is gone — the owned
-//! [`crate::Warlock`] session facade is the one way to run the pipeline.
+//! twofold-ranked candidate list, a bounded per-reason summary of the
+//! threshold-excluded candidates, and bookkeeping counters. The
+//! deprecated borrowing `Advisor<'a>` handle that used to live here is
+//! gone — the owned [`crate::Warlock`] session facade is the one way to
+//! run the pipeline.
+//!
+//! Pre-streaming, the report kept **every** excluded candidate, so its
+//! size was O(candidate space) — the summary keeps exact per-reason
+//! counts plus a capped number of sample candidates per reason
+//! ([`ExcludedSummary::SAMPLES_PER_REASON`]), in enumeration order, so
+//! the report stays small and deterministic at any worker count and
+//! chunk size.
 
 use warlock_bitmap::BitmapScheme;
 use warlock_cost::CandidateCost;
@@ -19,6 +27,91 @@ pub struct ExcludedCandidate {
     pub label: String,
     /// Why it was excluded.
     pub reason: Exclusion,
+}
+
+/// All exclusions sharing one reason kind: the exact count plus the
+/// first few sample candidates (in enumeration order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExclusionGroup {
+    /// The machine-readable reason tag ([`Exclusion::kind`]).
+    pub kind: &'static str,
+    /// How many candidates were excluded for this reason in total.
+    pub count: usize,
+    /// The first [`ExcludedSummary::SAMPLES_PER_REASON`] excluded
+    /// candidates, in enumeration order.
+    pub samples: Vec<ExcludedCandidate>,
+}
+
+/// The bounded exclusion record of one pipeline run: exact per-reason
+/// counts plus capped samples, grouped in first-seen enumeration order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExcludedSummary {
+    total: usize,
+    groups: Vec<ExclusionGroup>,
+}
+
+impl ExcludedSummary {
+    /// Samples retained per exclusion reason.
+    pub const SAMPLES_PER_REASON: usize = 8;
+
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one exclusion. `sample` is only invoked while the
+    /// reason's sample list has room, so callers can defer building
+    /// the (label-carrying) sample record.
+    pub fn record(&mut self, reason: Exclusion, sample: impl FnOnce() -> ExcludedCandidate) {
+        self.total += 1;
+        let kind = reason.kind();
+        let group = match self.groups.iter_mut().find(|g| g.kind == kind) {
+            Some(group) => group,
+            None => {
+                self.groups.push(ExclusionGroup {
+                    kind,
+                    count: 0,
+                    samples: Vec::new(),
+                });
+                self.groups.last_mut().expect("just pushed")
+            }
+        };
+        group.count += 1;
+        if group.samples.len() < Self::SAMPLES_PER_REASON {
+            group.samples.push(sample());
+        }
+    }
+
+    /// Total number of excluded candidates (exact, not capped).
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Whether no candidate was excluded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The per-reason groups, in first-seen enumeration order.
+    #[inline]
+    pub fn groups(&self) -> &[ExclusionGroup] {
+        &self.groups
+    }
+
+    /// Every retained sample across all reasons, in group order.
+    pub fn samples(&self) -> impl Iterator<Item = &ExcludedCandidate> {
+        self.groups.iter().flat_map(|g| g.samples.iter())
+    }
+
+    /// The count recorded for `kind` (0 when the reason never fired).
+    pub fn count_of(&self, kind: &str) -> usize {
+        self.groups
+            .iter()
+            .find(|g| g.kind == kind)
+            .map_or(0, |g| g.count)
+    }
 }
 
 /// One recommended fragmentation with its evaluated cost.
@@ -37,8 +130,8 @@ pub struct RankedCandidate {
 pub struct AdvisorReport {
     /// Top fragmentations after the twofold ranking, best first.
     pub ranked: Vec<RankedCandidate>,
-    /// Threshold-excluded candidates with reasons.
-    pub excluded: Vec<ExcludedCandidate>,
+    /// Bounded per-reason summary of the threshold-excluded candidates.
+    pub excluded: ExcludedSummary,
     /// Candidates that were fully costed (survived thresholds).
     pub evaluated: usize,
     /// Candidates enumerated in total.
@@ -87,7 +180,7 @@ mod tests {
         assert!(report.evaluated > 0);
         assert!(!report.ranked.is_empty());
         assert!(report.ranked.len() <= 10);
-        assert_eq!(report.evaluated + report.excluded.len(), 168);
+        assert_eq!(report.evaluated + report.excluded.total(), 168);
         // Ranks are 1-based and ordered by response time.
         for (i, r) in report.ranked.iter().enumerate() {
             assert_eq!(r.rank, i + 1);
@@ -113,13 +206,21 @@ mod tests {
         assert!(!report.excluded.is_empty());
         // The full bottom-level cross product must be excluded as too many
         // fragments.
+        assert!(report.excluded.count_of("too_many_fragments") > 0);
         assert!(report
             .excluded
-            .iter()
+            .samples()
             .any(|e| matches!(e.reason, Exclusion::TooManyFragments { .. })));
-        for e in &report.excluded {
+        for e in report.excluded.samples() {
             assert!(!e.label.is_empty());
         }
+        // Counts are exact while samples are capped per reason.
+        for group in report.excluded.groups() {
+            assert!(group.samples.len() <= crate::ExcludedSummary::SAMPLES_PER_REASON);
+            assert!(group.count >= group.samples.len());
+        }
+        let summed: usize = report.excluded.groups().iter().map(|g| g.count).sum();
+        assert_eq!(summed, report.excluded.total());
     }
 
     #[test]

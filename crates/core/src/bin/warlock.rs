@@ -5,7 +5,7 @@
 //! advisor session, and prints the requested outputs.
 //!
 //! ```text
-//! warlock [-j N | --parallelism N] <config-file> [command]
+//! warlock [-j N | --parallelism N] [--max-candidates N] [--chunk-size N] <config-file> [command]
 //!
 //! commands:
 //!   rank              ranked fragmentation candidates (default)
@@ -16,8 +16,11 @@
 //!   json              complete advisory as JSON (ranking + analysis + allocation)
 //!
 //! `-j`/`--parallelism` overrides the configuration file's evaluation
-//! worker count (0 = auto, 1 = serial); any value yields identical
-//! advice.
+//! worker count (0 = auto, 1 = serial); `--chunk-size` overrides the
+//! streaming evaluation chunk (0 = auto); any value of either yields
+//! identical advice. `--max-candidates` overrides the candidate-space
+//! budget (0 = unlimited): runs whose exact predicted space exceeds it
+//! fail up front instead of grinding.
 //! ```
 //!
 //! Exit codes: 0 on success (including an empty ranking — `rank`,
@@ -34,28 +37,52 @@ use warlock::json::ToJson;
 use warlock::report::{ranking_csv, render_allocation, render_analysis, render_ranking};
 use warlock::Warlock;
 
-const USAGE: &str = "usage: warlock [-j N | --parallelism N] <config-file> [rank|analyze [N]|allocate [N]|excluded|csv|json]\n       warlock init   (print a starter configuration)";
+const USAGE: &str = "usage: warlock [-j N | --parallelism N] [--max-candidates N] [--chunk-size N] <config-file> [rank|analyze [N]|allocate [N]|excluded|csv|json]\n       warlock init   (print a starter configuration)";
 
-fn main() -> ExitCode {
-    let mut args: Vec<String> = env::args().skip(1).collect();
-    // Extract `-j N` / `--parallelism N` wherever it appears; the
-    // remaining arguments stay positional.
-    let mut parallelism: Option<usize> = None;
-    while let Some(pos) = args.iter().position(|a| a == "-j" || a == "--parallelism") {
+/// Extracts every occurrence of a `--flag VALUE` pair from `args`,
+/// returning the last parsed value. `Ok(None)` when the flag is absent;
+/// `Err` (with a message already printed) on a missing or malformed
+/// value.
+fn take_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    names: &[&str],
+    what: &str,
+) -> Result<Option<T>, ()> {
+    let mut found = None;
+    while let Some(pos) = args.iter().position(|a| names.contains(&a.as_str())) {
         let flag = args.remove(pos);
         if pos >= args.len() {
-            eprintln!("warlock: `{flag}` needs a worker count\n{USAGE}");
-            return ExitCode::from(2);
+            eprintln!("warlock: `{flag}` needs {what}\n{USAGE}");
+            return Err(());
         }
         let value = args.remove(pos);
-        match value.parse::<usize>() {
-            Ok(n) => parallelism = Some(n),
+        match value.parse::<T>() {
+            Ok(n) => found = Some(n),
             Err(_) => {
-                eprintln!("warlock: invalid worker count `{value}` for `{flag}`");
-                return ExitCode::from(2);
+                eprintln!("warlock: invalid {what} `{value}` for `{flag}`");
+                return Err(());
             }
         }
     }
+    Ok(found)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    // Extract the option flags wherever they appear; the remaining
+    // arguments stay positional.
+    let Ok(parallelism) = take_flag::<usize>(&mut args, &["-j", "--parallelism"], "a worker count")
+    else {
+        return ExitCode::from(2);
+    };
+    let Ok(max_candidates) =
+        take_flag::<u64>(&mut args, &["--max-candidates"], "a candidate budget")
+    else {
+        return ExitCode::from(2);
+    };
+    let Ok(chunk_size) = take_flag::<usize>(&mut args, &["--chunk-size"], "a chunk size") else {
+        return ExitCode::from(2);
+    };
     // `warlock init` emits the APB-1-like starter configuration.
     if args.first().map(String::as_str) == Some("init") {
         print!("{}", render_config(&demo_config()));
@@ -91,9 +118,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Some(workers) = parallelism {
+    if parallelism.is_some() || max_candidates.is_some() || chunk_size.is_some() {
         let mut config = session.config().clone();
-        config.parallelism = workers;
+        if let Some(workers) = parallelism {
+            config.parallelism = workers;
+        }
+        if let Some(budget) = max_candidates {
+            config.max_candidates = budget;
+        }
+        if let Some(chunk) = chunk_size {
+            config.chunk_size = chunk;
+        }
         if let Err(e) = session.set_config(config) {
             eprintln!("warlock: {e}");
             return ExitCode::FAILURE;
@@ -106,12 +141,9 @@ fn main() -> ExitCode {
         "json" => session
             .session_report()
             .map(|r| println!("{}", r.to_json().pretty())),
-        "excluded" => session.rank().map(|report| {
-            for e in &report.excluded {
-                println!("{:<52} {}", e.label, e.reason);
-            }
-            println!("({} candidates excluded)", report.excluded.len());
-        }),
+        "excluded" => session
+            .rank()
+            .map(|report| print!("{}", warlock::report::render_excluded(report))),
         "analyze" => session
             .analyze(rank_arg)
             .map(|analysis| print!("{}", render_analysis(&analysis))),

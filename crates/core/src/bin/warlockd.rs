@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! warlockd <config-file> --stdio
-//! warlockd <config-file> --listen 127.0.0.1:7341 [-j N]
+//! warlockd <config-file> --listen 127.0.0.1:7341 [-j N] [--max-candidates N] [--chunk-size N]
 //! ```
 //!
 //! - `--stdio` reads requests from stdin and writes responses to
@@ -17,7 +17,9 @@
 //!   what-ifs priced for one client are warm for the rest, and
 //!   `set_mix` re-points everyone at the new workload.
 //! - `-j`/`--parallelism` overrides the configuration file's evaluation
-//!   worker count (0 = auto, 1 = serial).
+//!   worker count (0 = auto, 1 = serial); `--max-candidates` and
+//!   `--chunk-size` override the candidate-space budget (0 = unlimited)
+//!   and the streaming evaluation chunk (0 = auto).
 //!
 //! A `{"op":"shutdown"}` request stops the server after the response is
 //! flushed (as does EOF on stdin in stdio mode). Exit codes: 0 on clean
@@ -32,20 +34,36 @@ use std::sync::Arc;
 use warlock::service::Service;
 use warlock::Warlock;
 
-const USAGE: &str =
-    "usage: warlockd <config-file> [--stdio | --listen ADDR] [-j N | --parallelism N]";
+const USAGE: &str = "usage: warlockd <config-file> [--stdio | --listen ADDR] [-j N | --parallelism N] [--max-candidates N] [--chunk-size N]";
 
 struct Options {
     config_path: String,
     listen: Option<String>,
     stdio: bool,
     parallelism: Option<usize>,
+    max_candidates: Option<u64>,
+    chunk_size: Option<usize>,
 }
 
 fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
+    fn value_of<T: std::str::FromStr>(
+        args: &mut Vec<String>,
+        flag: &str,
+        what: &str,
+    ) -> Result<T, String> {
+        if args.is_empty() {
+            return Err(format!("`{flag}` needs {what}"));
+        }
+        let value = args.remove(0);
+        value
+            .parse::<T>()
+            .map_err(|_| format!("invalid {what} `{value}` for `{flag}`"))
+    }
     let mut listen = None;
     let mut stdio = false;
     let mut parallelism = None;
+    let mut max_candidates = None;
+    let mut chunk_size = None;
     let mut positional = Vec::new();
     while !args.is_empty() {
         let arg = args.remove(0);
@@ -58,15 +76,13 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
                 listen = Some(args.remove(0));
             }
             "-j" | "--parallelism" => {
-                if args.is_empty() {
-                    return Err(format!("`{arg}` needs a worker count"));
-                }
-                let value = args.remove(0);
-                parallelism = Some(
-                    value
-                        .parse::<usize>()
-                        .map_err(|_| format!("invalid worker count `{value}`"))?,
-                );
+                parallelism = Some(value_of::<usize>(&mut args, &arg, "a worker count")?);
+            }
+            "--max-candidates" => {
+                max_candidates = Some(value_of::<u64>(&mut args, &arg, "a candidate budget")?);
+            }
+            "--chunk-size" => {
+                chunk_size = Some(value_of::<usize>(&mut args, &arg, "a chunk size")?);
             }
             _ => positional.push(arg),
         }
@@ -84,6 +100,8 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
         listen,
         stdio,
         parallelism,
+        max_candidates,
+        chunk_size,
     })
 }
 
@@ -170,9 +188,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Some(workers) = options.parallelism {
+    if options.parallelism.is_some()
+        || options.max_candidates.is_some()
+        || options.chunk_size.is_some()
+    {
         let mut config = session.config().clone();
-        config.parallelism = workers;
+        if let Some(workers) = options.parallelism {
+            config.parallelism = workers;
+        }
+        if let Some(budget) = options.max_candidates {
+            config.max_candidates = budget;
+        }
+        if let Some(chunk) = options.chunk_size {
+            config.chunk_size = chunk;
+        }
         if let Err(e) = session.set_config(config) {
             eprintln!("warlockd: {e}");
             return ExitCode::FAILURE;

@@ -34,6 +34,25 @@ pub struct AdvisorConfig {
     /// setting produces bit-identical reports; the knob only trades
     /// wall-clock time for threads.
     pub parallelism: usize,
+    /// Hard budget on the candidate space a single pipeline run may
+    /// enumerate: `0` = unlimited, `n` = runs whose exact predicted
+    /// space exceeds `n` candidates fail up front with
+    /// [`crate::WarlockError::CandidateBudget`] instead of grinding (or,
+    /// pre-streaming, exhausting memory). The check uses the source's
+    /// exact space predictor, so no work is wasted before failing.
+    pub max_candidates: u64,
+    /// Candidates pulled from the lazy enumeration per evaluation round:
+    /// `0` = auto (the `WARLOCK_CHUNK_SIZE` environment variable if set,
+    /// otherwise a built-in default), `n` = exactly `n`. Any setting
+    /// produces bit-identical reports; the knob only trades pipeline
+    /// memory against fan-out batching.
+    pub chunk_size: usize,
+    /// Extra MDHF attribute range sizes to enumerate alongside the
+    /// point candidates (empty = the paper's point-only space). Each
+    /// option is applied to every fragmentation attribute whose
+    /// fan-out it divides (the full fan-out is skipped — it duplicates
+    /// the parent level).
+    pub range_options: Vec<u64>,
 }
 
 impl Default for AdvisorConfig {
@@ -49,6 +68,9 @@ impl Default for AdvisorConfig {
             skew: None,
             fact_index: 0,
             parallelism: 0,
+            max_candidates: 0,
+            chunk_size: 0,
+            range_options: Vec::new(),
         }
     }
 }
@@ -67,6 +89,17 @@ impl AdvisorConfig {
         }
         if self.min_keep == 0 {
             return Err("min_keep must be at least 1".into());
+        }
+        if self.range_options.iter().any(|&r| r < 2) {
+            return Err("range_options must all be at least 2".into());
+        }
+        for (i, &r) in self.range_options.iter().enumerate() {
+            if self.range_options[..i].contains(&r) {
+                return Err(format!(
+                    "range_options contains {r} twice (duplicates would enumerate \
+                     the same candidates repeatedly)"
+                ));
+            }
         }
         Ok(())
     }
@@ -103,5 +136,26 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        let c = AdvisorConfig {
+            range_options: vec![2, 1],
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AdvisorConfig {
+            range_options: vec![2, 3, 2],
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn streaming_knobs_validate() {
+        let c = AdvisorConfig {
+            max_candidates: 5000,
+            chunk_size: 64,
+            range_options: vec![2, 3, 5],
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
     }
 }

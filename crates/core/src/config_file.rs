@@ -40,6 +40,9 @@
 //! top_n = 10
 //! max_fragments = 1048576
 //! parallelism = auto                  # evaluation workers; 1 = serial
+//! max_candidates = unlimited          # or a candidate-space budget
+//! chunk_size = auto                   # streaming evaluation chunk
+//! range_options = 2, 3, 5             # extra MDHF range sizes (optional)
 //! ```
 //!
 //! Unknown keys are rejected (typos should fail loudly, not silently
@@ -345,6 +348,29 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
                         "auto" => 0,
                         n => parse_num(n, lineno, "parallelism")?,
                     }
+                }
+                "max_candidates" => {
+                    advisor.max_candidates = match value {
+                        "unlimited" => 0,
+                        n => parse_num(n, lineno, "max_candidates")?,
+                    }
+                }
+                "chunk_size" => {
+                    advisor.chunk_size = match value {
+                        "auto" => 0,
+                        n => parse_num(n, lineno, "chunk_size")?,
+                    }
+                }
+                "range_options" => {
+                    let mut options = Vec::new();
+                    for item in value.split(',') {
+                        let item = item.trim();
+                        if item.is_empty() {
+                            continue;
+                        }
+                        options.push(parse_num(item, lineno, "range_options")?);
+                    }
+                    advisor.range_options = options;
                 }
                 other => {
                     return Err(ConfigFileError::at(
@@ -660,6 +686,26 @@ pub fn render_config(parsed: &ParsedConfig) -> String {
             let _ = writeln!(out, "parallelism = {n}");
         }
     }
+    match adv.max_candidates {
+        0 => {
+            let _ = writeln!(out, "max_candidates = unlimited");
+        }
+        n => {
+            let _ = writeln!(out, "max_candidates = {n}");
+        }
+    }
+    match adv.chunk_size {
+        0 => {
+            let _ = writeln!(out, "chunk_size = auto");
+        }
+        n => {
+            let _ = writeln!(out, "chunk_size = {n}");
+        }
+    }
+    if !adv.range_options.is_empty() {
+        let rendered: Vec<String> = adv.range_options.iter().map(u64::to_string).collect();
+        let _ = writeln!(out, "range_options = {}", rendered.join(", "));
+    }
     out
 }
 
@@ -742,6 +788,40 @@ top_n = 5
             .unwrap();
         assert!(!report.ranked.is_empty());
         assert!(report.ranked.len() <= 5);
+    }
+
+    #[test]
+    fn streaming_keys_parse_and_round_trip() {
+        let with = SAMPLE.replace(
+            "top_n = 5",
+            "top_n = 5\nmax_candidates = 5000\nchunk_size = 64\nrange_options = 2, 3, 5",
+        );
+        let parsed = parse_config(&with).unwrap();
+        assert_eq!(parsed.advisor.max_candidates, 5000);
+        assert_eq!(parsed.advisor.chunk_size, 64);
+        assert_eq!(parsed.advisor.range_options, vec![2, 3, 5]);
+        let reparsed = parse_config(&render_config(&parsed)).unwrap();
+        assert_eq!(reparsed.advisor.max_candidates, 5000);
+        assert_eq!(reparsed.advisor.chunk_size, 64);
+        assert_eq!(reparsed.advisor.range_options, vec![2, 3, 5]);
+
+        let auto = SAMPLE.replace(
+            "top_n = 5",
+            "top_n = 5\nmax_candidates = unlimited\nchunk_size = auto",
+        );
+        let parsed = parse_config(&auto).unwrap();
+        assert_eq!(parsed.advisor.max_candidates, 0);
+        assert_eq!(parsed.advisor.chunk_size, 0);
+        assert!(parsed.advisor.range_options.is_empty());
+        let rendered = render_config(&parsed);
+        assert!(rendered.contains("max_candidates = unlimited"));
+        assert!(rendered.contains("chunk_size = auto"));
+        assert!(!rendered.contains("range_options"));
+
+        let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nchunk_size = tiny");
+        assert!(parse_config(&bad).is_err());
+        let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nrange_options = 2, x");
+        assert!(parse_config(&bad).is_err());
     }
 
     #[test]

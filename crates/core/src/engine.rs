@@ -1,34 +1,77 @@
 //! The prediction pipeline internals: validate → generate → exclude →
-//! cost → rank.
+//! cost → rank, as a **bounded-memory streaming pipeline**.
 //!
 //! The owned [`crate::Warlock`] session facade, [`crate::TuningSession`]
 //! and the `warlockd` service all delegate here, so the pipeline has
-//! exactly one implementation. Candidate evaluation fans out over a
-//! persistent [`exec::WorkerPool`]; per-candidate outcomes are memoized
-//! in an [`EvalCache`] keyed by a fingerprint of every input the outcome
-//! depends on. Internal invariant failures surface as
-//! [`WarlockError::Internal`] instead of panicking, so a worker bug in a
-//! long-lived service degrades to a failed request.
+//! exactly one implementation. Candidates are pulled lazily from a
+//! [`CandidateSource`] in fixed-size chunks (never materializing the
+//! space): each chunk is resolved against the [`EvalCache`], cheap
+//! structural pre-exclusion culls candidates whose fragment count
+//! already disqualifies them before any layout or cost work, and the
+//! rest fan out over a persistent [`exec::WorkerPool`]. Chunk results
+//! merge in enumeration order into a
+//! [`StreamingRank`](crate::ranking::StreamingRank) accumulator (which
+//! retains only the phase-1 survivors) and a bounded
+//! [`ExcludedSummary`], so the report is **bit-identical** to the
+//! historical materialized pass at any worker count and chunk size
+//! while peak memory is O(chunk + survivors).
+//!
+//! [`AdvisorConfig::max_candidates`] turns an over-broad run into a
+//! typed [`WarlockError::CandidateBudget`] up front (the source
+//! predicts the exact space size before generating anything). Internal
+//! invariant failures surface as [`WarlockError::Internal`] instead of
+//! panicking, so a worker bug in a long-lived service degrades to a
+//! failed request.
 
 use warlock_bitmap::BitmapScheme;
 use warlock_cost::{CandidateCost, CostModel};
 use warlock_fragment::{
-    enumerate_candidates, Exclusion, FragmentLayout, Fragmentation, SkewModelExt, ThresholdContext,
+    CandidateError, CandidateSource, Exclusion, FragmentLayout, Fragmentation, SkewModelExt,
+    ThresholdContext,
 };
 use warlock_schema::StarSchema;
 use warlock_skew::SkewModel;
 use warlock_storage::SystemConfig;
 use warlock_workload::QueryMix;
 
-use crate::advisor::{AdvisorReport, ExcludedCandidate, RankedCandidate};
+use crate::advisor::{AdvisorReport, ExcludedCandidate, ExcludedSummary, RankedCandidate};
 use crate::allocation_plan::AllocationPlan;
 use crate::analysis::FragmentationAnalysis;
 use crate::cache::{CachedOutcome, EvalCache};
 use crate::config::AdvisorConfig;
 use crate::error::WarlockError;
-use crate::ranking::twofold_rank;
+use crate::ranking::StreamingRank;
 
 pub(crate) mod exec;
+
+/// Environment variable overriding the automatic evaluation chunk size
+/// (only consulted when [`AdvisorConfig::chunk_size`] is `0` = auto).
+/// CI uses it to pin a `chunk_size = 1` determinism lane without
+/// editing configurations.
+pub(crate) const CHUNK_SIZE_ENV: &str = "WARLOCK_CHUNK_SIZE";
+
+/// Default evaluation chunk size under `chunk_size = 0`: large enough
+/// to keep every worker of a wide pool busy per round, small enough
+/// that pipeline memory stays a rounding error next to the survivors.
+const DEFAULT_CHUNK_SIZE: usize = 256;
+
+/// Resolves the configured chunk-size knob: `n >= 1` is taken
+/// literally; `0` means auto — the `WARLOCK_CHUNK_SIZE` environment
+/// variable if set to a positive integer, otherwise
+/// [`DEFAULT_CHUNK_SIZE`].
+pub(crate) fn effective_chunk_size(requested: usize) -> usize {
+    if requested >= 1 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var(CHUNK_SIZE_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    DEFAULT_CHUNK_SIZE
+}
 
 /// The execution environment a pipeline run borrows from its session:
 /// the shared evaluation memo and the persistent worker pool.
@@ -126,8 +169,35 @@ fn evaluate_fingerprint(model: &CostModel<'_>) -> u128 {
     warlock_cost::fingerprint128(&("evaluate", model.fingerprint()))
 }
 
-/// The full per-candidate pipeline step: overflow pre-check → layout →
-/// thresholds → cost. Pure in its inputs, so it can run on any worker.
+/// Cheap structural pre-exclusion: decides from the fragment count
+/// alone — no layout, no costing — whether a candidate is out. Runs on
+/// the submitting thread before any pool work, so enormous candidates
+/// (including those whose count does not even fit `u64`) never occupy
+/// a worker. The exact `u128` count is reported, never a wrapped one.
+fn pre_exclude(
+    schema: &StarSchema,
+    config: &AdvisorConfig,
+    fragmentation: &Fragmentation,
+) -> Option<Exclusion> {
+    let raw_count = fragmentation.num_fragments(schema);
+    if raw_count > u128::from(u64::MAX) {
+        return Some(Exclusion::FragmentCountOverflow {
+            fragments: raw_count,
+        });
+    }
+    if raw_count > u128::from(config.thresholds.max_fragments) {
+        return Some(Exclusion::TooManyFragments {
+            fragments: raw_count as u64,
+            limit: config.thresholds.max_fragments,
+        });
+    }
+    None
+}
+
+/// The worker-side per-candidate pipeline step: layout → thresholds →
+/// cost. Pure in its inputs, so it can run on any worker. Callers must
+/// have passed the candidate through [`pre_exclude`] first (the layout
+/// would panic on a `u64`-overflowing fragment count otherwise).
 fn evaluate_candidate(
     schema: &StarSchema,
     config: &AdvisorConfig,
@@ -135,14 +205,6 @@ fn evaluate_candidate(
     model: &CostModel<'_>,
     fragmentation: &Fragmentation,
 ) -> CachedOutcome {
-    // Cheap overflow pre-check before materializing a layout.
-    let raw_count = fragmentation.num_fragments(schema);
-    if raw_count > u128::from(config.thresholds.max_fragments) {
-        return CachedOutcome::Excluded(Exclusion::TooManyFragments {
-            fragments: raw_count.min(u128::from(u64::MAX)) as u64,
-            limit: config.thresholds.max_fragments,
-        });
-    }
     let layout = FragmentLayout::new(schema, fragmentation.clone(), config.fact_index);
     match config.thresholds.check(&layout, ctx) {
         Err(reason) => CachedOutcome::Excluded(reason),
@@ -150,14 +212,25 @@ fn evaluate_candidate(
     }
 }
 
-/// Runs the full prediction pipeline.
+/// Runs the full prediction pipeline as a streaming pass.
 ///
-/// Candidate evaluation fans out over the environment's persistent
-/// worker pool, using up to `config.parallelism` workers (see [`exec`]);
-/// results are merged in enumeration order, so the report is
-/// bit-identical to the serial path. When the environment carries a
-/// cache, per-candidate outcomes are memoized under the input
-/// fingerprint and re-runs with unchanged inputs skip re-evaluation.
+/// Candidates are pulled lazily from the enumeration source in chunks
+/// of [`AdvisorConfig::chunk_size`]; each chunk is resolved against the
+/// memo, structurally pre-excluded, fanned out over the environment's
+/// persistent worker pool (up to `config.parallelism` workers, see
+/// [`exec`]) and merged **in enumeration order** into the streaming
+/// rank accumulator and the bounded exclusion summary — so the report
+/// is bit-identical at any worker count and chunk size, and pipeline
+/// memory is O(chunk + phase-1 survivors), never O(candidate space).
+/// When the environment carries a cache, per-candidate outcomes are
+/// memoized under the input fingerprint and re-runs with unchanged
+/// inputs skip re-evaluation.
+///
+/// # Errors
+///
+/// [`WarlockError::CandidateBudget`] when the exact predicted space
+/// exceeds `config.max_candidates` (if set) — before any enumeration
+/// or evaluation work is done.
 pub(crate) fn run(
     schema: &StarSchema,
     system: &SystemConfig,
@@ -166,59 +239,110 @@ pub(crate) fn run(
     scheme: &BitmapScheme,
     env: EvalEnv<'_>,
 ) -> Result<AdvisorReport, WarlockError> {
-    let candidates = enumerate_candidates(schema, config.max_dimensionality);
-    let enumerated = candidates.len();
+    let mut source =
+        CandidateSource::ranged(schema, config.max_dimensionality, &config.range_options);
+    let space = source.space_size();
+    if config.max_candidates > 0 && space > u128::from(config.max_candidates) {
+        return Err(WarlockError::CandidateBudget {
+            space,
+            budget: config.max_candidates,
+        });
+    }
     let ctx = threshold_context(schema, system, config);
     let model = cost_model(schema, system, scheme, mix, config)?;
-
-    // Resolve what is already memoized; everything else is fresh work.
     let fingerprint = env.cache.map(|_| run_fingerprint(&model, config));
-    let mut outcomes: Vec<Option<CachedOutcome>> = vec![None; candidates.len()];
-    let todo: Vec<usize> = match (env.cache, fingerprint) {
-        (Some(cache), Some(fp)) => {
-            let mut todo = Vec::new();
-            for (i, fragmentation) in candidates.iter().enumerate() {
-                match cache.lookup(fp, fragmentation) {
-                    Some(outcome) => outcomes[i] = Some(outcome),
-                    None => todo.push(i),
+    let workers = exec::effective_parallelism(config.parallelism);
+    // Clamp to the exact space so an absurd (possibly client-supplied)
+    // chunk size cannot pre-allocate beyond what will ever be pulled.
+    let chunk_size = effective_chunk_size(config.chunk_size)
+        .min(usize::try_from(space).unwrap_or(usize::MAX))
+        .max(1);
+
+    let mut rank = StreamingRank::new(config.top_x_percent, config.min_keep);
+    let mut excluded = ExcludedSummary::new();
+    let mut enumerated = 0usize;
+    let mut evaluated = 0usize;
+    let mut chunk: Vec<Fragmentation> = Vec::with_capacity(chunk_size);
+    let mut outcomes: Vec<Option<CachedOutcome>> = Vec::with_capacity(chunk_size);
+    let mut todo: Vec<usize> = Vec::new();
+
+    loop {
+        // Pull the next chunk from the lazy source.
+        chunk.clear();
+        while chunk.len() < chunk_size {
+            match source.next() {
+                Some(candidate) => chunk.push(candidate),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            break;
+        }
+        enumerated += chunk.len();
+
+        // Resolve each candidate: memo hit, structural pre-exclusion,
+        // or fresh work for the pool.
+        outcomes.clear();
+        outcomes.resize(chunk.len(), None);
+        todo.clear();
+        for (i, fragmentation) in chunk.iter().enumerate() {
+            if let (Some(cache), Some(fp)) = (env.cache, fingerprint) {
+                if let Some(outcome) = cache.lookup(fp, fragmentation) {
+                    outcomes[i] = Some(outcome);
+                    continue;
                 }
             }
-            todo
+            match pre_exclude(schema, config, fragmentation) {
+                Some(reason) => {
+                    let outcome = CachedOutcome::Excluded(reason);
+                    if let (Some(cache), Some(fp)) = (env.cache, fingerprint) {
+                        cache.insert(fp, fragmentation.clone(), outcome.clone());
+                    }
+                    outcomes[i] = Some(outcome);
+                }
+                None => todo.push(i),
+            }
         }
-        _ => (0..candidates.len()).collect(),
-    };
 
-    // Fan the uncached evaluations out over the pool; results come back
-    // in `todo` order regardless of worker count or scheduling.
-    let workers = exec::effective_parallelism(config.parallelism);
-    let fresh = env.pool.map(workers, &todo, |&i| {
-        evaluate_candidate(schema, config, ctx, &model, &candidates[i])
-    });
-    for (&i, outcome) in todo.iter().zip(fresh) {
-        if let (Some(cache), Some(fp)) = (env.cache, fingerprint) {
-            cache.insert(fp, candidates[i].clone(), outcome.clone());
+        // Fan the uncached evaluations out over the pool; results come
+        // back in `todo` order regardless of worker scheduling.
+        let fresh = env.pool.map(workers, &todo, |&i| {
+            evaluate_candidate(schema, config, ctx, &model, &chunk[i])
+        });
+        for (&i, outcome) in todo.iter().zip(fresh) {
+            if let (Some(cache), Some(fp)) = (env.cache, fingerprint) {
+                cache.insert(fp, chunk[i].clone(), outcome.clone());
+            }
+            outcomes[i] = Some(outcome);
         }
-        outcomes[i] = Some(outcome);
+
+        // Merge in enumeration order. The rank accumulator's horizon is
+        // every candidate not yet merged (the rest of this chunk plus
+        // whatever the source still holds) — an upper bound on future
+        // costs, which keeps the streaming ranking exact.
+        let after_chunk = source.remaining();
+        let chunk_len = chunk.len();
+        for (i, (fragmentation, outcome)) in chunk.drain(..).zip(outcomes.drain(..)).enumerate() {
+            let outcome = outcome
+                .ok_or_else(|| WarlockError::internal("candidate evaluation left no outcome"))?;
+            match outcome {
+                CachedOutcome::Excluded(reason) => {
+                    excluded.record(reason, || ExcludedCandidate {
+                        label: fragmentation.label(schema),
+                        fragmentation,
+                        reason,
+                    });
+                }
+                CachedOutcome::Cost(cost) => {
+                    evaluated += 1;
+                    let remaining = after_chunk + (chunk_len - 1 - i) as u128;
+                    rank.push(cost, remaining);
+                }
+            }
+        }
     }
 
-    // Merge in enumeration order, exactly like the original serial loop.
-    let mut excluded = Vec::new();
-    let mut costs: Vec<CandidateCost> = Vec::with_capacity(candidates.len());
-    for (fragmentation, outcome) in candidates.into_iter().zip(outcomes) {
-        let outcome = outcome
-            .ok_or_else(|| WarlockError::internal("candidate evaluation left no outcome"))?;
-        match outcome {
-            CachedOutcome::Excluded(reason) => excluded.push(ExcludedCandidate {
-                label: fragmentation.label(schema),
-                fragmentation,
-                reason,
-            }),
-            CachedOutcome::Cost(cost) => costs.push(cost),
-        }
-    }
-
-    let evaluated = costs.len();
-    let mut ranked_costs = twofold_rank(costs, config.top_x_percent, config.min_keep);
+    let mut ranked_costs = rank.finish();
     ranked_costs.truncate(config.top_n);
     let ranked = ranked_costs
         .into_iter()
@@ -327,6 +451,22 @@ pub(crate) fn vary_without_class(
     Ok((format!("without class {name}"), report))
 }
 
+/// Guards every single-candidate entry point: the fragmentation must
+/// validate against the schema, and its fragment count must fit `u64` —
+/// otherwise the layout construction would panic on data-dependent
+/// input. Returns the typed [`CandidateError::FragmentOverflow`] with
+/// the exact `u128` count instead of wrapping or asserting.
+fn check_candidate(schema: &StarSchema, fragmentation: &Fragmentation) -> Result<(), WarlockError> {
+    fragmentation.validate(schema)?;
+    let raw_count = fragmentation.num_fragments(schema);
+    if raw_count > u128::from(u64::MAX) {
+        return Err(WarlockError::Candidate(CandidateError::FragmentOverflow {
+            fragments: raw_count,
+        }));
+    }
+    Ok(())
+}
+
 /// Evaluates a single candidate outside the ranking pipeline, memoizing
 /// the cost when a session cache is given. Cached under a different
 /// fingerprint than the pipeline because no thresholds are applied
@@ -343,6 +483,7 @@ pub(crate) fn evaluate(
     cache: Option<&EvalCache>,
     fp_memo: Option<&std::sync::OnceLock<u128>>,
 ) -> Result<CandidateCost, WarlockError> {
+    check_candidate(schema, fragmentation)?;
     let model = cost_model(schema, system, scheme, mix, config)?;
     let Some(cache) = cache else {
         return Ok(model.evaluate(fragmentation));
@@ -368,6 +509,7 @@ pub(crate) fn analyze(
     scheme: &BitmapScheme,
     fragmentation: &Fragmentation,
 ) -> Result<FragmentationAnalysis, WarlockError> {
+    check_candidate(schema, fragmentation)?;
     FragmentationAnalysis::build(
         schema,
         system,
@@ -389,6 +531,7 @@ pub(crate) fn plan_allocation(
     skew: &SkewModel,
     fragmentation: &Fragmentation,
 ) -> Result<AllocationPlan, WarlockError> {
+    check_candidate(schema, fragmentation)?;
     AllocationPlan::build(
         schema,
         system,

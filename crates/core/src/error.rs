@@ -40,6 +40,16 @@ pub enum WarlockError {
     ConfigFile(ConfigFileError),
     /// A JSON document failed to parse or had the wrong shape.
     Json(JsonError),
+    /// The candidate space of a pipeline run exceeds the configured
+    /// [`crate::AdvisorConfig::max_candidates`] budget. Raised up front
+    /// from the enumeration source's exact space predictor, before any
+    /// candidate is generated or costed.
+    CandidateBudget {
+        /// The exact candidate-space size of the run.
+        space: u128,
+        /// The configured budget it exceeds.
+        budget: u64,
+    },
     /// A requested rank is outside the ranked candidate list.
     RankOutOfRange {
         /// The requested 1-based rank.
@@ -87,6 +97,13 @@ impl fmt::Display for WarlockError {
             Self::Skew(msg) => write!(f, "skew config: {msg}"),
             Self::ConfigFile(e) => write!(f, "config file: {e}"),
             Self::Json(e) => write!(f, "{e}"),
+            Self::CandidateBudget { space, budget } => {
+                write!(
+                    f,
+                    "candidate space of {space} exceeds the configured budget of {budget} \
+                     (raise `max_candidates`, lower `max_dimensionality`, or trim `range_options`)"
+                )
+            }
             Self::RankOutOfRange { rank, available } => {
                 write!(f, "rank {rank} out of range (1..={available})")
             }
@@ -179,6 +196,7 @@ impl WarlockError {
             Self::Skew(_) => "skew",
             Self::ConfigFile(_) => "config_file",
             Self::Json(_) => "json",
+            Self::CandidateBudget { .. } => "candidate_budget",
             Self::RankOutOfRange { .. } => "rank_out_of_range",
             Self::UnknownClass { .. } => "unknown_class",
             Self::Io(_) => "io",

@@ -91,13 +91,15 @@ pub mod service;
 pub mod session;
 pub mod tuning;
 
-pub use advisor::{AdvisorReport, ExcludedCandidate, RankedCandidate};
+pub use advisor::{
+    AdvisorReport, ExcludedCandidate, ExcludedSummary, ExclusionGroup, RankedCandidate,
+};
 pub use allocation_plan::{AllocationPlan, ClassDiskProfile};
 pub use analysis::{ClassAnalysis, FragmentationAnalysis};
 pub use cache::EvalCacheStats;
 pub use config::AdvisorConfig;
 pub use error::WarlockError;
-pub use ranking::twofold_rank;
+pub use ranking::{twofold_rank, StreamingRank};
 pub use serial::SessionReport;
 pub use service::{Service, ServiceReply, PROTOCOL_VERSION};
 pub use session::{Snapshot, Warlock, WarlockBuilder};

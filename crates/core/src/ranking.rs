@@ -5,6 +5,19 @@
 //! cost for the considered query mix. Subsequently, the leading X%
 //! fragmentations are ranked with respect to the overall I/O response time
 //! they achieve." (§3.2)
+//!
+//! Two implementations share the same semantics:
+//!
+//! * [`twofold_rank`] — the materialized reference: takes every cost at
+//!   once, sorts twice. O(n) memory.
+//! * [`StreamingRank`] — the bounded-memory accumulator the streaming
+//!   pipeline uses: costs are pushed one at a time and only the
+//!   phase-1 survivors are retained, so memory never holds the full
+//!   cost vector. Its output is **bit-identical** to [`twofold_rank`]
+//!   over the same push sequence.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use warlock_cost::CandidateCost;
 
@@ -40,6 +53,144 @@ pub fn twofold_rank(
             .then(a.num_fragments.cmp(&b.num_fragments))
     });
     costs
+}
+
+/// One retained phase-1 survivor. The heap is a max-heap on the
+/// phase-1 key (worst survivor on top, ready for eviction); `idx` is
+/// the push order, reproducing the stable-sort tie-break of the
+/// materialized reference.
+#[derive(Debug, Clone)]
+struct Survivor {
+    cost: CandidateCost,
+    idx: usize,
+}
+
+impl Survivor {
+    /// The phase-1 ordering: I/O cost, then response, then fragment
+    /// count, then push order — a total order, so the "leading X%" set
+    /// is uniquely determined.
+    fn phase1_cmp(&self, other: &Self) -> Ordering {
+        self.cost
+            .io_cost_ms
+            .total_cmp(&other.cost.io_cost_ms)
+            .then(self.cost.response_ms.total_cmp(&other.cost.response_ms))
+            .then(self.cost.num_fragments.cmp(&other.cost.num_fragments))
+            .then(self.idx.cmp(&other.idx))
+    }
+}
+
+impl PartialEq for Survivor {
+    fn eq(&self, other: &Self) -> bool {
+        self.phase1_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Survivor {}
+impl PartialOrd for Survivor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Survivor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.phase1_cmp(other)
+    }
+}
+
+/// A bounded-memory accumulator reproducing [`twofold_rank`] exactly
+/// over a stream of candidate costs.
+///
+/// Costs are [`push`](Self::push)ed in enumeration order together with
+/// an upper bound on how many more *may* still arrive (the streaming
+/// pipeline knows this exactly from
+/// [`CandidateSource::remaining`](warlock_fragment::CandidateSource::remaining)).
+/// The accumulator retains only candidates that could still make the
+/// phase-1 cut: with `n` pushed and at most `r` to come, the final keep
+/// count can never exceed `max(min_keep, ⌈(n + r)·X%⌉)`, so anything
+/// ranked below that bound is discarded immediately. The retention
+/// capacity therefore *shrinks* toward the exact `⌈seen·X%⌉` phase-1
+/// survivor count as the stream drains, and peak memory is
+/// `O(max(min_keep, ⌈bound·X%⌉))` — never the full cost vector.
+///
+/// Overestimating `remaining` is always safe (it only delays
+/// evictions); underestimating it can evict a candidate the exact
+/// ranking would have kept.
+#[derive(Debug, Clone)]
+pub struct StreamingRank {
+    top_x_percent: f64,
+    min_keep: usize,
+    pushed: usize,
+    heap: BinaryHeap<Survivor>,
+}
+
+impl StreamingRank {
+    /// An empty accumulator with the twofold-ranking knobs of
+    /// [`twofold_rank`].
+    pub fn new(top_x_percent: f64, min_keep: usize) -> Self {
+        Self {
+            top_x_percent,
+            min_keep,
+            pushed: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The phase-1 keep count for a population of `n`.
+    fn keep_for(&self, n: usize) -> usize {
+        ((n as f64 * self.top_x_percent / 100.0).ceil() as usize).max(self.min_keep)
+    }
+
+    /// Feeds the next evaluated candidate. `remaining` is an upper
+    /// bound on how many more costs may still be pushed; `0` means this
+    /// is definitely the last one.
+    pub fn push(&mut self, cost: CandidateCost, remaining: u128) {
+        let idx = self.pushed;
+        self.pushed += 1;
+        self.heap.push(Survivor { cost, idx });
+        // The largest population this stream can still reach. Saturates
+        // for astronomically large bounds, which simply disables
+        // eviction until the horizon shrinks into range.
+        let bound = usize::try_from(u128::from(self.pushed as u64).saturating_add(remaining))
+            .unwrap_or(usize::MAX);
+        let capacity = self.keep_for(bound);
+        while self.heap.len() > capacity {
+            self.heap.pop();
+        }
+    }
+
+    /// Costs pushed so far.
+    #[inline]
+    pub fn seen(&self) -> usize {
+        self.pushed
+    }
+
+    /// Candidates currently retained (the phase-1 survivor bound).
+    #[inline]
+    pub fn retained(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Finishes the stream: trims to the exact phase-1 keep count and
+    /// returns the survivors in phase-2 order — bit-identical to
+    /// [`twofold_rank`] over the same pushes.
+    pub fn finish(mut self) -> Vec<CandidateCost> {
+        let keep = self.keep_for(self.pushed).min(self.pushed);
+        while self.heap.len() > keep {
+            self.heap.pop();
+        }
+        let mut survivors: Vec<Survivor> = self.heap.into_vec();
+        // Phase 2: response-time ranking; ties fall back to the other
+        // metric, then fewer fragments, then enumeration order (the
+        // stable-sort order of the materialized reference).
+        survivors.sort_by(|a, b| {
+            a.cost
+                .response_ms
+                .total_cmp(&b.cost.response_ms)
+                .then(a.cost.io_cost_ms.total_cmp(&b.cost.io_cost_ms))
+                .then(a.cost.num_fragments.cmp(&b.cost.num_fragments))
+                .then(a.idx.cmp(&b.idx))
+        });
+        survivors.into_iter().map(|s| s.cost).collect()
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +264,93 @@ mod tests {
         let candidates = vec![cost(1.0, 1.0, 1), cost(2.0, 2.0, 2)];
         let ranked = twofold_rank(candidates, 10.0, 100);
         assert_eq!(ranked.len(), 2);
+    }
+
+    /// A deterministic pseudo-random cost population with deliberate
+    /// duplicates, exercising every tie-break level.
+    fn synthetic_costs(n: usize, seed: u64) -> Vec<CandidateCost> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| {
+                // Small value ranges force frequent exact ties.
+                let io = (next() % 7) as f64;
+                let rt = (next() % 5) as f64;
+                let frags = next() % 4;
+                cost(io, rt, frags)
+            })
+            .collect()
+    }
+
+    fn streamed(
+        costs: &[CandidateCost],
+        x: f64,
+        min_keep: usize,
+        slack: u128,
+    ) -> Vec<CandidateCost> {
+        let mut rank = StreamingRank::new(x, min_keep);
+        for (i, c) in costs.iter().enumerate() {
+            let remaining = (costs.len() - i - 1) as u128 + slack;
+            rank.push(c.clone(), remaining);
+        }
+        rank.finish()
+    }
+
+    #[test]
+    fn streaming_rank_matches_twofold_exactly() {
+        for seed in 0..20u64 {
+            for (x, min_keep) in [(10.0, 1), (10.0, 10), (1.0, 3), (100.0, 1), (37.5, 2)] {
+                for n in [0usize, 1, 5, 50, 333] {
+                    let costs = synthetic_costs(n, seed);
+                    let reference = twofold_rank(costs.clone(), x, min_keep);
+                    let stream = streamed(&costs, x, min_keep, 0);
+                    assert_eq!(
+                        stream, reference,
+                        "seed={seed} x={x} min_keep={min_keep} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overestimated_remaining_is_still_exact() {
+        // The pipeline's remaining-hint counts candidates that will be
+        // excluded before costing — an overestimate must never change
+        // the result, only retention.
+        for slack in [1u128, 10, 1_000_000, u128::MAX / 2] {
+            let costs = synthetic_costs(200, 7);
+            let reference = twofold_rank(costs.clone(), 10.0, 5);
+            assert_eq!(streamed(&costs, 10.0, 5, slack), reference, "slack={slack}");
+        }
+    }
+
+    #[test]
+    fn retention_is_bounded_by_the_horizon() {
+        // 1000 costs, X = 10 %, exact remaining: retention may never
+        // exceed ⌈horizon·X%⌉ and ends at exactly the phase-1 keep.
+        let costs = synthetic_costs(1000, 3);
+        let mut rank = StreamingRank::new(10.0, 5);
+        for (i, c) in costs.iter().enumerate() {
+            rank.push(c.clone(), (costs.len() - i - 1) as u128);
+            assert!(
+                rank.retained() <= 100 + 1,
+                "retained {} at {i}",
+                rank.retained()
+            );
+        }
+        assert_eq!(rank.seen(), 1000);
+        assert_eq!(rank.retained(), 100);
+        assert_eq!(rank.finish().len(), 100);
+    }
+
+    #[test]
+    fn streaming_rank_empty_stream() {
+        assert!(StreamingRank::new(10.0, 5).finish().is_empty());
     }
 }

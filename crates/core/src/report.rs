@@ -45,8 +45,31 @@ pub fn render_ranking(report: &AdvisorReport) -> String {
         "({} enumerated, {} evaluated, {} excluded)",
         report.enumerated,
         report.evaluated,
-        report.excluded.len()
+        report.excluded.total()
     );
+    out
+}
+
+/// Renders the bounded exclusion summary: per-reason counts plus the
+/// retained sample candidates.
+pub fn render_excluded(report: &AdvisorReport) -> String {
+    let mut out = String::new();
+    for group in report.excluded.groups() {
+        let _ = writeln!(out, "{} ({} candidates):", group.kind, group.count);
+        for sample in &group.samples {
+            let _ = writeln!(
+                out,
+                "  {:<50} {}",
+                truncate(&sample.label, 50),
+                sample.reason
+            );
+        }
+        let elided = group.count.saturating_sub(group.samples.len());
+        if elided > 0 {
+            let _ = writeln!(out, "  … and {elided} more");
+        }
+    }
+    let _ = writeln!(out, "({} candidates excluded)", report.excluded.total());
     out
 }
 

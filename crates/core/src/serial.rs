@@ -196,7 +196,7 @@ impl FromJson for RankingRow {
     }
 }
 
-/// One excluded candidate on the wire.
+/// One excluded sample candidate on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExclusionRow {
     /// Human-readable candidate label.
@@ -223,6 +223,96 @@ impl FromJson for ExclusionRow {
     }
 }
 
+/// One exclusion-reason group on the wire: the machine-readable reason
+/// tag, the exact count, and the capped sample candidates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExclusionGroupRow {
+    /// Machine-readable reason tag (`Exclusion::kind`).
+    pub kind: String,
+    /// Exact number of candidates excluded for this reason.
+    pub count: usize,
+    /// The first few excluded candidates, in enumeration order.
+    pub samples: Vec<ExclusionRow>,
+}
+
+impl ToJson for ExclusionGroupRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("kind", self.kind.to_json()),
+            ("count", self.count.to_json()),
+            ("samples", self.samples.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExclusionGroupRow {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            kind: str_field(value, "kind")?,
+            count: usize_field(value, "count")?,
+            samples: array_field(value, "samples")?
+                .iter()
+                .map(ExclusionRow::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// The bounded exclusion summary on the wire: exact total, per-reason
+/// groups with capped samples.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExcludedSummaryRow {
+    /// Exact number of excluded candidates.
+    pub total: usize,
+    /// Per-reason groups in first-seen enumeration order.
+    pub groups: Vec<ExclusionGroupRow>,
+}
+
+impl From<&crate::advisor::ExcludedSummary> for ExcludedSummaryRow {
+    fn from(summary: &crate::advisor::ExcludedSummary) -> Self {
+        Self {
+            total: summary.total(),
+            groups: summary
+                .groups()
+                .iter()
+                .map(|g| ExclusionGroupRow {
+                    kind: g.kind.to_owned(),
+                    count: g.count,
+                    samples: g
+                        .samples
+                        .iter()
+                        .map(|e| ExclusionRow {
+                            label: e.label.clone(),
+                            reason: e.reason.to_string(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ToJson for ExcludedSummaryRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("total", self.total.to_json()),
+            ("groups", self.groups.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExcludedSummaryRow {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            total: usize_field(value, "total")?,
+            groups: array_field(value, "groups")?
+                .iter()
+                .map(ExclusionGroupRow::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 impl ToJson for AdvisorReport {
     /// The ranking view: counters plus ranked and excluded candidates.
     fn to_json(&self) -> Json {
@@ -239,17 +329,7 @@ impl ToJson for AdvisorReport {
             ),
             (
                 "excluded",
-                self.excluded
-                    .iter()
-                    .map(|e| {
-                        ExclusionRow {
-                            label: e.label.clone(),
-                            reason: e.reason.to_string(),
-                        }
-                        .to_json()
-                    })
-                    .collect::<Vec<_>>()
-                    .to_json(),
+                ExcludedSummaryRow::from(&self.excluded).to_json(),
             ),
         ])
     }
@@ -603,8 +683,9 @@ pub struct SessionReport {
     pub evaluated: usize,
     /// Ranked candidates, best first.
     pub ranking: Vec<RankingRow>,
-    /// Threshold-excluded candidates with rendered reasons.
-    pub excluded: Vec<ExclusionRow>,
+    /// Bounded summary of the threshold-excluded candidates: exact
+    /// per-reason counts plus capped samples with rendered reasons.
+    pub excluded: ExcludedSummaryRow,
     /// Detailed statistic of the top candidate (absent when nothing
     /// survived the thresholds).
     pub analysis: Option<AnalysisReport>,
@@ -623,14 +704,7 @@ impl SessionReport {
             enumerated: report.enumerated,
             evaluated: report.evaluated,
             ranking: report.ranked.iter().map(RankingRow::from).collect(),
-            excluded: report
-                .excluded
-                .iter()
-                .map(|e| ExclusionRow {
-                    label: e.label.clone(),
-                    reason: e.reason.to_string(),
-                })
-                .collect(),
+            excluded: ExcludedSummaryRow::from(&report.excluded),
             analysis: analysis.map(AnalysisReport::from),
             allocation: allocation.map(AllocationReport::from),
         }
@@ -670,10 +744,7 @@ impl FromJson for SessionReport {
                 .iter()
                 .map(RankingRow::from_json)
                 .collect::<Result<_, _>>()?,
-            excluded: array_field(value, "excluded")?
-                .iter()
-                .map(ExclusionRow::from_json)
-                .collect::<Result<_, _>>()?,
+            excluded: ExcludedSummaryRow::from_json(value.req("excluded")?)?,
             analysis: optional("analysis")?
                 .map(AnalysisReport::from_json)
                 .transpose()?,
@@ -755,10 +826,21 @@ mod tests {
             json.get("enumerated").unwrap().as_usize().unwrap(),
             s.rank().unwrap().enumerated
         );
-        // Excluded candidates carry rendered reasons.
-        let excluded = json.get("excluded").unwrap().as_array().unwrap();
-        assert!(!excluded.is_empty());
-        assert!(excluded[0].get("reason").unwrap().as_str().is_some());
+        // The exclusion summary carries exact counts and sampled
+        // candidates with rendered reasons.
+        let excluded = json.get("excluded").unwrap();
+        let total = excluded.get("total").unwrap().as_usize().unwrap();
+        assert!(total > 0);
+        let groups = excluded.get("groups").unwrap().as_array().unwrap();
+        assert!(!groups.is_empty());
+        let counted: usize = groups
+            .iter()
+            .map(|g| g.get("count").unwrap().as_usize().unwrap())
+            .sum();
+        assert_eq!(counted, total);
+        let samples = groups[0].get("samples").unwrap().as_array().unwrap();
+        assert!(!samples.is_empty());
+        assert!(samples[0].get("reason").unwrap().as_str().is_some());
     }
 
     #[test]

@@ -33,7 +33,15 @@
 //! default `null`). Operations: `rank`, `analyze`, `allocate`,
 //! `evaluate`, `what_if_disks`, `what_if_prefetch`,
 //! `what_if_without_bitmap_dimension`, `what_if_without_class`,
-//! `set_mix`, `cache_stats`, `ping`, `shutdown`.
+//! `set_mix`, `set_budget`, `cache_stats`, `ping`, `shutdown`.
+//!
+//! `ping` doubles as a health probe: besides `protocol` it reports the
+//! exact `space_size` of the current candidate space (from the lazy
+//! source's predictor — no enumeration happens), `enumerated` from the
+//! cached baseline ranking (`null` until one was computed), and the
+//! shared `cache_stats` — so operators see session health without
+//! paying for a rank round-trip. `set_budget` adjusts the streaming
+//! knobs (`max_candidates`, `chunk_size`) of the shared session.
 
 use std::sync::RwLock;
 
@@ -132,6 +140,24 @@ fn rank_param(params: &Json) -> Result<usize, ReplyError> {
             .filter(|&r| r > 0)
             .ok_or_else(|| bad("bad_request", "`params.rank` must be a positive integer")),
     }
+}
+
+/// Serializes a `u128` counter: an exact `Int` when it fits `i64`,
+/// otherwise an approximate `Num` (astronomical spaces lose precision
+/// on the wire but never wrap).
+fn u128_json(value: u128) -> Json {
+    match i64::try_from(value) {
+        Ok(exact) => Json::Int(exact),
+        Err(_) => Json::Num(value as f64),
+    }
+}
+
+fn cache_stats_json(stats: &crate::cache::EvalCacheStats) -> Json {
+    Json::object([
+        ("entries", stats.entries.to_json()),
+        ("hits", stats.hits.to_json()),
+        ("misses", stats.misses.to_json()),
+    ])
 }
 
 fn cost_json(cost: &warlock_cost::CandidateCost, label: String) -> Json {
@@ -242,7 +268,23 @@ impl Service {
             .ok_or_else(|| bad("bad_request", "`op` must be a string"))?;
         let params = request.get("params").cloned().unwrap_or(Json::Null);
         match op {
-            "ping" => Ok(Json::object([("protocol", Json::Int(PROTOCOL_VERSION))])),
+            "ping" => {
+                // A health probe must stay cheap: the space size comes
+                // from the source's exact predictor (no enumeration),
+                // and `enumerated` only reflects an already-cached
+                // baseline ranking — never triggers one.
+                let session = self.session();
+                let enumerated = match session.ranking() {
+                    Some(report) => report.enumerated.to_json(),
+                    None => Json::Null,
+                };
+                Ok(Json::object([
+                    ("protocol", Json::Int(PROTOCOL_VERSION)),
+                    ("space_size", u128_json(session.candidate_space_size())),
+                    ("enumerated", enumerated),
+                    ("cache_stats", cache_stats_json(&session.cache_stats())),
+                ]))
+            }
             "shutdown" => Ok(Json::object([("stopping", Json::Bool(true))])),
             "rank" => {
                 let session = self.session();
@@ -314,14 +356,8 @@ impl Service {
                 ]))
             }
             "set_mix" => self.set_mix(&params),
-            "cache_stats" => {
-                let stats = self.session().cache_stats();
-                Ok(Json::object([
-                    ("entries", stats.entries.to_json()),
-                    ("hits", stats.hits.to_json()),
-                    ("misses", stats.misses.to_json()),
-                ]))
-            }
+            "set_budget" => self.set_budget(&params),
+            "cache_stats" => Ok(cache_stats_json(&self.session().cache_stats())),
             other => Err(bad("unknown_op", format!("unknown op `{other}`"))),
         }
     }
@@ -373,6 +409,56 @@ impl Service {
             })
             .collect();
         Ok(Json::object([("classes", classes.to_json())]))
+    }
+
+    /// Adjusts the shared session's streaming knobs:
+    /// `params.max_candidates` (0 = unlimited) and/or
+    /// `params.chunk_size` (0 = auto). Echoes the effective values plus
+    /// the exact candidate-space size, so a client immediately sees
+    /// whether the budget would admit the current space. Swaps under a
+    /// brief write lock; in-flight readers keep their snapshot.
+    fn set_budget(&self, params: &Json) -> OpResult {
+        let max_candidates = match params.get("max_candidates") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                bad(
+                    "bad_request",
+                    "`params.max_candidates` must be an unsigned integer",
+                )
+            })?),
+        };
+        let chunk_size = match params.get("chunk_size") {
+            None => None,
+            Some(v) => Some(v.as_usize().ok_or_else(|| {
+                bad(
+                    "bad_request",
+                    "`params.chunk_size` must be an unsigned integer",
+                )
+            })?),
+        };
+        if max_candidates.is_none() && chunk_size.is_none() {
+            return Err(bad(
+                "bad_request",
+                "`params` must set `max_candidates` and/or `chunk_size`",
+            ));
+        }
+        let mut session = self
+            .session
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut config = session.config().clone();
+        if let Some(budget) = max_candidates {
+            config.max_candidates = budget;
+        }
+        if let Some(chunk) = chunk_size {
+            config.chunk_size = chunk;
+        }
+        session.set_config(config)?;
+        Ok(Json::object([
+            ("max_candidates", session.config().max_candidates.to_json()),
+            ("chunk_size", session.config().chunk_size.to_json()),
+            ("space_size", u128_json(session.candidate_space_size())),
+        ]))
     }
 }
 
@@ -540,6 +626,59 @@ mod tests {
         );
         assert_eq!(
             err_kind(&service, r#"{"op":"what_if_disks","params":{}}"#),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn ping_reports_session_health_without_ranking() {
+        let service = service();
+        let pong = ok_result(&service, r#"{"op":"ping"}"#);
+        assert_eq!(pong.get("protocol").and_then(Json::as_i64), Some(1));
+        // The exact space predictor answers before anything was ranked…
+        assert_eq!(pong.get("space_size").and_then(Json::as_u64), Some(168));
+        // …and `enumerated` stays null until a baseline ranking exists.
+        assert_eq!(pong.get("enumerated"), Some(&Json::Null));
+        let stats = pong.get("cache_stats").unwrap();
+        assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(0));
+
+        let _ = ok_result(&service, r#"{"op":"rank"}"#);
+        let pong = ok_result(&service, r#"{"op":"ping"}"#);
+        assert_eq!(pong.get("enumerated").and_then(Json::as_u64), Some(168));
+        assert!(
+            pong.get("cache_stats")
+                .and_then(|s| s.get("entries"))
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn set_budget_adjusts_streaming_knobs() {
+        let service = service();
+        let result = ok_result(
+            &service,
+            r#"{"op":"set_budget","params":{"max_candidates":100,"chunk_size":7}}"#,
+        );
+        assert_eq!(
+            result.get("max_candidates").and_then(Json::as_u64),
+            Some(100)
+        );
+        assert_eq!(result.get("chunk_size").and_then(Json::as_u64), Some(7));
+        assert_eq!(result.get("space_size").and_then(Json::as_u64), Some(168));
+        // The 168-candidate space now exceeds the budget: rank fails
+        // with the typed error instead of evaluating anything.
+        assert_eq!(err_kind(&service, r#"{"op":"rank"}"#), "candidate_budget");
+        // Raising the budget restores service.
+        let _ = ok_result(
+            &service,
+            r#"{"op":"set_budget","params":{"max_candidates":0}}"#,
+        );
+        let _ = ok_result(&service, r#"{"op":"rank"}"#);
+        // Parameterless calls are rejected.
+        assert_eq!(
+            err_kind(&service, r#"{"op":"set_budget","params":{}}"#),
             "bad_request"
         );
     }

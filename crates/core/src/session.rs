@@ -194,6 +194,8 @@ pub struct WarlockBuilder {
     mix: Option<QueryMix>,
     config: AdvisorConfig,
     parallelism: Option<usize>,
+    max_candidates: Option<u64>,
+    chunk_size: Option<usize>,
 }
 
 impl WarlockBuilder {
@@ -229,6 +231,25 @@ impl WarlockBuilder {
         self
     }
 
+    /// Sets the candidate-space budget (`0` = unlimited): pipeline runs
+    /// whose exact predicted space exceeds it fail with
+    /// [`WarlockError::CandidateBudget`] before any evaluation. Takes
+    /// precedence over [`AdvisorConfig::max_candidates`] regardless of
+    /// the order it is combined with [`config`](Self::config).
+    pub fn max_candidates(mut self, budget: u64) -> Self {
+        self.max_candidates = Some(budget);
+        self
+    }
+
+    /// Sets the streaming evaluation chunk size (`0` = auto). Any value
+    /// yields bit-identical reports. Takes precedence over
+    /// [`AdvisorConfig::chunk_size`] regardless of the order it is
+    /// combined with [`config`](Self::config).
+    pub fn chunk_size(mut self, candidates: usize) -> Self {
+        self.chunk_size = Some(candidates);
+        self
+    }
+
     /// Validates every input and builds the session.
     ///
     /// # Errors
@@ -248,6 +269,12 @@ impl WarlockBuilder {
         let mut config = self.config;
         if let Some(workers) = self.parallelism {
             config.parallelism = workers;
+        }
+        if let Some(budget) = self.max_candidates {
+            config.max_candidates = budget;
+        }
+        if let Some(chunk) = self.chunk_size {
+            config.chunk_size = chunk;
         }
         let (scheme, skew) = engine::validate(&schema, &system, &mix, &config)?;
         Ok(Warlock {
@@ -422,6 +449,21 @@ impl Warlock {
 
     // ------------------------------------------------------------------
     // The pipeline.
+
+    /// The exact size of the candidate space the pipeline would
+    /// enumerate for the current snapshot (point space plus any
+    /// configured `range_options`), computed without generating a
+    /// single candidate. Cheap enough for health checks — `warlockd`'s
+    /// `ping` reports it without a rank round-trip.
+    pub fn candidate_space_size(&self) -> u128 {
+        let s = &*self.snapshot;
+        warlock_fragment::CandidateSource::ranged(
+            &s.schema,
+            s.config.max_dimensionality,
+            &s.config.range_options,
+        )
+        .space_size()
+    }
 
     /// The threshold context derived from the system configuration.
     pub fn threshold_context(&self) -> warlock_fragment::ThresholdContext {
@@ -912,6 +954,69 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(s.config().parallelism, 5);
+    }
+
+    #[test]
+    fn builder_streaming_knobs_override_config() {
+        let s = Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(16))
+            .mix(apb1_like_mix().unwrap())
+            .config(AdvisorConfig::default())
+            .max_candidates(5000)
+            .chunk_size(32)
+            .build()
+            .unwrap();
+        assert_eq!(s.config().max_candidates, 5000);
+        assert_eq!(s.config().chunk_size, 32);
+        assert_eq!(s.candidate_space_size(), 168);
+        // The budget admits the 168-candidate space: advice flows.
+        assert!(s.rank().unwrap().top().is_some());
+    }
+
+    #[test]
+    fn exceeding_the_candidate_budget_is_a_typed_error() {
+        let s = Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(16))
+            .mix(apb1_like_mix().unwrap())
+            .max_candidates(100)
+            .build()
+            .unwrap();
+        let err = s.rank().unwrap_err();
+        assert_eq!(
+            err,
+            WarlockError::CandidateBudget {
+                space: 168,
+                budget: 100
+            }
+        );
+        assert_eq!(err.kind(), "candidate_budget");
+        // What-if variations run the pipeline too, so they fail the
+        // same way instead of grinding through an over-budget space.
+        assert!(matches!(
+            s.what_if_disks(64),
+            Err(WarlockError::CandidateBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_the_report() {
+        let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+        let mix = apb1_like_mix().unwrap();
+        let build = |chunk: usize| {
+            Warlock::builder()
+                .schema(schema.clone())
+                .system(SystemConfig::default_2001(16))
+                .mix(mix.clone())
+                .chunk_size(chunk)
+                .build()
+                .unwrap()
+        };
+        let reference = build(0).run().unwrap();
+        for chunk in [1, 2, 7, 168, 10_000] {
+            assert_eq!(build(chunk).run().unwrap(), reference, "chunk={chunk}");
+        }
     }
 
     #[test]

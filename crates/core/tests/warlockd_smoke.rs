@@ -41,6 +41,7 @@ fn warlockd_stdio_round_trip() {
 
     {
         let mut stdin = child.stdin.take().unwrap();
+        writeln!(stdin, r#"{{"v":1,"id":0,"op":"ping"}}"#).unwrap();
         writeln!(stdin, r#"{{"v":1,"id":1,"op":"rank"}}"#).unwrap();
         writeln!(
             stdin,
@@ -48,7 +49,8 @@ fn warlockd_stdio_round_trip() {
         )
         .unwrap();
         writeln!(stdin, r#"{{"v":1,"id":3,"op":"cache_stats"}}"#).unwrap();
-        writeln!(stdin, r#"{{"v":1,"id":4,"op":"shutdown"}}"#).unwrap();
+        writeln!(stdin, r#"{{"v":1,"id":4,"op":"ping"}}"#).unwrap();
+        writeln!(stdin, r#"{{"v":1,"id":5,"op":"shutdown"}}"#).unwrap();
         // Dropping stdin closes the pipe; the server must already have
         // stopped at the shutdown request either way.
     }
@@ -61,9 +63,23 @@ fn warlockd_stdio_round_trip() {
     let _ = std::fs::remove_file(&config_path);
 
     assert!(status.success(), "warlockd exited with {status}");
-    assert_eq!(lines.len(), 4, "one response per request: {lines:#?}");
+    assert_eq!(lines.len(), 6, "one response per request: {lines:#?}");
 
-    let rank = parse_ok(&lines[0]);
+    // Cold ping: protocol + exact space size, no ranking yet, cold cache.
+    let pong = parse_ok(&lines[0]);
+    let health = pong.get("result").unwrap();
+    assert_eq!(health.get("protocol").and_then(Json::as_i64), Some(1));
+    assert_eq!(health.get("space_size").and_then(Json::as_u64), Some(168));
+    assert_eq!(health.get("enumerated"), Some(&Json::Null));
+    assert_eq!(
+        health
+            .get("cache_stats")
+            .and_then(|s| s.get("entries"))
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+
+    let rank = parse_ok(&lines[1]);
     assert_eq!(rank.get("id").and_then(Json::as_i64), Some(1));
     let ranking = rank
         .get("result")
@@ -72,7 +88,7 @@ fn warlockd_stdio_round_trip() {
         .expect("rank returns a ranking");
     assert!(!ranking.is_empty());
 
-    let what_if = parse_ok(&lines[1]);
+    let what_if = parse_ok(&lines[2]);
     let delta = what_if
         .get("result")
         .and_then(|r| r.get("delta"))
@@ -82,7 +98,7 @@ fn warlockd_stdio_round_trip() {
         Some("disks = 64")
     );
 
-    let stats = parse_ok(&lines[2]);
+    let stats = parse_ok(&lines[3]);
     let entries = stats
         .get("result")
         .and_then(|r| r.get("entries"))
@@ -90,7 +106,20 @@ fn warlockd_stdio_round_trip() {
         .unwrap();
     assert!(entries > 0, "the shared cache must be warm after two runs");
 
-    let bye = parse_ok(&lines[3]);
+    // Warm ping: the baseline ranking's enumeration count and warm
+    // cache stats appear — no extra rank round-trip needed.
+    let pong = parse_ok(&lines[4]);
+    let health = pong.get("result").unwrap();
+    assert_eq!(health.get("enumerated").and_then(Json::as_u64), Some(168));
+    assert_eq!(
+        health
+            .get("cache_stats")
+            .and_then(|s| s.get("entries"))
+            .and_then(Json::as_u64),
+        Some(entries)
+    );
+
+    let bye = parse_ok(&lines[5]);
     assert_eq!(
         bye.get("result")
             .and_then(|r| r.get("stopping"))

@@ -27,6 +27,13 @@ pub enum CandidateError {
         /// The level's fan-out (children per parent).
         fanout: u64,
     },
+    /// The candidate's fragment count exceeds `u64::MAX`, so it cannot
+    /// be laid out or costed — only pathologically deep cross products
+    /// reach this.
+    FragmentOverflow {
+        /// The overflowing fragment count.
+        fragments: u128,
+    },
 }
 
 impl fmt::Display for CandidateError {
@@ -48,6 +55,10 @@ impl fmt::Display for CandidateError {
             } => write!(
                 f,
                 "range size {range} on {level_ref} must be >= 1 and divide the fan-out {fanout}"
+            ),
+            Self::FragmentOverflow { fragments } => write!(
+                f,
+                "fragment count {fragments} overflows the evaluable range (u64)"
             ),
         }
     }
@@ -127,6 +138,17 @@ impl Fragmentation {
         }
         let (attributes, ranges) = paired.into_iter().unzip();
         Ok(Self { attributes, ranges })
+    }
+
+    /// Trusted constructor for the enumeration engine: `attributes`
+    /// must already be sorted by dimension with no duplicates, one
+    /// positive range per attribute.
+    pub(crate) fn from_parts(attributes: Vec<LevelRef>, ranges: Vec<u64>) -> Self {
+        debug_assert_eq!(attributes.len(), ranges.len());
+        debug_assert!(attributes
+            .windows(2)
+            .all(|w| w[0].dimension < w[1].dimension));
+        Self { attributes, ranges }
     }
 
     /// Convenience constructor from `(dimension, level)` index pairs
@@ -293,37 +315,12 @@ impl fmt::Display for Fragmentation {
 /// trims deep combinations. The evaluation space deliberately contains only
 /// point fragmentations (attribute range size = 1), "which keeps enough
 /// potential to achieve a sufficient number of fragments" (§3.2).
+///
+/// This is a thin materializing wrapper over the lazy
+/// [`CandidateSource::point`](crate::CandidateSource::point) generator —
+/// use the source directly when the space may be large.
 pub fn enumerate_candidates(schema: &StarSchema, max_dimensionality: usize) -> Vec<Fragmentation> {
-    let mut out = Vec::new();
-    let mut current: Vec<LevelRef> = Vec::new();
-    fn recurse(
-        schema: &StarSchema,
-        dim: usize,
-        max_dim: usize,
-        current: &mut Vec<LevelRef>,
-        out: &mut Vec<Fragmentation>,
-    ) {
-        if dim == schema.num_dimensions() {
-            out.push(Fragmentation {
-                attributes: current.clone(),
-                ranges: vec![1; current.len()],
-            });
-            return;
-        }
-        // Choice 1: dimension not used.
-        recurse(schema, dim + 1, max_dim, current, out);
-        // Choice 2: one of its levels, if dimensionality allows.
-        if current.len() < max_dim {
-            let depth = schema.dimensions()[dim].depth();
-            for level in 0..depth {
-                current.push(LevelRef::new(dim as u16, level as u16));
-                recurse(schema, dim + 1, max_dim, current, out);
-                current.pop();
-            }
-        }
-    }
-    recurse(schema, 0, max_dimensionality, &mut current, &mut out);
-    out
+    crate::CandidateSource::point(schema, max_dimensionality).collect()
 }
 
 /// Enumerates fragmentation candidates including *ranged* attributes: for
@@ -335,59 +332,16 @@ pub fn enumerate_candidates(schema: &StarSchema, max_dimensionality: usize) -> V
 /// The point-only space is the paper's default; this is the general-MDHF
 /// extension for schemas whose hierarchies are too coarse-grained between
 /// adjacent levels.
+///
+/// This is a thin materializing wrapper over the lazy
+/// [`CandidateSource::ranged`](crate::CandidateSource::ranged) generator —
+/// use the source directly when the space may be large.
 pub fn enumerate_candidates_ranged(
     schema: &StarSchema,
     max_dimensionality: usize,
     range_options: &[u64],
 ) -> Vec<Fragmentation> {
-    let points = enumerate_candidates(schema, max_dimensionality);
-    let mut out = Vec::with_capacity(points.len());
-    for candidate in points {
-        // Per attribute: all admissible range sizes (1 plus options).
-        let per_attr: Vec<Vec<u64>> = candidate
-            .attributes
-            .iter()
-            .map(|&r| {
-                let dim = schema.dimension(r.dimension).expect("enumerated");
-                let fanout = dim.fanout(r.level).expect("enumerated");
-                let mut sizes = vec![1u64];
-                for &opt in range_options {
-                    if opt > 1 && opt < fanout && fanout.is_multiple_of(opt) {
-                        sizes.push(opt);
-                    }
-                }
-                sizes
-            })
-            .collect();
-        // Cross product of range choices.
-        let mut counters = vec![0usize; per_attr.len()];
-        loop {
-            let ranges: Vec<u64> = counters
-                .iter()
-                .zip(&per_attr)
-                .map(|(&c, sizes)| sizes[c])
-                .collect();
-            out.push(Fragmentation {
-                attributes: candidate.attributes.clone(),
-                ranges,
-            });
-            let mut pos = counters.len();
-            let mut done = true;
-            while pos > 0 {
-                pos -= 1;
-                counters[pos] += 1;
-                if counters[pos] < per_attr[pos].len() {
-                    done = false;
-                    break;
-                }
-                counters[pos] = 0;
-            }
-            if done {
-                break;
-            }
-        }
-    }
-    out
+    crate::CandidateSource::ranged(schema, max_dimensionality, range_options).collect()
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@
 mod candidate;
 mod layout;
 mod matching;
+mod source;
 mod thresholds;
 
 pub use candidate::{
@@ -51,4 +52,5 @@ pub use candidate::{
 };
 pub use layout::{apportion, FragmentLayout, SkewModelExt};
 pub use matching::{expected_distinct_groups, DimensionMatch, QueryMatch};
+pub use source::{CandidateCursor, CandidateSource};
 pub use thresholds::{Exclusion, ThresholdContext, Thresholds};

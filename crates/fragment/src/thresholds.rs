@@ -27,6 +27,14 @@ pub struct ThresholdContext {
 /// Why a candidate was excluded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Exclusion {
+    /// The fragment count does not even fit `u64` — the candidate can
+    /// never be laid out, whatever the configured limits. Raised by the
+    /// pipeline's structural pre-exclusion so the exact `u128` count is
+    /// reported instead of a silently wrapped value.
+    FragmentCountOverflow {
+        /// The candidate's exact fragment count.
+        fragments: u128,
+    },
     /// More fragments than `max_fragments`.
     TooManyFragments {
         /// The candidate's fragment count.
@@ -57,9 +65,27 @@ pub enum Exclusion {
     },
 }
 
+impl Exclusion {
+    /// A short machine-readable tag for the exclusion reason, stable
+    /// across releases — the grouping key of the report's per-reason
+    /// exclusion summary and the `warlockd` wire protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::FragmentCountOverflow { .. } => "fragment_count_overflow",
+            Self::TooManyFragments { .. } => "too_many_fragments",
+            Self::FragmentBelowPrefetch { .. } => "fragment_below_prefetch",
+            Self::TooFewRowsPerFragment { .. } => "too_few_rows_per_fragment",
+            Self::FewerFragmentsThanDisks { .. } => "fewer_fragments_than_disks",
+        }
+    }
+}
+
 impl fmt::Display for Exclusion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Self::FragmentCountOverflow { fragments } => {
+                write!(f, "{fragments} fragments overflow the evaluable range")
+            }
             Self::TooManyFragments { fragments, limit } => {
                 write!(f, "{fragments} fragments exceed limit {limit}")
             }

@@ -39,7 +39,7 @@ fn advisor_never_fails_on_random_inputs() {
         // never beaten on response by nothing (some candidate exists —
         // the baseline itself always survives).
         assert_eq!(
-            report.evaluated + report.excluded.len(),
+            report.evaluated + report.excluded.total(),
             report.enumerated,
             "seed {seed}"
         );
