@@ -1,51 +1,83 @@
 //! `warlockd` — the long-lived WARLOCK advisory server.
 //!
-//! Loads one warehouse description at startup and then serves the
-//! newline-delimited JSON protocol of [`warlock::service`] over stdio
-//! or TCP, with one shared session answering every connection:
+//! Loads one or more warehouse descriptions at startup and serves the
+//! versioned JSON protocol of [`warlock::service`] over stdio, TCP
+//! and/or HTTP, dispatching every request to its named warehouse:
 //!
 //! ```text
 //! warlockd <config-file> --stdio
-//! warlockd <config-file> --listen 127.0.0.1:7341 [-j N] [--max-candidates N] [--chunk-size N]
+//! warlockd --warehouse us=us.cfg --warehouse eu=eu.cfg \
+//!          --listen 127.0.0.1:7341 --http 127.0.0.1:7342
 //! ```
 //!
+//! - The positional `<config-file>` loads as a warehouse named
+//!   `default`; `--warehouse NAME=PATH` (repeatable) loads more. The
+//!   first loaded warehouse is the **default route** for unrouted and
+//!   protocol-v1 requests unless `--default-warehouse NAME` picks
+//!   another.
 //! - `--stdio` reads requests from stdin and writes responses to
 //!   stdout, one JSON object per line — scriptable from anything that
-//!   can spawn a process, and what the CI smoke lane drives.
+//!   can spawn a process. This is the default when no transport flag is
+//!   given.
 //! - `--listen ADDR` accepts any number of concurrent TCP connections,
-//!   one thread per connection. All connections share the session:
-//!   what-ifs priced for one client are warm for the rest, and
-//!   `set_mix` re-points everyone at the new workload.
-//! - `-j`/`--parallelism` overrides the configuration file's evaluation
-//!   worker count (0 = auto, 1 = serial); `--max-candidates` and
+//!   one thread per connection, speaking the same line protocol.
+//! - `--http ADDR` serves the same op set as minimal HTTP/1.1
+//!   (`POST /v2/<op>`, JSON body in/out — see [`warlock::http`]), and
+//!   may be combined with `--listen`.
+//! - `-j`/`--parallelism` overrides every warehouse's evaluation worker
+//!   count (0 = auto, 1 = serial); `--max-candidates` and
 //!   `--chunk-size` override the candidate-space budget (0 = unlimited)
-//!   and the streaming evaluation chunk (0 = auto).
+//!   and the streaming evaluation chunk (0 = auto). A wire `reload`
+//!   re-reads the warehouse's file as written — without these CLI
+//!   overrides.
+//! - `--max-request-bytes N` bounds each request line / HTTP body
+//!   (default 16 MiB): over-limit requests are answered with a typed
+//!   `bad_request` error instead of buffering without bound, and the
+//!   connection stays usable.
 //!
-//! A `{"op":"shutdown"}` request stops the server after the response is
-//! flushed (as does EOF on stdin in stdio mode). Exit codes: 0 on clean
-//! shutdown, 1 on startup failure, 2 on usage errors.
+//! A `{"op":"shutdown"}` request over *any* transport stops the whole
+//! server after the response is flushed (as does EOF on stdin in stdio
+//! mode): the shared [`ShutdownSignal`] wakes every accept loop
+//! deterministically via self-connect, so the process exits promptly
+//! instead of blocking in `accept` until a next client arrives. Exit
+//! codes: 0 on clean shutdown, 1 on startup failure, 2 on usage errors.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
 use std::panic::AssertUnwindSafe;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use warlock::service::Service;
+use warlock::http::{serve_http, ShutdownSignal};
+use warlock::registry::Registry;
+use warlock::service::{Service, ServiceReply};
 use warlock::Warlock;
 
-const USAGE: &str = "usage: warlockd <config-file> [--stdio | --listen ADDR] [-j N | --parallelism N] [--max-candidates N] [--chunk-size N]";
+const USAGE: &str = "usage: warlockd [<config-file>] [--warehouse NAME=PATH]... \
+[--default-warehouse NAME] [--stdio | --listen ADDR] [--http ADDR] \
+[-j N | --parallelism N] [--max-candidates N] [--chunk-size N] [--max-request-bytes N]";
+
+/// The default per-request size bound: far above any real advisory
+/// request, far below anything that could stress the server's memory.
+const DEFAULT_MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
 
 struct Options {
-    config_path: String,
+    /// `(name, path)` per warehouse, in load order; a positional
+    /// `<config-file>` is the warehouse named `default`.
+    warehouses: Vec<(String, String)>,
+    /// The default route; the first loaded warehouse when absent.
+    default_warehouse: Option<String>,
     listen: Option<String>,
+    http: Option<String>,
     stdio: bool,
     parallelism: Option<usize>,
     max_candidates: Option<u64>,
     chunk_size: Option<usize>,
+    max_request_bytes: usize,
 }
 
 fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
+    /// The (already validated to exist) value of `flag`, parsed.
     fn value_of<T: std::str::FromStr>(
         args: &mut Vec<String>,
         flag: &str,
@@ -59,21 +91,32 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
             .parse::<T>()
             .map_err(|_| format!("invalid {what} `{value}` for `{flag}`"))
     }
+    let mut warehouses: Vec<(String, String)> = Vec::new();
+    let mut default_warehouse = None;
     let mut listen = None;
+    let mut http = None;
     let mut stdio = false;
     let mut parallelism = None;
     let mut max_candidates = None;
     let mut chunk_size = None;
+    let mut max_request_bytes = DEFAULT_MAX_REQUEST_BYTES;
     let mut positional = Vec::new();
     while !args.is_empty() {
         let arg = args.remove(0);
         match arg.as_str() {
             "--stdio" => stdio = true,
-            "--listen" => {
-                if args.is_empty() {
-                    return Err("`--listen` needs an address".into());
-                }
-                listen = Some(args.remove(0));
+            "--listen" => listen = Some(value_of::<String>(&mut args, &arg, "an address")?),
+            "--http" => http = Some(value_of::<String>(&mut args, &arg, "an address")?),
+            "--warehouse" => {
+                let spec = value_of::<String>(&mut args, &arg, "a NAME=PATH pair")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .filter(|(n, p)| !n.is_empty() && !p.is_empty())
+                    .ok_or_else(|| format!("`--warehouse` wants NAME=PATH, got `{spec}`"))?;
+                warehouses.push((name.to_owned(), path.to_owned()));
+            }
+            "--default-warehouse" => {
+                default_warehouse = Some(value_of::<String>(&mut args, &arg, "a warehouse name")?);
             }
             "-j" | "--parallelism" => {
                 parallelism = Some(value_of::<usize>(&mut args, &arg, "a worker count")?);
@@ -84,48 +127,139 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
             "--chunk-size" => {
                 chunk_size = Some(value_of::<usize>(&mut args, &arg, "a chunk size")?);
             }
+            "--max-request-bytes" => {
+                max_request_bytes = value_of::<usize>(&mut args, &arg, "a byte count")?;
+                if max_request_bytes == 0 {
+                    return Err("`--max-request-bytes` must be positive".into());
+                }
+            }
             _ => positional.push(arg),
         }
     }
-    if stdio && listen.is_some() {
-        return Err("`--stdio` and `--listen` are mutually exclusive".into());
+    if stdio && (listen.is_some() || http.is_some()) {
+        return Err("`--stdio` and `--listen`/`--http` are mutually exclusive".into());
     }
     let mut positional = positional.into_iter();
-    let config_path = positional.next().ok_or("missing <config-file>")?;
+    if let Some(config_path) = positional.next() {
+        warehouses.insert(0, ("default".to_owned(), config_path));
+    }
     if let Some(extra) = positional.next() {
         return Err(format!("unexpected argument `{extra}`"));
     }
+    if warehouses.is_empty() {
+        return Err("missing <config-file> (or --warehouse NAME=PATH)".into());
+    }
+    for (i, (name, _)) in warehouses.iter().enumerate() {
+        if warehouses[..i].iter().any(|(n, _)| n == name) {
+            return Err(format!("warehouse `{name}` is given twice"));
+        }
+    }
+    if let Some(name) = &default_warehouse {
+        if !warehouses.iter().any(|(n, _)| n == name) {
+            return Err(format!(
+                "`--default-warehouse {name}` names no loaded warehouse"
+            ));
+        }
+    }
     Ok(Options {
-        config_path,
+        warehouses,
+        default_warehouse,
         listen,
+        http,
         stdio,
         parallelism,
         max_candidates,
         chunk_size,
+        max_request_bytes,
     })
+}
+
+/// One bounded line read: a complete line (≤ limit bytes of content),
+/// end of input, or an over-limit line (drained so the stream stays
+/// aligned on the next request).
+enum LineRead {
+    Line(String),
+    Eof,
+    TooLong,
+}
+
+fn read_bounded_line<R: BufRead>(input: &mut R, limit: usize) -> std::io::Result<LineRead> {
+    let mut buf = Vec::new();
+    input
+        .by_ref()
+        .take(limit as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if buf.is_empty() {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() != Some(&b'\n') && buf.len() > limit {
+        // The cap cut the line off mid-way: discard the rest of it so
+        // the next read starts on the next request, not on this line's
+        // tail masquerading as one.
+        drain_line(input)?;
+        return Ok(LineRead::TooLong);
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// Discards input until (and including) the next newline, in O(1)
+/// memory.
+fn drain_line<R: BufRead>(input: &mut R) -> std::io::Result<()> {
+    loop {
+        let available = input.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                input.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let len = available.len();
+                input.consume(len);
+            }
+        }
+    }
 }
 
 /// Serves one request stream: reads JSON lines from `input`, writes one
 /// response line per request to `output`. Returns `true` when the peer
 /// asked the whole server to shut down.
-fn serve<R: BufRead, W: Write>(service: &Service, input: R, mut output: W) -> bool {
-    for line in input.lines() {
-        let Ok(line) = line else {
-            return false; // peer vanished mid-line
+fn serve<R: BufRead, W: Write>(
+    service: &Service,
+    mut input: R,
+    mut output: W,
+    max_request_bytes: usize,
+) -> bool {
+    loop {
+        let reply = match read_bounded_line(&mut input, max_request_bytes) {
+            Err(_) => return false, // peer vanished mid-line
+            Ok(LineRead::Eof) => return false,
+            Ok(LineRead::TooLong) => ServiceReply::error(
+                "bad_request",
+                &format!("request line exceeds the {max_request_bytes}-byte limit"),
+            ),
+            Ok(LineRead::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // A panicking request (a bug) must not take the server
+                // down: degrade to an internal-error response for this
+                // client, in the envelope version the request spoke.
+                std::panic::catch_unwind(AssertUnwindSafe(|| service.handle_line(&line)))
+                    .unwrap_or_else(|_| {
+                        ServiceReply::error_for_version(
+                            ServiceReply::request_version(&line),
+                            "internal",
+                            "request handler panicked",
+                        )
+                    })
+            }
         };
-        if line.trim().is_empty() {
-            continue;
-        }
-        // A panicking request (a bug) must not take the server down:
-        // degrade to an internal-error response for this client.
-        let reply = std::panic::catch_unwind(AssertUnwindSafe(|| service.handle_line(&line)))
-            .unwrap_or_else(|_| warlock::service::ServiceReply {
-                line: format!(
-                    r#"{{"v":{},"id":null,"ok":false,"error":{{"kind":"internal","message":"request handler panicked"}}}}"#,
-                    warlock::service::PROTOCOL_VERSION
-                ),
-                shutdown: false,
-            });
         if writeln!(output, "{}", reply.line)
             .and_then(|_| output.flush())
             .is_err()
@@ -136,10 +270,21 @@ fn serve<R: BufRead, W: Write>(service: &Service, input: R, mut output: W) -> bo
             return true;
         }
     }
-    false
 }
 
-fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> ExitCode {
+/// The TCP accept loop for the line protocol. Exits deterministically
+/// once `shutdown` trips — a shutdown request from any connection (or
+/// any other transport) wakes the loop via self-connect instead of
+/// leaving it blocked in `accept`.
+fn serve_tcp(
+    service: &Arc<Service>,
+    listener: TcpListener,
+    max_request_bytes: usize,
+    shutdown: &Arc<ShutdownSignal>,
+) {
+    if let Ok(addr) = listener.local_addr() {
+        shutdown.register(addr);
+    }
     eprintln!(
         "warlockd: listening on {}",
         listener
@@ -148,29 +293,24 @@ fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> ExitCode {
             .unwrap_or_else(|_| "<unknown>".into())
     );
     for stream in listener.incoming() {
+        if shutdown.is_stopped() {
+            break;
+        }
         let Ok(stream) = stream else { continue };
-        let service = Arc::clone(&service);
+        let service = Arc::clone(service);
+        let shutdown = Arc::clone(shutdown);
         std::thread::spawn(move || {
             let reader = match stream.try_clone() {
                 Ok(s) => BufReader::new(s),
                 Err(_) => return,
             };
-            if handle_tcp_connection(&service, reader, stream) {
-                // A clean shutdown request: the response is flushed,
-                // stop the whole process.
-                std::process::exit(0);
+            if serve(&service, reader, stream, max_request_bytes) {
+                // A clean shutdown request: the response is flushed;
+                // stop every transport and let main exit 0.
+                shutdown.trigger();
             }
         });
     }
-    ExitCode::SUCCESS
-}
-
-fn handle_tcp_connection(
-    service: &Service,
-    reader: BufReader<TcpStream>,
-    stream: TcpStream,
-) -> bool {
-    serve(service, reader, stream)
 }
 
 fn main() -> ExitCode {
@@ -181,47 +321,101 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut session = match Warlock::from_config_path(&options.config_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("warlockd: {e}");
-            return ExitCode::FAILURE;
+    let default = options
+        .default_warehouse
+        .clone()
+        .unwrap_or_else(|| options.warehouses[0].0.clone());
+    let registry = Arc::new(Registry::new(default));
+    for (name, path) in &options.warehouses {
+        let mut session = match Warlock::from_config_path(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("warlockd: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if options.parallelism.is_some()
+            || options.max_candidates.is_some()
+            || options.chunk_size.is_some()
+        {
+            let mut config = session.config().clone();
+            if let Some(workers) = options.parallelism {
+                config.parallelism = workers;
+            }
+            if let Some(budget) = options.max_candidates {
+                config.max_candidates = budget;
+            }
+            if let Some(chunk) = options.chunk_size {
+                config.chunk_size = chunk;
+            }
+            if let Err(e) = session.set_config(config) {
+                eprintln!("warlockd: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
-    if options.parallelism.is_some()
-        || options.max_candidates.is_some()
-        || options.chunk_size.is_some()
-    {
-        let mut config = session.config().clone();
-        if let Some(workers) = options.parallelism {
-            config.parallelism = workers;
-        }
-        if let Some(budget) = options.max_candidates {
-            config.max_candidates = budget;
-        }
-        if let Some(chunk) = options.chunk_size {
-            config.chunk_size = chunk;
-        }
-        if let Err(e) = session.set_config(config) {
+        if let Err(e) = registry.insert(name.clone(), Some(path.clone()), session) {
             eprintln!("warlockd: {e}");
             return ExitCode::FAILURE;
         }
     }
-    let service = Arc::new(Service::new(session));
+    let service = Arc::new(Service::with_registry(registry));
 
-    if options.stdio || options.listen.is_none() {
+    if options.stdio || (options.listen.is_none() && options.http.is_none()) {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
-        serve(&service, stdin.lock(), stdout.lock());
+        serve(
+            &service,
+            stdin.lock(),
+            stdout.lock(),
+            options.max_request_bytes,
+        );
         return ExitCode::SUCCESS;
     }
 
-    let addr = options.listen.expect("checked above");
-    match TcpListener::bind(&addr) {
-        Ok(listener) => serve_tcp(service, listener),
+    // Bind every requested transport before serving on any, so address
+    // conflicts fail the whole startup instead of half of it.
+    let bind = |addr: &str| match TcpListener::bind(addr) {
+        Ok(listener) => Ok(listener),
         Err(e) => {
             eprintln!("warlockd: cannot listen on {addr}: {e}");
-            ExitCode::FAILURE
+            Err(ExitCode::FAILURE)
+        }
+    };
+    let tcp = match options.listen.as_deref().map(bind).transpose() {
+        Ok(l) => l,
+        Err(code) => return code,
+    };
+    let http = match options.http.as_deref().map(bind).transpose() {
+        Ok(l) => l,
+        Err(code) => return code,
+    };
+
+    let shutdown = Arc::new(ShutdownSignal::new());
+    let mut http_thread = None;
+    if let Some(listener) = http {
+        eprintln!(
+            "warlockd: http on {}",
+            listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<unknown>".into())
+        );
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        let max = options.max_request_bytes;
+        if tcp.is_some() {
+            http_thread = Some(std::thread::spawn(move || {
+                serve_http(service, listener, max, shutdown)
+            }));
+        } else {
+            serve_http(service, listener, max, shutdown);
         }
     }
+    if let Some(listener) = tcp {
+        serve_tcp(&service, listener, options.max_request_bytes, &shutdown);
+    }
+    if let Some(thread) = http_thread {
+        let _ = thread.join();
+    }
+    ExitCode::SUCCESS
 }

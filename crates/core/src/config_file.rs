@@ -709,6 +709,23 @@ pub fn render_config(parsed: &ParsedConfig) -> String {
     out
 }
 
+/// Reads and parses a configuration file on disk.
+///
+/// Every failure — unreadable file or parse error — is wrapped in
+/// [`WarlockError::AtPath`](crate::WarlockError::AtPath) so the message
+/// names the offending file. This is the shared read path of
+/// [`Warlock::from_config_path`](crate::Warlock::from_config_path) and
+/// the registry's hot-reload.
+pub fn parse_config_path(
+    path: impl AsRef<std::path::Path>,
+) -> Result<ParsedConfig, crate::WarlockError> {
+    let path = path.as_ref();
+    let wrap = |e: crate::WarlockError| e.at_path(path.display().to_string());
+    let input =
+        std::fs::read_to_string(path).map_err(|e| wrap(crate::WarlockError::Io(e.to_string())))?;
+    parse_config(&input).map_err(|e| wrap(e.into()))
+}
+
 /// Builds the APB-1-like demonstration configuration as a [`ParsedConfig`]
 /// — the CLI's `init` template.
 pub fn demo_config() -> ParsedConfig {
@@ -909,6 +926,23 @@ top_n = 5
         let fixed = SAMPLE.replace("processors = 8", "processors = 8\nprefetch = 32");
         let parsed = parse_config(&fixed).unwrap();
         assert_eq!(parsed.system.fact_prefetch, PrefetchPolicy::Fixed(32));
+    }
+
+    #[test]
+    fn parse_config_path_names_the_file() {
+        let e = parse_config_path("/definitely/not/a/file.cfg").unwrap_err();
+        assert_eq!(e.kind(), "io");
+        assert!(e.to_string().contains("/definitely/not/a/file.cfg"));
+
+        let path = std::env::temp_dir().join(format!("warlock-cfgpath-{}.cfg", std::process::id()));
+        std::fs::write(&path, SAMPLE).unwrap();
+        let parsed = parse_config_path(&path).unwrap();
+        assert_eq!(parsed.system.num_disks, 8);
+        std::fs::write(&path, "[dimension broken\n").unwrap();
+        let e = parse_config_path(&path).unwrap_err();
+        assert_eq!(e.kind(), "config_file");
+        assert!(e.to_string().contains(&path.display().to_string()));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -63,6 +63,25 @@ pub enum WarlockError {
         /// The offending class name.
         name: String,
     },
+    /// A request named a warehouse the registry does not hold.
+    UnknownWarehouse {
+        /// The offending warehouse name.
+        name: String,
+    },
+    /// A warehouse with the same name is already loaded.
+    DuplicateWarehouse {
+        /// The offending warehouse name.
+        name: String,
+    },
+    /// A hot-reload of a warehouse's configuration file failed; the
+    /// warehouse keeps serving its previous snapshot.
+    ReloadFailed {
+        /// The warehouse whose reload failed.
+        name: String,
+        /// What actually went wrong (unreadable file, parse error,
+        /// validation error, or no file associated with the warehouse).
+        source: Box<WarlockError>,
+    },
     /// An I/O error, e.g. while reading a configuration file.
     Io(String),
     /// An error raised while loading a specific file, with the offending
@@ -113,6 +132,19 @@ impl fmt::Display for WarlockError {
                     "query class `{name}` is not in the mix (or is its only class)"
                 )
             }
+            Self::UnknownWarehouse { name } => {
+                write!(f, "no warehouse named `{name}` is loaded")
+            }
+            Self::DuplicateWarehouse { name } => {
+                write!(f, "a warehouse named `{name}` is already loaded")
+            }
+            Self::ReloadFailed { name, source } => {
+                write!(
+                    f,
+                    "reload of warehouse `{name}` failed (still serving the previous \
+                     configuration): {source}"
+                )
+            }
             Self::Io(msg) => write!(f, "io: {msg}"),
             Self::AtPath { path, source } => write!(f, "{path}: {source}"),
             Self::Internal { what } => {
@@ -125,7 +157,7 @@ impl fmt::Display for WarlockError {
 impl std::error::Error for WarlockError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Self::AtPath { source, .. } => Some(source),
+            Self::AtPath { source, .. } | Self::ReloadFailed { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -199,6 +231,9 @@ impl WarlockError {
             Self::CandidateBudget { .. } => "candidate_budget",
             Self::RankOutOfRange { .. } => "rank_out_of_range",
             Self::UnknownClass { .. } => "unknown_class",
+            Self::UnknownWarehouse { .. } => "unknown_warehouse",
+            Self::DuplicateWarehouse { .. } => "duplicate_warehouse",
+            Self::ReloadFailed { .. } => "reload_failed",
             Self::Io(_) => "io",
             Self::AtPath { source, .. } => source.kind(),
             Self::Internal { .. } => "internal",
@@ -259,5 +294,26 @@ mod tests {
             "unknown_class"
         );
         assert_eq!(WarlockError::internal("x").kind(), "internal");
+        assert_eq!(
+            WarlockError::UnknownWarehouse { name: "w".into() }.kind(),
+            "unknown_warehouse"
+        );
+        assert_eq!(
+            WarlockError::DuplicateWarehouse { name: "w".into() }.kind(),
+            "duplicate_warehouse"
+        );
+    }
+
+    #[test]
+    fn reload_failed_names_warehouse_and_carries_the_cause() {
+        let e = WarlockError::ReloadFailed {
+            name: "eu".into(),
+            source: Box::new(WarlockError::Io("no such file".into())),
+        };
+        assert_eq!(e.kind(), "reload_failed");
+        assert!(e.to_string().contains("`eu`"));
+        assert!(e.to_string().contains("no such file"));
+        assert!(e.to_string().contains("previous configuration"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -61,9 +61,12 @@
 //! [`Warlock`] is `Clone`: clones share an immutable, `Arc`-backed
 //! [`session::Snapshot`] plus the evaluation cache and the persistent
 //! worker pool, while mutators (`set_system`/`set_mix`/`set_config`)
-//! are copy-on-write snapshot swaps — see [`session`]. The [`service`]
-//! module (and the `warlockd` binary) serve that model over a
-//! newline-delimited JSON protocol.
+//! are copy-on-write snapshot swaps — see [`session`]. The [`registry`]
+//! module holds any number of **named** sessions (load/unload/
+//! hot-reload), and the [`service`] module (with the `warlockd` binary)
+//! dispatches a versioned JSON protocol over it — newline-delimited
+//! lines on stdio/TCP, or `POST /v2/<op>` via the std-only [`http`]
+//! transport.
 //!
 //! The heavy lifting lives in the substrate crates re-exported below;
 //! this crate contributes the session facade ([`Warlock`]), the advisor
@@ -83,8 +86,10 @@ pub mod config;
 pub mod config_file;
 mod engine;
 pub mod error;
+pub mod http;
 pub mod prelude;
 pub mod ranking;
+pub mod registry;
 pub mod report;
 pub mod serial;
 pub mod service;
@@ -99,9 +104,11 @@ pub use analysis::{ClassAnalysis, FragmentationAnalysis};
 pub use cache::EvalCacheStats;
 pub use config::AdvisorConfig;
 pub use error::WarlockError;
+pub use http::ShutdownSignal;
 pub use ranking::{twofold_rank, StreamingRank};
+pub use registry::{Registry, Warehouse, WarehouseStats};
 pub use serial::SessionReport;
-pub use service::{Service, ServiceReply, PROTOCOL_VERSION};
+pub use service::{Service, ServiceReply, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use session::{Snapshot, Warlock, WarlockBuilder};
 pub use tuning::{TuningDelta, TuningSession};
 

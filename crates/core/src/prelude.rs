@@ -6,6 +6,7 @@
 
 pub use crate::config::AdvisorConfig;
 pub use crate::error::WarlockError;
+pub use crate::registry::{Registry, Warehouse, WarehouseStats};
 pub use crate::serial::SessionReport;
 pub use crate::service::Service;
 pub use crate::session::{Snapshot, Warlock, WarlockBuilder};

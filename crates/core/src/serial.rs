@@ -672,6 +672,96 @@ impl ToJson for TuningDelta {
     }
 }
 
+/// Serializes a `u128` counter: an exact `Int` when it fits `i64`,
+/// otherwise an approximate `Num` (astronomical candidate spaces lose
+/// precision on the wire but never wrap). Shared by the service layer.
+pub(crate) fn u128_json(value: u128) -> Json {
+    match i64::try_from(value) {
+        Ok(exact) => Json::Int(exact),
+        Err(_) => Json::Num(value as f64),
+    }
+}
+
+impl ToJson for crate::cache::EvalCacheStats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("entries", self.entries.to_json()),
+            ("hits", self.hits.to_json()),
+            ("misses", self.misses.to_json()),
+        ])
+    }
+}
+
+impl FromJson for crate::cache::EvalCacheStats {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            entries: usize_field(value, "entries")?,
+            hits: u64_field(value, "hits")?,
+            misses: u64_field(value, "misses")?,
+        })
+    }
+}
+
+impl ToJson for crate::registry::WarehouseStats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", self.name.to_json()),
+            (
+                "path",
+                match &self.path {
+                    Some(p) => p.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            ("space_size", u128_json(self.space_size)),
+            (
+                "enumerated",
+                match self.enumerated {
+                    Some(n) => n.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            ("cache_stats", self.cache.to_json()),
+        ])
+    }
+}
+
+impl FromJson for crate::registry::WarehouseStats {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let space = value.req("space_size")?;
+        let space_size = match space.as_u64() {
+            Some(exact) => u128::from(exact),
+            // Astronomical spaces arrive as an approximate float.
+            None => space
+                .as_f64()
+                .filter(|n| *n >= 0.0)
+                .map(|n| n as u128)
+                .ok_or_else(|| JsonError::shape("`space_size` is not a non-negative number"))?,
+        };
+        Ok(Self {
+            name: str_field(value, "name")?,
+            path: match value.req("path")? {
+                Json::Null => None,
+                p => Some(
+                    p.as_str()
+                        .ok_or_else(|| JsonError::shape("`path` is not a string"))?
+                        .to_owned(),
+                ),
+            },
+            space_size,
+            enumerated: match value.req("enumerated")? {
+                Json::Null => None,
+                n => {
+                    Some(n.as_u64().ok_or_else(|| {
+                        JsonError::shape("`enumerated` is not an unsigned integer")
+                    })?)
+                }
+            },
+            cache: crate::cache::EvalCacheStats::from_json(value.req("cache_stats")?)?,
+        })
+    }
+}
+
 /// The complete machine-readable advisory: ranking plus the detailed
 /// analysis and allocation plan of the winner. This is what
 /// `warlock <cfg> json` emits.
@@ -849,6 +939,46 @@ mod tests {
         assert!(SessionReport::from_json_str("not json").is_err());
         let wrong_type = r#"{"enumerated":"x","evaluated":0,"ranking":[],"excluded":[],"analysis":null,"allocation":null}"#;
         assert!(SessionReport::from_json_str(wrong_type).is_err());
+    }
+
+    #[test]
+    fn warehouse_stats_round_trip_through_json() {
+        let stats = crate::registry::WarehouseStats {
+            name: "eu".into(),
+            path: Some("/etc/warlock/eu.cfg".into()),
+            space_size: 168,
+            enumerated: Some(168),
+            cache: crate::cache::EvalCacheStats {
+                entries: 65,
+                hits: 10,
+                misses: 65,
+            },
+        };
+        let back = crate::registry::WarehouseStats::from_json(
+            &warlock_json::parse(&stats.to_json().render()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, stats);
+
+        // Cold, pathless warehouses serialize nulls and round-trip too.
+        let cold = crate::registry::WarehouseStats {
+            name: "adhoc".into(),
+            path: None,
+            space_size: u128::MAX,
+            enumerated: None,
+            cache: Default::default(),
+        };
+        let json = cold.to_json();
+        assert!(json.get("path").unwrap().is_null());
+        assert!(json.get("enumerated").unwrap().is_null());
+        let back = crate::registry::WarehouseStats::from_json(
+            &warlock_json::parse(&json.render()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back.name, cold.name);
+        assert_eq!(back.enumerated, None);
+        // Astronomical spaces survive approximately, never wrap.
+        assert!(back.space_size > u128::MAX / 2);
     }
 
     #[test]

@@ -1,75 +1,147 @@
 //! The `warlockd` service layer: a versioned, newline-delimited JSON
-//! request protocol over one shared advisory session.
+//! request protocol dispatched over a registry of named warehouses.
 //!
 //! The paper frames WARLOCK as an interactive tool — an analyst loads
 //! one warehouse description and explores many what-if variations
 //! against it. [`Service`] serves that interaction pattern at service
-//! scale: it owns a single [`Warlock`] session and answers requests
-//! from any number of concurrent connections. Read requests clone the
-//! session handle (cheap — clones share the immutable snapshot, the
-//! evaluation cache and the worker pool) and evaluate **without holding
-//! any lock**, so concurrent what-ifs run truly in parallel and a
-//! variation priced for one client is warm for every other.
-//! [`set_mix`](self#set_mix) swaps the shared session to a new snapshot
-//! under a brief write lock; in-flight readers keep their old snapshot.
+//! scale for **many warehouses at once**: it is a thin dispatcher over a
+//! [`Registry`] of named [`Warlock`] sessions. Read requests resolve
+//! their warehouse, clone its session handle (cheap — clones share the
+//! immutable snapshot, the evaluation cache and the worker pool) and
+//! evaluate **without holding any lock**, so concurrent what-ifs run
+//! truly in parallel and a variation priced for one client is warm for
+//! every other. Mutating ops (`set_mix`, `set_budget`, `reload`) swap
+//! one warehouse's session to a new snapshot under a brief write lock;
+//! in-flight readers finish on the old snapshot, and sibling warehouses
+//! are never disturbed.
 //!
-//! ## Protocol
+//! ## Protocol v2
 //!
-//! One JSON object per line in, one per line out (stdio or TCP — see
-//! the `warlockd` binary):
+//! One JSON object per line in, one per line out (stdio, TCP, or the
+//! HTTP transport in [`crate::http`] — see the `warlockd` binary):
 //!
 //! ```text
-//! → {"v":1, "id":7, "op":"rank"}
-//! ← {"v":1, "id":7, "ok":true, "result":{"enumerated":168, "ranking":[…], …}}
-//! → {"v":1, "id":8, "op":"what_if_disks", "params":{"disks":64}}
-//! ← {"v":1, "id":8, "ok":true, "result":{"delta":{…}, "report":{…}}}
-//! → {"v":1, "id":9, "op":"nope"}
-//! ← {"v":1, "id":9, "ok":false, "error":{"kind":"unknown_op", "message":"…"}}
+//! → {"v":2, "id":7, "op":"rank", "warehouse":"eu"}
+//! ← {"v":2, "id":7, "ok":true, "result":{"enumerated":168, "ranking":[…], …}}
+//! → {"v":2, "id":8, "op":"what_if_disks", "params":{"disks":64}}
+//! ← {"v":2, "id":8, "ok":true, "result":{"delta":{…}, "report":{…}}}
+//! → {"v":2, "id":9, "op":"rank", "warehouse":"mars"}
+//! ← {"v":2, "id":9, "ok":false, "error":{"kind":"unknown_warehouse", "message":"…"}}
 //! ```
 //!
-//! `v` defaults to [`PROTOCOL_VERSION`] when omitted; any other value
-//! is rejected with `unsupported_version` so clients fail loudly when
-//! the protocol evolves. `id` is echoed verbatim (any JSON value,
-//! default `null`). Operations: `rank`, `analyze`, `allocate`,
-//! `evaluate`, `what_if_disks`, `what_if_prefetch`,
-//! `what_if_without_bitmap_dimension`, `what_if_without_class`,
-//! `set_mix`, `set_budget`, `cache_stats`, `ping`, `shutdown`.
+//! Every op accepts an optional top-level `"warehouse"` routing field;
+//! when omitted the request resolves to the registry's **default**
+//! warehouse. v2 adds the registry ops `load` (`params.name`/`path`),
+//! `unload` (`params.name`), `reload` (`params.name`, default: the
+//! routed/default warehouse — atomic copy-on-write re-read of the
+//! warehouse's configuration file) and `list_warehouses`.
 //!
-//! `ping` doubles as a health probe: besides `protocol` it reports the
-//! exact `space_size` of the current candidate space (from the lazy
-//! source's predictor — no enumeration happens), `enumerated` from the
-//! cached baseline ranking (`null` until one was computed), and the
-//! shared `cache_stats` — so operators see session health without
-//! paying for a rank round-trip. `set_budget` adjusts the streaming
-//! knobs (`max_candidates`, `chunk_size`) of the shared session.
+//! ## v1 compatibility
+//!
+//! `v` defaults to [`PROTOCOL_VERSION`] when omitted; `{"v":1}` requests
+//! are served through an explicit compat shim: they speak the exact PR-3
+//! op set, always resolve to the default warehouse, get `"v":1`
+//! responses, and are rejected with `bad_request` if they try to route
+//! (`warehouse` is a v2 field) — and with `unknown_op` for the v2
+//! registry ops, exactly as a v1 server would have answered. Any other
+//! version is rejected with `unsupported_version` so clients fail loudly
+//! when the protocol evolves. `id` is echoed verbatim (any JSON value,
+//! default `null`).
+//!
+//! Operations: `rank`, `analyze`, `allocate`, `evaluate`,
+//! `what_if_disks`, `what_if_prefetch`,
+//! `what_if_without_bitmap_dimension`, `what_if_without_class`,
+//! `set_mix`, `set_budget`, `cache_stats`, `ping`, `shutdown`, plus (v2)
+//! `load`, `unload`, `reload`, `list_warehouses`.
+//!
+//! `ping` doubles as a per-warehouse health probe: besides `protocol`
+//! and the resolved `warehouse` name it reports the exact `space_size`
+//! of the current candidate space (from the lazy source's predictor —
+//! no enumeration happens), `enumerated` from the cached baseline
+//! ranking (`null` until one was computed), and the warehouse's
+//! `cache_stats`. `list_warehouses` reports the same counters for every
+//! loaded warehouse. `set_budget` adjusts the streaming knobs
+//! (`max_candidates`, `chunk_size`) of the routed warehouse.
 
-use std::sync::RwLock;
+use std::sync::Arc;
 
 use warlock_json::{Json, ToJson};
 use warlock_workload::QueryMix;
 
 use crate::error::WarlockError;
-use crate::serial::FragmentationAttr;
+use crate::registry::{Registry, Warehouse};
+use crate::serial::{u128_json, FragmentationAttr};
 use crate::session::Warlock;
 
-/// The wire protocol version `warlockd` speaks.
-pub const PROTOCOL_VERSION: i64 = 1;
+/// The current wire protocol version `warlockd` speaks.
+pub const PROTOCOL_VERSION: i64 = 2;
+
+/// The oldest protocol version still served (via the compat shim).
+pub const MIN_PROTOCOL_VERSION: i64 = 1;
 
 /// A request outcome the server loop acts on: the response line to
-/// write, and whether the client asked the service to stop.
+/// write, whether the client asked the service to stop, and the error
+/// kind (for transports that map kinds to status codes).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceReply {
     /// The serialized JSON response (no trailing newline).
     pub line: String,
     /// `true` after a `shutdown` request was acknowledged.
     pub shutdown: bool,
+    /// The error kind of a failed request (`None` on success), so
+    /// transports like HTTP can pick a status code without re-parsing
+    /// the response.
+    pub error_kind: Option<&'static str>,
 }
 
-/// A long-lived advisory service over one shared [`Warlock`] session.
-/// See the [module docs](self).
+impl ServiceReply {
+    /// A standalone error reply outside any request dispatch — used by
+    /// server loops for failures the service never saw (oversized
+    /// requests, panicking handlers). The envelope speaks the current
+    /// protocol version; use
+    /// [`error_for_version`](ServiceReply::error_for_version) when the
+    /// failing request's version is known.
+    pub fn error(kind: &'static str, message: &str) -> Self {
+        Self::error_for_version(PROTOCOL_VERSION, kind, message)
+    }
+
+    /// Like [`error`](ServiceReply::error), with an explicit envelope
+    /// version — so v1 clients get `"v":1` even on panic-path replies.
+    pub fn error_for_version(version: i64, kind: &'static str, message: &str) -> Self {
+        let line = Json::object([
+            ("v", Json::Int(version)),
+            ("id", Json::Null),
+            ("ok", Json::Bool(false)),
+            (
+                "error",
+                Json::object([("kind", kind.to_json()), ("message", message.to_json())]),
+            ),
+        ])
+        .render();
+        Self {
+            line,
+            shutdown: false,
+            error_kind: Some(kind),
+        }
+    }
+
+    /// The version a raw request line claims to speak, for shaping
+    /// replies the service itself never produced (panic fallbacks).
+    /// Unparseable lines report the current version.
+    pub fn request_version(line: &str) -> i64 {
+        warlock_json::parse(line)
+            .ok()
+            .and_then(|r| r.get("v").and_then(Json::as_i64))
+            .filter(|v| (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(v))
+            .unwrap_or(PROTOCOL_VERSION)
+    }
+}
+
+/// A long-lived advisory service dispatching over a [`Registry`] of
+/// named warehouses. See the [module docs](self).
 #[derive(Debug)]
 pub struct Service {
-    session: RwLock<Warlock>,
+    registry: Arc<Registry>,
 }
 
 /// A protocol-level failure (malformed request, unknown op), distinct
@@ -142,22 +214,25 @@ fn rank_param(params: &Json) -> Result<usize, ReplyError> {
     }
 }
 
-/// Serializes a `u128` counter: an exact `Int` when it fits `i64`,
-/// otherwise an approximate `Num` (astronomical spaces lose precision
-/// on the wire but never wrap).
-fn u128_json(value: u128) -> Json {
-    match i64::try_from(value) {
-        Ok(exact) => Json::Int(exact),
-        Err(_) => Json::Num(value as f64),
+/// The ping result, shaped for the negotiated version: v1 clients get
+/// the exact PR-3 shape (`protocol: 1`, no `warehouse` field) so probes
+/// written against the old server keep passing.
+fn warehouse_ping(version: i64, warehouse: &Warehouse) -> Json {
+    let session = warehouse.session();
+    let enumerated = match session.ranking() {
+        Some(report) => report.enumerated.to_json(),
+        None => Json::Null,
+    };
+    let mut fields = vec![("protocol", Json::Int(version))];
+    if version >= 2 {
+        fields.push(("warehouse", warehouse.name().to_json()));
     }
-}
-
-fn cache_stats_json(stats: &crate::cache::EvalCacheStats) -> Json {
-    Json::object([
-        ("entries", stats.entries.to_json()),
-        ("hits", stats.hits.to_json()),
-        ("misses", stats.misses.to_json()),
-    ])
+    fields.extend([
+        ("space_size", u128_json(session.candidate_space_size())),
+        ("enumerated", enumerated),
+        ("cache_stats", session.cache_stats().to_json()),
+    ]);
+    Json::object(fields)
 }
 
 fn cost_json(cost: &warlock_cost::CandidateCost, label: String) -> Json {
@@ -172,35 +247,31 @@ fn cost_json(cost: &warlock_cost::CandidateCost, label: String) -> Json {
 }
 
 impl Service {
-    /// Wraps a session for concurrent service use.
+    /// Wraps a single programmatic session for service use: a registry
+    /// holding it under the name `"default"`, which is also the default
+    /// route.
     pub fn new(session: Warlock) -> Self {
-        Self {
-            session: RwLock::new(session),
-        }
+        Self::with_registry(Arc::new(Registry::single("default", session)))
     }
 
-    /// A clone of the shared session: snapshot, cache and pool are
-    /// shared with it, so work done on the clone warms the service.
-    ///
-    /// Lock poisoning is deliberately ignored: writers only assign an
-    /// already-validated session at the very end of their critical
-    /// section, so a panic under the lock cannot leave a torn value —
-    /// and a long-lived server must keep answering after one bad
-    /// request.
-    pub fn session(&self) -> Warlock {
-        self.session
-            .read()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .clone()
+    /// A dispatcher over an existing (possibly shared) registry.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Self { registry }
+    }
+
+    /// The warehouse registry this service dispatches over.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Handles one request line, returning the response line. Never
     /// panics on malformed input — every failure is a JSON error
     /// response.
     pub fn handle_line(&self, line: &str) -> ServiceReply {
-        let parsed = warlock_json::parse(line);
-        let (id, outcome, shutdown) = match parsed {
-            Err(e) => (
+        match warlock_json::parse(line) {
+            Ok(request) => self.handle_request(&request),
+            Err(e) => self.reply(
+                PROTOCOL_VERSION,
                 Json::Null,
                 Err(bad(
                     "bad_request",
@@ -208,96 +279,160 @@ impl Service {
                 )),
                 false,
             ),
-            Ok(request) => {
-                let id = request.get("id").cloned().unwrap_or(Json::Null);
-                match self.check_version(&request) {
-                    Err(e) => (id, Err(e), false),
-                    Ok(()) => {
-                        let op = request.get("op").and_then(Json::as_str).unwrap_or("");
-                        let outcome = self.dispatch(&request);
-                        // Only a well-formed, successful shutdown stops
-                        // the server.
-                        let shutdown = op == "shutdown" && outcome.is_ok();
-                        (id, outcome, shutdown)
-                    }
-                }
+        }
+    }
+
+    /// Handles one already-parsed request object — the shared dispatch
+    /// path of the line protocol and the HTTP transport.
+    pub fn handle_request(&self, request: &Json) -> ServiceReply {
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        match self.negotiate_version(request) {
+            Err(e) => self.reply(PROTOCOL_VERSION, id, Err(e), false),
+            Ok(version) => {
+                let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+                let outcome = self.dispatch(version, request);
+                // Only a well-formed, successful shutdown stops the
+                // server.
+                let shutdown = op == "shutdown" && outcome.is_ok();
+                self.reply(version, id, outcome, shutdown)
             }
-        };
-        let line = match outcome {
-            Ok(result) => Json::object([
-                ("v", Json::Int(PROTOCOL_VERSION)),
-                ("id", id),
-                ("ok", Json::Bool(true)),
-                ("result", result),
-            ]),
+        }
+    }
+
+    fn reply(&self, version: i64, id: Json, outcome: OpResult, shutdown: bool) -> ServiceReply {
+        let (line, error_kind) = match outcome {
+            Ok(result) => (
+                Json::object([
+                    ("v", Json::Int(version)),
+                    ("id", id),
+                    ("ok", Json::Bool(true)),
+                    ("result", result),
+                ]),
+                None,
+            ),
             Err(e) => {
                 let (kind, message) = e.kind_and_message();
-                Json::object([
-                    ("v", Json::Int(PROTOCOL_VERSION)),
-                    ("id", id),
-                    ("ok", Json::Bool(false)),
-                    (
-                        "error",
-                        Json::object([("kind", kind.to_json()), ("message", message.to_json())]),
-                    ),
-                ])
+                (
+                    Json::object([
+                        ("v", Json::Int(version)),
+                        ("id", id),
+                        ("ok", Json::Bool(false)),
+                        (
+                            "error",
+                            Json::object([
+                                ("kind", kind.to_json()),
+                                ("message", message.to_json()),
+                            ]),
+                        ),
+                    ]),
+                    Some(kind),
+                )
             }
+        };
+        ServiceReply {
+            line: line.render(),
+            shutdown,
+            error_kind,
         }
-        .render();
-        ServiceReply { line, shutdown }
     }
 
-    fn check_version(&self, request: &Json) -> Result<(), ReplyError> {
+    /// The protocol version this request speaks: absent → the current
+    /// version; 1 → the compat shim; anything else → rejected.
+    fn negotiate_version(&self, request: &Json) -> Result<i64, ReplyError> {
         match request.get("v") {
-            None => Ok(()),
-            Some(v) if v.as_i64() == Some(PROTOCOL_VERSION) => Ok(()),
-            Some(v) => Err(bad(
-                "unsupported_version",
-                format!(
-                    "protocol version {} is not supported (speak v{PROTOCOL_VERSION})",
-                    v.render()
-                ),
-            )),
+            None => Ok(PROTOCOL_VERSION),
+            Some(v) => match v.as_i64() {
+                Some(n) if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&n) => Ok(n),
+                _ => Err(bad(
+                    "unsupported_version",
+                    format!(
+                        "protocol version {} is not supported \
+                         (speak v{MIN_PROTOCOL_VERSION}..=v{PROTOCOL_VERSION})",
+                        v.render()
+                    ),
+                )),
+            },
         }
     }
 
-    fn dispatch(&self, request: &Json) -> OpResult {
+    fn dispatch(&self, version: i64, request: &Json) -> OpResult {
         let op = request
             .get("op")
             .and_then(Json::as_str)
             .ok_or_else(|| bad("bad_request", "`op` must be a string"))?;
         let params = request.get("params").cloned().unwrap_or(Json::Null);
+        let route = match request.get("warehouse") {
+            None => None,
+            Some(Json::Str(name)) if version >= 2 => Some(name.as_str()),
+            Some(Json::Str(_)) => {
+                return Err(bad(
+                    "bad_request",
+                    "`warehouse` routing requires protocol v2 (this request speaks v1)",
+                ))
+            }
+            Some(_) => return Err(bad("bad_request", "`warehouse` must be a string")),
+        };
+        // The v2 registry ops. In a v1 request they fall through to the
+        // `unknown_op` arm below — exactly what a v1 server answered.
+        if version >= 2 {
+            match op {
+                "load" => {
+                    let name = str_param(&params, "name")?;
+                    let path = str_param(&params, "path")?;
+                    self.registry.load(name, path)?;
+                    return Ok(self.registry.stats(name)?.to_json());
+                }
+                "unload" => {
+                    let name = str_param(&params, "name")?;
+                    self.registry.unload(name)?;
+                    return Ok(Json::object([("unloaded", name.to_json())]));
+                }
+                "reload" => {
+                    // An explicit `params.name` wins; otherwise the
+                    // routed (or default) warehouse is reloaded.
+                    let name = match params.get("name") {
+                        None => self.registry.resolve(route).map(|w| w.name().to_owned())?,
+                        Some(v) => v
+                            .as_str()
+                            .ok_or_else(|| bad("bad_request", "`params.name` must be a string"))?
+                            .to_owned(),
+                    };
+                    self.registry.reload(&name)?;
+                    return Ok(self.registry.stats(&name)?.to_json());
+                }
+                "list_warehouses" => {
+                    let warehouses: Vec<Json> =
+                        self.registry.list().iter().map(ToJson::to_json).collect();
+                    return Ok(Json::object([
+                        ("default", self.registry.default_name().to_json()),
+                        ("warehouses", warehouses.to_json()),
+                    ]));
+                }
+                _ => {}
+            }
+        }
         match op {
             "ping" => {
                 // A health probe must stay cheap: the space size comes
                 // from the source's exact predictor (no enumeration),
                 // and `enumerated` only reflects an already-cached
                 // baseline ranking — never triggers one.
-                let session = self.session();
-                let enumerated = match session.ranking() {
-                    Some(report) => report.enumerated.to_json(),
-                    None => Json::Null,
-                };
-                Ok(Json::object([
-                    ("protocol", Json::Int(PROTOCOL_VERSION)),
-                    ("space_size", u128_json(session.candidate_space_size())),
-                    ("enumerated", enumerated),
-                    ("cache_stats", cache_stats_json(&session.cache_stats())),
-                ]))
+                let warehouse = self.registry.resolve(route)?;
+                Ok(warehouse_ping(version, &warehouse))
             }
             "shutdown" => Ok(Json::object([("stopping", Json::Bool(true))])),
             "rank" => {
-                let session = self.session();
+                let session = self.registry.resolve(route)?.session();
                 Ok(session.rank()?.to_json())
             }
             "analyze" => {
                 let rank = rank_param(&params)?;
-                let session = self.session();
+                let session = self.registry.resolve(route)?.session();
                 Ok(session.analyze(rank)?.to_json())
             }
             "allocate" => {
                 let rank = rank_param(&params)?;
-                let session = self.session();
+                let session = self.registry.resolve(route)?.session();
                 Ok(session.plan_allocation(rank)?.to_json())
             }
             "evaluate" => {
@@ -311,14 +446,14 @@ impl Service {
                     .collect::<Result<_, _>>()
                     .map_err(WarlockError::Json)?;
                 let fragmentation = FragmentationAttr::to_fragmentation(&attrs)?;
-                let session = self.session();
+                let session = self.registry.resolve(route)?.session();
                 let cost = session.evaluate(&fragmentation)?;
                 Ok(cost_json(&cost, fragmentation.label(session.schema())))
             }
             "what_if_disks" => {
                 let disks = u32::try_from(u64_param(&params, "disks")?)
                     .map_err(|_| bad("bad_request", "`params.disks` out of range"))?;
-                let session = self.session();
+                let session = self.registry.resolve(route)?.session();
                 let (report, delta) = session.what_if_disks(disks)?;
                 Ok(Json::object([
                     ("delta", delta.to_json()),
@@ -328,7 +463,7 @@ impl Service {
             "what_if_prefetch" => {
                 let pages = u32::try_from(u64_param(&params, "pages")?)
                     .map_err(|_| bad("bad_request", "`params.pages` out of range"))?;
-                let session = self.session();
+                let session = self.registry.resolve(route)?.session();
                 let (report, delta) = session.what_if_fixed_prefetch(pages)?;
                 Ok(Json::object([
                     ("delta", delta.to_json()),
@@ -338,7 +473,7 @@ impl Service {
             "what_if_without_bitmap_dimension" => {
                 let dimension = u16::try_from(u64_param(&params, "dimension")?)
                     .map_err(|_| bad("bad_request", "`params.dimension` out of range"))?;
-                let session = self.session();
+                let session = self.registry.resolve(route)?.session();
                 let (report, delta) = session
                     .what_if_without_bitmap_dimension(warlock_schema::DimensionId(dimension))?;
                 Ok(Json::object([
@@ -348,34 +483,36 @@ impl Service {
             }
             "what_if_without_class" => {
                 let name = str_param(&params, "class")?;
-                let session = self.session();
+                let session = self.registry.resolve(route)?.session();
                 let (report, delta) = session.what_if_without_class(name)?;
                 Ok(Json::object([
                     ("delta", delta.to_json()),
                     ("report", report.to_json()),
                 ]))
             }
-            "set_mix" => self.set_mix(&params),
-            "set_budget" => self.set_budget(&params),
-            "cache_stats" => Ok(cache_stats_json(&self.session().cache_stats())),
+            "set_mix" => self.set_mix(&*self.registry.resolve(route)?, &params),
+            "set_budget" => self.set_budget(&*self.registry.resolve(route)?, &params),
+            "cache_stats" => Ok(self
+                .registry
+                .resolve(route)?
+                .session()
+                .cache_stats()
+                .to_json()),
             other => Err(bad("unknown_op", format!("unknown op `{other}`"))),
         }
     }
 
-    /// Re-weights the shared mix: `params.weights` maps class names to
-    /// new (raw) weights; classes absent from the map are dropped.
+    /// Re-weights a warehouse's mix: `params.weights` maps class names
+    /// to new (raw) weights; classes absent from the map are dropped.
     /// Unknown names fail with `unknown_class`, and the mix must keep
     /// at least one positively-weighted class. The swap happens under a
     /// brief write lock — in-flight readers keep their snapshot.
-    fn set_mix(&self, params: &Json) -> OpResult {
+    fn set_mix(&self, warehouse: &Warehouse, params: &Json) -> OpResult {
         let weights = match params.get("weights") {
             Some(Json::Obj(members)) => members.clone(),
             _ => return Err(bad("bad_request", "`params.weights` must be an object")),
         };
-        let mut session = self
-            .session
-            .write()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut session = warehouse.write_session();
         let current = session.mix().clone();
         for (name, _) in &weights {
             if current.class_by_name(name).is_none() {
@@ -411,13 +548,13 @@ impl Service {
         Ok(Json::object([("classes", classes.to_json())]))
     }
 
-    /// Adjusts the shared session's streaming knobs:
-    /// `params.max_candidates` (0 = unlimited) and/or
-    /// `params.chunk_size` (0 = auto). Echoes the effective values plus
-    /// the exact candidate-space size, so a client immediately sees
-    /// whether the budget would admit the current space. Swaps under a
-    /// brief write lock; in-flight readers keep their snapshot.
-    fn set_budget(&self, params: &Json) -> OpResult {
+    /// Adjusts a warehouse's streaming knobs: `params.max_candidates`
+    /// (0 = unlimited) and/or `params.chunk_size` (0 = auto). Echoes the
+    /// effective values plus the exact candidate-space size, so a client
+    /// immediately sees whether the budget would admit the current
+    /// space. Swaps under a brief write lock; in-flight readers keep
+    /// their snapshot.
+    fn set_budget(&self, warehouse: &Warehouse, params: &Json) -> OpResult {
         let max_candidates = match params.get("max_candidates") {
             None => None,
             Some(v) => Some(v.as_u64().ok_or_else(|| {
@@ -442,10 +579,7 @@ impl Service {
                 "`params` must set `max_candidates` and/or `chunk_size`",
             ));
         }
-        let mut session = self
-            .session
-            .write()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut session = warehouse.write_session();
         let mut config = session.config().clone();
         if let Some(budget) = max_candidates {
             config.max_candidates = budget;
@@ -469,20 +603,32 @@ mod tests {
     use warlock_storage::SystemConfig;
     use warlock_workload::apb1_like_mix;
 
+    fn demo_session(disks: u32) -> Warlock {
+        Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(disks))
+            .mix(apb1_like_mix().unwrap())
+            .parallelism(1)
+            .build()
+            .unwrap()
+    }
+
     fn service() -> Service {
-        Service::new(
-            Warlock::builder()
-                .schema(apb1_like_schema(Apb1Config::default()).unwrap())
-                .system(SystemConfig::default_2001(16))
-                .mix(apb1_like_mix().unwrap())
-                .parallelism(1)
-                .build()
-                .unwrap(),
-        )
+        Service::new(demo_session(16))
+    }
+
+    /// A two-warehouse service: `us` (default, 16 disks) and `eu`
+    /// (64 disks).
+    fn two_warehouse_service() -> Service {
+        let registry = Registry::new("us");
+        registry.insert("us", None, demo_session(16)).unwrap();
+        registry.insert("eu", None, demo_session(64)).unwrap();
+        Service::with_registry(Arc::new(registry))
     }
 
     fn ok_result(service: &Service, line: &str) -> Json {
         let reply = service.handle_line(line);
+        assert_eq!(reply.error_kind, None, "{}", reply.line);
         let json = warlock_json::parse(&reply.line).unwrap();
         assert_eq!(
             json.get("ok").and_then(Json::as_bool),
@@ -497,20 +643,23 @@ mod tests {
         let reply = service.handle_line(line);
         let json = warlock_json::parse(&reply.line).unwrap();
         assert_eq!(json.get("ok").and_then(Json::as_bool), Some(false));
-        json.get("error")
+        let kind = json
+            .get("error")
             .and_then(|e| e.get("kind"))
             .and_then(Json::as_str)
             .unwrap()
-            .to_owned()
+            .to_owned();
+        assert_eq!(reply.error_kind, Some(kind.as_str()), "kinds must agree");
+        kind
     }
 
     #[test]
     fn rank_round_trip_and_id_echo() {
         let service = service();
-        let reply = service.handle_line(r#"{"v":1,"id":{"seq":7},"op":"rank"}"#);
+        let reply = service.handle_line(r#"{"v":2,"id":{"seq":7},"op":"rank"}"#);
         assert!(!reply.shutdown);
         let json = warlock_json::parse(&reply.line).unwrap();
-        assert_eq!(json.get("v").and_then(Json::as_i64), Some(1));
+        assert_eq!(json.get("v").and_then(Json::as_i64), Some(2));
         assert_eq!(
             json.get("id").unwrap().render(),
             r#"{"seq":7}"#,
@@ -523,6 +672,177 @@ mod tests {
             .as_array()
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn v1_compat_requests_keep_working_unchanged() {
+        let service = two_warehouse_service();
+        // A v1 request: answered as v1, resolved to the default
+        // warehouse.
+        let reply = service.handle_line(r#"{"v":1,"id":1,"op":"rank"}"#);
+        let json = warlock_json::parse(&reply.line).unwrap();
+        assert_eq!(
+            json.get("v").and_then(Json::as_i64),
+            Some(1),
+            "{}",
+            reply.line
+        );
+        assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+        let v1_result = json.get("result").unwrap().render();
+        // …which is bit-identical to an explicitly routed v2 rank of the
+        // default warehouse.
+        let v2_result = ok_result(&service, r#"{"v":2,"op":"rank","warehouse":"us"}"#);
+        assert_eq!(v1_result, v2_result.render());
+
+        // Routing is a v2 feature: the shim rejects it loudly rather
+        // than silently ignoring the field.
+        assert_eq!(
+            err_kind(&service, r#"{"v":1,"op":"rank","warehouse":"eu"}"#),
+            "bad_request"
+        );
+        // The v2 registry ops answer `unknown_op` under v1, exactly as a
+        // v1 server would have.
+        assert_eq!(
+            err_kind(&service, r#"{"v":1,"op":"list_warehouses"}"#),
+            "unknown_op"
+        );
+        assert_eq!(err_kind(&service, r#"{"v":1,"op":"reload"}"#), "unknown_op");
+        // A v1 ping keeps the exact PR-3 shape: protocol 1, no
+        // `warehouse` field — health probes written against the old
+        // server keep passing.
+        let reply = service.handle_line(r#"{"v":1,"op":"ping"}"#);
+        let pong = warlock_json::parse(&reply.line).unwrap();
+        let result = pong.get("result").unwrap();
+        assert_eq!(result.get("protocol").and_then(Json::as_i64), Some(1));
+        assert_eq!(result.get("warehouse"), None);
+        assert_eq!(result.get("space_size").and_then(Json::as_u64), Some(168));
+    }
+
+    #[test]
+    fn routing_selects_the_named_warehouse() {
+        let service = two_warehouse_service();
+        let us = ok_result(&service, r#"{"op":"rank","warehouse":"us"}"#);
+        let eu = ok_result(&service, r#"{"op":"rank","warehouse":"eu"}"#);
+        assert_ne!(us.render(), eu.render());
+        // Unrouted requests resolve to the default warehouse.
+        let unrouted = ok_result(&service, r#"{"op":"rank"}"#);
+        assert_eq!(unrouted.render(), us.render());
+        // Routed reports are bit-identical to a standalone session on
+        // the same inputs.
+        let standalone = demo_session(64);
+        assert_eq!(eu.render(), standalone.rank().unwrap().to_json().render());
+
+        assert_eq!(
+            err_kind(&service, r#"{"op":"rank","warehouse":"mars"}"#),
+            "unknown_warehouse"
+        );
+        assert_eq!(
+            err_kind(&service, r#"{"op":"rank","warehouse":7}"#),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn registry_ops_over_the_wire() {
+        let service = two_warehouse_service();
+        let listed = ok_result(&service, r#"{"op":"list_warehouses"}"#);
+        assert_eq!(listed.get("default").and_then(Json::as_str), Some("us"));
+        let warehouses = listed.get("warehouses").unwrap().as_array().unwrap();
+        assert_eq!(warehouses.len(), 2);
+        assert_eq!(
+            warehouses[0].get("name").and_then(Json::as_str),
+            Some("eu"),
+            "sorted by name"
+        );
+        assert_eq!(
+            warehouses[0].get("space_size").and_then(Json::as_u64),
+            Some(168)
+        );
+
+        // Load a third warehouse from a config file, route to it, unload
+        // it again.
+        let path = std::env::temp_dir().join(format!(
+            "warlock-service-load-{}-{:?}.cfg",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(
+            &path,
+            crate::config_file::render_config(&crate::config_file::demo_config()),
+        )
+        .unwrap();
+        let request = format!(
+            r#"{{"op":"load","params":{{"name":"apac","path":{}}}}}"#,
+            Json::Str(path.display().to_string()).render()
+        );
+        let loaded = ok_result(&service, &request);
+        assert_eq!(loaded.get("name").and_then(Json::as_str), Some("apac"));
+        assert_eq!(
+            loaded.get("path").and_then(Json::as_str),
+            Some(path.display().to_string().as_str())
+        );
+        assert_eq!(err_kind(&service, &request), "duplicate_warehouse");
+        let pong = ok_result(&service, r#"{"op":"ping","warehouse":"apac"}"#);
+        assert_eq!(pong.get("warehouse").and_then(Json::as_str), Some("apac"));
+
+        // Unloading the default warehouse is refused — every unrouted
+        // and v1 request would dead-end.
+        assert_eq!(
+            err_kind(&service, r#"{"op":"unload","params":{"name":"us"}}"#),
+            "config"
+        );
+
+        let _ = ok_result(&service, r#"{"op":"unload","params":{"name":"apac"}}"#);
+        assert_eq!(
+            err_kind(&service, r#"{"op":"ping","warehouse":"apac"}"#),
+            "unknown_warehouse"
+        );
+        assert_eq!(
+            err_kind(&service, r#"{"op":"unload","params":{"name":"apac"}}"#),
+            "unknown_warehouse"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn reload_over_the_wire_swaps_the_routed_warehouse() {
+        let path = std::env::temp_dir().join(format!(
+            "warlock-service-reload-{}-{:?}.cfg",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let cfg = crate::config_file::render_config(&crate::config_file::demo_config());
+        std::fs::write(&path, &cfg).unwrap();
+        let registry = Registry::new("main");
+        registry.load("main", path.display().to_string()).unwrap();
+        let service = Service::with_registry(Arc::new(registry));
+
+        let baseline = ok_result(&service, r#"{"op":"rank"}"#);
+        std::fs::write(&path, cfg.replace("disks = 16", "disks = 64")).unwrap();
+        // The running service still answers from the old snapshot until
+        // an explicit reload.
+        assert_eq!(
+            ok_result(&service, r#"{"op":"rank"}"#).render(),
+            baseline.render()
+        );
+        let stats = ok_result(&service, r#"{"op":"reload"}"#);
+        assert_eq!(stats.get("name").and_then(Json::as_str), Some("main"));
+        let after = ok_result(&service, r#"{"op":"rank"}"#);
+        assert_ne!(after.render(), baseline.render());
+
+        // Reloads of pathless or unknown warehouses are typed failures.
+        std::fs::write(&path, "[dimension broken\n").unwrap();
+        assert_eq!(err_kind(&service, r#"{"op":"reload"}"#), "reload_failed");
+        assert_eq!(
+            ok_result(&service, r#"{"op":"rank"}"#).render(),
+            after.render(),
+            "failed reload must keep the current snapshot"
+        );
+        assert_eq!(
+            err_kind(&service, r#"{"op":"reload","params":{"name":"ghost"}}"#),
+            "unknown_warehouse"
+        );
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]
@@ -579,20 +899,25 @@ mod tests {
     }
 
     #[test]
-    fn set_mix_reshapes_the_shared_session() {
-        let service = service();
-        let baseline = ok_result(&service, r#"{"op":"rank"}"#);
-        // Keep only two classes.
+    fn set_mix_reshapes_only_the_routed_warehouse() {
+        let service = two_warehouse_service();
+        let us_baseline = ok_result(&service, r#"{"op":"rank","warehouse":"us"}"#);
+        let eu_baseline = ok_result(&service, r#"{"op":"rank","warehouse":"eu"}"#);
+        // Keep only two classes on `us`.
         let result = ok_result(
             &service,
-            r#"{"op":"set_mix","params":{"weights":{"q01_month_store_code":3,"q02_month_class":1}}}"#,
+            r#"{"op":"set_mix","warehouse":"us","params":{"weights":{"q01_month_store_code":3,"q02_month_class":1}}}"#,
         );
         let classes = result.get("classes").unwrap().as_array().unwrap();
         assert_eq!(classes.len(), 2);
         assert!((classes[0].get("share").and_then(Json::as_f64).unwrap() - 0.75).abs() < 1e-9);
-        // The service now advises on the reduced mix.
-        let after = ok_result(&service, r#"{"op":"rank"}"#);
-        assert_ne!(baseline.render(), after.render());
+        // `us` now advises on the reduced mix; `eu` is untouched.
+        let after = ok_result(&service, r#"{"op":"rank","warehouse":"us"}"#);
+        assert_ne!(us_baseline.render(), after.render());
+        assert_eq!(
+            ok_result(&service, r#"{"op":"rank","warehouse":"eu"}"#).render(),
+            eu_baseline.render()
+        );
         // Unknown classes fail loudly and atomically.
         assert_eq!(
             err_kind(
@@ -610,7 +935,15 @@ mod tests {
         assert_eq!(err_kind(&service, r#"{"op":"frobnicate"}"#), "unknown_op");
         assert_eq!(err_kind(&service, r#"{"op":42}"#), "bad_request");
         assert_eq!(
-            err_kind(&service, r#"{"v":2,"op":"rank"}"#),
+            err_kind(&service, r#"{"v":3,"op":"rank"}"#),
+            "unsupported_version"
+        );
+        assert_eq!(
+            err_kind(&service, r#"{"v":0,"op":"rank"}"#),
+            "unsupported_version"
+        );
+        assert_eq!(
+            err_kind(&service, r#"{"v":"two","op":"rank"}"#),
             "unsupported_version"
         );
         assert_eq!(
@@ -628,13 +961,32 @@ mod tests {
             err_kind(&service, r#"{"op":"what_if_disks","params":{}}"#),
             "bad_request"
         );
+        assert_eq!(
+            err_kind(&service, r#"{"op":"load","params":{"name":"x"}}"#),
+            "bad_request"
+        );
     }
 
     #[test]
-    fn ping_reports_session_health_without_ranking() {
+    fn standalone_error_replies_carry_version_and_kind() {
+        let reply = ServiceReply::error("bad_request", "request exceeds 16 bytes");
+        assert!(!reply.shutdown);
+        assert_eq!(reply.error_kind, Some("bad_request"));
+        let json = warlock_json::parse(&reply.line).unwrap();
+        assert_eq!(json.get("v").and_then(Json::as_i64), Some(PROTOCOL_VERSION));
+        assert_eq!(json.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(reply.line.contains("exceeds"));
+    }
+
+    #[test]
+    fn ping_reports_warehouse_health_without_ranking() {
         let service = service();
         let pong = ok_result(&service, r#"{"op":"ping"}"#);
-        assert_eq!(pong.get("protocol").and_then(Json::as_i64), Some(1));
+        assert_eq!(pong.get("protocol").and_then(Json::as_i64), Some(2));
+        assert_eq!(
+            pong.get("warehouse").and_then(Json::as_str),
+            Some("default")
+        );
         // The exact space predictor answers before anything was ranked…
         assert_eq!(pong.get("space_size").and_then(Json::as_u64), Some(168));
         // …and `enumerated` stays null until a baseline ranking exists.
@@ -692,17 +1044,23 @@ mod tests {
         // A malformed shutdown is not honored.
         let reply = service.handle_line(r#"{"v":9,"op":"shutdown"}"#);
         assert!(!reply.shutdown);
+        // v1 clients can still stop the server.
+        let reply = service.handle_line(r#"{"v":1,"op":"shutdown"}"#);
+        assert!(reply.shutdown);
     }
 
     #[test]
-    fn concurrent_connections_share_one_session() {
-        let service = std::sync::Arc::new(service());
+    fn concurrent_connections_share_warehouses() {
+        let service = std::sync::Arc::new(two_warehouse_service());
         let baseline = ok_result(&service, r#"{"op":"rank"}"#).render();
         let mut handles = Vec::new();
-        for d in [8u32, 16, 32, 64] {
+        for (i, d) in [8u32, 16, 32, 64].into_iter().enumerate() {
             let service = service.clone();
+            let warehouse = if i % 2 == 0 { "us" } else { "eu" };
             handles.push(std::thread::spawn(move || {
-                let line = format!(r#"{{"op":"what_if_disks","params":{{"disks":{d}}}}}"#);
+                let line = format!(
+                    r#"{{"op":"what_if_disks","warehouse":"{warehouse}","params":{{"disks":{d}}}}}"#
+                );
                 let reply = service.handle_line(&line);
                 let json = warlock_json::parse(&reply.line).unwrap();
                 assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
@@ -711,7 +1069,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        // The shared session is warm and unchanged.
+        // The default warehouse is warm and unchanged.
         assert_eq!(ok_result(&service, r#"{"op":"rank"}"#).render(), baseline);
         let stats = ok_result(&service, r#"{"op":"cache_stats"}"#);
         assert!(stats.get("entries").and_then(Json::as_u64).unwrap() > 0);

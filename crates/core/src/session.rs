@@ -290,17 +290,22 @@ impl Warlock {
         WarlockBuilder::default()
     }
 
-    /// Builds a session from a configuration-file string (the same
-    /// INI-style format the `warlock` CLI reads; see
-    /// [`crate::config_file`]).
-    pub fn from_config_str(input: &str) -> Result<Self, WarlockError> {
-        let parsed = parse_config(input)?;
+    /// Builds a session from an already parsed configuration — the
+    /// shared construction path of every config-file entry point.
+    pub fn from_parsed(parsed: crate::config_file::ParsedConfig) -> Result<Self, WarlockError> {
         Self::builder()
             .schema(parsed.schema)
             .system(parsed.system)
             .mix(parsed.mix)
             .config(parsed.advisor)
             .build()
+    }
+
+    /// Builds a session from a configuration-file string (the same
+    /// INI-style format the `warlock` CLI reads; see
+    /// [`crate::config_file`]).
+    pub fn from_config_str(input: &str) -> Result<Self, WarlockError> {
+        Self::from_parsed(parse_config(input)?)
     }
 
     /// Builds a session from a configuration file on disk.
@@ -312,10 +317,8 @@ impl Warlock {
     /// offending file.
     pub fn from_config_path(path: impl AsRef<std::path::Path>) -> Result<Self, WarlockError> {
         let path = path.as_ref();
-        let wrap = |e: WarlockError| e.at_path(path.display().to_string());
-        let input =
-            std::fs::read_to_string(path).map_err(|e| wrap(WarlockError::Io(e.to_string())))?;
-        Self::from_config_str(&input).map_err(wrap)
+        let parsed = crate::config_file::parse_config_path(path)?;
+        Self::from_parsed(parsed).map_err(|e| e.at_path(path.display().to_string()))
     }
 
     // ------------------------------------------------------------------
@@ -429,6 +432,46 @@ impl Warlock {
             skew,
         ));
         Ok(())
+    }
+
+    /// Replaces **every** input of this session from an already parsed
+    /// configuration, as one atomic copy-on-write snapshot swap: the new
+    /// inputs are validated in full first, and only then does this
+    /// handle move to the new snapshot. On any error the session keeps
+    /// serving its previous snapshot unchanged. Clones — including
+    /// in-flight readers — finish on the old snapshot; the shared
+    /// evaluation cache and worker pool are kept (entries are keyed by
+    /// input fingerprints, so reverting to a previously served
+    /// configuration is warm).
+    pub fn reload_from_parsed(
+        &mut self,
+        parsed: crate::config_file::ParsedConfig,
+    ) -> Result<(), WarlockError> {
+        let (scheme, skew) =
+            engine::validate(&parsed.schema, &parsed.system, &parsed.mix, &parsed.advisor)?;
+        self.swap_snapshot(Snapshot::new(
+            parsed.schema,
+            parsed.system,
+            parsed.mix,
+            parsed.advisor,
+            scheme,
+            skew,
+        ));
+        Ok(())
+    }
+
+    /// Atomically re-reads this session's inputs from a configuration
+    /// file on disk (see [`Warlock::reload_from_parsed`]). Every failure
+    /// is wrapped in [`WarlockError::AtPath`] naming the file, and
+    /// leaves the session on its previous snapshot.
+    pub fn reload_from_config_path(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), WarlockError> {
+        let path = path.as_ref();
+        let parsed = crate::config_file::parse_config_path(path)?;
+        self.reload_from_parsed(parsed)
+            .map_err(|e| e.at_path(path.display().to_string()))
     }
 
     /// Overrides the bitmap scheme (interactive tuning: "the user may
@@ -1043,6 +1086,69 @@ mod tests {
             Warlock::from_config_str("[nonsense"),
             Err(WarlockError::ConfigFile(_))
         ));
+    }
+
+    #[test]
+    fn reload_swaps_atomically_and_keeps_clones_and_cache() {
+        let demo = crate::config_file::demo_config();
+        let cfg = crate::config_file::render_config(&demo);
+        let mut s = Warlock::from_config_str(&cfg).unwrap();
+        let sibling = s.clone();
+        let baseline = s.rank().unwrap().clone();
+        let misses_baseline = s.cache_stats().misses;
+
+        // Reload with more disks: this handle moves, the sibling stays.
+        let reloaded = cfg.replace("disks = 16", "disks = 64");
+        assert_ne!(cfg, reloaded, "fixture must actually change");
+        s.reload_from_parsed(crate::config_file::parse_config(&reloaded).unwrap())
+            .unwrap();
+        assert!(!s.shares_snapshot_with(&sibling));
+        assert_eq!(s.system().num_disks, 64);
+        assert_eq!(sibling.system().num_disks, 16);
+        assert_eq!(sibling.rank().unwrap(), &baseline);
+        assert!(
+            s.rank().unwrap().top().unwrap().cost.response_ms
+                < baseline.top().unwrap().cost.response_ms
+        );
+
+        // Reverting to the original configuration is warm: the shared
+        // cache survived both swaps.
+        let misses_after_variant = s.cache_stats().misses;
+        s.reload_from_parsed(crate::config_file::parse_config(&cfg).unwrap())
+            .unwrap();
+        s.rank().unwrap();
+        assert_eq!(s.cache_stats().misses, misses_after_variant);
+        assert!(misses_after_variant > misses_baseline);
+    }
+
+    #[test]
+    fn failed_reload_leaves_the_session_untouched() {
+        let cfg = crate::config_file::render_config(&crate::config_file::demo_config());
+        let mut s = Warlock::from_config_str(&cfg).unwrap();
+        let snapshot = s.snapshot();
+        let e = s
+            .reload_from_config_path("/definitely/not/a/file.cfg")
+            .unwrap_err();
+        assert_eq!(e.kind(), "io");
+        assert!(
+            Arc::ptr_eq(&snapshot, &s.snapshot()),
+            "snapshot must not move"
+        );
+
+        // A file that parses but fails validation is also rejected
+        // atomically, with the path attached.
+        let path = std::env::temp_dir().join(format!(
+            "warlock-reload-bad-{}-{:?}.cfg",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, cfg.replace("disks = 16", "disks = 0")).unwrap();
+        let e = s.reload_from_config_path(&path).unwrap_err();
+        assert_eq!(e.kind(), "config_file");
+        assert!(e.to_string().contains(&path.display().to_string()));
+        assert!(Arc::ptr_eq(&snapshot, &s.snapshot()));
+        assert_eq!(s.system().num_disks, 16);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
