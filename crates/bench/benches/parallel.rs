@@ -14,54 +14,15 @@
 //! trajectory captures the streaming memory win, not just wall-clock.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use warlock::AdvisorConfig;
+use warlock_bench::alloc_probe::{allocation_profile, CountingAlloc};
 use warlock_bench::Fixture;
 use warlock_fragment::CandidateSource;
 
-/// A pass-through allocator that tracks allocation counts and the peak
-/// number of live heap bytes — the "peak-ish memory" probe for the
-/// candidate-space sweep.
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
-static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        let live =
-            LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed) + layout.size() as u64;
-        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
-        System.dealloc(ptr, layout)
-    }
-}
-
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
-
-/// Runs `f` and reports `(allocations, peak extra live bytes)` during it.
-fn allocation_profile<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
-    let live = LIVE_BYTES.load(Ordering::Relaxed);
-    PEAK_BYTES.store(live, Ordering::Relaxed);
-    let allocations = ALLOCATIONS.load(Ordering::Relaxed);
-    let result = f();
-    let peak = PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(live);
-    (
-        result,
-        ALLOCATIONS.load(Ordering::Relaxed) - allocations,
-        peak,
-    )
-}
 
 fn bench_worker_sweep(c: &mut Criterion) {
     let f = Fixture::demo();

@@ -1,0 +1,909 @@
+//! The scenario-fleet harness: runs rank → allocate → what-if over a
+//! generated scenario fleet, checks cross-cutting invariants, and
+//! aggregates a versioned perf-trajectory report (`BENCH_*.json`).
+//!
+//! Two kinds of numbers live in a [`FleetReport`], with different
+//! reproducibility contracts:
+//!
+//! * **Exact** — the scenario-set fingerprint, candidate-space sizes
+//!   and invariant outcomes are pure functions of `(seed, count,
+//!   space)`; [`diff_reports`] compares them *exactly* and flags any
+//!   difference as an incomparable-baseline error.
+//! * **Measured** — latencies, throughput, allocation counts and peak
+//!   live bytes vary run to run; [`diff_reports`] compares them per
+//!   scenario class under a relative tolerance.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use warlock::config_file::parse_config;
+use warlock::{SessionReport, Warlock};
+use warlock_json::{Json, ToJson};
+use warlock_scenarios::{generate_fleet, Scenario, ScenarioSpace};
+
+use crate::alloc_probe::{allocation_profile, probe_installed};
+
+/// Schema version of the `BENCH_*.json` document this module writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Every `sample_stride`-th scenario additionally re-ranks with forced
+/// chunked-streaming settings and asserts bit-identical reports.
+pub const SAMPLE_STRIDE: u32 = 5;
+
+/// Measured metrics of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMetrics {
+    /// Scenario index within the fleet.
+    pub id: u32,
+    /// Stable label, e.g. `s007-deep/hot_spot/drifting`.
+    pub label: String,
+    /// Coverage-grid class label, e.g. `deep/hot_spot/drifting`.
+    pub class: String,
+    /// Disks in the generated system configuration.
+    pub disks: u32,
+    /// Exact candidate-space size (reproducible).
+    pub candidates: u64,
+    /// Fragments of the top-ranked candidate (reproducible).
+    pub fragments: u64,
+    /// Wall-clock of the cold rank (enumerate + evaluate + twofold rank).
+    pub rank_ms: f64,
+    /// Wall-clock of planning the winner's allocation.
+    pub alloc_ms: f64,
+    /// Wall-clock of a warm `what_if_disks` variation (pure cache hits).
+    pub whatif_ms: f64,
+    /// Hit fraction of the evaluation memo over the whole scenario run.
+    pub cache_hit_rate: f64,
+    /// Peak extra live heap bytes over the run (0 without the probe).
+    pub peak_bytes: u64,
+    /// Heap allocations over the run (0 without the probe).
+    pub allocations: u64,
+}
+
+/// One failed cross-cutting invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantFailure {
+    /// Label of the offending scenario.
+    pub scenario: String,
+    /// Which invariant broke.
+    pub invariant: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Aggregated metrics of one scenario class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassAggregate {
+    /// Class label (`schema/skew/mix`).
+    pub class: String,
+    /// Scenarios aggregated.
+    pub scenarios: u64,
+    /// Median cold-rank latency (ms).
+    pub rank_ms_p50: f64,
+    /// 99th-percentile cold-rank latency (ms).
+    pub rank_ms_p99: f64,
+    /// Scenario throughput: members / total wall-clock seconds.
+    pub throughput_per_s: f64,
+    /// Total candidate-space size across members (reproducible).
+    pub candidates: u64,
+    /// Largest peak live bytes among members.
+    pub peak_bytes_max: u64,
+    /// Mean evaluation-memo hit rate.
+    pub cache_hit_rate_mean: f64,
+}
+
+/// The versioned perf-trajectory document (`BENCH_*.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Document schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Fleet seed.
+    pub seed: u64,
+    /// Scenarios generated.
+    pub count: u32,
+    /// FNV-1a fingerprint of every rendered scenario config, in fleet
+    /// order — byte-identical scenario sets have equal fingerprints.
+    pub fingerprint: String,
+    /// Whether the counting global allocator was installed (memory
+    /// numbers are honest zeros otherwise).
+    pub counting_allocator: bool,
+    /// Failed invariants (empty on a healthy run).
+    pub failures: Vec<InvariantFailure>,
+    /// Per-scenario measurements, in fleet order.
+    pub scenarios: Vec<ScenarioMetrics>,
+    /// Per-class aggregates, in stable class order.
+    pub classes: Vec<ClassAggregate>,
+    /// Total harness wall-clock (ms).
+    pub total_ms: f64,
+}
+
+/// FNV-1a over the rendered configs — the fleet's identity.
+pub fn fleet_fingerprint(fleet: &[Scenario]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for scenario in fleet {
+        for byte in scenario.config_string().bytes().chain([0u8]) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{hash:016x}")
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs one scenario end to end, appending metrics or a failure.
+fn run_scenario(
+    scenario: &Scenario,
+    metrics: &mut Vec<ScenarioMetrics>,
+    failures: &mut Vec<InvariantFailure>,
+) {
+    let label = scenario.label();
+    let mut fail = |invariant: &str, detail: String| {
+        failures.push(InvariantFailure {
+            scenario: label.clone(),
+            invariant: invariant.into(),
+            detail,
+        });
+    };
+
+    // Invariant: the rendered config parses back to the same inputs —
+    // the generator's output is a valid config file.
+    match parse_config(&scenario.config_string()) {
+        Ok(reparsed) => {
+            if reparsed.schema != scenario.parsed.schema {
+                fail(
+                    "config_round_trip",
+                    "schema changed across render/parse".into(),
+                );
+            }
+        }
+        Err(e) => {
+            fail(
+                "config_round_trip",
+                format!("rendered config rejected: {e}"),
+            );
+            return;
+        }
+    }
+
+    let session = match scenario.session() {
+        Ok(s) => s,
+        Err(e) => {
+            fail("session_build", e.to_string());
+            return;
+        }
+    };
+
+    let run = allocation_profile(|| {
+        let started = Instant::now();
+        let baseline = match session.rank() {
+            Ok(r) => r.clone(),
+            Err(e) => return Err(("rank", e.to_string())),
+        };
+        let rank_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Invariant: lazy enumeration visited the entire space.
+        let space = session.candidate_space_size();
+        if baseline.enumerated as u128 != space {
+            return Err((
+                "space_size",
+                format!("enumerated {} != space size {}", baseline.enumerated, space),
+            ));
+        }
+
+        // Invariant: the machine-readable report round-trips through
+        // its JSON wire form, compact and pretty.
+        let report = match session.session_report() {
+            Ok(r) => r,
+            Err(e) => return Err(("report_round_trip", e.to_string())),
+        };
+        for text in [report.to_json().render(), report.to_json().pretty()] {
+            match SessionReport::from_json_str(&text) {
+                Ok(back) if back == report => {}
+                Ok(_) => return Err(("report_round_trip", "reparse differs".into())),
+                Err(e) => return Err(("report_round_trip", e.to_string())),
+            }
+        }
+
+        // Invariant: the winner's allocation covers every fragment
+        // exactly once on a valid disk.
+        let alloc_started = Instant::now();
+        let plan = match session.plan_allocation(1) {
+            Ok(p) => p,
+            Err(e) => return Err(("allocation", e.to_string())),
+        };
+        let alloc_ms = alloc_started.elapsed().as_secs_f64() * 1e3;
+        let placements = plan.allocation.placements();
+        if placements.is_empty() {
+            return Err(("allocation_coverage", "no fragments placed".into()));
+        }
+        if placements.len() != plan.allocation.num_fragments() {
+            return Err((
+                "allocation_coverage",
+                format!(
+                    "{} placements for {} fragments",
+                    placements.len(),
+                    plan.allocation.num_fragments()
+                ),
+            ));
+        }
+        if let Some(&bad) = placements
+            .iter()
+            .find(|&&d| d >= plan.allocation.num_disks())
+        {
+            return Err((
+                "allocation_coverage",
+                format!(
+                    "fragment placed on disk {bad} of {}",
+                    plan.allocation.num_disks()
+                ),
+            ));
+        }
+        let occupied: u64 = plan.allocation.occupancy().iter().sum();
+        if occupied == 0 {
+            return Err(("allocation_coverage", "zero bytes placed".into()));
+        }
+
+        // Invariant (sampled): forced chunked-streaming settings
+        // reproduce the baseline ranking bit-for-bit.
+        if scenario.id.is_multiple_of(SAMPLE_STRIDE) {
+            for chunk in [1usize, 64] {
+                let mut config = session.config().clone();
+                config.chunk_size = chunk;
+                config.parallelism = 1;
+                let streamed = Warlock::builder()
+                    .schema(session.schema().clone())
+                    .system(*session.system())
+                    .mix(session.mix().clone())
+                    .config(config)
+                    .build()
+                    .and_then(|s| s.run());
+                match streamed {
+                    Ok(streamed) if streamed == baseline => {}
+                    Ok(_) => {
+                        return Err((
+                            "streaming_equivalence",
+                            format!("chunk_size={chunk} ranking differs from baseline"),
+                        ))
+                    }
+                    Err(e) => return Err(("streaming_equivalence", e.to_string())),
+                }
+            }
+        }
+
+        // Warm what-if variation: first call populates the varied
+        // entries, second call must be pure cache hits.
+        let disks = session.system().num_disks;
+        let varied = disks.saturating_mul(2).max(2);
+        if let Err(e) = session.what_if_disks(varied) {
+            return Err(("what_if", e.to_string()));
+        }
+        let whatif_started = Instant::now();
+        if let Err(e) = session.what_if_disks(varied) {
+            return Err(("what_if", e.to_string()));
+        }
+        let whatif_ms = whatif_started.elapsed().as_secs_f64() * 1e3;
+
+        let stats = session.cache_stats();
+        let lookups = stats.hits + stats.misses;
+        let cache_hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            stats.hits as f64 / lookups as f64
+        };
+
+        let top = baseline
+            .ranked
+            .first()
+            .map(|r| r.cost.num_fragments)
+            .unwrap_or(0);
+        Ok((rank_ms, alloc_ms, whatif_ms, cache_hit_rate, space, top))
+    });
+    let (outcome, allocations, peak_bytes) = run;
+    match outcome {
+        Ok((rank_ms, alloc_ms, whatif_ms, cache_hit_rate, space, fragments)) => {
+            metrics.push(ScenarioMetrics {
+                id: scenario.id,
+                label: label.clone(),
+                class: scenario.class.label(),
+                disks: session.system().num_disks,
+                candidates: u64::try_from(space).unwrap_or(u64::MAX),
+                fragments,
+                rank_ms,
+                alloc_ms,
+                whatif_ms,
+                cache_hit_rate,
+                peak_bytes,
+                allocations,
+            });
+        }
+        Err((invariant, detail)) => fail(invariant, detail),
+    }
+}
+
+/// Runs the fleet harness: generates `count` scenarios from `seed` over
+/// `space`, drives each through rank → allocate → what-if with the
+/// cross-cutting invariants of the module docs, and aggregates the
+/// per-class perf trajectory.
+pub fn run_fleet(seed: u64, count: u32, space: &ScenarioSpace) -> Result<FleetReport, String> {
+    space.validate()?;
+    let started = Instant::now();
+    let fleet = generate_fleet(seed, count as usize, space);
+    let fingerprint = fleet_fingerprint(&fleet);
+
+    let mut scenarios = Vec::with_capacity(fleet.len());
+    let mut failures = Vec::new();
+    for scenario in &fleet {
+        run_scenario(scenario, &mut scenarios, &mut failures);
+    }
+
+    // Aggregate per class, keyed by the full class label; iteration
+    // order of the BTreeMap gives a stable document order.
+    let mut by_class: BTreeMap<String, Vec<&ScenarioMetrics>> = BTreeMap::new();
+    for m in &scenarios {
+        by_class.entry(m.class.clone()).or_default().push(m);
+    }
+    let classes = by_class
+        .into_iter()
+        .map(|(class, members)| {
+            let mut rank_ms: Vec<f64> = members.iter().map(|m| m.rank_ms).collect();
+            rank_ms.sort_by(f64::total_cmp);
+            let total_s: f64 = members
+                .iter()
+                .map(|m| (m.rank_ms + m.alloc_ms + m.whatif_ms) / 1e3)
+                .sum();
+            ClassAggregate {
+                scenarios: members.len() as u64,
+                rank_ms_p50: percentile(&rank_ms, 0.5),
+                rank_ms_p99: percentile(&rank_ms, 0.99),
+                throughput_per_s: if total_s > 0.0 {
+                    members.len() as f64 / total_s
+                } else {
+                    0.0
+                },
+                candidates: members.iter().map(|m| m.candidates).sum(),
+                peak_bytes_max: members.iter().map(|m| m.peak_bytes).max().unwrap_or(0),
+                cache_hit_rate_mean: members.iter().map(|m| m.cache_hit_rate).sum::<f64>()
+                    / members.len() as f64,
+                class,
+            }
+        })
+        .collect();
+
+    Ok(FleetReport {
+        schema_version: SCHEMA_VERSION,
+        seed,
+        count,
+        fingerprint,
+        counting_allocator: probe_installed(),
+        failures,
+        scenarios,
+        classes,
+        total_ms: started.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+// ---------------------------------------------------------------------
+// JSON wire form
+
+impl FleetReport {
+    /// Serializes the report (pretty, trailing newline — the committed
+    /// `BENCH_*.json` form).
+    pub fn to_json_string(&self) -> String {
+        let scenarios: Vec<Json> = self
+            .scenarios
+            .iter()
+            .map(|m| {
+                Json::object([
+                    ("id", Json::Int(m.id as i64)),
+                    ("label", Json::Str(m.label.clone())),
+                    ("class", Json::Str(m.class.clone())),
+                    ("disks", Json::Int(m.disks as i64)),
+                    ("candidates", Json::Int(m.candidates as i64)),
+                    ("fragments", Json::Int(m.fragments as i64)),
+                    ("rank_ms", Json::Num(m.rank_ms)),
+                    ("alloc_ms", Json::Num(m.alloc_ms)),
+                    ("whatif_ms", Json::Num(m.whatif_ms)),
+                    ("cache_hit_rate", Json::Num(m.cache_hit_rate)),
+                    ("peak_bytes", Json::Int(m.peak_bytes as i64)),
+                    ("allocations", Json::Int(m.allocations as i64)),
+                ])
+            })
+            .collect();
+        let classes: Vec<Json> = self
+            .classes
+            .iter()
+            .map(|c| {
+                Json::object([
+                    ("class", Json::Str(c.class.clone())),
+                    ("scenarios", Json::Int(c.scenarios as i64)),
+                    ("rank_ms_p50", Json::Num(c.rank_ms_p50)),
+                    ("rank_ms_p99", Json::Num(c.rank_ms_p99)),
+                    ("throughput_per_s", Json::Num(c.throughput_per_s)),
+                    ("candidates", Json::Int(c.candidates as i64)),
+                    ("peak_bytes_max", Json::Int(c.peak_bytes_max as i64)),
+                    ("cache_hit_rate_mean", Json::Num(c.cache_hit_rate_mean)),
+                ])
+            })
+            .collect();
+        let failures: Vec<Json> = self
+            .failures
+            .iter()
+            .map(|f| {
+                Json::object([
+                    ("scenario", Json::Str(f.scenario.clone())),
+                    ("invariant", Json::Str(f.invariant.clone())),
+                    ("detail", Json::Str(f.detail.clone())),
+                ])
+            })
+            .collect();
+        let mut text = Json::object([
+            ("schema_version", Json::Int(self.schema_version as i64)),
+            ("bench", Json::Str("scenario-fleet".into())),
+            ("seed", Json::Int(self.seed as i64)),
+            ("count", Json::Int(self.count as i64)),
+            ("fingerprint", Json::Str(self.fingerprint.clone())),
+            ("counting_allocator", Json::Bool(self.counting_allocator)),
+            ("failures", Json::Arr(failures)),
+            ("scenarios", Json::Arr(scenarios)),
+            ("classes", Json::Arr(classes)),
+            ("total_ms", Json::Num(self.total_ms)),
+        ])
+        .pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Parses a report from its JSON text.
+    pub fn from_json_str(input: &str) -> Result<Self, String> {
+        let doc = warlock_json::parse(input).map_err(|e| e.to_string())?;
+        let version = doc
+            .req("schema_version")
+            .and_then(|v| {
+                v.as_u64()
+                    .ok_or_else(|| warlock_json::JsonError::shape("schema_version not a number"))
+            })
+            .map_err(|e| e.to_string())?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported fleet report schema_version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let str_field = |v: &Json, key: &str| -> Result<String, String> {
+            Ok(v.req(key)
+                .map_err(|e| e.to_string())?
+                .as_str()
+                .ok_or_else(|| format!("`{key}` is not a string"))?
+                .to_string())
+        };
+        let u64_field = |v: &Json, key: &str| -> Result<u64, String> {
+            v.req(key)
+                .map_err(|e| e.to_string())?
+                .as_u64()
+                .ok_or_else(|| format!("`{key}` is not an unsigned integer"))
+        };
+        let f64_field = |v: &Json, key: &str| -> Result<f64, String> {
+            v.req(key)
+                .map_err(|e| e.to_string())?
+                .as_f64()
+                .ok_or_else(|| format!("`{key}` is not a number"))
+        };
+        let arr_field = |v: &Json, key: &str| -> Result<Vec<Json>, String> {
+            Ok(v.req(key)
+                .map_err(|e| e.to_string())?
+                .as_array()
+                .ok_or_else(|| format!("`{key}` is not an array"))?
+                .to_vec())
+        };
+        let scenarios = arr_field(&doc, "scenarios")?
+            .iter()
+            .map(|m| {
+                Ok(ScenarioMetrics {
+                    id: u64_field(m, "id")? as u32,
+                    label: str_field(m, "label")?,
+                    class: str_field(m, "class")?,
+                    disks: u64_field(m, "disks")? as u32,
+                    candidates: u64_field(m, "candidates")?,
+                    fragments: u64_field(m, "fragments")?,
+                    rank_ms: f64_field(m, "rank_ms")?,
+                    alloc_ms: f64_field(m, "alloc_ms")?,
+                    whatif_ms: f64_field(m, "whatif_ms")?,
+                    cache_hit_rate: f64_field(m, "cache_hit_rate")?,
+                    peak_bytes: u64_field(m, "peak_bytes")?,
+                    allocations: u64_field(m, "allocations")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let classes = arr_field(&doc, "classes")?
+            .iter()
+            .map(|c| {
+                Ok(ClassAggregate {
+                    class: str_field(c, "class")?,
+                    scenarios: u64_field(c, "scenarios")?,
+                    rank_ms_p50: f64_field(c, "rank_ms_p50")?,
+                    rank_ms_p99: f64_field(c, "rank_ms_p99")?,
+                    throughput_per_s: f64_field(c, "throughput_per_s")?,
+                    candidates: u64_field(c, "candidates")?,
+                    peak_bytes_max: u64_field(c, "peak_bytes_max")?,
+                    cache_hit_rate_mean: f64_field(c, "cache_hit_rate_mean")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let failures = arr_field(&doc, "failures")?
+            .iter()
+            .map(|f| {
+                Ok(InvariantFailure {
+                    scenario: str_field(f, "scenario")?,
+                    invariant: str_field(f, "invariant")?,
+                    detail: str_field(f, "detail")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(FleetReport {
+            schema_version: version,
+            seed: u64_field(&doc, "seed")?,
+            count: u64_field(&doc, "count")? as u32,
+            fingerprint: str_field(&doc, "fingerprint")?,
+            counting_allocator: doc
+                .req("counting_allocator")
+                .map_err(|e| e.to_string())?
+                .as_bool()
+                .ok_or("`counting_allocator` is not a bool")?,
+            failures,
+            scenarios,
+            classes,
+            total_ms: f64_field(&doc, "total_ms")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diff mode
+
+/// Knobs of [`diff_reports`]. The relative `tolerance` is the gate; the
+/// absolute floors keep micro-scale noise from tripping it — a class
+/// whose rank takes 50 µs can triple on a context switch, which is not
+/// a regression. A metric only regresses when it is beyond tolerance
+/// *and* its absolute change clears the floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOptions {
+    /// Allowed relative change (`0.5` = +50% latency / −33% throughput).
+    pub tolerance: f64,
+    /// Absolute latency slack (ms) under which changes are noise.
+    pub latency_floor_ms: f64,
+    /// Absolute peak-memory slack (bytes) under which changes are noise.
+    pub bytes_floor: u64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 0.5,
+            latency_floor_ms: 5.0,
+            bytes_floor: 1 << 20,
+        }
+    }
+}
+
+impl DiffOptions {
+    /// Default floors with a custom relative tolerance.
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        Self {
+            tolerance,
+            ..Self::default()
+        }
+    }
+
+    /// Zero floors: every relative change beyond tolerance regresses.
+    /// For deterministic tests on synthetic reports, not wall-clock data.
+    pub fn strict(tolerance: f64) -> Self {
+        Self {
+            tolerance,
+            latency_floor_ms: 0.0,
+            bytes_floor: 0,
+        }
+    }
+}
+
+/// Outcome of comparing two fleet reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOutcome {
+    /// One comparison line per class and metric.
+    pub lines: Vec<String>,
+    /// Regressions beyond tolerance (empty ⇒ pass).
+    pub regressions: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// Whether the current report is no worse than the baseline.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Relative change `current / baseline - 1`, with 0-baselines skipped.
+fn ratio(baseline: f64, current: f64) -> Option<f64> {
+    if baseline <= 0.0 || current < 0.0 {
+        None
+    } else {
+        Some(current / baseline - 1.0)
+    }
+}
+
+/// Compares `current` against `baseline` under [`DiffOptions`].
+///
+/// Exact fields (seed, count, fingerprint, invariant outcomes) must
+/// match — a mismatch means the two runs measured different fleets and
+/// no metric comparison is meaningful.
+pub fn diff_reports(
+    baseline: &FleetReport,
+    current: &FleetReport,
+    options: &DiffOptions,
+) -> Result<DiffOutcome, String> {
+    let tolerance = options.tolerance;
+    if baseline.schema_version != current.schema_version {
+        return Err(format!(
+            "schema_version mismatch: baseline {} vs current {}",
+            baseline.schema_version, current.schema_version
+        ));
+    }
+    if (baseline.seed, baseline.count) != (current.seed, current.count) {
+        return Err(format!(
+            "fleet mismatch: baseline seed {}/count {} vs current seed {}/count {}",
+            baseline.seed, baseline.count, current.seed, current.count
+        ));
+    }
+    if baseline.fingerprint != current.fingerprint {
+        return Err(format!(
+            "scenario-set fingerprint mismatch: {} vs {} (generator changed?)",
+            baseline.fingerprint, current.fingerprint
+        ));
+    }
+    if !(tolerance.is_finite() && tolerance >= 0.0) {
+        return Err(format!(
+            "tolerance must be a finite non-negative ratio, got {tolerance}"
+        ));
+    }
+
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for failure in &current.failures {
+        regressions.push(format!(
+            "invariant {} broke on {}: {}",
+            failure.invariant, failure.scenario, failure.detail
+        ));
+    }
+
+    let baseline_classes: BTreeMap<&str, &ClassAggregate> = baseline
+        .classes
+        .iter()
+        .map(|c| (c.class.as_str(), c))
+        .collect();
+    for class in &current.classes {
+        let Some(base) = baseline_classes.get(class.class.as_str()) else {
+            regressions.push(format!("class {} missing from baseline", class.class));
+            continue;
+        };
+        if base.candidates != class.candidates {
+            regressions.push(format!(
+                "class {}: candidate space changed {} -> {}",
+                class.class, base.candidates, class.candidates
+            ));
+        }
+        // Latency: higher is worse.
+        for (metric, b, c) in [
+            ("rank_ms_p50", base.rank_ms_p50, class.rank_ms_p50),
+            ("rank_ms_p99", base.rank_ms_p99, class.rank_ms_p99),
+        ] {
+            if let Some(delta) = ratio(b, c) {
+                lines.push(format!(
+                    "{:<34} {metric:<12} {b:>10.3} -> {c:>10.3}  ({:+.1}%)",
+                    class.class,
+                    delta * 100.0
+                ));
+                if delta > tolerance && c - b > options.latency_floor_ms {
+                    regressions.push(format!(
+                        "class {}: {metric} regressed {b:.3} -> {c:.3} ({:+.1}% > +{:.0}%)",
+                        class.class,
+                        delta * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+        // Throughput: lower is worse.
+        if let Some(delta) = ratio(base.throughput_per_s, class.throughput_per_s) {
+            lines.push(format!(
+                "{:<34} {:<12} {:>10.3} -> {:>10.3}  ({:+.1}%)",
+                class.class,
+                "scen_per_s",
+                base.throughput_per_s,
+                class.throughput_per_s,
+                delta * 100.0
+            ));
+            let floor = 1.0 / (1.0 + tolerance) - 1.0;
+            // Noise floor in time domain: the per-scenario wall-clock
+            // implied by the throughputs must differ by more than the
+            // latency slack.
+            let ms_per_scenario = |throughput: f64| {
+                if throughput > 0.0 {
+                    1e3 / throughput
+                } else {
+                    0.0
+                }
+            };
+            let slowed_ms =
+                ms_per_scenario(class.throughput_per_s) - ms_per_scenario(base.throughput_per_s);
+            if delta < floor && slowed_ms > options.latency_floor_ms {
+                regressions.push(format!(
+                    "class {}: throughput regressed {:.3} -> {:.3}/s ({:+.1}% < {:.0}%)",
+                    class.class,
+                    base.throughput_per_s,
+                    class.throughput_per_s,
+                    delta * 100.0,
+                    floor * 100.0
+                ));
+            }
+        }
+        // Peak memory: only comparable when both runs had the probe.
+        if baseline.counting_allocator && current.counting_allocator {
+            if let Some(delta) = ratio(base.peak_bytes_max as f64, class.peak_bytes_max as f64) {
+                lines.push(format!(
+                    "{:<34} {:<12} {:>10} -> {:>10}  ({:+.1}%)",
+                    class.class,
+                    "peak_bytes",
+                    base.peak_bytes_max,
+                    class.peak_bytes_max,
+                    delta * 100.0
+                ));
+                if delta > tolerance
+                    && class.peak_bytes_max.saturating_sub(base.peak_bytes_max)
+                        > options.bytes_floor
+                {
+                    regressions.push(format!(
+                        "class {}: peak_bytes_max regressed {} -> {} ({:+.1}% > +{:.0}%)",
+                        class.class,
+                        base.peak_bytes_max,
+                        class.peak_bytes_max,
+                        delta * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for base in &baseline.classes {
+        if !current.classes.iter().any(|c| c.class == base.class) {
+            regressions.push(format!("class {} missing from current run", base.class));
+        }
+    }
+    Ok(DiffOutcome { lines, regressions })
+}
+
+/// Injects a synthetic slowdown of `factor` (>1) into every measured
+/// metric: latencies multiply, throughput divides. Exact fields are
+/// untouched, so the canary stays diffable against its source — this
+/// exists to prove the diff gate trips.
+pub fn apply_canary(report: &mut FleetReport, factor: f64) {
+    for m in &mut report.scenarios {
+        m.rank_ms *= factor;
+        m.alloc_ms *= factor;
+        m.whatif_ms *= factor;
+        m.peak_bytes = (m.peak_bytes as f64 * factor) as u64;
+    }
+    for c in &mut report.classes {
+        c.rank_ms_p50 *= factor;
+        c.rank_ms_p99 *= factor;
+        c.throughput_per_s /= factor;
+        c.peak_bytes_max = (c.peak_bytes_max as f64 * factor) as u64;
+    }
+    report.total_ms *= factor;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_report() -> FleetReport {
+        run_fleet(7, 6, &ScenarioSpace::default()).unwrap()
+    }
+
+    #[test]
+    fn fleet_runs_clean_and_round_trips() {
+        let report = small_report();
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.scenarios.len(), 6);
+        assert!(!report.classes.is_empty());
+        let text = report.to_json_string();
+        let back = FleetReport::from_json_str(&text).unwrap();
+        assert_eq!(back.fingerprint, report.fingerprint);
+        assert_eq!(back.scenarios, report.scenarios);
+        assert_eq!(back.classes, report.classes);
+    }
+
+    #[test]
+    fn exact_fields_are_reproducible() {
+        let a = run_fleet(7, 6, &ScenarioSpace::default()).unwrap();
+        let b = run_fleet(7, 6, &ScenarioSpace::default()).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.failures, b.failures);
+        for (x, y) in a.scenarios.iter().zip(&b.scenarios) {
+            assert_eq!((x.id, &x.label, &x.class), (y.id, &y.label, &y.class));
+            assert_eq!(
+                (x.candidates, x.fragments, x.disks),
+                (y.candidates, y.fragments, y.disks)
+            );
+        }
+        let c = run_fleet(8, 6, &ScenarioSpace::default()).unwrap();
+        assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn diff_passes_against_itself_and_catches_a_canary() {
+        let report = small_report();
+        let strict = DiffOptions::strict(0.5);
+        let clean = diff_reports(&report, &report, &strict).unwrap();
+        assert!(clean.passed(), "{:?}", clean.regressions);
+
+        let mut slowed = report.clone();
+        apply_canary(&mut slowed, 4.0);
+        let tripped = diff_reports(&report, &slowed, &strict).unwrap();
+        assert!(!tripped.passed());
+        assert!(tripped
+            .regressions
+            .iter()
+            .any(|r| r.contains("rank_ms_p50")));
+        assert!(tripped.regressions.iter().any(|r| r.contains("throughput")));
+    }
+
+    #[test]
+    fn noise_floors_swallow_micro_jitter_but_not_real_slowdowns() {
+        let report = small_report();
+        let mut jittered = report.clone();
+        // Micro-jitter: +1 ms on a sub-millisecond class is a huge ratio
+        // but stays under the 5 ms latency floor.
+        jittered.classes[0].rank_ms_p50 += 1.0;
+        jittered.classes[0].rank_ms_p99 += 1.0;
+        let outcome = diff_reports(&report, &jittered, &DiffOptions::with_tolerance(0.5)).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+
+        // A genuine slowdown clears both the ratio and the floor.
+        let mut slowed = report.clone();
+        slowed.classes[0].rank_ms_p50 += 50.0;
+        slowed.classes[0].rank_ms_p99 += 50.0;
+        let outcome = diff_reports(&report, &slowed, &DiffOptions::with_tolerance(0.5)).unwrap();
+        assert!(!outcome.passed());
+    }
+
+    #[test]
+    fn diff_rejects_incomparable_fleets() {
+        let report = small_report();
+        let strict = DiffOptions::strict(0.5);
+        let mut other = report.clone();
+        other.fingerprint = "0000000000000000".into();
+        assert!(diff_reports(&report, &other, &strict)
+            .unwrap_err()
+            .contains("fingerprint"));
+        let mut other = report.clone();
+        other.seed = 9;
+        assert!(diff_reports(&report, &other, &strict)
+            .unwrap_err()
+            .contains("fleet mismatch"));
+        assert!(diff_reports(&report, &report, &DiffOptions::strict(-1.0)).is_err());
+    }
+
+    #[test]
+    fn unsupported_schema_version_is_rejected() {
+        let text = small_report()
+            .to_json_string()
+            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(FleetReport::from_json_str(&text)
+            .unwrap_err()
+            .contains("schema_version"));
+    }
+}

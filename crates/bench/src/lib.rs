@@ -7,6 +7,9 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_probe;
+pub mod fleet;
+
 use warlock::{AdvisorConfig, Warlock};
 use warlock_bitmap::{BitmapScheme, SchemeConfig};
 use warlock_schema::{apb1_like_schema, Apb1Config, StarSchema};

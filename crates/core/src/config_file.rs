@@ -10,6 +10,8 @@
 //! [dimension product]
 //! levels = division:5, line:15, family:75, group:300, class:900, code:9000
 //! skew = 0.5                      # optional zipf theta at the bottom level
+//! skew_shuffle = 42               # optional: disperse heavy members
+//!                                 # deterministically (hot-spot profiles)
 //!
 //! [dimension time]
 //! levels = year:2, quarter:8, month:24
@@ -39,6 +41,7 @@
 //! top_x_percent = 10
 //! top_n = 10
 //! max_fragments = 1048576
+//! allocation_policy = auto            # or auto:<cv> | greedy | round_robin
 //! parallelism = auto                  # evaluation workers; 1 = serial
 //! max_candidates = unlimited          # or a candidate-space budget
 //! chunk_size = auto                   # streaming evaluation chunk
@@ -105,6 +108,7 @@ struct DimensionSection {
     name: String,
     levels: Vec<(String, u64)>,
     skew: Option<f64>,
+    skew_shuffle: Option<u64>,
     line: usize,
 }
 
@@ -253,6 +257,10 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
                 "skew" => {
                     dimensions[i].skew = Some(parse_num::<f64>(value, lineno, "skew theta")?);
                 }
+                "skew_shuffle" => {
+                    dimensions[i].skew_shuffle =
+                        Some(parse_num::<u64>(value, lineno, "skew_shuffle seed")?);
+                }
                 other => {
                     return Err(ConfigFileError::at(
                         lineno,
@@ -361,6 +369,9 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
                         n => parse_num(n, lineno, "chunk_size")?,
                     }
                 }
+                "allocation_policy" => {
+                    advisor.allocation_policy = parse_allocation_policy(value, lineno)?;
+                }
                 "range_options" => {
                     let mut options = Vec::new();
                     for item in value.split(',') {
@@ -383,6 +394,40 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
     }
 
     assemble(dimensions, facts, queries, system, advisor)
+}
+
+/// Parses the `allocation_policy` advisor key: `auto` (default 10 %
+/// size-CV threshold), `auto:<cv>` (explicit threshold), `greedy` or
+/// `round_robin`.
+fn parse_allocation_policy(
+    value: &str,
+    line: usize,
+) -> Result<warlock_alloc::AllocationPolicy, ConfigFileError> {
+    use warlock_alloc::AllocationPolicy;
+    match value {
+        "auto" => Ok(AllocationPolicy::default()),
+        "greedy" => Ok(AllocationPolicy::GreedySize),
+        "round_robin" => Ok(AllocationPolicy::RoundRobin),
+        other => {
+            if let Some(cv) = other.strip_prefix("auto:") {
+                let cv_threshold = parse_num::<f64>(cv.trim(), line, "allocation_policy cv")?;
+                if !(cv_threshold.is_finite() && cv_threshold >= 0.0) {
+                    return Err(ConfigFileError::at(
+                        line,
+                        format!("allocation_policy cv must be finite and >= 0, got {cv_threshold}"),
+                    ));
+                }
+                return Ok(AllocationPolicy::Auto { cv_threshold });
+            }
+            Err(ConfigFileError::at(
+                line,
+                format!(
+                    "unknown allocation_policy `{other}` \
+                     (auto | auto:<cv> | greedy | round_robin)"
+                ),
+            ))
+        }
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(
@@ -453,9 +498,20 @@ fn assemble(
             .build()
             .map_err(|e| ConfigFileError::at(d.line, e.to_string()))?;
         builder = builder.dimension(dim);
-        skews.push(match d.skew {
-            Some(theta) => DimensionSkew::zipf(theta),
-            None => DimensionSkew::UNIFORM,
+        skews.push(match (d.skew, d.skew_shuffle) {
+            (Some(theta), None) => DimensionSkew::zipf(theta),
+            (Some(theta), Some(seed)) => DimensionSkew::hot_spot(theta, seed),
+            (None, Some(_)) => {
+                return Err(ConfigFileError::at(
+                    d.line,
+                    format!(
+                        "dimension `{}` sets skew_shuffle without skew \
+                         (shuffling a uniform distribution has no effect)",
+                        d.name
+                    ),
+                ))
+            }
+            (None, None) => DimensionSkew::UNIFORM,
         });
     }
     for f in &facts {
@@ -597,6 +653,9 @@ pub fn render_config(parsed: &ParsedConfig) -> String {
         let _ = writeln!(out, "levels = {}", levels.join(", "));
         if !skew.is_uniform() {
             let _ = writeln!(out, "skew = {}", skew.theta);
+            if let Some(seed) = skew.shuffle_seed {
+                let _ = writeln!(out, "skew_shuffle = {seed}");
+            }
         }
         let _ = writeln!(out);
     }
@@ -678,6 +737,21 @@ pub fn render_config(parsed: &ParsedConfig) -> String {
     let _ = writeln!(out, "top_n = {}", adv.top_n);
     let _ = writeln!(out, "min_keep = {}", adv.min_keep);
     let _ = writeln!(out, "max_fragments = {}", adv.thresholds.max_fragments);
+    match adv.allocation_policy {
+        warlock_alloc::AllocationPolicy::Auto { cv_threshold } => {
+            if adv.allocation_policy == warlock_alloc::AllocationPolicy::default() {
+                let _ = writeln!(out, "allocation_policy = auto");
+            } else {
+                let _ = writeln!(out, "allocation_policy = auto:{cv_threshold}");
+            }
+        }
+        warlock_alloc::AllocationPolicy::GreedySize => {
+            let _ = writeln!(out, "allocation_policy = greedy");
+        }
+        warlock_alloc::AllocationPolicy::RoundRobin => {
+            let _ = writeln!(out, "allocation_policy = round_robin");
+        }
+    }
     match adv.parallelism {
         0 => {
             let _ = writeln!(out, "parallelism = auto");
@@ -859,6 +933,61 @@ top_n = 5
             .unwrap_err()
             .message
             .contains("parallelism"));
+    }
+
+    #[test]
+    fn skew_shuffle_parses_and_round_trips() {
+        let with = SAMPLE.replace("skew = 0.5", "skew = 1.8\nskew_shuffle = 42");
+        let parsed = parse_config(&with).unwrap();
+        let skews = parsed.advisor.skew.as_ref().unwrap();
+        assert_eq!(skews[0], DimensionSkew::hot_spot(1.8, 42));
+        assert!(skews[1].is_uniform());
+        let rendered = render_config(&parsed);
+        assert!(rendered.contains("skew_shuffle = 42"));
+        let reparsed = parse_config(&rendered).unwrap();
+        assert_eq!(reparsed.advisor.skew, parsed.advisor.skew);
+
+        // A shuffle without skew is a loud, typed error naming the
+        // dimension, not a silently ignored key.
+        let bad = SAMPLE.replace("skew = 0.5", "skew_shuffle = 42");
+        let err = parse_config(&bad).unwrap_err();
+        assert!(err.message.contains("skew_shuffle without skew"));
+        assert!(err.message.contains("product"));
+
+        let bad = SAMPLE.replace("skew = 0.5", "skew = 0.5\nskew_shuffle = soon");
+        assert!(parse_config(&bad)
+            .unwrap_err()
+            .message
+            .contains("skew_shuffle"));
+    }
+
+    #[test]
+    fn allocation_policy_parses_and_round_trips() {
+        use warlock_alloc::AllocationPolicy;
+        for (text, policy) in [
+            ("auto", AllocationPolicy::default()),
+            ("auto:0.25", AllocationPolicy::Auto { cv_threshold: 0.25 }),
+            ("greedy", AllocationPolicy::GreedySize),
+            ("round_robin", AllocationPolicy::RoundRobin),
+        ] {
+            let with = SAMPLE.replace(
+                "top_n = 5",
+                &format!("top_n = 5\nallocation_policy = {text}"),
+            );
+            let parsed = parse_config(&with).unwrap();
+            assert_eq!(parsed.advisor.allocation_policy, policy, "{text}");
+            let reparsed = parse_config(&render_config(&parsed)).unwrap();
+            assert_eq!(reparsed.advisor.allocation_policy, policy, "{text}");
+        }
+
+        let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nallocation_policy = stripe");
+        let err = parse_config(&bad).unwrap_err();
+        assert!(err.message.contains("allocation_policy"));
+        assert!(err.message.contains("stripe"));
+        let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nallocation_policy = auto:-1");
+        assert!(parse_config(&bad).is_err());
+        let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nallocation_policy = auto:wide");
+        assert!(parse_config(&bad).is_err());
     }
 
     #[test]

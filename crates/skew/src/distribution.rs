@@ -28,6 +28,17 @@ impl DimensionSkew {
         }
     }
 
+    /// A hot-spot profile: a steep Zipf concentrating most of the access
+    /// mass on a handful of members, dispersed over the ordinal range by
+    /// a deterministic shuffle (so the hot members do not all land in the
+    /// first fragment of a range partition).
+    pub fn hot_spot(theta: f64, shuffle_seed: u64) -> Self {
+        Self {
+            theta,
+            shuffle_seed: Some(shuffle_seed),
+        }
+    }
+
     /// Whether this configuration is exactly uniform.
     pub fn is_uniform(&self) -> bool {
         self.theta == 0.0
@@ -261,6 +272,22 @@ mod tests {
     #[should_panic(expected = "one skew config per dimension")]
     fn mismatched_lengths_rejected() {
         let _ = SkewModel::new(&[4, 5], &[DimensionSkew::UNIFORM]);
+    }
+
+    #[test]
+    fn hot_spot_is_steep_and_dispersed() {
+        let hot = DimensionSkew::hot_spot(1.8, 7);
+        assert!(!hot.is_uniform());
+        assert_eq!(hot.shuffle_seed, Some(7));
+        let m = SkewModel::new(&[64], &[hot]);
+        let s = m.level_summary(0, 64);
+        // Most mass on a handful of members.
+        assert!(s.max_weight > 0.3, "max weight {}", s.max_weight);
+        // Same seed reproduces the same dispersion; a different seed moves it.
+        let again = SkewModel::new(&[64], &[DimensionSkew::hot_spot(1.8, 7)]);
+        assert_eq!(m.bottom_weights(0), again.bottom_weights(0));
+        let other = SkewModel::new(&[64], &[DimensionSkew::hot_spot(1.8, 8)]);
+        assert_ne!(m.bottom_weights(0), other.bottom_weights(0));
     }
 
     #[test]

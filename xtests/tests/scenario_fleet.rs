@@ -1,0 +1,106 @@
+//! Cross-crate tests of the scenario-fleet harness: reproducibility of
+//! the exact report fields, the canary-tripped diff gate, and the
+//! config-file materialization path (`Warlock::from_config_path`).
+
+use warlock::Warlock;
+use warlock_bench::fleet::{
+    apply_canary, diff_reports, fleet_fingerprint, run_fleet, DiffOptions, FleetReport,
+    SCHEMA_VERSION,
+};
+use warlock_scenarios::{generate_fleet, ScenarioSpace};
+
+/// Same seed ⇒ identical fingerprints, invariant results and exact
+/// per-scenario fields, across independent harness runs.
+#[test]
+fn fleet_runs_are_reproducible() {
+    let space = ScenarioSpace::default();
+    let a = run_fleet(42, 12, &space).unwrap();
+    let b = run_fleet(42, 12, &space).unwrap();
+    assert_eq!(a.schema_version, SCHEMA_VERSION);
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.failures, b.failures);
+    assert!(a.failures.is_empty(), "{:?}", a.failures);
+    for (x, y) in a.scenarios.iter().zip(&b.scenarios) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.candidates, y.candidates);
+        assert_eq!(x.fragments, y.fragments);
+        assert_eq!(x.disks, y.disks);
+    }
+    // The fingerprint is a pure function of the generated fleet.
+    let fleet = generate_fleet(42, 12, &space);
+    assert_eq!(a.fingerprint, fleet_fingerprint(&fleet));
+}
+
+/// The report survives its JSON wire form, and an injected slowdown is
+/// caught by the diff gate while a self-diff passes.
+#[test]
+fn diff_gate_catches_injected_slowdown() {
+    let report = run_fleet(7, 8, &ScenarioSpace::default()).unwrap();
+    let reparsed = FleetReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(reparsed.fingerprint, report.fingerprint);
+    assert_eq!(reparsed.scenarios, report.scenarios);
+
+    let strict = DiffOptions::strict(0.5);
+    assert!(diff_reports(&report, &reparsed, &strict).unwrap().passed());
+
+    let mut slowed = reparsed;
+    apply_canary(&mut slowed, 10.0);
+    let outcome = diff_reports(&report, &slowed, &strict).unwrap();
+    assert!(!outcome.passed());
+    assert!(outcome
+        .regressions
+        .iter()
+        .any(|r| r.contains("rank_ms_p99")));
+
+    // A different fleet is incomparable, not silently diffed.
+    let other = run_fleet(8, 8, &ScenarioSpace::default()).unwrap();
+    assert!(diff_reports(&report, &other, &strict)
+        .unwrap_err()
+        .contains("fleet mismatch"));
+}
+
+/// A generated scenario written to disk materializes through the
+/// config-file entry point into an equivalent session.
+#[test]
+fn scenarios_materialize_from_config_files() {
+    let fleet = generate_fleet(123, 6, &ScenarioSpace::default());
+    let dir = std::env::temp_dir().join(format!("warlock-fleet-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for scenario in &fleet {
+        let path = dir.join(format!("{}.cfg", scenario.id));
+        std::fs::write(&path, scenario.config_string()).unwrap();
+        let from_file = Warlock::from_config_path(&path).unwrap();
+        let direct = scenario.session().unwrap();
+        assert_eq!(from_file.schema(), direct.schema());
+        assert_eq!(from_file.system(), direct.system());
+        assert_eq!(from_file.config(), direct.config());
+        assert_eq!(
+            from_file.candidate_space_size(),
+            direct.candidate_space_size()
+        );
+        // Both paths produce the same ranking. Costs agree to ulp
+        // precision only: the config file stores *normalized* mix
+        // shares, and re-normalizing on parse can shift each share by
+        // one ulp — structure and ordering must still be identical.
+        let a = from_file.rank().unwrap();
+        let b = direct.rank().unwrap();
+        assert_eq!(a.enumerated, b.enumerated, "{}", scenario.label());
+        assert_eq!(a.evaluated, b.evaluated, "{}", scenario.label());
+        assert_eq!(a.ranked.len(), b.ranked.len(), "{}", scenario.label());
+        for (x, y) in a.ranked.iter().zip(&b.ranked) {
+            assert_eq!(x.label, y.label, "{}", scenario.label());
+            assert_eq!(x.cost.fragmentation, y.cost.fragmentation);
+            assert_eq!(x.cost.num_fragments, y.cost.num_fragments);
+            let rel = (x.cost.response_ms - y.cost.response_ms).abs()
+                / y.cost.response_ms.abs().max(1e-12);
+            assert!(
+                rel < 1e-9,
+                "{}: {} vs {}",
+                scenario.label(),
+                x.cost.response_ms,
+                y.cost.response_ms
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
