@@ -108,12 +108,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         );
         for class in &report.classes {
             eprintln!(
-                "  {:<34} n={} rank p50 {:>8.3} ms  p99 {:>8.3} ms  {:>7.1}/s  peak {:>9} B",
+                "  {:<34} n={} rank p50 {:>8.3} ms  p99 {:>8.3} ms  {:>7.1}/s  eval {:>9.0} cand/s  peak {:>9} B",
                 class.class,
                 class.scenarios,
                 class.rank_ms_p50,
                 class.rank_ms_p99,
                 class.throughput_per_s,
+                class.candidates_per_sec,
                 class.peak_bytes_max,
             );
         }

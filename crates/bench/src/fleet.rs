@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use warlock::config_file::parse_config;
+use warlock::config_file::{parse_config, ParsedConfig};
 use warlock::{SessionReport, Warlock};
 use warlock_json::{Json, ToJson};
 use warlock_scenarios::{generate_fleet, Scenario, ScenarioSpace};
@@ -24,7 +24,9 @@ use warlock_scenarios::{generate_fleet, Scenario, ScenarioSpace};
 use crate::alloc_probe::{allocation_profile, probe_installed};
 
 /// Schema version of the `BENCH_*.json` document this module writes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added `candidates_per_sec`; v1 documents still parse (the field
+/// defaults to 0, which the diff skips).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Every `sample_stride`-th scenario additionally re-ranks with forced
 /// chunked-streaming settings and asserts bit-identical reports.
@@ -47,6 +49,11 @@ pub struct ScenarioMetrics {
     pub fragments: u64,
     /// Wall-clock of the cold rank (enumerate + evaluate + twofold rank).
     pub rank_ms: f64,
+    /// Single-thread cold-cache evaluation throughput: candidates/sec
+    /// through the batched evaluator (cost-table build included) over
+    /// the scenario's structurally admissible candidate space — no
+    /// memo, no ranking, one worker.
+    pub candidates_per_sec: f64,
     /// Wall-clock of planning the winner's allocation.
     pub alloc_ms: f64,
     /// Wall-clock of a warm `what_if_disks` variation (pure cache hits).
@@ -83,6 +90,10 @@ pub struct ClassAggregate {
     pub rank_ms_p99: f64,
     /// Scenario throughput: members / total wall-clock seconds.
     pub throughput_per_s: f64,
+    /// Mean single-thread cold-cache evaluation throughput across
+    /// members (candidates/sec, see
+    /// [`ScenarioMetrics::candidates_per_sec`]).
+    pub candidates_per_sec: f64,
     /// Total candidate-space size across members (reproducible).
     pub candidates: u64,
     /// Largest peak live bytes among members.
@@ -134,6 +145,72 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     }
     let rank = (p * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Single-thread cold-cache sweep of the scenario's candidate space
+/// through the batched evaluator: cost-table build + layout + SoA
+/// costing for every structurally admissible candidate, no memo, no
+/// ranking. Returns candidates/sec (0 when nothing was evaluable) —
+/// the fleet's evaluation-throughput trajectory number.
+fn eval_sweep(parsed: &ParsedConfig) -> f64 {
+    use warlock_bitmap::BitmapScheme;
+    use warlock_cost::{evaluate_chunk, ChunkBatch, CostModel, CostTables};
+    use warlock_fragment::{CandidateSource, FragmentLayout, LayoutScratch};
+
+    const GROUP: usize = 64;
+
+    let scheme = BitmapScheme::derive(&parsed.schema, &parsed.mix, parsed.advisor.scheme);
+    let model = CostModel::new(&parsed.schema, &parsed.system, &scheme, &parsed.mix);
+    let Ok(model) = model.with_fact_index(parsed.advisor.fact_index) else {
+        return 0.0;
+    };
+
+    let started = Instant::now();
+    let tables = CostTables::build(&model, &parsed.advisor.range_options);
+    let source = CandidateSource::ranged(
+        &parsed.schema,
+        parsed.advisor.max_dimensionality,
+        &parsed.advisor.range_options,
+    );
+    let mut scratch = LayoutScratch::new();
+    let mut batch = ChunkBatch::new();
+    let mut swept = 0u64;
+    let mut staged = 0usize;
+    let mut sink = 0.0f64;
+    let max_fragments = u128::from(parsed.advisor.thresholds.max_fragments);
+    for fragmentation in source {
+        if fragmentation.num_fragments(&parsed.schema) > max_fragments {
+            continue;
+        }
+        let layout = FragmentLayout::new_in(
+            &mut scratch,
+            &parsed.schema,
+            fragmentation,
+            parsed.advisor.fact_index,
+        );
+        batch.push(layout, &mut scratch);
+        staged += 1;
+        if staged == GROUP {
+            for cost in evaluate_chunk(&tables, &mut batch) {
+                sink += cost.io_cost_ms;
+            }
+            swept += staged as u64;
+            staged = 0;
+        }
+    }
+    if staged > 0 {
+        for cost in evaluate_chunk(&tables, &mut batch) {
+            sink += cost.io_cost_ms;
+        }
+        swept += staged as u64;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    if swept == 0 || secs <= 0.0 {
+        0.0
+    } else {
+        swept as f64 / secs
+    }
 }
 
 /// Runs one scenario end to end, appending metrics or a failure.
@@ -307,6 +384,10 @@ fn run_scenario(
     let (outcome, allocations, peak_bytes) = run;
     match outcome {
         Ok((rank_ms, alloc_ms, whatif_ms, cache_hit_rate, space, fragments)) => {
+            // Measured outside the allocation profile so the memory
+            // numbers keep covering only the rank → allocate → what-if
+            // arc they always did.
+            let candidates_per_sec = eval_sweep(&scenario.parsed);
             metrics.push(ScenarioMetrics {
                 id: scenario.id,
                 label: label.clone(),
@@ -315,6 +396,7 @@ fn run_scenario(
                 candidates: u64::try_from(space).unwrap_or(u64::MAX),
                 fragments,
                 rank_ms,
+                candidates_per_sec,
                 alloc_ms,
                 whatif_ms,
                 cache_hit_rate,
@@ -366,6 +448,8 @@ pub fn run_fleet(seed: u64, count: u32, space: &ScenarioSpace) -> Result<FleetRe
                 } else {
                     0.0
                 },
+                candidates_per_sec: members.iter().map(|m| m.candidates_per_sec).sum::<f64>()
+                    / members.len() as f64,
                 candidates: members.iter().map(|m| m.candidates).sum(),
                 peak_bytes_max: members.iter().map(|m| m.peak_bytes).max().unwrap_or(0),
                 cache_hit_rate_mean: members.iter().map(|m| m.cache_hit_rate).sum::<f64>()
@@ -407,6 +491,7 @@ impl FleetReport {
                     ("candidates", Json::Int(m.candidates as i64)),
                     ("fragments", Json::Int(m.fragments as i64)),
                     ("rank_ms", Json::Num(m.rank_ms)),
+                    ("candidates_per_sec", Json::Num(m.candidates_per_sec)),
                     ("alloc_ms", Json::Num(m.alloc_ms)),
                     ("whatif_ms", Json::Num(m.whatif_ms)),
                     ("cache_hit_rate", Json::Num(m.cache_hit_rate)),
@@ -425,6 +510,7 @@ impl FleetReport {
                     ("rank_ms_p50", Json::Num(c.rank_ms_p50)),
                     ("rank_ms_p99", Json::Num(c.rank_ms_p99)),
                     ("throughput_per_s", Json::Num(c.throughput_per_s)),
+                    ("candidates_per_sec", Json::Num(c.candidates_per_sec)),
                     ("candidates", Json::Int(c.candidates as i64)),
                     ("peak_bytes_max", Json::Int(c.peak_bytes_max as i64)),
                     ("cache_hit_rate_mean", Json::Num(c.cache_hit_rate_mean)),
@@ -469,9 +555,9 @@ impl FleetReport {
                     .ok_or_else(|| warlock_json::JsonError::shape("schema_version not a number"))
             })
             .map_err(|e| e.to_string())?;
-        if version != SCHEMA_VERSION {
+        if version == 0 || version > SCHEMA_VERSION {
             return Err(format!(
-                "unsupported fleet report schema_version {version} (expected {SCHEMA_VERSION})"
+                "unsupported fleet report schema_version {version} (expected 1..={SCHEMA_VERSION})"
             ));
         }
         let str_field = |v: &Json, key: &str| -> Result<String, String> {
@@ -493,6 +579,16 @@ impl FleetReport {
                 .as_f64()
                 .ok_or_else(|| format!("`{key}` is not a number"))
         };
+        // Fields added after v1 default to 0 in older documents (the
+        // diff skips 0 baselines).
+        let f64_opt = |v: &Json, key: &str| -> Result<f64, String> {
+            match v.req(key) {
+                Ok(value) => value
+                    .as_f64()
+                    .ok_or_else(|| format!("`{key}` is not a number")),
+                Err(_) => Ok(0.0),
+            }
+        };
         let arr_field = |v: &Json, key: &str| -> Result<Vec<Json>, String> {
             Ok(v.req(key)
                 .map_err(|e| e.to_string())?
@@ -511,6 +607,7 @@ impl FleetReport {
                     candidates: u64_field(m, "candidates")?,
                     fragments: u64_field(m, "fragments")?,
                     rank_ms: f64_field(m, "rank_ms")?,
+                    candidates_per_sec: f64_opt(m, "candidates_per_sec")?,
                     alloc_ms: f64_field(m, "alloc_ms")?,
                     whatif_ms: f64_field(m, "whatif_ms")?,
                     cache_hit_rate: f64_field(m, "cache_hit_rate")?,
@@ -528,6 +625,7 @@ impl FleetReport {
                     rank_ms_p50: f64_field(c, "rank_ms_p50")?,
                     rank_ms_p99: f64_field(c, "rank_ms_p99")?,
                     throughput_per_s: f64_field(c, "throughput_per_s")?,
+                    candidates_per_sec: f64_opt(c, "candidates_per_sec")?,
                     candidates: u64_field(c, "candidates")?,
                     peak_bytes_max: u64_field(c, "peak_bytes_max")?,
                     cache_hit_rate_mean: f64_field(c, "cache_hit_rate_mean")?,
@@ -646,9 +744,9 @@ pub fn diff_reports(
     options: &DiffOptions,
 ) -> Result<DiffOutcome, String> {
     let tolerance = options.tolerance;
-    if baseline.schema_version != current.schema_version {
+    if baseline.schema_version > current.schema_version {
         return Err(format!(
-            "schema_version mismatch: baseline {} vs current {}",
+            "schema_version mismatch: baseline {} is newer than current {}",
             baseline.schema_version, current.schema_version
         ));
     }
@@ -750,6 +848,29 @@ pub fn diff_reports(
                 ));
             }
         }
+        // Evaluation throughput: lower is worse. A 0 baseline (pre-v2
+        // document) is skipped by `ratio`.
+        if let Some(delta) = ratio(base.candidates_per_sec, class.candidates_per_sec) {
+            lines.push(format!(
+                "{:<34} {:<12} {:>10.0} -> {:>10.0}  ({:+.1}%)",
+                class.class,
+                "cand_per_s",
+                base.candidates_per_sec,
+                class.candidates_per_sec,
+                delta * 100.0
+            ));
+            let floor = 1.0 / (1.0 + tolerance) - 1.0;
+            if delta < floor {
+                regressions.push(format!(
+                    "class {}: candidates_per_sec regressed {:.0} -> {:.0}/s ({:+.1}% < {:.0}%)",
+                    class.class,
+                    base.candidates_per_sec,
+                    class.candidates_per_sec,
+                    delta * 100.0,
+                    floor * 100.0
+                ));
+            }
+        }
         // Peak memory: only comparable when both runs had the probe.
         if baseline.counting_allocator && current.counting_allocator {
             if let Some(delta) = ratio(base.peak_bytes_max as f64, class.peak_bytes_max as f64) {
@@ -794,12 +915,14 @@ pub fn apply_canary(report: &mut FleetReport, factor: f64) {
         m.rank_ms *= factor;
         m.alloc_ms *= factor;
         m.whatif_ms *= factor;
+        m.candidates_per_sec /= factor;
         m.peak_bytes = (m.peak_bytes as f64 * factor) as u64;
     }
     for c in &mut report.classes {
         c.rank_ms_p50 *= factor;
         c.rank_ms_p99 *= factor;
         c.throughput_per_s /= factor;
+        c.candidates_per_sec /= factor;
         c.peak_bytes_max = (c.peak_bytes_max as f64 * factor) as u64;
     }
     report.total_ms *= factor;
@@ -901,9 +1024,30 @@ mod tests {
     fn unsupported_schema_version_is_rejected() {
         let text = small_report()
             .to_json_string()
-            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+            .replace("\"schema_version\": 2", "\"schema_version\": 99");
         assert!(FleetReport::from_json_str(&text)
             .unwrap_err()
             .contains("schema_version"));
+    }
+
+    #[test]
+    fn v1_documents_parse_with_candidates_per_sec_defaulted() {
+        // A v1 document has no `candidates_per_sec`; strip the field
+        // and downgrade the version marker to simulate one.
+        let report = small_report();
+        let text: String = report
+            .to_json_string()
+            .replace("\"schema_version\": 2", "\"schema_version\": 1")
+            .lines()
+            .filter(|line| !line.contains("\"candidates_per_sec\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = FleetReport::from_json_str(&text).expect("v1 document must parse");
+        assert!(parsed.scenarios.iter().all(|m| m.candidates_per_sec == 0.0));
+        assert!(parsed.classes.iter().all(|c| c.candidates_per_sec == 0.0));
+        // Diffing a v1 baseline against a v2 current skips the new
+        // metric instead of erroring.
+        let outcome = diff_reports(&parsed, &report, &DiffOptions::strict(0.5)).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
     }
 }

@@ -20,20 +20,51 @@
 //! across long reconfiguration histories.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, Mutex};
 
 use warlock_cost::CandidateCost;
 use warlock_fragment::{Exclusion, Fragmentation};
 
 /// One memoized pipeline outcome for a candidate: either the exclusion
-/// the thresholds raised, or its evaluated cost.
+/// the thresholds raised, or its evaluated cost. Costs are shared
+/// (`Arc`), so a cache hit — and the insert right after a fresh
+/// evaluation — is a reference-count bump, never a deep copy of the
+/// candidate's cost breakdown.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum CachedOutcome {
     /// The thresholds excluded the candidate.
     Excluded(Exclusion),
     /// The candidate survived and was costed.
-    Cost(CandidateCost),
+    Cost(Arc<CandidateCost>),
 }
+
+/// FNV-1a. Candidate keys are a handful of bytes and probed twice per
+/// cold evaluation, where SipHash's finalization dominates; FNV keeps
+/// the probe cost proportional to the key size.
+#[derive(Debug, Clone)]
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+type FnvBuild = BuildHasherDefault<FnvHasher>;
 
 /// Observable counters of an [`EvalCache`](crate::Warlock::cache_stats).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,7 +83,7 @@ struct Inner {
     /// Outcomes grouped by input fingerprint, then candidate — the
     /// two-level shape lets a probe borrow the candidate instead of
     /// cloning it into a tuple key.
-    map: HashMap<u128, HashMap<Fragmentation, CachedOutcome>>,
+    map: HashMap<u128, HashMap<Fragmentation, CachedOutcome, FnvBuild>, FnvBuild>,
     entries: usize,
     hits: u64,
     misses: u64,
@@ -100,20 +131,55 @@ impl EvalCache {
         fragmentation: Fragmentation,
         outcome: CachedOutcome,
     ) {
+        self.insert_batch(fingerprint, std::iter::once((fragmentation, outcome)));
+    }
+
+    /// Memoizes a batch of outcomes under one lock acquisition — the
+    /// streaming pipeline uses this once per evaluated chunk instead of
+    /// locking per candidate.
+    pub(crate) fn insert_batch(
+        &self,
+        fingerprint: u128,
+        entries: impl Iterator<Item = (Fragmentation, CachedOutcome)>,
+    ) {
         let mut inner = self.inner.lock().expect("eval cache poisoned");
-        if inner.entries >= MAX_ENTRIES {
-            inner.map.clear();
-            inner.entries = 0;
+        let expected = entries.size_hint().0;
+        if expected > 1 {
+            inner.map.entry(fingerprint).or_default().reserve(expected);
         }
-        if inner
-            .map
-            .entry(fingerprint)
-            .or_default()
-            .insert(fragmentation, outcome)
-            .is_none()
-        {
-            inner.entries += 1;
+        for (fragmentation, outcome) in entries {
+            if inner.entries >= MAX_ENTRIES {
+                inner.map.clear();
+                inner.entries = 0;
+            }
+            if inner
+                .map
+                .entry(fingerprint)
+                .or_default()
+                .insert(fragmentation, outcome)
+                .is_none()
+            {
+                inner.entries += 1;
+            }
         }
+    }
+
+    /// Whether any outcome is memoized under `fingerprint`. A run whose
+    /// fingerprint bucket is empty at the start can skip per-candidate
+    /// probes entirely: enumeration never repeats a candidate, so its
+    /// own inserts can never be hit within the same run. Lookups skipped
+    /// this way are accounted through [`Self::record_misses`].
+    pub(crate) fn has_entries(&self, fingerprint: u128) -> bool {
+        let inner = self.inner.lock().expect("eval cache poisoned");
+        inner.map.get(&fingerprint).is_some_and(|m| !m.is_empty())
+    }
+
+    /// Counts `n` cache misses without probing — the statistics
+    /// complement of the skipped lookups described on
+    /// [`Self::has_entries`].
+    pub(crate) fn record_misses(&self, n: u64) {
+        let mut inner = self.inner.lock().expect("eval cache poisoned");
+        inner.misses += n;
     }
 
     /// Drops every entry and resets the counters.

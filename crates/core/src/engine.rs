@@ -23,11 +23,15 @@
 //! panicking, so a worker bug in a long-lived service degrades to a
 //! failed request.
 
+use std::sync::Arc;
+
 use warlock_bitmap::BitmapScheme;
-use warlock_cost::{CandidateCost, CostModel};
+use warlock_cost::{
+    evaluate_chunk_with, CandidateCost, ChunkBatch, CostModel, CostTables, PerQueryDetail,
+};
 use warlock_fragment::{
-    CandidateError, CandidateSource, Exclusion, FragmentLayout, Fragmentation, SkewModelExt,
-    ThresholdContext,
+    CandidateError, CandidateSource, Exclusion, FragmentLayout, Fragmentation, LayoutScratch,
+    SkewModelExt, ThresholdContext,
 };
 use warlock_schema::StarSchema;
 use warlock_skew::SkewModel;
@@ -194,22 +198,67 @@ fn pre_exclude(
     None
 }
 
-/// The worker-side per-candidate pipeline step: layout → thresholds →
-/// cost. Pure in its inputs, so it can run on any worker. Callers must
-/// have passed the candidate through [`pre_exclude`] first (the layout
-/// would panic on a `u64`-overflowing fragment count otherwise).
-fn evaluate_candidate(
+/// Largest number of candidates one worker batches per costing call.
+/// Bounds the SoA column memory of a group while staying wide enough
+/// that the per-class table lookups amortize.
+const MAX_GROUP_SIZE: usize = 64;
+
+/// Per-worker reusable evaluation arenas: layout construction buffers,
+/// the SoA chunk batch, and the staging map from batch position back to
+/// group slot. Acquired once per pool thread via [`exec::with_scratch`],
+/// so all three amortize to zero steady-state allocation.
+#[derive(Debug, Default)]
+struct EvalScratch {
+    layout: LayoutScratch,
+    batch: ChunkBatch,
+    staged: Vec<usize>,
+}
+
+/// The worker-side pipeline step for one group of candidates: layout →
+/// thresholds per candidate (layouts built into the recycled scratch),
+/// then a single batched costing pass over every survivor. Pure in its
+/// inputs, so it can run on any worker; returns one outcome per group
+/// entry, in group order. Callers must have passed every candidate
+/// through [`pre_exclude`] first (the layout would panic on a
+/// `u64`-overflowing fragment count otherwise).
+fn evaluate_group(
     schema: &StarSchema,
     config: &AdvisorConfig,
     ctx: ThresholdContext,
-    model: &CostModel<'_>,
-    fragmentation: &Fragmentation,
-) -> CachedOutcome {
-    let layout = FragmentLayout::new(schema, fragmentation.clone(), config.fact_index);
-    match config.thresholds.check(&layout, ctx) {
-        Err(reason) => CachedOutcome::Excluded(reason),
-        Ok(()) => CachedOutcome::Cost(model.evaluate_layout(&layout)),
+    tables: &CostTables,
+    chunk: &[Fragmentation],
+    group: &[usize],
+    scratch: &mut EvalScratch,
+) -> Vec<Option<CachedOutcome>> {
+    let mut outcomes: Vec<Option<CachedOutcome>> = Vec::with_capacity(group.len());
+    outcomes.resize(group.len(), None);
+    scratch.staged.clear();
+    for (slot, &i) in group.iter().enumerate() {
+        let layout = FragmentLayout::new_in(
+            &mut scratch.layout,
+            schema,
+            chunk[i].clone(),
+            config.fact_index,
+        );
+        match config.thresholds.check(&layout, ctx) {
+            Err(reason) => {
+                let _ = layout.recycle(&mut scratch.layout);
+                outcomes[slot] = Some(CachedOutcome::Excluded(reason));
+            }
+            Ok(()) => {
+                scratch.batch.push(layout, &mut scratch.layout);
+                scratch.staged.push(slot);
+            }
+        }
     }
+    // Per-query detail is omitted on the hot path: ranking reads only
+    // the aggregates, and the final report re-derives detail for the
+    // ranked handful (see `run`).
+    let costs = evaluate_chunk_with(tables, &mut scratch.batch, PerQueryDetail::Omit);
+    for (slot, cost) in scratch.staged.drain(..).zip(costs) {
+        outcomes[slot] = Some(CachedOutcome::Cost(Arc::new(cost)));
+    }
+    outcomes
 }
 
 /// Runs the full prediction pipeline as a streaming pass.
@@ -251,7 +300,21 @@ pub(crate) fn run(
     let ctx = threshold_context(schema, system, config);
     let model = cost_model(schema, system, scheme, mix, config)?;
     let fingerprint = env.cache.map(|_| run_fingerprint(&model, config));
+    // Probe the memo per candidate only when this fingerprint already
+    // holds outcomes. Enumeration never repeats a candidate, so a cold
+    // run can never hit its own inserts — skipping the probes saves two
+    // map walks per candidate; the skipped lookups are still accounted
+    // as misses (`record_misses`) so the observable hit rate is
+    // unchanged.
+    let probe_cache = match (env.cache, fingerprint) {
+        (Some(cache), Some(fp)) => cache.has_entries(fp),
+        _ => false,
+    };
     let workers = exec::effective_parallelism(config.parallelism);
+    // Precomputed cost tables for the batched evaluator, built lazily on
+    // the first cache-miss candidate — a fully warm run never pays for
+    // the build.
+    let tables: std::cell::OnceCell<CostTables> = std::cell::OnceCell::new();
     // Clamp to the exact space so an absurd (possibly client-supplied)
     // chunk size cannot pre-allocate beyond what will ever be pulled.
     let chunk_size = effective_chunk_size(config.chunk_size)
@@ -265,6 +328,9 @@ pub(crate) fn run(
     let mut chunk: Vec<Fragmentation> = Vec::with_capacity(chunk_size);
     let mut outcomes: Vec<Option<CachedOutcome>> = Vec::with_capacity(chunk_size);
     let mut todo: Vec<usize> = Vec::new();
+    // Outcomes staged for one `insert_batch` per chunk (one lock
+    // acquisition instead of one per candidate).
+    let mut pending: Vec<(Fragmentation, CachedOutcome)> = Vec::new();
 
     loop {
         // Pull the next chunk from the lazy source.
@@ -285,35 +351,84 @@ pub(crate) fn run(
         outcomes.clear();
         outcomes.resize(chunk.len(), None);
         todo.clear();
-        for (i, fragmentation) in chunk.iter().enumerate() {
-            if let (Some(cache), Some(fp)) = (env.cache, fingerprint) {
-                if let Some(outcome) = cache.lookup(fp, fragmentation) {
-                    outcomes[i] = Some(outcome);
-                    continue;
+        if let Some(cache) = env.cache {
+            if !probe_cache {
+                cache.record_misses(chunk.len() as u64);
+            }
+        }
+        for i in 0..chunk.len() {
+            if probe_cache {
+                if let (Some(cache), Some(fp)) = (env.cache, fingerprint) {
+                    if let Some(outcome) = cache.lookup(fp, &chunk[i]) {
+                        outcomes[i] = Some(outcome);
+                        continue;
+                    }
                 }
             }
-            match pre_exclude(schema, config, fragmentation) {
+            match pre_exclude(schema, config, &chunk[i]) {
                 Some(reason) => {
-                    let outcome = CachedOutcome::Excluded(reason);
-                    if let (Some(cache), Some(fp)) = (env.cache, fingerprint) {
-                        cache.insert(fp, fragmentation.clone(), outcome.clone());
+                    if fingerprint.is_some() {
+                        // The merge loop reads the drained chunk slot
+                        // only while the reason's sample list has room,
+                        // so past that point the slot can be moved out
+                        // as the memo key instead of cloned.
+                        let key = if excluded.wants_sample(&reason) {
+                            chunk[i].clone()
+                        } else {
+                            std::mem::replace(&mut chunk[i], Fragmentation::none())
+                        };
+                        pending.push((key, CachedOutcome::Excluded(reason)));
                     }
-                    outcomes[i] = Some(outcome);
+                    outcomes[i] = Some(CachedOutcome::Excluded(reason));
                 }
                 None => todo.push(i),
             }
         }
 
-        // Fan the uncached evaluations out over the pool; results come
-        // back in `todo` order regardless of worker scheduling.
-        let fresh = env.pool.map(workers, &todo, |&i| {
-            evaluate_candidate(schema, config, ctx, &model, &chunk[i])
-        });
-        for (&i, outcome) in todo.iter().zip(fresh) {
-            if let (Some(cache), Some(fp)) = (env.cache, fingerprint) {
-                cache.insert(fp, chunk[i].clone(), outcome.clone());
+        // Fan the uncached evaluations out over the pool in contiguous
+        // groups (one SoA batch per group, costed through the shared
+        // tables); results come back in `todo` order regardless of
+        // worker scheduling.
+        if !todo.is_empty() {
+            let tables = tables.get_or_init(|| CostTables::build(&model, &config.range_options));
+            let group_size = todo.len().div_ceil(workers).clamp(1, MAX_GROUP_SIZE);
+            let groups: Vec<&[usize]> = todo.chunks(group_size).collect();
+            let fresh = env.pool.map(workers, &groups, |group| {
+                exec::with_scratch(|scratch: &mut EvalScratch| {
+                    evaluate_group(schema, config, ctx, tables, &chunk, group, scratch)
+                })
+            });
+            for (group, group_outcomes) in groups.iter().zip(fresh) {
+                for (&i, outcome) in group.iter().zip(group_outcomes) {
+                    let outcome = outcome.ok_or_else(|| {
+                        WarlockError::internal("group evaluation left no outcome")
+                    })?;
+                    if fingerprint.is_some() {
+                        // The merge loop reads the drained chunk slot
+                        // only for exclusions still collecting sample
+                        // records; a costed candidate carries its
+                        // fragmentation in the cost itself. Everywhere
+                        // else the slot is moved out as the memo key
+                        // instead of cloned.
+                        let key = match &outcome {
+                            CachedOutcome::Cost(_) => {
+                                std::mem::replace(&mut chunk[i], Fragmentation::none())
+                            }
+                            CachedOutcome::Excluded(reason) if !excluded.wants_sample(reason) => {
+                                std::mem::replace(&mut chunk[i], Fragmentation::none())
+                            }
+                            CachedOutcome::Excluded(_) => chunk[i].clone(),
+                        };
+                        pending.push((key, outcome.clone()));
+                    }
+                    outcomes[i] = Some(outcome);
+                }
             }
-            outcomes[i] = Some(outcome);
+        }
+        if let (Some(cache), Some(fp)) = (env.cache, fingerprint) {
+            if !pending.is_empty() {
+                cache.insert_batch(fp, pending.drain(..));
+            }
         }
 
         // Merge in enumeration order. The rank accumulator's horizon is
@@ -336,7 +451,7 @@ pub(crate) fn run(
                 CachedOutcome::Cost(cost) => {
                     evaluated += 1;
                     let remaining = after_chunk + (chunk_len - 1 - i) as u128;
-                    rank.push(cost, remaining);
+                    rank.push_shared(cost, remaining);
                 }
             }
         }
@@ -344,6 +459,14 @@ pub(crate) fn run(
 
     let mut ranked_costs = rank.finish();
     ranked_costs.truncate(config.top_n);
+    // The hot path costs candidates without per-query detail; re-derive
+    // it for the ranked handful through the scalar model, whose
+    // aggregates are bit-identical to the batched evaluator's.
+    for cost in &mut ranked_costs {
+        if cost.per_query.is_empty() {
+            *cost = model.evaluate(&cost.fragmentation);
+        }
+    }
     let ranked = ranked_costs
         .into_iter()
         .enumerate()
@@ -493,10 +616,14 @@ pub(crate) fn evaluate(
         None => evaluate_fingerprint(&model),
     };
     if let Some(CachedOutcome::Cost(cost)) = cache.lookup(fp, fragmentation) {
-        return Ok(cost);
+        return Ok(Arc::try_unwrap(cost).unwrap_or_else(|shared| (*shared).clone()));
     }
     let cost = model.evaluate(fragmentation);
-    cache.insert(fp, fragmentation.clone(), CachedOutcome::Cost(cost.clone()));
+    cache.insert(
+        fp,
+        fragmentation.clone(),
+        CachedOutcome::Cost(Arc::new(cost.clone())),
+    );
     Ok(cost)
 }
 

@@ -24,13 +24,42 @@
 //!   tiny inputs) runs inline without touching the pool at all, which
 //!   keeps the pinned `WARLOCK_PARALLELISM=1` lane strictly serial.
 
-use std::cell::UnsafeCell;
-use std::collections::VecDeque;
+use std::any::{Any, TypeId};
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::{HashMap, VecDeque};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+thread_local! {
+    /// Per-thread scratch arenas, keyed by type. Pool threads persist
+    /// across jobs, so an arena acquired here lives for the worker's
+    /// lifetime and its buffers amortize to zero steady-state allocation.
+    static SCRATCH: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Runs `f` with this thread's scratch arena of type `S`, creating it on
+/// first use and returning it to the thread-local store afterwards (with
+/// whatever capacity it grew). The arena is *removed* from the store for
+/// the duration of the call, so re-entrant use of the same type sees a
+/// fresh default instead of aliasing — and a panicking `f` simply drops
+/// the arena rather than leaving it in a torn state.
+pub(crate) fn with_scratch<S: Default + 'static, R>(f: impl FnOnce(&mut S) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let mut boxed: Box<dyn Any> = cell
+            .borrow_mut()
+            .remove(&TypeId::of::<S>())
+            .unwrap_or_else(|| Box::new(S::default()));
+        let scratch = boxed
+            .downcast_mut::<S>()
+            .expect("scratch store keyed by TypeId");
+        let result = f(scratch);
+        cell.borrow_mut().insert(TypeId::of::<S>(), boxed);
+        result
+    })
+}
 
 /// Environment variable overriding the automatic worker count (only
 /// consulted when [`crate::AdvisorConfig::parallelism`] is `0` = auto).
@@ -427,6 +456,52 @@ mod tests {
         assert_eq!(effective_parallelism(1), 1);
         assert_eq!(effective_parallelism(6), 6);
         assert!(effective_parallelism(0) >= 1);
+    }
+
+    #[test]
+    fn scratch_persists_per_thread_and_nests_fresh() {
+        #[derive(Default)]
+        struct Counter(u64);
+
+        // Same thread, same type: state persists between calls.
+        with_scratch(|c: &mut Counter| c.0 += 1);
+        let seen = with_scratch(|c: &mut Counter| {
+            c.0 += 1;
+            c.0
+        });
+        assert_eq!(seen, 2);
+        // Re-entrant use of the same type gets a fresh default, not an
+        // alias of the outer arena.
+        let (outer, inner) = with_scratch(|c: &mut Counter| {
+            c.0 += 1;
+            let inner = with_scratch(|nested: &mut Counter| {
+                nested.0 += 10;
+                nested.0
+            });
+            (c.0, inner)
+        });
+        assert_eq!((outer, inner), (3, 10));
+    }
+
+    #[test]
+    fn scratch_arenas_are_per_worker_thread() {
+        #[derive(Default)]
+        struct Tag(Option<std::thread::ThreadId>);
+
+        let pool = WorkerPool::new();
+        let items: Vec<u32> = (0..64).collect();
+        // Every claimed item must observe a scratch bound to its own
+        // thread — an arena created on one worker never migrates.
+        pool.map(4, &items, |&x| {
+            with_scratch(|t: &mut Tag| {
+                let me = std::thread::current().id();
+                match t.0 {
+                    None => t.0 = Some(me),
+                    Some(owner) => assert_eq!(owner, me, "scratch crossed threads"),
+                }
+            });
+            x
+        });
     }
 
     #[test]

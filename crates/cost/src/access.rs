@@ -26,8 +26,8 @@ pub enum AccessPath {
 /// The estimated I/O behaviour of one query class under one candidate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryCost {
-    /// Name of the query class.
-    pub query_name: String,
+    /// Name of the query class (shared, cheap to clone).
+    pub query_name: std::sync::Arc<str>,
     /// Chosen access path.
     pub path: AccessPath,
     /// Expected number of fragments accessed.
@@ -170,7 +170,7 @@ pub fn estimate_query(
     );
 
     QueryCost {
-        query_name: query.name().to_owned(),
+        query_name: query.name().into(),
         path,
         fragments_accessed,
         fragment_pages,

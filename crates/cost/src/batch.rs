@@ -1,0 +1,564 @@
+//! Batched candidate costing in structure-of-arrays layout.
+//!
+//! [`ChunkBatch`] accumulates a chunk of candidates as flat columns
+//! (fragment counts, per-candidate page geometry, per-class match
+//! results), and [`evaluate_chunk`] prices all of them against a
+//! [`CostTables`] in two phases per query class: an irregular matching
+//! pass that resolves predicates through the precomputed tables, then a
+//! straight-line arithmetic pass over the `f64` columns. The expression
+//! sequence per (candidate, class) is exactly the scalar
+//! [`estimate_query`](crate::access::estimate_query) path, so batched
+//! results are bit-identical to [`CostModel::evaluate_layout`]
+//! (crate::CostModel::evaluate_layout) — pinned by the
+//! `batched_equivalence` proptest in `xtests`.
+//!
+//! Compared to the scalar path, a chunk of N candidates × C classes
+//! performs the class-independent geometry (Yao/Cardenas inputs, prefetch
+//! granules, sequential-scan pricing) once per candidate instead of C
+//! times, resolves per-dimension occupancy statistics by table lookup
+//! instead of recomputation, and memoizes the Yao page-hit curve — both
+//! across classes that share a residual selectivity within one candidate
+//! and across candidates/chunks through a persistent exact-argument memo
+//! (`yao_page_hits` is a pure function, so identical arguments reproduce
+//! identical bits).
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use warlock_bitmap::estimate;
+use warlock_fragment::{FragmentLayout, Fragmentation, LayoutScratch};
+use warlock_schema::DimensionId;
+
+use crate::access::{AccessPath, QueryCost};
+use crate::model::CandidateCost;
+use crate::prefetch::effective_prefetch;
+use crate::response::estimated_response_ms;
+use crate::tables::{BitmapContrib, CostTables};
+use crate::yao::yao_page_hits;
+
+/// How much per-class detail [`evaluate_chunk_with`] materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerQueryDetail {
+    /// Materialize the full per-class [`QueryCost`] rows.
+    Full,
+    /// Leave `per_query` empty. All aggregate fields of the returned
+    /// [`CandidateCost`]s are still bit-identical to the scalar path —
+    /// only the per-class detail rows are skipped. The ranking pipeline
+    /// uses this and re-derives detail for the final ranked handful.
+    Omit,
+}
+
+/// Entry cap of the persistent Yao memo — far above what any realistic
+/// workload produces, purely a bound against pathological key churn.
+const YAO_MEMO_CAP: usize = 1 << 20;
+
+/// Mixes the three 64-bit key words of the Yao memo directly — the keys
+/// are already high-entropy (cardinalities and `f64` bit patterns), so a
+/// multiplicative mix beats SipHash by an order of magnitude here.
+#[derive(Debug, Default)]
+struct YaoKeyHasher(u64);
+
+impl std::hash::Hasher for YaoKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 ^= self.0 >> 29;
+    }
+}
+
+/// A chunk of candidates staged for batched evaluation, stored as flat
+/// columns. Reusable: [`evaluate_chunk`] drains it back to empty with all
+/// column capacity retained, so one `ChunkBatch` per worker amortizes to
+/// zero steady-state allocation (bar the output itself).
+#[derive(Debug, Default)]
+pub struct ChunkBatch {
+    // --- Per-candidate input columns -----------------------------------
+    fragmentations: Vec<Fragmentation>,
+    num_fragments: Vec<u64>,
+    /// Prefix offsets into `attr_dims`/`attr_cards`; `len() + 1` entries.
+    attr_offsets: Vec<u32>,
+    attr_dims: Vec<DimensionId>,
+    attr_cards: Vec<u64>,
+    // --- Class-independent geometry (stage A) --------------------------
+    frag_rows_avg: Vec<f64>,
+    frag_rows: Vec<u64>,
+    fragment_pages: Vec<u64>,
+    fact_prefetch: Vec<u32>,
+    scan_ms: Vec<f64>,
+    scan_ios: Vec<f64>,
+    vector_pages: Vec<u64>,
+    bitmap_prefetch: Vec<u32>,
+    vector_ms: Vec<f64>,
+    vector_ios: Vec<f64>,
+    // --- Per-class working columns -------------------------------------
+    expected_fragments: Vec<f64>,
+    residual: Vec<f64>,
+    bitmap_vectors: Vec<f64>,
+    indexable: Vec<bool>,
+    attr_bitmap: Vec<BitmapContrib>,
+    // --- Yao memo: one entry per candidate, keyed on the exact bit
+    // pattern of the residual row count (classes sharing a residual
+    // selectivity share the curve point).
+    yao_k: Vec<f64>,
+    yao_hits: Vec<f64>,
+    // --- Persistent Yao memo, keyed on the exact `yao_page_hits`
+    // arguments `(rows, pages, k.to_bits())`. Never cleared: the
+    // function is pure, so an entry stays valid across chunks, models
+    // and sessions sharing this batch (one per worker thread).
+    yao_memo: HashMap<(u64, u64, u64), f64, BuildHasherDefault<YaoKeyHasher>>,
+    // --- Output accumulators -------------------------------------------
+    acc_io_ms: Vec<f64>,
+    acc_response_ms: Vec<f64>,
+    acc_ios: Vec<f64>,
+    acc_pages: Vec<f64>,
+    per_query: Vec<Vec<QueryCost>>,
+}
+
+impl ChunkBatch {
+    /// An empty batch; columns grow on first use and keep their capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of candidates staged.
+    pub fn len(&self) -> usize {
+        self.fragmentations.len()
+    }
+
+    /// Whether the batch holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.fragmentations.is_empty()
+    }
+
+    /// Stages one candidate, consuming its layout: the layout's buffers
+    /// return to `scratch` and its fragmentation moves into the batch
+    /// (re-emerging in the output [`CandidateCost`] without a clone).
+    pub fn push(&mut self, layout: FragmentLayout, scratch: &mut LayoutScratch) {
+        if self.attr_offsets.is_empty() {
+            self.attr_offsets.push(0);
+        }
+        self.num_fragments.push(layout.num_fragments());
+        for (attr, &card) in layout
+            .fragmentation()
+            .attributes()
+            .iter()
+            .zip(layout.radices())
+        {
+            self.attr_dims.push(attr.dimension);
+            self.attr_cards.push(card);
+        }
+        self.attr_offsets.push(self.attr_dims.len() as u32);
+        let fragmentation = layout.recycle(scratch);
+        self.fragmentations.push(fragmentation);
+    }
+
+    /// Drops all staged candidates, retaining column capacity.
+    pub fn clear(&mut self) {
+        self.fragmentations.clear();
+        self.num_fragments.clear();
+        self.attr_offsets.clear();
+        self.attr_dims.clear();
+        self.attr_cards.clear();
+        self.per_query.clear();
+    }
+}
+
+/// Prices every staged candidate against every class of `tables`,
+/// returning one [`CandidateCost`] per candidate in staging order and
+/// draining the batch (column capacity retained for the next chunk).
+///
+/// Bit-identical to calling
+/// [`CostModel::evaluate_layout`](crate::CostModel::evaluate_layout) on
+/// each candidate with the model the tables were built from.
+pub fn evaluate_chunk(tables: &CostTables, batch: &mut ChunkBatch) -> Vec<CandidateCost> {
+    evaluate_chunk_with(tables, batch, PerQueryDetail::Full)
+}
+
+/// [`evaluate_chunk`] with an explicit per-class detail level; see
+/// [`PerQueryDetail`].
+pub fn evaluate_chunk_with(
+    tables: &CostTables,
+    batch: &mut ChunkBatch,
+    detail: PerQueryDetail,
+) -> Vec<CandidateCost> {
+    let n = batch.fragmentations.len();
+    if n == 0 {
+        batch.clear();
+        return Vec::new();
+    }
+
+    // --- Stage A: class-independent geometry, once per candidate -------
+    batch.frag_rows_avg.clear();
+    batch.frag_rows.clear();
+    batch.fragment_pages.clear();
+    batch.fact_prefetch.clear();
+    batch.scan_ms.clear();
+    batch.scan_ios.clear();
+    batch.vector_pages.clear();
+    batch.bitmap_prefetch.clear();
+    batch.vector_ms.clear();
+    batch.vector_ios.clear();
+    for i in 0..n {
+        let avg = tables.fact_rows as f64 / batch.num_fragments[i] as f64;
+        let rows = (avg.round() as u64).max(1);
+        let pages = tables.page.pages_for_rows(rows, tables.row_bytes).max(1);
+        let fact_prefetch = effective_prefetch(tables.fact_prefetch, pages);
+        batch.frag_rows_avg.push(avg);
+        batch.frag_rows.push(rows);
+        batch.fragment_pages.push(pages);
+        batch.fact_prefetch.push(fact_prefetch);
+        batch.scan_ms.push(
+            tables
+                .disk
+                .sequential_ms(pages, fact_prefetch, tables.page_bytes),
+        );
+        batch
+            .scan_ios
+            .push(tables.disk.sequential_ios(pages, fact_prefetch) as f64);
+        let vector_pages = estimate::vector_pages(rows, tables.page);
+        let bitmap_prefetch = effective_prefetch(tables.bitmap_prefetch, vector_pages);
+        batch.vector_pages.push(vector_pages);
+        batch.bitmap_prefetch.push(bitmap_prefetch);
+        batch.vector_ms.push(tables.disk.sequential_ms(
+            vector_pages,
+            bitmap_prefetch,
+            tables.page_bytes,
+        ));
+        batch
+            .vector_ios
+            .push(tables.disk.sequential_ios(vector_pages, bitmap_prefetch) as f64);
+    }
+
+    batch.yao_k.clear();
+    batch.yao_k.resize(n, f64::NAN);
+    batch.yao_hits.clear();
+    batch.yao_hits.resize(n, 0.0);
+    batch.acc_io_ms.clear();
+    batch.acc_io_ms.resize(n, 0.0);
+    batch.acc_response_ms.clear();
+    batch.acc_response_ms.resize(n, 0.0);
+    batch.acc_ios.clear();
+    batch.acc_ios.resize(n, 0.0);
+    batch.acc_pages.clear();
+    batch.acc_pages.resize(n, 0.0);
+    batch.per_query.clear();
+    if detail == PerQueryDetail::Full {
+        batch
+            .per_query
+            .resize_with(n, || Vec::with_capacity(tables.classes.len()));
+    }
+
+    for class in &tables.classes {
+        // --- Matching pass: predicates → table entries -----------------
+        batch.expected_fragments.clear();
+        batch.residual.clear();
+        batch.bitmap_vectors.clear();
+        batch.indexable.clear();
+        for i in 0..n {
+            let s = batch.attr_offsets[i] as usize;
+            let e = batch.attr_offsets[i + 1] as usize;
+            let dims = &batch.attr_dims[s..e];
+            let cards = &batch.attr_cards[s..e];
+            batch.attr_bitmap.clear();
+            let mut expected_fragments = 1.0f64;
+            let mut residual = 1.0f64;
+            for (&dim, &card) in dims.iter().zip(cards) {
+                match class.pred_for(dim) {
+                    None => {
+                        expected_fragments *= card as f64;
+                        batch.attr_bitmap.push(BitmapContrib::Resolved);
+                    }
+                    Some(pred) => {
+                        let entry = pred.entry_for(card);
+                        expected_fragments *= entry.matched;
+                        residual *= entry.residual_factor;
+                        batch.attr_bitmap.push(entry.bitmap);
+                    }
+                }
+            }
+            // Residual of unfragmented referenced dimensions, and the
+            // bitmap vector count, both in predicate (dimension) order —
+            // matching the scalar path's iteration exactly.
+            let mut bitmap_vectors = 0.0f64;
+            let mut indexable = true;
+            for pred in &class.preds {
+                let contrib = match dims.iter().position(|&d| d == pred.dimension) {
+                    Some(j) => batch.attr_bitmap[j],
+                    None => {
+                        residual *= pred.residual_unfragmented;
+                        pred.unfragmented_bitmap
+                    }
+                };
+                if indexable {
+                    match contrib {
+                        BitmapContrib::Resolved => {}
+                        BitmapContrib::Vectors(v) => bitmap_vectors += v,
+                        BitmapContrib::Unindexable => indexable = false,
+                    }
+                }
+            }
+            batch.expected_fragments.push(expected_fragments);
+            batch.residual.push(residual.min(1.0));
+            batch.bitmap_vectors.push(bitmap_vectors);
+            batch.indexable.push(indexable);
+        }
+
+        // --- Costing pass: straight-line arithmetic over the columns ---
+        for i in 0..n {
+            let fragments_accessed = batch.expected_fragments[i];
+            let selected_rows_per_fragment = batch.frag_rows_avg[i] * batch.residual[i];
+            let indexable = batch.indexable[i];
+            let touched_pages = if indexable {
+                if batch.yao_k[i].to_bits() == selected_rows_per_fragment.to_bits() {
+                    batch.yao_hits[i]
+                } else {
+                    let rows = batch.frag_rows[i];
+                    let pages = batch.fragment_pages[i];
+                    let key = (rows, pages, selected_rows_per_fragment.to_bits());
+                    let hits = match batch.yao_memo.get(&key) {
+                        Some(&hits) => hits,
+                        None => {
+                            let hits = yao_page_hits(rows, pages, selected_rows_per_fragment);
+                            if batch.yao_memo.len() < YAO_MEMO_CAP {
+                                batch.yao_memo.insert(key, hits);
+                            }
+                            hits
+                        }
+                    };
+                    batch.yao_k[i] = selected_rows_per_fragment;
+                    batch.yao_hits[i] = hits;
+                    hits
+                }
+            } else {
+                // The scan path never consults the bitmap estimate.
+                0.0
+            };
+            let fetch_ms = touched_pages * tables.random_page_ms;
+            let bitmap_ms = batch.bitmap_vectors[i] * batch.vector_ms[i] + fetch_ms;
+            let use_scan = !indexable || batch.scan_ms[i] <= bitmap_ms;
+            let (path, per_fragment_ms, ios_pf, fact_pages_pf, bitmap_pages_pf) = if use_scan {
+                (
+                    AccessPath::FullScan,
+                    batch.scan_ms[i],
+                    batch.scan_ios[i],
+                    batch.fragment_pages[i] as f64,
+                    0.0,
+                )
+            } else {
+                let bitmap_ios = batch.bitmap_vectors[i] * batch.vector_ios[i] + touched_pages;
+                let bitmap_pages_per_fragment =
+                    batch.bitmap_vectors[i] * batch.vector_pages[i] as f64;
+                (
+                    AccessPath::BitmapFetch,
+                    bitmap_ms,
+                    bitmap_ios,
+                    touched_pages,
+                    bitmap_pages_per_fragment,
+                )
+            };
+            let busy_ms = fragments_accessed * per_fragment_ms;
+            let response_ms = estimated_response_ms(
+                fragments_accessed,
+                per_fragment_ms,
+                tables.num_disks,
+                tables.processors,
+                tables.overhead,
+            );
+            let fact_pages = fragments_accessed * fact_pages_pf;
+            let bitmap_pages = fragments_accessed * bitmap_pages_pf;
+            let total_ios = fragments_accessed * ios_pf;
+            batch.acc_io_ms[i] += class.share * busy_ms;
+            batch.acc_response_ms[i] += class.share * response_ms;
+            batch.acc_ios[i] += class.share * total_ios;
+            batch.acc_pages[i] += class.share * (fact_pages + bitmap_pages);
+            if detail == PerQueryDetail::Omit {
+                continue;
+            }
+            batch.per_query[i].push(QueryCost {
+                query_name: class.name.clone(),
+                path,
+                fragments_accessed,
+                fragment_pages: batch.fragment_pages[i],
+                fact_pages,
+                bitmap_pages,
+                total_ios,
+                busy_ms,
+                per_fragment_ms,
+                response_ms,
+                fact_prefetch: batch.fact_prefetch[i],
+                bitmap_prefetch: batch.bitmap_prefetch[i],
+                selected_rows: class.selected_rows,
+            });
+        }
+    }
+
+    // --- Finalize: move fragmentations and per-query details out -------
+    let mut out = Vec::with_capacity(n);
+    for (i, fragmentation) in batch.fragmentations.drain(..).enumerate() {
+        out.push(CandidateCost {
+            fragmentation,
+            num_fragments: batch.num_fragments[i],
+            io_cost_ms: batch.acc_io_ms[i],
+            response_ms: batch.acc_response_ms[i],
+            total_ios: batch.acc_ios[i],
+            total_pages: batch.acc_pages[i],
+            per_query: match detail {
+                PerQueryDetail::Full => std::mem::take(&mut batch.per_query[i]),
+                PerQueryDetail::Omit => Vec::new(),
+            },
+        });
+    }
+    batch.clear();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CostModel;
+    use warlock_bitmap::{BitmapScheme, SchemeConfig};
+    use warlock_schema::{apb1_like_schema, Apb1Config, StarSchema};
+    use warlock_storage::SystemConfig;
+    use warlock_workload::{apb1_like_mix, QueryMix};
+
+    struct Fixture {
+        schema: StarSchema,
+        system: SystemConfig,
+        scheme: BitmapScheme,
+        mix: QueryMix,
+    }
+
+    fn fixture() -> Fixture {
+        let schema = apb1_like_schema(Apb1Config::default()).unwrap();
+        let mix = apb1_like_mix().unwrap();
+        let scheme = BitmapScheme::derive(&schema, &mix, SchemeConfig::default());
+        let system = SystemConfig::default_2001(16);
+        Fixture {
+            schema,
+            system,
+            scheme,
+            mix,
+        }
+    }
+
+    fn candidates() -> Vec<Fragmentation> {
+        vec![
+            Fragmentation::none(),
+            Fragmentation::from_pairs(&[(2, 2)]).unwrap(),
+            Fragmentation::from_pairs(&[(0, 4), (2, 2)]).unwrap(),
+            Fragmentation::from_pairs(&[(3, 0)]).unwrap(),
+            Fragmentation::from_ranged_pairs(&[(2, 2, 3), (3, 0, 1)]).unwrap(),
+            Fragmentation::from_pairs(&[(0, 1), (1, 0), (2, 1)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn chunk_matches_scalar_bit_for_bit() {
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let tables = CostTables::build(&model, &[3]);
+        let mut scratch = LayoutScratch::new();
+        let mut batch = ChunkBatch::new();
+        for frag in candidates() {
+            let layout = FragmentLayout::new_in(&mut scratch, &f.schema, frag, model.fact_index());
+            batch.push(layout, &mut scratch);
+        }
+        let batched = evaluate_chunk(&tables, &mut batch);
+        assert!(batch.is_empty(), "evaluate_chunk must drain the batch");
+        let scalar: Vec<_> = candidates()
+            .iter()
+            .map(|frag| model.evaluate(frag))
+            .collect();
+        assert_eq!(batched.len(), scalar.len());
+        for (b, s) in batched.iter().zip(&scalar) {
+            assert_eq!(b, s);
+            assert_eq!(b.io_cost_ms.to_bits(), s.io_cost_ms.to_bits());
+            assert_eq!(b.response_ms.to_bits(), s.response_ms.to_bits());
+            assert_eq!(b.total_ios.to_bits(), s.total_ios.to_bits());
+            assert_eq!(b.total_pages.to_bits(), s.total_pages.to_bits());
+            for (bq, sq) in b.per_query.iter().zip(&s.per_query) {
+                assert_eq!(bq.busy_ms.to_bits(), sq.busy_ms.to_bits());
+                assert_eq!(bq.response_ms.to_bits(), sq.response_ms.to_bits());
+                assert_eq!(bq.selected_rows.to_bits(), sq.selected_rows.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reuse_across_chunks_is_clean() {
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let tables = model.tables();
+        let mut scratch = LayoutScratch::new();
+        let mut batch = ChunkBatch::new();
+        // Two rounds over the same batch: wide chunk first, then a
+        // single-candidate chunk — stale columns must not leak.
+        for round in 0..2 {
+            let frags = if round == 0 {
+                candidates()
+            } else {
+                vec![Fragmentation::from_pairs(&[(2, 1)]).unwrap()]
+            };
+            for frag in frags.clone() {
+                let layout =
+                    FragmentLayout::new_in(&mut scratch, &f.schema, frag, model.fact_index());
+                batch.push(layout, &mut scratch);
+            }
+            let batched = evaluate_chunk(&tables, &mut batch);
+            for (b, frag) in batched.iter().zip(&frags) {
+                assert_eq!(b, &model.evaluate(frag), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn omitted_detail_keeps_aggregates_bit_identical() {
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let tables = CostTables::build(&model, &[3]);
+        let mut scratch = LayoutScratch::new();
+        let mut batch = ChunkBatch::new();
+        for frag in candidates() {
+            let layout = FragmentLayout::new_in(&mut scratch, &f.schema, frag, model.fact_index());
+            batch.push(layout, &mut scratch);
+        }
+        let lean = evaluate_chunk_with(&tables, &mut batch, PerQueryDetail::Omit);
+        for (l, frag) in lean.iter().zip(candidates()) {
+            let s = model.evaluate(&frag);
+            assert!(l.per_query.is_empty());
+            assert_eq!(l.io_cost_ms.to_bits(), s.io_cost_ms.to_bits());
+            assert_eq!(l.response_ms.to_bits(), s.response_ms.to_bits());
+            assert_eq!(l.total_ios.to_bits(), s.total_ios.to_bits());
+            assert_eq!(l.total_pages.to_bits(), s.total_pages.to_bits());
+            assert_eq!(l.fragmentation, s.fragmentation);
+        }
+        // Interleaving detail levels over the same batch (and its
+        // persistent Yao memo) must not perturb the full output.
+        for frag in candidates() {
+            let layout = FragmentLayout::new_in(&mut scratch, &f.schema, frag, model.fact_index());
+            batch.push(layout, &mut scratch);
+        }
+        let full = evaluate_chunk(&tables, &mut batch);
+        for (b, frag) in full.iter().zip(candidates()) {
+            assert_eq!(b, &model.evaluate(&frag));
+        }
+    }
+
+    #[test]
+    fn empty_chunk_is_a_noop() {
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let tables = model.tables();
+        let mut batch = ChunkBatch::new();
+        assert!(evaluate_chunk(&tables, &mut batch).is_empty());
+    }
+}

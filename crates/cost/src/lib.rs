@@ -21,7 +21,12 @@
 //! * [`access`] — the per-query access-plan estimator,
 //! * [`response`] — declustered response-time estimation,
 //! * [`model`] — the [`CostModel`](model::CostModel) facade evaluating whole
-//!   candidates against a weighted query mix.
+//!   candidates against a weighted query mix,
+//! * [`tables`] — per-dimension cost tables precomputed once per model
+//!   ([`CostTables`](tables::CostTables)),
+//! * [`batch`] — SoA batched evaluation of whole candidate chunks
+//!   ([`evaluate_chunk`](batch::evaluate_chunk)), bit-identical to the
+//!   scalar path.
 
 //!
 //! # Example
@@ -48,15 +53,19 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod batch;
 pub mod contention;
 pub mod model;
 pub mod prefetch;
 pub mod response;
+pub mod tables;
 pub mod yao;
 
 pub use access::{AccessPath, QueryCost};
+pub use batch::{evaluate_chunk, evaluate_chunk_with, ChunkBatch, PerQueryDetail};
 pub use contention::{contention_estimate, load_curve, ContentionEstimate, LoadPoint};
 pub use model::{fingerprint128, CandidateCost, CostModel};
 pub use prefetch::effective_prefetch;
 pub use response::estimated_response_ms;
+pub use tables::{BitmapContrib, ClassTable, CostTables, FragDimEntry, PredTable};
 pub use yao::{cardenas_page_hits, yao_page_hits};

@@ -101,10 +101,30 @@ impl<'a> CostModel<'a> {
         self.system
     }
 
+    /// The bitmap scheme queries are priced against.
+    #[inline]
+    pub fn scheme(&self) -> &BitmapScheme {
+        self.scheme
+    }
+
+    /// The weighted query mix.
+    #[inline]
+    pub fn mix(&self) -> &QueryMix {
+        self.mix
+    }
+
     /// The fact table index.
     #[inline]
     pub fn fact_index(&self) -> usize {
         self.fact_index
+    }
+
+    /// Builds the precomputed [`CostTables`](crate::CostTables) for this
+    /// model (point fragmentations only — pass enumeration range options
+    /// to [`CostTables::build`](crate::CostTables::build) directly for
+    /// ranged coverage).
+    pub fn tables(&self) -> crate::CostTables {
+        crate::CostTables::build(self, &[])
     }
 
     /// Evaluates one candidate: every class of the mix, weighted by share.

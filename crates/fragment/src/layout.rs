@@ -5,6 +5,35 @@ use crate::Fragmentation;
 use warlock_schema::StarSchema;
 use warlock_skew::SkewModel;
 
+/// Reusable construction buffers for [`FragmentLayout`].
+///
+/// Chunked evaluation builds and discards one layout per candidate; with
+/// a scratch arena the radix and stride vectors are recycled instead of
+/// re-allocated — [`FragmentLayout::new_in`] moves the buffers out of the
+/// scratch and [`FragmentLayout::recycle`] hands them back (capacity
+/// kept), so a worker that owns one `LayoutScratch` for its lifetime
+/// builds layouts with zero steady-state heap traffic.
+#[derive(Debug, Default)]
+pub struct LayoutScratch {
+    radices: Vec<u64>,
+    strides: Vec<u64>,
+}
+
+impl LayoutScratch {
+    /// An empty scratch; buffers grow on first use and are kept after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the buffered state, keeping capacity. Called on entry by
+    /// [`FragmentLayout::new_in`], so stale values from a previous
+    /// candidate can never leak into the next layout.
+    pub fn reset(&mut self) {
+        self.radices.clear();
+        self.strides.clear();
+    }
+}
+
 /// The materialized structure of one fragmentation applied to one fact
 /// table: the mixed-radix fragment coordinate space, the logical fragment
 /// order used by the round-robin allocator, and fragment sizes under
@@ -29,18 +58,40 @@ impl FragmentLayout {
     /// fragment count overflows `u64` (the thresholds layer excludes such
     /// candidates long before a layout is materialized).
     pub fn new(schema: &StarSchema, fragmentation: Fragmentation, fact_index: usize) -> Self {
+        let mut scratch = LayoutScratch::new();
+        Self::new_in(&mut scratch, schema, fragmentation, fact_index)
+    }
+
+    /// Like [`new`](Self::new), but builds the radix/stride vectors into
+    /// buffers recycled from `scratch` instead of fresh allocations. Pair
+    /// with [`recycle`](Self::recycle) to return the buffers once the
+    /// layout is consumed.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn new_in(
+        scratch: &mut LayoutScratch,
+        schema: &StarSchema,
+        fragmentation: Fragmentation,
+        fact_index: usize,
+    ) -> Self {
         fragmentation
             .validate(schema)
             .expect("fragmentation must validate against the schema");
-        let radices: Vec<u64> = (0..fragmentation.dimensionality())
-            .map(|i| fragmentation.effective_cardinality(schema, i))
-            .collect();
+        scratch.reset();
+        let mut radices = std::mem::take(&mut scratch.radices);
+        radices.extend(
+            (0..fragmentation.dimensionality())
+                .map(|i| fragmentation.effective_cardinality(schema, i)),
+        );
         let total: u128 = radices.iter().map(|&r| r as u128).product();
         assert!(
             total <= u64::MAX as u128,
             "fragment count {total} overflows u64"
         );
-        let mut strides = vec![1u64; radices.len()];
+        let mut strides = std::mem::take(&mut scratch.strides);
+        strides.resize(radices.len(), 1u64);
         for i in (0..radices.len().saturating_sub(1)).rev() {
             strides[i] = strides[i + 1] * radices[i + 1];
         }
@@ -51,6 +102,17 @@ impl FragmentLayout {
             num_fragments: total as u64,
             fact_rows: schema.fact_rows(fact_index),
         }
+    }
+
+    /// Consumes the layout, returning its buffers to `scratch` (capacity
+    /// preserved for the next [`new_in`](Self::new_in)) and handing the
+    /// owned [`Fragmentation`] back to the caller — batch evaluation moves
+    /// it straight into the output instead of cloning.
+    pub fn recycle(self, scratch: &mut LayoutScratch) -> Fragmentation {
+        scratch.radices = self.radices;
+        scratch.strides = self.strides;
+        scratch.reset();
+        self.fragmentation
     }
 
     /// The candidate this layout belongs to.
@@ -377,6 +439,40 @@ mod tests {
     #[should_panic(expected = "at least one weight")]
     fn apportion_rejects_empty() {
         let _ = apportion(10, &[]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_construction() {
+        let s = schema();
+        let mut scratch = LayoutScratch::new();
+        // Candidates of decreasing then increasing arity: stale radices or
+        // strides from a wider previous candidate must never leak.
+        let candidates = [
+            Fragmentation::from_pairs(&[(0, 0), (2, 1), (3, 0)]).unwrap(),
+            Fragmentation::from_pairs(&[(1, 0)]).unwrap(),
+            Fragmentation::none(),
+            Fragmentation::from_ranged_pairs(&[(2, 2, 3), (3, 0, 1)]).unwrap(),
+            Fragmentation::from_pairs(&[(0, 1), (1, 0)]).unwrap(),
+        ];
+        for frag in &candidates {
+            let fresh = FragmentLayout::new(&s, frag.clone(), 0);
+            let reused = FragmentLayout::new_in(&mut scratch, &s, frag.clone(), 0);
+            assert_eq!(fresh, reused, "scratch-built layout diverged for {frag:?}");
+            let back = reused.recycle(&mut scratch);
+            assert_eq!(&back, frag, "recycle must return the same fragmentation");
+        }
+    }
+
+    #[test]
+    fn recycle_keeps_buffer_capacity() {
+        let s = schema();
+        let mut scratch = LayoutScratch::new();
+        let wide = Fragmentation::from_pairs(&[(0, 0), (1, 0), (2, 0), (3, 0)]).unwrap();
+        let l = FragmentLayout::new_in(&mut scratch, &s, wide, 0);
+        let _ = l.recycle(&mut scratch);
+        assert!(scratch.radices.capacity() >= 4);
+        assert!(scratch.strides.capacity() >= 4);
+        assert!(scratch.radices.is_empty() && scratch.strides.is_empty());
     }
 
     #[test]

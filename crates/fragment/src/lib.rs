@@ -50,7 +50,7 @@ mod thresholds;
 pub use candidate::{
     enumerate_candidates, enumerate_candidates_ranged, CandidateError, Fragmentation,
 };
-pub use layout::{apportion, FragmentLayout, SkewModelExt};
+pub use layout::{apportion, FragmentLayout, LayoutScratch, SkewModelExt};
 pub use matching::{expected_distinct_groups, DimensionMatch, QueryMatch};
 pub use source::{CandidateCursor, CandidateSource};
 pub use thresholds::{Exclusion, ThresholdContext, Thresholds};

@@ -1,0 +1,215 @@
+//! Batched-vs-scalar costing equivalence: [`evaluate_chunk_with`] over
+//! any chunking of a candidate stream must reproduce the scalar
+//! `CostModel::evaluate_layout` **bit for bit** — aggregates and
+//! per-class detail — for arbitrary valid schemas, mixes and systems,
+//! at any chunk size (including single-candidate chunks), and across a
+//! session-cache hit/miss boundary, where one chunk mixes candidates
+//! served from the memo with candidates costed fresh by the batch path.
+
+use proptest::prelude::*;
+
+use warlock::prelude::*;
+use warlock_bitmap::{BitmapScheme, SchemeConfig};
+use warlock_cost::{
+    evaluate_chunk_with, CandidateCost, ChunkBatch, CostModel, CostTables, PerQueryDetail,
+};
+use warlock_fragment::{enumerate_candidates_ranged, FragmentLayout, Fragmentation, LayoutScratch};
+use warlock_schema::{random_schema, RandomSchemaConfig, StarSchema};
+use warlock_workload::{GeneratorConfig, QueryMix, WorkloadGenerator};
+
+fn random_inputs(seed: u64) -> (StarSchema, QueryMix, SystemConfig) {
+    let schema = random_schema(
+        seed,
+        RandomSchemaConfig {
+            dimensions: (1, 4),
+            depth: (1, 3),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mix = WorkloadGenerator::new(
+        seed.wrapping_mul(0x9e37_79b9),
+        GeneratorConfig {
+            num_classes: 4,
+            max_dimensionality: 3,
+            range_probability: 0.25,
+        },
+    )
+    .mix(&schema);
+    let system = SystemConfig::default_2001(1 + (seed % 24) as u32);
+    (schema, mix, system)
+}
+
+/// Candidates whose fragment count fits the layout's `u64`, capped so a
+/// wide random schema cannot blow the test up.
+fn candidate_sample(schema: &StarSchema, range_options: &[u64]) -> Vec<Fragmentation> {
+    enumerate_candidates_ranged(schema, 2, range_options)
+        .into_iter()
+        .filter(|f| f.num_fragments(schema) <= u128::from(u64::MAX))
+        .take(300)
+        .collect()
+}
+
+fn assert_cost_bits(batched: &CandidateCost, scalar: &CandidateCost) {
+    assert_eq!(batched, scalar);
+    assert_eq!(batched.io_cost_ms.to_bits(), scalar.io_cost_ms.to_bits());
+    assert_eq!(batched.response_ms.to_bits(), scalar.response_ms.to_bits());
+    assert_eq!(batched.total_ios.to_bits(), scalar.total_ios.to_bits());
+    assert_eq!(batched.total_pages.to_bits(), scalar.total_pages.to_bits());
+    assert_eq!(batched.per_query.len(), scalar.per_query.len());
+    for (b, s) in batched.per_query.iter().zip(&scalar.per_query) {
+        assert_eq!(b.busy_ms.to_bits(), s.busy_ms.to_bits());
+        assert_eq!(b.per_fragment_ms.to_bits(), s.per_fragment_ms.to_bits());
+        assert_eq!(b.response_ms.to_bits(), s.response_ms.to_bits());
+        assert_eq!(b.total_ios.to_bits(), s.total_ios.to_bits());
+        assert_eq!(b.fact_pages.to_bits(), s.fact_pages.to_bits());
+        assert_eq!(b.bitmap_pages.to_bits(), s.bitmap_pages.to_bits());
+        assert_eq!(
+            b.fragments_accessed.to_bits(),
+            s.fragments_accessed.to_bits()
+        );
+    }
+}
+
+fn assert_reports_bit_identical(a: &warlock::AdvisorReport, b: &warlock::AdvisorReport) {
+    assert_eq!(a, b);
+    for (ra, rb) in a.ranked.iter().zip(&b.ranked) {
+        assert_eq!(ra.cost.response_ms.to_bits(), rb.cost.response_ms.to_bits());
+        assert_eq!(ra.cost.io_cost_ms.to_bits(), rb.cost.io_cost_ms.to_bits());
+        for (qa, qb) in ra.cost.per_query.iter().zip(&rb.cost.per_query) {
+            assert_eq!(qa.response_ms.to_bits(), qb.response_ms.to_bits());
+            assert_eq!(qa.busy_ms.to_bits(), qb.busy_ms.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any chunking of the candidate stream — including chunk size 1 —
+    /// prices every candidate bit-identically to the scalar path, with
+    /// full per-class detail.
+    #[test]
+    fn batched_chunks_match_scalar_bit_for_bit(
+        seed in 0u64..4096,
+        chunk_pick in 0usize..4,
+        ranged in any::<bool>(),
+    ) {
+        let chunk = [1usize, 2, 7, 64][chunk_pick];
+        let (schema, mix, system) = random_inputs(seed);
+        let scheme = BitmapScheme::derive(&schema, &mix, SchemeConfig::default());
+        let model = CostModel::new(&schema, &system, &scheme, &mix);
+        let range_options: &[u64] = if ranged { &[2, 3, 5] } else { &[] };
+        let tables = CostTables::build(&model, range_options);
+        let candidates = candidate_sample(&schema, range_options);
+
+        let mut scratch = LayoutScratch::new();
+        let mut batch = ChunkBatch::new();
+        for group in candidates.chunks(chunk) {
+            for frag in group {
+                let layout = FragmentLayout::new_in(
+                    &mut scratch,
+                    &schema,
+                    frag.clone(),
+                    model.fact_index(),
+                );
+                batch.push(layout, &mut scratch);
+            }
+            let batched = evaluate_chunk_with(&tables, &mut batch, PerQueryDetail::Full);
+            prop_assert!(batch.is_empty());
+            prop_assert_eq!(batched.len(), group.len());
+            for (b, frag) in batched.iter().zip(group) {
+                let layout = FragmentLayout::new(&schema, frag.clone(), model.fact_index());
+                assert_cost_bits(b, &model.evaluate_layout(&layout));
+            }
+        }
+    }
+
+    /// The lean detail level the ranking pipeline uses keeps every
+    /// aggregate bit-identical while leaving `per_query` empty.
+    #[test]
+    fn omitted_detail_keeps_aggregates_bit_identical(
+        seed in 0u64..4096,
+        ranged in any::<bool>(),
+    ) {
+        let (schema, mix, system) = random_inputs(seed);
+        let scheme = BitmapScheme::derive(&schema, &mix, SchemeConfig::default());
+        let model = CostModel::new(&schema, &system, &scheme, &mix);
+        let range_options: &[u64] = if ranged { &[2, 3, 5] } else { &[] };
+        let tables = CostTables::build(&model, range_options);
+
+        let mut scratch = LayoutScratch::new();
+        let mut batch = ChunkBatch::new();
+        for frag in candidate_sample(&schema, range_options) {
+            let layout = FragmentLayout::new_in(
+                &mut scratch,
+                &schema,
+                frag.clone(),
+                model.fact_index(),
+            );
+            batch.push(layout, &mut scratch);
+            let lean = evaluate_chunk_with(&tables, &mut batch, PerQueryDetail::Omit);
+            let scalar = model.evaluate(&frag);
+            prop_assert!(lean[0].per_query.is_empty());
+            prop_assert_eq!(lean[0].io_cost_ms.to_bits(), scalar.io_cost_ms.to_bits());
+            prop_assert_eq!(lean[0].response_ms.to_bits(), scalar.response_ms.to_bits());
+            prop_assert_eq!(lean[0].total_ios.to_bits(), scalar.total_ios.to_bits());
+            prop_assert_eq!(lean[0].total_pages.to_bits(), scalar.total_pages.to_bits());
+            prop_assert_eq!(&lean[0].fragmentation, &scalar.fragmentation);
+        }
+    }
+
+    /// Widening `max_dimensionality` after a cold run keeps the run
+    /// fingerprint (it is not a cost-model input), so the second run's
+    /// chunks span the cache boundary: dimension-≤1 candidates come out
+    /// of the memo while the new dimension-2 candidates go through the
+    /// batched evaluator — and the report must match a fully cold
+    /// session at the widened config, bit for bit.
+    #[test]
+    fn chunks_spanning_the_cache_boundary_stay_bit_identical(
+        seed in 0u64..1024,
+        workers in 1usize..4,
+        chunk_pick in 0usize..3,
+    ) {
+        let chunk = [1usize, 17, 100_000][chunk_pick];
+        let session_at = |max_dimensionality: usize| {
+            let (schema, mix, system) = random_inputs(seed);
+            Warlock::builder()
+                .schema(schema)
+                .system(system)
+                .mix(mix)
+                .config(AdvisorConfig {
+                    max_dimensionality,
+                    ..Default::default()
+                })
+                .parallelism(workers)
+                .chunk_size(chunk)
+                .build()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+        };
+
+        let mut session = session_at(1);
+        let narrow = session.run().unwrap();
+        let hits_after_narrow = session.cache_stats().hits;
+
+        session
+            .set_config(AdvisorConfig {
+                max_dimensionality: 2,
+                ..Default::default()
+            })
+            .unwrap();
+        let spanning = session.run().unwrap();
+        // Every candidate of the narrow space must have been served from
+        // the cache the narrow run populated.
+        prop_assert_eq!(
+            session.cache_stats().hits,
+            hits_after_narrow + narrow.enumerated as u64
+        );
+        // Single-dimension schemas have nothing to widen into; every
+        // other seed actually spans the boundary.
+        prop_assert!(spanning.enumerated >= narrow.enumerated);
+
+        let cold = session_at(2).run().unwrap();
+        assert_reports_bit_identical(&spanning, &cold);
+    }
+}
