@@ -9,6 +9,10 @@ pub enum AllocationScheme {
     GreedySize,
     /// Greedy heat-based placement onto the coolest disk (extension).
     GreedyHeat,
+    /// Co-access graph partitioning: co-accessed fragments scattered
+    /// across disks by the multilevel partitioner (extension, see
+    /// [`crate::coaccess`]).
+    GraphPartition,
 }
 
 /// A placement of every fragment onto a disk.

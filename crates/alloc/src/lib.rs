@@ -33,6 +33,7 @@
 //! ```
 
 mod allocation;
+pub mod coaccess;
 mod greedy;
 mod heat;
 mod policy;
@@ -40,6 +41,7 @@ mod profile;
 mod round_robin;
 
 pub use allocation::{Allocation, AllocationScheme, OccupancyStats};
+pub use coaccess::{partition_coaccess, CoAccessBuilder, CoAccessGraph};
 pub use greedy::greedy_by_size;
 pub use heat::{disk_heats, greedy_by_heat, heat_imbalance};
 pub use policy::{allocate, AllocationPolicy};

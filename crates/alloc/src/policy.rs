@@ -12,9 +12,31 @@ pub enum AllocationPolicy {
     /// Round-robin normally; greedy "under notable data skew" — detected
     /// when the coefficient of variation of fragment sizes exceeds the
     /// threshold.
+    ///
+    /// # Boundary semantics (pinned)
+    ///
+    /// The comparison is strict: `size_cv == cv_threshold` *exactly*
+    /// stays on round-robin; only `size_cv > cv_threshold` triggers the
+    /// greedy counter-measure. Degenerate inputs — an empty size
+    /// vector, a single fragment, or all-zero sizes — have no
+    /// measurable skew, report a CV of 0, and therefore always go
+    /// round-robin (for any non-negative threshold).
     Auto {
         /// Size-CV above which the skew counter-measure kicks in.
         cv_threshold: f64,
+    },
+    /// Co-access graph partitioning (see [`crate::coaccess`]).
+    ///
+    /// The planner builds the fragment co-access graph from the
+    /// workload mix and calls [`crate::partition_coaccess`]; the seed
+    /// perturbs residual tie-breaks deterministically. The sizes-only
+    /// [`allocate`] entry point has no co-access information, so under
+    /// this policy it degrades to greedy size-based placement — the
+    /// same graceful fallback the partitioner itself applies to an
+    /// edgeless graph.
+    GraphPartition {
+        /// Deterministic tie-break seed.
+        seed: u64,
     },
 }
 
@@ -26,6 +48,11 @@ impl Default for AllocationPolicy {
 }
 
 /// Coefficient of variation of a size vector (0 for uniform sizes).
+///
+/// Degenerate inputs are defined, not incidental: an empty vector and
+/// an all-zero vector both return 0 (no measurable skew), and a single
+/// fragment trivially has zero variance — so `Auto` treats all three
+/// as uniform and keeps round-robin.
 fn size_cv(sizes: &[u64]) -> f64 {
     if sizes.is_empty() {
         return 0.0;
@@ -45,10 +72,17 @@ fn size_cv(sizes: &[u64]) -> f64 {
 
 /// Allocates fragments of the given byte sizes over `num_disks` disks
 /// under `policy`.
+///
+/// `GraphPartition` degrades to greedy size-based placement here: this
+/// entry point sees only sizes, and without a workload there is no
+/// co-access graph to partition (planners with a mix in hand build the
+/// graph and call [`crate::partition_coaccess`] instead).
 pub fn allocate(sizes: Vec<u64>, num_disks: u32, policy: AllocationPolicy) -> Allocation {
     match policy {
         AllocationPolicy::RoundRobin => round_robin(sizes, num_disks),
-        AllocationPolicy::GreedySize => greedy_by_size(sizes, num_disks),
+        AllocationPolicy::GreedySize | AllocationPolicy::GraphPartition { .. } => {
+            greedy_by_size(sizes, num_disks)
+        }
         AllocationPolicy::Auto { cv_threshold } => {
             if size_cv(&sizes) > cv_threshold {
                 greedy_by_size(sizes, num_disks)
@@ -105,5 +139,50 @@ mod tests {
         assert_eq!(size_cv(&[0, 0]), 0.0);
         assert!(size_cv(&[5, 5, 5]) < 1e-12);
         assert!(size_cv(&[1, 100]) > 0.9);
+    }
+
+    #[test]
+    fn auto_equality_at_threshold_stays_round_robin() {
+        // Two fragments 50/150: mean 100, deviation 50 → CV exactly 0.5.
+        let sizes = vec![50u64, 150];
+        assert_eq!(size_cv(&sizes), 0.5);
+        let at = allocate(
+            sizes.clone(),
+            2,
+            AllocationPolicy::Auto { cv_threshold: 0.5 },
+        );
+        assert_eq!(
+            at.scheme(),
+            AllocationScheme::RoundRobin,
+            "size_cv == cv_threshold must NOT trigger greedy (strict >)"
+        );
+        // The tiniest threshold below the CV flips to greedy.
+        let below = allocate(
+            sizes,
+            2,
+            AllocationPolicy::Auto {
+                cv_threshold: 0.5 - 1e-12,
+            },
+        );
+        assert_eq!(below.scheme(), AllocationScheme::GreedySize);
+    }
+
+    #[test]
+    fn auto_degenerate_inputs_go_round_robin() {
+        // Empty, single-fragment, and all-zero inputs have CV 0 and stay
+        // round-robin even under a zero threshold (strict comparison).
+        for sizes in [Vec::new(), vec![1234u64], vec![0, 0, 0]] {
+            let a = allocate(sizes, 4, AllocationPolicy::Auto { cv_threshold: 0.0 });
+            assert_eq!(a.scheme(), AllocationScheme::RoundRobin);
+        }
+        assert_eq!(size_cv(&[1234]), 0.0, "single fragment has zero variance");
+    }
+
+    #[test]
+    fn graph_policy_without_a_graph_degrades_to_greedy() {
+        let mut sizes = vec![100u64; 8];
+        sizes[0] = 900;
+        let a = allocate(sizes, 4, AllocationPolicy::GraphPartition { seed: 9 });
+        assert_eq!(a.scheme(), AllocationScheme::GreedySize);
     }
 }

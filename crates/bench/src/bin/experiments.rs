@@ -236,6 +236,7 @@ fn e6() {
                 warlock_alloc::AllocationScheme::RoundRobin => "round-robin",
                 warlock_alloc::AllocationScheme::GreedySize => "greedy",
                 warlock_alloc::AllocationScheme::GreedyHeat => "heat",
+                warlock_alloc::AllocationScheme::GraphPartition => "graph",
             }
         );
     }

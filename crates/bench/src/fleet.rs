@@ -24,9 +24,11 @@ use warlock_scenarios::{generate_fleet, Scenario, ScenarioSpace};
 use crate::alloc_probe::{allocation_profile, probe_installed};
 
 /// Schema version of the `BENCH_*.json` document this module writes.
-/// v2 added `candidates_per_sec`; v1 documents still parse (the field
-/// defaults to 0, which the diff skips).
-pub const SCHEMA_VERSION: u64 = 2;
+/// v2 added `candidates_per_sec`; v3 added the non-gating
+/// allocation-quality numbers (`greedy_heat_imbalance`,
+/// `graph_heat_imbalance`, `graph_makespan_ratio`). Older documents
+/// still parse — absent fields default to 0, which the diff skips.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Every `sample_stride`-th scenario additionally re-ranks with forced
 /// chunked-streaming settings and asserts bit-identical reports.
@@ -64,6 +66,15 @@ pub struct ScenarioMetrics {
     pub peak_bytes: u64,
     /// Heap allocations over the run (0 without the probe).
     pub allocations: u64,
+    /// Max-over-mean mix-weighted disk heat of the winner's allocation
+    /// under the greedy size-based policy (non-gating; 0 when the
+    /// judge could not run).
+    pub greedy_heat_imbalance: f64,
+    /// The same heat imbalance under the co-access graph partitioner.
+    pub graph_heat_imbalance: f64,
+    /// Simulated replay makespan of the graph policy over greedy's
+    /// (< 1 means the partitioner wins head-to-head; non-gating).
+    pub graph_makespan_ratio: f64,
 }
 
 /// One failed cross-cutting invariant.
@@ -100,6 +111,9 @@ pub struct ClassAggregate {
     pub peak_bytes_max: u64,
     /// Mean evaluation-memo hit rate.
     pub cache_hit_rate_mean: f64,
+    /// Mean graph/greedy simulated makespan ratio across members
+    /// (non-gating; 0 when no member carried the number).
+    pub graph_makespan_ratio: f64,
 }
 
 /// The versioned perf-trajectory document (`BENCH_*.json`).
@@ -388,6 +402,8 @@ fn run_scenario(
             // numbers keep covering only the rank → allocate → what-if
             // arc they always did.
             let candidates_per_sec = eval_sweep(&scenario.parsed);
+            let (greedy_heat_imbalance, graph_heat_imbalance, graph_makespan_ratio) =
+                policy_quality(&session);
             metrics.push(ScenarioMetrics {
                 id: scenario.id,
                 label: label.clone(),
@@ -402,9 +418,35 @@ fn run_scenario(
                 cache_hit_rate,
                 peak_bytes,
                 allocations,
+                greedy_heat_imbalance,
+                graph_heat_imbalance,
+                graph_makespan_ratio,
             });
         }
         Err((invariant, detail)) => fail(invariant, detail),
+    }
+}
+
+/// Non-gating allocation-quality numbers from the head-to-head policy
+/// judge: `(greedy heat imbalance, graph heat imbalance, graph/greedy
+/// makespan ratio)`. All zeros when the judge cannot run — the diff
+/// skips zero baselines, so older or degenerate runs stay comparable.
+fn policy_quality(session: &Warlock) -> (f64, f64, f64) {
+    let Ok(rec) = session.recommend_policy() else {
+        return (0.0, 0.0, 0.0);
+    };
+    let find = |name: &str| rec.verdicts.iter().find(|v| v.policy == name);
+    match (find("greedy"), find("graph")) {
+        (Some(greedy), Some(graph)) => (
+            greedy.heat_imbalance,
+            graph.heat_imbalance,
+            if greedy.makespan_ms > 0.0 {
+                graph.makespan_ms / greedy.makespan_ms
+            } else {
+                0.0
+            },
+        ),
+        _ => (0.0, 0.0, 0.0),
     }
 }
 
@@ -454,6 +496,19 @@ pub fn run_fleet(seed: u64, count: u32, space: &ScenarioSpace) -> Result<FleetRe
                 peak_bytes_max: members.iter().map(|m| m.peak_bytes).max().unwrap_or(0),
                 cache_hit_rate_mean: members.iter().map(|m| m.cache_hit_rate).sum::<f64>()
                     / members.len() as f64,
+                graph_makespan_ratio: {
+                    // Mean over the members that carried the number.
+                    let carried: Vec<f64> = members
+                        .iter()
+                        .map(|m| m.graph_makespan_ratio)
+                        .filter(|&r| r > 0.0)
+                        .collect();
+                    if carried.is_empty() {
+                        0.0
+                    } else {
+                        carried.iter().sum::<f64>() / carried.len() as f64
+                    }
+                },
                 class,
             }
         })
@@ -497,6 +552,9 @@ impl FleetReport {
                     ("cache_hit_rate", Json::Num(m.cache_hit_rate)),
                     ("peak_bytes", Json::Int(m.peak_bytes as i64)),
                     ("allocations", Json::Int(m.allocations as i64)),
+                    ("greedy_heat_imbalance", Json::Num(m.greedy_heat_imbalance)),
+                    ("graph_heat_imbalance", Json::Num(m.graph_heat_imbalance)),
+                    ("graph_makespan_ratio", Json::Num(m.graph_makespan_ratio)),
                 ])
             })
             .collect();
@@ -514,6 +572,7 @@ impl FleetReport {
                     ("candidates", Json::Int(c.candidates as i64)),
                     ("peak_bytes_max", Json::Int(c.peak_bytes_max as i64)),
                     ("cache_hit_rate_mean", Json::Num(c.cache_hit_rate_mean)),
+                    ("graph_makespan_ratio", Json::Num(c.graph_makespan_ratio)),
                 ])
             })
             .collect();
@@ -613,6 +672,9 @@ impl FleetReport {
                     cache_hit_rate: f64_field(m, "cache_hit_rate")?,
                     peak_bytes: u64_field(m, "peak_bytes")?,
                     allocations: u64_field(m, "allocations")?,
+                    greedy_heat_imbalance: f64_opt(m, "greedy_heat_imbalance")?,
+                    graph_heat_imbalance: f64_opt(m, "graph_heat_imbalance")?,
+                    graph_makespan_ratio: f64_opt(m, "graph_makespan_ratio")?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -629,6 +691,7 @@ impl FleetReport {
                     candidates: u64_field(c, "candidates")?,
                     peak_bytes_max: u64_field(c, "peak_bytes_max")?,
                     cache_hit_rate_mean: f64_field(c, "cache_hit_rate_mean")?,
+                    graph_makespan_ratio: f64_opt(c, "graph_makespan_ratio")?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -1024,30 +1087,115 @@ mod tests {
     fn unsupported_schema_version_is_rejected() {
         let text = small_report()
             .to_json_string()
-            .replace("\"schema_version\": 2", "\"schema_version\": 99");
+            .replace("\"schema_version\": 3", "\"schema_version\": 99");
         assert!(FleetReport::from_json_str(&text)
             .unwrap_err()
             .contains("schema_version"));
     }
 
+    /// Simulates an older document: drops `keys` from every object in
+    /// the tree and rewrites the version marker.
+    fn downgrade(report: &FleetReport, version: u64, keys: &[&str]) -> String {
+        fn strip(json: &mut Json, keys: &[&str]) {
+            match json {
+                Json::Obj(members) => {
+                    members.retain(|(k, _)| !keys.contains(&k.as_str()));
+                    for (_, v) in members {
+                        strip(v, keys);
+                    }
+                }
+                Json::Arr(items) => {
+                    for v in items {
+                        strip(v, keys);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut doc = warlock_json::parse(&report.to_json_string()).unwrap();
+        strip(&mut doc, keys);
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members {
+                if k == "schema_version" {
+                    *v = Json::Int(version as i64);
+                }
+            }
+        }
+        doc.pretty()
+    }
+
     #[test]
     fn v1_documents_parse_with_candidates_per_sec_defaulted() {
-        // A v1 document has no `candidates_per_sec`; strip the field
-        // and downgrade the version marker to simulate one.
+        // A v1 document has no `candidates_per_sec` (nor the v3 quality
+        // numbers); strip the fields and downgrade the version marker
+        // to simulate one.
         let report = small_report();
-        let text: String = report
-            .to_json_string()
-            .replace("\"schema_version\": 2", "\"schema_version\": 1")
-            .lines()
-            .filter(|line| !line.contains("\"candidates_per_sec\""))
-            .collect::<Vec<_>>()
-            .join("\n");
+        let text = downgrade(
+            &report,
+            1,
+            &[
+                "candidates_per_sec",
+                "greedy_heat_imbalance",
+                "graph_heat_imbalance",
+                "graph_makespan_ratio",
+            ],
+        );
         let parsed = FleetReport::from_json_str(&text).expect("v1 document must parse");
         assert!(parsed.scenarios.iter().all(|m| m.candidates_per_sec == 0.0));
         assert!(parsed.classes.iter().all(|c| c.candidates_per_sec == 0.0));
-        // Diffing a v1 baseline against a v2 current skips the new
-        // metric instead of erroring.
+        // Diffing a v1 baseline against a v3 current skips the new
+        // metrics instead of erroring.
         let outcome = diff_reports(&parsed, &report, &DiffOptions::strict(0.5)).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
+    fn v2_documents_parse_with_quality_numbers_defaulted() {
+        // A v2 document predates the policy judge: no heat-imbalance or
+        // makespan-ratio fields anywhere.
+        let report = small_report();
+        let text = downgrade(
+            &report,
+            2,
+            &[
+                "greedy_heat_imbalance",
+                "graph_heat_imbalance",
+                "graph_makespan_ratio",
+            ],
+        );
+        let parsed = FleetReport::from_json_str(&text).expect("v2 document must parse");
+        assert!(parsed
+            .scenarios
+            .iter()
+            .all(|m| m.graph_makespan_ratio == 0.0 && m.greedy_heat_imbalance == 0.0));
+        assert!(parsed.classes.iter().all(|c| c.graph_makespan_ratio == 0.0));
+        // …and v2 keeps its gated metrics, so the diff still runs.
+        assert!(parsed.scenarios.iter().any(|m| m.candidates_per_sec > 0.0));
+        let outcome = diff_reports(&parsed, &report, &DiffOptions::strict(0.5)).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
+    fn quality_numbers_are_recorded_and_non_gating() {
+        let report = small_report();
+        // Every clean scenario carries the judged quality numbers…
+        for m in &report.scenarios {
+            assert!(m.greedy_heat_imbalance >= 1.0 - 1e-9, "{}", m.label);
+            assert!(m.graph_heat_imbalance >= 1.0 - 1e-9, "{}", m.label);
+            assert!(m.graph_makespan_ratio > 0.0, "{}", m.label);
+        }
+        assert!(report.classes.iter().all(|c| c.graph_makespan_ratio > 0.0));
+        // …and wrecking them never trips the diff gate.
+        let mut wrecked = report.clone();
+        for m in &mut wrecked.scenarios {
+            m.graph_makespan_ratio *= 100.0;
+            m.greedy_heat_imbalance *= 100.0;
+            m.graph_heat_imbalance *= 100.0;
+        }
+        for c in &mut wrecked.classes {
+            c.graph_makespan_ratio *= 100.0;
+        }
+        let outcome = diff_reports(&report, &wrecked, &DiffOptions::strict(0.5)).unwrap();
         assert!(outcome.passed(), "{:?}", outcome.regressions);
     }
 }

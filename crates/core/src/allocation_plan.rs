@@ -6,7 +6,8 @@
 //! disk access profile per query class is visualized." (§3.3)
 
 use warlock_alloc::{
-    allocate, profile_response_ms, Allocation, AllocationPolicy, DiskAccessProfile, OccupancyStats,
+    allocate, partition_coaccess, profile_response_ms, Allocation, AllocationPolicy, CoAccessGraph,
+    DiskAccessProfile, OccupancyStats,
 };
 use warlock_bitmap::{estimate, BitmapScheme};
 use warlock_cost::CostModel;
@@ -91,11 +92,9 @@ impl AllocationPlan {
             })
             .collect();
 
-        let allocation = allocate(sizes, system.num_disks, policy);
-        let occupancy = allocation.occupancy_stats();
-        let used_greedy = allocation.scheme() == warlock_alloc::AllocationScheme::GreedySize;
-
-        // Per-class profiles over a representative bound instance.
+        // The cost model and representative per-class fragment sets come
+        // before placement: the graph-partition policy builds its
+        // co-access graph from them, and the profiles reuse them after.
         let model = CostModel::new(schema, system, scheme, mix)
             .with_fact_index(fact_index)
             .map_err(|e| {
@@ -106,20 +105,49 @@ impl AllocationPlan {
         let processors = system.architecture.total_processors();
         let overhead = system.architecture.overhead_factor();
 
-        let per_class = mix
+        // Per-class weighted fragment accesses of a representative bound
+        // instance; each fragment's service time scales with its actual
+        // (possibly skewed) size.
+        let class_access: Vec<Vec<(usize, f64)>> = mix
             .iter()
             .zip(&cost.per_query)
             .map(|((class, _), qc)| {
-                let fragments = representative_fragments(schema, &layout, class);
-                // Scale each fragment's service time by its actual size.
-                let weighted: Vec<(usize, f64)> = fragments
+                representative_fragments(schema, &layout, class)
                     .iter()
                     .map(|&f| {
                         let scale = rows[f as usize] as f64 / avg_rows;
                         (f as usize, qc.per_fragment_ms * scale)
                     })
-                    .collect();
-                let profile = DiskAccessProfile::build_weighted(&allocation, &weighted);
+                    .collect()
+            })
+            .collect();
+
+        let allocation = match policy {
+            AllocationPolicy::GraphPartition { seed } => {
+                // Fragment co-access graph: one group per query class
+                // (edge weight = the class's joint heat share × device
+                // time), node heat = the class-weighted service time.
+                let mut builder = CoAccessGraph::builder(sizes);
+                for ((_, share), accessed) in mix.iter().zip(&class_access) {
+                    let group: Vec<u32> = accessed.iter().map(|&(f, _)| f as u32).collect();
+                    let joint: f64 = accessed.iter().map(|&(_, ms)| ms).sum();
+                    builder.add_group(&group, share * joint);
+                    for &(f, ms) in accessed {
+                        builder.add_heat(f as u32, share * ms);
+                    }
+                }
+                partition_coaccess(&builder.build(), system.num_disks, seed)
+            }
+            _ => allocate(sizes, system.num_disks, policy),
+        };
+        let occupancy = allocation.occupancy_stats();
+        let used_greedy = allocation.scheme() == warlock_alloc::AllocationScheme::GreedySize;
+
+        let per_class = mix
+            .iter()
+            .zip(&class_access)
+            .map(|((class, _), weighted)| {
+                let profile = DiskAccessProfile::build_weighted(&allocation, weighted);
                 let response_ms = profile_response_ms(&profile, processors, overhead);
                 ClassDiskProfile {
                     name: class.name().to_owned(),
@@ -348,6 +376,56 @@ mod tests {
         for c in &plan.per_class {
             assert!(c.response_ms > 0.0);
         }
+    }
+
+    #[test]
+    fn graph_policy_builds_a_partition_plan() {
+        let f = fx();
+        let skew = f.schema.uniform_skew_model();
+        let frag = Fragmentation::from_pairs(&[(2, 2), (3, 0)]).unwrap();
+        let plan = AllocationPlan::build(
+            &f.schema,
+            &f.system,
+            &f.scheme,
+            &f.mix,
+            &skew,
+            &frag,
+            AllocationPolicy::GraphPartition { seed: 0 },
+            0,
+        )
+        .unwrap();
+        // The APB-1-like mix has plenty of co-access, so the plan comes
+        // from the partitioner proper, covers every fragment once, and
+        // stays balanced.
+        assert_eq!(
+            plan.allocation.scheme(),
+            warlock_alloc::AllocationScheme::GraphPartition
+        );
+        assert!(!plan.used_greedy);
+        assert_eq!(plan.allocation.num_fragments(), 216);
+        assert_eq!(
+            plan.allocation.fragment_counts().iter().sum::<u32>(),
+            216,
+            "every fragment placed exactly once"
+        );
+        assert!(
+            plan.occupancy.imbalance < 1.25,
+            "imbalance {}",
+            plan.occupancy.imbalance
+        );
+        // Byte-identical across rebuilds (same inputs, same seed).
+        let again = AllocationPlan::build(
+            &f.schema,
+            &f.system,
+            &f.scheme,
+            &f.mix,
+            &skew,
+            &frag,
+            AllocationPolicy::GraphPartition { seed: 0 },
+            0,
+        )
+        .unwrap();
+        assert_eq!(plan, again);
     }
 
     #[test]

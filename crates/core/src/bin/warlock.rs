@@ -11,6 +11,7 @@
 //!   rank              ranked fragmentation candidates (default)
 //!   analyze [RANK]    detailed query statistic of a ranked candidate (default 1)
 //!   allocate [RANK]   physical allocation scheme of a ranked candidate (default 1)
+//!   recommend         judge allocation policies head-to-head in the disk simulator
 //!   excluded          threshold-excluded candidates with reasons
 //!   csv               ranking as CSV (for plotting)
 //!   json              complete advisory as JSON (ranking + analysis + allocation)
@@ -34,10 +35,12 @@ use std::process::ExitCode;
 
 use warlock::config_file::{demo_config, render_config};
 use warlock::json::ToJson;
-use warlock::report::{ranking_csv, render_allocation, render_analysis, render_ranking};
+use warlock::report::{
+    ranking_csv, render_allocation, render_analysis, render_ranking, render_recommendation,
+};
 use warlock::Warlock;
 
-const USAGE: &str = "usage: warlock [-j N | --parallelism N] [--max-candidates N] [--chunk-size N] <config-file> [rank|analyze [N]|allocate [N]|excluded|csv|json]\n       warlock init   (print a starter configuration)";
+const USAGE: &str = "usage: warlock [-j N | --parallelism N] [--max-candidates N] [--chunk-size N] <config-file> [rank|analyze [N]|allocate [N]|recommend|excluded|csv|json]\n       warlock init   (print a starter configuration)";
 
 /// Extracts every occurrence of a `--flag VALUE` pair from `args`,
 /// returning the last parsed value. `Ok(None)` when the flag is absent;
@@ -150,6 +153,9 @@ fn main() -> ExitCode {
         "allocate" => session
             .plan_allocation(rank_arg)
             .map(|plan| print!("{}", render_allocation(&plan))),
+        "recommend" => session
+            .recommend_policy()
+            .map(|rec| print!("{}", render_recommendation(&rec))),
         other => {
             eprintln!("warlock: unknown command `{other}`\n{USAGE}");
             return ExitCode::from(2);

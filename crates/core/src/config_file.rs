@@ -41,7 +41,8 @@
 //! top_x_percent = 10
 //! top_n = 10
 //! max_fragments = 1048576
-//! allocation_policy = auto            # or auto:<cv> | greedy | round_robin
+//! allocation_policy = auto            # or auto:<cv> | greedy | round_robin | graph
+//! graph_seed = 0                      # graph policy tie-break seed (optional)
 //! parallelism = auto                  # evaluation workers; 1 = serial
 //! max_candidates = unlimited          # or a candidate-space budget
 //! chunk_size = auto                   # streaming evaluation chunk
@@ -178,6 +179,9 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
     let mut queries: Vec<QuerySection> = Vec::new();
     let mut system = SystemSection::default();
     let mut advisor = AdvisorConfig::default();
+    // `graph_seed` composes with `allocation_policy = graph` but may
+    // appear on either side of it; applied after the scan.
+    let mut graph_seed: Option<(u64, usize)> = None;
     let mut current = Section::None;
 
     for (idx, raw) in input.lines().enumerate() {
@@ -372,6 +376,9 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
                 "allocation_policy" => {
                     advisor.allocation_policy = parse_allocation_policy(value, lineno)?;
                 }
+                "graph_seed" => {
+                    graph_seed = Some((parse_num(value, lineno, "graph_seed")?, lineno));
+                }
                 "range_options" => {
                     let mut options = Vec::new();
                     for item in value.split(',') {
@@ -393,12 +400,28 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
         }
     }
 
+    if let Some((seed, line)) = graph_seed {
+        match advisor.allocation_policy {
+            warlock_alloc::AllocationPolicy::GraphPartition { .. } => {
+                advisor.allocation_policy =
+                    warlock_alloc::AllocationPolicy::GraphPartition { seed };
+            }
+            _ => {
+                return Err(ConfigFileError::at(
+                    line,
+                    "graph_seed requires allocation_policy = graph",
+                ))
+            }
+        }
+    }
+
     assemble(dimensions, facts, queries, system, advisor)
 }
 
 /// Parses the `allocation_policy` advisor key: `auto` (default 10 %
-/// size-CV threshold), `auto:<cv>` (explicit threshold), `greedy` or
-/// `round_robin`.
+/// size-CV threshold), `auto:<cv>` (explicit threshold), `greedy`,
+/// `round_robin`, or `graph` (co-access graph partitioning; pair with
+/// the optional `graph_seed` key for tie-break seeding).
 fn parse_allocation_policy(
     value: &str,
     line: usize,
@@ -408,6 +431,7 @@ fn parse_allocation_policy(
         "auto" => Ok(AllocationPolicy::default()),
         "greedy" => Ok(AllocationPolicy::GreedySize),
         "round_robin" => Ok(AllocationPolicy::RoundRobin),
+        "graph" => Ok(AllocationPolicy::GraphPartition { seed: 0 }),
         other => {
             if let Some(cv) = other.strip_prefix("auto:") {
                 let cv_threshold = parse_num::<f64>(cv.trim(), line, "allocation_policy cv")?;
@@ -423,7 +447,7 @@ fn parse_allocation_policy(
                 line,
                 format!(
                     "unknown allocation_policy `{other}` \
-                     (auto | auto:<cv> | greedy | round_robin)"
+                     (auto | auto:<cv> | greedy | round_robin | graph)"
                 ),
             ))
         }
@@ -751,6 +775,12 @@ pub fn render_config(parsed: &ParsedConfig) -> String {
         warlock_alloc::AllocationPolicy::RoundRobin => {
             let _ = writeln!(out, "allocation_policy = round_robin");
         }
+        warlock_alloc::AllocationPolicy::GraphPartition { seed } => {
+            let _ = writeln!(out, "allocation_policy = graph");
+            if seed != 0 {
+                let _ = writeln!(out, "graph_seed = {seed}");
+            }
+        }
     }
     match adv.parallelism {
         0 => {
@@ -987,6 +1017,64 @@ top_n = 5
         let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nallocation_policy = auto:-1");
         assert!(parse_config(&bad).is_err());
         let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nallocation_policy = auto:wide");
+        assert!(parse_config(&bad).is_err());
+    }
+
+    #[test]
+    fn graph_policy_parses_and_round_trips() {
+        use warlock_alloc::AllocationPolicy;
+        // Bare `graph` defaults to seed 0 and renders without a
+        // graph_seed line.
+        let with = SAMPLE.replace("top_n = 5", "top_n = 5\nallocation_policy = graph");
+        let parsed = parse_config(&with).unwrap();
+        assert_eq!(
+            parsed.advisor.allocation_policy,
+            AllocationPolicy::GraphPartition { seed: 0 }
+        );
+        let rendered = render_config(&parsed);
+        assert!(rendered.contains("allocation_policy = graph"));
+        assert!(!rendered.contains("graph_seed"));
+        let reparsed = parse_config(&rendered).unwrap();
+        assert_eq!(
+            reparsed.advisor.allocation_policy,
+            parsed.advisor.allocation_policy
+        );
+
+        // Explicit seed round-trips, on either side of the policy key.
+        for lines in [
+            "allocation_policy = graph\ngraph_seed = 41",
+            "graph_seed = 41\nallocation_policy = graph",
+        ] {
+            let with = SAMPLE.replace("top_n = 5", &format!("top_n = 5\n{lines}"));
+            let parsed = parse_config(&with).unwrap();
+            assert_eq!(
+                parsed.advisor.allocation_policy,
+                AllocationPolicy::GraphPartition { seed: 41 }
+            );
+            let rendered = render_config(&parsed);
+            assert!(rendered.contains("graph_seed = 41"));
+            let reparsed = parse_config(&rendered).unwrap();
+            assert_eq!(
+                reparsed.advisor.allocation_policy,
+                AllocationPolicy::GraphPartition { seed: 41 }
+            );
+        }
+
+        // graph_seed without the graph policy is a loud error with the
+        // offending line number.
+        let bad = SAMPLE.replace("top_n = 5", "top_n = 5\ngraph_seed = 7");
+        let err = parse_config(&bad).unwrap_err();
+        assert!(err.message.contains("graph_seed requires"));
+        let bad = SAMPLE.replace(
+            "top_n = 5",
+            "top_n = 5\nallocation_policy = greedy\ngraph_seed = 7",
+        );
+        assert!(parse_config(&bad).is_err());
+        // Malformed seeds are rejected too.
+        let bad = SAMPLE.replace(
+            "top_n = 5",
+            "top_n = 5\nallocation_policy = graph\ngraph_seed = deterministic",
+        );
         assert!(parse_config(&bad).is_err());
     }
 

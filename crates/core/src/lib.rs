@@ -87,6 +87,7 @@ pub mod config_file;
 mod engine;
 pub mod error;
 pub mod http;
+pub mod policy_judge;
 pub mod prelude;
 pub mod ranking;
 pub mod registry;
@@ -105,6 +106,7 @@ pub use cache::EvalCacheStats;
 pub use config::AdvisorConfig;
 pub use error::WarlockError;
 pub use http::ShutdownSignal;
+pub use policy_judge::{PolicyRecommendation, PolicyVerdict};
 pub use ranking::{twofold_rank, StreamingRank};
 pub use registry::{Registry, Warehouse, WarehouseStats};
 pub use serial::SessionReport;

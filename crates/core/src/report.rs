@@ -178,11 +178,7 @@ pub fn render_allocation(plan: &AllocationPlan) -> String {
     let _ = writeln!(
         out,
         "  scheme: {} | fact {:.1} MiB | bitmaps {:.1} MiB",
-        if plan.used_greedy {
-            "greedy size-based"
-        } else {
-            "logical round-robin"
-        },
+        crate::policy_judge::scheme_name(plan.allocation.scheme()),
         plan.fact_bytes as f64 / (1024.0 * 1024.0),
         plan.bitmap_bytes as f64 / (1024.0 * 1024.0),
     );
@@ -220,6 +216,32 @@ pub fn render_allocation(plan: &AllocationPlan) -> String {
             c.profile.disks_hit(),
             c.profile.max_ms(),
             c.response_ms,
+        );
+    }
+    out
+}
+
+/// Renders the head-to-head allocation-policy recommendation.
+pub fn render_recommendation(rec: &crate::policy_judge::PolicyRecommendation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "policy recommendation for: {}", rec.label);
+    let _ = writeln!(out, "  recommended: {}", rec.recommended);
+    let _ = writeln!(
+        out,
+        "  {:<12} {:<16} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "policy", "scheme", "makespan", "busy imb", "heat imb", "occ imb", "resp [ms]"
+    );
+    for v in &rec.verdicts {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:<16} {:>12.1} {:>10.3} {:>10.3} {:>10.3} {:>12.1}",
+            v.policy,
+            v.scheme,
+            v.makespan_ms,
+            v.busy_imbalance,
+            v.heat_imbalance,
+            v.occupancy_imbalance,
+            v.mean_response_ms,
         );
     }
     out
@@ -313,6 +335,22 @@ mod tests {
             .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
             .count();
         assert!(disk_lines >= plan.allocation.num_disks() as usize);
+    }
+
+    #[test]
+    fn recommendation_renders_every_verdict() {
+        let session = Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(16))
+            .mix(apb1_like_mix().unwrap())
+            .build()
+            .unwrap();
+        let rec = session.recommend_policy().unwrap();
+        let text = render_recommendation(&rec);
+        assert!(text.contains("recommended:"));
+        for v in &rec.verdicts {
+            assert!(text.contains(&v.policy), "missing {}", v.policy);
+        }
     }
 
     #[test]

@@ -583,11 +583,7 @@ impl From<&AllocationPlan> for AllocationReport {
         let counts = plan.allocation.fragment_counts();
         Self {
             label: plan.label.clone(),
-            scheme: if plan.used_greedy {
-                "greedy-by-size".to_owned()
-            } else {
-                "round-robin".to_owned()
-            },
+            scheme: crate::policy_judge::scheme_name(plan.allocation.scheme()).to_owned(),
             fact_bytes: plan.fact_bytes,
             bitmap_bytes: plan.bitmap_bytes,
             imbalance: plan.occupancy.imbalance,
@@ -762,6 +758,119 @@ impl FromJson for crate::registry::WarehouseStats {
     }
 }
 
+/// One judged allocation policy (wire row of
+/// [`crate::policy_judge::PolicyVerdict`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyVerdictRow {
+    /// Policy name (`round_robin` | `greedy` | `graph`).
+    pub policy: String,
+    /// Scheme the policy actually produced.
+    pub scheme: String,
+    /// Simulated replay makespan (the ranking key).
+    pub makespan_ms: f64,
+    /// Max/mean simulated disk busy time.
+    pub busy_imbalance: f64,
+    /// Max/mean mix-weighted access heat per disk.
+    pub heat_imbalance: f64,
+    /// Max/mean byte occupancy per disk.
+    pub occupancy_imbalance: f64,
+    /// Mean simulated query response time.
+    pub mean_response_ms: f64,
+}
+
+impl From<&crate::policy_judge::PolicyVerdict> for PolicyVerdictRow {
+    fn from(v: &crate::policy_judge::PolicyVerdict) -> Self {
+        Self {
+            policy: v.policy.clone(),
+            scheme: v.scheme.clone(),
+            makespan_ms: v.makespan_ms,
+            busy_imbalance: v.busy_imbalance,
+            heat_imbalance: v.heat_imbalance,
+            occupancy_imbalance: v.occupancy_imbalance,
+            mean_response_ms: v.mean_response_ms,
+        }
+    }
+}
+
+impl ToJson for PolicyVerdictRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("policy", self.policy.to_json()),
+            ("scheme", self.scheme.to_json()),
+            ("makespan_ms", self.makespan_ms.to_json()),
+            ("busy_imbalance", self.busy_imbalance.to_json()),
+            ("heat_imbalance", self.heat_imbalance.to_json()),
+            ("occupancy_imbalance", self.occupancy_imbalance.to_json()),
+            ("mean_response_ms", self.mean_response_ms.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PolicyVerdictRow {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            policy: str_field(value, "policy")?,
+            scheme: str_field(value, "scheme")?,
+            makespan_ms: f64_field(value, "makespan_ms")?,
+            busy_imbalance: f64_field(value, "busy_imbalance")?,
+            heat_imbalance: f64_field(value, "heat_imbalance")?,
+            occupancy_imbalance: f64_field(value, "occupancy_imbalance")?,
+            mean_response_ms: f64_field(value, "mean_response_ms")?,
+        })
+    }
+}
+
+/// The advisor's per-workload allocation-policy recommendation (wire
+/// form of [`crate::policy_judge::PolicyRecommendation`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRecommendationRow {
+    /// Judged candidate label.
+    pub label: String,
+    /// The winning policy.
+    pub recommended: String,
+    /// All verdicts, best first.
+    pub verdicts: Vec<PolicyVerdictRow>,
+}
+
+impl From<&crate::policy_judge::PolicyRecommendation> for PolicyRecommendationRow {
+    fn from(rec: &crate::policy_judge::PolicyRecommendation) -> Self {
+        Self {
+            label: rec.label.clone(),
+            recommended: rec.recommended.clone(),
+            verdicts: rec.verdicts.iter().map(PolicyVerdictRow::from).collect(),
+        }
+    }
+}
+
+impl ToJson for PolicyRecommendationRow {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("label", self.label.to_json()),
+            ("recommended", self.recommended.to_json()),
+            ("verdicts", self.verdicts.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PolicyRecommendationRow {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            label: str_field(value, "label")?,
+            recommended: str_field(value, "recommended")?,
+            verdicts: array_field(value, "verdicts")?
+                .iter()
+                .map(PolicyVerdictRow::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl ToJson for crate::policy_judge::PolicyRecommendation {
+    fn to_json(&self) -> Json {
+        PolicyRecommendationRow::from(self).to_json()
+    }
+}
+
 /// The complete machine-readable advisory: ranking plus the detailed
 /// analysis and allocation plan of the winner. This is what
 /// `warlock <cfg> json` emits.
@@ -781,6 +890,11 @@ pub struct SessionReport {
     pub analysis: Option<AnalysisReport>,
     /// Allocation plan of the top candidate.
     pub allocation: Option<AllocationReport>,
+    /// Head-to-head judged allocation-policy recommendation for the
+    /// top candidate. Absent when nothing survived the thresholds;
+    /// also absent in documents written before the judge existed
+    /// (parsing tolerates the missing key).
+    pub recommendation: Option<PolicyRecommendationRow>,
 }
 
 impl SessionReport {
@@ -789,6 +903,7 @@ impl SessionReport {
         report: &AdvisorReport,
         analysis: Option<&FragmentationAnalysis>,
         allocation: Option<&AllocationPlan>,
+        recommendation: Option<&crate::policy_judge::PolicyRecommendation>,
     ) -> Self {
         Self {
             enumerated: report.enumerated,
@@ -797,6 +912,7 @@ impl SessionReport {
             excluded: ExcludedSummaryRow::from(&report.excluded),
             analysis: analysis.map(AnalysisReport::from),
             allocation: allocation.map(AllocationReport::from),
+            recommendation: recommendation.map(PolicyRecommendationRow::from),
         }
     }
 
@@ -815,6 +931,7 @@ impl ToJson for SessionReport {
             ("excluded", self.excluded.to_json()),
             ("analysis", self.analysis.to_json()),
             ("allocation", self.allocation.to_json()),
+            ("recommendation", self.recommendation.to_json()),
         ])
     }
 }
@@ -825,6 +942,15 @@ impl FromJson for SessionReport {
             match value.req(key)? {
                 Json::Null => Ok(None),
                 v => Ok(Some(v)),
+            }
+        };
+        // Unlike `optional`, a *missing* key is fine here: documents
+        // written before the policy judge existed have no
+        // `recommendation` at all and must keep parsing.
+        let compat = |key: &str| -> Option<&Json> {
+            match value.get(key) {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v),
             }
         };
         Ok(Self {
@@ -841,14 +967,18 @@ impl FromJson for SessionReport {
             allocation: optional("allocation")?
                 .map(AllocationReport::from_json)
                 .transpose()?,
+            recommendation: compat("recommendation")
+                .map(PolicyRecommendationRow::from_json)
+                .transpose()?,
         })
     }
 }
 
 impl crate::Warlock {
     /// The complete machine-readable advisory for the current inputs:
-    /// the ranking plus the top candidate's analysis and allocation
-    /// plan. Ranks first if necessary.
+    /// the ranking plus the top candidate's analysis, allocation plan
+    /// and judged allocation-policy recommendation. Ranks first if
+    /// necessary.
     pub fn session_report(&self) -> Result<SessionReport, WarlockError> {
         let top = self.rank()?.top().map(|r| r.cost.fragmentation.clone());
         let analysis = top
@@ -856,10 +986,15 @@ impl crate::Warlock {
             .map(|f| self.analyze_candidate(f))
             .transpose()?;
         let allocation = top.as_ref().map(|f| self.plan_candidate(f)).transpose()?;
+        let recommendation = top
+            .as_ref()
+            .map(|f| self.recommend_policy_for(f))
+            .transpose()?;
         Ok(SessionReport::new(
             self.rank()?,
             analysis.as_ref(),
             allocation.as_ref(),
+            recommendation.as_ref(),
         ))
     }
 }
@@ -895,6 +1030,39 @@ mod tests {
         // Compact form round-trips too.
         let compact = report.to_json().render();
         assert_eq!(SessionReport::from_json_str(&compact).unwrap(), report);
+    }
+
+    #[test]
+    fn session_report_carries_the_policy_recommendation() {
+        let report = session().session_report().unwrap();
+        let rec = report.recommendation.as_ref().expect("recommendation");
+        assert_eq!(rec.verdicts.len(), 3);
+        assert_eq!(rec.recommended, rec.verdicts[0].policy);
+        assert!(rec.verdicts.iter().all(|v| v.makespan_ms > 0.0));
+        // …and it round-trips inside the report.
+        let back = SessionReport::from_json_str(&report.to_json().render()).unwrap();
+        assert_eq!(back.recommendation, report.recommendation);
+    }
+
+    #[test]
+    fn pre_judge_session_documents_still_parse() {
+        // A document written before the policy judge existed has no
+        // `recommendation` key at all; parsing must tolerate that.
+        let report = session().session_report().unwrap();
+        let json = report.to_json();
+        let Json::Obj(pairs) = &json else {
+            panic!("session report is an object")
+        };
+        let stripped = Json::Obj(
+            pairs
+                .iter()
+                .filter(|(k, _)| k != "recommendation")
+                .cloned()
+                .collect(),
+        );
+        let back = SessionReport::from_json_str(&stripped.render()).unwrap();
+        assert_eq!(back.recommendation, None);
+        assert_eq!(back.ranking, report.ranking);
     }
 
     #[test]

@@ -34,7 +34,9 @@
 //! warehouse. v2 adds the registry ops `load` (`params.name`/`path`),
 //! `unload` (`params.name`), `reload` (`params.name`, default: the
 //! routed/default warehouse — atomic copy-on-write re-read of the
-//! warehouse's configuration file) and `list_warehouses`.
+//! warehouse's configuration file) and `list_warehouses`, plus
+//! `recommend_policy` — the head-to-head allocation-policy judge
+//! replaying the mix through the disk simulator under each policy.
 //!
 //! ## v1 compatibility
 //!
@@ -52,7 +54,7 @@
 //! `what_if_disks`, `what_if_prefetch`,
 //! `what_if_without_bitmap_dimension`, `what_if_without_class`,
 //! `set_mix`, `set_budget`, `cache_stats`, `ping`, `shutdown`, plus (v2)
-//! `load`, `unload`, `reload`, `list_warehouses`.
+//! `load`, `unload`, `reload`, `list_warehouses`, `recommend_policy`.
 //!
 //! `ping` doubles as a per-warehouse health probe: besides `protocol`
 //! and the resolved `warehouse` name it reports the exact `space_size`
@@ -408,6 +410,10 @@ impl Service {
                         ("warehouses", warehouses.to_json()),
                     ]));
                 }
+                "recommend_policy" => {
+                    let session = self.registry.resolve(route)?.session();
+                    return Ok(session.recommend_policy()?.to_json());
+                }
                 _ => {}
             }
         }
@@ -672,6 +678,26 @@ mod tests {
             .as_array()
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn recommend_policy_is_a_v2_op() {
+        let service = service();
+        let result = ok_result(&service, r#"{"op":"recommend_policy"}"#);
+        let recommended = result.get("recommended").and_then(Json::as_str).unwrap();
+        assert!(["round_robin", "greedy", "graph"].contains(&recommended));
+        let verdicts = result.get("verdicts").and_then(Json::as_array).unwrap();
+        assert_eq!(verdicts.len(), 3);
+        for v in verdicts {
+            assert!(v.get("makespan_ms").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(v.get("scheme").and_then(Json::as_str).is_some());
+        }
+        // A pre-judge v1 client never knew the op; it must still see
+        // `unknown_op`, exactly as the old server answered.
+        assert_eq!(
+            err_kind(&service, r#"{"v":1,"op":"recommend_policy"}"#),
+            "unknown_op"
+        );
     }
 
     #[test]

@@ -196,6 +196,7 @@ pub struct WarlockBuilder {
     parallelism: Option<usize>,
     max_candidates: Option<u64>,
     chunk_size: Option<usize>,
+    allocation_policy: Option<warlock_alloc::AllocationPolicy>,
 }
 
 impl WarlockBuilder {
@@ -250,6 +251,19 @@ impl WarlockBuilder {
         self
     }
 
+    /// Sets the fragment placement policy (e.g.
+    /// [`AllocationPolicy::GraphPartition`] for the co-access graph
+    /// partitioner). Takes precedence over
+    /// [`AdvisorConfig::allocation_policy`] regardless of the order it
+    /// is combined with [`config`](Self::config).
+    ///
+    /// [`AllocationPolicy::GraphPartition`]: warlock_alloc::AllocationPolicy::GraphPartition
+    /// [`AdvisorConfig::allocation_policy`]: crate::AdvisorConfig
+    pub fn allocation_policy(mut self, policy: warlock_alloc::AllocationPolicy) -> Self {
+        self.allocation_policy = Some(policy);
+        self
+    }
+
     /// Validates every input and builds the session.
     ///
     /// # Errors
@@ -275,6 +289,9 @@ impl WarlockBuilder {
         }
         if let Some(chunk) = self.chunk_size {
             config.chunk_size = chunk;
+        }
+        if let Some(policy) = self.allocation_policy {
+            config.allocation_policy = policy;
         }
         let (scheme, skew) = engine::validate(&schema, &system, &mix, &config)?;
         Ok(Warlock {
@@ -997,6 +1014,25 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(s.config().parallelism, 5);
+    }
+
+    #[test]
+    fn builder_allocation_policy_overrides_config_in_any_order() {
+        use warlock_alloc::{AllocationPolicy, AllocationScheme};
+        let s = Warlock::builder()
+            .allocation_policy(AllocationPolicy::GraphPartition { seed: 7 })
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(16))
+            .mix(apb1_like_mix().unwrap())
+            .config(AdvisorConfig::default())
+            .build()
+            .unwrap();
+        assert_eq!(
+            s.config().allocation_policy,
+            AllocationPolicy::GraphPartition { seed: 7 }
+        );
+        let plan = s.plan_allocation(1).unwrap();
+        assert_eq!(plan.allocation.scheme(), AllocationScheme::GraphPartition);
     }
 
     #[test]

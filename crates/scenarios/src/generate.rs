@@ -282,6 +282,17 @@ fn gen_advisor(rng: &mut Rng, space: &ScenarioSpace, skews: Vec<DimensionSkew>) 
         2 => AllocationPolicy::GreedySize,
         _ => AllocationPolicy::RoundRobin,
     };
+    // The graph-policy knob short-circuits before touching the stream:
+    // the default `graph_probability = 0.0` draws nothing, so historical
+    // fleet fingerprints stay byte-identical.
+    let allocation_policy = if space.graph_probability > 0.0 && rng.chance(space.graph_probability)
+    {
+        AllocationPolicy::GraphPartition {
+            seed: rng.next_u64(),
+        }
+    } else {
+        allocation_policy
+    };
     AdvisorConfig {
         max_dimensionality: rng.range(3, 4) as usize,
         range_options: if rng.chance(space.ranged_probability) {
@@ -353,6 +364,46 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{label}: session failed: {e}"));
             assert!(session.candidate_space_size() > 0, "{label}: empty space");
         }
+    }
+
+    #[test]
+    fn graph_probability_one_puts_every_scenario_on_the_graph_policy() {
+        let space = ScenarioSpace {
+            graph_probability: 1.0,
+            ..Default::default()
+        };
+        for scenario in generate_fleet(13, 8, &space) {
+            assert!(
+                matches!(
+                    scenario.parsed.advisor.allocation_policy,
+                    AllocationPolicy::GraphPartition { .. }
+                ),
+                "{}: drew {:?}",
+                scenario.label(),
+                scenario.parsed.advisor.allocation_policy
+            );
+            // The rendered config round-trips the policy (and seed).
+            let reparsed = warlock::config_file::parse_config(&scenario.config_string()).unwrap();
+            assert_eq!(
+                reparsed.advisor.allocation_policy,
+                scenario.parsed.advisor.allocation_policy
+            );
+        }
+        // Off means OFF: the knob must not consume any random draws, so
+        // an explicit 0.0 reproduces the default space byte for byte.
+        let off = ScenarioSpace {
+            graph_probability: 0.0,
+            ..Default::default()
+        };
+        let a: Vec<String> = generate_fleet(13, 8, &off)
+            .iter()
+            .map(Scenario::config_string)
+            .collect();
+        let b: Vec<String> = generate_fleet(13, 8, &ScenarioSpace::default())
+            .iter()
+            .map(Scenario::config_string)
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -164,6 +164,12 @@ pub struct ScenarioSpace {
     /// Evaluation workers forced into every scenario (`1` keeps fleet
     /// timings comparable on any host; `0` = auto).
     pub parallelism: usize,
+    /// Probability that a scenario runs the co-access graph
+    /// partitioning allocation policy (with a drawn seed) instead of
+    /// the drawn classic policy. The default `0.0` draws **nothing**
+    /// from the stream, keeping historical fleet fingerprints
+    /// byte-identical.
+    pub graph_probability: f64,
 }
 
 impl Default for ScenarioSpace {
@@ -175,6 +181,7 @@ impl Default for ScenarioSpace {
             mix_classes: (4, 8),
             ranged_probability: 0.25,
             parallelism: 1,
+            graph_probability: 0.0,
         }
     }
 }
@@ -204,6 +211,12 @@ impl ScenarioSpace {
             return Err(format!(
                 "ranged_probability must be in [0, 1], got {}",
                 self.ranged_probability
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.graph_probability) {
+            return Err(format!(
+                "graph_probability must be in [0, 1], got {}",
+                self.graph_probability
             ));
         }
         Ok(())
@@ -253,6 +266,11 @@ mod tests {
         assert!(s.validate().is_err());
         let s = ScenarioSpace {
             ranged_probability: 1.5,
+            ..Default::default()
+        };
+        assert!(s.validate().is_err());
+        let s = ScenarioSpace {
+            graph_probability: -0.1,
             ..Default::default()
         };
         assert!(s.validate().is_err());

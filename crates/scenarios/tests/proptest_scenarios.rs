@@ -23,6 +23,7 @@ fn arb_space() -> impl Strategy<Value = ScenarioSpace> {
                 mix_classes,
                 ranged_probability: ranged,
                 parallelism: 1,
+                graph_probability: 0.0,
             },
         )
 }

@@ -35,6 +35,7 @@
 mod binding;
 mod datagen;
 mod disksim;
+pub mod judge;
 mod page_hits;
 pub mod validate;
 mod warehouse;
@@ -42,6 +43,7 @@ mod warehouse;
 pub use binding::{bind_query, BoundQuery};
 pub use datagen::SyntheticFact;
 pub use disksim::{run_closed, DiskSimulator, QueryOutcome, SimReport};
+pub use judge::{judge_head_to_head, ClassLoad, PolicyEntrant, PolicyVerdict};
 pub use page_hits::{compare_page_hits, touched_pages, PageHitComparison};
 pub use validate::{closed_workload, compare_single_queries, ComparisonRow, WorkloadStats};
 pub use warehouse::MaterializedWarehouse;
