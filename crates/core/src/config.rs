@@ -2,6 +2,7 @@
 
 use warlock_alloc::AllocationPolicy;
 use warlock_bitmap::SchemeConfig;
+use warlock_cost::KernelChoice;
 use warlock_fragment::Thresholds;
 use warlock_skew::DimensionSkew;
 
@@ -47,6 +48,13 @@ pub struct AdvisorConfig {
     /// produces bit-identical reports; the knob only trades pipeline
     /// memory against fan-out batching.
     pub chunk_size: usize,
+    /// Costing kernel backend for the batched evaluator: `Auto`
+    /// resolves via the `WARLOCK_KERNEL` environment variable and then
+    /// CPU feature detection; explicit `Scalar`/`Lanes`/`Avx2` pin a
+    /// backend (`Avx2` degrades cleanly to `Lanes` off AVX2 hardware).
+    /// Every setting produces bit-identical reports; the knob only
+    /// trades instruction throughput.
+    pub kernel: KernelChoice,
     /// Extra MDHF attribute range sizes to enumerate alongside the
     /// point candidates (empty = the paper's point-only space). Each
     /// option is applied to every fragmentation attribute whose
@@ -70,6 +78,7 @@ impl Default for AdvisorConfig {
             parallelism: 0,
             max_candidates: 0,
             chunk_size: 0,
+            kernel: KernelChoice::Auto,
             range_options: Vec::new(),
         }
     }

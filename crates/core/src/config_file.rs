@@ -46,6 +46,7 @@
 //! parallelism = auto                  # evaluation workers; 1 = serial
 //! max_candidates = unlimited          # or a candidate-space budget
 //! chunk_size = auto                   # streaming evaluation chunk
+//! kernel = auto                       # costing backend: scalar | lanes | avx2
 //! range_options = 2, 3, 5             # extra MDHF range sizes (optional)
 //! ```
 //!
@@ -372,6 +373,11 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
                         "auto" => 0,
                         n => parse_num(n, lineno, "chunk_size")?,
                     }
+                }
+                "kernel" => {
+                    advisor.kernel = value
+                        .parse()
+                        .map_err(|e: String| ConfigFileError::at(lineno, e))?;
                 }
                 "allocation_policy" => {
                     advisor.allocation_policy = parse_allocation_policy(value, lineno)?;
@@ -806,6 +812,12 @@ pub fn render_config(parsed: &ParsedConfig) -> String {
             let _ = writeln!(out, "chunk_size = {n}");
         }
     }
+    // Rendered only when pinned: the default (`auto`) stays implicit so
+    // configs rendered before the knob existed — and the scenario-fleet
+    // fingerprint hashed over them — stay byte-identical.
+    if adv.kernel != warlock_cost::KernelChoice::Auto {
+        let _ = writeln!(out, "kernel = {}", adv.kernel);
+    }
     if !adv.range_options.is_empty() {
         let rendered: Vec<String> = adv.range_options.iter().map(u64::to_string).collect();
         let _ = writeln!(out, "range_options = {}", rendered.join(", "));
@@ -943,6 +955,31 @@ top_n = 5
         assert!(parse_config(&bad).is_err());
         let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nrange_options = 2, x");
         assert!(parse_config(&bad).is_err());
+    }
+
+    #[test]
+    fn kernel_key_parses_and_round_trips() {
+        use warlock_cost::KernelChoice;
+        // Default (absent key) is auto, left implicit on render so
+        // pre-knob configs stay byte-identical.
+        let parsed = parse_config(SAMPLE).unwrap();
+        assert_eq!(parsed.advisor.kernel, KernelChoice::Auto);
+        assert!(!render_config(&parsed).contains("kernel ="));
+        for (spelled, choice) in [
+            ("auto", KernelChoice::Auto),
+            ("scalar", KernelChoice::Scalar),
+            ("lanes", KernelChoice::Lanes),
+            ("avx2", KernelChoice::Avx2),
+        ] {
+            let with = SAMPLE.replace("top_n = 5", &format!("top_n = 5\nkernel = {spelled}"));
+            let parsed = parse_config(&with).unwrap();
+            assert_eq!(parsed.advisor.kernel, choice);
+            let reparsed = parse_config(&render_config(&parsed)).unwrap();
+            assert_eq!(reparsed.advisor.kernel, choice);
+        }
+        let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nkernel = sse9");
+        let err = parse_config(&bad).unwrap_err().to_string();
+        assert!(err.contains("sse9"), "unhelpful error: {err}");
     }
 
     #[test]

@@ -27,7 +27,8 @@ use std::sync::Arc;
 
 use warlock_bitmap::BitmapScheme;
 use warlock_cost::{
-    evaluate_chunk_with, CandidateCost, ChunkBatch, CostModel, CostTables, PerQueryDetail,
+    evaluate_chunk_kernel, CandidateCost, ChunkBatch, CostModel, CostTables, KernelBackend,
+    PerQueryDetail,
 };
 use warlock_fragment::{
     CandidateError, CandidateSource, Exclusion, FragmentLayout, Fragmentation, LayoutScratch,
@@ -221,11 +222,13 @@ struct EvalScratch {
 /// entry, in group order. Callers must have passed every candidate
 /// through [`pre_exclude`] first (the layout would panic on a
 /// `u64`-overflowing fragment count otherwise).
+#[allow(clippy::too_many_arguments)]
 fn evaluate_group(
     schema: &StarSchema,
     config: &AdvisorConfig,
     ctx: ThresholdContext,
     tables: &CostTables,
+    backend: KernelBackend,
     chunk: &[Fragmentation],
     group: &[usize],
     scratch: &mut EvalScratch,
@@ -254,7 +257,7 @@ fn evaluate_group(
     // Per-query detail is omitted on the hot path: ranking reads only
     // the aggregates, and the final report re-derives detail for the
     // ranked handful (see `run`).
-    let costs = evaluate_chunk_with(tables, &mut scratch.batch, PerQueryDetail::Omit);
+    let costs = evaluate_chunk_kernel(tables, &mut scratch.batch, PerQueryDetail::Omit, backend);
     for (slot, cost) in scratch.staged.drain(..).zip(costs) {
         outcomes[slot] = Some(CachedOutcome::Cost(Arc::new(cost)));
     }
@@ -311,6 +314,10 @@ pub(crate) fn run(
         _ => false,
     };
     let workers = exec::effective_parallelism(config.parallelism);
+    // Resolve the costing kernel backend once per run (resolution reads
+    // the environment); every backend is bit-identical, so the choice
+    // never participates in cache fingerprints.
+    let backend = KernelBackend::resolve(config.kernel);
     // Precomputed cost tables for the batched evaluator, built lazily on
     // the first cache-miss candidate — a fully warm run never pays for
     // the build.
@@ -395,7 +402,7 @@ pub(crate) fn run(
             let groups: Vec<&[usize]> = todo.chunks(group_size).collect();
             let fresh = env.pool.map(workers, &groups, |group| {
                 exec::with_scratch(|scratch: &mut EvalScratch| {
-                    evaluate_group(schema, config, ctx, tables, &chunk, group, scratch)
+                    evaluate_group(schema, config, ctx, tables, backend, &chunk, group, scratch)
                 })
             });
             for (group, group_outcomes) in groups.iter().zip(fresh) {

@@ -113,6 +113,7 @@ pub use serial::SessionReport;
 pub use service::{Service, ServiceReply, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use session::{Snapshot, Warlock, WarlockBuilder};
 pub use tuning::{TuningDelta, TuningSession};
+pub use warlock_cost::{KernelBackend, KernelChoice};
 
 // Substrate re-exports so downstream users need only one dependency.
 pub use warlock_alloc as alloc;

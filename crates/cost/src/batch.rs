@@ -3,13 +3,17 @@
 //! [`ChunkBatch`] accumulates a chunk of candidates as flat columns
 //! (fragment counts, per-candidate page geometry, per-class match
 //! results), and [`evaluate_chunk`] prices all of them against a
-//! [`CostTables`] in two phases per query class: an irregular matching
-//! pass that resolves predicates through the precomputed tables, then a
-//! straight-line arithmetic pass over the `f64` columns. The expression
+//! [`CostTables`] in three phases per query class: an irregular matching
+//! pass that resolves predicates through the precomputed tables, a Yao
+//! stage that resolves page-hit curves through two memos (gathering the
+//! misses for one lane-batched kernel call), and a straight-line
+//! arithmetic pass over the `f64` columns, dispatched to a
+//! [`CostKernel`] backend (scalar reference, portable lane arrays, or
+//! runtime-detected AVX2 — see [`crate::kernel`]). The expression
 //! sequence per (candidate, class) is exactly the scalar
 //! [`estimate_query`](crate::access::estimate_query) path, so batched
 //! results are bit-identical to [`CostModel::evaluate_layout`]
-//! (crate::CostModel::evaluate_layout) — pinned by the
+//! (crate::CostModel::evaluate_layout) on every backend — pinned by the
 //! `batched_equivalence` proptest in `xtests`.
 //!
 //! Compared to the scalar path, a chunk of N candidates × C classes
@@ -21,6 +25,17 @@
 //! and across candidates/chunks through a persistent exact-argument memo
 //! (`yao_page_hits` is a pure function, so identical arguments reproduce
 //! identical bits).
+//!
+//! # Padding invariant
+//!
+//! Every `f64` column the arithmetic kernels read or write lives in a
+//! cache-line-aligned [`AlignedF64Col`] and is padded to a multiple of
+//! [`LANES`] with **inert** candidates: zero fragments, zero geometry,
+//! not indexable. Inert lanes produce finite all-zero outputs by
+//! construction, are never read back (every consumer loop runs over the
+//! live `0..n` prefix only), and never reach either Yao memo (the
+//! gather loop is scalar over the live prefix). The
+//! `padded_tail_lanes_stay_inert` test pins this.
 
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
@@ -30,11 +45,12 @@ use warlock_fragment::{FragmentLayout, Fragmentation, LayoutScratch};
 use warlock_schema::DimensionId;
 
 use crate::access::{AccessPath, QueryCost};
+use crate::kernel::{
+    AlignedF64Col, CostKernel, CostPassInput, CostPassOutput, KernelBackend, KernelChoice, LANES,
+};
 use crate::model::CandidateCost;
 use crate::prefetch::effective_prefetch;
-use crate::response::estimated_response_ms;
 use crate::tables::{BitmapContrib, CostTables};
-use crate::yao::yao_page_hits;
 
 /// How much per-class detail [`evaluate_chunk_with`] materializes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,23 +104,32 @@ pub struct ChunkBatch {
     attr_offsets: Vec<u32>,
     attr_dims: Vec<DimensionId>,
     attr_cards: Vec<u64>,
-    // --- Class-independent geometry (stage A) --------------------------
+    // --- Class-independent geometry (stage A). The `f64` columns the
+    // arithmetic kernels read are aligned and padded (see the module
+    // docs); the integer columns feed the scalar Yao gather and the
+    // detail rows.
     frag_rows_avg: Vec<f64>,
     frag_rows: Vec<u64>,
     fragment_pages: Vec<u64>,
     fact_prefetch: Vec<u32>,
-    scan_ms: Vec<f64>,
-    scan_ios: Vec<f64>,
+    scan_ms: AlignedF64Col,
+    scan_ios: AlignedF64Col,
+    fragment_pages_f: AlignedF64Col,
     vector_pages: Vec<u64>,
     bitmap_prefetch: Vec<u32>,
-    vector_ms: Vec<f64>,
-    vector_ios: Vec<f64>,
+    vector_ms: AlignedF64Col,
+    vector_ios: AlignedF64Col,
+    vector_pages_f: AlignedF64Col,
     // --- Per-class working columns -------------------------------------
-    expected_fragments: Vec<f64>,
+    expected_fragments: AlignedF64Col,
     residual: Vec<f64>,
-    bitmap_vectors: Vec<f64>,
-    indexable: Vec<bool>,
+    bitmap_vectors: AlignedF64Col,
+    /// `1.0` = every residual predicate has a covering bitmap.
+    indexable: AlignedF64Col,
     attr_bitmap: Vec<BitmapContrib>,
+    /// Yao page hits per fragment, `0.0` where not indexable; the
+    /// kernel's `touched` input column.
+    touched: AlignedF64Col,
     // --- Yao memo: one entry per candidate, keyed on the exact bit
     // pattern of the residual row count (classes sharing a residual
     // selectivity share the curve point).
@@ -115,11 +140,26 @@ pub struct ChunkBatch {
     // function is pure, so an entry stays valid across chunks, models
     // and sessions sharing this batch (one per worker thread).
     yao_memo: HashMap<(u64, u64, u64), f64, BuildHasherDefault<YaoKeyHasher>>,
-    // --- Output accumulators -------------------------------------------
-    acc_io_ms: Vec<f64>,
-    acc_response_ms: Vec<f64>,
-    acc_ios: Vec<f64>,
-    acc_pages: Vec<f64>,
+    // --- Gathered Yao memo misses, SoA, in live-candidate order; padded
+    // with inert `rows = 0` entries for the lane kernel.
+    miss_idx: Vec<usize>,
+    miss_rows: Vec<u64>,
+    miss_pages: Vec<u64>,
+    miss_k: Vec<f64>,
+    miss_hits: Vec<f64>,
+    // --- Kernel output columns (overwritten per class) -----------------
+    out_use_scan: AlignedF64Col,
+    out_per_fragment_ms: AlignedF64Col,
+    out_busy_ms: AlignedF64Col,
+    out_response_ms: AlignedF64Col,
+    out_fact_pages: AlignedF64Col,
+    out_bitmap_pages: AlignedF64Col,
+    out_total_ios: AlignedF64Col,
+    // --- Output accumulators (one `+=` term per class) -----------------
+    acc_io_ms: AlignedF64Col,
+    acc_response_ms: AlignedF64Col,
+    acc_ios: AlignedF64Col,
+    acc_pages: AlignedF64Col,
     per_query: Vec<Vec<QueryCost>>,
 }
 
@@ -161,6 +201,15 @@ impl ChunkBatch {
         self.fragmentations.push(fragmentation);
     }
 
+    /// Distinct Yao argument triples memoized so far — equivalently,
+    /// the number of lane-kernel Yao evaluations across the batch's
+    /// lifetime (each distinct triple misses exactly once, up to the
+    /// memo cap). Diagnostic for sizing the steady-state miss ratio of
+    /// the batched Yao stage.
+    pub fn yao_memo_len(&self) -> usize {
+        self.yao_memo.len()
+    }
+
     /// Drops all staged candidates, retaining column capacity.
     pub fn clear(&mut self) {
         self.fragmentations.clear();
@@ -169,6 +218,18 @@ impl ChunkBatch {
         self.attr_dims.clear();
         self.attr_cards.clear();
         self.per_query.clear();
+    }
+
+    /// The mix-weighted accumulator columns, padded; exposed for the
+    /// pad-leak test.
+    #[cfg(test)]
+    fn acc_columns(&self) -> [&[f64]; 4] {
+        [
+            &self.acc_io_ms,
+            &self.acc_response_ms,
+            &self.acc_ios,
+            &self.acc_pages,
+        ]
     }
 }
 
@@ -184,17 +245,39 @@ pub fn evaluate_chunk(tables: &CostTables, batch: &mut ChunkBatch) -> Vec<Candid
 }
 
 /// [`evaluate_chunk`] with an explicit per-class detail level; see
-/// [`PerQueryDetail`].
+/// [`PerQueryDetail`]. Uses the automatically resolved kernel backend
+/// ([`KernelChoice::Auto`]: the `WARLOCK_KERNEL` environment variable,
+/// then CPU detection); hot paths that run many chunks resolve the
+/// backend once and call [`evaluate_chunk_kernel`] instead.
 pub fn evaluate_chunk_with(
     tables: &CostTables,
     batch: &mut ChunkBatch,
     detail: PerQueryDetail,
+) -> Vec<CandidateCost> {
+    evaluate_chunk_kernel(
+        tables,
+        batch,
+        detail,
+        KernelBackend::resolve(KernelChoice::Auto),
+    )
+}
+
+/// [`evaluate_chunk_with`] on an explicitly resolved kernel backend.
+/// Every backend produces bit-identical results; the choice only trades
+/// instruction throughput (see [`crate::kernel`]).
+pub fn evaluate_chunk_kernel(
+    tables: &CostTables,
+    batch: &mut ChunkBatch,
+    detail: PerQueryDetail,
+    backend: KernelBackend,
 ) -> Vec<CandidateCost> {
     let n = batch.fragmentations.len();
     if n == 0 {
         batch.clear();
         return Vec::new();
     }
+    let kernel: &dyn CostKernel = backend.kernel();
+    let n_padded = n.next_multiple_of(LANES);
 
     // --- Stage A: class-independent geometry, once per candidate -------
     batch.frag_rows_avg.clear();
@@ -203,10 +286,12 @@ pub fn evaluate_chunk_with(
     batch.fact_prefetch.clear();
     batch.scan_ms.clear();
     batch.scan_ios.clear();
+    batch.fragment_pages_f.clear();
     batch.vector_pages.clear();
     batch.bitmap_prefetch.clear();
     batch.vector_ms.clear();
     batch.vector_ios.clear();
+    batch.vector_pages_f.clear();
     for i in 0..n {
         let avg = tables.fact_rows as f64 / batch.num_fragments[i] as f64;
         let rows = (avg.round() as u64).max(1);
@@ -215,6 +300,7 @@ pub fn evaluate_chunk_with(
         batch.frag_rows_avg.push(avg);
         batch.frag_rows.push(rows);
         batch.fragment_pages.push(pages);
+        batch.fragment_pages_f.push(pages as f64);
         batch.fact_prefetch.push(fact_prefetch);
         batch.scan_ms.push(
             tables
@@ -227,6 +313,7 @@ pub fn evaluate_chunk_with(
         let vector_pages = estimate::vector_pages(rows, tables.page);
         let bitmap_prefetch = effective_prefetch(tables.bitmap_prefetch, vector_pages);
         batch.vector_pages.push(vector_pages);
+        batch.vector_pages_f.push(vector_pages as f64);
         batch.bitmap_prefetch.push(bitmap_prefetch);
         batch.vector_ms.push(tables.disk.sequential_ms(
             vector_pages,
@@ -237,25 +324,52 @@ pub fn evaluate_chunk_with(
             .vector_ios
             .push(tables.disk.sequential_ios(vector_pages, bitmap_prefetch) as f64);
     }
+    // Pad the kernel-facing geometry columns with inert lanes.
+    batch.scan_ms.resize(n_padded, 0.0);
+    batch.scan_ios.resize(n_padded, 0.0);
+    batch.fragment_pages_f.resize(n_padded, 0.0);
+    batch.vector_ms.resize(n_padded, 0.0);
+    batch.vector_ios.resize(n_padded, 0.0);
+    batch.vector_pages_f.resize(n_padded, 0.0);
 
     batch.yao_k.clear();
     batch.yao_k.resize(n, f64::NAN);
     batch.yao_hits.clear();
     batch.yao_hits.resize(n, 0.0);
     batch.acc_io_ms.clear();
-    batch.acc_io_ms.resize(n, 0.0);
+    batch.acc_io_ms.resize(n_padded, 0.0);
     batch.acc_response_ms.clear();
-    batch.acc_response_ms.resize(n, 0.0);
+    batch.acc_response_ms.resize(n_padded, 0.0);
     batch.acc_ios.clear();
-    batch.acc_ios.resize(n, 0.0);
+    batch.acc_ios.resize(n_padded, 0.0);
     batch.acc_pages.clear();
-    batch.acc_pages.resize(n, 0.0);
+    batch.acc_pages.resize(n_padded, 0.0);
+    batch.out_use_scan.clear();
+    batch.out_use_scan.resize(n_padded, 0.0);
+    batch.out_per_fragment_ms.clear();
+    batch.out_per_fragment_ms.resize(n_padded, 0.0);
+    batch.out_busy_ms.clear();
+    batch.out_busy_ms.resize(n_padded, 0.0);
+    batch.out_response_ms.clear();
+    batch.out_response_ms.resize(n_padded, 0.0);
+    batch.out_fact_pages.clear();
+    batch.out_fact_pages.resize(n_padded, 0.0);
+    batch.out_bitmap_pages.clear();
+    batch.out_bitmap_pages.resize(n_padded, 0.0);
+    batch.out_total_ios.clear();
+    batch.out_total_ios.resize(n_padded, 0.0);
     batch.per_query.clear();
     if detail == PerQueryDetail::Full {
         batch
             .per_query
             .resize_with(n, || Vec::with_capacity(tables.classes.len()));
     }
+
+    // Hoisted response-model constants — pre-clamped exactly as the
+    // scalar `estimated_response_ms` clamps them, so no bits change.
+    let disks = f64::from(tables.num_disks.max(1));
+    let processors = f64::from(tables.processors.max(1));
+    let overhead = tables.overhead.max(1.0);
 
     for class in &tables.classes {
         // --- Matching pass: predicates → table entries -----------------
@@ -309,91 +423,136 @@ pub fn evaluate_chunk_with(
             batch.expected_fragments.push(expected_fragments);
             batch.residual.push(residual.min(1.0));
             batch.bitmap_vectors.push(bitmap_vectors);
-            batch.indexable.push(indexable);
+            batch.indexable.push(if indexable { 1.0 } else { 0.0 });
         }
+        batch.expected_fragments.resize(n_padded, 0.0);
+        batch.bitmap_vectors.resize(n_padded, 0.0);
+        batch.indexable.resize(n_padded, 0.0);
 
-        // --- Costing pass: straight-line arithmetic over the columns ---
+        // --- Yao stage: resolve touched pages per fragment through the
+        // per-candidate and persistent memos (scalar gather over the
+        // live prefix, in candidate order), batching the memo misses
+        // for one lane-kernel call. Misses are re-applied and inserted
+        // in gather order, so the memo ends in exactly the state the
+        // scalar path leaves it in (a key missed twice in one gather
+        // recomputes the same bits — `yao_page_hits` is pure).
+        batch.touched.clear();
+        batch.touched.resize(n_padded, 0.0);
+        batch.miss_idx.clear();
+        batch.miss_rows.clear();
+        batch.miss_pages.clear();
+        batch.miss_k.clear();
         for i in 0..n {
-            let fragments_accessed = batch.expected_fragments[i];
-            let selected_rows_per_fragment = batch.frag_rows_avg[i] * batch.residual[i];
-            let indexable = batch.indexable[i];
-            let touched_pages = if indexable {
-                if batch.yao_k[i].to_bits() == selected_rows_per_fragment.to_bits() {
-                    batch.yao_hits[i]
-                } else {
-                    let rows = batch.frag_rows[i];
-                    let pages = batch.fragment_pages[i];
-                    let key = (rows, pages, selected_rows_per_fragment.to_bits());
-                    let hits = match batch.yao_memo.get(&key) {
-                        Some(&hits) => hits,
-                        None => {
-                            let hits = yao_page_hits(rows, pages, selected_rows_per_fragment);
-                            if batch.yao_memo.len() < YAO_MEMO_CAP {
-                                batch.yao_memo.insert(key, hits);
-                            }
-                            hits
-                        }
-                    };
-                    batch.yao_k[i] = selected_rows_per_fragment;
-                    batch.yao_hits[i] = hits;
-                    hits
-                }
-            } else {
+            if batch.indexable[i] == 0.0 {
                 // The scan path never consults the bitmap estimate.
-                0.0
-            };
-            let fetch_ms = touched_pages * tables.random_page_ms;
-            let bitmap_ms = batch.bitmap_vectors[i] * batch.vector_ms[i] + fetch_ms;
-            let use_scan = !indexable || batch.scan_ms[i] <= bitmap_ms;
-            let (path, per_fragment_ms, ios_pf, fact_pages_pf, bitmap_pages_pf) = if use_scan {
-                (
-                    AccessPath::FullScan,
-                    batch.scan_ms[i],
-                    batch.scan_ios[i],
-                    batch.fragment_pages[i] as f64,
-                    0.0,
-                )
-            } else {
-                let bitmap_ios = batch.bitmap_vectors[i] * batch.vector_ios[i] + touched_pages;
-                let bitmap_pages_per_fragment =
-                    batch.bitmap_vectors[i] * batch.vector_pages[i] as f64;
-                (
-                    AccessPath::BitmapFetch,
-                    bitmap_ms,
-                    bitmap_ios,
-                    touched_pages,
-                    bitmap_pages_per_fragment,
-                )
-            };
-            let busy_ms = fragments_accessed * per_fragment_ms;
-            let response_ms = estimated_response_ms(
-                fragments_accessed,
-                per_fragment_ms,
-                tables.num_disks,
-                tables.processors,
-                tables.overhead,
-            );
-            let fact_pages = fragments_accessed * fact_pages_pf;
-            let bitmap_pages = fragments_accessed * bitmap_pages_pf;
-            let total_ios = fragments_accessed * ios_pf;
-            batch.acc_io_ms[i] += class.share * busy_ms;
-            batch.acc_response_ms[i] += class.share * response_ms;
-            batch.acc_ios[i] += class.share * total_ios;
-            batch.acc_pages[i] += class.share * (fact_pages + bitmap_pages);
-            if detail == PerQueryDetail::Omit {
                 continue;
             }
+            let k = batch.frag_rows_avg[i] * batch.residual[i];
+            if batch.yao_k[i].to_bits() == k.to_bits() {
+                batch.touched[i] = batch.yao_hits[i];
+                continue;
+            }
+            let rows = batch.frag_rows[i];
+            let pages = batch.fragment_pages[i];
+            match batch.yao_memo.get(&(rows, pages, k.to_bits())) {
+                Some(&hits) => {
+                    batch.yao_k[i] = k;
+                    batch.yao_hits[i] = hits;
+                    batch.touched[i] = hits;
+                }
+                None => {
+                    batch.miss_idx.push(i);
+                    batch.miss_rows.push(rows);
+                    batch.miss_pages.push(pages);
+                    batch.miss_k.push(k);
+                }
+            }
+        }
+        let misses = batch.miss_idx.len();
+        if misses > 0 {
+            let m_padded = misses.next_multiple_of(LANES);
+            batch.miss_rows.resize(m_padded, 0);
+            batch.miss_pages.resize(m_padded, 0);
+            batch.miss_k.resize(m_padded, 0.0);
+            batch.miss_hits.clear();
+            batch.miss_hits.resize(m_padded, 0.0);
+            kernel.yao_pass(
+                &batch.miss_rows,
+                &batch.miss_pages,
+                &batch.miss_k,
+                &mut batch.miss_hits,
+            );
+            for j in 0..misses {
+                let i = batch.miss_idx[j];
+                let hits = batch.miss_hits[j];
+                if batch.yao_memo.len() < YAO_MEMO_CAP {
+                    batch.yao_memo.insert(
+                        (
+                            batch.miss_rows[j],
+                            batch.miss_pages[j],
+                            batch.miss_k[j].to_bits(),
+                        ),
+                        hits,
+                    );
+                }
+                batch.yao_k[i] = batch.miss_k[j];
+                batch.yao_hits[i] = hits;
+                batch.touched[i] = hits;
+            }
+        }
+
+        // --- Arithmetic pass: the backend kernel, elementwise ----------
+        let inp = CostPassInput {
+            fragments: &batch.expected_fragments,
+            touched: &batch.touched,
+            indexable: &batch.indexable,
+            scan_ms: &batch.scan_ms,
+            scan_ios: &batch.scan_ios,
+            fragment_pages: &batch.fragment_pages_f,
+            vector_ms: &batch.vector_ms,
+            vector_ios: &batch.vector_ios,
+            vector_pages: &batch.vector_pages_f,
+            bitmap_vectors: &batch.bitmap_vectors,
+            random_page_ms: tables.random_page_ms,
+            disks,
+            processors,
+            overhead,
+            share: class.share,
+        };
+        let mut out = CostPassOutput {
+            out_use_scan: &mut batch.out_use_scan,
+            out_per_fragment_ms: &mut batch.out_per_fragment_ms,
+            out_busy_ms: &mut batch.out_busy_ms,
+            out_response_ms: &mut batch.out_response_ms,
+            out_fact_pages: &mut batch.out_fact_pages,
+            out_bitmap_pages: &mut batch.out_bitmap_pages,
+            out_total_ios: &mut batch.out_total_ios,
+            acc_io_ms: &mut batch.acc_io_ms,
+            acc_response_ms: &mut batch.acc_response_ms,
+            acc_ios: &mut batch.acc_ios,
+            acc_pages: &mut batch.acc_pages,
+        };
+        kernel.cost_pass(&inp, &mut out);
+
+        if detail == PerQueryDetail::Omit {
+            continue;
+        }
+        for i in 0..n {
             batch.per_query[i].push(QueryCost {
                 query_name: class.name.clone(),
-                path,
-                fragments_accessed,
+                path: if batch.out_use_scan[i] != 0.0 {
+                    AccessPath::FullScan
+                } else {
+                    AccessPath::BitmapFetch
+                },
+                fragments_accessed: batch.expected_fragments[i],
                 fragment_pages: batch.fragment_pages[i],
-                fact_pages,
-                bitmap_pages,
-                total_ios,
-                busy_ms,
-                per_fragment_ms,
-                response_ms,
+                fact_pages: batch.out_fact_pages[i],
+                bitmap_pages: batch.out_bitmap_pages[i],
+                total_ios: batch.out_total_ios[i],
+                busy_ms: batch.out_busy_ms[i],
+                per_fragment_ms: batch.out_per_fragment_ms[i],
+                response_ms: batch.out_response_ms[i],
                 fact_prefetch: batch.fact_prefetch[i],
                 bitmap_prefetch: batch.bitmap_prefetch[i],
                 selected_rows: class.selected_rows,
@@ -489,6 +648,92 @@ mod tests {
                 assert_eq!(bq.busy_ms.to_bits(), sq.busy_ms.to_bits());
                 assert_eq!(bq.response_ms.to_bits(), sq.response_ms.to_bits());
                 assert_eq!(bq.selected_rows.to_bits(), sq.selected_rows.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_matches_scalar_bit_for_bit() {
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let tables = CostTables::build(&model, &[3]);
+        let scalar: Vec<_> = candidates()
+            .iter()
+            .map(|frag| model.evaluate(frag))
+            .collect();
+        for backend in [
+            KernelBackend::Scalar,
+            KernelBackend::Lanes,
+            KernelBackend::detect(),
+        ] {
+            let mut scratch = LayoutScratch::new();
+            let mut batch = ChunkBatch::new();
+            for frag in candidates() {
+                let layout =
+                    FragmentLayout::new_in(&mut scratch, &f.schema, frag, model.fact_index());
+                batch.push(layout, &mut scratch);
+            }
+            let batched = evaluate_chunk_kernel(&tables, &mut batch, PerQueryDetail::Full, backend);
+            assert_eq!(batched.len(), scalar.len());
+            for (b, s) in batched.iter().zip(&scalar) {
+                assert_eq!(b, s, "backend {}", backend.name());
+                assert_eq!(b.io_cost_ms.to_bits(), s.io_cost_ms.to_bits());
+                assert_eq!(b.response_ms.to_bits(), s.response_ms.to_bits());
+                assert_eq!(b.total_ios.to_bits(), s.total_ios.to_bits());
+                assert_eq!(b.total_pages.to_bits(), s.total_pages.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn padded_tail_lanes_stay_inert() {
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let tables = model.tables();
+        for backend in [
+            KernelBackend::Scalar,
+            KernelBackend::Lanes,
+            KernelBackend::detect(),
+        ] {
+            let mut scratch = LayoutScratch::new();
+            let mut batch = ChunkBatch::new();
+            // Deliberately ragged sizes (1, 2, 3, 5, 6) so every pad
+            // width short of a full block occurs.
+            for take in [1usize, 2, 3, 5, 6] {
+                let frags: Vec<_> = candidates().into_iter().take(take).collect();
+                for frag in frags.clone() {
+                    let layout =
+                        FragmentLayout::new_in(&mut scratch, &f.schema, frag, model.fact_index());
+                    batch.push(layout, &mut scratch);
+                }
+                let memo_before = batch.yao_memo.len();
+                let costs =
+                    evaluate_chunk_kernel(&tables, &mut batch, PerQueryDetail::Full, backend);
+                // Results: exactly one per live candidate, scalar-equal.
+                assert_eq!(costs.len(), take);
+                for (b, frag) in costs.iter().zip(&frags) {
+                    assert_eq!(b, &model.evaluate(frag), "backend {}", backend.name());
+                }
+                // Pad lanes never accumulate: every accumulator slot
+                // past the live prefix is exactly +0.0.
+                let n_padded = take.next_multiple_of(LANES);
+                for col in batch.acc_columns() {
+                    assert_eq!(col.len(), n_padded);
+                    for (i, v) in col.iter().enumerate().skip(take) {
+                        assert_eq!(
+                            v.to_bits(),
+                            0.0f64.to_bits(),
+                            "backend {}: pad lane {i} leaked into an accumulator",
+                            backend.name()
+                        );
+                    }
+                }
+                // Pad lanes never touch the Yao memo: the first round
+                // populates it from live candidates only, and re-running
+                // the same candidates adds nothing (inert `rows = 0`
+                // pads would have inserted `(0, 0, 0)` keys).
+                assert!(!batch.yao_memo.contains_key(&(0, 0, 0.0f64.to_bits())));
+                let _ = memo_before; // growth is expected; leakage is not
             }
         }
     }

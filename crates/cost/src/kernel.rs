@@ -1,0 +1,962 @@
+//! Lane-structured costing kernels with runtime-dispatched backends.
+//!
+//! The batched evaluator ([`evaluate_chunk_with`](crate::batch::evaluate_chunk_with))
+//! prices a chunk in two phases per query class: an irregular matching
+//! pass (table lookups) and a straight-line arithmetic pass over `f64`
+//! columns. This module owns the arithmetic pass — restructured into
+//! fixed-width lane blocks of [`LANES`] candidates, operated on only
+//! **elementwise** (no cross-lane reduction ever happens in a different
+//! order than the scalar path), so results are bit-identical at any lane
+//! width *by construction* — plus the lane-batched Yao/Cardenas page-hit
+//! evaluation that feeds it.
+//!
+//! Three interchangeable backends implement the [`CostKernel`] trait:
+//!
+//! * **scalar** — the reference implementation: the exact per-candidate
+//!   expression sequence of the scalar
+//!   [`estimate_query`](crate::access::estimate_query) path, branches
+//!   and all.
+//! * **lanes** — branch-free select form over `[f64; LANES]` blocks,
+//!   written so the autovectorizer can keep whole blocks in vector
+//!   registers on any architecture.
+//! * **avx2** — explicit `std::arch` AVX2 intrinsics (x86_64 only),
+//!   selected at runtime via `is_x86_feature_detected!`. Uses separate
+//!   multiply and add everywhere (never FMA — fusing changes rounding),
+//!   ordered comparisons plus blends for the select form, and
+//!   `vroundpd` only for `ceil` (exact). On non-AVX2 hardware the
+//!   request falls back cleanly to **lanes**.
+//!
+//! Backend choice threads through [`AdvisorConfig`] / config files / the
+//! CLI as [`KernelChoice`]; `Auto` consults the [`KERNEL_ENV`]
+//! environment variable (`WARLOCK_KERNEL=scalar|lanes|avx2`) and then
+//! detects the best available backend. Equivalence across all backends
+//! is pinned bit-for-bit by the `batched_equivalence` proptests in
+//! `xtests`.
+//!
+//! # Why elementwise blending is bit-safe here
+//!
+//! The kernels replace `f64::min`/`f64::max` and branches with compare +
+//! select. That is only bit-identical when no NaN and no `-0.0` can
+//! reach a tie: every input column is a product/sum of non-negative
+//! finite quantities (page counts, milliseconds, selectivities in
+//! `[0, 1]`), `disks`/`processors` are clamped `>= 1`, and padded tail
+//! lanes hold inert zeros — so the domain contains neither, and
+//! `vminpd`-style "return b on tie" semantics coincide with
+//! `f64::min`/`max` exactly.
+//!
+//! [`AdvisorConfig`]: https://docs.rs/warlock/latest/warlock/struct.AdvisorConfig.html
+
+use crate::yao::yao_page_hits;
+
+/// Fixed lane width of the blocked kernels. Columns are padded to a
+/// multiple of this; AVX2 operates on exactly one block per vector.
+pub const LANES: usize = 4;
+
+/// Environment variable overriding the automatic kernel backend choice
+/// (only consulted when the configured [`KernelChoice`] is `Auto`).
+/// CI uses it to pin a forced-`scalar` lane without editing
+/// configurations, mirroring `WARLOCK_CHUNK_SIZE`.
+pub const KERNEL_ENV: &str = "WARLOCK_KERNEL";
+
+// ---------------------------------------------------------------------
+// Aligned column storage
+// ---------------------------------------------------------------------
+
+/// One cache line of column data; the allocation unit of
+/// [`AlignedF64Col`].
+#[repr(C, align(64))]
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheLine([f64; 8]);
+
+/// A growable `f64` column whose backing buffer starts on a 64-byte
+/// cache-line boundary and is always a whole number of cache lines.
+///
+/// Because 64 is a multiple of `LANES * 8` bytes, every lane block of a
+/// padded column is 32-byte aligned — vector loads never split a cache
+/// line. Alignment is a *performance* property, not a safety contract:
+/// the kernels use unaligned load instructions and accept any `&[f64]`.
+///
+/// Dereferences to `[f64]`, so call sites index it like a `Vec<f64>`.
+#[derive(Debug, Default)]
+pub struct AlignedF64Col {
+    buf: Vec<CacheLine>,
+    len: usize,
+}
+
+impl AlignedF64Col {
+    /// An empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all elements, retaining the allocation.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends one element.
+    pub fn push(&mut self, v: f64) {
+        if self.len == self.buf.len() * 8 {
+            self.buf.push(CacheLine::default());
+        }
+        let line = self.len / 8;
+        self.buf[line].0[self.len % 8] = v;
+        self.len += 1;
+    }
+
+    /// Resizes to `n` elements, filling any growth with `fill`.
+    pub fn resize(&mut self, n: usize, fill: f64) {
+        self.buf.resize(n.div_ceil(8), CacheLine::default());
+        while self.len < n {
+            let line = self.len / 8;
+            self.buf[line].0[self.len % 8] = fill;
+            self.len += 1;
+        }
+        self.len = n;
+    }
+
+    /// The live elements as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        // SAFETY: `buf` holds at least `len.div_ceil(8)` contiguous
+        // `CacheLine`s, each exactly eight `f64`s with no padding
+        // (`repr(C)`), so the first `len` `f64`s are initialized and
+        // in bounds.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr().cast::<f64>(), self.len) }
+    }
+
+    /// The live elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        // SAFETY: as `as_slice`, plus exclusive access via `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.buf.as_mut_ptr().cast::<f64>(), self.len) }
+    }
+}
+
+impl std::ops::Deref for AlignedF64Col {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for AlignedF64Col {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backend choice and resolution
+// ---------------------------------------------------------------------
+
+/// The configuration-facing kernel knob: which costing backend the
+/// evaluator should use. Spelled `auto | scalar | lanes | avx2` in
+/// config files and on the CLI. Every choice produces bit-identical
+/// reports; the knob only trades instruction throughput.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelChoice {
+    /// Resolve via the [`KERNEL_ENV`] environment variable if set,
+    /// otherwise detect the best backend for this CPU.
+    #[default]
+    Auto,
+    /// The scalar reference path.
+    Scalar,
+    /// The autovectorizer-friendly lane-array path.
+    Lanes,
+    /// The explicit AVX2 path; falls back to `lanes` off x86_64 or when
+    /// the CPU lacks AVX2.
+    Avx2,
+}
+
+impl KernelChoice {
+    /// The config-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Scalar => "scalar",
+            Self::Lanes => "lanes",
+            Self::Avx2 => "avx2",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for KernelChoice {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(Self::Auto),
+            "scalar" => Ok(Self::Scalar),
+            "lanes" => Ok(Self::Lanes),
+            "avx2" => Ok(Self::Avx2),
+            other => Err(format!(
+                "unknown kernel `{other}` (expected auto, scalar, lanes or avx2)"
+            )),
+        }
+    }
+}
+
+/// A resolved, runnable backend — the outcome of feature detection and
+/// overrides applied to a [`KernelChoice`]. Resolve once per run and
+/// thread the copy through; resolution reads the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Scalar reference kernels.
+    Scalar,
+    /// Lane-array kernels (portable).
+    Lanes,
+    /// AVX2 intrinsic kernels (x86_64 with AVX2 only).
+    Avx2,
+}
+
+impl KernelBackend {
+    /// Resolves a configured choice to a runnable backend: an explicit
+    /// choice wins (with `avx2` degrading to `lanes` when unavailable);
+    /// `Auto` consults [`KERNEL_ENV`] and then detects.
+    pub fn resolve(choice: KernelChoice) -> Self {
+        match choice {
+            KernelChoice::Scalar => Self::Scalar,
+            KernelChoice::Lanes => Self::Lanes,
+            KernelChoice::Avx2 => Self::avx2_or_lanes(),
+            KernelChoice::Auto => Self::resolve_auto(),
+        }
+    }
+
+    fn resolve_auto() -> Self {
+        if let Ok(v) = std::env::var(KERNEL_ENV) {
+            if let Ok(choice) = v.parse::<KernelChoice>() {
+                if choice != KernelChoice::Auto {
+                    return Self::resolve(choice);
+                }
+            }
+        }
+        Self::detect()
+    }
+
+    /// The best backend this CPU supports (ignoring the environment).
+    pub fn detect() -> Self {
+        Self::avx2_or_lanes()
+    }
+
+    fn avx2_or_lanes() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") {
+                return Self::Avx2;
+            }
+        }
+        Self::Lanes
+    }
+
+    /// The kernel implementation for this backend.
+    pub fn kernel(self) -> &'static dyn CostKernel {
+        match self {
+            Self::Scalar => &ScalarKernel,
+            Self::Lanes => &LanesKernel,
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => &Avx2Kernel,
+            // Unreachable through `resolve`, but a hand-built value must
+            // still run correctly off x86_64.
+            #[cfg(not(target_arch = "x86_64"))]
+            Self::Avx2 => &LanesKernel,
+        }
+    }
+
+    /// Stable lowercase name (for logs, benches, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Lanes => "lanes",
+            Self::Avx2 => "avx2",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel interface
+// ---------------------------------------------------------------------
+
+/// Input columns and hoisted per-class scalars of one arithmetic pass.
+///
+/// All slices have the same padded length (a multiple of [`LANES`] for
+/// the blocked backends); padded tail lanes hold inert zeros that
+/// produce finite, ignored outputs. The scalar fields are pre-clamped
+/// exactly as the scalar path clamps them
+/// (`disks = max(num_disks, 1)`, `processors = max(processors, 1)`,
+/// `overhead = max(overhead, 1.0)`), so hoisting changes no bits.
+#[derive(Debug)]
+pub struct CostPassInput<'a> {
+    /// Expected fragments accessed per candidate (`A` in the paper).
+    pub fragments: &'a [f64],
+    /// Yao page hits per fragment; `0.0` wherever a candidate is not
+    /// bitmap-indexable for this class.
+    pub touched: &'a [f64],
+    /// `1.0` where every residual predicate has a covering bitmap,
+    /// `0.0` otherwise.
+    pub indexable: &'a [f64],
+    /// Sequential full-scan time per fragment (ms).
+    pub scan_ms: &'a [f64],
+    /// Sequential full-scan I/O count per fragment.
+    pub scan_ios: &'a [f64],
+    /// Fragment size in pages (as `f64`).
+    pub fragment_pages: &'a [f64],
+    /// Sequential read time of one bitmap vector (ms).
+    pub vector_ms: &'a [f64],
+    /// Sequential I/O count of one bitmap vector.
+    pub vector_ios: &'a [f64],
+    /// Bitmap vector size in pages (as `f64`).
+    pub vector_pages: &'a [f64],
+    /// Bitmap vectors this class reads per fragment.
+    pub bitmap_vectors: &'a [f64],
+    /// Random page access time (ms).
+    pub random_page_ms: f64,
+    /// `f64::from(num_disks.max(1))`.
+    pub disks: f64,
+    /// `f64::from(processors.max(1))`.
+    pub processors: f64,
+    /// `overhead.max(1.0)`.
+    pub overhead: f64,
+    /// The class weight multiplying into the accumulators.
+    pub share: f64,
+}
+
+/// Output and accumulator columns of one arithmetic pass. Same padded
+/// length as the inputs. The `out_*` columns are fully overwritten; the
+/// `acc_*` columns are `+=`-updated (one term per class, in class
+/// order — the exact scalar summation order).
+#[derive(Debug)]
+pub struct CostPassOutput<'a> {
+    /// `1.0` where the scan path wins (or is forced), `0.0` for the
+    /// bitmap-fetch path.
+    pub out_use_scan: &'a mut [f64],
+    /// Chosen per-fragment device time (ms).
+    pub out_per_fragment_ms: &'a mut [f64],
+    /// Device busy time (ms).
+    pub out_busy_ms: &'a mut [f64],
+    /// Declustered response time (ms).
+    pub out_response_ms: &'a mut [f64],
+    /// Fact-table pages read.
+    pub out_fact_pages: &'a mut [f64],
+    /// Bitmap pages read.
+    pub out_bitmap_pages: &'a mut [f64],
+    /// Total I/O operations.
+    pub out_total_ios: &'a mut [f64],
+    /// Mix-weighted busy-time accumulator.
+    pub acc_io_ms: &'a mut [f64],
+    /// Mix-weighted response-time accumulator.
+    pub acc_response_ms: &'a mut [f64],
+    /// Mix-weighted I/O-count accumulator.
+    pub acc_ios: &'a mut [f64],
+    /// Mix-weighted page-count accumulator.
+    pub acc_pages: &'a mut [f64],
+}
+
+/// One costing backend: the straight-line arithmetic pass over the SoA
+/// columns plus the lane-batched Yao page-hit evaluation. All
+/// implementations are bit-identical on the evaluator's input domain;
+/// see the module docs for the argument.
+pub trait CostKernel: Sync {
+    /// Stable lowercase backend name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the arithmetic pass for one query class over all (padded)
+    /// candidates. Every column of `inp` and `out` must share one
+    /// length; blocked backends additionally require it to be a
+    /// multiple of [`LANES`].
+    fn cost_pass(&self, inp: &CostPassInput<'_>, out: &mut CostPassOutput<'_>);
+
+    /// Evaluates `hits[j] = yao_page_hits(rows[j], pages[j], k[j])` for
+    /// a gathered block of memo misses. Elementwise per lane — entries
+    /// are independent, so any evaluation order is bit-identical.
+    /// Padded tail entries use `rows = 0` (inert: yields `0.0`).
+    fn yao_pass(&self, rows: &[u64], pages: &[u64], k: &[f64], hits: &mut [f64]) {
+        yao_pass_lanes(rows, pages, k, hits);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar backend (reference)
+// ---------------------------------------------------------------------
+
+/// The reference backend: the exact expression sequence (branches and
+/// all) of the scalar `estimate_query` path, one candidate at a time.
+struct ScalarKernel;
+
+impl CostKernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn cost_pass(&self, inp: &CostPassInput<'_>, out: &mut CostPassOutput<'_>) {
+        let n = inp.fragments.len();
+        for i in 0..n {
+            let fragments = inp.fragments[i];
+            let touched = inp.touched[i];
+            let indexable = inp.indexable[i] != 0.0;
+            let fetch_ms = touched * inp.random_page_ms;
+            let bitmap_ms = inp.bitmap_vectors[i] * inp.vector_ms[i] + fetch_ms;
+            let use_scan = !indexable || inp.scan_ms[i] <= bitmap_ms;
+            let (per_fragment_ms, ios_pf, fact_pages_pf, bitmap_pages_pf) = if use_scan {
+                (inp.scan_ms[i], inp.scan_ios[i], inp.fragment_pages[i], 0.0)
+            } else {
+                let bitmap_ios = inp.bitmap_vectors[i] * inp.vector_ios[i] + touched;
+                let bitmap_pages_pf = inp.bitmap_vectors[i] * inp.vector_pages[i];
+                (bitmap_ms, bitmap_ios, touched, bitmap_pages_pf)
+            };
+            let busy_ms = fragments * per_fragment_ms;
+            let response_ms = if fragments <= 0.0 || per_fragment_ms <= 0.0 {
+                0.0
+            } else {
+                let disks_hit = fragments.min(inp.disks).max(1.0);
+                let waves = (fragments / disks_hit).ceil().min(fragments);
+                let rt_io = waves * per_fragment_ms;
+                let total_busy = fragments * per_fragment_ms;
+                let rt_proc = total_busy / inp.processors;
+                rt_io.max(rt_proc) * inp.overhead
+            };
+            let fact_pages = fragments * fact_pages_pf;
+            let bitmap_pages = fragments * bitmap_pages_pf;
+            let total_ios = fragments * ios_pf;
+            out.out_use_scan[i] = if use_scan { 1.0 } else { 0.0 };
+            out.out_per_fragment_ms[i] = per_fragment_ms;
+            out.out_busy_ms[i] = busy_ms;
+            out.out_response_ms[i] = response_ms;
+            out.out_fact_pages[i] = fact_pages;
+            out.out_bitmap_pages[i] = bitmap_pages;
+            out.out_total_ios[i] = total_ios;
+            out.acc_io_ms[i] += inp.share * busy_ms;
+            out.acc_response_ms[i] += inp.share * response_ms;
+            out.acc_ios[i] += inp.share * total_ios;
+            out.acc_pages[i] += inp.share * (fact_pages + bitmap_pages);
+        }
+    }
+
+    fn yao_pass(&self, rows: &[u64], pages: &[u64], k: &[f64], hits: &mut [f64]) {
+        for j in 0..rows.len() {
+            hits[j] = yao_page_hits(rows[j], pages[j], k[j]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lane-array backend (portable, autovectorizer-friendly)
+// ---------------------------------------------------------------------
+
+/// Select-form `min`: identical to `f64::min` for non-NaN inputs
+/// without a negative-zero tie — the kernels' whole domain.
+#[inline(always)]
+fn sel_min(a: f64, b: f64) -> f64 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Select-form `max`; same domain argument as [`sel_min`].
+#[inline(always)]
+fn sel_max(a: f64, b: f64) -> f64 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Branch-free lane-array backend: processes `[f64; LANES]` blocks with
+/// purely elementwise compare + select, the shape LLVM turns into
+/// `vcmppd`/`vblendvpd` sequences on its own.
+struct LanesKernel;
+
+impl CostKernel for LanesKernel {
+    fn name(&self) -> &'static str {
+        "lanes"
+    }
+
+    fn cost_pass(&self, inp: &CostPassInput<'_>, out: &mut CostPassOutput<'_>) {
+        let n = inp.fragments.len();
+        debug_assert_eq!(n % LANES, 0, "blocked kernels require padded columns");
+        let mut base = 0;
+        while base < n {
+            let mut frag = [0.0f64; LANES];
+            let mut touched = [0.0f64; LANES];
+            let mut scan_ms = [0.0f64; LANES];
+            let mut scan_ios = [0.0f64; LANES];
+            let mut fpages = [0.0f64; LANES];
+            let mut vms = [0.0f64; LANES];
+            let mut vios = [0.0f64; LANES];
+            let mut vpages = [0.0f64; LANES];
+            let mut bv = [0.0f64; LANES];
+            let mut idx = [0.0f64; LANES];
+            let block = base..base + LANES;
+            frag.copy_from_slice(&inp.fragments[block.clone()]);
+            touched.copy_from_slice(&inp.touched[block.clone()]);
+            scan_ms.copy_from_slice(&inp.scan_ms[block.clone()]);
+            scan_ios.copy_from_slice(&inp.scan_ios[block.clone()]);
+            fpages.copy_from_slice(&inp.fragment_pages[block.clone()]);
+            vms.copy_from_slice(&inp.vector_ms[block.clone()]);
+            vios.copy_from_slice(&inp.vector_ios[block.clone()]);
+            vpages.copy_from_slice(&inp.vector_pages[block.clone()]);
+            bv.copy_from_slice(&inp.bitmap_vectors[block.clone()]);
+            idx.copy_from_slice(&inp.indexable[block]);
+            let mut bitmap_ms = [0.0f64; LANES];
+            let mut use_scan = [false; LANES];
+            for l in 0..LANES {
+                // Separate mul + add on purpose: fusing would change
+                // rounding vs the scalar reference.
+                bitmap_ms[l] = bv[l] * vms[l] + touched[l] * inp.random_page_ms;
+                use_scan[l] = idx[l] == 0.0 || scan_ms[l] <= bitmap_ms[l];
+            }
+            let mut pf = [0.0f64; LANES];
+            let mut ios_pf = [0.0f64; LANES];
+            let mut fact_pf = [0.0f64; LANES];
+            let mut bpages_pf = [0.0f64; LANES];
+            for l in 0..LANES {
+                pf[l] = if use_scan[l] {
+                    scan_ms[l]
+                } else {
+                    bitmap_ms[l]
+                };
+                ios_pf[l] = if use_scan[l] {
+                    scan_ios[l]
+                } else {
+                    bv[l] * vios[l] + touched[l]
+                };
+                fact_pf[l] = if use_scan[l] { fpages[l] } else { touched[l] };
+                bpages_pf[l] = if use_scan[l] { 0.0 } else { bv[l] * vpages[l] };
+            }
+            let mut busy = [0.0f64; LANES];
+            let mut resp = [0.0f64; LANES];
+            for l in 0..LANES {
+                busy[l] = frag[l] * pf[l];
+                let disks_hit = sel_max(sel_min(frag[l], inp.disks), 1.0);
+                let waves = sel_min((frag[l] / disks_hit).ceil(), frag[l]);
+                let rt_io = waves * pf[l];
+                let rt_proc = busy[l] / inp.processors;
+                let expr = sel_max(rt_io, rt_proc) * inp.overhead;
+                resp[l] = if frag[l] > 0.0 && pf[l] > 0.0 {
+                    expr
+                } else {
+                    0.0
+                };
+            }
+            for l in 0..LANES {
+                let i = base + l;
+                let fact_pages = frag[l] * fact_pf[l];
+                let bitmap_pages = frag[l] * bpages_pf[l];
+                let total_ios = frag[l] * ios_pf[l];
+                out.out_use_scan[i] = if use_scan[l] { 1.0 } else { 0.0 };
+                out.out_per_fragment_ms[i] = pf[l];
+                out.out_busy_ms[i] = busy[l];
+                out.out_response_ms[i] = resp[l];
+                out.out_fact_pages[i] = fact_pages;
+                out.out_bitmap_pages[i] = bitmap_pages;
+                out.out_total_ios[i] = total_ios;
+                out.acc_io_ms[i] += inp.share * busy[l];
+                out.acc_response_ms[i] += inp.share * resp[l];
+                out.acc_ios[i] += inp.share * total_ios;
+                out.acc_pages[i] += inp.share * (fact_pages + bitmap_pages);
+            }
+            base += LANES;
+        }
+    }
+}
+
+/// The shared lane-blocked Yao pass: classification, rounding and
+/// clamping run per lane; the Cardenas `m · (1 − (1 − 1/m)^k)` scaffold
+/// is elementwise over the block; the transcendental `powf` and the
+/// exact-Yao product recurrence stay per element (they are inherently
+/// sequential per lane and dominate regardless of ISA — which is also
+/// why the AVX2 backend shares this implementation).
+fn yao_pass_lanes(rows: &[u64], pages: &[u64], k: &[f64], hits: &mut [f64]) {
+    let n = rows.len();
+    debug_assert_eq!(n % LANES, 0, "blocked kernels require padded miss arrays");
+    let mut base = 0;
+    while base < n {
+        let mut cardenas = [false; LANES];
+        let mut m = [1.0f64; LANES];
+        let mut e = [0.0f64; LANES];
+        for l in 0..LANES {
+            let (r, p, kv) = (rows[base + l], pages[base + l], k[base + l]);
+            if r == 0 || p == 0 || kv <= 0.0 {
+                hits[base + l] = 0.0;
+            } else if r.is_multiple_of(p) {
+                let k_int = (kv.round() as u64).clamp(1, r);
+                hits[base + l] = warlock_fragment::expected_distinct_groups(r, p, k_int);
+            } else {
+                cardenas[l] = true;
+                m[l] = p as f64;
+                e[l] = kv.min(r as f64);
+            }
+        }
+        let mut base_pow = [0.0f64; LANES];
+        let mut pw = [0.0f64; LANES];
+        for l in 0..LANES {
+            base_pow[l] = 1.0 - 1.0 / m[l];
+        }
+        for l in 0..LANES {
+            pw[l] = base_pow[l].powf(e[l]);
+        }
+        for l in 0..LANES {
+            if cardenas[l] {
+                hits[base + l] = m[l] * (1.0 - pw[l]);
+            }
+        }
+        base += LANES;
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 backend (x86_64)
+// ---------------------------------------------------------------------
+
+/// Explicit AVX2 backend. Constructed only behind
+/// `is_x86_feature_detected!("avx2")` (see [`KernelBackend::resolve`]).
+#[cfg(target_arch = "x86_64")]
+struct Avx2Kernel;
+
+#[cfg(target_arch = "x86_64")]
+impl CostKernel for Avx2Kernel {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn cost_pass(&self, inp: &CostPassInput<'_>, out: &mut CostPassOutput<'_>) {
+        // SAFETY: `Avx2Kernel` is only reachable through
+        // `KernelBackend::kernel`, whose `Avx2` value is only produced
+        // by `resolve` after `is_x86_feature_detected!("avx2")`.
+        unsafe { avx2_cost_pass(inp, out) }
+    }
+}
+
+/// The AVX2 arithmetic pass: one 4-lane block per iteration, separate
+/// `vmulpd` + `vaddpd` (never FMA), ordered compares + `vblendvpd` for
+/// the selects, `vroundpd`-based `ceil` (exact), and mask-AND for the
+/// zero-response early-out (`x & 0 == +0.0`, the scalar early-return
+/// value).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_cost_pass(inp: &CostPassInput<'_>, out: &mut CostPassOutput<'_>) {
+    use std::arch::x86_64::*;
+
+    let n = inp.fragments.len();
+    debug_assert_eq!(n % LANES, 0, "blocked kernels require padded columns");
+    let zero = _mm256_setzero_pd();
+    let one = _mm256_set1_pd(1.0);
+    let rpms = _mm256_set1_pd(inp.random_page_ms);
+    let disks = _mm256_set1_pd(inp.disks);
+    let procs = _mm256_set1_pd(inp.processors);
+    let ovh = _mm256_set1_pd(inp.overhead);
+    let share = _mm256_set1_pd(inp.share);
+
+    let mut i = 0;
+    while i < n {
+        let frag = _mm256_loadu_pd(inp.fragments.as_ptr().add(i));
+        let touched = _mm256_loadu_pd(inp.touched.as_ptr().add(i));
+        let idx = _mm256_loadu_pd(inp.indexable.as_ptr().add(i));
+        let scan_ms = _mm256_loadu_pd(inp.scan_ms.as_ptr().add(i));
+        let scan_ios = _mm256_loadu_pd(inp.scan_ios.as_ptr().add(i));
+        let fpages = _mm256_loadu_pd(inp.fragment_pages.as_ptr().add(i));
+        let vms = _mm256_loadu_pd(inp.vector_ms.as_ptr().add(i));
+        let vios = _mm256_loadu_pd(inp.vector_ios.as_ptr().add(i));
+        let vpages = _mm256_loadu_pd(inp.vector_pages.as_ptr().add(i));
+        let bv = _mm256_loadu_pd(inp.bitmap_vectors.as_ptr().add(i));
+
+        // bitmap_ms = bv·vector_ms + touched·random_page_ms (unfused).
+        let fetch_ms = _mm256_mul_pd(touched, rpms);
+        let bitmap_ms = _mm256_add_pd(_mm256_mul_pd(bv, vms), fetch_ms);
+        // use_scan = (indexable == 0) | (scan_ms <= bitmap_ms)
+        let not_idx = _mm256_cmp_pd::<_CMP_EQ_OQ>(idx, zero);
+        let scan_le = _mm256_cmp_pd::<_CMP_LE_OQ>(scan_ms, bitmap_ms);
+        let scan_mask = _mm256_or_pd(not_idx, scan_le);
+        // Both arms are always finite; select per lane.
+        let bitmap_ios = _mm256_add_pd(_mm256_mul_pd(bv, vios), touched);
+        let bitmap_pages_pf = _mm256_mul_pd(bv, vpages);
+        let pf = _mm256_blendv_pd(bitmap_ms, scan_ms, scan_mask);
+        let ios_pf = _mm256_blendv_pd(bitmap_ios, scan_ios, scan_mask);
+        let fact_pf = _mm256_blendv_pd(touched, fpages, scan_mask);
+        let bpages_pf = _mm256_blendv_pd(bitmap_pages_pf, zero, scan_mask);
+
+        let busy = _mm256_mul_pd(frag, pf);
+        // Inlined `estimated_response_ms`, elementwise. min/max
+        // intrinsics match `f64::min`/`max` on this NaN-free,
+        // negative-zero-free domain.
+        let disks_hit = _mm256_max_pd(_mm256_min_pd(frag, disks), one);
+        let waves = _mm256_min_pd(_mm256_ceil_pd(_mm256_div_pd(frag, disks_hit)), frag);
+        let rt_io = _mm256_mul_pd(waves, pf);
+        let rt_proc = _mm256_div_pd(busy, procs);
+        let resp_expr = _mm256_mul_pd(_mm256_max_pd(rt_io, rt_proc), ovh);
+        // Zero-work early-out: response is exactly +0.0 unless both
+        // fragments > 0 and per-fragment time > 0.
+        let live = _mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_GT_OQ>(frag, zero),
+            _mm256_cmp_pd::<_CMP_GT_OQ>(pf, zero),
+        );
+        let resp = _mm256_and_pd(resp_expr, live);
+
+        let fact_pages = _mm256_mul_pd(frag, fact_pf);
+        let bitmap_pages = _mm256_mul_pd(frag, bpages_pf);
+        let total_ios = _mm256_mul_pd(frag, ios_pf);
+
+        _mm256_storeu_pd(
+            out.out_use_scan.as_mut_ptr().add(i),
+            _mm256_and_pd(one, scan_mask),
+        );
+        _mm256_storeu_pd(out.out_per_fragment_ms.as_mut_ptr().add(i), pf);
+        _mm256_storeu_pd(out.out_busy_ms.as_mut_ptr().add(i), busy);
+        _mm256_storeu_pd(out.out_response_ms.as_mut_ptr().add(i), resp);
+        _mm256_storeu_pd(out.out_fact_pages.as_mut_ptr().add(i), fact_pages);
+        _mm256_storeu_pd(out.out_bitmap_pages.as_mut_ptr().add(i), bitmap_pages);
+        _mm256_storeu_pd(out.out_total_ios.as_mut_ptr().add(i), total_ios);
+
+        let acc = |col: &mut [f64], term: __m256d| {
+            let p = col.as_mut_ptr().add(i);
+            _mm256_storeu_pd(p, _mm256_add_pd(_mm256_loadu_pd(p), term));
+        };
+        acc(out.acc_io_ms, _mm256_mul_pd(share, busy));
+        acc(out.acc_response_ms, _mm256_mul_pd(share, resp));
+        acc(out.acc_ios, _mm256_mul_pd(share, total_ios));
+        acc(
+            out.acc_pages,
+            _mm256_mul_pd(share, _mm256_add_pd(fact_pages, bitmap_pages)),
+        );
+
+        i += LANES;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random stream (splitmix64) for synthesizing
+    /// kernel inputs without a dev-dependency.
+    struct Mix(u64);
+    impl Mix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        /// Uniform-ish in `[0, hi)`.
+        fn f(&mut self, hi: f64) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * hi
+        }
+    }
+
+    fn synth_input(seed: u64, n: usize) -> Vec<Vec<f64>> {
+        let mut rng = Mix(seed);
+        let mut cols: Vec<Vec<f64>> = (0..10).map(|_| Vec::with_capacity(n)).collect();
+        for _ in 0..n {
+            cols[0].push((rng.f(500.0) + 1.0).floor()); // fragments
+            let indexable = !rng.next_u64().is_multiple_of(4);
+            cols[2].push(if indexable { 1.0 } else { 0.0 });
+            cols[1].push(if indexable { rng.f(200.0) } else { 0.0 }); // touched
+            cols[3].push(rng.f(50.0)); // scan_ms
+            cols[4].push((rng.f(100.0) + 1.0).floor()); // scan_ios
+            cols[5].push((rng.f(4000.0) + 1.0).floor()); // fragment_pages
+            cols[6].push(rng.f(3.0)); // vector_ms
+            cols[7].push((rng.f(8.0) + 1.0).floor()); // vector_ios
+            cols[8].push((rng.f(64.0) + 1.0).floor()); // vector_pages
+            cols[9].push(rng.f(4.0)); // bitmap_vectors
+        }
+        cols
+    }
+
+    fn run_backend(backend: KernelBackend, cols: &[Vec<f64>], share: f64) -> Vec<Vec<f64>> {
+        let n = cols[0].len();
+        let inp = CostPassInput {
+            fragments: &cols[0],
+            touched: &cols[1],
+            indexable: &cols[2],
+            scan_ms: &cols[3],
+            scan_ios: &cols[4],
+            fragment_pages: &cols[5],
+            vector_ms: &cols[6],
+            vector_ios: &cols[7],
+            vector_pages: &cols[8],
+            bitmap_vectors: &cols[9],
+            random_page_ms: 10.3,
+            disks: 16.0,
+            processors: 16.0,
+            overhead: 1.05,
+            share,
+        };
+        let mut outs: Vec<Vec<f64>> = vec![vec![0.0; n]; 7];
+        // Accumulators pre-seeded with a prior-class term, to check the
+        // += path too.
+        let mut accs: Vec<Vec<f64>> = (0..4)
+            .map(|c| (0..n).map(|i| (c * n + i) as f64 * 0.5).collect())
+            .collect();
+        {
+            let (o0, rest) = outs.split_at_mut(1);
+            let (o1, rest) = rest.split_at_mut(1);
+            let (o2, rest) = rest.split_at_mut(1);
+            let (o3, rest) = rest.split_at_mut(1);
+            let (o4, rest) = rest.split_at_mut(1);
+            let (o5, o6) = rest.split_at_mut(1);
+            let (a0, arest) = accs.split_at_mut(1);
+            let (a1, arest) = arest.split_at_mut(1);
+            let (a2, a3) = arest.split_at_mut(1);
+            let mut out = CostPassOutput {
+                out_use_scan: &mut o0[0],
+                out_per_fragment_ms: &mut o1[0],
+                out_busy_ms: &mut o2[0],
+                out_response_ms: &mut o3[0],
+                out_fact_pages: &mut o4[0],
+                out_bitmap_pages: &mut o5[0],
+                out_total_ios: &mut o6[0],
+                acc_io_ms: &mut a0[0],
+                acc_response_ms: &mut a1[0],
+                acc_ios: &mut a2[0],
+                acc_pages: &mut a3[0],
+            };
+            backend.kernel().cost_pass(&inp, &mut out);
+        }
+        outs.extend(accs);
+        outs
+    }
+
+    #[test]
+    fn lane_backends_match_scalar_bit_for_bit() {
+        for seed in 0..8u64 {
+            let cols = synth_input(seed, 64);
+            let reference = run_backend(KernelBackend::Scalar, &cols, 0.37);
+            for backend in [KernelBackend::Lanes, KernelBackend::detect()] {
+                let got = run_backend(backend, &cols, 0.37);
+                for (c, (a, b)) in reference.iter().zip(&got).enumerate() {
+                    for i in 0..a.len() {
+                        assert_eq!(
+                            a[i].to_bits(),
+                            b[i].to_bits(),
+                            "seed {seed} backend {} column {c} row {i}: {} != {}",
+                            backend.name(),
+                            a[i],
+                            b[i],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn yao_pass_matches_elementwise_reference() {
+        let mut rng = Mix(7);
+        let mut rows = Vec::new();
+        let mut pages = Vec::new();
+        let mut k = Vec::new();
+        for _ in 0..64 {
+            // Mix exact-Yao (divisible) and Cardenas (non-divisible)
+            // shapes, plus degenerate zeros.
+            let p = rng.next_u64() % 50;
+            let r = match rng.next_u64() % 3 {
+                0 => p * (1 + rng.next_u64() % 40), // divisible
+                1 => p * 7 + 3,                     // non-divisible
+                _ => 0,
+            };
+            rows.push(r);
+            pages.push(p);
+            k.push(rng.f(300.0) - 1.0);
+        }
+        let mut got = vec![0.0; 64];
+        for backend in [
+            KernelBackend::Scalar,
+            KernelBackend::Lanes,
+            KernelBackend::detect(),
+        ] {
+            backend.kernel().yao_pass(&rows, &pages, &k, &mut got);
+            for j in 0..64 {
+                let want = yao_page_hits(rows[j], pages[j], k[j]);
+                assert_eq!(
+                    got[j].to_bits(),
+                    want.to_bits(),
+                    "backend {} j={j}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn choice_parses_and_displays() {
+        for (s, c) in [
+            ("auto", KernelChoice::Auto),
+            ("scalar", KernelChoice::Scalar),
+            ("lanes", KernelChoice::Lanes),
+            ("avx2", KernelChoice::Avx2),
+        ] {
+            assert_eq!(s.parse::<KernelChoice>().unwrap(), c);
+            assert_eq!(c.to_string(), s);
+            assert_eq!(c.as_str().parse::<KernelChoice>().unwrap(), c);
+        }
+        assert_eq!(
+            "  AVX2 ".parse::<KernelChoice>().unwrap(),
+            KernelChoice::Avx2
+        );
+        assert!("sse9".parse::<KernelChoice>().is_err());
+    }
+
+    #[test]
+    fn explicit_choices_resolve_cleanly() {
+        assert_eq!(
+            KernelBackend::resolve(KernelChoice::Scalar),
+            KernelBackend::Scalar
+        );
+        assert_eq!(
+            KernelBackend::resolve(KernelChoice::Lanes),
+            KernelBackend::Lanes
+        );
+        // avx2 resolves to itself where supported and degrades to
+        // lanes everywhere else — never an error.
+        let avx2 = KernelBackend::resolve(KernelChoice::Avx2);
+        assert!(matches!(avx2, KernelBackend::Avx2 | KernelBackend::Lanes));
+        assert_eq!(avx2, KernelBackend::detect());
+        // Backend names are stable.
+        for b in [KernelBackend::Scalar, KernelBackend::Lanes, avx2] {
+            assert_eq!(b.kernel().name(), b.name());
+        }
+    }
+
+    #[test]
+    fn aligned_column_is_cache_line_aligned() {
+        let mut col = AlignedF64Col::new();
+        assert!(col.is_empty());
+        for i in 0..37 {
+            col.push(i as f64);
+        }
+        assert_eq!(col.len(), 37);
+        assert_eq!(col.as_slice().as_ptr() as usize % 64, 0);
+        for i in 0..37 {
+            assert_eq!(col[i], i as f64);
+        }
+        col.resize(40, -1.0);
+        assert_eq!(col.len(), 40);
+        assert_eq!(&col[37..], &[-1.0, -1.0, -1.0]);
+        // Shrink keeps the prefix; regrow refills with the new value.
+        col.resize(2, 9.0);
+        assert_eq!(col.as_slice(), &[0.0, 1.0]);
+        col.resize(4, 7.0);
+        assert_eq!(col.as_slice(), &[0.0, 1.0, 7.0, 7.0]);
+        col.clear();
+        assert!(col.is_empty());
+        col.push(5.0);
+        assert_eq!(col.as_slice(), &[5.0]);
+    }
+}

@@ -26,7 +26,10 @@
 //!   ([`CostTables`](tables::CostTables)),
 //! * [`batch`] — SoA batched evaluation of whole candidate chunks
 //!   ([`evaluate_chunk`](batch::evaluate_chunk)), bit-identical to the
-//!   scalar path.
+//!   scalar path,
+//! * [`kernel`] — lane-structured costing kernels behind runtime
+//!   backend dispatch (scalar reference / portable lane arrays /
+//!   AVX2), all bit-identical by construction.
 
 //!
 //! # Example
@@ -55,6 +58,7 @@
 pub mod access;
 pub mod batch;
 pub mod contention;
+pub mod kernel;
 pub mod model;
 pub mod prefetch;
 pub mod response;
@@ -62,8 +66,14 @@ pub mod tables;
 pub mod yao;
 
 pub use access::{AccessPath, QueryCost};
-pub use batch::{evaluate_chunk, evaluate_chunk_with, ChunkBatch, PerQueryDetail};
+pub use batch::{
+    evaluate_chunk, evaluate_chunk_kernel, evaluate_chunk_with, ChunkBatch, PerQueryDetail,
+};
 pub use contention::{contention_estimate, load_curve, ContentionEstimate, LoadPoint};
+pub use kernel::{
+    AlignedF64Col, CostKernel, CostPassInput, CostPassOutput, KernelBackend, KernelChoice,
+    KERNEL_ENV, LANES,
+};
 pub use model::{fingerprint128, CandidateCost, CostModel};
 pub use prefetch::effective_prefetch;
 pub use response::estimated_response_ms;

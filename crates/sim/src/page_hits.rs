@@ -126,4 +126,43 @@ mod tests {
     fn zero_rows_per_page_rejected() {
         let _ = touched_pages(&BitVec::zeros(4), 0);
     }
+
+    /// The simulator must price estimates with the *shared* estimator in
+    /// `warlock-cost` — not a private reimplementation. Pins the routed
+    /// values bit-for-bit, in both the exact-Yao regime (rows divisible
+    /// by pages) and the Cardenas fallback, against direct estimator
+    /// calls and against literal reference bits.
+    #[test]
+    fn comparison_routes_through_shared_estimator_bit_for_bit() {
+        // 37 selected rows spread over 1000 rows.
+        let sel = BitVec::from_indices(1000, (0..37).map(|i| i * 27));
+
+        // Exact regime: 10 rows/page -> 100 pages, 1000 % 100 == 0.
+        let exact = compare_page_hits(&sel, 10);
+        assert_eq!(exact.pages, 100);
+        assert_eq!(
+            exact.estimated_pages.to_bits(),
+            warlock_cost::yao_page_hits(1000, 100, 37.0).to_bits()
+        );
+        assert_eq!(exact.estimated_pages.to_bits(), 0x403f87680bee76c4);
+
+        // Cardenas regime: 11 rows/page -> 91 pages, 1000 % 91 != 0.
+        let card = compare_page_hits(&sel, 11);
+        assert_eq!(card.pages, 91);
+        assert_eq!(
+            card.estimated_pages.to_bits(),
+            warlock_cost::yao_page_hits(1000, 91, 37.0).to_bits()
+        );
+        assert_eq!(card.estimated_pages.to_bits(), 0x403e89b863f12db8);
+
+        // Sweep: every shape stays bit-identical to the shared estimator.
+        for rpp in [1, 3, 7, 10, 11, 64, 1000, 5000] {
+            let c = compare_page_hits(&sel, rpp);
+            assert_eq!(
+                c.estimated_pages.to_bits(),
+                warlock_cost::yao_page_hits(c.rows, c.pages, c.selected_rows as f64).to_bits(),
+                "rows_per_page {rpp}"
+            );
+        }
+    }
 }

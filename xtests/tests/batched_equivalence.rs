@@ -11,7 +11,8 @@ use proptest::prelude::*;
 use warlock::prelude::*;
 use warlock_bitmap::{BitmapScheme, SchemeConfig};
 use warlock_cost::{
-    evaluate_chunk_with, CandidateCost, ChunkBatch, CostModel, CostTables, PerQueryDetail,
+    evaluate_chunk_kernel, evaluate_chunk_with, CandidateCost, ChunkBatch, CostModel, CostTables,
+    KernelBackend, KernelChoice, PerQueryDetail,
 };
 use warlock_fragment::{enumerate_candidates_ranged, FragmentLayout, Fragmentation, LayoutScratch};
 use warlock_schema::{random_schema, RandomSchemaConfig, StarSchema};
@@ -125,6 +126,57 @@ proptest! {
         }
     }
 
+    /// Every costing kernel backend — the scalar reference, the
+    /// portable lane-array path, and whatever CPU detection picks
+    /// (AVX2 on capable hardware) — prices every candidate
+    /// bit-identically to the scalar `CostModel` path at every chunk
+    /// size, with full per-class detail.
+    #[test]
+    fn every_backend_matches_scalar_bit_for_bit(
+        seed in 0u64..4096,
+        chunk_pick in 0usize..4,
+        ranged in any::<bool>(),
+    ) {
+        let chunk = [1usize, 2, 7, 64][chunk_pick];
+        let (schema, mix, system) = random_inputs(seed);
+        let scheme = BitmapScheme::derive(&schema, &mix, SchemeConfig::default());
+        let model = CostModel::new(&schema, &system, &scheme, &mix);
+        let range_options: &[u64] = if ranged { &[2, 3, 5] } else { &[] };
+        let tables = CostTables::build(&model, range_options);
+        let candidates = candidate_sample(&schema, range_options);
+
+        let backends = [
+            KernelBackend::resolve(KernelChoice::Scalar),
+            KernelBackend::resolve(KernelChoice::Lanes),
+            // On AVX2 hardware this is the intrinsics backend; elsewhere
+            // it degrades to the lane-array path (still a valid run).
+            KernelBackend::resolve(KernelChoice::Avx2),
+        ];
+        for backend in backends {
+            let mut scratch = LayoutScratch::new();
+            let mut batch = ChunkBatch::new();
+            for group in candidates.chunks(chunk) {
+                for frag in group {
+                    let layout = FragmentLayout::new_in(
+                        &mut scratch,
+                        &schema,
+                        frag.clone(),
+                        model.fact_index(),
+                    );
+                    batch.push(layout, &mut scratch);
+                }
+                let batched =
+                    evaluate_chunk_kernel(&tables, &mut batch, PerQueryDetail::Full, backend);
+                prop_assert!(batch.is_empty());
+                prop_assert_eq!(batched.len(), group.len());
+                for (b, frag) in batched.iter().zip(group) {
+                    let layout = FragmentLayout::new(&schema, frag.clone(), model.fact_index());
+                    assert_cost_bits(b, &model.evaluate_layout(&layout));
+                }
+            }
+        }
+    }
+
     /// The lean detail level the ranking pipeline uses keeps every
     /// aggregate bit-identical while leaving `per_query` empty.
     #[test]
@@ -211,5 +263,49 @@ proptest! {
 
         let cold = session_at(2).run().unwrap();
         assert_reports_bit_identical(&spanning, &cold);
+    }
+
+    /// Full sessions pinned to each kernel backend — including a run
+    /// spanning the session-cache hit/miss boundary, where memoized and
+    /// freshly costed candidates mix in one chunk — produce reports
+    /// bit-identical to the forced-scalar session.
+    #[test]
+    fn forced_backends_agree_across_the_cache_boundary(
+        seed in 0u64..1024,
+        chunk_pick in 0usize..3,
+    ) {
+        let chunk = [1usize, 17, 100_000][chunk_pick];
+        let run_with = |choice: KernelChoice| {
+            let (schema, mix, system) = random_inputs(seed);
+            let mut session = Warlock::builder()
+                .schema(schema)
+                .system(system)
+                .mix(mix)
+                .config(AdvisorConfig {
+                    max_dimensionality: 1,
+                    ..Default::default()
+                })
+                .kernel(choice)
+                .chunk_size(chunk)
+                .build()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let _ = session.run().unwrap();
+            // Widen so the second run's chunks mix cache hits (the
+            // narrow space) with fresh batched evaluations.
+            session
+                .set_config(AdvisorConfig {
+                    max_dimensionality: 2,
+                    kernel: choice,
+                    ..Default::default()
+                })
+                .unwrap();
+            session.run().unwrap()
+        };
+
+        let scalar = run_with(KernelChoice::Scalar);
+        for choice in [KernelChoice::Lanes, KernelChoice::Avx2, KernelChoice::Auto] {
+            let report = run_with(choice);
+            assert_reports_bit_identical(&report, &scalar);
+        }
     }
 }
