@@ -26,9 +26,11 @@ use crate::alloc_probe::{allocation_profile, probe_installed};
 /// Schema version of the `BENCH_*.json` document this module writes.
 /// v2 added `candidates_per_sec`; v3 added the non-gating
 /// allocation-quality numbers (`greedy_heat_imbalance`,
-/// `graph_heat_imbalance`, `graph_makespan_ratio`). Older documents
+/// `graph_heat_imbalance`, `graph_makespan_ratio`); v4 added the
+/// non-gating resident-optimizer replay numbers
+/// (`drift_detect_batches`, `drift_readvise_ms`). Older documents
 /// still parse — absent fields default to 0, which the diff skips.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Every `sample_stride`-th scenario additionally re-ranks with forced
 /// chunked-streaming settings and asserts bit-identical reports.
@@ -75,6 +77,16 @@ pub struct ScenarioMetrics {
     /// Simulated replay makespan of the graph policy over greedy's
     /// (< 1 means the partitioner wins head-to-head; non-gating).
     pub graph_makespan_ratio: f64,
+    /// Observation batches of the scenario's seeded drift trajectory
+    /// replayed before the resident optimizer fired its first auto
+    /// re-advise — the drift-detection latency in workload terms
+    /// (non-gating; 0 for non-drifting scenarios or when the replay
+    /// could not run).
+    pub drift_detect_batches: f64,
+    /// Wall-clock (ms) of the `observe` call that crossed the drift
+    /// threshold — drift scoring plus the incremental warm re-rank at
+    /// the adopted mix (non-gating; 0 when no re-advise fired).
+    pub drift_readvise_ms: f64,
 }
 
 /// One failed cross-cutting invariant.
@@ -114,6 +126,9 @@ pub struct ClassAggregate {
     /// Mean graph/greedy simulated makespan ratio across members
     /// (non-gating; 0 when no member carried the number).
     pub graph_makespan_ratio: f64,
+    /// Mean warm re-advise cost (ms) across the members whose drift
+    /// replay fired (non-gating; 0 when none did).
+    pub drift_readvise_ms: f64,
 }
 
 /// The versioned perf-trajectory document (`BENCH_*.json`).
@@ -404,6 +419,7 @@ fn run_scenario(
             let candidates_per_sec = eval_sweep(&scenario.parsed);
             let (greedy_heat_imbalance, graph_heat_imbalance, graph_makespan_ratio) =
                 policy_quality(&session);
+            let (drift_detect_batches, drift_readvise_ms) = drift_replay(scenario, &session);
             metrics.push(ScenarioMetrics {
                 id: scenario.id,
                 label: label.clone(),
@@ -421,10 +437,44 @@ fn run_scenario(
                 greedy_heat_imbalance,
                 graph_heat_imbalance,
                 graph_makespan_ratio,
+                drift_detect_batches,
+                drift_readvise_ms,
             });
         }
         Err((invariant, detail)) => fail(invariant, detail),
     }
+}
+
+/// Non-gating resident-optimizer numbers: replays the scenario's seeded
+/// drift trajectory through `observe` on an auto-advising clone and
+/// reports `(batches until the first auto re-advise fired, wall-clock ms
+/// of the observe call that fired it)`. The clone shares the scenario's
+/// warm evaluation cache, so the measured cost is the *incremental*
+/// re-advise the resident optimizer actually pays. All zeros for
+/// non-drifting scenarios or when the replay cannot run — the diff
+/// skips zero baselines.
+fn drift_replay(scenario: &Scenario, session: &Warlock) -> (f64, f64) {
+    let trajectory = scenario.drift_trajectory();
+    if trajectory.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut session = session.clone();
+    if session.set_auto_advise(true).is_err() {
+        return (0.0, 0.0);
+    }
+    let mut detect_batches = 0.0f64;
+    let mut readvise_ms = 0.0f64;
+    for (i, batch) in trajectory.iter().enumerate() {
+        let started = Instant::now();
+        let Ok(status) = session.observe(batch) else {
+            return (0.0, 0.0);
+        };
+        if detect_batches == 0.0 && status.events_emitted > 0 {
+            detect_batches = (i + 1) as f64;
+            readvise_ms = started.elapsed().as_secs_f64() * 1e3;
+        }
+    }
+    (detect_batches, readvise_ms)
 }
 
 /// Non-gating allocation-quality numbers from the head-to-head policy
@@ -509,6 +559,19 @@ pub fn run_fleet(seed: u64, count: u32, space: &ScenarioSpace) -> Result<FleetRe
                         carried.iter().sum::<f64>() / carried.len() as f64
                     }
                 },
+                drift_readvise_ms: {
+                    // Mean over the members whose drift replay fired.
+                    let carried: Vec<f64> = members
+                        .iter()
+                        .map(|m| m.drift_readvise_ms)
+                        .filter(|&r| r > 0.0)
+                        .collect();
+                    if carried.is_empty() {
+                        0.0
+                    } else {
+                        carried.iter().sum::<f64>() / carried.len() as f64
+                    }
+                },
                 class,
             }
         })
@@ -555,6 +618,8 @@ impl FleetReport {
                     ("greedy_heat_imbalance", Json::Num(m.greedy_heat_imbalance)),
                     ("graph_heat_imbalance", Json::Num(m.graph_heat_imbalance)),
                     ("graph_makespan_ratio", Json::Num(m.graph_makespan_ratio)),
+                    ("drift_detect_batches", Json::Num(m.drift_detect_batches)),
+                    ("drift_readvise_ms", Json::Num(m.drift_readvise_ms)),
                 ])
             })
             .collect();
@@ -573,6 +638,7 @@ impl FleetReport {
                     ("peak_bytes_max", Json::Int(c.peak_bytes_max as i64)),
                     ("cache_hit_rate_mean", Json::Num(c.cache_hit_rate_mean)),
                     ("graph_makespan_ratio", Json::Num(c.graph_makespan_ratio)),
+                    ("drift_readvise_ms", Json::Num(c.drift_readvise_ms)),
                 ])
             })
             .collect();
@@ -675,6 +741,8 @@ impl FleetReport {
                     greedy_heat_imbalance: f64_opt(m, "greedy_heat_imbalance")?,
                     graph_heat_imbalance: f64_opt(m, "graph_heat_imbalance")?,
                     graph_makespan_ratio: f64_opt(m, "graph_makespan_ratio")?,
+                    drift_detect_batches: f64_opt(m, "drift_detect_batches")?,
+                    drift_readvise_ms: f64_opt(m, "drift_readvise_ms")?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -692,6 +760,7 @@ impl FleetReport {
                     peak_bytes_max: u64_field(c, "peak_bytes_max")?,
                     cache_hit_rate_mean: f64_field(c, "cache_hit_rate_mean")?,
                     graph_makespan_ratio: f64_opt(c, "graph_makespan_ratio")?,
+                    drift_readvise_ms: f64_opt(c, "drift_readvise_ms")?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -1087,7 +1156,7 @@ mod tests {
     fn unsupported_schema_version_is_rejected() {
         let text = small_report()
             .to_json_string()
-            .replace("\"schema_version\": 3", "\"schema_version\": 99");
+            .replace("\"schema_version\": 4", "\"schema_version\": 99");
         assert!(FleetReport::from_json_str(&text)
             .unwrap_err()
             .contains("schema_version"));
@@ -1138,6 +1207,8 @@ mod tests {
                 "greedy_heat_imbalance",
                 "graph_heat_imbalance",
                 "graph_makespan_ratio",
+                "drift_detect_batches",
+                "drift_readvise_ms",
             ],
         );
         let parsed = FleetReport::from_json_str(&text).expect("v1 document must parse");
@@ -1161,6 +1232,8 @@ mod tests {
                 "greedy_heat_imbalance",
                 "graph_heat_imbalance",
                 "graph_makespan_ratio",
+                "drift_detect_batches",
+                "drift_readvise_ms",
             ],
         );
         let parsed = FleetReport::from_json_str(&text).expect("v2 document must parse");
@@ -1197,5 +1270,69 @@ mod tests {
         }
         let outcome = diff_reports(&report, &wrecked, &DiffOptions::strict(0.5)).unwrap();
         assert!(outcome.passed(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
+    fn v3_documents_parse_with_drift_numbers_defaulted() {
+        // A v3 document predates the resident-optimizer replay: no
+        // drift fields anywhere.
+        let report = small_report();
+        let text = downgrade(&report, 3, &["drift_detect_batches", "drift_readvise_ms"]);
+        let parsed = FleetReport::from_json_str(&text).expect("v3 document must parse");
+        assert!(parsed
+            .scenarios
+            .iter()
+            .all(|m| m.drift_detect_batches == 0.0 && m.drift_readvise_ms == 0.0));
+        assert!(parsed.classes.iter().all(|c| c.drift_readvise_ms == 0.0));
+        let outcome = diff_reports(&parsed, &report, &DiffOptions::strict(0.5)).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
+    fn drift_numbers_are_recorded_and_non_gating() {
+        let report = small_report();
+        // The 6-scenario fleet contains exactly one Drifting-mix
+        // member (mix shape cycles fastest in the coverage grid), and
+        // its seeded trajectory must have fired the auto re-advise.
+        let drifting: Vec<_> = report
+            .scenarios
+            .iter()
+            .filter(|m| m.drift_detect_batches > 0.0)
+            .collect();
+        assert_eq!(drifting.len(), 1, "expected exactly one drifting member");
+        assert!(drifting[0].drift_readvise_ms > 0.0, "{}", drifting[0].label);
+        assert!(report.classes.iter().any(|c| c.drift_readvise_ms > 0.0));
+        // Non-drifting members carry zeros.
+        assert!(report
+            .scenarios
+            .iter()
+            .filter(|m| m.drift_detect_batches == 0.0)
+            .all(|m| m.drift_readvise_ms == 0.0));
+        // Wrecking the drift numbers never trips the diff gate.
+        let mut wrecked = report.clone();
+        for m in &mut wrecked.scenarios {
+            m.drift_detect_batches *= 100.0;
+            m.drift_readvise_ms *= 100.0;
+        }
+        for c in &mut wrecked.classes {
+            c.drift_readvise_ms *= 100.0;
+        }
+        let outcome = diff_reports(&report, &wrecked, &DiffOptions::strict(0.5)).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+        // …and the numbers survive a JSON round-trip.
+        let parsed = FleetReport::from_json_str(&report.to_json_string()).unwrap();
+        let round_tripped = parsed
+            .scenarios
+            .iter()
+            .find(|m| m.label == drifting[0].label)
+            .unwrap();
+        assert_eq!(
+            round_tripped.drift_detect_batches,
+            drifting[0].drift_detect_batches
+        );
+        assert_eq!(
+            round_tripped.drift_readvise_ms,
+            drifting[0].drift_readvise_ms
+        );
     }
 }

@@ -23,20 +23,34 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::{Arc, Mutex};
 
-use warlock_cost::CandidateCost;
+use warlock_cost::{CandidateCost, ClassCost};
 use warlock_fragment::{Exclusion, Fragmentation};
 
-/// One memoized pipeline outcome for a candidate: either the exclusion
-/// the thresholds raised, or its evaluated cost. Costs are shared
-/// (`Arc`), so a cache hit — and the insert right after a fresh
-/// evaluation — is a reference-count bump, never a deep copy of the
-/// candidate's cost breakdown.
+/// One memoized pipeline outcome for a candidate: the exclusion the
+/// thresholds raised, an evaluated (weighted) cost, or the unweighted
+/// per-class cost rows. Payloads are shared (`Arc`), so a cache hit —
+/// and the insert right after a fresh evaluation — is a
+/// reference-count bump, never a deep copy of the candidate's cost
+/// breakdown.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum CachedOutcome {
     /// The thresholds excluded the candidate.
     Excluded(Exclusion),
-    /// The candidate survived and was costed.
+    /// The candidate survived and was costed under a specific mix
+    /// weighting (the single-candidate `evaluate` path).
     Cost(Arc<CandidateCost>),
+    /// The candidate survived; its per-class costs are memoized
+    /// **unweighted** (classes in configured-mix order), so a pure
+    /// re-weight of the mix recombines them under the new shares
+    /// instead of re-costing — the ranking pipeline's memo under its
+    /// weight-free structure fingerprint.
+    Classes {
+        /// The candidate's fragment count (not reconstructible from
+        /// the rows alone).
+        num_fragments: u64,
+        /// Per-class unweighted cost rows, in configured-mix order.
+        rows: Arc<Vec<ClassCost>>,
+    },
 }
 
 /// FNV-1a. Candidate keys are a handful of bytes and probed twice per

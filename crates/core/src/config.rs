@@ -61,6 +61,25 @@ pub struct AdvisorConfig {
     /// fan-out it divides (the full fan-out is skipped — it duplicates
     /// the parent level).
     pub range_options: Vec<u64>,
+    /// Resident-optimizer mode: when `true`, crossing the drift-enter
+    /// threshold during [`crate::Warlock::observe`] triggers an
+    /// incremental re-advise (adopt the observed mix, re-rank warm
+    /// through the evaluation cache) and emits an
+    /// [`crate::AdviceEvent`]. When `false` (the default), observation
+    /// only tracks and reports drift.
+    pub auto_advise: bool,
+    /// Drift score above which the detector enters the `Drifting`
+    /// state (strictly above; see
+    /// [`DriftDetector`](warlock_workload::DriftDetector)).
+    pub drift_enter: f64,
+    /// Drift score below which the detector returns to `Stable`
+    /// (strictly below). Must satisfy `0 <= drift_exit <= drift_enter
+    /// <= 1` — the gap is the hysteresis band that prevents flapping.
+    pub drift_exit: f64,
+    /// Half-life of the observed-workload statistics window, in
+    /// observed queries (not wall-clock): the weight of past traffic
+    /// halves every `stats_half_life` queries.
+    pub stats_half_life: f64,
 }
 
 impl Default for AdvisorConfig {
@@ -80,6 +99,10 @@ impl Default for AdvisorConfig {
             chunk_size: 0,
             kernel: KernelChoice::Auto,
             range_options: Vec::new(),
+            auto_advise: false,
+            drift_enter: 0.25,
+            drift_exit: 0.10,
+            stats_half_life: 1000.0,
         }
     }
 }
@@ -109,6 +132,24 @@ impl AdvisorConfig {
                      the same candidates repeatedly)"
                 ));
             }
+        }
+        if !(self.drift_enter.is_finite()
+            && self.drift_exit.is_finite()
+            && 0.0 <= self.drift_exit
+            && self.drift_exit <= self.drift_enter
+            && self.drift_enter <= 1.0)
+        {
+            return Err(format!(
+                "drift thresholds must satisfy 0 <= drift_exit <= drift_enter <= 1, \
+                 got drift_enter {} / drift_exit {}",
+                self.drift_enter, self.drift_exit
+            ));
+        }
+        if !(self.stats_half_life.is_finite() && self.stats_half_life > 0.0) {
+            return Err(format!(
+                "stats_half_life must be a finite positive query count, got {}",
+                self.stats_half_life
+            ));
         }
         Ok(())
     }
@@ -155,6 +196,27 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        let c = AdvisorConfig {
+            drift_enter: 0.1,
+            drift_exit: 0.3,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err(), "inverted drift thresholds");
+        let c = AdvisorConfig {
+            drift_enter: 1.5,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err(), "enter above 1");
+        let c = AdvisorConfig {
+            drift_exit: f64::NAN,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err(), "non-finite exit");
+        let c = AdvisorConfig {
+            stats_half_life: 0.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err(), "zero half-life");
     }
 
     #[test]

@@ -48,6 +48,10 @@
 //! chunk_size = auto                   # streaming evaluation chunk
 //! kernel = auto                       # costing backend: scalar | lanes | avx2
 //! range_options = 2, 3, 5             # extra MDHF range sizes (optional)
+//! auto_advise = off                   # resident optimizer: on | off
+//! drift_enter = 0.25                  # drift score entering `Drifting`
+//! drift_exit = 0.10                   # drift score returning to `Stable`
+//! stats_half_life = 1000              # stats window half-life, in queries
 //! ```
 //!
 //! Unknown keys are rejected (typos should fail loudly, not silently
@@ -395,6 +399,23 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigFileError> {
                         options.push(parse_num(item, lineno, "range_options")?);
                     }
                     advisor.range_options = options;
+                }
+                "auto_advise" => {
+                    advisor.auto_advise = match value {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(ConfigFileError::at(
+                                lineno,
+                                format!("auto_advise must be `on` or `off`, got `{other}`"),
+                            ))
+                        }
+                    }
+                }
+                "drift_enter" => advisor.drift_enter = parse_num(value, lineno, "drift_enter")?,
+                "drift_exit" => advisor.drift_exit = parse_num(value, lineno, "drift_exit")?,
+                "stats_half_life" => {
+                    advisor.stats_half_life = parse_num(value, lineno, "stats_half_life")?
                 }
                 other => {
                     return Err(ConfigFileError::at(
@@ -822,6 +843,19 @@ pub fn render_config(parsed: &ParsedConfig) -> String {
         let rendered: Vec<String> = adv.range_options.iter().map(u64::to_string).collect();
         let _ = writeln!(out, "range_options = {}", rendered.join(", "));
     }
+    let defaults = crate::AdvisorConfig::default();
+    if adv.auto_advise {
+        let _ = writeln!(out, "auto_advise = on");
+    }
+    if adv.drift_enter != defaults.drift_enter {
+        let _ = writeln!(out, "drift_enter = {}", adv.drift_enter);
+    }
+    if adv.drift_exit != defaults.drift_exit {
+        let _ = writeln!(out, "drift_exit = {}", adv.drift_exit);
+    }
+    if adv.stats_half_life != defaults.stats_half_life {
+        let _ = writeln!(out, "stats_half_life = {}", adv.stats_half_life);
+    }
     out
 }
 
@@ -980,6 +1014,49 @@ top_n = 5
         let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nkernel = sse9");
         let err = parse_config(&bad).unwrap_err().to_string();
         assert!(err.contains("sse9"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn drift_keys_parse_and_round_trip() {
+        // Defaults (absent keys) stay implicit on render so pre-knob
+        // configs — and fingerprints hashed over them — stay identical.
+        let parsed = parse_config(SAMPLE).unwrap();
+        assert!(!parsed.advisor.auto_advise);
+        let rendered = render_config(&parsed);
+        for key in [
+            "auto_advise",
+            "drift_enter",
+            "drift_exit",
+            "stats_half_life",
+        ] {
+            assert!(!rendered.contains(key), "default {key} leaked into render");
+        }
+
+        let with = SAMPLE.replace(
+            "top_n = 5",
+            "top_n = 5\nauto_advise = on\ndrift_enter = 0.3\ndrift_exit = 0.05\n\
+             stats_half_life = 500",
+        );
+        let parsed = parse_config(&with).unwrap();
+        assert!(parsed.advisor.auto_advise);
+        assert_eq!(parsed.advisor.drift_enter, 0.3);
+        assert_eq!(parsed.advisor.drift_exit, 0.05);
+        assert_eq!(parsed.advisor.stats_half_life, 500.0);
+        let reparsed = parse_config(&render_config(&parsed)).unwrap();
+        assert_eq!(reparsed.advisor, parsed.advisor);
+
+        let off = SAMPLE.replace("top_n = 5", "top_n = 5\nauto_advise = off");
+        assert!(!parse_config(&off).unwrap().advisor.auto_advise);
+
+        let bad = SAMPLE.replace("top_n = 5", "top_n = 5\nauto_advise = maybe");
+        let err = parse_config(&bad).unwrap_err().to_string();
+        assert!(err.contains("maybe"), "unhelpful error: {err}");
+        let bad = SAMPLE.replace("top_n = 5", "top_n = 5\ndrift_enter = 0.05");
+        let err = parse_config(&bad).unwrap_err().to_string();
+        assert!(
+            err.contains("drift"),
+            "inverted thresholds not caught: {err}"
+        );
     }
 
     #[test]

@@ -27,8 +27,8 @@ use std::sync::Arc;
 
 use warlock_bitmap::BitmapScheme;
 use warlock_cost::{
-    evaluate_chunk_kernel, CandidateCost, ChunkBatch, CostModel, CostTables, KernelBackend,
-    PerQueryDetail,
+    combine_class_costs, evaluate_chunk_kernel, evaluate_chunk_rows, CandidateCost, ChunkBatch,
+    ClassCost, CostModel, CostTables, KernelBackend, PerQueryDetail,
 };
 use warlock_fragment::{
     CandidateError, CandidateSource, Exclusion, FragmentLayout, Fragmentation, LayoutScratch,
@@ -156,14 +156,20 @@ fn cost_model<'a>(
 }
 
 /// The fingerprint of every input that determines a candidate's
-/// *pipeline* outcome (exclusion or cost): the cost model's inputs plus
-/// the exclusion thresholds. Salted differently from
-/// [`evaluate_fingerprint`] because a cached pipeline `Cost` also
-/// implies "passed the thresholds", which a bare evaluation does not.
+/// *pipeline* outcome — an exclusion or the unweighted per-class cost
+/// rows — plus the exclusion thresholds. Deliberately built on
+/// [`CostModel::structure_fingerprint`] rather than the weighted
+/// [`CostModel::fingerprint`]: exclusions and per-class rows are both
+/// independent of the mix *weights* (weights enter only at
+/// recombination), so a pure re-weight — the resident optimizer's
+/// auto re-advise — stays warm and re-costs nothing. Salted
+/// differently from [`evaluate_fingerprint`] because a cached pipeline
+/// outcome also implies "passed the thresholds", which a bare
+/// evaluation does not.
 fn run_fingerprint(model: &CostModel<'_>, config: &AdvisorConfig) -> u128 {
     warlock_cost::fingerprint128(&(
         "run",
-        model.fingerprint(),
+        model.structure_fingerprint(),
         format!("{:?}", config.thresholds),
     ))
 }
@@ -213,6 +219,15 @@ struct EvalScratch {
     layout: LayoutScratch,
     batch: ChunkBatch,
     staged: Vec<usize>,
+    class_rows: Vec<Vec<ClassCost>>,
+}
+
+/// One worker-side result: the weighted outcome the merge loop ranks
+/// with, plus (when the run is memoizing) the ready-to-insert
+/// weight-free [`CachedOutcome::Classes`] memo entry for the candidate.
+struct GroupEval {
+    outcome: CachedOutcome,
+    memo: Option<CachedOutcome>,
 }
 
 /// The worker-side pipeline step for one group of candidates: layout →
@@ -231,10 +246,11 @@ fn evaluate_group(
     backend: KernelBackend,
     chunk: &[Fragmentation],
     group: &[usize],
+    gather_classes: bool,
     scratch: &mut EvalScratch,
-) -> Vec<Option<CachedOutcome>> {
-    let mut outcomes: Vec<Option<CachedOutcome>> = Vec::with_capacity(group.len());
-    outcomes.resize(group.len(), None);
+) -> Vec<Option<GroupEval>> {
+    let mut outcomes: Vec<Option<GroupEval>> = Vec::with_capacity(group.len());
+    outcomes.resize_with(group.len(), || None);
     scratch.staged.clear();
     for (slot, &i) in group.iter().enumerate() {
         let layout = FragmentLayout::new_in(
@@ -246,7 +262,10 @@ fn evaluate_group(
         match config.thresholds.check(&layout, ctx) {
             Err(reason) => {
                 let _ = layout.recycle(&mut scratch.layout);
-                outcomes[slot] = Some(CachedOutcome::Excluded(reason));
+                outcomes[slot] = Some(GroupEval {
+                    outcome: CachedOutcome::Excluded(reason),
+                    memo: None,
+                });
             }
             Ok(()) => {
                 scratch.batch.push(layout, &mut scratch.layout);
@@ -256,10 +275,31 @@ fn evaluate_group(
     }
     // Per-query detail is omitted on the hot path: ranking reads only
     // the aggregates, and the final report re-derives detail for the
-    // ranked handful (see `run`).
-    let costs = evaluate_chunk_kernel(tables, &mut scratch.batch, PerQueryDetail::Omit, backend);
-    for (slot, cost) in scratch.staged.drain(..).zip(costs) {
-        outcomes[slot] = Some(CachedOutcome::Cost(Arc::new(cost)));
+    // ranked handful (see `run`). A memoizing run additionally gathers
+    // the unweighted per-class rows: the merge loop still ranks the
+    // kernel-accumulated weighted cost (bit-identical to before), while
+    // the memo stores the rows so a re-weighted run can recombine them
+    // without re-costing.
+    let costs = if gather_classes {
+        evaluate_chunk_rows(
+            tables,
+            &mut scratch.batch,
+            PerQueryDetail::Omit,
+            backend,
+            &mut scratch.class_rows,
+        )
+    } else {
+        evaluate_chunk_kernel(tables, &mut scratch.batch, PerQueryDetail::Omit, backend)
+    };
+    for (pos, (slot, cost)) in scratch.staged.drain(..).zip(costs).enumerate() {
+        let memo = gather_classes.then(|| CachedOutcome::Classes {
+            num_fragments: cost.num_fragments,
+            rows: Arc::new(std::mem::take(&mut scratch.class_rows[pos])),
+        });
+        outcomes[slot] = Some(GroupEval {
+            outcome: CachedOutcome::Cost(Arc::new(cost)),
+            memo,
+        });
     }
     outcomes
 }
@@ -314,6 +354,9 @@ pub(crate) fn run(
         _ => false,
     };
     let workers = exec::effective_parallelism(config.parallelism);
+    // Current mix shares, in mix order — the order the per-class memo
+    // rows are gathered in, so a `Classes` hit recombines positionally.
+    let shares: Vec<f64> = mix.iter().map(|(_, share)| share).collect();
     // Resolve the costing kernel backend once per run (resolution reads
     // the environment); every backend is bit-identical, so the choice
     // never participates in cache fingerprints.
@@ -402,12 +445,22 @@ pub(crate) fn run(
             let groups: Vec<&[usize]> = todo.chunks(group_size).collect();
             let fresh = env.pool.map(workers, &groups, |group| {
                 exec::with_scratch(|scratch: &mut EvalScratch| {
-                    evaluate_group(schema, config, ctx, tables, backend, &chunk, group, scratch)
+                    evaluate_group(
+                        schema,
+                        config,
+                        ctx,
+                        tables,
+                        backend,
+                        &chunk,
+                        group,
+                        fingerprint.is_some(),
+                        scratch,
+                    )
                 })
             });
             for (group, group_outcomes) in groups.iter().zip(fresh) {
-                for (&i, outcome) in group.iter().zip(group_outcomes) {
-                    let outcome = outcome.ok_or_else(|| {
+                for (&i, eval) in group.iter().zip(group_outcomes) {
+                    let GroupEval { outcome, memo } = eval.ok_or_else(|| {
                         WarlockError::internal("group evaluation left no outcome")
                     })?;
                     if fingerprint.is_some() {
@@ -418,7 +471,7 @@ pub(crate) fn run(
                         // else the slot is moved out as the memo key
                         // instead of cloned.
                         let key = match &outcome {
-                            CachedOutcome::Cost(_) => {
+                            CachedOutcome::Cost(_) | CachedOutcome::Classes { .. } => {
                                 std::mem::replace(&mut chunk[i], Fragmentation::none())
                             }
                             CachedOutcome::Excluded(reason) if !excluded.wants_sample(reason) => {
@@ -426,7 +479,10 @@ pub(crate) fn run(
                             }
                             CachedOutcome::Excluded(_) => chunk[i].clone(),
                         };
-                        pending.push((key, outcome.clone()));
+                        // Costed candidates are memoized as their
+                        // weight-free class rows; exclusions memoize
+                        // as themselves.
+                        pending.push((key, memo.unwrap_or_else(|| outcome.clone())));
                     }
                     outcomes[i] = Some(outcome);
                 }
@@ -459,6 +515,20 @@ pub(crate) fn run(
                     evaluated += 1;
                     let remaining = after_chunk + (chunk_len - 1 - i) as u128;
                     rank.push_shared(cost, remaining);
+                }
+                // A memo hit from an earlier run of the same structure:
+                // recombine the unweighted rows under the current
+                // shares. Bit-identical to a fresh evaluation at this
+                // mix (the kernels accumulate exactly
+                // `share * row` per class, in the same order).
+                CachedOutcome::Classes {
+                    num_fragments,
+                    rows,
+                } => {
+                    evaluated += 1;
+                    let cost = combine_class_costs(fragmentation, num_fragments, &rows, &shares);
+                    let remaining = after_chunk + (chunk_len - 1 - i) as u128;
+                    rank.push_shared(Arc::new(cost), remaining);
                 }
             }
         }

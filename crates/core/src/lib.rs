@@ -87,6 +87,7 @@ pub mod config_file;
 mod engine;
 pub mod error;
 pub mod http;
+pub mod optimizer;
 pub mod policy_judge;
 pub mod prelude;
 pub mod ranking;
@@ -106,6 +107,7 @@ pub use cache::EvalCacheStats;
 pub use config::AdvisorConfig;
 pub use error::WarlockError;
 pub use http::ShutdownSignal;
+pub use optimizer::{AdviceEvent, DriftStatus};
 pub use policy_judge::{PolicyRecommendation, PolicyVerdict};
 pub use ranking::{twofold_rank, StreamingRank};
 pub use registry::{Registry, Warehouse, WarehouseStats};
@@ -114,6 +116,7 @@ pub use service::{Service, ServiceReply, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION}
 pub use session::{Snapshot, Warlock, WarlockBuilder};
 pub use tuning::{TuningDelta, TuningSession};
 pub use warlock_cost::{KernelBackend, KernelChoice};
+pub use warlock_workload::{ClassObservation, DriftState};
 
 // Substrate re-exports so downstream users need only one dependency.
 pub use warlock_alloc as alloc;

@@ -871,6 +871,143 @@ impl ToJson for crate::policy_judge::PolicyRecommendation {
     }
 }
 
+/// Serializes one observed-class record ([`crate::ClassObservation`]
+/// is foreign to this crate, so these are free functions rather than
+/// trait impls).
+pub fn observation_to_json(obs: &crate::workload::ClassObservation) -> Json {
+    Json::object([
+        ("class", obs.class.to_json()),
+        ("count", obs.count.to_json()),
+        (
+            "mean_latency_ms",
+            match obs.mean_latency_ms {
+                Some(ms) => ms.to_json(),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// Parses one observed-class record. `mean_latency_ms` is optional on
+/// the wire: absent and null both mean "not measured".
+pub fn observation_from_json(value: &Json) -> Result<crate::workload::ClassObservation, JsonError> {
+    let latency = match value.get("mean_latency_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or_else(|| JsonError::shape("`mean_latency_ms` is not a number"))?,
+        ),
+    };
+    let obs = crate::workload::ClassObservation::new(
+        str_field(value, "class")?,
+        u64_field(value, "count")?,
+    );
+    Ok(match latency {
+        Some(ms) => obs.with_latency_ms(ms),
+        None => obs,
+    })
+}
+
+fn drift_state_str(state: crate::DriftState) -> &'static str {
+    match state {
+        crate::DriftState::Stable => "stable",
+        crate::DriftState::Drifting => "drifting",
+    }
+}
+
+impl ToJson for crate::optimizer::DriftStatus {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("state", drift_state_str(self.state).to_json()),
+            ("score", self.score.to_json()),
+            ("drift_enter", self.drift_enter.to_json()),
+            ("drift_exit", self.drift_exit.to_json()),
+            ("observed_queries", self.observed_queries.to_json()),
+            ("tracked_classes", self.tracked_classes.to_json()),
+            ("auto_advise", self.auto_advise.to_json()),
+            ("events_emitted", self.events_emitted.to_json()),
+        ])
+    }
+}
+
+impl FromJson for crate::optimizer::DriftStatus {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let state = match str_field(value, "state")?.as_str() {
+            "stable" => crate::DriftState::Stable,
+            "drifting" => crate::DriftState::Drifting,
+            other => {
+                return Err(JsonError::shape(format!(
+                    "`state` must be `stable` or `drifting`, got `{other}`"
+                )))
+            }
+        };
+        let auto_advise = value
+            .req("auto_advise")?
+            .as_bool()
+            .ok_or_else(|| JsonError::shape("`auto_advise` is not a boolean"))?;
+        Ok(Self {
+            state,
+            score: f64_field(value, "score")?,
+            drift_enter: f64_field(value, "drift_enter")?,
+            drift_exit: f64_field(value, "drift_exit")?,
+            observed_queries: u64_field(value, "observed_queries")?,
+            tracked_classes: usize_field(value, "tracked_classes")?,
+            auto_advise,
+            events_emitted: u64_field(value, "events_emitted")?,
+        })
+    }
+}
+
+impl ToJson for crate::optimizer::AdviceEvent {
+    fn to_json(&self) -> Json {
+        match self {
+            crate::optimizer::AdviceEvent::RecommendationChanged {
+                seq,
+                old,
+                new,
+                drift_score,
+                observed_queries,
+            } => Json::object([
+                ("event", "recommendation_changed".to_json()),
+                ("seq", seq.to_json()),
+                (
+                    "old",
+                    match old {
+                        Some(label) => label.to_json(),
+                        None => Json::Null,
+                    },
+                ),
+                ("new", new.to_json()),
+                ("drift_score", drift_score.to_json()),
+                ("observed_queries", observed_queries.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for crate::optimizer::AdviceEvent {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match str_field(value, "event")?.as_str() {
+            "recommendation_changed" => Ok(Self::RecommendationChanged {
+                seq: u64_field(value, "seq")?,
+                old: match value.req("old")? {
+                    Json::Null => None,
+                    label => Some(
+                        label
+                            .as_str()
+                            .ok_or_else(|| JsonError::shape("`old` is not a string"))?
+                            .to_owned(),
+                    ),
+                },
+                new: str_field(value, "new")?,
+                drift_score: f64_field(value, "drift_score")?,
+                observed_queries: u64_field(value, "observed_queries")?,
+            }),
+            other => Err(JsonError::shape(format!("unknown advice event `{other}`"))),
+        }
+    }
+}
+
 /// The complete machine-readable advisory: ranking plus the detailed
 /// analysis and allocation plan of the winner. This is what
 /// `warlock <cfg> json` emits.
@@ -1147,6 +1284,71 @@ mod tests {
         assert_eq!(back.enumerated, None);
         // Astronomical spaces survive approximately, never wrap.
         assert!(back.space_size > u128::MAX / 2);
+    }
+
+    #[test]
+    fn drift_wire_types_round_trip_through_json() {
+        use crate::optimizer::{AdviceEvent, DriftStatus};
+        use crate::workload::ClassObservation;
+        use crate::DriftState;
+
+        let obs = ClassObservation::new("q03_quarter_group", 120).with_latency_ms(8.5);
+        let back = observation_from_json(
+            &warlock_json::parse(&observation_to_json(&obs).render()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, obs);
+        // Latency is optional on the wire: both null and absent parse.
+        let bare = ClassObservation::new("q01", 7);
+        let json = observation_to_json(&bare);
+        assert!(json.get("mean_latency_ms").unwrap().is_null());
+        let back = observation_from_json(&warlock_json::parse(&json.render()).unwrap()).unwrap();
+        assert_eq!(back, bare);
+        let absent = warlock_json::parse(r#"{"class":"q01","count":7}"#).unwrap();
+        assert_eq!(observation_from_json(&absent).unwrap(), bare);
+
+        let status = DriftStatus {
+            state: DriftState::Drifting,
+            score: 0.31,
+            drift_enter: 0.25,
+            drift_exit: 0.10,
+            observed_queries: 4200,
+            tracked_classes: 10,
+            auto_advise: true,
+            events_emitted: 2,
+        };
+        let back =
+            DriftStatus::from_json(&warlock_json::parse(&status.to_json().render()).unwrap())
+                .unwrap();
+        assert_eq!(back, status);
+
+        let event = AdviceEvent::RecommendationChanged {
+            seq: 2,
+            old: Some("product.class × time.month".into()),
+            new: "time.month".into(),
+            drift_score: 0.31,
+            observed_queries: 4200,
+        };
+        let back = AdviceEvent::from_json(&warlock_json::parse(&event.to_json().render()).unwrap())
+            .unwrap();
+        assert_eq!(back, event);
+        // A first-ever event has no previous recommendation.
+        let first = AdviceEvent::RecommendationChanged {
+            seq: 1,
+            old: None,
+            new: "time.month".into(),
+            drift_score: 0.4,
+            observed_queries: 100,
+        };
+        let json = first.to_json();
+        assert!(json.get("old").unwrap().is_null());
+        assert_eq!(
+            AdviceEvent::from_json(&warlock_json::parse(&json.render()).unwrap()).unwrap(),
+            first
+        );
+
+        let unknown = warlock_json::parse(r#"{"event":"mix_shifted","seq":1}"#).unwrap();
+        assert!(AdviceEvent::from_json(&unknown).is_err());
     }
 
     #[test]

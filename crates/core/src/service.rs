@@ -54,7 +54,12 @@
 //! `what_if_disks`, `what_if_prefetch`,
 //! `what_if_without_bitmap_dimension`, `what_if_without_class`,
 //! `set_mix`, `set_budget`, `cache_stats`, `ping`, `shutdown`, plus (v2)
-//! `load`, `unload`, `reload`, `list_warehouses`, `recommend_policy`.
+//! `load`, `unload`, `reload`, `list_warehouses`, `recommend_policy`,
+//! and the resident-optimizer ops `observe_stats`
+//! (`params.observations`: array of `{class, count[, mean_latency_ms]}`
+//! — feeds the warehouse's drift detector, may auto re-advise),
+//! `drift_status`, `advice_events` (`params.limit`, 0/absent = all
+//! retained) and `set_auto_advise` (`params.on`).
 //!
 //! `ping` doubles as a per-warehouse health probe: besides `protocol`
 //! and the resolved `warehouse` name it reports the exact `space_size`
@@ -413,6 +418,54 @@ impl Service {
                 "recommend_policy" => {
                     let session = self.registry.resolve(route)?.session();
                     return Ok(session.recommend_policy()?.to_json());
+                }
+                "observe_stats" => {
+                    let observations = params
+                        .get("observations")
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| {
+                            bad("bad_request", "`params.observations` must be an array")
+                        })?;
+                    let batch: Vec<crate::workload::ClassObservation> = observations
+                        .iter()
+                        .map(crate::serial::observation_from_json)
+                        .collect::<Result<_, _>>()
+                        .map_err(WarlockError::Json)?;
+                    // `observe` may adopt the observed mix (auto
+                    // re-advise), so it routes through the write
+                    // session like `set_mix`.
+                    let warehouse = self.registry.resolve(route)?;
+                    let mut session = warehouse.write_session();
+                    return Ok(session.observe(&batch)?.to_json());
+                }
+                "drift_status" => {
+                    let session = self.registry.resolve(route)?.session();
+                    return Ok(session.drift_status().to_json());
+                }
+                "advice_events" => {
+                    let limit = match params.get("limit") {
+                        None => 0,
+                        Some(v) => v.as_usize().ok_or_else(|| {
+                            bad("bad_request", "`params.limit` must be an unsigned integer")
+                        })?,
+                    };
+                    let session = self.registry.resolve(route)?.session();
+                    let events: Vec<Json> = session
+                        .advice_events(limit)
+                        .iter()
+                        .map(ToJson::to_json)
+                        .collect();
+                    return Ok(Json::object([("events", events.to_json())]));
+                }
+                "set_auto_advise" => {
+                    let on = params
+                        .get("on")
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| bad("bad_request", "`params.on` must be a boolean"))?;
+                    let warehouse = self.registry.resolve(route)?;
+                    let mut session = warehouse.write_session();
+                    session.set_auto_advise(on)?;
+                    return Ok(session.drift_status().to_json());
                 }
                 _ => {}
             }
@@ -1059,6 +1112,116 @@ mod tests {
             err_kind(&service, r#"{"op":"set_budget","params":{}}"#),
             "bad_request"
         );
+    }
+
+    #[test]
+    fn drift_ops_over_the_wire() {
+        let service = two_warehouse_service();
+        // A fresh warehouse reports a cold, stable optimizer.
+        let status = ok_result(&service, r#"{"op":"drift_status","warehouse":"us"}"#);
+        assert_eq!(status.get("state").and_then(Json::as_str), Some("stable"));
+        assert_eq!(
+            status.get("observed_queries").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            status.get("auto_advise").and_then(Json::as_bool),
+            Some(false)
+        );
+
+        // Observed traffic lands on the routed warehouse only.
+        let result = ok_result(
+            &service,
+            r#"{"op":"observe_stats","warehouse":"us","params":{"observations":[
+                {"class":"q01_month_store_code","count":40,"mean_latency_ms":12.5},
+                {"class":"q02_month_class","count":60}]}}"#,
+        );
+        assert_eq!(
+            result.get("observed_queries").and_then(Json::as_u64),
+            Some(100)
+        );
+        assert_eq!(
+            result.get("tracked_classes").and_then(Json::as_u64),
+            Some(2)
+        );
+        let eu = ok_result(&service, r#"{"op":"drift_status","warehouse":"eu"}"#);
+        assert_eq!(eu.get("observed_queries").and_then(Json::as_u64), Some(0));
+
+        // No events yet; the log answers an empty array.
+        let events = ok_result(&service, r#"{"op":"advice_events","warehouse":"us"}"#);
+        assert!(events.get("events").unwrap().as_array().unwrap().is_empty());
+
+        // Toggling auto-advise answers the updated status.
+        let status = ok_result(
+            &service,
+            r#"{"op":"set_auto_advise","warehouse":"us","params":{"on":true}}"#,
+        );
+        assert_eq!(
+            status.get("auto_advise").and_then(Json::as_bool),
+            Some(true)
+        );
+
+        // Malformed requests fail loudly.
+        assert_eq!(
+            err_kind(&service, r#"{"op":"observe_stats","params":{}}"#),
+            "bad_request"
+        );
+        assert_eq!(
+            err_kind(
+                &service,
+                r#"{"op":"observe_stats","params":{"observations":[{"class":"q01"}]}}"#
+            ),
+            "json"
+        );
+        assert_eq!(
+            err_kind(&service, r#"{"op":"set_auto_advise","params":{}}"#),
+            "bad_request"
+        );
+        assert_eq!(
+            err_kind(&service, r#"{"op":"advice_events","params":{"limit":-1}}"#),
+            "bad_request"
+        );
+        // The resident optimizer is a v2 feature; v1 clients see
+        // `unknown_op`, exactly as the old server answered.
+        for op in [
+            "observe_stats",
+            "drift_status",
+            "advice_events",
+            "set_auto_advise",
+        ] {
+            assert_eq!(
+                err_kind(&service, &format!(r#"{{"v":1,"op":"{op}"}}"#)),
+                "unknown_op"
+            );
+        }
+    }
+
+    #[test]
+    fn observe_stats_auto_advises_over_the_wire() {
+        let service = two_warehouse_service();
+        let _ = ok_result(
+            &service,
+            r#"{"op":"set_auto_advise","warehouse":"us","params":{"on":true}}"#,
+        );
+        let _ = ok_result(&service, r#"{"op":"rank","warehouse":"us"}"#);
+        // Traffic concentrated on one class drifts far from the
+        // configured mix and must fire exactly one re-advise.
+        let line = r#"{"op":"observe_stats","warehouse":"us","params":{"observations":[
+            {"class":"q04_year_line","count":10000}]}}"#;
+        let status = ok_result(&service, line);
+        assert_eq!(status.get("events_emitted").and_then(Json::as_u64), Some(1));
+        let events = ok_result(&service, r#"{"op":"advice_events","warehouse":"us"}"#);
+        let events = events.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].get("event").and_then(Json::as_str),
+            Some("recommendation_changed")
+        );
+        assert!(events[0].get("old").unwrap().as_str().is_some());
+        assert!(events[0].get("new").unwrap().as_str().is_some());
+        // The sibling warehouse never saw any of it.
+        let eu = ok_result(&service, r#"{"op":"drift_status","warehouse":"eu"}"#);
+        assert_eq!(eu.get("events_emitted").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

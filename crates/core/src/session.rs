@@ -66,8 +66,10 @@ use crate::engine;
 use crate::engine::exec::WorkerPool;
 use crate::engine::EvalEnv;
 use crate::error::WarlockError;
+use crate::optimizer::{AdviceEvent, DriftStatus, OptimizerState};
 use crate::tuning::TuningDelta;
 use warlock_schema::DimensionId;
+use warlock_workload::{mix_divergence, ClassObservation, DriftState, DriftTransition};
 
 /// One immutable, validated set of advisory inputs plus everything
 /// derived from them — the unit [`Warlock`] clones share and
@@ -159,12 +161,15 @@ impl Snapshot {
     }
 }
 
-/// State every clone of one session family shares: the evaluation memo
-/// and the persistent worker pool.
+/// State every clone of one session family shares: the evaluation
+/// memo, the persistent worker pool, and the resident optimizer's
+/// observed-workload state (statistics window, drift detector, advice
+/// events — `None` until the first [`Warlock::observe`]).
 #[derive(Debug, Default)]
 pub(crate) struct Shared {
     pub(crate) cache: EvalCache,
     pub(crate) pool: WorkerPool,
+    pub(crate) optimizer: std::sync::Mutex<Option<OptimizerState>>,
 }
 
 impl Shared {
@@ -774,6 +779,175 @@ impl Warlock {
         )?;
         self.with_delta(varied)
     }
+
+    // ------------------------------------------------------------------
+    // Resident optimizer: workload-stats ingestion, drift detection and
+    // incremental auto re-advising. The observed-workload state (the
+    // statistics window, the hysteresis detector, the advice-event log)
+    // lives in the family-shared state, so every clone sees the same
+    // traffic history; adopting the observed mix is a copy-on-write
+    // snapshot swap on *this* handle only, like every other mutator.
+
+    /// Ingests one batch of live-traffic observations and returns the
+    /// resulting drift status.
+    ///
+    /// The statistics window decays in observed queries (half-life
+    /// [`AdvisorConfig::stats_half_life`]), so the state — and every
+    /// drift score and transition — is a pure function of the ordered
+    /// observation stream, at any batch split. When the drift score
+    /// crosses [`AdvisorConfig::drift_enter`] and
+    /// [`AdvisorConfig::auto_advise`] is on, the session adopts the
+    /// observed mix (configured classes re-weighted by their observed
+    /// traffic) via the copy-on-write [`Warlock::set_mix`] path,
+    /// re-ranks — warm through the shared evaluation memo, which keys
+    /// costed candidates by a weight-free structure fingerprint, so
+    /// only the recombination is recomputed — and emits an
+    /// [`AdviceEvent::RecommendationChanged`] into the bounded event
+    /// log ([`Warlock::advice_events`]).
+    ///
+    /// # Errors
+    ///
+    /// An auto re-advise surfaces its failures instead of silently
+    /// keeping the stale ranking: notably the typed
+    /// `WorkloadError::EmptyMix` (as [`WarlockError::Workload`]) when
+    /// none of the *configured* classes has observed weight — drifted
+    /// traffic consisting only of unknown classes cannot be costed.
+    pub fn observe(&mut self, batch: &[ClassObservation]) -> Result<DriftStatus, WarlockError> {
+        let shared = Arc::clone(&self.shared);
+        let mut guard = shared.optimizer.lock().expect("optimizer state poisoned");
+        let snapshot = Arc::clone(&self.snapshot);
+        let state = guard.get_or_insert_with(|| OptimizerState::new(&snapshot.config));
+        state.window.ingest(batch);
+        let score = mix_divergence(&snapshot.mix, &state.window);
+        let transition = state.detector.update(score);
+        if transition == Some(DriftTransition::Entered) && snapshot.config.auto_advise {
+            let observed = observed_mix(&snapshot.mix, &state.window)?;
+            // Peek the old recommendation — never force-rank a mix the
+            // session is about to abandon.
+            let old = self
+                .ranking()
+                .and_then(|r| r.top())
+                .map(|t| t.label.clone());
+            self.set_mix(observed)?;
+            let new = self
+                .rank()?
+                .top()
+                .map(|t| t.label.clone())
+                .ok_or_else(|| WarlockError::internal("re-advise produced an empty ranking"))?;
+            state.seq += 1;
+            state.push_event(AdviceEvent::RecommendationChanged {
+                seq: state.seq,
+                old,
+                new,
+                drift_score: score,
+                observed_queries: state.window.observed_queries(),
+            });
+            // Re-score against the adopted mix: with the observed
+            // traffic now configured, the detector falls back toward
+            // `Stable` on its own hysteresis.
+            let rescore = mix_divergence(&self.snapshot.mix, &state.window);
+            let _ = state.detector.update(rescore);
+        }
+        let s = &*self.snapshot;
+        Ok(DriftStatus {
+            state: state.detector.state(),
+            score: mix_divergence(&s.mix, &state.window),
+            drift_enter: state.detector.thresholds().0,
+            drift_exit: state.detector.thresholds().1,
+            observed_queries: state.window.observed_queries(),
+            tracked_classes: state.window.len(),
+            auto_advise: s.config.auto_advise,
+            events_emitted: state.seq,
+        })
+    }
+
+    /// The current drift status, without ingesting anything or moving
+    /// the detector. Before the first [`Warlock::observe`] the score is
+    /// `0.0` and the thresholds are read from the configuration.
+    pub fn drift_status(&self) -> DriftStatus {
+        let guard = self
+            .shared
+            .optimizer
+            .lock()
+            .expect("optimizer state poisoned");
+        let s = &*self.snapshot;
+        match &*guard {
+            None => DriftStatus {
+                state: DriftState::Stable,
+                score: 0.0,
+                drift_enter: s.config.drift_enter,
+                drift_exit: s.config.drift_exit,
+                observed_queries: 0,
+                tracked_classes: 0,
+                auto_advise: s.config.auto_advise,
+                events_emitted: 0,
+            },
+            Some(state) => DriftStatus {
+                state: state.detector.state(),
+                score: mix_divergence(&s.mix, &state.window),
+                drift_enter: state.detector.thresholds().0,
+                drift_exit: state.detector.thresholds().1,
+                observed_queries: state.window.observed_queries(),
+                tracked_classes: state.window.len(),
+                auto_advise: s.config.auto_advise,
+                events_emitted: state.seq,
+            },
+        }
+    }
+
+    /// The retained advice events in emission order (oldest first). At
+    /// most the newest `limit` events are returned (`0` = all
+    /// retained); the log itself keeps a bounded tail, and each event's
+    /// `seq` stays monotonic across truncation.
+    pub fn advice_events(&self, limit: usize) -> Vec<AdviceEvent> {
+        let guard = self
+            .shared
+            .optimizer
+            .lock()
+            .expect("optimizer state poisoned");
+        match &*guard {
+            None => Vec::new(),
+            Some(state) => {
+                let skip = if limit == 0 {
+                    0
+                } else {
+                    state.events.len().saturating_sub(limit)
+                };
+                state.events.iter().skip(skip).cloned().collect()
+            }
+        }
+    }
+
+    /// Turns auto re-advising on or off for this handle (a
+    /// copy-on-write configuration swap; the observed-traffic history
+    /// is shared and survives).
+    pub fn set_auto_advise(&mut self, on: bool) -> Result<(), WarlockError> {
+        if self.snapshot.config.auto_advise == on {
+            return Ok(());
+        }
+        let mut config = self.snapshot.config.clone();
+        config.auto_advise = on;
+        self.set_config(config)
+    }
+}
+
+/// The mix an auto re-advise adopts: the configured classes, in
+/// configured order, re-weighted by their decayed observed weights.
+/// Observed classes the configuration does not define are ignored —
+/// there are no predicates to cost them with (they still push the
+/// drift score up). Configured classes the traffic no longer exercises
+/// drop out of the mix (zero weights are structural). Fails with the
+/// typed `EmptyMix` workload error when no configured class has any
+/// observed weight.
+fn observed_mix(
+    configured: &QueryMix,
+    window: &warlock_workload::StatsWindow,
+) -> Result<QueryMix, WarlockError> {
+    let mut builder = QueryMix::builder();
+    for (class, _) in configured.iter() {
+        builder = builder.class(class.clone(), window.weight_of(class.name()));
+    }
+    Ok(builder.build()?)
 }
 
 #[cfg(test)]
@@ -1199,6 +1373,222 @@ mod tests {
         assert!(Arc::ptr_eq(&snapshot, &s.snapshot()));
         assert_eq!(s.system().num_disks, 16);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A session with the resident optimizer armed: permissive budget,
+    /// auto re-advising on, default hysteresis (enter 0.25 / exit 0.10).
+    fn resident_session() -> Warlock {
+        Warlock::builder()
+            .schema(apb1_like_schema(Apb1Config::default()).unwrap())
+            .system(SystemConfig::default_2001(16))
+            .mix(apb1_like_mix().unwrap())
+            .config(AdvisorConfig {
+                auto_advise: true,
+                ..Default::default()
+            })
+            .build()
+            .unwrap()
+    }
+
+    /// One observation batch distributed like the configured mix
+    /// (1000 queries).
+    fn matching_batch(s: &Warlock) -> Vec<ClassObservation> {
+        s.mix()
+            .iter()
+            .map(|(c, share)| ClassObservation::new(c.name(), (share * 1000.0).round() as u64))
+            .collect()
+    }
+
+    /// A drifted 1000-query batch: `boost` takes 55 % of the traffic,
+    /// the rest keep their configured proportions. L1 distance to the
+    /// configured mix ≈ 0.4 — past the default enter threshold, but
+    /// close enough that the *adopted* blend stays within hysteresis of
+    /// the target (the detector must fire exactly once).
+    fn drifted_batch(s: &Warlock, boost: &str) -> Vec<ClassObservation> {
+        let boosted = s.mix().class_by_name(boost).expect("boost class").share;
+        s.mix()
+            .iter()
+            .map(|(c, share)| {
+                let target = if c.name() == boost {
+                    0.55
+                } else {
+                    share * (0.45 / (1.0 - boosted))
+                };
+                ClassObservation::new(c.name(), (target * 1000.0).round() as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn observe_without_auto_advise_only_tracks() {
+        let mut s = session();
+        assert!(!s.config().auto_advise);
+        let baseline_mix = s.mix().clone();
+        let matching = matching_batch(&s);
+        let status = s.observe(&matching).unwrap();
+        assert_eq!(status.state, DriftState::Stable);
+        // Not exactly zero: within one batch each observation decays
+        // the classes before it, so even matching traffic carries a
+        // small ordering skew — well inside the hysteresis band.
+        assert!(
+            status.score < 0.15,
+            "matching traffic scored {}",
+            status.score
+        );
+        assert_eq!(status.observed_queries, 1000);
+        // Hammer one class until the detector trips: drift is reported
+        // but nothing is adopted and no event fires.
+        let mut entered = false;
+        for _ in 0..20 {
+            let st = s
+                .observe(&[ClassObservation::new("q02_month_class", 500)])
+                .unwrap();
+            assert_eq!(st.events_emitted, 0);
+            entered |= st.state == DriftState::Drifting;
+        }
+        assert!(entered, "pure single-class traffic must trip the detector");
+        assert_eq!(s.mix(), &baseline_mix, "tracking mode must not adopt");
+        assert!(s.advice_events(0).is_empty());
+    }
+
+    #[test]
+    fn auto_advise_fires_exactly_once_and_rescores_against_the_adopted_mix() {
+        let mut s = resident_session();
+        s.rank().unwrap();
+        let baseline_mix = s.mix().clone();
+        let matching = matching_batch(&s);
+        s.observe(&matching).unwrap();
+        let drifted = drifted_batch(&s, "q02_month_class");
+        let mut last = None;
+        for _ in 0..30 {
+            last = Some(s.observe(&drifted).unwrap());
+        }
+        let status = last.unwrap();
+        assert_eq!(status.events_emitted, 1, "exactly one re-advise");
+        assert_eq!(
+            status.state,
+            DriftState::Stable,
+            "after adoption the observed traffic matches the configured mix"
+        );
+        assert!(status.score < 0.25, "post-adoption score {}", status.score);
+        assert_ne!(s.mix(), &baseline_mix, "the observed mix was adopted");
+        assert!(
+            s.mix().class_by_name("q02_month_class").unwrap().share > 0.3,
+            "the boosted class dominates the adopted mix"
+        );
+        let events = s.advice_events(0);
+        assert_eq!(events.len(), 1);
+        let AdviceEvent::RecommendationChanged {
+            seq,
+            old,
+            new,
+            drift_score,
+            ..
+        } = &events[0];
+        assert_eq!(*seq, 1);
+        assert!(old.is_some(), "baseline was ranked before the drift");
+        assert!(!new.is_empty());
+        assert!(*drift_score > 0.25, "trigger score {drift_score}");
+        // `advice_events` honors its limit.
+        assert_eq!(s.advice_events(1).len(), 1);
+        assert!(s.advice_events(0).len() <= crate::optimizer::MAX_ADVICE_EVENTS);
+    }
+
+    #[test]
+    fn auto_readvise_is_warm_and_bit_identical_to_a_cold_run() {
+        let mut s = resident_session();
+        s.rank().unwrap();
+        let cold_stats = s.cache_stats();
+        assert!(cold_stats.misses > 0);
+        let matching = matching_batch(&s);
+        s.observe(&matching).unwrap();
+        let drifted = drifted_batch(&s, "q02_month_class");
+        for _ in 0..10 {
+            s.observe(&drifted).unwrap();
+        }
+        assert_eq!(s.drift_status().events_emitted, 1);
+        let warm_stats = s.cache_stats();
+        assert_eq!(
+            warm_stats.misses, cold_stats.misses,
+            "the re-advise re-rank must not re-cost a single candidate"
+        );
+        assert!(
+            warm_stats.hits > cold_stats.hits,
+            "the re-advise re-rank must be served from the memo"
+        );
+        // The warm, recombined ranking is bit-identical to a cold
+        // session built directly at the adopted mix.
+        let cold = Warlock::builder()
+            .schema(s.schema().clone())
+            .system(*s.system())
+            .mix(s.mix().clone())
+            .config(s.config().clone())
+            .build()
+            .unwrap();
+        assert_eq!(cold.rank().unwrap(), s.rank().unwrap());
+    }
+
+    #[test]
+    fn drift_to_unknown_classes_surfaces_a_typed_workload_error() {
+        let mut s = resident_session();
+        // All traffic on a class the configuration cannot cost: the
+        // detector trips immediately (score 1.0) and the re-advise
+        // fails with the typed workload error instead of silently
+        // keeping the stale ranking.
+        let err = s
+            .observe(&[ClassObservation::new("mystery_scan", 1000)])
+            .unwrap_err();
+        assert_eq!(err.kind(), "workload");
+        // The window kept the traffic; the detector stays drifting and
+        // later observations report it without re-erroring (no new
+        // enter edge).
+        let status = s
+            .observe(&[ClassObservation::new("mystery_scan", 100)])
+            .unwrap();
+        assert_eq!(status.state, DriftState::Drifting);
+        assert_eq!(status.events_emitted, 0);
+    }
+
+    #[test]
+    fn drift_status_peeks_without_mutating() {
+        let mut s = session();
+        let idle = s.drift_status();
+        assert_eq!(idle.state, DriftState::Stable);
+        assert_eq!(idle.score, 0.0);
+        assert_eq!(idle.observed_queries, 0);
+        assert_eq!(idle.drift_enter, s.config().drift_enter);
+        assert_eq!(idle.drift_exit, s.config().drift_exit);
+        s.observe(&[ClassObservation::new("q02_month_class", 10)])
+            .unwrap();
+        let a = s.drift_status();
+        let b = s.drift_status();
+        assert_eq!(a, b, "peeking twice must not move anything");
+        assert_eq!(a.observed_queries, 10);
+        assert_eq!(a.tracked_classes, 1);
+    }
+
+    #[test]
+    fn set_auto_advise_flips_the_mode_and_keeps_traffic_history() {
+        let mut s = session();
+        s.observe(&[ClassObservation::new("q02_month_class", 42)])
+            .unwrap();
+        s.set_auto_advise(true).unwrap();
+        assert!(s.config().auto_advise);
+        let status = s.drift_status();
+        assert!(status.auto_advise);
+        assert_eq!(status.observed_queries, 42, "history survives the flip");
+        s.set_auto_advise(true).unwrap(); // idempotent
+        s.set_auto_advise(false).unwrap();
+        assert!(!s.config().auto_advise);
+    }
+
+    #[test]
+    fn clones_share_the_observed_traffic() {
+        let mut s1 = session();
+        let s2 = s1.clone();
+        s1.observe(&[ClassObservation::new("q02_month_class", 7)])
+            .unwrap();
+        assert_eq!(s2.drift_status().observed_queries, 7);
     }
 
     #[test]

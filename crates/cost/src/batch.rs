@@ -48,7 +48,7 @@ use crate::access::{AccessPath, QueryCost};
 use crate::kernel::{
     AlignedF64Col, CostKernel, CostPassInput, CostPassOutput, KernelBackend, KernelChoice, LANES,
 };
-use crate::model::CandidateCost;
+use crate::model::{CandidateCost, ClassCost};
 use crate::prefetch::effective_prefetch;
 use crate::tables::{BitmapContrib, CostTables};
 
@@ -271,7 +271,39 @@ pub fn evaluate_chunk_kernel(
     detail: PerQueryDetail,
     backend: KernelBackend,
 ) -> Vec<CandidateCost> {
+    evaluate_chunk_impl(tables, batch, detail, backend, None)
+}
+
+/// [`evaluate_chunk_kernel`], additionally gathering the **unweighted**
+/// per-class cost rows of every candidate into `class_rows` (cleared
+/// first; one `Vec<ClassCost>` per candidate, classes in mix order).
+/// The rows are copied straight out of the kernel's per-class output
+/// columns, so
+/// [`combine_class_costs`](crate::model::combine_class_costs) over them
+/// reproduces the weighted aggregates bit-for-bit under *any* share
+/// vector — the basis of the advisor's re-weight-warm evaluation cache.
+pub fn evaluate_chunk_rows(
+    tables: &CostTables,
+    batch: &mut ChunkBatch,
+    detail: PerQueryDetail,
+    backend: KernelBackend,
+    class_rows: &mut Vec<Vec<ClassCost>>,
+) -> Vec<CandidateCost> {
+    evaluate_chunk_impl(tables, batch, detail, backend, Some(class_rows))
+}
+
+fn evaluate_chunk_impl(
+    tables: &CostTables,
+    batch: &mut ChunkBatch,
+    detail: PerQueryDetail,
+    backend: KernelBackend,
+    mut class_rows: Option<&mut Vec<Vec<ClassCost>>>,
+) -> Vec<CandidateCost> {
     let n = batch.fragmentations.len();
+    if let Some(rows) = class_rows.as_deref_mut() {
+        rows.clear();
+        rows.resize_with(n, || Vec::with_capacity(tables.classes.len()));
+    }
     if n == 0 {
         batch.clear();
         return Vec::new();
@@ -533,6 +565,21 @@ pub fn evaluate_chunk_kernel(
             acc_pages: &mut batch.acc_pages,
         };
         kernel.cost_pass(&inp, &mut out);
+
+        // Gather the unweighted per-class rows before the next class
+        // overwrites the output columns. `pages` performs the same
+        // `fact + bitmap` add the kernels feed their accumulators, so
+        // recombination reproduces `acc_pages` bit-for-bit.
+        if let Some(rows) = class_rows.as_deref_mut() {
+            for (i, row) in rows.iter_mut().enumerate() {
+                row.push(ClassCost {
+                    busy_ms: batch.out_busy_ms[i],
+                    response_ms: batch.out_response_ms[i],
+                    total_ios: batch.out_total_ios[i],
+                    pages: batch.out_fact_pages[i] + batch.out_bitmap_pages[i],
+                });
+            }
+        }
 
         if detail == PerQueryDetail::Omit {
             continue;
@@ -796,6 +843,106 @@ mod tests {
         for (b, frag) in full.iter().zip(candidates()) {
             assert_eq!(b, &model.evaluate(&frag));
         }
+    }
+
+    #[test]
+    fn gathered_class_rows_recombine_bit_identically_under_any_weights() {
+        use crate::model::combine_class_costs;
+        use warlock_workload::QueryMix;
+
+        let f = fixture();
+        let model = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        let tables = CostTables::build(&model, &[3]);
+        // Re-weight the same classes: structure identical, shares not.
+        let mut builder = QueryMix::builder();
+        for (i, w) in f.mix.classes().iter().enumerate() {
+            builder = builder.class(w.class.clone(), 1.0 + (i as f64) * 2.5);
+        }
+        let reweighted = builder.build().unwrap();
+        assert_eq!(
+            model.structure_fingerprint(),
+            CostModel::new(&f.schema, &f.system, &f.scheme, &reweighted).structure_fingerprint(),
+            "a pure re-weight must keep the structure fingerprint"
+        );
+        assert_ne!(
+            model.fingerprint(),
+            CostModel::new(&f.schema, &f.system, &f.scheme, &reweighted).fingerprint()
+        );
+
+        for backend in [
+            KernelBackend::Scalar,
+            KernelBackend::Lanes,
+            KernelBackend::detect(),
+        ] {
+            let mut scratch = LayoutScratch::new();
+            let mut batch = ChunkBatch::new();
+            for frag in candidates() {
+                let layout =
+                    FragmentLayout::new_in(&mut scratch, &f.schema, frag, model.fact_index());
+                batch.push(layout, &mut scratch);
+            }
+            let mut rows = Vec::new();
+            let costs = evaluate_chunk_rows(
+                &tables,
+                &mut batch,
+                PerQueryDetail::Omit,
+                backend,
+                &mut rows,
+            );
+            assert_eq!(rows.len(), costs.len());
+            for (mix, model_at) in [
+                (&f.mix, &model),
+                (
+                    &reweighted,
+                    &CostModel::new(&f.schema, &f.system, &f.scheme, &reweighted),
+                ),
+            ] {
+                let shares: Vec<f64> = mix.iter().map(|(_, s)| s).collect();
+                for (c, row) in costs.iter().zip(&rows) {
+                    assert_eq!(row.len(), mix.len());
+                    let combined =
+                        combine_class_costs(c.fragmentation.clone(), c.num_fragments, row, &shares);
+                    let fresh = model_at.evaluate(&c.fragmentation);
+                    assert_eq!(
+                        combined.io_cost_ms.to_bits(),
+                        fresh.io_cost_ms.to_bits(),
+                        "backend {}",
+                        backend.name()
+                    );
+                    assert_eq!(combined.response_ms.to_bits(), fresh.response_ms.to_bits());
+                    assert_eq!(combined.total_ios.to_bits(), fresh.total_ios.to_bits());
+                    assert_eq!(combined.total_pages.to_bits(), fresh.total_pages.to_bits());
+                    assert_eq!(combined.num_fragments, fresh.num_fragments);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structure_fingerprint_tracks_structural_changes_only() {
+        let f = fixture();
+        let base = CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix);
+        // Dropping a class is structural.
+        let smaller = f
+            .mix
+            .without_class(f.mix.classes()[0].class.name())
+            .unwrap();
+        assert_ne!(
+            base.structure_fingerprint(),
+            CostModel::new(&f.schema, &f.system, &f.scheme, &smaller).structure_fingerprint()
+        );
+        // So is a system change.
+        let mut other_system = f.system;
+        other_system.num_disks += 1;
+        assert_ne!(
+            base.structure_fingerprint(),
+            CostModel::new(&f.schema, &other_system, &f.scheme, &f.mix).structure_fingerprint()
+        );
+        // And it is deterministic.
+        assert_eq!(
+            base.structure_fingerprint(),
+            CostModel::new(&f.schema, &f.system, &f.scheme, &f.mix).structure_fingerprint()
+        );
     }
 
     #[test]

@@ -67,14 +67,15 @@ pub mod yao;
 
 pub use access::{AccessPath, QueryCost};
 pub use batch::{
-    evaluate_chunk, evaluate_chunk_kernel, evaluate_chunk_with, ChunkBatch, PerQueryDetail,
+    evaluate_chunk, evaluate_chunk_kernel, evaluate_chunk_rows, evaluate_chunk_with, ChunkBatch,
+    PerQueryDetail,
 };
 pub use contention::{contention_estimate, load_curve, ContentionEstimate, LoadPoint};
 pub use kernel::{
     AlignedF64Col, CostKernel, CostPassInput, CostPassOutput, KernelBackend, KernelChoice,
     KERNEL_ENV, LANES,
 };
-pub use model::{fingerprint128, CandidateCost, CostModel};
+pub use model::{combine_class_costs, fingerprint128, CandidateCost, ClassCost, CostModel};
 pub use prefetch::effective_prefetch;
 pub use response::estimated_response_ms;
 pub use tables::{BitmapContrib, ClassTable, CostTables, FragDimEntry, PredTable};

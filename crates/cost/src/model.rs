@@ -28,6 +28,63 @@ pub struct CandidateCost {
     pub per_query: Vec<QueryCost>,
 }
 
+/// Unweighted cost of one (candidate, query class) pair — the per-class
+/// quantities of [`CandidateCost`] *before* the mix share is applied.
+///
+/// Per-class costs never see the class's workload share (the share
+/// enters only the weighted accumulation), so these rows are invariant
+/// under pure mix re-weights. The advisor's evaluation cache stores
+/// them keyed by [`CostModel::structure_fingerprint`] and recombines
+/// them under the current shares with [`combine_class_costs`] —
+/// bit-identical to a cold evaluation at the new mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassCost {
+    /// Device busy time of the class, in milliseconds.
+    pub busy_ms: f64,
+    /// Response time of the class, in milliseconds.
+    pub response_ms: f64,
+    /// Physical I/Os of the class.
+    pub total_ios: f64,
+    /// Pages read by the class (`fact_pages + bitmap_pages`, summed in
+    /// the kernel's order).
+    pub pages: f64,
+}
+
+/// Recombines per-class unweighted rows under `shares` into the
+/// aggregate [`CandidateCost`] fields, using the exact accumulation
+/// sequence of every costing backend (`acc += share * value`, one term
+/// per class in mix order, from `0.0`) — so the result is bit-identical
+/// to evaluating the candidate fresh under a mix with those shares.
+/// `per_query` detail is not reconstructible from the rows and is left
+/// empty (the ranking pipeline re-derives it for the ranked handful).
+pub fn combine_class_costs(
+    fragmentation: Fragmentation,
+    num_fragments: u64,
+    classes: &[ClassCost],
+    shares: &[f64],
+) -> CandidateCost {
+    debug_assert_eq!(classes.len(), shares.len());
+    let mut io_cost_ms = 0.0;
+    let mut response_ms = 0.0;
+    let mut total_ios = 0.0;
+    let mut total_pages = 0.0;
+    for (row, &share) in classes.iter().zip(shares) {
+        io_cost_ms += share * row.busy_ms;
+        response_ms += share * row.response_ms;
+        total_ios += share * row.total_ios;
+        total_pages += share * row.pages;
+    }
+    CandidateCost {
+        fragmentation,
+        num_fragments,
+        io_cost_ms,
+        response_ms,
+        total_ios,
+        total_pages,
+        per_query: Vec::new(),
+    }
+}
+
 /// The WARLOCK cost model: a schema, a system, a bitmap scheme and a
 /// weighted query mix, evaluating fragmentation candidates.
 #[derive(Debug, Clone)]
@@ -87,6 +144,32 @@ impl<'a> CostModel<'a> {
             "{:?}|{:?}|{:?}|{:?}|{}",
             self.schema, self.system, self.scheme, self.mix, self.fact_index
         ))
+    }
+
+    /// Like [`CostModel::fingerprint`], but **excluding the mix
+    /// weights**: it hashes the schema, system, scheme, fact index and
+    /// the mix's classes in mix order, with every share dropped.
+    ///
+    /// Two models with equal structure fingerprints produce
+    /// bit-identical *per-class* costs ([`ClassCost`]) for the same
+    /// candidate — the share never reaches the per-class estimator, it
+    /// only weights the final accumulation. The advisor's pipeline
+    /// cache keys on this so a pure re-weight (the drift detector's
+    /// normal case) stays warm, while any structural change — a class
+    /// added, dropped, or its predicates edited, a scheme or system
+    /// change — miss-keys correctly. Note a re-weight that zeroes out a
+    /// class *is* structural: mix construction drops zero-weight
+    /// classes, changing the class list.
+    pub fn structure_fingerprint(&self) -> u128 {
+        use std::fmt::Write;
+        let mut input = format!(
+            "{:?}|{:?}|{:?}|{}|",
+            self.schema, self.system, self.scheme, self.fact_index
+        );
+        for (class, _) in self.mix.iter() {
+            let _ = write!(input, "{class:?};");
+        }
+        crate::fingerprint128(&input)
     }
 
     /// The schema the model evaluates against.

@@ -6,7 +6,7 @@ use warlock_alloc::AllocationPolicy;
 use warlock_schema::{Dimension, FactTable, StarSchema};
 use warlock_skew::DimensionSkew;
 use warlock_storage::{Architecture, DiskParams, PageConfig, PrefetchPolicy, SystemConfig};
-use warlock_workload::{DimensionPredicate, QueryClass, QueryMix};
+use warlock_workload::{ClassObservation, DimensionPredicate, QueryClass, QueryMix};
 
 use crate::rng::Rng;
 use crate::space::{MixShape, ScenarioClass, ScenarioSpace, SkewProfile};
@@ -25,7 +25,26 @@ pub struct Scenario {
     /// The fully assembled advisory inputs — the same struct the
     /// config-file front end produces.
     pub parsed: ParsedConfig,
+    /// Seed of the drift-trajectory sub-stream; `Some` only for
+    /// `Drifting`-mix scenarios.
+    drift_seed: Option<u64>,
 }
+
+/// Batches per drift trajectory.
+const DRIFT_BATCHES: usize = 12;
+
+/// Batches over which the blend ramps from the configured mix to the
+/// drifted target; the remaining batches hold at the target so the
+/// decayed statistics window converges onto it.
+const DRIFT_RAMP: usize = 8;
+
+/// Total-variation distance between the configured shares and the
+/// trajectory's target mix. Comfortably above the default drift-enter
+/// threshold (0.25), and low enough that the residual drift left after
+/// an auto re-advise adopts the observed mix mid-ramp (at most
+/// `DRIFT_SCORE_DEPTH - drift_enter`) stays below that threshold — the
+/// structural guarantee behind "one trajectory, exactly one re-advise".
+const DRIFT_SCORE_DEPTH: f64 = 0.38;
 
 impl Scenario {
     /// Stable human-readable label, e.g. `s007-deep/hot_spot/drifting`.
@@ -43,6 +62,84 @@ impl Scenario {
     /// Materializes the scenario into an owned advisory session.
     pub fn session(&self) -> Result<Warlock, WarlockError> {
         Warlock::from_parsed(self.parsed.clone())
+    }
+
+    /// The seeded drift trajectory of a `Drifting`-mix scenario: a
+    /// sequence of observation batches whose traffic starts at the
+    /// configured (head-heavy) mix and drifts toward its inversion —
+    /// the lingering tail classes take over — ramping over the first
+    /// [`DRIFT_RAMP`] batches and then holding, so replaying the
+    /// batches through [`Warlock::observe`] crosses the default
+    /// drift-enter threshold before the final batch. A pure function
+    /// of `(fleet seed, id)`: the same fleet always replays
+    /// byte-identical traffic. Non-`Drifting` scenarios have no
+    /// trajectory (empty).
+    ///
+    /// The drift *depth* is normalized: the target sits exactly
+    /// [`DRIFT_SCORE_DEPTH`] total-variation away from the configured
+    /// shares regardless of class count. Deep enough to cross the
+    /// default enter threshold with margin — and shallow enough that
+    /// once an auto re-advise adopts the observed mix mid-ramp, the
+    /// remaining approach to the target cannot cross it again: one
+    /// trajectory fires exactly one re-advise.
+    ///
+    /// Every class keeps at least one observation per batch, so the
+    /// observed class set — and with it the structure fingerprint the
+    /// evaluation cache keys unweighted cost rows on — stays stable
+    /// across re-advises.
+    pub fn drift_trajectory(&self) -> Vec<Vec<ClassObservation>> {
+        let Some(seed) = self.drift_seed else {
+            return Vec::new();
+        };
+        let mut rng = Rng::new(seed);
+        let configured: Vec<(String, f64)> = self
+            .parsed
+            .mix
+            .classes()
+            .iter()
+            .map(|w| (w.class.name().to_owned(), w.share))
+            .collect();
+        // The drifted target points at the inverted head-heavy shape
+        // (the faded tail classes become the new head), scaled back so
+        // its total-variation distance is exactly DRIFT_SCORE_DEPTH.
+        let inverted: Vec<f64> = configured.iter().rev().map(|(_, s)| *s).collect();
+        let full: f64 = 0.5
+            * configured
+                .iter()
+                .zip(&inverted)
+                .map(|((_, share), inv)| (share - inv).abs())
+                .sum::<f64>();
+        let depth = if full > 0.0 {
+            (DRIFT_SCORE_DEPTH / full).min(1.0)
+        } else {
+            0.0
+        };
+        let target: Vec<f64> = configured
+            .iter()
+            .zip(&inverted)
+            .map(|((_, share), inv)| share + depth * (inv - share))
+            .collect();
+        (0..DRIFT_BATCHES)
+            .map(|step| {
+                let t = ((step + 1) as f64 / DRIFT_RAMP as f64).min(1.0);
+                let total = rng.range(400, 600) as f64;
+                configured
+                    .iter()
+                    .zip(&target)
+                    .map(|((name, share), target_share)| {
+                        let blended = (1.0 - t) * share + t * target_share;
+                        let jitter = rng.f64_range(0.95, 1.05);
+                        let count = (blended * jitter * total).round().max(1.0) as u64;
+                        let obs = ClassObservation::new(name.clone(), count);
+                        if rng.chance(0.5) {
+                            obs.with_latency_ms(rng.f64_range(1.0, 20.0))
+                        } else {
+                            obs
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
     }
 }
 
@@ -94,6 +191,12 @@ impl ScenarioGenerator {
         let mix = gen_mix(&mut rng.fork(3), class.mix, &schema, &self.space);
         let system = gen_system(&mut rng.fork(4), &self.space);
         let advisor = gen_advisor(&mut rng.fork(5), &self.space, skews);
+        // Drawn last, and only for drifting mixes: nothing reads the
+        // parent stream afterwards, so configs generated before the
+        // trajectory existed stay byte-identical.
+        let drift_seed = (class.mix == MixShape::Drifting)
+            .then(|| rng.fork(6))
+            .map(|mut r| r.next_u64());
 
         Scenario {
             id,
@@ -105,6 +208,7 @@ impl ScenarioGenerator {
                 system,
                 advisor,
             },
+            drift_seed,
         }
     }
 }
@@ -404,6 +508,77 @@ mod tests {
             .map(Scenario::config_string)
             .collect();
         assert_eq!(a, b);
+    }
+
+    /// FNV-1a over the canonical debug rendering — a compact pin for
+    /// byte-identity regressions.
+    fn fnv1a(text: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    #[test]
+    fn drift_trajectories_are_pinned_for_a_fixed_seed() {
+        let fleet = generate_fleet(42, 36, &ScenarioSpace::default());
+        // Only drifting-mix scenarios carry traffic.
+        for s in &fleet {
+            let trajectory = s.drift_trajectory();
+            if s.class.mix == MixShape::Drifting {
+                assert_eq!(trajectory.len(), DRIFT_BATCHES, "{}", s.label());
+                for batch in &trajectory {
+                    assert_eq!(batch.len(), s.parsed.mix.len(), "{}", s.label());
+                    assert!(batch.iter().all(|o| o.count >= 1), "{}", s.label());
+                }
+            } else {
+                assert!(trajectory.is_empty(), "{}", s.label());
+            }
+        }
+        // Same fleet ⇒ byte-identical traffic, pinned: regenerating
+        // must reproduce these exact observations forever — the fleet
+        // harness's replay metrics depend on it.
+        let rendered: String = fleet
+            .iter()
+            .filter(|s| s.class.mix == MixShape::Drifting)
+            .map(|s| format!("{}: {:?}\n", s.label(), s.drift_trajectory()))
+            .collect();
+        let again: String = generate_fleet(42, 36, &ScenarioSpace::default())
+            .iter()
+            .filter(|s| s.class.mix == MixShape::Drifting)
+            .map(|s| format!("{}: {:?}\n", s.label(), s.drift_trajectory()))
+            .collect();
+        assert_eq!(rendered, again);
+        assert_eq!(
+            fnv1a(&rendered),
+            11_903_387_315_265_414_035,
+            "pinned trajectory bytes changed"
+        );
+    }
+
+    #[test]
+    fn drift_trajectories_cross_the_default_enter_threshold() {
+        use warlock_workload::{mix_divergence, StatsWindow};
+        let defaults = AdvisorConfig::default();
+        for s in generate_fleet(17, 36, &ScenarioSpace::default())
+            .iter()
+            .filter(|s| s.class.mix == MixShape::Drifting)
+        {
+            let mut window = StatsWindow::new(defaults.stats_half_life);
+            let mut peak = 0.0f64;
+            for batch in s.drift_trajectory() {
+                window.ingest(&batch);
+                peak = peak.max(mix_divergence(&s.parsed.mix, &window));
+            }
+            assert!(
+                peak > defaults.drift_enter,
+                "{}: peak divergence {peak} never crossed {}",
+                s.label(),
+                defaults.drift_enter
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Drift scoring between the observed and configured query mix.
+//!
+//! [`mix_divergence`] reduces a [`StatsWindow`] against a configured
+//! [`QueryMix`] to one scalar in `[0, 1]` — the normalized L1 (total
+//! variation) distance between the two share distributions — and
+//! [`DriftDetector`] turns the score stream into stable/drifting
+//! transitions with hysteresis, so a score hovering around one
+//! threshold cannot flap the detector.
+//!
+//! Both pieces are deterministic: the divergence sums in a fixed order
+//! (configured classes in mix order, then observed-only classes in
+//! name order), so the same window and mix always produce the same
+//! bits, at any worker count and any ingestion batch split.
+
+use crate::mix::QueryMix;
+use crate::stats::StatsWindow;
+
+/// Normalized L1 (total variation) divergence between the configured
+/// mix and the observed window, in `[0, 1]`: `0.0` means the observed
+/// shares match the configuration exactly, `1.0` means the two
+/// workloads are disjoint.
+///
+/// A window with no weight scores `0.0` — no traffic is no evidence of
+/// drift.
+pub fn mix_divergence(configured: &QueryMix, observed: &StatsWindow) -> f64 {
+    let total = observed.total_weight();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    // Configured classes first, in mix order.
+    for (class, share) in configured.iter() {
+        let observed_share = observed.weight_of(class.name()) / total;
+        sum += (share - observed_share).abs();
+    }
+    // Classes the configuration does not know about, in name order.
+    for (name, weight) in observed.weights() {
+        if configured.class_by_name(name).is_none() {
+            sum += weight / total;
+        }
+    }
+    0.5 * sum
+}
+
+/// Whether the observed workload currently matches the configured mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftState {
+    /// The observed mix is (still) close to the configured one.
+    Stable,
+    /// The observed mix has diverged past the enter threshold and has
+    /// not yet fallen back below the exit threshold.
+    Drifting,
+}
+
+/// An edge reported by [`DriftDetector::update`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftTransition {
+    /// The score rose above the enter threshold: stable → drifting.
+    Entered,
+    /// The score fell below the exit threshold: drifting → stable.
+    Exited,
+}
+
+/// Hysteresis state machine over a drift-score stream.
+///
+/// The detector enters `Drifting` only when a score is **strictly
+/// above** `enter`, and returns to `Stable` only when a score is
+/// **strictly below** `exit`. With `exit <= enter` a score sitting
+/// exactly on either threshold — or anywhere between them — never
+/// causes a transition, so the detector cannot flap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftDetector {
+    enter: f64,
+    exit: f64,
+    state: DriftState,
+}
+
+impl DriftDetector {
+    /// Creates a detector in the `Stable` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= exit <= enter <= 1.0` and both are finite
+    /// — the advisor configuration validates the knobs before a
+    /// detector is ever built.
+    pub fn new(enter: f64, exit: f64) -> Self {
+        assert!(
+            enter.is_finite() && exit.is_finite() && 0.0 <= exit && exit <= enter && enter <= 1.0,
+            "drift thresholds must satisfy 0 <= exit <= enter <= 1, got enter {enter} / exit {exit}"
+        );
+        Self {
+            enter,
+            exit,
+            state: DriftState::Stable,
+        }
+    }
+
+    /// The current state.
+    #[inline]
+    pub fn state(&self) -> DriftState {
+        self.state
+    }
+
+    /// The `(enter, exit)` thresholds.
+    #[inline]
+    pub fn thresholds(&self) -> (f64, f64) {
+        (self.enter, self.exit)
+    }
+
+    /// Feeds one score; returns the edge if the state changed.
+    pub fn update(&mut self, score: f64) -> Option<DriftTransition> {
+        match self.state {
+            DriftState::Stable if score > self.enter => {
+                self.state = DriftState::Drifting;
+                Some(DriftTransition::Entered)
+            }
+            DriftState::Drifting if score < self.exit => {
+                self.state = DriftState::Stable;
+                Some(DriftTransition::Exited)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{DimensionPredicate, QueryClass};
+    use crate::stats::ClassObservation;
+
+    fn two_class_mix() -> QueryMix {
+        QueryMix::builder()
+            .class(
+                QueryClass::new("a").with(0, DimensionPredicate::point(0)),
+                3.0,
+            )
+            .class(
+                QueryClass::new("b").with(1, DimensionPredicate::point(0)),
+                1.0,
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matching_traffic_scores_zero() {
+        let mix = two_class_mix();
+        let mut w = StatsWindow::new(1e12);
+        assert_eq!(mix_divergence(&mix, &w), 0.0, "empty window");
+        w.ingest(&[
+            ClassObservation::new("a", 300),
+            ClassObservation::new("b", 100),
+        ]);
+        let score = mix_divergence(&mix, &w);
+        assert!(score < 1e-6, "matching shares scored {score}");
+    }
+
+    #[test]
+    fn disjoint_traffic_scores_one() {
+        let mix = two_class_mix();
+        let mut w = StatsWindow::new(1e12);
+        w.ingest(&[ClassObservation::new("elsewhere", 500)]);
+        let score = mix_divergence(&mix, &w);
+        assert!((score - 1.0).abs() < 1e-12, "disjoint scored {score}");
+    }
+
+    #[test]
+    fn inverted_shares_score_the_l1_distance() {
+        let mix = two_class_mix(); // configured 0.75 / 0.25
+        let mut w = StatsWindow::new(1e12);
+        w.ingest(&[
+            ClassObservation::new("a", 100),
+            ClassObservation::new("b", 300),
+        ]); // observed 0.25 / 0.75
+        let score = mix_divergence(&mix, &w);
+        assert!((score - 0.5).abs() < 1e-9, "{score}");
+    }
+
+    #[test]
+    fn hysteresis_enters_and_exits_on_strict_crossings_only() {
+        let mut d = DriftDetector::new(0.3, 0.1);
+        assert_eq!(d.state(), DriftState::Stable);
+        assert_eq!(d.update(0.3), None, "exactly on enter must not enter");
+        assert_eq!(d.update(0.2), None);
+        assert_eq!(d.update(0.31), Some(DriftTransition::Entered));
+        assert_eq!(d.state(), DriftState::Drifting);
+        assert_eq!(d.update(0.5), None, "already drifting");
+        assert_eq!(d.update(0.1), None, "exactly on exit must not exit");
+        assert_eq!(d.update(0.2), None, "between thresholds holds state");
+        assert_eq!(d.update(0.09), Some(DriftTransition::Exited));
+        assert_eq!(d.state(), DriftState::Stable);
+    }
+
+    #[test]
+    fn equal_thresholds_still_cannot_flap_on_the_threshold() {
+        let mut d = DriftDetector::new(0.2, 0.2);
+        for _ in 0..100 {
+            assert_eq!(d.update(0.2), None);
+        }
+        assert_eq!(d.update(0.25), Some(DriftTransition::Entered));
+        for _ in 0..100 {
+            assert_eq!(d.update(0.2), None);
+        }
+        assert_eq!(d.update(0.15), Some(DriftTransition::Exited));
+    }
+
+    #[test]
+    #[should_panic(expected = "drift thresholds")]
+    fn inverted_thresholds_panic() {
+        let _ = DriftDetector::new(0.1, 0.3);
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`QueryMix`] — a weighted set of query classes with normalized shares,
 //! * [`apb1_like_mix`] — the APB-1-like demonstration workload,
 //! * [`WorkloadGenerator`] — a seeded random workload generator for stress
-//!   and property tests.
+//!   and property tests,
+//! * [`StatsWindow`] / [`mix_divergence`] / [`DriftDetector`] — observed
+//!   traffic ingestion and drift detection for the resident-optimizer
+//!   feedback loop.
 
 //!
 //! # Example
@@ -36,11 +39,15 @@
 #![warn(missing_docs)]
 
 mod apb1;
+mod drift;
 mod generator;
 mod mix;
 mod query;
+mod stats;
 
 pub use apb1::apb1_like_mix;
+pub use drift::{mix_divergence, DriftDetector, DriftState, DriftTransition};
 pub use generator::{GeneratorConfig, WorkloadGenerator};
 pub use mix::{QueryMix, QueryMixBuilder, WeightedClass};
 pub use query::{DimensionPredicate, QueryClass, WorkloadError};
+pub use stats::{ClassObservation, StatsWindow};
